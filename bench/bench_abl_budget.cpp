@@ -1,0 +1,67 @@
+// Ablation: the accuracy / overhead trade-off of WiScape's sample budget
+// (the "important trade off between the volume of measurements collected,
+// the ensuing accuracy, and the energy and monetary costs" of Sec 3.4).
+//
+// Sweeps the per-zone-epoch sample budget and reports the Fig 8-style
+// estimation error next to the per-client-day overhead: the paper's ~100
+// samples sit at the knee.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/overhead.h"
+#include "core/validation.h"
+
+using namespace wiscape;
+
+int main() {
+  bench::banner(
+      "Ablation - sample budget vs estimation accuracy vs client overhead",
+      "Sec 3.4: ~100 samples/zone-epoch is enough for <=4% error on most "
+      "zones; more samples buy little, fewer cost accuracy");
+
+  const auto ds = bench::standalone_dataset();
+  const auto dep = cellnet::make_deployment(cellnet::region_preset::madison,
+                                            bench::bench_seed);
+  const geo::zone_grid grid(dep.proj(), 250.0);
+
+  // Overhead per probe is fixed; scale it by the budget share each client
+  // carries (the paper's scenario: ~50 active clients share a zone-epoch).
+  constexpr std::size_t tcp_bytes = 500'000;
+  constexpr double clients_per_zone = 50.0;
+
+  std::printf("\n  %8s %10s %12s %12s %16s\n", "budget", "zones",
+              "err<=4%", "max err", "MB/client-day");
+  for (std::size_t budget : {10u, 25u, 50u, 100u, 200u}) {
+    core::validation_config cfg;
+    cfg.min_zone_samples = 120;
+    cfg.wiscape_samples = budget;
+    const auto report = core::validate_estimation(
+        ds, grid, trace::metric::tcp_throughput_bps, "NetB", cfg,
+        bench::bench_seed + budget);
+    if (report.errors.empty()) continue;
+
+    // One zone-epoch costs budget probes; each client carries its share.
+    // ~20 epochs/day at the default 75-minute epoch.
+    const double probes_per_client_day =
+        static_cast<double>(budget) / clients_per_zone * 20.0;
+    trace::measurement_record proto;
+    proto.kind = trace::probe_kind::tcp_download;
+    proto.success = true;
+    proto.throughput_bps = 1e6;
+    const auto cost = core::cost_of(proto, tcp_bytes);
+    const double mb_day =
+        probes_per_client_day *
+        static_cast<double>(cost.bytes_down + cost.bytes_up) / 1e6;
+
+    std::printf("  %8zu %10zu %11.1f%% %11.1f%% %16.1f\n", budget,
+                report.errors.size(), report.fraction_within(0.04) * 100.0,
+                report.max_error() * 100.0, mb_day);
+  }
+
+  std::printf("\n");
+  bench::report("knee of the curve", "~100 samples", "see table");
+  bench::report("continuous monitoring for contrast",
+                "-", bench::fmt(core::continuous_monitoring_mbytes_per_day(1e6),
+                                0) + " MB/client-day");
+  return 0;
+}

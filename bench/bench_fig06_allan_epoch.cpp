@@ -1,0 +1,51 @@
+// Figure 6: Allan deviation of UDP throughput vs averaging time at one zone
+// per region (Proximate data, NetB).
+// Paper: the curve dips to a minimum at ~75 minutes for the Madison zone
+// and ~15 minutes for the New Brunswick zone; WiScape adopts the minimum as
+// the zone's epoch.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/epoch_estimator.h"
+
+using namespace wiscape;
+
+namespace {
+
+void region_curve(const bench::region_data& region, const char* label,
+                  const char* paper_min) {
+  const auto series =
+      region.proximate.metric_series(trace::metric::udp_throughput_bps, "NetB");
+  std::printf("\n  --- %s (%zu samples) ---\n", label, series.size());
+
+  core::epoch_config cfg;
+  cfg.scan_lo_s = 120.0;
+  cfg.scan_hi_s = 12.0 * 3600;
+  cfg.scan_points = 22;
+  const core::epoch_estimator est(cfg);
+
+  std::vector<std::pair<double, double>> pts;
+  for (const auto& p : est.curve_for(series)) {
+    pts.push_back({p.tau_s / 60.0, p.deviation});
+  }
+  bench::print_series("tau (min)", "Allan dev", pts, 22);
+
+  const double epoch = est.epoch_for(series);
+  bench::report(std::string(label) + ": Allan-minimum epoch", paper_min,
+                bench::fmt(epoch / 60.0, 0) + " min");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 6 - Allan deviation vs averaging time (Proximate, NetB)",
+      "minimum at ~75 min (Madison) and ~15 min (New Brunswick); the "
+      "minimum becomes the zone's epoch");
+
+  const auto wi = bench::spot_region(cellnet::region_preset::madison);
+  const auto nj = bench::spot_region(cellnet::region_preset::new_jersey);
+  region_curve(wi, "Madison, WI", "~75 min");
+  region_curve(nj, "New Brunswick, NJ", "~15 min");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7: NKLD between client-sourced sample subsets and the long-term
+// distribution, vs number of samples; temporal (same spot, different times)
+// and spatial (different spots in the zone, same period) variants for both
+// regions.
+// Paper: NKLD <= 0.1 by ~50-60 samples (WI temporal), ~80 (WI spatial),
+// ~80-90 (NJ temporal), ~100 (NJ spatial); NJ needs more samples than WI.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/sample_planner.h"
+
+using namespace wiscape;
+
+namespace {
+
+std::size_t curve(const std::vector<double>& population, const char* label,
+                  const char* paper) {
+  core::planner_config cfg;
+  cfg.iterations = 60;
+  cfg.step = 10;
+  cfg.max_samples = 200;
+  const core::sample_planner planner(cfg);
+  stats::rng_stream rng(bench::bench_seed ^ stats::hash_label(label));
+
+  std::printf("\n  --- %s (population %zu) ---\n", label, population.size());
+  std::vector<std::pair<double, double>> pts;
+  for (const auto& p : planner.convergence_curve(population, rng)) {
+    pts.push_back({static_cast<double>(p.samples), p.mean_nkld});
+  }
+  bench::print_series("samples", "mean NKLD", pts, 20);
+  const std::size_t needed = planner.samples_needed(population, rng);
+  bench::report(std::string(label) + ": samples to NKLD<=0.1", paper,
+                std::to_string(needed));
+  return needed;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 7 - NKLD vs number of client samples (UDP throughput, NetB)",
+      "similar by ~50-90 samples in Madison, ~80-120 in New Brunswick; "
+      "spatial spread needs slightly more than temporal");
+
+  const auto wi = bench::spot_region(cellnet::region_preset::madison);
+  const auto nj = bench::spot_region(cellnet::region_preset::new_jersey);
+
+  // Temporal: the static Spot series at one location over time.
+  const auto wi_temporal =
+      wi.spot.metric_values(trace::metric::udp_throughput_bps, "NetB");
+  const auto nj_temporal =
+      nj.spot.metric_values(trace::metric::udp_throughput_bps, "NetB");
+  // Spatial: Proximate samples scattered across the zone.
+  const auto wi_spatial =
+      wi.proximate.metric_values(trace::metric::udp_throughput_bps, "NetB");
+  const auto nj_spatial =
+      nj.proximate.metric_values(trace::metric::udp_throughput_bps, "NetB");
+
+  const auto wi_t = curve(wi_temporal, "(a) WI temporal", "~50-60");
+  const auto wi_s = curve(wi_spatial, "(b) WI spatial", "~80");
+  const auto nj_t = curve(nj_temporal, "(c) NJ temporal", "~80-90");
+  const auto nj_s = curve(nj_spatial, "(d) NJ spatial", "~100");
+
+  std::printf("\n");
+  bench::report("NJ needs more samples than WI", "yes",
+                (nj_t + nj_s >= wi_t + wi_s) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 11: fraction of zones with a persistently dominant network (by
+// RTT latency, WiRover data) as a function of zone radius.
+// Paper: ~85% of zones have one dominant network, and the fraction is
+// roughly stable across radii 50-1000 m.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dominance.h"
+
+using namespace wiscape;
+
+int main() {
+  bench::banner(
+      "Figure 11 - persistent latency dominance vs zone radius (WiRover)",
+      "~85% of zones dominated by NetB or NetC regardless of radius");
+
+  const auto ds = bench::wirover_dataset();
+  const auto dep = cellnet::make_deployment(cellnet::region_preset::corridor,
+                                            bench::bench_seed);
+  const auto networks = dep.names();
+
+  std::printf("\n  %8s %8s %10s %10s %10s\n", "radius", "zones", "NetB-dom",
+              "NetC-dom", "dominated");
+  for (double radius : {50.0, 100.0, 200.0, 300.0, 500.0, 1000.0}) {
+    const geo::zone_grid grid(dep.proj(), radius);
+    core::dominance_config cfg;
+    cfg.min_samples_per_network = 15;
+    const auto summary = core::analyze_dominance(ds, grid,
+                                                 trace::metric::rtt_s,
+                                                 networks, cfg);
+    if (summary.zones.empty()) {
+      std::printf("  %7.0fm (no zones with enough samples)\n", radius);
+      continue;
+    }
+    std::printf("  %7.0fm %8zu %9.1f%% %9.1f%% %9.1f%%\n", radius,
+                summary.zones.size(),
+                100.0 * static_cast<double>(summary.wins[0]) /
+                    static_cast<double>(summary.zones.size()),
+                100.0 * static_cast<double>(summary.wins[1]) /
+                    static_cast<double>(summary.zones.size()),
+                summary.dominated_fraction * 100.0);
+  }
+
+  const geo::zone_grid grid(dep.proj(), 250.0);
+  core::dominance_config cfg;
+  cfg.min_samples_per_network = 15;
+  const auto summary =
+      core::analyze_dominance(ds, grid, trace::metric::rtt_s, networks, cfg);
+  std::printf("\n");
+  bench::report("dominated fraction at 250 m", "~85%",
+                bench::fmt_pct(summary.dominated_fraction));
+  return 0;
+}

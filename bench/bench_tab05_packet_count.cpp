@@ -1,0 +1,94 @@
+// Table 5: number of back-to-back measurement packets needed to estimate
+// TCP/UDP throughput within 97% of the expected value, per network and
+// region. Also reproduces the Sec 3.3.1 tool comparison that motivates
+// simple downloads: Pathload and WBest both underestimate.
+// Paper: WI needs 40-90 packets, NJ 50-120; WBest underestimates by up to
+// 70%, Pathload by up to 40%.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bwest/ground_truth.h"
+#include "bwest/pathload.h"
+#include "bwest/wbest.h"
+#include "core/sample_planner.h"
+
+using namespace wiscape;
+
+namespace {
+
+void packet_rows(const bench::region_data& region, const char* suffix) {
+  core::planner_config cfg;
+  cfg.iterations = 60;
+  cfg.target_accuracy = 0.97;
+  cfg.step = 10;
+  cfg.max_samples = 300;
+  const core::sample_planner planner(cfg);
+
+  for (const auto& net : region.networks) {
+    stats::rng_stream rng(bench::bench_seed ^ stats::hash_label(net) ^
+                          stats::hash_label(suffix));
+    const auto udp =
+        region.proximate.metric_values(trace::metric::udp_throughput_bps, net);
+    const auto tcp =
+        region.proximate.metric_values(trace::metric::tcp_throughput_bps, net);
+    if (udp.size() < 100 || tcp.size() < 100) continue;
+    std::printf("  %-10s UDP: %4zu packets   TCP: %4zu packets\n",
+                (net + "-" + suffix).c_str(),
+                planner.packets_for_accuracy(udp, rng),
+                planner.packets_for_accuracy(tcp, rng));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Table 5 - packets needed for 97% throughput accuracy (+ Sec 3.3.1)",
+      "40-90 packets in Madison, 50-120 in New Brunswick; WBest "
+      "underestimates up to 70%, Pathload up to 40%");
+
+  const auto wi = bench::spot_region(cellnet::region_preset::madison);
+  const auto nj = bench::spot_region(cellnet::region_preset::new_jersey);
+  std::printf("\n");
+  packet_rows(wi, "WI");
+  packet_rows(nj, "NJ");
+
+  // Sec 3.3.1: tool comparison at the WI spot.
+  std::printf("\n  Sec 3.3.1 baseline comparison (WI spot, NetB):\n");
+  auto dep = cellnet::make_deployment(cellnet::region_preset::madison,
+                                      bench::bench_seed);
+  probe::probe_engine engine(dep, bench::bench_seed + 9);
+  const mobility::gps_fix fix{wi.location, 0.0, 12.0 * 3600};
+  const std::size_t net = 1;  // NetB
+
+  bwest::ground_truth_config gt;
+  gt.iterations = 5;
+  gt.duration_s = 20.0;
+  gt.offered_rate_bps = 8e6;
+  const double truth = bwest::ground_truth_udp_bps(engine, net, fix, gt);
+
+  double wbest_err = 0.0, pathload_err = 0.0, simple_err = 0.0;
+  int n = 0;
+  for (int i = 0; i < 8; ++i) {
+    mobility::gps_fix f = fix;
+    f.time_s += i * 120.0;
+    const auto wb = bwest::wbest_estimate(engine, net, f);
+    const auto pl = bwest::pathload_estimate(engine, net, f);
+    const auto ud = engine.udp_probe(net, f);
+    if (!wb.valid || !pl.valid || !ud.success) continue;
+    wbest_err += bwest::relative_error(wb.available_bps, truth);
+    pathload_err += bwest::relative_error(pl.estimate_bps, truth);
+    simple_err += bwest::relative_error(ud.throughput_bps, truth);
+    ++n;
+  }
+  if (n > 0) {
+    bench::report("ground-truth UDP rate", "-", bench::fmt_kbps(truth));
+    bench::report("WBest mean error", "up to -70%",
+                  bench::fmt_pct(wbest_err / n));
+    bench::report("Pathload mean error", "up to -40%",
+                  bench::fmt_pct(pathload_err / n));
+    bench::report("simple UDP download error", "small",
+                  bench::fmt_pct(simple_err / n));
+  }
+  return 0;
+}

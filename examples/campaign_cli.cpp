@@ -1,0 +1,170 @@
+// campaign_cli: run a configurable synthetic measurement campaign from the
+// command line, export the trace, and print the WiScape analysis stack
+// (zones, epochs, sample plans, dominance) over it.
+//
+//   ./campaign_cli <region> [days] [out.csv] [seed]
+//     region: madison | nj | corridor | segment
+//
+// Example:
+//   ./campaign_cli segment 2 segment.csv 7
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cellnet/presets.h"
+#include "core/dominance.h"
+#include "core/epoch_estimator.h"
+#include "core/sample_planner.h"
+#include "probe/collect.h"
+#include "stats/summary.h"
+#include "trace/csv.h"
+
+using namespace wiscape;
+
+namespace {
+
+cellnet::region_preset parse_region(const std::string& s) {
+  if (s == "madison") return cellnet::region_preset::madison;
+  if (s == "nj") return cellnet::region_preset::new_jersey;
+  if (s == "corridor") return cellnet::region_preset::corridor;
+  if (s == "segment") return cellnet::region_preset::segment;
+  std::fprintf(stderr, "unknown region '%s' (madison|nj|corridor|segment)\n",
+               s.c_str());
+  std::exit(2);
+}
+
+trace::dataset run_campaign(probe::probe_engine& engine,
+                            cellnet::region_preset region, int days) {
+  switch (region) {
+    case cellnet::region_preset::madison: {
+      probe::standalone_params p;
+      p.days = days;
+      p.probe_interval_s = 180.0;
+      p.tcp_bytes = 250'000;
+      return probe::collect_standalone(engine, p);
+    }
+    case cellnet::region_preset::new_jersey: {
+      const auto locs =
+          probe::default_spot_locations(engine.dep(), 2, 99);
+      probe::spot_params p;
+      p.days = days;
+      p.udp_interval_s = 120.0;
+      p.tcp_interval_s = 600.0;
+      p.tcp_bytes = 250'000;
+      return probe::collect_spot(engine, locs, p);
+    }
+    case cellnet::region_preset::corridor: {
+      probe::wirover_params p;
+      p.days = days;
+      return probe::collect_wirover(engine, p);
+    }
+    case cellnet::region_preset::segment: {
+      probe::segment_params p;
+      p.days = days;
+      p.probe_interval_s = 120.0;
+      p.tcp_bytes = 250'000;
+      return probe::collect_segment(engine, p);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <madison|nj|corridor|segment> [days] [out.csv] "
+                 "[seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto region = parse_region(argv[1]);
+  const int days = argc > 2 ? std::atoi(argv[2]) : 1;
+  const std::string out = argc > 3 ? argv[3] : "";
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
+
+  auto dep = cellnet::make_deployment(region, seed);
+  probe::probe_engine engine(dep, seed);
+  std::printf("region=%s operators=%zu days=%d seed=%llu\n", argv[1],
+              dep.size(), days, static_cast<unsigned long long>(seed));
+
+  const auto ds = run_campaign(engine, region, days);
+  std::printf("collected %zu records (%llu probes)\n", ds.size(),
+              static_cast<unsigned long long>(engine.probes_run()));
+  if (!out.empty()) {
+    trace::write_csv_file(out, ds);
+    std::printf("wrote %s\n", out.c_str());
+  }
+
+  // Per-network metric summary.
+  for (const auto& net : dep.names()) {
+    for (auto m : {trace::metric::tcp_throughput_bps,
+                   trace::metric::udp_throughput_bps, trace::metric::rtt_s}) {
+      const auto values = ds.metric_values(m, net);
+      if (values.size() < 5) continue;
+      const bool rate = m != trace::metric::rtt_s;
+      std::printf("  %-5s %-15s n=%6zu mean=%9.1f %s relsd=%5.1f%%\n",
+                  net.c_str(), trace::to_string(m).c_str(), values.size(),
+                  rate ? stats::mean(values) / 1e3 : stats::mean(values) * 1e3,
+                  rate ? "Kbps" : "ms",
+                  stats::relative_stddev(values) * 100.0);
+    }
+  }
+
+  // Zone / epoch / plan analysis on the busiest zone.
+  const geo::zone_grid grid(dep.proj(), 250.0);
+  const auto zones = ds.group_by_zone(grid);
+  std::printf("zones touched: %zu\n", zones.size());
+
+  const trace::metric plan_metric =
+      region == cellnet::region_preset::corridor
+          ? trace::metric::rtt_s
+          : trace::metric::udp_throughput_bps;
+  std::size_t best_n = 0;
+  geo::zone_id best_zone{};
+  for (const auto& [zone, idx] : zones) {
+    if (idx.size() > best_n) {
+      best_n = idx.size();
+      best_zone = zone;
+    }
+  }
+  if (best_n > 200) {
+    trace::dataset zone_ds;
+    for (const auto& r : ds.records()) {
+      if (grid.zone_of(r.pos) == best_zone) zone_ds.add(r);
+    }
+    const auto series = zone_ds.metric_series(plan_metric);
+    if (series.size() > 100) {
+      const core::epoch_estimator est;
+      std::printf("busiest zone %s: %zu samples, Allan epoch = %.0f min\n",
+                  geo::to_string(best_zone).c_str(), series.size(),
+                  est.epoch_for(series) / 60.0);
+      core::planner_config pcfg;
+      pcfg.iterations = 40;
+      const core::sample_planner planner(pcfg);
+      stats::rng_stream rng(seed + 5);
+      const auto values = series.values();
+      std::printf("  samples for NKLD<=0.1: %zu; packets for 97%%: %zu\n",
+                  planner.samples_needed(values, rng),
+                  planner.packets_for_accuracy(values, rng));
+    }
+  }
+
+  // Dominance, when more than one operator was measured.
+  if (dep.size() > 1) {
+    const auto metric = region == cellnet::region_preset::corridor
+                            ? trace::metric::rtt_s
+                            : trace::metric::tcp_throughput_bps;
+    const auto summary =
+        core::analyze_dominance(ds, grid, metric, dep.names());
+    if (!summary.zones.empty()) {
+      std::printf("dominance (%s): %zu zones, %.0f%% dominated\n",
+                  trace::to_string(metric).c_str(), summary.zones.size(),
+                  summary.dominated_fraction * 100.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "apps/multihoming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mobility/schedule.h"
+
+namespace wiscape::apps {
+
+namespace {
+
+/// Vehicle position after `elapsed_s` of driving (folds back and forth
+/// along the route).
+geo::lat_lon position_at(const geo::polyline& route, double speed_mps,
+                         double elapsed_s) {
+  return route.point_at(
+      mobility::fold_distance(speed_mps * elapsed_s, route.length_m()));
+}
+
+/// Downloads one page at (pos, wall time) on `net`; returns latency
+/// (deadline on failure) and whether it failed.
+struct page_outcome {
+  double latency_s;
+  bool failed;
+};
+
+page_outcome download_page(probe::probe_engine& engine, std::size_t net,
+                           const geo::lat_lon& pos, double time_s,
+                           std::size_t bytes, const drive_config& drive) {
+  probe::tcp_probe_params params;
+  params.bytes = bytes;
+  params.deadline_s = drive.page_deadline_s;
+  mobility::gps_fix fix{pos, drive.speed_mps, time_s};
+  const auto rec = engine.tcp_probe(net, fix, params);
+  if (!rec.success || rec.throughput_bps <= 0.0) {
+    return {drive.page_deadline_s + drive.request_overhead_s, true};
+  }
+  const double transfer_s =
+      static_cast<double>(bytes) * 8.0 / rec.throughput_bps;
+  return {transfer_s + drive.request_overhead_s, false};
+}
+
+}  // namespace
+
+http_run_result run_multisim(probe::probe_engine& engine,
+                             const zone_knowledge* knowledge,
+                             multisim_policy policy, std::size_t fixed_net,
+                             std::span<const std::size_t> page_bytes,
+                             const geo::polyline& route,
+                             const drive_config& drive, std::uint64_t seed) {
+  const std::size_t nets = engine.dep().size();
+  if (nets == 0) throw std::invalid_argument("run_multisim: no networks");
+  if (policy == multisim_policy::wiscape && knowledge == nullptr) {
+    throw std::invalid_argument("run_multisim: wiscape policy needs knowledge");
+  }
+  if (policy == multisim_policy::fixed && fixed_net >= nets) {
+    throw std::invalid_argument("run_multisim: fixed_net out of range");
+  }
+
+  stats::rng_stream rng(seed);
+  http_run_result out;
+  double elapsed = 0.0;
+  std::size_t rr = 0;
+  for (const std::size_t bytes : page_bytes) {
+    const geo::lat_lon pos = position_at(route, drive.speed_mps, elapsed);
+    std::size_t net = fixed_net;
+    switch (policy) {
+      case multisim_policy::wiscape:
+        net = knowledge->best_network(pos);
+        break;
+      case multisim_policy::fixed:
+        break;
+      case multisim_policy::round_robin:
+        net = rr++ % nets;
+        break;
+      case multisim_policy::random_pick:
+        net = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(nets) - 1));
+        break;
+    }
+    const auto o = download_page(engine, net, pos,
+                                 drive.start_time_s + elapsed, bytes, drive);
+    elapsed += o.latency_s;
+    out.total_s += o.latency_s;
+    out.page_s.push_back(o.latency_s);
+    ++out.pages;
+    if (o.failed) ++out.failures;
+  }
+  return out;
+}
+
+mar_result run_mar(probe::probe_engine& engine, const zone_knowledge* knowledge,
+                   mar_policy policy, std::span<const std::size_t> page_bytes,
+                   const geo::polyline& route, const drive_config& drive,
+                   std::uint64_t seed) {
+  const std::size_t nets = engine.dep().size();
+  if (nets == 0) throw std::invalid_argument("run_mar: no networks");
+  if ((policy == mar_policy::wiscape ||
+       policy == mar_policy::weighted_round_robin) &&
+      knowledge == nullptr) {
+    throw std::invalid_argument("run_mar: policy needs zone knowledge");
+  }
+  (void)seed;
+
+  // Each interface drains its queue sequentially; the gateway keeps moving,
+  // so a page assigned to interface i starts wherever the vehicle is when i
+  // frees up.
+  std::vector<double> busy(nets, 0.0);  // per-interface next-free offset
+  mar_result out;
+  out.interface_busy_s.assign(nets, 0.0);
+
+  // Weighted round-robin: expand a cyclic pattern proportional to global
+  // mean throughputs (granularity of one page).
+  std::vector<std::size_t> wrr_pattern;
+  if (policy == mar_policy::weighted_round_robin) {
+    double min_mean = std::numeric_limits<double>::infinity();
+    for (std::size_t n = 0; n < nets; ++n) {
+      min_mean = std::min(min_mean, knowledge->global_mean_bps(n));
+    }
+    for (std::size_t n = 0; n < nets; ++n) {
+      const int reps = std::max(
+          1, static_cast<int>(
+                 std::round(knowledge->global_mean_bps(n) / min_mean)));
+      for (int i = 0; i < reps; ++i) wrr_pattern.push_back(n);
+    }
+  }
+
+  std::size_t rr = 0;
+  for (const std::size_t bytes : page_bytes) {
+    std::size_t net = 0;
+    switch (policy) {
+      case mar_policy::round_robin:
+        net = rr++ % nets;
+        break;
+      case mar_policy::weighted_round_robin:
+        net = wrr_pattern[rr++ % wrr_pattern.size()];
+        break;
+      case mar_policy::wiscape: {
+        // Greedy: least expected finish time, using the zone estimate at the
+        // position where each interface would start this page.
+        double best_finish = std::numeric_limits<double>::infinity();
+        for (std::size_t n = 0; n < nets; ++n) {
+          const geo::lat_lon pos =
+              position_at(route, drive.speed_mps, busy[n]);
+          const double bps = std::max(knowledge->expected_bps(n, pos), 1.0);
+          const double finish = busy[n] + static_cast<double>(bytes) * 8.0 / bps;
+          if (finish < best_finish) {
+            best_finish = finish;
+            net = n;
+          }
+        }
+        break;
+      }
+    }
+
+    const geo::lat_lon pos = position_at(route, drive.speed_mps, busy[net]);
+    const auto o = download_page(engine, net, pos,
+                                 drive.start_time_s + busy[net], bytes, drive);
+    busy[net] += o.latency_s;
+    out.interface_busy_s[net] += o.latency_s;
+    if (o.failed) ++out.failures;
+  }
+  out.total_s = *std::max_element(busy.begin(), busy.end());
+  return out;
+}
+
+}  // namespace wiscape::apps

@@ -1,0 +1,82 @@
+// Multi-network client applications (Sec 4.2.2).
+//
+//   multi-sim: a phone with SIMs on several operators downloads pages
+//   sequentially while driving; the interface is chosen per request.
+//   Policies: WiScape zone knowledge, a fixed single network, blind
+//   round-robin, or random choice.
+//
+//   MAR: a vehicular gateway with one active modem per operator stripes a
+//   batch of requests across all interfaces in parallel. Policies: naive
+//   round-robin, throughput-weighted round-robin, or WiScape-informed
+//   greedy assignment (least expected finish time using zone estimates).
+//
+// Downloads are real TCP runs through the probe engine at the vehicle's
+// current position and wall time; the vehicle advances along its route as
+// time passes, so route-dependent dominance (Fig 12/13) is exactly what the
+// schedulers exploit.
+#pragma once
+
+#include <span>
+
+#include "apps/zone_knowledge.h"
+#include "geo/polyline.h"
+#include "probe/engine.h"
+
+namespace wiscape::apps {
+
+enum class multisim_policy {
+  wiscape,      ///< best network per zone from zone_knowledge
+  fixed,        ///< always the configured network
+  round_robin,  ///< cycle through interfaces per request
+  random_pick,  ///< uniform random interface per request
+};
+
+struct drive_config {
+  double speed_mps = 15.0;      ///< vehicle speed along the route
+  double start_time_s = 10.0 * 3600;
+  double page_deadline_s = 60.0;  ///< per-page abort (counted at deadline)
+  /// Per-request fixed overhead (DNS + HTTP request upstream).
+  double request_overhead_s = 0.15;
+};
+
+struct http_run_result {
+  double total_s = 0.0;
+  std::size_t pages = 0;
+  std::size_t failures = 0;  ///< pages that hit the deadline
+  std::vector<double> page_s;  ///< per-page latency, request order
+  double mean_page_s() const noexcept {
+    return pages ? total_s / static_cast<double>(pages) : 0.0;
+  }
+};
+
+/// Sequential page downloads while driving `route` (looping as needed).
+/// `knowledge` is required for multisim_policy::wiscape and may be null
+/// otherwise. `fixed_net` selects the interface for policy fixed.
+http_run_result run_multisim(probe::probe_engine& engine,
+                             const zone_knowledge* knowledge,
+                             multisim_policy policy, std::size_t fixed_net,
+                             std::span<const std::size_t> page_bytes,
+                             const geo::polyline& route,
+                             const drive_config& drive, std::uint64_t seed);
+
+enum class mar_policy {
+  round_robin,           ///< requests cycle across interfaces
+  weighted_round_robin,  ///< cycle weighted by global mean throughput
+  wiscape,               ///< greedy least-expected-finish via zone knowledge
+};
+
+struct mar_result {
+  double total_s = 0.0;  ///< batch completion (last interface drains)
+  std::size_t failures = 0;
+  std::vector<double> interface_busy_s;  ///< per-interface total busy time
+};
+
+/// Parallel batch download through all interfaces of the deployment.
+/// `knowledge` is required for mar_policy::wiscape and
+/// mar_policy::weighted_round_robin.
+mar_result run_mar(probe::probe_engine& engine, const zone_knowledge* knowledge,
+                   mar_policy policy, std::span<const std::size_t> page_bytes,
+                   const geo::polyline& route, const drive_config& drive,
+                   std::uint64_t seed);
+
+}  // namespace wiscape::apps

@@ -1,0 +1,62 @@
+#include "apps/surge.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wiscape::apps {
+
+std::vector<std::size_t> surge_pages(const surge_config& cfg,
+                                     std::uint64_t seed) {
+  stats::rng_stream rng(seed);
+  std::vector<std::size_t> out;
+  out.reserve(cfg.pages);
+  const double lo = static_cast<double>(cfg.min_bytes);
+  const double hi = static_cast<double>(cfg.max_bytes);
+  for (std::size_t i = 0; i < cfg.pages; ++i) {
+    double size;
+    if (rng.chance(cfg.tail_fraction)) {
+      size = rng.bounded_pareto(cfg.tail_alpha, lo, hi);
+    } else {
+      size = rng.lognormal(cfg.body_mu, cfg.body_sigma);
+    }
+    out.push_back(static_cast<std::size_t>(std::clamp(size, lo, hi)));
+  }
+  return out;
+}
+
+std::size_t website::total_bytes() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t b : object_bytes) total += b;
+  return total;
+}
+
+std::vector<website> well_known_websites(std::uint64_t seed) {
+  stats::rng_stream rng(seed);
+  // (name, object count, mean object KB): depth-1 page mixes sized to give
+  // the Fig 14 ordering cnn > youtube ~ amazon > microsoft in total bytes.
+  struct spec {
+    const char* name;
+    int objects;
+    double mean_kb;
+  };
+  const spec specs[] = {
+      {"cnn", 90, 28.0},
+      {"microsoft", 40, 18.0},
+      {"youtube", 50, 52.0},
+      {"amazon", 80, 30.0},
+  };
+  std::vector<website> out;
+  for (const auto& s : specs) {
+    website w;
+    w.name = s.name;
+    stats::rng_stream site = rng.fork(s.name);
+    for (int i = 0; i < s.objects; ++i) {
+      const double kb = std::max(1.0, site.lognormal(std::log(s.mean_kb), 0.8));
+      w.object_bytes.push_back(static_cast<std::size_t>(kb * 1024.0));
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace wiscape::apps

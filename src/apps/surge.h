@@ -1,0 +1,46 @@
+// SURGE-style web workload generation (Barford & Crovella, SIGMETRICS'98).
+//
+// The paper's application experiments download "a pool of 1000 web pages
+// with sizes between 2.8 KB and 3.2 MB, generated using SURGE". SURGE's
+// published size model is a lognormal body with a bounded Pareto tail; we
+// generate exactly that, clamped to the paper's range. Named-site page sets
+// (cnn/microsoft/youtube/amazon stand-ins for Fig 14) are fixed mixes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace wiscape::apps {
+
+struct surge_config {
+  std::size_t pages = 1000;
+  std::size_t min_bytes = 2'800;        // 2.8 KB
+  std::size_t max_bytes = 3'200'000;    // 3.2 MB
+  /// Lognormal body parameters (SURGE's empirical fit: median ~ 2-10 KB).
+  double body_mu = 9.357;   // ln(11.6 KB)
+  double body_sigma = 1.318;
+  /// Bounded-Pareto tail (alpha ~ 1.1) mixed in for the heavy tail.
+  double tail_fraction = 0.12;
+  double tail_alpha = 1.1;
+};
+
+/// Page sizes for one workload pool (deterministic in seed).
+std::vector<std::size_t> surge_pages(const surge_config& cfg,
+                                     std::uint64_t seed);
+
+/// A named website: depth-1 crawl stand-in as a fixed list of object sizes.
+struct website {
+  std::string name;
+  std::vector<std::size_t> object_bytes;
+  std::size_t total_bytes() const noexcept;
+};
+
+/// The four sites of Fig 14 (front page + depth-1 objects, sizes chosen to
+/// mirror their 2011-era weights: cnn mid-heavy, microsoft light, youtube
+/// media-heavy, amazon image-rich).
+std::vector<website> well_known_websites(std::uint64_t seed);
+
+}  // namespace wiscape::apps

@@ -1,0 +1,80 @@
+#include "apps/zone_knowledge.h"
+
+#include <stdexcept>
+
+#include "stats/running_stats.h"
+
+namespace wiscape::apps {
+
+zone_knowledge::zone_knowledge(const trace::dataset& training,
+                               geo::zone_grid grid,
+                               std::vector<std::string> networks,
+                               std::size_t min_samples)
+    : grid_(std::move(grid)), networks_(std::move(networks)) {
+  if (networks_.empty()) {
+    throw std::invalid_argument("zone_knowledge: no networks");
+  }
+  std::unordered_map<geo::zone_id, std::vector<stats::running_stats>,
+                     geo::zone_id_hash>
+      acc;
+  std::vector<stats::running_stats> global(networks_.size());
+
+  for (const auto& r : training.records()) {
+    if (!r.success || r.kind != trace::probe_kind::tcp_download) continue;
+    for (std::size_t n = 0; n < networks_.size(); ++n) {
+      if (r.network != networks_[n]) continue;
+      auto& bucket = acc[grid_.zone_of(r.pos)];
+      bucket.resize(networks_.size());
+      bucket[n].add(r.throughput_bps);
+      global[n].add(r.throughput_bps);
+      break;
+    }
+  }
+
+  global_mean_.resize(networks_.size());
+  for (std::size_t n = 0; n < networks_.size(); ++n) {
+    global_mean_[n] = global[n].mean();
+  }
+  for (auto& [zone, buckets] : acc) {
+    std::vector<double> means(networks_.size(), 0.0);
+    for (std::size_t n = 0; n < networks_.size(); ++n) {
+      means[n] =
+          buckets[n].count() >= min_samples ? buckets[n].mean() : 0.0;
+    }
+    zone_mean_.emplace(zone, std::move(means));
+  }
+}
+
+double zone_knowledge::expected_bps(std::size_t net,
+                                    const geo::lat_lon& pos) const {
+  if (net >= networks_.size()) {
+    throw std::out_of_range("zone_knowledge: network index");
+  }
+  const auto it = zone_mean_.find(grid_.zone_of(pos));
+  if (it != zone_mean_.end() && it->second[net] > 0.0) {
+    return it->second[net];
+  }
+  return global_mean_[net];
+}
+
+std::size_t zone_knowledge::best_network(const geo::lat_lon& pos) const {
+  std::size_t best = 0;
+  double best_bps = expected_bps(0, pos);
+  for (std::size_t n = 1; n < networks_.size(); ++n) {
+    const double bps = expected_bps(n, pos);
+    if (bps > best_bps) {
+      best_bps = bps;
+      best = n;
+    }
+  }
+  return best;
+}
+
+double zone_knowledge::global_mean_bps(std::size_t net) const {
+  if (net >= networks_.size()) {
+    throw std::out_of_range("zone_knowledge: network index");
+  }
+  return global_mean_[net];
+}
+
+}  // namespace wiscape::apps

@@ -1,0 +1,48 @@
+// The WiScape product as applications consume it: a per-zone map of expected
+// network performance, built from previously collected (client-sourced)
+// measurements. Multi-sim and MAR query it by GPS fix; no fresh probing
+// needed at decision time -- that is the whole point of Sec 4.2.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/zone_grid.h"
+#include "trace/dataset.h"
+
+namespace wiscape::apps {
+
+class zone_knowledge {
+ public:
+  /// Builds per-zone per-network expected TCP throughput from `training`.
+  /// Zones with fewer than `min_samples` samples for a network fall back to
+  /// that network's global mean.
+  zone_knowledge(const trace::dataset& training, geo::zone_grid grid,
+                 std::vector<std::string> networks,
+                 std::size_t min_samples = 10);
+
+  std::size_t network_count() const noexcept { return networks_.size(); }
+  const std::vector<std::string>& networks() const noexcept { return networks_; }
+  const geo::zone_grid& grid() const noexcept { return grid_; }
+
+  /// Expected TCP throughput of network `net` at `pos` (bps). Falls back to
+  /// the network's global mean for unknown zones; 0 when the network was
+  /// never observed at all.
+  double expected_bps(std::size_t net, const geo::lat_lon& pos) const;
+
+  /// Network index with the best expected throughput at `pos`.
+  std::size_t best_network(const geo::lat_lon& pos) const;
+
+  /// Global mean throughput of a network across the whole training set.
+  double global_mean_bps(std::size_t net) const;
+
+ private:
+  geo::zone_grid grid_;
+  std::vector<std::string> networks_;
+  std::vector<double> global_mean_;
+  std::unordered_map<geo::zone_id, std::vector<double>, geo::zone_id_hash>
+      zone_mean_;  // per-zone vector indexed by network; <=0 = unknown
+};
+
+}  // namespace wiscape::apps

@@ -1,0 +1,49 @@
+#include "bwest/ground_truth.h"
+
+#include <stdexcept>
+
+namespace wiscape::bwest {
+
+double ground_truth_udp_bps(probe::probe_engine& engine, std::size_t net,
+                            const mobility::gps_fix& fix,
+                            const ground_truth_config& cfg) {
+  if (cfg.iterations < 1 || !(cfg.duration_s > 0.0)) {
+    throw std::invalid_argument("ground_truth: bad config");
+  }
+  double total = 0.0;
+  int valid = 0;
+  mobility::gps_fix f = fix;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    const auto packets = static_cast<std::uint32_t>(
+        cfg.offered_rate_bps * cfg.duration_s /
+        (static_cast<double>(cfg.packet_bytes) * 8.0));
+    const auto train = engine.udp_train(net, f, cfg.offered_rate_bps,
+                                        packets, cfg.packet_bytes);
+    f.time_s += cfg.duration_s + 5.0;
+
+    int first = -1, last = -1, delivered = 0;
+    for (std::size_t i = 0; i < train.recv_s.size(); ++i) {
+      if (train.recv_s[i] < 0.0) continue;
+      if (first < 0) first = static_cast<int>(i);
+      last = static_cast<int>(i);
+      ++delivered;
+    }
+    if (delivered < 2) continue;
+    const double span = train.recv_s[static_cast<std::size_t>(last)] -
+                        train.recv_s[static_cast<std::size_t>(first)];
+    if (span <= 0.0) continue;
+    total += static_cast<double>(delivered) *
+             static_cast<double>(cfg.packet_bytes) * 8.0 / span;
+    ++valid;
+  }
+  return valid > 0 ? total / valid : 0.0;
+}
+
+double relative_error(double estimate_bps, double ground_truth_bps) {
+  if (ground_truth_bps == 0.0) {
+    throw std::invalid_argument("relative_error: zero ground truth");
+  }
+  return (estimate_bps - ground_truth_bps) / ground_truth_bps;
+}
+
+}  // namespace wiscape::bwest

@@ -1,0 +1,28 @@
+// Ground-truth available-bandwidth measurement (Sec 3.3.1's yardstick):
+// "the average of UDP throughput measured over 100 seconds for 10
+// iterations". Used to score Pathload/WBest and WiScape's simple-download
+// approach on the same footing.
+#pragma once
+
+#include "probe/engine.h"
+
+namespace wiscape::bwest {
+
+struct ground_truth_config {
+  int iterations = 10;
+  double duration_s = 100.0;
+  std::size_t packet_bytes = 1200;
+  /// Offered rate well above any plausible capacity so the link saturates.
+  double offered_rate_bps = 20e6;
+};
+
+/// Mean delivered UDP rate over the configured iterations.
+double ground_truth_udp_bps(probe::probe_engine& engine, std::size_t net,
+                            const mobility::gps_fix& fix,
+                            const ground_truth_config& cfg = {});
+
+/// Relative error of an estimate vs ground truth, as the paper defines it:
+/// E = (X - G) / G  (signed; negative = under-estimate).
+double relative_error(double estimate_bps, double ground_truth_bps);
+
+}  // namespace wiscape::bwest

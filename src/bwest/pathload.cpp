@@ -1,0 +1,110 @@
+#include "bwest/pathload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace wiscape::bwest {
+
+owd_trend classify_trend(const std::vector<double>& delays,
+                         double pct_threshold, double pdt_threshold) {
+  if (delays.size() < 6) return owd_trend::inconclusive;
+
+  // Median-of-buckets smoothing (Pathload splits the stream into sqrt(n)
+  // groups and tests group medians).
+  const auto k = static_cast<std::size_t>(std::sqrt(delays.size()));
+  std::vector<double> medians;
+  for (std::size_t g = 0; g + 1 <= k; ++g) {
+    const std::size_t lo = g * delays.size() / k;
+    const std::size_t hi = (g + 1) * delays.size() / k;
+    std::vector<double> bucket(delays.begin() + static_cast<std::ptrdiff_t>(lo),
+                               delays.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::sort(bucket.begin(), bucket.end());
+    if (!bucket.empty()) medians.push_back(bucket[bucket.size() / 2]);
+  }
+  if (medians.size() < 3) return owd_trend::inconclusive;
+
+  // PCT: fraction of consecutive increases.
+  int increases = 0;
+  double abs_diff = 0.0;
+  for (std::size_t i = 1; i < medians.size(); ++i) {
+    if (medians[i] > medians[i - 1]) ++increases;
+    abs_diff += std::abs(medians[i] - medians[i - 1]);
+  }
+  const double pct = static_cast<double>(increases) /
+                     static_cast<double>(medians.size() - 1);
+  // PDT: net growth normalized by total variation.
+  const double pdt =
+      abs_diff > 0.0 ? (medians.back() - medians.front()) / abs_diff : 0.0;
+
+  const bool pct_up = pct > pct_threshold;
+  const bool pdt_up = pdt > pdt_threshold;
+  // Require directional confirmation from the PDT even when the PCT fires:
+  // pure comparison counts flip "increasing" too easily on flat-but-noisy
+  // streams (a handful of group medians).
+  if (pdt_up || (pct_up && pdt > 0.25)) return owd_trend::increasing;
+  // "Not increasing" demands a genuinely quiet stream. Anything in between
+  // is grey -- and on a slotted cellular downlink the service sawtooth puts
+  // *most* streams in the grey region, which is exactly why Pathload
+  // misjudges these links (Sec 3.3.1 / Koutsonikolas & Hu).
+  if (pct < 0.45 && pdt < 0.15) return owd_trend::not_increasing;
+  return owd_trend::inconclusive;
+}
+
+pathload_result pathload_estimate(probe::probe_engine& engine, std::size_t net,
+                                  const mobility::gps_fix& fix,
+                                  const pathload_config& cfg) {
+  pathload_result out;
+  double lo = cfg.rate_min_bps;
+  double hi = cfg.rate_max_bps;
+  mobility::gps_fix f = fix;
+
+  bool any_delivered = false;
+  for (int it = 0; it < cfg.max_iterations; ++it) {
+    ++out.iterations;
+    const double rate = (lo + hi) / 2.0;
+    const auto train =
+        engine.udp_train(net, f, rate, cfg.train_len, cfg.packet_bytes);
+    f.time_s += 2.0;  // streams are spaced out (Pathload idles between them)
+
+    std::vector<double> owds;
+    for (std::size_t i = 0; i < train.recv_s.size(); ++i) {
+      if (train.recv_s[i] >= 0.0 && train.send_s[i] >= 0.0) {
+        owds.push_back(train.recv_s[i] - train.send_s[i]);
+      }
+    }
+    const double loss =
+        1.0 - static_cast<double>(owds.size()) /
+                  static_cast<double>(std::max<std::uint32_t>(1, train.sent));
+    if (owds.size() >= 2) any_delivered = true;
+
+    // Heavy loss means the stream overran the link: treat as increasing.
+    const owd_trend trend =
+        loss > 0.2 ? owd_trend::increasing
+                   : classify_trend(owds, cfg.pct_threshold, cfg.pdt_threshold);
+    switch (trend) {
+      case owd_trend::increasing:
+        hi = rate;
+        break;
+      case owd_trend::not_increasing:
+        lo = rate;
+        break;
+      case owd_trend::inconclusive:
+        // Pathload discards grey streams and, under repeated ambiguity,
+        // settles pessimistically: treat the probed rate as not available.
+        // On cellular links most streams are grey, so the bracket walks
+        // down -- the systematic *under*-estimation the paper reports.
+        hi = rate;
+        break;
+    }
+    if ((hi - lo) / hi < cfg.resolution) break;
+  }
+
+  out.valid = any_delivered;
+  out.low_bps = lo;
+  out.high_bps = hi;
+  out.estimate_bps = (lo + hi) / 2.0;
+  return out;
+}
+
+}  // namespace wiscape::bwest

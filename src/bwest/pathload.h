@@ -1,0 +1,52 @@
+// Pathload (Jain & Dovrolis, PAM'02) reimplemented over the simulator.
+//
+// Self-Loading Periodic Streams: send a train at rate R and test whether the
+// one-way delays trend upward (the stream exceeds available bandwidth and
+// queues build). Binary-search R between rmin and rmax until the bracket is
+// tight. On cellular links the bursty per-client scheduler produces delay
+// trends well below the true available rate, so Pathload underestimates
+// (up to ~40% in the paper's Sec 3.3.1) -- the baseline behaviour this
+// implementation reproduces.
+#pragma once
+
+#include "probe/engine.h"
+
+namespace wiscape::bwest {
+
+struct pathload_config {
+  std::uint32_t train_len = 120;
+  std::size_t packet_bytes = 400;
+  double rate_min_bps = 50e3;
+  double rate_max_bps = 8e6;
+  int max_iterations = 12;
+  /// Bracket convergence: stop when (hi - lo) / hi falls below this.
+  double resolution = 0.08;
+  /// Pairwise Comparison Test threshold: a train with a larger fraction of
+  /// increasing consecutive delays is ruled "increasing" (Pathload uses 0.66).
+  double pct_threshold = 0.66;
+  /// Pairwise Difference Test threshold (normalized end-to-start delay
+  /// growth; Pathload's published threshold is 0.55 -- we run slightly more
+  /// sensitive, which matches its conservative behaviour on noisy cellular
+  /// links).
+  double pdt_threshold = 0.45;
+};
+
+struct pathload_result {
+  bool valid = false;
+  double low_bps = 0.0;     ///< final bracket low end
+  double high_bps = 0.0;    ///< final bracket high end
+  double estimate_bps = 0.0;  ///< bracket midpoint
+  int iterations = 0;
+};
+
+/// Runs Pathload for operator `net` from a client at `fix`.
+pathload_result pathload_estimate(probe::probe_engine& engine, std::size_t net,
+                                  const mobility::gps_fix& fix,
+                                  const pathload_config& cfg = {});
+
+/// The trend verdict of one stream: exposed for tests.
+enum class owd_trend { increasing, not_increasing, inconclusive };
+owd_trend classify_trend(const std::vector<double>& one_way_delays,
+                         double pct_threshold, double pdt_threshold);
+
+}  // namespace wiscape::bwest

@@ -1,0 +1,69 @@
+#include "bwest/wbest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace wiscape::bwest {
+
+wbest_result wbest_estimate(probe::probe_engine& engine, std::size_t net,
+                            const mobility::gps_fix& fix,
+                            const wbest_config& cfg) {
+  wbest_result out;
+
+  // Stage 1: packet pairs. Each pair is a 2-packet train sent back-to-back;
+  // the dispersion of the pair at the receiver inverts to a capacity sample.
+  std::vector<double> capacity_samples;
+  mobility::gps_fix f = fix;
+  for (int i = 0; i < cfg.pairs; ++i) {
+    const auto train =
+        engine.udp_train(net, f, cfg.pair_probe_rate_bps, 2, cfg.packet_bytes);
+    f.time_s += 0.25;  // pairs spaced out in wall time
+    if (train.recv_s.size() < 2 || train.recv_s[0] < 0.0 ||
+        train.recv_s[1] < 0.0) {
+      continue;
+    }
+    const double disp = train.recv_s[1] - train.recv_s[0];
+    if (disp <= 0.0) continue;
+    capacity_samples.push_back(static_cast<double>(cfg.packet_bytes) * 8.0 /
+                               disp);
+  }
+  if (capacity_samples.empty()) return out;
+  out.capacity_bps = stats::percentile(capacity_samples, 50.0);
+
+  // Stage 2: a train at rate Ce; its achieved dispersion rate R yields
+  // A = Ce (2 - Ce / R), clamped to [0, Ce].
+  const auto train = engine.udp_train(net, f, out.capacity_bps, cfg.train_len,
+                                      cfg.packet_bytes);
+  // First/last delivered packet bound the receive span.
+  int first = -1, last = -1;
+  int delivered = 0;
+  for (std::size_t i = 0; i < train.recv_s.size(); ++i) {
+    if (train.recv_s[i] < 0.0) continue;
+    if (first < 0) first = static_cast<int>(i);
+    last = static_cast<int>(i);
+    ++delivered;
+  }
+  if (delivered < 2 || train.recv_s[static_cast<std::size_t>(last)] <=
+                           train.recv_s[static_cast<std::size_t>(first)]) {
+    return out;
+  }
+  const double span = train.recv_s[static_cast<std::size_t>(last)] -
+                      train.recv_s[static_cast<std::size_t>(first)];
+  const double dispersion_rate =
+      static_cast<double>(delivered - 1) *
+      static_cast<double>(cfg.packet_bytes) * 8.0 / span;
+
+  out.valid = true;
+  if (dispersion_rate <= out.capacity_bps / 2.0) {
+    out.available_bps = 0.0;  // WBest's saturation cutoff
+  } else {
+    out.available_bps = std::clamp(
+        out.capacity_bps * (2.0 - out.capacity_bps / dispersion_rate), 0.0,
+        out.capacity_bps);
+  }
+  return out;
+}
+
+}  // namespace wiscape::bwest

@@ -1,0 +1,34 @@
+// WBest (Li, Claypool, Kinicki, LCN'08) reimplemented over the simulator.
+//
+// Two-stage algorithm: (1) packet pairs estimate effective capacity Ce from
+// median dispersion; (2) a packet train sent at Ce measures the achieved
+// dispersion rate R, giving available bandwidth A = Ce * (2 - Ce / R).
+// The paper (Sec 3.3.1) found WBest underestimates cellular available
+// bandwidth by up to 70% -- the per-packet scheduling and fading churn of a
+// 3G link violates its FIFO fluid assumptions. Our reimplementation exists
+// to reproduce that baseline failure mode.
+#pragma once
+
+#include "probe/engine.h"
+
+namespace wiscape::bwest {
+
+struct wbest_config {
+  int pairs = 30;              ///< packet pairs in stage 1
+  std::uint32_t train_len = 30;  ///< packets in the stage-2 train
+  std::size_t packet_bytes = 1200;
+  double pair_probe_rate_bps = 50e6;  ///< "back-to-back" sending rate
+};
+
+struct wbest_result {
+  bool valid = false;
+  double capacity_bps = 0.0;   ///< stage-1 effective capacity estimate
+  double available_bps = 0.0;  ///< stage-2 available bandwidth estimate
+};
+
+/// Runs WBest for operator `net` from a client at `fix`.
+wbest_result wbest_estimate(probe::probe_engine& engine, std::size_t net,
+                            const mobility::gps_fix& fix,
+                            const wbest_config& cfg = {});
+
+}  // namespace wiscape::bwest

@@ -1,0 +1,255 @@
+#include "cellnet/cellular_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wiscape::cellnet {
+
+namespace {
+constexpr double seconds_per_day = 86400.0;
+constexpr double busy_hour_s = 18.0 * 3600.0;  // evening demand peak
+
+double dbm_to_mw(double dbm) noexcept { return std::pow(10.0, dbm / 10.0); }
+double mw_to_dbm(double mw) noexcept { return 10.0 * std::log10(mw); }
+}  // namespace
+
+cellular_network::cellular_network(operator_config config, extent area)
+    : config_(std::move(config)),
+      area_(area),
+      shadowing_(stats::rng_stream(config_.seed).fork("shadow"),
+                 config_.macro_shadow_sigma_db, config_.macro_shadow_corr_m,
+                 config_.micro_shadow_sigma_db, config_.micro_shadow_corr_m),
+      burst_seed_(stats::rng_stream(config_.seed).fork("burst")) {
+  if (!(area.width_m > 0.0) || !(area.height_m > 0.0)) {
+    throw std::invalid_argument("cellular_network extent must be positive");
+  }
+  if (!(config_.tower_spacing_m > 0.0)) {
+    throw std::invalid_argument("tower spacing must be positive");
+  }
+
+  stats::rng_stream placement = stats::rng_stream(config_.seed).fork("towers");
+  stats::rng_stream drift_root = stats::rng_stream(config_.seed).fork("drift");
+  stats::rng_stream util_root =
+      stats::rng_stream(config_.seed).fork("tower_util");
+  stats::rng_stream backhaul_root =
+      stats::rng_stream(config_.seed).fork("backhaul");
+
+  // Hexagonal-ish lattice with jitter, padded one ring beyond the extent so
+  // clients near the edge still have a serving cell.
+  const double dx = config_.tower_spacing_m;
+  const double dy = config_.tower_spacing_m * std::sqrt(3.0) / 2.0;
+  const double half_w = area.width_m / 2.0 + dx;
+  const double half_h = area.height_m / 2.0 + dy;
+  int id = 0;
+  int row = 0;
+  for (double y = -half_h; y <= half_h; y += dy, ++row) {
+    const double offset = (row % 2 == 0) ? 0.0 : dx / 2.0;
+    for (double x = -half_w; x <= half_w; x += dx) {
+      geo::xy pos{x + offset + placement.normal(0.0, config_.placement_jitter_m),
+                  y + placement.normal(0.0, config_.placement_jitter_m)};
+      towers_.push_back(tower_state{
+          base_station{id, pos},
+          temporal_field(drift_root.fork(static_cast<std::uint64_t>(id)),
+                         config_.load.drift_sigma, config_.load.drift_tau_s),
+          std::clamp(util_root.fork(static_cast<std::uint64_t>(id))
+                         .normal(0.0, config_.load.tower_spread),
+                     -2.0 * config_.load.tower_spread,
+                     2.0 * config_.load.tower_spread),
+          backhaul_offset(pos, id, backhaul_root)});
+      ++id;
+    }
+  }
+  stations_.reserve(towers_.size());
+  for (const auto& t : towers_) stations_.push_back(t.station);
+}
+
+double cellular_network::backhaul_offset(const geo::xy& pos, int tower_id,
+                                          stats::rng_stream& root) const {
+  double offset;
+  if (config_.backhaul_hub_m > 0.0) {
+    // Hub component shared by all towers homing to the same aggregation
+    // point, plus a small per-tower residual.
+    const auto hx = static_cast<std::int64_t>(
+        std::floor(pos.x_m / config_.backhaul_hub_m));
+    const auto hy = static_cast<std::int64_t>(
+        std::floor(pos.y_m / config_.backhaul_hub_m));
+    const std::uint64_t hub_seed = stats::splitmix64(
+        config_.seed ^ stats::splitmix64(static_cast<std::uint64_t>(hx) * 0x1f123ULL +
+                                         static_cast<std::uint64_t>(hy) + 7));
+    offset = stats::rng_stream(hub_seed).normal(0.0, config_.backhaul_spread_s) +
+             root.fork(static_cast<std::uint64_t>(tower_id))
+                 .normal(0.0, config_.backhaul_spread_s * 0.10);
+  } else {
+    offset = root.fork(static_cast<std::uint64_t>(tower_id))
+                 .normal(0.0, config_.backhaul_spread_s);
+  }
+  return std::max(offset, -0.035);
+}
+
+std::optional<cellular_network::selection> cellular_network::select_station(
+    const geo::xy& p) const {
+  // Consider towers within a generous radius; beyond that path loss makes
+  // them irrelevant to both signal and interference.
+  const double horizon_m = 4.0 * config_.tower_spacing_m;
+  int best = -1;
+  double best_rx = -1e9;
+  double interference_mw = dbm_to_mw(config_.noise_floor_dbm);
+  double total_signal_mw = 0.0;
+  // The shadowing field is a property of the client position, not of the
+  // tower; evaluate it once (it is the expensive term: a sum of hundreds of
+  // cosines).
+  const double shadow_db = shadowing_.at(p);
+  for (const auto& t : towers_) {
+    const double d = geo::distance_m(p, t.station.pos);
+    if (d > horizon_m) continue;
+    const double rx = radio::received_power_dbm(
+        config_.tx_power_dbm, config_.pathloss.loss_db(d), shadow_db);
+    total_signal_mw += dbm_to_mw(rx);
+    if (rx > best_rx) {
+      best_rx = rx;
+      best = t.station.id;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  // Other cells transmit ~half the time on average (activity factor 0.5).
+  constexpr double activity_factor = 0.5;
+  interference_mw += activity_factor * (total_signal_mw - dbm_to_mw(best_rx));
+  return selection{best, best_rx, mw_to_dbm(interference_mw)};
+}
+
+double cellular_network::diurnal(double time_s) const noexcept {
+  const double t = std::fmod(time_s, seconds_per_day);
+  return std::cos(2.0 * std::numbers::pi * (t - busy_hour_s) / seconds_per_day);
+}
+
+double cellular_network::event_boost(const geo::xy& p,
+                                     double time_s) const noexcept {
+  double boost = 0.0;
+  for (const auto& e : events_) {
+    if (time_s < e.start_s || time_s > e.end_s) continue;
+    const double d = geo::distance_m(p, e.center);
+    if (d <= e.radius_m) {
+      boost += e.extra_utilization;
+    } else if (d <= 2.0 * e.radius_m) {
+      // Linear taper in the surrounding ring: nearby cells absorb overflow.
+      boost += e.extra_utilization * (2.0 - d / e.radius_m);
+    }
+  }
+  return boost;
+}
+
+double cellular_network::utilization_at(const geo::xy& p,
+                                        double time_s) const {
+  const auto sel = select_station(p);
+  if (!sel) return 1.0;
+  const auto& tower = towers_[static_cast<std::size_t>(sel->index)];
+
+  double burst_sigma = config_.load.burst_sigma;
+  for (const auto& ts : troubles_) {
+    if (geo::distance_m(p, ts.center) <= ts.radius_m) {
+      burst_sigma += ts.extra_burst_sigma;
+    }
+  }
+  // Fast cross-traffic churn: deterministic hash of (tower, 1-second slot)
+  // mapped through a normal quantile-ish transform (sum of uniforms).
+  const auto slot = static_cast<std::uint64_t>(std::floor(time_s));
+  std::uint64_t h = stats::splitmix64(
+      burst_seed_.seed() ^
+      stats::splitmix64(static_cast<std::uint64_t>(sel->index) * 0x9e37ULL + slot));
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    h = stats::splitmix64(h);
+    acc += static_cast<double>(h >> 11) / 9007199254740992.0;  // [0,1)
+  }
+  const double burst = (acc - 2.0) * std::sqrt(3.0) * burst_sigma;  // ~N(0,sigma)
+
+  const double u = config_.load.base_utilization + tower.util_offset +
+                   config_.load.diurnal_amplitude * diurnal(time_s) +
+                   tower.drift.at(time_s) + burst + event_boost(p, time_s);
+  return std::clamp(u, 0.02, 0.97);
+}
+
+bool cellular_network::in_outage(const geo::xy& p, double time_s) const {
+  constexpr double window_s = 600.0;  // outages last O(10 minutes)
+  const auto w = static_cast<std::uint64_t>(std::floor(time_s / window_s));
+  for (std::size_t i = 0; i < troubles_.size(); ++i) {
+    const auto& ts = troubles_[i];
+    if (geo::distance_m(p, ts.center) > ts.radius_m) continue;
+    const std::uint64_t h =
+        stats::splitmix64(config_.seed ^ stats::splitmix64((i + 1) * 0x51eULL + w));
+    const double u = static_cast<double>(h >> 11) / 9007199254740992.0;
+    if (u < ts.outage_prob) return true;
+  }
+  return false;
+}
+
+link_conditions cellular_network::conditions_at(const geo::xy& p,
+                                                double time_s,
+                                                double sinr_penalty_db) const {
+  link_conditions lc;
+  const auto sel = select_station(p);
+  if (!sel) return lc;  // out of range entirely
+
+  lc.serving_station = sel->index;
+  lc.rx_dbm = sel->rx_dbm - sinr_penalty_db;
+  lc.sinr_db = radio::sinr_db(sel->rx_dbm, sel->interference_noise_dbm) -
+               sinr_penalty_db;
+  if (lc.sinr_db < config_.coverage_sinr_db || in_outage(p, time_s)) {
+    return lc;  // in_coverage stays false; probes will fail here
+  }
+  lc.in_coverage = true;
+  lc.utilization = utilization_at(p, time_s);
+
+  const auto& tech = radio::profile_for(config_.tech);
+  const double se = radio::spectral_efficiency(lc.sinr_db, tech.efficiency);
+  // Equal-grade-of-service fairness: the sector scheduler grants weak users
+  // extra slots, so per-user throughput follows a strongly compressed
+  // function of spectral efficiency, anchored at the reference efficiency:
+  //     eff_se = se_ref * (se / se_ref)^alpha
+  // Below `fairness_floor_se` the compensation runs out of slots and the
+  // rate falls off linearly toward the coverage edge.
+  constexpr double fairness_floor_se = 0.30;
+  const double se_safe = std::max(se, 1e-3);
+  double eff_se = config_.fairness_se_ref *
+                  std::pow(se_safe / config_.fairness_se_ref,
+                           config_.fairness_alpha);
+  eff_se *= std::min(1.0, se_safe / fairness_floor_se);
+  const double peak =
+      config_.capacity_scale *
+      std::min(tech.downlink_cap_bps, tech.bandwidth_hz * eff_se);
+  // The sector share left for this client shrinks with utilization.
+  lc.capacity_bps = std::max(peak * (1.0 - 0.85 * lc.utilization), 16e3);
+  // Uplink: lower UE transmit power makes the link budget tighter, but the
+  // uplink is also less contended (most traffic is downlink, Sec 2); model
+  // it as the technology's uplink cap scaled by the same quality compression
+  // and a milder load factor.
+  const double up_peak =
+      config_.capacity_scale *
+      std::min(tech.uplink_cap_bps, tech.uplink_cap_bps * eff_se / 1.4);
+  lc.uplink_capacity_bps =
+      std::max(up_peak * (1.0 - 0.6 * lc.utilization), 8e3);
+
+  // Queueing at the busy sector inflates the base RTT (M/M/1-flavored);
+  // each tower adds its own persistent backhaul latency.
+  const double base_rtt =
+      tech.base_rtt_s +
+      towers_[static_cast<std::size_t>(sel->index)].rtt_offset_s;
+  lc.rtt_s = base_rtt * (1.0 + config_.latency_load_gain * lc.utilization /
+                                   (1.0 - lc.utilization));
+
+  // Residual loss: small floor, rising only in the last couple of dB before
+  // the coverage edge (RLC retransmission hides radio loss until the link
+  // is nearly gone), plus trouble spots.
+  double loss = config_.base_loss_prob;
+  const double margin_db = lc.sinr_db - config_.coverage_sinr_db;
+  if (margin_db < 2.0) loss += 0.04 * (2.0 - margin_db) / 2.0;
+  for (const auto& ts : troubles_) {
+    if (geo::distance_m(p, ts.center) <= ts.radius_m) loss += 0.01;
+  }
+  lc.loss_prob = std::min(loss, 0.5);
+  return lc;
+}
+
+}  // namespace wiscape::cellnet

@@ -1,0 +1,133 @@
+// One operator's network over a rectangular region: towers, propagation,
+// load, and the link-conditions query used by every probe.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cellnet/operator_config.h"
+#include "cellnet/temporal_field.h"
+#include "geo/projection.h"
+#include "radio/propagation.h"
+
+namespace wiscape::cellnet {
+
+/// One cell site (modelled omni: one sector per site).
+struct base_station {
+  int id = 0;
+  geo::xy pos;
+};
+
+/// A transient localized demand surge (e.g. 80,000 people filling the
+/// UW-Madison football stadium for ~3 hours, Fig 10).
+struct hotspot_event {
+  geo::xy center;
+  double radius_m = 800.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double extra_utilization = 0.55;  ///< added inside the radius, tapering out
+};
+
+/// A persistently misbehaving area (backhaul trouble, interference): extra
+/// outage probability and extra load churn. These are the zones Fig 9's
+/// failed-ping triage is designed to catch.
+struct trouble_spot {
+  geo::xy center;
+  double radius_m = 400.0;
+  double outage_prob = 0.06;        ///< chance a probe window hits an outage
+  double extra_burst_sigma = 0.25;  ///< extra fast churn inside the spot
+};
+
+/// Slow-field link state for one client position & time. Fast fading is
+/// layered on top by the probe engine (it is per-client, not per-network).
+struct link_conditions {
+  bool in_coverage = false;
+  double capacity_bps = 0.0;  ///< achievable downlink rate for this client
+  double uplink_capacity_bps = 0.0;  ///< achievable uplink rate
+  double rtt_s = 0.0;         ///< base round-trip (no queueing by the probe itself)
+  double loss_prob = 0.0;     ///< residual random packet loss
+  double sinr_db = 0.0;
+  double rx_dbm = -120.0;     ///< serving-cell received power (RSSI basis)
+  double utilization = 0.0;   ///< serving sector load in [0, 1)
+  int serving_station = -1;
+};
+
+/// Rectangular region extent in projected meters, centered on the origin.
+struct extent {
+  double width_m = 12000.0;
+  double height_m = 12000.0;
+};
+
+/// One operator's radio access network.
+///
+/// Deterministic: all randomness derives from config.seed, and
+/// conditions_at(p, t) is a pure function of (p, t) *except* for the
+/// random-loss/outage draws made by the caller from the returned
+/// probabilities.
+class cellular_network {
+ public:
+  /// Builds the tower grid and random fields. Throws std::invalid_argument
+  /// on a non-positive extent or tower spacing.
+  cellular_network(operator_config config, extent area);
+
+  const operator_config& config() const noexcept { return config_; }
+  const std::vector<base_station>& stations() const noexcept { return stations_; }
+  const extent& area() const noexcept { return area_; }
+
+  void add_event(const hotspot_event& e) { events_.push_back(e); }
+  void add_trouble_spot(const trouble_spot& t) { troubles_.push_back(t); }
+  const std::vector<hotspot_event>& events() const noexcept { return events_; }
+  const std::vector<trouble_spot>& trouble_spots() const noexcept {
+    return troubles_;
+  }
+
+  /// Slow-field link conditions at a projected position and absolute time.
+  /// `sinr_penalty_db` models a constrained client RF front-end (phones vs
+  /// laptop modems, paper Sec 3.3): it is subtracted from the SINR before
+  /// coverage and rate are derived.
+  link_conditions conditions_at(const geo::xy& p, double time_s,
+                                double sinr_penalty_db = 0.0) const;
+
+  /// Serving-sector utilization in [0.02, 0.97] at (p, t) -- exposed for
+  /// tests and the stadium bench.
+  double utilization_at(const geo::xy& p, double time_s) const;
+
+  /// True when (p, t) falls inside an active trouble-spot outage window.
+  /// Outages are deterministic pseudo-random windows so that repeated pings
+  /// in the same window all fail (the paper's "failed ping" days).
+  bool in_outage(const geo::xy& p, double time_s) const;
+
+ private:
+  struct tower_state {
+    base_station station;
+    temporal_field drift;
+    double util_offset = 0.0;   ///< persistent per-tower load level
+    double rtt_offset_s = 0.0;  ///< persistent per-tower backhaul latency
+  };
+
+  /// Index of the strongest station and its rx power; also accumulates the
+  /// interference sum. Returns nullopt when no station is in range.
+  struct selection {
+    int index;
+    double rx_dbm;
+    double interference_noise_dbm;
+  };
+  std::optional<selection> select_station(const geo::xy& p) const;
+
+  double diurnal(double time_s) const noexcept;
+  double event_boost(const geo::xy& p, double time_s) const noexcept;
+  /// Persistent backhaul latency of a tower (hub component + residual).
+  double backhaul_offset(const geo::xy& pos, int tower_id,
+                         stats::rng_stream& root) const;
+
+  operator_config config_;
+  extent area_;
+  std::vector<tower_state> towers_;
+  std::vector<base_station> stations_;  // flat copy exposed to callers
+  std::vector<hotspot_event> events_;
+  std::vector<trouble_spot> troubles_;
+  radio::composite_shadowing shadowing_;
+  stats::rng_stream burst_seed_;
+};
+
+}  // namespace wiscape::cellnet

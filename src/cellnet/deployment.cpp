@@ -1,0 +1,59 @@
+#include "cellnet/deployment.h"
+
+#include <stdexcept>
+
+namespace wiscape::cellnet {
+
+deployment::deployment(geo::projection proj, extent area,
+                       std::vector<operator_config> operators)
+    : proj_(proj), area_(area) {
+  networks_.reserve(operators.size());
+  for (auto& cfg : operators) {
+    if (index_of(cfg.name) >= 0) {
+      throw std::invalid_argument("duplicate operator name: " + cfg.name);
+    }
+    networks_.push_back(
+        std::make_unique<cellular_network>(std::move(cfg), area));
+  }
+}
+
+std::vector<std::string> deployment::names() const {
+  std::vector<std::string> out;
+  out.reserve(networks_.size());
+  for (const auto& n : networks_) out.push_back(n->config().name);
+  return out;
+}
+
+const cellular_network& deployment::network(std::size_t i) const {
+  return *networks_.at(i);
+}
+
+cellular_network& deployment::network(std::size_t i) {
+  return *networks_.at(i);
+}
+
+int deployment::index_of(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < networks_.size(); ++i) {
+    if (networks_[i]->config().name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const cellular_network& deployment::network(std::string_view name) const {
+  const int i = index_of(name);
+  if (i < 0) throw std::invalid_argument("unknown operator: " + std::string(name));
+  return *networks_[static_cast<std::size_t>(i)];
+}
+
+cellular_network& deployment::network(std::string_view name) {
+  const int i = index_of(name);
+  if (i < 0) throw std::invalid_argument("unknown operator: " + std::string(name));
+  return *networks_[static_cast<std::size_t>(i)];
+}
+
+link_conditions deployment::conditions_at(std::size_t i, const geo::lat_lon& p,
+                                          double time_s) const {
+  return network(i).conditions_at(proj_.to_xy(p), time_s);
+}
+
+}  // namespace wiscape::cellnet

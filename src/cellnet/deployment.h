@@ -1,0 +1,56 @@
+// A multi-operator deployment over one geographic region.
+//
+// WiScape always reasons about several commercial networks covering the same
+// space (NetA/NetB/NetC); deployment bundles the per-operator networks with
+// the shared projection so clients can ask "conditions on network X at my
+// GPS fix".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cellnet/cellular_network.h"
+#include "geo/projection.h"
+
+namespace wiscape::cellnet {
+
+class deployment {
+ public:
+  /// Throws std::invalid_argument on duplicate operator names.
+  deployment(geo::projection proj, extent area,
+             std::vector<operator_config> operators);
+
+  const geo::projection& proj() const noexcept { return proj_; }
+  const extent& area() const noexcept { return area_; }
+
+  std::size_t size() const noexcept { return networks_.size(); }
+
+  /// Operator names in construction order.
+  std::vector<std::string> names() const;
+
+  /// Network by index (construction order). Throws std::out_of_range.
+  const cellular_network& network(std::size_t i) const;
+  cellular_network& network(std::size_t i);
+
+  /// Network by operator name. Throws std::invalid_argument when unknown.
+  const cellular_network& network(std::string_view name) const;
+  cellular_network& network(std::string_view name);
+
+  /// Index of an operator name, or -1 when unknown.
+  int index_of(std::string_view name) const noexcept;
+
+  /// Convenience: conditions for operator `i` at a geographic fix.
+  link_conditions conditions_at(std::size_t i, const geo::lat_lon& p,
+                                double time_s) const;
+
+ private:
+  geo::projection proj_;
+  extent area_;
+  // unique_ptr keeps cellular_network addresses stable; the class itself is
+  // move-only-unfriendly because of internal rng state.
+  std::vector<std::unique_ptr<cellular_network>> networks_;
+};
+
+}  // namespace wiscape::cellnet

@@ -1,0 +1,101 @@
+// Configuration of one cellular operator's deployment over a region.
+//
+// Each of the paper's three operators (NetA/NetB/NetC) is an independent
+// instance: its own tower grid, its own shadowing field, its own load
+// process -- which is precisely why per-zone dominance (Figs 11-13) emerges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "radio/propagation.h"
+#include "radio/technology.h"
+
+namespace wiscape::cellnet {
+
+/// Parameters of the sector load (utilization) process.
+struct load_params {
+  double base_utilization = 0.30;  ///< long-run average busy fraction
+  double diurnal_amplitude = 0.12; ///< peak swing of the daily cycle
+  double drift_sigma = 0.05;       ///< stddev of the slow random drift
+  double drift_tau_s = 4.0 * 3600; ///< decorrelation time of the drift
+  double burst_sigma = 0.08;       ///< per-query fast cross-traffic noise
+  /// Per-tower persistent utilization offset (stddev). Towers differ in
+  /// subscriber density, so each sector has its own long-run load level --
+  /// flat *within* a cell but varying *between* cells. This is what makes
+  /// per-zone operator orderings flip and persistent dominance emerge
+  /// (Figs 11-13) without inflating intra-zone variance (Fig 4).
+  /// Offsets are clamped at +-2 sigma (subscriber density has no fat tail
+  /// at 2011 macro-cell scale).
+  double tower_spread = 0.05;
+};
+
+/// Full static description of one operator.
+struct operator_config {
+  std::string name = "NetB";
+  radio::technology tech = radio::technology::evdo_rev_a;
+  std::uint64_t seed = 1;
+
+  // Deployment geometry.
+  double tower_spacing_m = 1800.0;  ///< hex-ish grid pitch
+  double placement_jitter_m = 300.0;
+
+  // Link budget.
+  double tx_power_dbm = 43.0;          ///< sector EIRP
+  double noise_floor_dbm = -100.0;     ///< thermal noise + rx noise figure
+  radio::pathloss_model pathloss{};
+
+  // Shadowing (macro gives zones identity; micro adds street texture).
+  double macro_shadow_sigma_db = 5.0;
+  double macro_shadow_corr_m = 1500.0;
+  double micro_shadow_sigma_db = 0.5;
+  double micro_shadow_corr_m = 120.0;
+
+  // Coverage edge: below this SINR the link is unusable (pings fail).
+  double coverage_sinr_db = -6.0;
+
+  // Load process.
+  load_params load{};
+
+  // Latency model: rtt = (base_rtt + tower backhaul offset) *
+  //                      (1 + latency_load_gain * u / (1 - u)).
+  double latency_load_gain = 0.36;
+  /// Per-tower backhaul latency offset (stddev, seconds). Each cell site
+  /// reaches the core over its own chain of microwave/leased-line hops, so
+  /// base RTT differs persistently from tower to tower -- much more so on
+  /// rural stretches. This is what gives zones a persistently *better*
+  /// latency network (Fig 11's 85% dominance).
+  double backhaul_spread_s = 0.010;
+  /// Backhaul aggregation-hub size (meters). When > 0, most of the backhaul
+  /// offset is shared by all towers within a hub (sites homing to the same
+  /// aggregation point share its latency), with only a small per-tower
+  /// residual -- so latency differences form contiguous stretches rather
+  /// than flipping at every cell edge. 0 = fully per-tower.
+  double backhaul_hub_m = 0.0;
+  double latency_jitter_sigma_s = 0.003;  ///< per-packet latency noise (IPDV scale)
+
+  // Residual random loss at good SINR. 3G RLC acknowledged mode
+  // retransmits radio losses below TCP, so the residual end-to-end loss is
+  // tiny -- which is why the paper's TCP rates are stable and its UDP loss
+  // is ~0 (Fig 5d/h).
+  double base_loss_prob = 0.0001;
+
+  // Scheduler/backhaul efficiency: multiplies the radio-derived peak rate.
+  // The calibration knob that sets each operator's absolute throughput level.
+  double capacity_scale = 0.6;
+
+  // Equal-grade-of-service scheduling: sector schedulers grant weak users
+  // extra slots, compressing the per-user throughput spread across a cell.
+  // Throughput scales as (se / fairness_se_ref)^fairness_alpha instead of
+  // linearly in spectral efficiency (alpha = 1 disables the compression).
+  // This is what makes 250 m zones near-uniform (paper Fig 4) while zones
+  // kilometres apart still differ.
+  double fairness_alpha = 0.10;
+  double fairness_se_ref = 1.2;
+
+  // Per-client fast fading handed to the probe engine (radio::fading_process).
+  double fading_sigma = 0.10;
+  double fading_tau_s = 2.0;
+};
+
+}  // namespace wiscape::cellnet

@@ -1,0 +1,290 @@
+#include "cellnet/presets.h"
+
+#include <stdexcept>
+
+namespace wiscape::cellnet {
+
+namespace {
+
+std::uint64_t op_seed(std::uint64_t master, std::string_view op,
+                      std::string_view region) {
+  return stats::rng_stream(master).fork(region).fork(op).seed();
+}
+
+/// Baseline common to all operators; per-operator deltas layered on top.
+operator_config base_config() {
+  operator_config c;
+  c.pathloss = radio::pathloss_model{.pl0_db = 38.0, .exponent = 3.3, .d0_m = 1.0};
+  return c;
+}
+
+// ---- Madison (WI): three operators, slow drift, moderate load. --------
+// Calibrated toward Table 3 (NetA ~1.24 Mbps, NetB ~0.85, NetC ~1.07),
+// Table 4 (NetA noisiest at 10 s), Fig 5 (jitter ~7 ms NetA, ~3 ms B/C),
+// and Fig 6 (Allan minimum near 75 min).
+std::vector<operator_config> madison_ops(std::uint64_t seed) {
+  std::vector<operator_config> ops;
+
+  operator_config a = base_config();
+  a.name = "NetA";
+  a.tech = radio::technology::hspa;
+  a.seed = op_seed(seed, "NetA", "madison");
+  a.capacity_scale = 0.37;
+  a.load = {.base_utilization = 0.34,
+            .diurnal_amplitude = 0.030,
+            .drift_sigma = 0.050,
+            .drift_tau_s = 8.0 * 3600,
+            .burst_sigma = 0.04,
+            .tower_spread = 0.05};
+  a.backhaul_spread_s = 0.012;
+  a.latency_jitter_sigma_s = 0.0074;
+  a.fading_sigma = 0.06;
+  ops.push_back(a);
+
+  operator_config b = base_config();
+  b.name = "NetB";
+  b.tech = radio::technology::evdo_rev_a;
+  b.seed = op_seed(seed, "NetB", "madison");
+  b.capacity_scale = 0.95;
+  b.load = {.base_utilization = 0.42,
+            .diurnal_amplitude = 0.025,
+            .drift_sigma = 0.015,
+            .drift_tau_s = 8.0 * 3600,
+            .burst_sigma = 0.015,
+            .tower_spread = 0.05};
+  b.backhaul_spread_s = 0.012;
+  b.latency_jitter_sigma_s = 0.0030;
+  b.fading_sigma = 0.04;
+  ops.push_back(b);
+
+  operator_config c = base_config();
+  c.name = "NetC";
+  c.tech = radio::technology::evdo_rev_a;
+  c.seed = op_seed(seed, "NetC", "madison");
+  c.capacity_scale = 1.20;
+  c.load = {.base_utilization = 0.38,
+            .diurnal_amplitude = 0.025,
+            .drift_sigma = 0.015,
+            .drift_tau_s = 8.0 * 3600,
+            .burst_sigma = 0.015,
+            .tower_spread = 0.05};
+  c.backhaul_spread_s = 0.012;
+  c.latency_jitter_sigma_s = 0.0034;
+  c.fading_sigma = 0.04;
+  ops.push_back(c);
+
+  return ops;
+}
+
+// ---- New Jersey: two operators, faster drift, higher rates & variance. --
+// Calibrated toward Table 3 (NetB ~1.5-1.7 Mbps, NetC ~1.85-2.2 Mbps,
+// stddev 3-4x Madison's), Fig 6 (Allan minimum near 15 min).
+std::vector<operator_config> nj_ops(std::uint64_t seed) {
+  std::vector<operator_config> ops;
+
+  operator_config b = base_config();
+  b.name = "NetB";
+  b.tech = radio::technology::evdo_rev_a;
+  b.seed = op_seed(seed, "NetB", "nj");
+  b.capacity_scale = 1.57;
+  b.load = {.base_utilization = 0.30,
+            .diurnal_amplitude = 0.080,
+            .drift_sigma = 0.085,
+            .drift_tau_s = 2400.0,
+            .burst_sigma = 0.14,
+            .tower_spread = 0.06};
+  b.latency_jitter_sigma_s = 0.0028;
+  b.fading_sigma = 0.14;
+  ops.push_back(b);
+
+  operator_config c = base_config();
+  c.name = "NetC";
+  c.tech = radio::technology::evdo_rev_a;
+  c.seed = op_seed(seed, "NetC", "nj");
+  c.capacity_scale = 1.81;
+  c.load = {.base_utilization = 0.26,
+            .diurnal_amplitude = 0.080,
+            .drift_sigma = 0.080,
+            .drift_tau_s = 2400.0,
+            .burst_sigma = 0.13,
+            .tower_spread = 0.06};
+  c.latency_jitter_sigma_s = 0.0016;
+  c.fading_sigma = 0.13;
+  ops.push_back(c);
+
+  return ops;
+}
+
+// ---- Madison-Chicago corridor: the WiRover strip (NetB, NetC). ---------
+// Sparser rural towers; coverage gets patchier, which feeds Fig 2 (speed vs
+// latency over a long drive) and Fig 11 (dominance across many zones).
+std::vector<operator_config> corridor_ops(std::uint64_t seed) {
+  std::vector<operator_config> ops;
+  for (const char* name : {"NetB", "NetC"}) {
+    operator_config o = base_config();
+    o.name = name;
+    o.tech = radio::technology::evdo_rev_a;
+    o.seed = op_seed(seed, name, "corridor");
+    o.tower_spacing_m = 3200.0;
+    o.placement_jitter_m = 600.0;
+    o.capacity_scale = o.name == "NetB" ? 0.95 : 1.12;
+    o.load = {.base_utilization = 0.30,
+              .diurnal_amplitude = 0.030,
+              .drift_sigma = 0.040,
+              .drift_tau_s = 4.0 * 3600,
+              .burst_sigma = 0.06,
+              .tower_spread = 0.09};
+    o.latency_jitter_sigma_s = o.name == "NetB" ? 0.0030 : 0.0034;
+    o.fading_sigma = 0.045;
+    // Rural backhaul chains differ wildly hub to hub (sites home to the
+    // same aggregation point in ~12 km stretches).
+    o.backhaul_spread_s = 0.075;
+    o.backhaul_hub_m = 12000.0;
+    // Macro shadowing decorrelates faster along a drive than within a city
+    // core (terrain changes), giving different operators different winners
+    // zone by zone.
+    o.macro_shadow_sigma_db = 6.0;
+    o.macro_shadow_corr_m = 1200.0;
+    ops.push_back(o);
+  }
+  return ops;
+}
+
+// ---- Short segment: 20 km stretch, all three operators. ----------------
+// Stronger shadowing contrast so roughly half the zones have a persistently
+// dominant operator (Fig 12's 26/13/13/48 split, Fig 13's per-zone winners).
+std::vector<operator_config> segment_ops(std::uint64_t seed) {
+  std::vector<operator_config> ops = madison_ops(seed);
+  for (auto& o : ops) {
+    o.seed = op_seed(seed, o.name, "segment");
+    o.tower_spacing_m = 2400.0;
+    o.macro_shadow_sigma_db = 6.5;
+    o.macro_shadow_corr_m = 1800.0;
+    // Sparser rural towers shuffle subscriber density harder: per-cell load
+    // levels spread wide, so per-zone operator orderings flip (Fig 12/13).
+    o.load.tower_spread = 0.19;
+    o.backhaul_spread_s = 0.030;
+    // On the open road all three radios behave similarly at short
+    // timescales; dominance comes from the persistent per-cell structure,
+    // not from one network being noisier.
+    o.fading_sigma = 0.03;
+    o.load.burst_sigma = 0.02;
+    // Slow drift folds into each zone's multi-day sample spread; keep it
+    // small so the persistent per-cell gaps stay visible through it.
+    o.load.drift_sigma = 0.02;
+  }
+  // On this stretch the three networks run closer to each other than in the
+  // city core (paper Fig 13: interleaved winners, NetA ahead most often).
+  ops[0].capacity_scale = 0.40;  // NetA
+  ops[1].capacity_scale = 1.10;  // NetB
+  ops[2].capacity_scale = 1.18;  // NetC
+  return ops;
+}
+
+}  // namespace
+
+int operator_count(region_preset r) noexcept {
+  switch (r) {
+    case region_preset::madison:
+    case region_preset::segment:
+      return 3;
+    case region_preset::new_jersey:
+    case region_preset::corridor:
+      return 2;
+  }
+  return 0;
+}
+
+geo::projection preset_projection(region_preset r) {
+  switch (r) {
+    case region_preset::madison:
+    case region_preset::segment:
+      return geo::projection(anchors::madison);
+    case region_preset::new_jersey:
+      return geo::projection(anchors::new_brunswick);
+    case region_preset::corridor:
+      // Projection centered midway down the Madison-Chicago run.
+      return geo::projection(
+          geo::interpolate(anchors::madison, anchors::chicago, 0.5));
+  }
+  throw std::invalid_argument("unknown region preset");
+}
+
+extent preset_extent(region_preset r) noexcept {
+  switch (r) {
+    case region_preset::madison:
+      return {12500.0, 12500.0};  // ~155 sq km
+    case region_preset::new_jersey:
+      return {6000.0, 6000.0};
+    case region_preset::corridor:
+      return {250000.0, 3000.0};  // 240+ km strip
+    case region_preset::segment:
+      return {22000.0, 3000.0};  // 20 km stretch with margin
+  }
+  return {};
+}
+
+std::vector<operator_config> preset_operators(region_preset r,
+                                              std::uint64_t seed) {
+  switch (r) {
+    case region_preset::madison:
+      return madison_ops(seed);
+    case region_preset::new_jersey:
+      return nj_ops(seed);
+    case region_preset::corridor:
+      return corridor_ops(seed);
+    case region_preset::segment:
+      return segment_ops(seed);
+  }
+  throw std::invalid_argument("unknown region preset");
+}
+
+deployment make_deployment(region_preset r, std::uint64_t seed) {
+  return deployment(preset_projection(r), preset_extent(r),
+                    preset_operators(r, seed));
+}
+
+operator_config wifi_mesh_config(std::uint64_t seed) {
+  operator_config w = base_config();
+  w.name = "WiFiMesh";
+  // Reuse the EV-DO rate envelope as a stand-in 802.11b/g mesh backhaul cap;
+  // what matters for the Sec 3.1 contrast is the *churn*, not the cap.
+  w.tech = radio::technology::evdo_rev_a;
+  w.seed = op_seed(seed, "WiFiMesh", "madison");
+  // Dense rooftop nodes, low power, heavy shadowing at street scale.
+  w.tower_spacing_m = 450.0;
+  w.placement_jitter_m = 120.0;
+  w.tx_power_dbm = 23.0;
+  w.pathloss = radio::pathloss_model{.pl0_db = 40.0, .exponent = 3.5, .d0_m = 1.0};
+  w.macro_shadow_sigma_db = 7.0;
+  w.macro_shadow_corr_m = 300.0;
+  w.micro_shadow_sigma_db = 3.0;
+  w.micro_shadow_corr_m = 40.0;
+  w.capacity_scale = 0.8;
+  // Unlicensed-band contention: violent load churn at *all* timescales --
+  // fast bursts AND fast drift, so averaging never finds a quiet plateau
+  // (the reason WiFi epochs are hard to define).
+  w.load = {.base_utilization = 0.45,
+            .diurnal_amplitude = 0.05,
+            .drift_sigma = 0.22,
+            .drift_tau_s = 400.0,
+            .burst_sigma = 0.20};
+  // Random access: no EGoS scheduler flattening rates across the mesh.
+  w.fairness_alpha = 0.8;
+  w.fading_sigma = 0.30;
+  w.fading_tau_s = 0.5;
+  w.latency_jitter_sigma_s = 0.012;
+  w.base_loss_prob = 0.01;
+  return w;
+}
+
+deployment make_wifi_comparison_deployment(std::uint64_t seed) {
+  auto ops = madison_ops(seed);
+  std::vector<operator_config> pair;
+  pair.push_back(ops[1]);  // NetB
+  pair.push_back(wifi_mesh_config(seed));
+  return deployment(preset_projection(region_preset::madison),
+                    preset_extent(region_preset::madison), std::move(pair));
+}
+
+}  // namespace wiscape::cellnet

@@ -1,0 +1,61 @@
+// Region presets mirroring the paper's measurement geography (Table 2).
+//
+//   madison   - 155 sq km city-wide area, three operators, slow load drift
+//               (Allan minimum near ~75 min)
+//   new_jersey- New Brunswick / Princeton spots, two operators (NetB, NetC),
+//               faster-churning and more variable (Allan minimum ~15 min,
+//               higher throughput but higher stddev, Table 3/4)
+//   corridor  - the 240 km Madison-Chicago road stretch (narrow strip)
+//   segment   - the 20 km "Short segment" with pronounced per-zone operator
+//               dominance (Figs 12-13)
+//
+// Every preset is parameterized only by a master seed; operator fields are
+// derived substreams so the three networks are independent.
+#pragma once
+
+#include <cstdint>
+
+#include "cellnet/deployment.h"
+
+namespace wiscape::cellnet {
+
+/// Geographic anchors used by the presets.
+namespace anchors {
+inline constexpr geo::lat_lon madison{43.0731, -89.4012};
+inline constexpr geo::lat_lon chicago{41.8781, -87.6298};
+inline constexpr geo::lat_lon new_brunswick{40.4862, -74.4518};
+/// Camp Randall stadium (the Fig 10 football-game hotspot), ~1.6 km
+/// southwest of the Madison capitol anchor.
+inline constexpr geo::lat_lon camp_randall{43.0699, -89.4124};
+}  // namespace anchors
+
+enum class region_preset { madison, new_jersey, corridor, segment };
+
+/// Operators deployed in a preset (paper Table 2: NJ lacks NetA).
+int operator_count(region_preset r) noexcept;
+
+/// Builds the deployment for a preset. The same (preset, seed) pair always
+/// yields an identical world.
+deployment make_deployment(region_preset r, std::uint64_t seed);
+
+/// Default operator configs for one region, exposed so tests and ablations
+/// can perturb a single knob before constructing a deployment.
+std::vector<operator_config> preset_operators(region_preset r,
+                                              std::uint64_t seed);
+
+/// Projection and extent for a preset (also used by mobility generators).
+geo::projection preset_projection(region_preset r);
+extent preset_extent(region_preset r) noexcept;
+
+/// A WiFi-mesh-style operator over the Madison extent, for the paper's
+/// Sec 3.1 contrast: unlicensed-band random access makes throughput churn
+/// hard at *every* timescale (GoogleWiFi / RoofNet / MadCity Broadband),
+/// so Allan-deviation epochs never stabilize the way cellular ones do.
+/// Modelled as a dense, low-power deployment with violent load churn.
+operator_config wifi_mesh_config(std::uint64_t seed);
+
+/// Deployment with one cellular operator (NetB) and one WiFi mesh over the
+/// same Madison extent, for side-by-side stability comparisons.
+deployment make_wifi_comparison_deployment(std::uint64_t seed);
+
+}  // namespace wiscape::cellnet

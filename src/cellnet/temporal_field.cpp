@@ -1,0 +1,33 @@
+#include "cellnet/temporal_field.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wiscape::cellnet {
+
+temporal_field::temporal_field(stats::rng_stream rng, double sigma,
+                               double tau_s, int components)
+    : sigma_(sigma), tau_s_(tau_s) {
+  if (!(sigma >= 0.0) || !(tau_s > 0.0) || components < 1) {
+    throw std::invalid_argument(
+        "temporal_field requires sigma>=0, tau>0, components>=1");
+  }
+  waves_.reserve(static_cast<std::size_t>(components));
+  for (int i = 0; i < components; ++i) {
+    // Rayleigh-distributed angular frequency with scale 1/tau: most energy
+    // near the decorrelation scale, a tail of faster wiggles.
+    const double r = std::sqrt(-2.0 * std::log(1.0 - rng.uniform()));
+    waves_.push_back(
+        {r / tau_s, rng.uniform(0.0, 2.0 * std::numbers::pi)});
+  }
+  amplitude_ = sigma * std::sqrt(2.0 / static_cast<double>(components));
+}
+
+double temporal_field::at(double t_s) const noexcept {
+  double sum = 0.0;
+  for (const auto& w : waves_) sum += std::cos(w.omega * t_s + w.phase);
+  return amplitude_ * sum;
+}
+
+}  // namespace wiscape::cellnet

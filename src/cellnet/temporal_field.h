@@ -1,0 +1,44 @@
+// Deterministic 1-D Gaussian process in time.
+//
+// Sector utilization must be queryable at arbitrary absolute times by many
+// concurrent clients (conditions_at is const), so the slow random component
+// of load is a *function of t*, not a stateful filter: a sum of random
+// sinusoids whose frequency spread sets the decorrelation time. This is the
+// temporal twin of radio::shadowing_field.
+//
+// The decorrelation time of this process is what positions each region's
+// Allan-deviation minimum (Fig 6): Madison's load drifts slowly (minimum
+// near 75 min), New Brunswick's faster (near 15 min).
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace wiscape::cellnet {
+
+/// Zero-mean stationary Gaussian process x(t) with stddev `sigma` and
+/// decorrelation time `tau_s`.
+class temporal_field {
+ public:
+  /// Throws std::invalid_argument unless sigma >= 0, tau_s > 0, components>=1.
+  temporal_field(stats::rng_stream rng, double sigma, double tau_s,
+                 int components = 48);
+
+  /// Value at absolute time t (seconds).
+  double at(double t_s) const noexcept;
+
+  double sigma() const noexcept { return sigma_; }
+  double tau_s() const noexcept { return tau_s_; }
+
+ private:
+  struct wave {
+    double omega, phase;
+  };
+  std::vector<wave> waves_;
+  double sigma_;
+  double tau_s_;
+  double amplitude_;
+};
+
+}  // namespace wiscape::cellnet

@@ -1,0 +1,124 @@
+#include "core/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "stats/summary.h"
+
+namespace wiscape::core {
+
+namespace {
+
+/// Longest run of consecutive integers in a sorted unique set.
+int longest_consecutive_run(const std::set<int>& days) {
+  int best = 0;
+  int run = 0;
+  int prev = std::numeric_limits<int>::min();
+  for (int d : days) {
+    run = (d == prev + 1) ? run + 1 : 1;
+    best = std::max(best, run);
+    prev = d;
+  }
+  return best;
+}
+
+}  // namespace
+
+failed_ping_report analyze_failed_pings(const trace::dataset& ds,
+                                        const geo::zone_grid& grid,
+                                        std::string_view network,
+                                        const failed_ping_config& cfg) {
+  // Per zone: TCP throughput samples and days with >= 1 failed ping.
+  std::unordered_map<geo::zone_id, std::vector<double>, geo::zone_id_hash> tcp;
+  std::unordered_map<geo::zone_id, std::set<int>, geo::zone_id_hash> fail_days;
+
+  for (const auto& r : ds.records()) {
+    if (!network.empty() && r.network != network) continue;
+    const geo::zone_id z = grid.zone_of(r.pos);
+    if (r.kind == trace::probe_kind::tcp_download && r.success) {
+      tcp[z].push_back(r.throughput_bps);
+    } else if (r.kind == trace::probe_kind::ping && r.ping_failures > 0) {
+      fail_days[z].insert(static_cast<int>(std::floor(r.time_s / 86400.0)));
+    }
+  }
+
+  failed_ping_report rep;
+  std::size_t high_var_total = 0;
+  std::size_t high_var_flagged = 0;
+  for (const auto& [zone, samples] : tcp) {
+    if (samples.size() < cfg.min_tcp_samples) continue;
+    const double rel = stats::relative_stddev(samples);
+    ++rep.zones_total;
+    rep.all_rel_stddev.push_back(rel);
+
+    bool flagged = false;
+    const auto it = fail_days.find(zone);
+    if (it != fail_days.end() &&
+        longest_consecutive_run(it->second) >= cfg.min_consecutive_days) {
+      flagged = true;
+      ++rep.zones_flagged;
+      rep.flagged_rel_stddev.push_back(rel);
+    }
+    if (rel > cfg.high_variability) {
+      ++high_var_total;
+      if (flagged) ++high_var_flagged;
+    }
+  }
+  rep.high_variability_caught =
+      high_var_total > 0
+          ? static_cast<double>(high_var_flagged) / static_cast<double>(high_var_total)
+          : 0.0;
+  return rep;
+}
+
+std::vector<surge> detect_surges(const stats::time_series& series,
+                                 double bin_s, double factor_threshold,
+                                 double min_duration_s) {
+  std::vector<surge> out;
+  if (series.empty() || !(bin_s > 0.0)) return out;
+
+  // Bin means keyed by bin index so we keep wall-clock positions.
+  std::map<std::int64_t, stats::running_stats> bins;
+  for (const auto& s : series.samples()) {
+    bins[static_cast<std::int64_t>(std::floor(s.time_s / bin_s))].add(s.value);
+  }
+  std::vector<double> means;
+  means.reserve(bins.size());
+  for (const auto& [_, rs] : bins) means.push_back(rs.mean());
+  const double baseline = stats::percentile(means, 50.0);
+  if (baseline <= 0.0) return out;
+
+  std::optional<surge> open;
+  std::int64_t prev_idx = 0;
+  for (const auto& [idx, rs] : bins) {
+    const bool elevated = rs.mean() > factor_threshold * baseline;
+    const bool contiguous = open && idx == prev_idx + 1;
+    if (elevated && open && contiguous) {
+      open->end_s = static_cast<double>(idx + 1) * bin_s;
+      open->peak = std::max(open->peak, rs.mean());
+    } else if (elevated) {
+      if (open) {
+        // Close the previous (non-contiguous) run first.
+        if (open->end_s - open->start_s >= min_duration_s) out.push_back(*open);
+      }
+      open = surge{static_cast<double>(idx) * bin_s,
+                   static_cast<double>(idx + 1) * bin_s, baseline, rs.mean(),
+                   0.0};
+    } else if (open) {
+      if (open->end_s - open->start_s >= min_duration_s) out.push_back(*open);
+      open.reset();
+    }
+    prev_idx = idx;
+  }
+  if (open && open->end_s - open->start_s >= min_duration_s) {
+    out.push_back(*open);
+  }
+  for (auto& s : out) s.factor = s.peak / s.baseline;
+  return out;
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,65 @@
+// Operator-facing triage (Sec 4.1).
+//
+// High-variability zones are hard to see directly from sparse client
+// samples, but cheap side-signals give them away: zones whose ping tests
+// keep failing day after day are overwhelmingly the zones whose TCP
+// throughput is wildly variable (Fig 9). analyze_failed_pings reproduces
+// that cross-check over any dataset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "geo/zone_grid.h"
+#include "trace/dataset.h"
+
+namespace wiscape::core {
+
+struct failed_ping_config {
+  /// A zone is flagged when it has at least one failed ping per day for this
+  /// many consecutive days (paper: 20).
+  int min_consecutive_days = 20;
+  /// Zones need this many TCP samples for a meaningful rel-stddev (paper: 200).
+  std::size_t min_tcp_samples = 200;
+  /// "Highly variable" threshold on relative stddev (paper: 20%).
+  double high_variability = 0.20;
+};
+
+struct failed_ping_report {
+  /// TCP-throughput relative stddev for every qualifying zone.
+  std::vector<double> all_rel_stddev;
+  /// Same, restricted to flagged (persistent-ping-failure) zones.
+  std::vector<double> flagged_rel_stddev;
+  std::size_t zones_total = 0;
+  std::size_t zones_flagged = 0;
+  /// Of zones above the high-variability threshold, the fraction that the
+  /// failed-ping rule catches (paper: 97%).
+  double high_variability_caught = 0.0;
+};
+
+/// Cross-references ping failures against TCP variability per zone.
+/// `network` selects one operator (empty = all records).
+failed_ping_report analyze_failed_pings(const trace::dataset& ds,
+                                        const geo::zone_grid& grid,
+                                        std::string_view network,
+                                        const failed_ping_config& cfg = {});
+
+/// A sustained latency surge detected in a zone's binned series (Fig 10:
+/// the football game shows up as a ~3.7x RTT increase for ~3 hours).
+struct surge {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double baseline = 0.0;
+  double peak = 0.0;
+  double factor = 0.0;  ///< peak / baseline
+};
+
+/// Finds contiguous runs of `bin_s`-binned means exceeding
+/// `factor_threshold` x the median bin value, lasting at least
+/// `min_duration_s`. Returns runs in time order.
+std::vector<surge> detect_surges(const stats::time_series& series,
+                                 double bin_s = 600.0,
+                                 double factor_threshold = 2.0,
+                                 double min_duration_s = 1800.0);
+
+}  // namespace wiscape::core

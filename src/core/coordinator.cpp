@@ -1,0 +1,192 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wiscape::core {
+
+coordinator::coordinator(geo::zone_grid grid, std::vector<std::string> networks,
+                         coordinator_config cfg, std::uint64_t seed)
+    : grid_(std::move(grid)),
+      networks_(std::move(networks)),
+      cfg_(cfg),
+      table_(cfg.change_sigma_factor),
+      epochs_(cfg.epochs),
+      planner_(cfg.planner),
+      rng_(seed) {}
+
+coordinator::zone_state& coordinator::state_of(const geo::zone_id& z) {
+  auto it = zones_.find(z);
+  if (it == zones_.end()) {
+    it = zones_
+             .emplace(z, zone_state{cfg_.epochs.default_epoch_s,
+                                    cfg_.default_samples_per_epoch,
+                                    {}})
+             .first;
+  }
+  return it->second;
+}
+
+trace::metric coordinator::planning_metric(trace::probe_kind k) noexcept {
+  switch (k) {
+    case trace::probe_kind::tcp_download:
+      return trace::metric::tcp_throughput_bps;
+    case trace::probe_kind::udp_burst:
+      return trace::metric::udp_throughput_bps;
+    case trace::probe_kind::ping:
+      return trace::metric::rtt_s;
+    case trace::probe_kind::udp_uplink:
+      return trace::metric::uplink_throughput_bps;
+  }
+  return trace::metric::rtt_s;
+}
+
+std::optional<measurement_task> coordinator::checkin(
+    const geo::lat_lon& pos, double time_s, std::size_t network_index,
+    std::size_t active_clients_in_zone, std::uint64_t client_id) {
+  const geo::zone_id z = grid_.zone_of(pos);
+  zone_state& st = state_of(z);
+  if (network_index >= networks_.size()) return std::nullopt;
+
+  // How many samples has the open epoch of this zone's planning stream
+  // accumulated? (Tracked on the probe kind we would issue next.)
+  const auto kind = static_cast<trace::probe_kind>(task_counter_ % 3);
+  const estimate_key key{z, networks_[network_index], planning_metric(kind)};
+  const std::size_t have = table_.open_epoch_samples(key);
+  if (have >= st.samples_target) return std::nullopt;
+
+  // Per-client budget guard: a device that already spent its day's
+  // allowance is left alone (Sec 3.4's overhead knob).
+  double task_mb = 0.0;
+  switch (kind) {
+    case trace::probe_kind::tcp_download:
+      task_mb = cfg_.tcp_task_mb;
+      break;
+    case trace::probe_kind::udp_burst:
+      task_mb = cfg_.udp_task_mb;
+      break;
+    case trace::probe_kind::ping:
+      task_mb = cfg_.ping_task_mb;
+      break;
+    case trace::probe_kind::udp_uplink:
+      task_mb = cfg_.udp_task_mb;
+      break;
+  }
+  budget_state* budget = nullptr;
+  if (client_id != 0 && cfg_.client_daily_budget_mb > 0.0) {
+    budget = &budgets_[client_id];
+    const auto day = static_cast<std::int64_t>(std::floor(time_s / 86400.0));
+    if (budget->day != day) {
+      budget->day = day;
+      budget->spent_mb = 0.0;
+    }
+    if (budget->spent_mb + task_mb > cfg_.client_daily_budget_mb) {
+      return std::nullopt;
+    }
+  }
+
+  const std::size_t remaining = st.samples_target - have;
+  // Expected samples this epoch ~= p * active clients * checkins left; the
+  // paper's minimal form: select each active client with probability
+  // remaining/active (clamped).
+  const double p = std::min(
+      1.0, static_cast<double>(remaining) /
+               static_cast<double>(std::max<std::size_t>(1, active_clients_in_zone)));
+  if (!rng_.chance(p)) return std::nullopt;
+
+  ++task_counter_;
+  if (budget != nullptr) budget->spent_mb += task_mb;
+  return measurement_task{kind, network_index};
+}
+
+double coordinator::client_spend_mb(std::uint64_t client_id,
+                                    double time_s) const {
+  const auto it = budgets_.find(client_id);
+  if (it == budgets_.end()) return 0.0;
+  const auto day = static_cast<std::int64_t>(std::floor(time_s / 86400.0));
+  return it->second.day == day ? it->second.spent_mb : 0.0;
+}
+
+void coordinator::report(const trace::measurement_record& rec) {
+  const geo::zone_id z = grid_.zone_of(rec.pos);
+  zone_state& st = state_of(z);
+
+  // Fold every metric the record carries into the table.
+  static constexpr trace::metric all_metrics[] = {
+      trace::metric::tcp_throughput_bps, trace::metric::udp_throughput_bps,
+      trace::metric::loss_rate, trace::metric::jitter_s, trace::metric::rtt_s,
+      trace::metric::uplink_throughput_bps};
+  for (const trace::metric m : all_metrics) {
+    if (trace::kind_for(m) != rec.kind) continue;
+    if (!rec.success) continue;
+    table_.add_sample({z, rec.network, m}, rec.time_s, trace::value_of(rec, m),
+                      st.epoch_s);
+  }
+
+  // Epoch-estimation history tracks the planning metric of the record kind.
+  if (rec.success) {
+    auto& series = st.history[rec.network];
+    series.add(rec.time_s, trace::value_of(rec, planning_metric(rec.kind)));
+    if (series.size() > cfg_.history_cap) {
+      // Drop the oldest half to bound memory while keeping a long window.
+      const auto& samples = series.samples();
+      stats::time_series trimmed(std::vector<stats::sample>(
+          samples.begin() + static_cast<std::ptrdiff_t>(samples.size() / 2),
+          samples.end()));
+      series = std::move(trimmed);
+    }
+  }
+}
+
+void coordinator::recompute_epochs() {
+  for (auto& [zone, st] : zones_) {
+    // Use the longest per-network history in this zone.
+    const stats::time_series* best = nullptr;
+    for (const auto& [net, series] : st.history) {
+      if (!best || series.size() > best->size()) best = &series;
+    }
+    if (!best || best->size() < 32) continue;
+    st.epoch_s = epochs_.epoch_for(*best);
+  }
+}
+
+std::size_t coordinator::refine_sample_target(const geo::zone_id& zone,
+                                              std::string_view network,
+                                              trace::metric metric) {
+  auto it = zones_.find(zone);
+  if (it == zones_.end()) return cfg_.default_samples_per_epoch;
+  zone_state& st = it->second;
+  const auto hist = st.history.find(std::string(network));
+  (void)metric;  // histories are keyed per network on the planning metric
+  if (hist == st.history.end() ||
+      hist->second.size() < cfg_.planner.step * 4) {
+    return st.samples_target;
+  }
+  const auto values = hist->second.values();
+  st.samples_target = planner_.samples_needed(values, rng_);
+  return st.samples_target;
+}
+
+zone_status coordinator::status_of(const geo::zone_id& zone) const {
+  zone_status out;
+  const auto it = zones_.find(zone);
+  if (it == zones_.end()) {
+    out.epoch_duration_s = cfg_.epochs.default_epoch_s;
+    out.samples_target = cfg_.default_samples_per_epoch;
+    return out;
+  }
+  out.epoch_duration_s = it->second.epoch_s;
+  out.samples_target = it->second.samples_target;
+  // Report the fullest open stream across networks/metrics for this zone.
+  for (const auto& net : networks_) {
+    for (const trace::metric m :
+         {trace::metric::tcp_throughput_bps, trace::metric::udp_throughput_bps,
+          trace::metric::rtt_s}) {
+      out.open_epoch_samples = std::max(
+          out.open_epoch_samples, table_.open_epoch_samples({zone, net, m}));
+    }
+  }
+  return out;
+}
+
+}  // namespace wiscape::core

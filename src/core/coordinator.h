@@ -1,0 +1,131 @@
+// The WiScape measurement coordinator (Sec 3.4, "Putting it all together").
+//
+// Clients periodically report their coarse zone; the coordinator hands back
+// measurement tasks with a probability tuned so each zone-epoch accumulates
+// just enough samples (the sample_planner's count), no more. Reported
+// measurements flow into the zone_table, whose epoch rollovers publish
+// estimates and raise >2-sigma change alerts. Epoch durations are
+// re-estimated per zone from accumulated history via the Allan minimum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/epoch_estimator.h"
+#include "core/sample_planner.h"
+#include "core/zone_table.h"
+#include "stats/time_series.h"
+#include "trace/record.h"
+
+namespace wiscape::core {
+
+struct coordinator_config {
+  double zone_radius_m = 250.0;  ///< the paper's chosen zone scale
+  /// Samples wanted per zone-epoch before planner-refined counts exist
+  /// ("around 100 measurement samples", Sec 1).
+  std::size_t default_samples_per_epoch = 100;
+  double change_sigma_factor = 2.0;
+  epoch_config epochs{};
+  planner_config planner{};
+  /// History length (samples) per (zone, network) kept for epoch
+  /// re-estimation; bounded so a long-running coordinator stays small.
+  std::size_t history_cap = 4096;
+  /// Per-client measurement budget, MB per day (0 = unlimited). The
+  /// coordinator stops tasking a client whose day's probes already cost
+  /// this much -- the Sec 3.4 bandwidth/energy-cost knob made explicit.
+  double client_daily_budget_mb = 0.0;
+  /// Estimated cost charged per issued task, by probe kind (MB). Defaults
+  /// price a 1 MB TCP download, a 100x1200 B UDP burst and a ping train.
+  double tcp_task_mb = 1.02;
+  double udp_task_mb = 0.12;
+  double ping_task_mb = 0.002;
+};
+
+/// A measurement instruction handed to a client.
+struct measurement_task {
+  trace::probe_kind kind = trace::probe_kind::udp_burst;
+  std::size_t network_index = 0;
+};
+
+/// Per-zone coordination state, exposed read-only for tools/benches.
+struct zone_status {
+  double epoch_duration_s = 0.0;
+  std::size_t samples_target = 0;
+  std::size_t open_epoch_samples = 0;
+};
+
+class coordinator {
+ public:
+  coordinator(geo::zone_grid grid, std::vector<std::string> networks,
+              coordinator_config cfg, std::uint64_t seed);
+
+  const geo::zone_grid& grid() const noexcept { return grid_; }
+  const zone_table& table() const noexcept { return table_; }
+  const coordinator_config& config() const noexcept { return cfg_; }
+
+  /// Client check-in: "I am at `pos` at time `t`, able to probe network
+  /// `network_index`; about `active_clients_in_zone` peers are here too."
+  /// Returns a task with probability (remaining samples needed this epoch) /
+  /// (active clients), so the fleet collectively lands near the target.
+  /// `client_id` identifies the device for per-client budget accounting
+  /// (0 = anonymous, never budget-limited).
+  std::optional<measurement_task> checkin(const geo::lat_lon& pos,
+                                          double time_s,
+                                          std::size_t network_index,
+                                          std::size_t active_clients_in_zone,
+                                          std::uint64_t client_id = 0);
+
+  /// MB charged against a client's budget today (diagnostics / tests).
+  double client_spend_mb(std::uint64_t client_id, double time_s) const;
+
+  /// Ingests a completed measurement. Updates the zone table (all metrics
+  /// the record carries) and the zone's epoch-estimation history.
+  void report(const trace::measurement_record& rec);
+
+  /// Re-estimates the epoch duration of every zone with enough history
+  /// (Allan minimum). Cheap enough to call periodically.
+  void recompute_epochs();
+
+  /// Refines a zone's sample target from collected history via the NKLD
+  /// planner. No-op (returns current target) when history is too small.
+  std::size_t refine_sample_target(const geo::zone_id& zone,
+                                   std::string_view network,
+                                   trace::metric metric);
+
+  zone_status status_of(const geo::zone_id& zone) const;
+  const std::vector<change_alert>& alerts() const noexcept {
+    return table_.alerts();
+  }
+
+ private:
+  struct zone_state {
+    double epoch_s;
+    std::size_t samples_target;
+    // (network index -> metric history used for epoch/NKLD estimation)
+    std::unordered_map<std::string, stats::time_series> history;
+  };
+
+  zone_state& state_of(const geo::zone_id& z);
+  /// The primary metric driving sampling decisions for a probe kind.
+  static trace::metric planning_metric(trace::probe_kind k) noexcept;
+
+  geo::zone_grid grid_;
+  std::vector<std::string> networks_;
+  coordinator_config cfg_;
+  zone_table table_;
+  epoch_estimator epochs_;
+  sample_planner planner_;
+  stats::rng_stream rng_;
+  std::unordered_map<geo::zone_id, zone_state, geo::zone_id_hash> zones_;
+  // Round-robin over probe kinds so every metric family gets samples.
+  std::uint64_t task_counter_ = 0;
+
+  struct budget_state {
+    std::int64_t day = -1;
+    double spent_mb = 0.0;
+  };
+  std::unordered_map<std::uint64_t, budget_state> budgets_;
+};
+
+}  // namespace wiscape::core

@@ -1,0 +1,66 @@
+#include "core/diurnal.h"
+
+#include <cmath>
+
+namespace wiscape::core {
+
+int diurnal_profile::hour_of(double time_s) noexcept {
+  double t = std::fmod(time_s, 86400.0);
+  if (t < 0.0) t += 86400.0;
+  const int h = static_cast<int>(t / 3600.0);
+  return h < 24 ? h : 23;
+}
+
+void diurnal_profile::add(double time_s, double value) {
+  hours_[static_cast<std::size_t>(hour_of(time_s))].add(value);
+}
+
+void diurnal_profile::add_series(const stats::time_series& series) {
+  for (const auto& s : series.samples()) add(s.time_s, s.value);
+}
+
+std::optional<double> diurnal_profile::expected(
+    double time_s, std::size_t min_samples) const {
+  const auto& h = hours_[static_cast<std::size_t>(hour_of(time_s))];
+  if (h.count() < min_samples) return std::nullopt;
+  return h.mean();
+}
+
+std::optional<double> diurnal_profile::expected_or_overall(
+    double time_s) const {
+  if (const auto hourly = expected(time_s)) return hourly;
+  stats::running_stats all;
+  for (const auto& h : hours_) all.merge(h);
+  if (all.empty()) return std::nullopt;
+  return all.mean();
+}
+
+std::optional<double> diurnal_profile::zscore(double time_s, double value,
+                                              std::size_t min_samples) const {
+  const auto& h = hours_[static_cast<std::size_t>(hour_of(time_s))];
+  if (h.count() < min_samples || h.stddev() <= 0.0) return std::nullopt;
+  return (value - h.mean()) / h.stddev();
+}
+
+std::optional<double> diurnal_profile::peak_to_trough(
+    std::size_t min_samples) const {
+  double peak = -1.0, trough = -1.0;
+  int qualified = 0;
+  for (const auto& h : hours_) {
+    if (h.count() < min_samples) continue;
+    ++qualified;
+    const double m = h.mean();
+    if (peak < 0.0 || m > peak) peak = m;
+    if (trough < 0.0 || m < trough) trough = m;
+  }
+  if (qualified < 2 || trough <= 0.0) return std::nullopt;
+  return peak / trough;
+}
+
+std::size_t diurnal_profile::total_samples() const noexcept {
+  std::size_t n = 0;
+  for (const auto& h : hours_) n += h.count();
+  return n;
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,54 @@
+// Time-of-day profiles: WiScape's answer when the current epoch is empty.
+//
+// Zone estimates go stale between epochs, and some zones see no client for
+// hours. Cellular load is strongly diurnal (the paper's stadium aside, most
+// temporal structure is the daily cycle), so a per-zone hour-of-day profile
+// is the natural fallback estimate -- and deviations from the profile are a
+// sharper anomaly signal than deviations from a global mean.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "stats/running_stats.h"
+#include "stats/time_series.h"
+
+namespace wiscape::core {
+
+/// Hour-of-day profile of a metric (24 bins, local time == simulation time).
+class diurnal_profile {
+ public:
+  /// Accumulates one observation.
+  void add(double time_s, double value);
+
+  /// Folds a whole series in.
+  void add_series(const stats::time_series& series);
+
+  /// Mean for the hour containing `time_s`; nullopt when that hour has
+  /// fewer than `min_samples` observations.
+  std::optional<double> expected(double time_s,
+                                 std::size_t min_samples = 5) const;
+
+  /// Blended estimate: the hour's mean when available, otherwise the
+  /// all-hours mean; nullopt when the profile is empty.
+  std::optional<double> expected_or_overall(double time_s) const;
+
+  /// z-score of an observation against its hour (needs >= min_samples and a
+  /// positive stddev in that hour); the anomaly signal.
+  std::optional<double> zscore(double time_s, double value,
+                               std::size_t min_samples = 5) const;
+
+  /// Peak-hour mean divided by trough-hour mean (daily swing; 1 = flat).
+  /// Only hours with >= min_samples participate; nullopt when fewer than two
+  /// hours qualify.
+  std::optional<double> peak_to_trough(std::size_t min_samples = 5) const;
+
+  const stats::running_stats& hour(int h) const { return hours_.at(h); }
+  std::size_t total_samples() const noexcept;
+
+ private:
+  static int hour_of(double time_s) noexcept;
+  std::array<stats::running_stats, 24> hours_{};
+};
+
+}  // namespace wiscape::core

@@ -1,0 +1,121 @@
+#include "core/dominance.h"
+
+#include <algorithm>
+
+#include "stats/summary.h"
+
+namespace wiscape::core {
+
+preference preference_for(trace::metric m) noexcept {
+  switch (m) {
+    case trace::metric::tcp_throughput_bps:
+    case trace::metric::udp_throughput_bps:
+    case trace::metric::uplink_throughput_bps:
+      return preference::higher_is_better;
+    case trace::metric::loss_rate:
+    case trace::metric::jitter_s:
+    case trace::metric::rtt_s:
+      return preference::lower_is_better;
+  }
+  return preference::lower_is_better;
+}
+
+int dominant_network(const std::vector<std::vector<double>>& per_network,
+                     preference pref, const dominance_config& cfg) {
+  const std::size_t n = per_network.size();
+  if (n < 2) return -1;
+  for (const auto& samples : per_network) {
+    if (samples.size() < cfg.min_samples_per_network) return -1;
+  }
+
+  // Candidate winner: best mean.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double a = stats::mean(per_network[i]);
+    const double b = stats::mean(per_network[best]);
+    if (pref == preference::higher_is_better ? a > b : a < b) best = i;
+  }
+
+  // Dominance check: the winner's worst tail must beat everyone else's best
+  // tail.
+  if (pref == preference::higher_is_better) {
+    const double winner_low = stats::percentile(per_network[best], cfg.low_pct);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == best) continue;
+      if (winner_low <= stats::percentile(per_network[i], cfg.high_pct)) {
+        return -1;
+      }
+    }
+  } else {
+    const double winner_high =
+        stats::percentile(per_network[best], cfg.high_pct);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == best) continue;
+      if (winner_high >= stats::percentile(per_network[i], cfg.low_pct)) {
+        return -1;
+      }
+    }
+  }
+  return static_cast<int>(best);
+}
+
+dominance_summary analyze_dominance(const trace::dataset& ds,
+                                    const geo::zone_grid& grid,
+                                    trace::metric metric,
+                                    const std::vector<std::string>& networks,
+                                    const dominance_config& cfg) {
+  const trace::probe_kind kind = trace::kind_for(metric);
+  // zone -> per-network samples
+  std::unordered_map<geo::zone_id, std::vector<std::vector<double>>,
+                     geo::zone_id_hash>
+      by_zone;
+  for (const auto& r : ds.records()) {
+    if (!r.success || r.kind != kind) continue;
+    const auto net =
+        std::find(networks.begin(), networks.end(), r.network);
+    if (net == networks.end()) continue;
+    auto& bucket = by_zone[grid.zone_of(r.pos)];
+    bucket.resize(networks.size());
+    bucket[static_cast<std::size_t>(net - networks.begin())].push_back(
+        trace::value_of(r, metric));
+  }
+
+  dominance_summary out;
+  out.wins.assign(networks.size(), 0);
+  const preference pref = preference_for(metric);
+  for (auto& [zone, samples] : by_zone) {
+    samples.resize(networks.size());
+    bool enough = true;
+    for (const auto& s : samples) {
+      if (s.size() < cfg.min_samples_per_network) {
+        enough = false;
+        break;
+      }
+    }
+    if (!enough) continue;
+
+    zone_dominance zd;
+    zd.zone = zone;
+    zd.winner = dominant_network(samples, pref, cfg);
+    for (const auto& s : samples) zd.means.push_back(stats::mean(s));
+    if (zd.winner >= 0) {
+      ++out.wins[static_cast<std::size_t>(zd.winner)];
+    } else {
+      ++out.none;
+    }
+    out.zones.push_back(std::move(zd));
+  }
+  // Deterministic ordering for reports: sort by zone id.
+  std::sort(out.zones.begin(), out.zones.end(),
+            [](const zone_dominance& a, const zone_dominance& b) {
+              return a.zone < b.zone;
+            });
+  out.dominated_fraction =
+      out.zones.empty()
+          ? 0.0
+          : 1.0 - static_cast<double>(out.none) /
+                      static_cast<double>(out.zones.size());
+  return out;
+}
+
+}  // namespace wiscape::core

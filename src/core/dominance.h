@@ -1,0 +1,61 @@
+// Persistent network dominance (Sec 4.2.1).
+//
+// "When the lower 5 percentile of the best network's metric is better than
+// the upper 95 percentile of other networks in a given zone, we say the zone
+// is persistently dominated by the best network." Such dominance is stable
+// over time, hence observable by WiScape's infrequent sampling, and it is
+// what makes multi-network applications (multi-sim, MAR) profitable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/zone_grid.h"
+#include "trace/dataset.h"
+
+namespace wiscape::core {
+
+/// Which direction wins for a metric.
+enum class preference {
+  higher_is_better,  ///< throughput
+  lower_is_better,   ///< latency, loss, jitter
+};
+
+preference preference_for(trace::metric m) noexcept;
+
+struct dominance_config {
+  double low_pct = 5.0;
+  double high_pct = 95.0;
+  std::size_t min_samples_per_network = 20;
+};
+
+/// Index of the persistently dominant network given per-network sample sets,
+/// or -1 when no network dominates (or any network lacks samples).
+int dominant_network(const std::vector<std::vector<double>>& per_network,
+                     preference pref, const dominance_config& cfg = {});
+
+/// Zone-by-zone dominance over a dataset.
+struct zone_dominance {
+  geo::zone_id zone;
+  int winner = -1;  ///< index into `networks`, -1 = none
+  std::vector<double> means;  ///< per-network mean of the metric
+};
+
+struct dominance_summary {
+  std::vector<zone_dominance> zones;
+  std::vector<std::size_t> wins;  ///< per network
+  std::size_t none = 0;
+  /// Fraction of zones with some dominant network.
+  double dominated_fraction = 0.0;
+};
+
+/// Evaluates dominance of `metric` per grid zone across `networks`.
+/// Only zones where every network has >= cfg.min_samples_per_network
+/// successful samples participate.
+dominance_summary analyze_dominance(const trace::dataset& ds,
+                                    const geo::zone_grid& grid,
+                                    trace::metric metric,
+                                    const std::vector<std::string>& networks,
+                                    const dominance_config& cfg = {});
+
+}  // namespace wiscape::core

@@ -1,0 +1,35 @@
+#include "core/epoch_estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wiscape::core {
+
+epoch_estimator::epoch_estimator(epoch_config cfg) : cfg_(cfg) {
+  if (!(cfg_.min_epoch_s > 0.0) || !(cfg_.max_epoch_s >= cfg_.min_epoch_s)) {
+    throw std::invalid_argument("epoch_config: bad epoch clamp range");
+  }
+  taus_ = stats::log_spaced_taus(cfg_.scan_lo_s, cfg_.scan_hi_s,
+                                 cfg_.scan_points);
+}
+
+double epoch_estimator::epoch_for(const stats::time_series& series) const {
+  const auto curve = stats::allan_curve(series, taus_);
+  if (curve.empty()) return cfg_.default_epoch_s;
+  double best_tau = curve.front().tau_s;
+  double best = curve.front().deviation;
+  for (const auto& p : curve) {
+    if (p.deviation < best) {
+      best = p.deviation;
+      best_tau = p.tau_s;
+    }
+  }
+  return std::clamp(best_tau, cfg_.min_epoch_s, cfg_.max_epoch_s);
+}
+
+std::vector<stats::allan_point> epoch_estimator::curve_for(
+    const stats::time_series& series) const {
+  return stats::allan_curve(series, taus_);
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,46 @@
+// Zone-specific epoch selection via the Allan-deviation minimum (Sec 3.2.2).
+//
+// "We pick the minimum value of the Allan deviation as the epoch duration
+// for the corresponding zone" -- ~75 minutes for the Madison zone, ~15 for
+// New Brunswick. The estimator scans a log-spaced tau grid over a zone's
+// metric series and clamps the result to a sane operational range.
+#pragma once
+
+#include <vector>
+
+#include "stats/allan.h"
+#include "stats/time_series.h"
+
+namespace wiscape::core {
+
+struct epoch_config {
+  double min_epoch_s = 5.0 * 60;
+  double max_epoch_s = 6.0 * 3600;
+  /// Tau scan range and resolution (log-spaced).
+  double scan_lo_s = 60.0;
+  double scan_hi_s = 16.0 * 3600;
+  int scan_points = 40;
+  /// Fallback epoch when the series is too short to estimate.
+  double default_epoch_s = 30.0 * 60;
+};
+
+class epoch_estimator {
+ public:
+  explicit epoch_estimator(epoch_config cfg = {});
+
+  /// Epoch duration (seconds) for a zone given its metric series. Returns
+  /// the clamped Allan-minimum tau, or the default when fewer than
+  /// 2 windows exist at every candidate tau.
+  double epoch_for(const stats::time_series& series) const;
+
+  /// The full Allan curve over the scan grid (for Fig 6 and diagnostics).
+  std::vector<stats::allan_point> curve_for(const stats::time_series& series) const;
+
+  const epoch_config& config() const noexcept { return cfg_; }
+
+ private:
+  epoch_config cfg_;
+  std::vector<double> taus_;
+};
+
+}  // namespace wiscape::core

@@ -1,0 +1,133 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace wiscape::core {
+
+double& metric_raster::at(std::size_t col, std::size_t row) {
+  return values[row * cols + col];
+}
+
+double metric_raster::at(std::size_t col, std::size_t row) const {
+  return values[row * cols + col];
+}
+
+std::vector<map_sample> zone_samples(const trace::dataset& ds,
+                                     const geo::zone_grid& grid,
+                                     trace::metric metric,
+                                     std::string_view network,
+                                     std::size_t min_zone_samples) {
+  const auto zones =
+      ds.zone_metric_values(grid, metric, network, min_zone_samples);
+  std::vector<map_sample> out;
+  out.reserve(zones.size());
+  for (const auto& [zone, values] : zones) {
+    out.push_back(
+        {grid.center_xy(zone), stats::mean(values), values.size()});
+  }
+  return out;
+}
+
+metric_raster interpolate(const std::vector<map_sample>& sources,
+                          const mapping_config& cfg) {
+  if (sources.empty()) {
+    throw std::invalid_argument("interpolate: no sources");
+  }
+  if (!(cfg.cell_m > 0.0) || !(cfg.max_range_m > 0.0)) {
+    throw std::invalid_argument("interpolate: bad config");
+  }
+
+  double west = sources[0].pos.x_m, east = west;
+  double south = sources[0].pos.y_m, north = south;
+  for (const auto& s : sources) {
+    west = std::min(west, s.pos.x_m);
+    east = std::max(east, s.pos.x_m);
+    south = std::min(south, s.pos.y_m);
+    north = std::max(north, s.pos.y_m);
+  }
+
+  metric_raster r;
+  r.cell_m = cfg.cell_m;
+  r.west_m = west - cfg.cell_m;
+  r.south_m = south - cfg.cell_m;
+  r.cols = static_cast<std::size_t>((east - r.west_m) / cfg.cell_m) + 2;
+  r.rows = static_cast<std::size_t>((north - r.south_m) / cfg.cell_m) + 2;
+  r.values.assign(r.cols * r.rows, std::numeric_limits<double>::quiet_NaN());
+
+  for (std::size_t row = 0; row < r.rows; ++row) {
+    for (std::size_t col = 0; col < r.cols; ++col) {
+      const geo::xy p{r.west_m + (static_cast<double>(col) + 0.5) * cfg.cell_m,
+                      r.south_m + (static_cast<double>(row) + 0.5) * cfg.cell_m};
+      double weight_sum = 0.0;
+      double value_sum = 0.0;
+      bool in_range = false;
+      for (const auto& s : sources) {
+        const double d = geo::distance_m(p, s.pos);
+        if (d > cfg.max_range_m) continue;
+        in_range = true;
+        if (d < 1.0) {
+          // On top of a source: take it outright.
+          weight_sum = 1.0;
+          value_sum = s.value;
+          break;
+        }
+        // Sample-count-weighted IDW: better-observed zones pull harder.
+        const double w = static_cast<double>(s.samples) /
+                         std::pow(d, cfg.idw_power);
+        weight_sum += w;
+        value_sum += w * s.value;
+      }
+      if (in_range && weight_sum > 0.0) {
+        r.at(col, row) = value_sum / weight_sum;
+      }
+    }
+  }
+  return r;
+}
+
+std::string render_ascii(const metric_raster& raster) {
+  static constexpr char ramp[] = " .:-=+*#%@";
+  constexpr int levels = 9;  // indices 1..9 of ramp; 0 is no-data blank
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : raster.values) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  out.reserve((raster.cols + 1) * raster.rows);
+  // North (max row) at the top.
+  for (std::size_t row = raster.rows; row-- > 0;) {
+    for (std::size_t col = 0; col < raster.cols; ++col) {
+      const double v = raster.at(col, row);
+      if (std::isnan(v)) {
+        out.push_back(' ');
+      } else if (hi <= lo) {
+        out.push_back(ramp[5]);
+      } else {
+        const int idx = 1 + static_cast<int>((v - lo) / (hi - lo) * (levels - 1));
+        out.push_back(ramp[std::clamp(idx, 1, levels)]);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string ascii_map(const trace::dataset& ds, const geo::zone_grid& grid,
+                      trace::metric metric, std::string_view network,
+                      const mapping_config& cfg) {
+  const auto sources =
+      zone_samples(ds, grid, metric, network, cfg.min_zone_samples);
+  if (sources.empty()) return "(no zones with enough samples)\n";
+  return render_ascii(interpolate(sources, cfg));
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,68 @@
+// Coverage-map products (Fig 1's deliverable).
+//
+// Operators consume WiScape as *maps*: per-zone estimates interpolated onto
+// a raster. This module builds a metric surface from zone estimates with
+// inverse-distance weighting over zone centers, and renders it as an ASCII
+// heat map for terminals/logs (the library has no plotting dependency; the
+// raster doubles as an export format for real renderers).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/zone_grid.h"
+#include "trace/dataset.h"
+
+namespace wiscape::core {
+
+/// One interpolation source: a zone's estimate at its center.
+struct map_sample {
+  geo::xy pos;
+  double value = 0.0;
+  std::size_t samples = 0;  ///< records behind the estimate (for weighting)
+};
+
+/// A rasterized metric surface over a rectangular area.
+struct metric_raster {
+  double west_m = 0.0, south_m = 0.0;  ///< projected lower-left corner
+  double cell_m = 0.0;                 ///< raster cell size
+  std::size_t cols = 0, rows = 0;
+  /// Row-major values; NaN marks cells with no nearby data.
+  std::vector<double> values;
+
+  double& at(std::size_t col, std::size_t row);
+  double at(std::size_t col, std::size_t row) const;
+};
+
+struct mapping_config {
+  double cell_m = 400.0;       ///< raster resolution
+  double idw_power = 2.0;      ///< inverse-distance weighting exponent
+  double max_range_m = 1200.0; ///< beyond this from all sources: no data
+  std::size_t min_zone_samples = 20;
+};
+
+/// Zone-center samples of `metric` for `network` over the grid.
+std::vector<map_sample> zone_samples(const trace::dataset& ds,
+                                     const geo::zone_grid& grid,
+                                     trace::metric metric,
+                                     std::string_view network,
+                                     std::size_t min_zone_samples);
+
+/// IDW-interpolates `sources` onto a raster spanning their bounding box
+/// (padded by one cell). Throws std::invalid_argument when `sources` is
+/// empty or the config is degenerate.
+metric_raster interpolate(const std::vector<map_sample>& sources,
+                          const mapping_config& cfg = {});
+
+/// Renders the raster as an ASCII heat map: ' .:-=+*#%@' from the value
+/// range's low to high end; blanks for no-data cells. One output line per
+/// raster row, north at the top.
+std::string render_ascii(const metric_raster& raster);
+
+/// Convenience: dataset -> rendered map in one call.
+std::string ascii_map(const trace::dataset& ds, const geo::zone_grid& grid,
+                      trace::metric metric, std::string_view network,
+                      const mapping_config& cfg = {});
+
+}  // namespace wiscape::core

@@ -1,0 +1,78 @@
+#include "core/normalize.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/running_stats.h"
+#include "stats/summary.h"
+
+namespace wiscape::core {
+
+category_scale estimate_category_scale(const trace::dataset& ds,
+                                       const geo::zone_grid& grid,
+                                       trace::metric metric,
+                                       std::string_view from_device,
+                                       std::string_view to_device,
+                                       std::size_t min_samples) {
+  const trace::probe_kind kind = trace::kind_for(metric);
+  struct pair_stats {
+    stats::running_stats from, to;
+  };
+  std::unordered_map<geo::zone_id, pair_stats, geo::zone_id_hash> zones;
+  for (const auto& r : ds.records()) {
+    if (!r.success || r.kind != kind) continue;
+    auto& z = zones[grid.zone_of(r.pos)];
+    if (r.device == from_device) {
+      z.from.add(trace::value_of(r, metric));
+    } else if (r.device == to_device) {
+      z.to.add(trace::value_of(r, metric));
+    }
+  }
+
+  std::vector<double> ratios;
+  for (const auto& [_, z] : zones) {
+    if (z.from.count() < min_samples || z.to.count() < min_samples) continue;
+    if (z.from.mean() == 0.0) continue;
+    ratios.push_back(z.to.mean() / z.from.mean());
+  }
+
+  category_scale out;
+  out.zones_used = ratios.size();
+  if (ratios.empty()) return out;
+  out.scale = stats::percentile(ratios, 50.0);
+  out.ratio_spread = stats::relative_stddev(ratios);
+  return out;
+}
+
+trace::dataset apply_category_scale(const trace::dataset& ds,
+                                    trace::metric metric,
+                                    std::string_view device, double scale,
+                                    std::string_view as_device) {
+  const trace::probe_kind kind = trace::kind_for(metric);
+  trace::dataset out;
+  for (auto r : ds.records()) {
+    if (r.success && r.kind == kind && r.device == device) {
+      switch (metric) {
+        case trace::metric::tcp_throughput_bps:
+        case trace::metric::udp_throughput_bps:
+        case trace::metric::uplink_throughput_bps:
+          r.throughput_bps *= scale;
+          break;
+        case trace::metric::loss_rate:
+          r.loss_rate *= scale;
+          break;
+        case trace::metric::jitter_s:
+          r.jitter_s *= scale;
+          break;
+        case trace::metric::rtt_s:
+          r.rtt_s *= scale;
+          break;
+      }
+      r.device = std::string(as_device);
+    }
+    out.add(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,49 @@
+// Cross-device-category normalization (paper Sec 3.3).
+//
+// "Composability of measurements from a mobile phone and a laptop ... may
+// not always work well ... data collected from such devices with different
+// capabilities need to go through a normalization or scaling process."
+// WiScape sidesteps this by monitoring per category; this module provides
+// the scaling the paper defers to future work: estimate a multiplicative
+// factor between two categories from zones where both measured, then lift
+// one category's samples onto the other's scale.
+#pragma once
+
+#include <string_view>
+
+#include "geo/zone_grid.h"
+#include "trace/dataset.h"
+
+namespace wiscape::core {
+
+struct category_scale {
+  /// Multiplier taking `from`-category values onto the `to` scale
+  /// (median of per-zone mean ratios).
+  double scale = 1.0;
+  /// Zones where both categories had enough samples.
+  std::size_t zones_used = 0;
+  /// Spread of the per-zone ratios (relative stddev); large spread means
+  /// the two categories do not differ by a simple scale and should stay
+  /// separate, exactly the paper's caution.
+  double ratio_spread = 0.0;
+};
+
+/// Estimates the `from` -> `to` scale for `metric` over grid zones where
+/// both device categories contributed at least `min_samples` successful
+/// samples. Returns scale 1.0 with zones_used == 0 when no zone qualifies.
+category_scale estimate_category_scale(const trace::dataset& ds,
+                                       const geo::zone_grid& grid,
+                                       trace::metric metric,
+                                       std::string_view from_device,
+                                       std::string_view to_device,
+                                       std::size_t min_samples = 20);
+
+/// Returns a copy of `ds` with `metric`'s value multiplied by `scale` on
+/// every successful record of `device`, and those records relabelled as
+/// `as_device`. Other records pass through untouched.
+trace::dataset apply_category_scale(const trace::dataset& ds,
+                                    trace::metric metric,
+                                    std::string_view device, double scale,
+                                    std::string_view as_device);
+
+}  // namespace wiscape::core

@@ -1,0 +1,86 @@
+#include "core/overhead.h"
+
+#include <stdexcept>
+
+namespace wiscape::core {
+
+probe_cost cost_of(const trace::measurement_record& rec,
+                   std::size_t tcp_transfer_bytes, const cost_model& model) {
+  probe_cost c;
+  switch (rec.kind) {
+    case trace::probe_kind::tcp_download: {
+      c.bytes_down = tcp_transfer_bytes + model.tcp_overhead_bytes;
+      // ~one 40-byte ack per two 1400-byte segments.
+      c.bytes_up = tcp_transfer_bytes / 70 + model.tcp_overhead_bytes / 4;
+      if (rec.success && rec.throughput_bps > 0.0) {
+        c.airtime_s =
+            static_cast<double>(tcp_transfer_bytes) * 8.0 / rec.throughput_bps;
+      }
+      break;
+    }
+    case trace::probe_kind::udp_burst: {
+      // Sent count is not recorded; the received share implies it via loss.
+      const double delivered_fraction = 1.0 - rec.loss_rate;
+      const double sent =
+          delivered_fraction > 0.0 ? 100.0 : 100.0;  // nominal burst size
+      c.bytes_down = static_cast<std::size_t>(sent) * model.udp_probe_bytes;
+      c.bytes_up = 200;  // probe request + report
+      if (rec.success && rec.throughput_bps > 0.0) {
+        c.airtime_s = static_cast<double>(c.bytes_down) * 8.0 *
+                      delivered_fraction / rec.throughput_bps;
+      }
+      break;
+    }
+    case trace::probe_kind::ping: {
+      c.bytes_up = static_cast<std::size_t>(rec.ping_sent) * model.ping_bytes;
+      c.bytes_down =
+          static_cast<std::size_t>(rec.ping_sent - rec.ping_failures) *
+          model.ping_bytes;
+      c.airtime_s = rec.ping_sent * 0.02;  // trivially small
+      break;
+    }
+    case trace::probe_kind::udp_uplink: {
+      const double delivered_fraction = 1.0 - rec.loss_rate;
+      c.bytes_up = 100 * model.udp_probe_bytes;
+      c.bytes_down = 200;
+      if (rec.success && rec.throughput_bps > 0.0) {
+        c.airtime_s = static_cast<double>(c.bytes_up) * 8.0 *
+                      delivered_fraction / rec.throughput_bps;
+      }
+      break;
+    }
+  }
+  c.energy_j = c.airtime_s * model.active_power_w +
+               model.tail_time_s * model.tail_power_w;
+  return c;
+}
+
+overhead_summary summarize_overhead(const trace::dataset& ds,
+                                    std::size_t tcp_transfer_bytes,
+                                    std::size_t clients, double days,
+                                    const cost_model& model) {
+  if (clients == 0 || !(days > 0.0)) {
+    throw std::invalid_argument("summarize_overhead: clients/days must be > 0");
+  }
+  overhead_summary s;
+  for (const auto& rec : ds.records()) {
+    const probe_cost c = cost_of(rec, tcp_transfer_bytes, model);
+    ++s.probes;
+    s.total_mbytes +=
+        static_cast<double>(c.bytes_down + c.bytes_up) / 1e6;
+    s.total_energy_kj += c.energy_j / 1e3;
+    s.total_airtime_s += c.airtime_s;
+  }
+  const double client_days = static_cast<double>(clients) * days;
+  s.mbytes_per_client_day = s.total_mbytes / client_days;
+  s.energy_j_per_client_day = s.total_energy_kj * 1e3 / client_days;
+  s.airtime_s_per_client_day = s.total_airtime_s / client_days;
+  return s;
+}
+
+double continuous_monitoring_mbytes_per_day(double rate_bps,
+                                            double active_hours) {
+  return rate_bps / 8.0 * active_hours * 3600.0 / 1e6;
+}
+
+}  // namespace wiscape::core

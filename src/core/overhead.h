@@ -1,0 +1,68 @@
+// Client overhead accounting.
+//
+// WiScape's whole reason to exist is that its measurement budget is tiny
+// ("limiting the bandwidth and energy overheads at client devices", Sec 1).
+// This module prices a measurement campaign in bytes, airtime and energy per
+// client, so the coarse-sampling design can be compared quantitatively
+// against continuous monitoring (the ablation bench sweeps the budget).
+#pragma once
+
+#include <cstddef>
+
+#include "trace/dataset.h"
+
+namespace wiscape::core {
+
+/// Price model for one client radio. Defaults approximate a 2011-era 3G
+/// USB modem: ~1.2 W while the radio is active, plus a tail-energy window
+/// after each transfer (the notorious 3G "tail").
+struct cost_model {
+  double active_power_w = 1.2;
+  double tail_time_s = 5.0;      ///< radio stays high-power after a probe
+  double tail_power_w = 0.6;
+  std::size_t tcp_overhead_bytes = 1200;  ///< handshake + acks + headers
+  std::size_t udp_probe_bytes = 1200;     ///< per probe-packet payload
+  std::size_t ping_bytes = 64;
+};
+
+/// Cost of one probe record.
+struct probe_cost {
+  std::size_t bytes_down = 0;
+  std::size_t bytes_up = 0;
+  double airtime_s = 0.0;  ///< time the radio was actively transferring
+  double energy_j = 0.0;   ///< active + tail energy
+};
+
+/// Prices one measurement record. For TCP the transfer size must be
+/// supplied (records carry throughput, not bytes); UDP/ping sizes come from
+/// the model and the record's counters.
+probe_cost cost_of(const trace::measurement_record& rec,
+                   std::size_t tcp_transfer_bytes,
+                   const cost_model& model = {});
+
+/// Campaign-level roll-up.
+struct overhead_summary {
+  std::size_t probes = 0;
+  double total_mbytes = 0.0;
+  double total_energy_kj = 0.0;
+  double total_airtime_s = 0.0;
+  /// Per client-day averages, given the campaign's client count and span.
+  double mbytes_per_client_day = 0.0;
+  double energy_j_per_client_day = 0.0;
+  double airtime_s_per_client_day = 0.0;
+};
+
+/// Prices a whole dataset. `clients` and `days` normalize the per-client-day
+/// figures; throws std::invalid_argument when either is zero.
+overhead_summary summarize_overhead(const trace::dataset& ds,
+                                    std::size_t tcp_transfer_bytes,
+                                    std::size_t clients, double days,
+                                    const cost_model& model = {});
+
+/// The continuous-monitoring strawman: a client measuring back-to-back all
+/// day moves `rate_bps * hours` of traffic. Returns MB per client-day, for
+/// contrast with WiScape's budgeted figure.
+double continuous_monitoring_mbytes_per_day(double rate_bps,
+                                            double active_hours = 18.0);
+
+}  // namespace wiscape::core

@@ -1,0 +1,84 @@
+#include "core/persist.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wiscape::core {
+
+namespace {
+
+geo::zone_id parse_zone(const std::string& s) {
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("bad zone id '" + s + "'");
+  }
+  try {
+    return {std::stoi(s.substr(0, colon)), std::stoi(s.substr(colon + 1))};
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad zone id '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void save_zone_table(std::ostream& os, const zone_table& table) {
+  os << "WISCAPE-ZONETABLE v1\n";
+  auto keys = table.keys();
+  // Deterministic file order: by zone, then network, then metric.
+  std::sort(keys.begin(), keys.end(),
+            [](const estimate_key& a, const estimate_key& b) {
+              if (a.zone != b.zone) return a.zone < b.zone;
+              if (a.network != b.network) return a.network < b.network;
+              return static_cast<int>(a.metric) < static_cast<int>(b.metric);
+            });
+  char buf[256];
+  for (const auto& key : keys) {
+    for (const auto& est : table.history(key)) {
+      std::snprintf(buf, sizeof(buf), "EST %s %s %s %.3f %.6f %.6f %zu\n",
+                    geo::to_string(key.zone).c_str(), key.network.c_str(),
+                    trace::to_string(key.metric).c_str(), est.epoch_start_s,
+                    est.mean, est.stddev, est.samples);
+      os << buf;
+    }
+  }
+}
+
+void save_zone_table_file(const std::string& path, const zone_table& table) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  save_zone_table(os, table);
+}
+
+zone_table load_zone_table(std::istream& is, double change_sigma_factor) {
+  std::string line;
+  if (!std::getline(is, line) || line != "WISCAPE-ZONETABLE v1") {
+    throw std::invalid_argument("not a zone-table file (bad header)");
+  }
+  zone_table table(change_sigma_factor);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag, zone_s, net, metric_s;
+    epoch_estimate est;
+    if (!(ls >> tag >> zone_s >> net >> metric_s >> est.epoch_start_s >>
+          est.mean >> est.stddev >> est.samples) ||
+        tag != "EST") {
+      throw std::invalid_argument("malformed zone-table line: '" + line + "'");
+    }
+    table.restore({parse_zone(zone_s), net, trace::metric_from_string(metric_s)},
+                  est);
+  }
+  return table;
+}
+
+zone_table load_zone_table_file(const std::string& path,
+                                double change_sigma_factor) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return load_zone_table(is, change_sigma_factor);
+}
+
+}  // namespace wiscape::core

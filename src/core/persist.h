@@ -1,0 +1,30 @@
+// Zone-table persistence.
+//
+// A real WiScape coordinator runs for months; its product -- the frozen
+// per-zone-epoch estimates -- must survive restarts. The format is
+// line-oriented text like the rest of the interchange surfaces
+// (one `EST <zone> <network> <metric> <epoch_start> <mean> <stddev> <n>`
+// line per frozen estimate), so operators can grep their coverage history.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/zone_table.h"
+
+namespace wiscape::core {
+
+/// Writes every frozen estimate of every key (open epochs are transient and
+/// not persisted; they re-accumulate after a restart).
+void save_zone_table(std::ostream& os, const zone_table& table);
+void save_zone_table_file(const std::string& path, const zone_table& table);
+
+/// Rebuilds a zone table from a saved stream. Restored estimates keep their
+/// history order; change alerts are not replayed (they were already acted
+/// on). Throws std::invalid_argument on malformed input and
+/// std::runtime_error when the file cannot be opened.
+zone_table load_zone_table(std::istream& is, double change_sigma_factor = 2.0);
+zone_table load_zone_table_file(const std::string& path,
+                                double change_sigma_factor = 2.0);
+
+}  // namespace wiscape::core

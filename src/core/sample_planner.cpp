@@ -1,0 +1,77 @@
+#include "core/sample_planner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/histogram.h"
+#include "stats/sampling.h"
+#include "stats/summary.h"
+
+namespace wiscape::core {
+
+sample_planner::sample_planner(planner_config cfg) : cfg_(cfg) {
+  if (cfg_.iterations < 1 || cfg_.step < 1 || cfg_.max_samples < cfg_.step) {
+    throw std::invalid_argument("sample_planner: bad config");
+  }
+}
+
+double sample_planner::mean_nkld_at(std::span<const double> population,
+                                    std::size_t n,
+                                    stats::rng_stream& rng) const {
+  if (n == 0 || n > population.size()) {
+    throw std::invalid_argument("mean_nkld_at: n out of range");
+  }
+  double total = 0.0;
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    const auto subset = stats::sample_without_replacement(population, n, rng);
+    total += stats::nkld_of_samples(subset, population, cfg_.histogram_bins);
+  }
+  return total / static_cast<double>(cfg_.iterations);
+}
+
+std::vector<convergence_point> sample_planner::convergence_curve(
+    std::span<const double> population, stats::rng_stream& rng) const {
+  std::vector<convergence_point> out;
+  const std::size_t hi = std::min(cfg_.max_samples, population.size());
+  for (std::size_t n = cfg_.step; n <= hi; n += cfg_.step) {
+    out.push_back({n, mean_nkld_at(population, n, rng)});
+  }
+  return out;
+}
+
+std::size_t sample_planner::samples_needed(std::span<const double> population,
+                                           stats::rng_stream& rng) const {
+  const auto curve = convergence_curve(population, rng);
+  if (curve.empty()) {
+    throw std::invalid_argument("samples_needed: population smaller than step");
+  }
+  for (const auto& p : curve) {
+    if (p.mean_nkld <= cfg_.nkld_threshold) return p.samples;
+  }
+  return curve.back().samples;
+}
+
+std::size_t sample_planner::packets_for_accuracy(
+    std::span<const double> population, stats::rng_stream& rng) const {
+  if (population.empty()) {
+    throw std::invalid_argument("packets_for_accuracy: empty population");
+  }
+  const double truth = stats::mean(population);
+  if (truth == 0.0) return cfg_.step;
+  const double max_err = 1.0 - cfg_.target_accuracy;
+  const std::size_t hi = std::min(cfg_.max_samples, population.size());
+  std::size_t last = cfg_.step;
+  for (std::size_t n = cfg_.step; n <= hi; n += cfg_.step) {
+    last = n;
+    double err_sum = 0.0;
+    for (int it = 0; it < cfg_.iterations; ++it) {
+      const auto subset =
+          stats::sample_without_replacement(population, n, rng);
+      err_sum += std::abs(stats::mean(subset) - truth) / std::abs(truth);
+    }
+    if (err_sum / cfg_.iterations <= max_err) return n;
+  }
+  return last;
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,68 @@
+// How many samples does a zone-epoch need? (Sec 3.3 / 3.3.1)
+//
+// Two planning questions from the paper:
+//  * nkld convergence: the smallest number of client samples whose
+//    distribution is "close" (symmetric NKLD <= 0.1) to the zone's long-term
+//    distribution, averaged over random draws (Fig 7: ~50-90 in Madison,
+//    ~80-120 in New Brunswick).
+//  * accuracy: the smallest number of back-to-back probe packets whose mean
+//    lands within a target relative error of ground truth (Table 5: 97%
+//    accuracy with 40-120 packets).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace wiscape::core {
+
+struct planner_config {
+  double nkld_threshold = 0.1;
+  double target_accuracy = 0.97;  ///< 1 - relative error
+  int iterations = 100;           ///< random draws averaged per candidate n
+  std::size_t histogram_bins = 20;
+  std::size_t max_samples = 400;  ///< search cap
+  std::size_t step = 10;          ///< candidate-n granularity
+};
+
+/// One point of the NKLD-vs-sample-count convergence curve (Fig 7).
+struct convergence_point {
+  std::size_t samples = 0;
+  double mean_nkld = 0.0;
+};
+
+class sample_planner {
+ public:
+  explicit sample_planner(planner_config cfg = {});
+
+  /// Mean NKLD between `n`-sized random subsets of `population` and the full
+  /// population, over cfg.iterations draws. Throws std::invalid_argument if
+  /// n == 0 or n > population size.
+  double mean_nkld_at(std::span<const double> population, std::size_t n,
+                      stats::rng_stream& rng) const;
+
+  /// Full convergence curve for n = step, 2*step, ... up to
+  /// min(max_samples, population size).
+  std::vector<convergence_point> convergence_curve(
+      std::span<const double> population, stats::rng_stream& rng) const;
+
+  /// Smallest candidate n whose mean NKLD <= threshold; falls back to the
+  /// largest scanned n when none converges.
+  std::size_t samples_needed(std::span<const double> population,
+                             stats::rng_stream& rng) const;
+
+  /// Smallest n such that the mean of n random draws is within
+  /// (1 - target_accuracy) relative error of the population mean, averaged
+  /// over cfg.iterations draws (Table 5's packet-count rule). Falls back to
+  /// the largest scanned n.
+  std::size_t packets_for_accuracy(std::span<const double> population,
+                                   stats::rng_stream& rng) const;
+
+  const planner_config& config() const noexcept { return cfg_; }
+
+ private:
+  planner_config cfg_;
+};
+
+}  // namespace wiscape::core

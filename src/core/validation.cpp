@@ -1,0 +1,70 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/sampling.h"
+#include "stats/summary.h"
+
+namespace wiscape::core {
+
+double validation_report::fraction_within(double rel_error_threshold) const {
+  if (errors.empty()) return 0.0;
+  return stats::fraction_at_most(errors, rel_error_threshold);
+}
+
+double validation_report::max_error() const {
+  if (errors.empty()) return 0.0;
+  return *std::max_element(errors.begin(), errors.end());
+}
+
+validation_report validate_estimation(const trace::dataset& ds,
+                                      const geo::zone_grid& grid,
+                                      trace::metric metric,
+                                      std::string_view network,
+                                      const validation_config& cfg,
+                                      std::uint64_t seed) {
+  validation_report out;
+  stats::rng_stream rng(seed);
+  auto zones =
+      ds.zone_metric_values(grid, metric, network, cfg.min_zone_samples);
+
+  // Deterministic iteration order: sort zone ids.
+  std::vector<geo::zone_id> ids;
+  ids.reserve(zones.size());
+  for (const auto& [z, _] : zones) ids.push_back(z);
+  std::sort(ids.begin(), ids.end());
+
+  for (const auto& z : ids) {
+    const auto& samples = zones[z];
+    stats::rng_stream zrng = rng.fork(geo::to_string(z));
+    const auto split =
+        stats::random_split(samples.size(), cfg.client_fraction, zrng);
+
+    std::vector<double> client, truth;
+    client.reserve(split.first.size());
+    truth.reserve(split.second.size());
+    for (std::size_t i : split.first) client.push_back(samples[i]);
+    for (std::size_t i : split.second) truth.push_back(samples[i]);
+
+    // WiScape draws only its per-epoch budget from the client pool.
+    const std::size_t take = std::min(cfg.wiscape_samples, client.size());
+    const auto estimate_samples =
+        stats::sample_without_replacement(client, take, zrng);
+
+    const double truth_mean = stats::mean(truth);
+    const double est_mean = stats::mean(estimate_samples);
+    if (truth_mean == 0.0) continue;
+
+    zone_error ze;
+    ze.zone = z;
+    ze.truth_mean = truth_mean;
+    ze.estimate_mean = est_mean;
+    ze.rel_error = std::abs(est_mean - truth_mean) / std::abs(truth_mean);
+    out.errors.push_back(ze.rel_error);
+    out.zones.push_back(ze);
+  }
+  return out;
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,49 @@
+// End-to-end accuracy validation (Sec 3.4 "Validation", Fig 8).
+//
+// The paper splits its Standalone dataset per zone into a client-sourced
+// half and a ground-truth half, estimates each zone from a WiScape-sized
+// client sample, and reports the CDF of relative estimation error: < 4% for
+// more than 70% of zones, max ~15%.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "geo/zone_grid.h"
+#include "trace/dataset.h"
+
+namespace wiscape::core {
+
+struct validation_config {
+  /// Fraction of each zone's samples playing "client-sourced".
+  double client_fraction = 0.5;
+  /// Zones participate with at least this many samples (paper: 200).
+  std::size_t min_zone_samples = 200;
+  /// Samples WiScape would actually collect per zone-epoch (paper: ~100).
+  std::size_t wiscape_samples = 100;
+};
+
+struct zone_error {
+  geo::zone_id zone;
+  double truth_mean = 0.0;
+  double estimate_mean = 0.0;
+  double rel_error = 0.0;  ///< |estimate - truth| / truth
+};
+
+struct validation_report {
+  std::vector<zone_error> zones;
+  std::vector<double> errors;  ///< rel_error of each zone (same order)
+  double fraction_within(double rel_error_threshold) const;
+  double max_error() const;
+};
+
+/// Runs the Fig 8 experiment on any dataset.
+validation_report validate_estimation(const trace::dataset& ds,
+                                      const geo::zone_grid& grid,
+                                      trace::metric metric,
+                                      std::string_view network,
+                                      const validation_config& cfg,
+                                      std::uint64_t seed);
+
+}  // namespace wiscape::core

@@ -1,0 +1,83 @@
+#include "core/zone_table.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wiscape::core {
+
+std::size_t estimate_key_hash::operator()(const estimate_key& k) const noexcept {
+  std::size_t h = geo::zone_id_hash{}(k.zone);
+  h ^= std::hash<std::string>{}(k.network) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  h ^= static_cast<std::size_t>(k.metric) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  return h;
+}
+
+void zone_table::add_sample(const estimate_key& key, double time_s,
+                            double value, double epoch_duration_s) {
+  if (!(epoch_duration_s > 0.0)) {
+    throw std::invalid_argument("epoch duration must be positive");
+  }
+  stream& s = streams_[key];
+  if (s.open_start_s < 0.0) {
+    // Align the first epoch boundary to a multiple of the duration so
+    // different clients agree on epoch edges.
+    s.open_start_s =
+        std::floor(time_s / epoch_duration_s) * epoch_duration_s;
+  }
+  while (time_s >= s.open_start_s + epoch_duration_s) {
+    rollover(key, s);
+    s.open_start_s += epoch_duration_s;
+  }
+  s.open.add(value);
+}
+
+void zone_table::rollover(const estimate_key& key, stream& s) {
+  if (s.open.empty()) return;  // nothing collected: publish nothing
+  epoch_estimate e;
+  e.epoch_start_s = s.open_start_s;
+  e.mean = s.open.mean();
+  e.stddev = s.open.stddev();
+  e.samples = s.open.count();
+
+  if (!s.frozen.empty()) {
+    const epoch_estimate& prev = s.frozen.back();
+    const double threshold = sigma_factor_ * prev.stddev;
+    if (threshold > 0.0 && std::abs(e.mean - prev.mean) > threshold) {
+      alerts_.push_back(
+          {key, e.epoch_start_s, prev.mean, e.mean, prev.stddev});
+    }
+  }
+  s.frozen.push_back(e);
+  s.open.reset();
+}
+
+std::optional<epoch_estimate> zone_table::latest(const estimate_key& key) const {
+  const auto it = streams_.find(key);
+  if (it == streams_.end() || it->second.frozen.empty()) return std::nullopt;
+  return it->second.frozen.back();
+}
+
+std::size_t zone_table::open_epoch_samples(const estimate_key& key) const {
+  const auto it = streams_.find(key);
+  return it == streams_.end() ? 0 : it->second.open.count();
+}
+
+std::vector<epoch_estimate> zone_table::history(const estimate_key& key) const {
+  const auto it = streams_.find(key);
+  return it == streams_.end() ? std::vector<epoch_estimate>{}
+                              : it->second.frozen;
+}
+
+void zone_table::restore(const estimate_key& key,
+                         const epoch_estimate& estimate) {
+  streams_[key].frozen.push_back(estimate);
+}
+
+std::vector<estimate_key> zone_table::keys() const {
+  std::vector<estimate_key> out;
+  out.reserve(streams_.size());
+  for (const auto& [k, _] : streams_) out.push_back(k);
+  return out;
+}
+
+}  // namespace wiscape::core

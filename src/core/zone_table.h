@@ -1,0 +1,99 @@
+// The zone table: WiScape's per-(zone, network, metric) estimate store.
+//
+// For each key the table accumulates the current epoch's samples, and on
+// epoch rollover freezes them into the zone's published estimate. A new
+// estimate that moved by more than `change_sigma_factor` standard deviations
+// from the previous one raises a change alert ("the server checks if the
+// measured statistic has changed substantially from its previous update,
+// say by more than twice the standard deviation", Sec 3.4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/zone_grid.h"
+#include "stats/running_stats.h"
+#include "trace/record.h"
+
+namespace wiscape::core {
+
+/// Key of one estimate stream.
+struct estimate_key {
+  geo::zone_id zone;
+  std::string network;
+  trace::metric metric;
+
+  friend bool operator==(const estimate_key&, const estimate_key&) = default;
+};
+
+struct estimate_key_hash {
+  std::size_t operator()(const estimate_key& k) const noexcept;
+};
+
+/// A published (frozen) per-epoch estimate.
+struct epoch_estimate {
+  double epoch_start_s = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Raised when an epoch's estimate moved substantially vs the previous one.
+struct change_alert {
+  estimate_key key;
+  double epoch_start_s = 0.0;
+  double previous_mean = 0.0;
+  double new_mean = 0.0;
+  double previous_stddev = 0.0;
+};
+
+class zone_table {
+ public:
+  /// `change_sigma_factor`: alert threshold in units of the previous epoch's
+  /// stddev (paper suggests 2).
+  explicit zone_table(double change_sigma_factor = 2.0)
+      : sigma_factor_(change_sigma_factor) {}
+
+  /// Adds one sample to the current epoch of `key`. `epoch_duration_s` is
+  /// the zone's current epoch length (rollover happens when a sample lands
+  /// past the epoch end). Throws std::invalid_argument if
+  /// epoch_duration_s <= 0.
+  void add_sample(const estimate_key& key, double time_s, double value,
+                  double epoch_duration_s);
+
+  /// Latest frozen estimate for a key (nullopt before the first rollover).
+  std::optional<epoch_estimate> latest(const estimate_key& key) const;
+
+  /// Samples accumulated in the currently-open epoch of `key`.
+  std::size_t open_epoch_samples(const estimate_key& key) const;
+
+  /// Full history of frozen estimates for a key (time order).
+  std::vector<epoch_estimate> history(const estimate_key& key) const;
+
+  /// All change alerts raised so far (time order).
+  const std::vector<change_alert>& alerts() const noexcept { return alerts_; }
+
+  /// All keys ever seen.
+  std::vector<estimate_key> keys() const;
+
+  /// Appends a frozen estimate to a key's history without touching the open
+  /// epoch or raising alerts (used when restoring persisted state).
+  void restore(const estimate_key& key, const epoch_estimate& estimate);
+
+ private:
+  struct stream {
+    stats::running_stats open;        // accumulating epoch
+    double open_start_s = -1.0;       // <0: no epoch started yet
+    std::vector<epoch_estimate> frozen;
+  };
+
+  void rollover(const estimate_key& key, stream& s);
+
+  double sigma_factor_;
+  std::unordered_map<estimate_key, stream, estimate_key_hash> streams_;
+  std::vector<change_alert> alerts_;
+};
+
+}  // namespace wiscape::core

@@ -1,0 +1,60 @@
+#include "geo/lat_lon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wiscape::geo {
+
+double distance_m(const lat_lon& a, const lat_lon& b) noexcept {
+  const double phi1 = deg_to_rad(a.lat_deg);
+  const double phi2 = deg_to_rad(b.lat_deg);
+  const double dphi = deg_to_rad(b.lat_deg - a.lat_deg);
+  const double dlam = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlam = std::sin(dlam / 2.0);
+  const double h =
+      sin_dphi * sin_dphi + std::cos(phi1) * std::cos(phi2) * sin_dlam * sin_dlam;
+  return 2.0 * earth_radius_m * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double bearing_deg(const lat_lon& from, const lat_lon& to) noexcept {
+  const double phi1 = deg_to_rad(from.lat_deg);
+  const double phi2 = deg_to_rad(to.lat_deg);
+  const double dlam = deg_to_rad(to.lon_deg - from.lon_deg);
+  const double y = std::sin(dlam) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlam);
+  const double theta = rad_to_deg(std::atan2(y, x));
+  return std::fmod(theta + 360.0, 360.0);
+}
+
+lat_lon destination(const lat_lon& origin, double bearing, double dist_m) noexcept {
+  const double delta = dist_m / earth_radius_m;
+  const double theta = deg_to_rad(bearing);
+  const double phi1 = deg_to_rad(origin.lat_deg);
+  const double lam1 = deg_to_rad(origin.lon_deg);
+  const double sin_phi2 = std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(theta);
+  const double phi2 = std::asin(std::clamp(sin_phi2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  const double lam2 = lam1 + std::atan2(y, x);
+  return {rad_to_deg(phi2), rad_to_deg(lam2)};
+}
+
+lat_lon interpolate(const lat_lon& a, const lat_lon& b, double t) noexcept {
+  // For the city-scale distances WiScape deals in (< a few hundred km) a
+  // linear blend of coordinates differs from the true great-circle point by
+  // far less than GPS noise, so we keep the cheap form.
+  return {a.lat_deg + (b.lat_deg - a.lat_deg) * t,
+          a.lon_deg + (b.lon_deg - a.lon_deg) * t};
+}
+
+std::string to_string(const lat_lon& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f,%.6f", p.lat_deg, p.lon_deg);
+  return buf;
+}
+
+}  // namespace wiscape::geo

@@ -1,0 +1,56 @@
+// Geographic coordinates and great-circle geometry.
+//
+// WiScape tags every measurement sample with a GPS fix; zones, routes and
+// base-station placement are all defined in terms of these coordinates.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+namespace wiscape::geo {
+
+/// Mean Earth radius in meters (IUGG value), used for all great-circle math.
+inline constexpr double earth_radius_m = 6371008.8;
+
+/// Converts degrees to radians.
+constexpr double deg_to_rad(double deg) noexcept {
+  return deg * std::numbers::pi / 180.0;
+}
+
+/// Converts radians to degrees.
+constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// A WGS-84-style geographic coordinate (degrees).
+///
+/// Invariant-free value type: any finite lat/lon pair is representable; the
+/// helpers below treat latitude outside [-90, 90] as a caller error.
+struct lat_lon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const lat_lon&, const lat_lon&) = default;
+};
+
+/// Great-circle (haversine) distance between two points, in meters.
+double distance_m(const lat_lon& a, const lat_lon& b) noexcept;
+
+/// Initial bearing from `from` toward `to`, in degrees clockwise from north,
+/// normalized to [0, 360).
+double bearing_deg(const lat_lon& from, const lat_lon& to) noexcept;
+
+/// Point reached by traveling `dist_m` meters from `origin` along `bearing`
+/// degrees (clockwise from north) on a great circle.
+lat_lon destination(const lat_lon& origin, double bearing_deg,
+                    double dist_m) noexcept;
+
+/// Linear interpolation along the great circle from `a` to `b`;
+/// `t` in [0, 1] (0 -> a, 1 -> b). Values outside [0,1] extrapolate.
+lat_lon interpolate(const lat_lon& a, const lat_lon& b, double t) noexcept;
+
+/// Renders "lat,lon" with 6 decimal places (about 0.1 m resolution).
+std::string to_string(const lat_lon& p);
+
+}  // namespace wiscape::geo

@@ -1,0 +1,52 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wiscape::geo {
+
+polyline::polyline(std::vector<lat_lon> waypoints)
+    : points_(std::move(waypoints)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("polyline needs at least two waypoints");
+  }
+  cumulative_.reserve(points_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    cumulative_.push_back(cumulative_.back() +
+                          distance_m(points_[i - 1], points_[i]));
+  }
+}
+
+std::size_t polyline::segment_at(double& dist_m) const noexcept {
+  dist_m = std::clamp(dist_m, 0.0, cumulative_.back());
+  // First waypoint with cumulative length >= dist; segment is the one ending
+  // there.
+  const auto it =
+      std::lower_bound(cumulative_.begin() + 1, cumulative_.end(), dist_m);
+  return static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+}
+
+lat_lon polyline::point_at(double dist_m) const noexcept {
+  std::size_t i = segment_at(dist_m);
+  const double seg_len = cumulative_[i + 1] - cumulative_[i];
+  const double t = seg_len > 0.0 ? (dist_m - cumulative_[i]) / seg_len : 0.0;
+  return interpolate(points_[i], points_[i + 1], t);
+}
+
+double polyline::heading_at(double dist_m) const noexcept {
+  std::size_t i = segment_at(dist_m);
+  return bearing_deg(points_[i], points_[i + 1]);
+}
+
+polyline straight_route(const lat_lon& a, const lat_lon& b, int segments) {
+  if (segments < 1) throw std::invalid_argument("segments must be >= 1");
+  std::vector<lat_lon> pts;
+  pts.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    pts.push_back(interpolate(a, b, static_cast<double>(i) / segments));
+  }
+  return polyline(std::move(pts));
+}
+
+}  // namespace wiscape::geo

@@ -1,0 +1,48 @@
+// Route geometry: polylines over geographic waypoints.
+//
+// Bus routes (Madison transit, the Madison-Chicago intercity run, the 20 km
+// "Short segment") are modelled as polylines; mobility code asks "where am I
+// after traveling d meters along this route".
+#pragma once
+
+#include <vector>
+
+#include "geo/lat_lon.h"
+
+namespace wiscape::geo {
+
+/// A piecewise-linear path through geographic waypoints.
+///
+/// Invariant: at least two waypoints; cumulative lengths are strictly
+/// non-decreasing.
+class polyline {
+ public:
+  /// Throws std::invalid_argument on fewer than two waypoints.
+  explicit polyline(std::vector<lat_lon> waypoints);
+
+  const std::vector<lat_lon>& waypoints() const noexcept { return points_; }
+
+  /// Total route length in meters.
+  double length_m() const noexcept { return cumulative_.back(); }
+
+  /// Position after traveling `dist_m` meters from the start.
+  /// Distances are clamped to [0, length_m()].
+  lat_lon point_at(double dist_m) const noexcept;
+
+  /// Heading (degrees clockwise from north) of the segment active at
+  /// `dist_m` meters from the start.
+  double heading_at(double dist_m) const noexcept;
+
+ private:
+  /// Index of the segment containing `dist_m` (after clamping).
+  std::size_t segment_at(double& dist_m) const noexcept;
+
+  std::vector<lat_lon> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = length up to points_[i]
+};
+
+/// Builds a straight polyline from `a` to `b` subdivided into `segments`
+/// equal pieces (useful for synthetic road stretches).
+polyline straight_route(const lat_lon& a, const lat_lon& b, int segments = 1);
+
+}  // namespace wiscape::geo

@@ -1,0 +1,33 @@
+#include "geo/projection.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wiscape::geo {
+
+double distance_m(const xy& a, const xy& b) noexcept {
+  return std::hypot(a.x_m - b.x_m, a.y_m - b.y_m);
+}
+
+projection::projection(const lat_lon& origin) : origin_(origin) {
+  if (!(origin.lat_deg >= -89.0 && origin.lat_deg <= 89.0)) {
+    throw std::invalid_argument(
+        "projection origin latitude must be within [-89, 89] degrees");
+  }
+  constexpr double deg = std::numbers::pi / 180.0;
+  meters_per_deg_lat_ = earth_radius_m * deg;
+  meters_per_deg_lon_ =
+      earth_radius_m * deg * std::cos(deg_to_rad(origin.lat_deg));
+}
+
+xy projection::to_xy(const lat_lon& p) const noexcept {
+  return {(p.lon_deg - origin_.lon_deg) * meters_per_deg_lon_,
+          (p.lat_deg - origin_.lat_deg) * meters_per_deg_lat_};
+}
+
+lat_lon projection::to_lat_lon(const xy& p) const noexcept {
+  return {origin_.lat_deg + p.y_m / meters_per_deg_lat_,
+          origin_.lon_deg + p.x_m / meters_per_deg_lon_};
+}
+
+}  // namespace wiscape::geo

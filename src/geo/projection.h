@@ -1,0 +1,47 @@
+// Local planar projection.
+//
+// All of WiScape's spatial reasoning (zone gridding, shadowing fields,
+// distance-to-tower) happens over a city-scale area, where a local
+// equirectangular (ENU-style) projection around a fixed origin is accurate to
+// well under a meter. The projection is a value type so different regions
+// (Madison, the Madison-Chicago corridor, New Brunswick) each carry their own.
+#pragma once
+
+#include "geo/lat_lon.h"
+
+namespace wiscape::geo {
+
+/// A point in the local tangent plane, meters east/north of the origin.
+struct xy {
+  double x_m = 0.0;  ///< meters east of origin
+  double y_m = 0.0;  ///< meters north of origin
+
+  friend bool operator==(const xy&, const xy&) = default;
+};
+
+/// Euclidean distance between two projected points, meters.
+double distance_m(const xy& a, const xy& b) noexcept;
+
+/// Equirectangular projection centered at `origin`.
+class projection {
+ public:
+  /// Creates a projection tangent at `origin`. Throws std::invalid_argument
+  /// if the origin latitude is outside [-89, 89] (the projection degenerates
+  /// at the poles).
+  explicit projection(const lat_lon& origin);
+
+  const lat_lon& origin() const noexcept { return origin_; }
+
+  /// Projects a geographic point into the local plane.
+  xy to_xy(const lat_lon& p) const noexcept;
+
+  /// Inverse projection back to geographic coordinates.
+  lat_lon to_lat_lon(const xy& p) const noexcept;
+
+ private:
+  lat_lon origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace wiscape::geo

@@ -1,0 +1,51 @@
+#include "geo/zone_grid.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wiscape::geo {
+
+std::string to_string(const zone_id& z) {
+  return std::to_string(z.ix) + ":" + std::to_string(z.iy);
+}
+
+zone_grid::zone_grid(projection proj, double radius_m)
+    : proj_(proj), radius_m_(radius_m) {
+  if (!(radius_m > 0.0)) {
+    throw std::invalid_argument("zone_grid radius must be positive");
+  }
+  side_m_ = radius_m * std::sqrt(std::numbers::pi);
+}
+
+zone_id zone_grid::zone_of(const xy& p) const noexcept {
+  return {static_cast<std::int32_t>(std::floor(p.x_m / side_m_)),
+          static_cast<std::int32_t>(std::floor(p.y_m / side_m_))};
+}
+
+zone_id zone_grid::zone_of(const lat_lon& p) const noexcept {
+  return zone_of(proj_.to_xy(p));
+}
+
+xy zone_grid::center_xy(const zone_id& z) const noexcept {
+  return {(z.ix + 0.5) * side_m_, (z.iy + 0.5) * side_m_};
+}
+
+lat_lon zone_grid::center(const zone_id& z) const noexcept {
+  return proj_.to_lat_lon(center_xy(z));
+}
+
+double zone_grid::distance_to_center_m(const lat_lon& p,
+                                       const zone_id& z) const noexcept {
+  return distance_m(proj_.to_xy(p), center_xy(z));
+}
+
+int find_zone(const std::vector<circular_zone>& zones,
+              const lat_lon& p) noexcept {
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    if (zones[i].contains(p)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace wiscape::geo

@@ -1,0 +1,88 @@
+// Spatial aggregation into zones.
+//
+// WiScape partitions the world into zones -- contiguous areas with similar
+// user experience (Sec 3.1 of the paper; the paper settles on circular zones
+// of 250 m radius, about 0.2 sq km each). For binning arbitrary GPS fixes we
+// tile the plane with square cells whose area equals the paper's circular
+// zone area (side = r * sqrt(pi)), which preserves the "samples per zone"
+// granularity the paper reasons about while making lookup O(1). Explicit
+// circular zones around chosen centers are also supported for the Spot /
+// Proximate style of collection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geo/projection.h"
+
+namespace wiscape::geo {
+
+/// Identifier of a grid zone: integer cell coordinates.
+struct zone_id {
+  std::int32_t ix = 0;
+  std::int32_t iy = 0;
+
+  friend bool operator==(const zone_id&, const zone_id&) = default;
+  friend auto operator<=>(const zone_id&, const zone_id&) = default;
+};
+
+/// Renders "ix:iy" for logs and CSV columns.
+std::string to_string(const zone_id& z);
+
+/// Hash so zone_id can key unordered_map.
+struct zone_id_hash {
+  std::size_t operator()(const zone_id& z) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(z.ix)) << 32) |
+        static_cast<std::uint32_t>(z.iy));
+  }
+};
+
+/// Tiles a projected plane into equal-area square zones.
+class zone_grid {
+ public:
+  /// `radius_m` is the paper's circular-zone radius; the square cell side is
+  /// chosen so cell area == pi * radius^2. Throws std::invalid_argument if
+  /// radius_m <= 0.
+  zone_grid(projection proj, double radius_m);
+
+  double radius_m() const noexcept { return radius_m_; }
+  double cell_side_m() const noexcept { return side_m_; }
+  const projection& proj() const noexcept { return proj_; }
+
+  /// Zone containing a geographic point.
+  zone_id zone_of(const lat_lon& p) const noexcept;
+  /// Zone containing a projected point.
+  zone_id zone_of(const xy& p) const noexcept;
+
+  /// Center of a zone, projected / geographic.
+  xy center_xy(const zone_id& z) const noexcept;
+  lat_lon center(const zone_id& z) const noexcept;
+
+  /// Distance from `p` to the center of zone `z`, meters.
+  double distance_to_center_m(const lat_lon& p, const zone_id& z) const noexcept;
+
+ private:
+  projection proj_;
+  double radius_m_;
+  double side_m_;
+};
+
+/// An explicitly-placed circular zone (used for Spot / Proximate locations).
+struct circular_zone {
+  lat_lon center;
+  double radius_m = 250.0;
+  std::string name;
+
+  /// True when `p` lies within `radius_m` of the center.
+  bool contains(const lat_lon& p) const noexcept {
+    return distance_m(center, p) <= radius_m;
+  }
+};
+
+/// Index of the first zone in `zones` containing `p`, or -1 if none.
+int find_zone(const std::vector<circular_zone>& zones, const lat_lon& p) noexcept;
+
+}  // namespace wiscape::geo

@@ -1,0 +1,45 @@
+#include "mobility/fleet.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wiscape::mobility {
+
+fleet::fleet(std::vector<geo::polyline> routes, std::size_t vehicle_count,
+             motion_params params, stats::rng_stream rng)
+    : routes_(std::move(routes)),
+      vehicle_count_(vehicle_count),
+      params_(params),
+      rng_(rng),
+      cache_(vehicle_count) {
+  if (routes_.empty()) throw std::invalid_argument("fleet needs >= 1 route");
+  if (vehicle_count_ == 0) throw std::invalid_argument("fleet needs >= 1 vehicle");
+}
+
+std::size_t fleet::route_of(std::size_t vehicle, std::int64_t day) const {
+  const std::uint64_t h = stats::splitmix64(
+      rng_.seed() ^ stats::splitmix64(vehicle * 0x1fULL + 1) ^
+      stats::splitmix64(static_cast<std::uint64_t>(day) * 0x2fULL + 7));
+  return static_cast<std::size_t>(h % routes_.size());
+}
+
+std::optional<gps_fix> fleet::fix_at(std::size_t vehicle, double t_s) {
+  if (vehicle >= vehicle_count_) {
+    throw std::out_of_range("fleet::fix_at: vehicle index out of range");
+  }
+  const auto day = static_cast<std::int64_t>(std::floor(t_s / 86400.0));
+  cache_entry& entry = cache_[vehicle];
+  if (entry.day != day) {
+    const std::size_t r = route_of(vehicle, day);
+    // Per (vehicle, day) substream: schedules are identical regardless of
+    // query order.
+    stats::rng_stream day_rng = rng_.fork(vehicle * 100003ULL +
+                                          static_cast<std::uint64_t>(day));
+    entry.schedule.emplace(routes_[r], params_, day_rng,
+                           static_cast<double>(day) * 86400.0);
+    entry.day = day;
+  }
+  return entry.schedule->fix_at(t_s);
+}
+
+}  // namespace wiscape::mobility

@@ -1,0 +1,54 @@
+// Vehicle fleets and static monitoring nodes.
+//
+// fleet reproduces the paper's collection discipline: a pool of vehicles,
+// each randomly re-assigned to a route every day ("each particular bus gets
+// randomly assigned to different routes each day"), so that over weeks the
+// fleet sweeps a whole city. static_node models the Spot locations that
+// collect continuously from one indoor position.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mobility/schedule.h"
+
+namespace wiscape::mobility {
+
+/// A pool of vehicles with daily random route assignment.
+class fleet {
+ public:
+  /// Throws std::invalid_argument on an empty route set or zero vehicles.
+  fleet(std::vector<geo::polyline> routes, std::size_t vehicle_count,
+        motion_params params, stats::rng_stream rng);
+
+  std::size_t size() const noexcept { return vehicle_count_; }
+  const std::vector<geo::polyline>& routes() const noexcept { return routes_; }
+
+  /// Route index vehicle `v` drives on day `day` (deterministic).
+  std::size_t route_of(std::size_t vehicle, std::int64_t day) const;
+
+  /// GPS fix of vehicle `v` at absolute time `t_s`; nullopt when out of
+  /// service. Non-const: caches the realized day schedule per vehicle.
+  std::optional<gps_fix> fix_at(std::size_t vehicle, double t_s);
+
+ private:
+  std::vector<geo::polyline> routes_;
+  std::size_t vehicle_count_;
+  motion_params params_;
+  stats::rng_stream rng_;
+
+  struct cache_entry {
+    std::int64_t day = -1;
+    std::optional<day_schedule> schedule;
+  };
+  std::vector<cache_entry> cache_;
+};
+
+/// A fixed measurement location (the Spot datasets).
+struct static_node {
+  geo::lat_lon pos;
+
+  gps_fix fix_at(double t_s) const noexcept { return {pos, 0.0, t_s}; }
+};
+
+}  // namespace wiscape::mobility

@@ -1,0 +1,82 @@
+#include "mobility/route_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wiscape::mobility {
+
+std::vector<geo::polyline> make_city_routes(const geo::projection& proj,
+                                            double width_m, double height_m,
+                                            std::size_t count,
+                                            stats::rng_stream rng) {
+  if (count == 0) throw std::invalid_argument("make_city_routes: count == 0");
+  if (!(width_m > 0.0) || !(height_m > 0.0)) {
+    throw std::invalid_argument("make_city_routes: non-positive extent");
+  }
+  std::vector<geo::polyline> routes;
+  routes.reserve(count);
+  const double hw = width_m / 2.0;
+  const double hh = height_m / 2.0;
+  for (std::size_t r = 0; r < count; ++r) {
+    stats::rng_stream rr = rng.fork(r);
+    // Start near one edge, zigzag toward the opposite one.
+    const bool horizontal = rr.chance(0.5);
+    double x = horizontal ? -hw * rr.uniform(0.75, 1.0)
+                          : rr.uniform(-hw * 0.9, hw * 0.9);
+    double y = horizontal ? rr.uniform(-hh * 0.9, hh * 0.9)
+                          : -hh * rr.uniform(0.75, 1.0);
+    std::vector<geo::lat_lon> pts{proj.to_lat_lon({x, y})};
+    const int legs = static_cast<int>(rr.uniform_int(6, 10));
+    for (int i = 0; i < legs; ++i) {
+      // Alternate between the main direction of travel and cross streets.
+      const bool main_leg = (i % 2 == 0);
+      const double step = rr.uniform(1200.0, 3200.0);
+      if (horizontal == main_leg) {
+        x = std::min(hw, x + step);
+      } else {
+        const double dy = rr.chance(0.5) ? step * 0.6 : -step * 0.6;
+        y = std::clamp(y + dy, -hh, hh);
+      }
+      pts.push_back(proj.to_lat_lon({x, y}));
+    }
+    routes.emplace_back(std::move(pts));
+  }
+  return routes;
+}
+
+geo::polyline make_road(const geo::lat_lon& from, const geo::lat_lon& to,
+                        double wiggle_m, stats::rng_stream rng, int segments) {
+  if (segments < 2) throw std::invalid_argument("make_road: segments < 2");
+  std::vector<geo::lat_lon> pts;
+  pts.reserve(static_cast<std::size_t>(segments) + 1);
+  const double heading = geo::bearing_deg(from, to);
+  for (int i = 0; i <= segments; ++i) {
+    geo::lat_lon p =
+        geo::interpolate(from, to, static_cast<double>(i) / segments);
+    if (i != 0 && i != segments && wiggle_m > 0.0) {
+      // Lateral offset perpendicular to the direction of travel.
+      p = geo::destination(p, heading + 90.0, rng.normal(0.0, wiggle_m));
+    }
+    pts.push_back(p);
+  }
+  return geo::polyline(std::move(pts));
+}
+
+geo::polyline make_drive_loop(const geo::projection& proj,
+                              const geo::lat_lon& center, double radius_m) {
+  if (!(radius_m > 0.0)) {
+    throw std::invalid_argument("make_drive_loop: radius must be positive");
+  }
+  const geo::xy c = proj.to_xy(center);
+  const double r = radius_m * 0.8;  // keep the whole loop inside the zone
+  std::vector<geo::lat_lon> pts{
+      proj.to_lat_lon({c.x_m - r, c.y_m - r}),
+      proj.to_lat_lon({c.x_m + r, c.y_m - r}),
+      proj.to_lat_lon({c.x_m + r, c.y_m + r}),
+      proj.to_lat_lon({c.x_m - r, c.y_m + r}),
+      proj.to_lat_lon({c.x_m - r, c.y_m - r}),
+  };
+  return geo::polyline(std::move(pts));
+}
+
+}  // namespace wiscape::mobility

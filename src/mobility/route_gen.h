@@ -1,0 +1,38 @@
+// Synthetic route generation over a region.
+//
+// Stand-in for the real Madison transit map: random but reproducible
+// city-grid bus routes (axis-aligned zigzags, the shape of real transit
+// lines) spanning the deployment extent, plus helpers for the corridor and
+// short-segment roads.
+#pragma once
+
+#include <vector>
+
+#include "geo/polyline.h"
+#include "geo/projection.h"
+#include "stats/rng.h"
+
+namespace wiscape::mobility {
+
+/// Generates `count` city bus routes across a width x height (meters) area
+/// centered on the projection origin. Routes are Manhattan-style zigzags
+/// with 6-10 waypoints. Throws std::invalid_argument on count == 0 or a
+/// non-positive extent.
+std::vector<geo::polyline> make_city_routes(const geo::projection& proj,
+                                            double width_m, double height_m,
+                                            std::size_t count,
+                                            stats::rng_stream rng);
+
+/// A long road between two anchor points with gentle lateral wiggle
+/// (the Madison-Chicago corridor / the 20 km Short segment).
+geo::polyline make_road(const geo::lat_lon& from, const geo::lat_lon& to,
+                        double wiggle_m, stats::rng_stream rng,
+                        int segments = 48);
+
+/// A small rectangular drive loop of ~`radius_m` around a center (the
+/// Proximate data collection: "driving around in a car within a 250 meter
+/// radius" of a static location).
+geo::polyline make_drive_loop(const geo::projection& proj,
+                              const geo::lat_lon& center, double radius_m);
+
+}  // namespace wiscape::mobility

@@ -1,0 +1,103 @@
+#include "mobility/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wiscape::mobility {
+
+motion_params transit_bus_params() noexcept {
+  return {.min_speed_mps = 7.0,
+          .max_speed_mps = 13.0,
+          .stop_spacing_m = 400.0,
+          .stop_duration_s = 20.0,
+          .service_start_s = 6.0 * 3600,
+          .service_end_s = 24.0 * 3600};
+}
+
+motion_params intercity_bus_params() noexcept {
+  return {.min_speed_mps = 25.0,
+          .max_speed_mps = 31.0,
+          .stop_spacing_m = 40000.0,
+          .stop_duration_s = 300.0,
+          .service_start_s = 7.0 * 3600,
+          .service_end_s = 22.0 * 3600};
+}
+
+motion_params drive_loop_params() noexcept {
+  return {.min_speed_mps = 13.0,
+          .max_speed_mps = 17.0,
+          .stop_spacing_m = 0.0,
+          .stop_duration_s = 0.0,
+          .service_start_s = 8.0 * 3600,
+          .service_end_s = 20.0 * 3600};
+}
+
+double fold_distance(double odometer_m, double len_m) noexcept {
+  if (len_m <= 0.0) return 0.0;
+  const double period = 2.0 * len_m;
+  double d = std::fmod(odometer_m, period);
+  if (d < 0.0) d += period;
+  return d <= len_m ? d : period - d;
+}
+
+day_schedule::day_schedule(const geo::polyline& route,
+                           const motion_params& params, stats::rng_stream rng,
+                           double day_start_s)
+    : route_(&route) {
+  if (!(params.min_speed_mps > 0.0) ||
+      !(params.max_speed_mps >= params.min_speed_mps)) {
+    throw std::invalid_argument("day_schedule: bad speed range");
+  }
+  if (!(params.service_end_s > params.service_start_s)) {
+    throw std::invalid_argument("day_schedule: inverted service window");
+  }
+  t_begin_ = day_start_s + params.service_start_s;
+  t_end_ = day_start_s + params.service_end_s;
+
+  // Build (time, odometer) knots: cruise a segment at a drawn speed, dwell
+  // at stops. Segment lengths jitter around the stop spacing.
+  double t = t_begin_;
+  double dist = 0.0;
+  knots_.push_back({t, dist});
+  while (t < t_end_) {
+    double seg_m;
+    if (params.stop_spacing_m > 0.0) {
+      seg_m = params.stop_spacing_m * rng.uniform(0.7, 1.3);
+    } else {
+      seg_m = route.length_m();  // no stops: knot per full traversal
+    }
+    const double v = rng.uniform(params.min_speed_mps, params.max_speed_mps);
+    t += seg_m / v;
+    dist += seg_m;
+    knots_.push_back({t, dist});
+    if (params.stop_duration_s > 0.0 && t < t_end_) {
+      t += params.stop_duration_s * rng.uniform(0.5, 1.5);
+      knots_.push_back({t, dist});
+    }
+  }
+}
+
+std::optional<gps_fix> day_schedule::fix_at(double t_s) const {
+  if (t_s < t_begin_ || t_s >= t_end_ || knots_.size() < 2) return std::nullopt;
+  const auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), t_s,
+      [](const knot& k, double t) { return k.t_s < t; });
+  if (it == knots_.begin()) {
+    return gps_fix{route_->point_at(0.0), 0.0, t_s};
+  }
+  if (it == knots_.end()) {
+    const double d = fold_distance(knots_.back().dist_m, route_->length_m());
+    return gps_fix{route_->point_at(d), 0.0, t_s};
+  }
+  const knot& b = *it;
+  const knot& a = *(it - 1);
+  const double dt = b.t_s - a.t_s;
+  const double frac = dt > 0.0 ? (t_s - a.t_s) / dt : 0.0;
+  const double odo = a.dist_m + (b.dist_m - a.dist_m) * frac;
+  const double speed = dt > 0.0 ? (b.dist_m - a.dist_m) / dt : 0.0;
+  return gps_fix{route_->point_at(fold_distance(odo, route_->length_m())),
+                 speed, t_s};
+}
+
+}  // namespace wiscape::mobility

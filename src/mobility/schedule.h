@@ -1,0 +1,74 @@
+// Vehicle motion: per-day travel schedules along a route.
+//
+// WiScape's wide-area data comes from vehicles -- Madison transit buses
+// (random daily route assignment, 6am-midnight service), intercity buses,
+// and personal cars driven over fixed loops. A day_schedule is the
+// deterministic realization of one vehicle-day: piecewise-linear distance
+// vs. time knots (drive segments at drawn speeds, dwell at stops), folded
+// back and forth along the route's polyline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/polyline.h"
+#include "stats/rng.h"
+
+namespace wiscape::mobility {
+
+/// A GPS report: where, how fast, when.
+struct gps_fix {
+  geo::lat_lon pos;
+  double speed_mps = 0.0;
+  double time_s = 0.0;
+};
+
+/// Motion style of a vehicle class.
+struct motion_params {
+  double min_speed_mps = 7.0;   ///< slowest per-segment cruise draw
+  double max_speed_mps = 13.0;  ///< fastest per-segment cruise draw
+  double stop_spacing_m = 400.0;  ///< 0 disables stops (highway/car loops)
+  double stop_duration_s = 20.0;
+  double service_start_s = 6.0 * 3600;   ///< within-day service window start
+  double service_end_s = 24.0 * 3600;    ///< within-day service window end
+};
+
+/// City-bus defaults (Madison transit: ~25-47 km/h between stops).
+motion_params transit_bus_params() noexcept;
+/// Intercity-bus defaults (cruise 90-110 km/h, rare stops).
+motion_params intercity_bus_params() noexcept;
+/// Car driven continuously around a loop at ~55 km/h (Region datasets).
+motion_params drive_loop_params() noexcept;
+
+/// One vehicle-day of motion along a route.
+class day_schedule {
+ public:
+  /// Realizes the day deterministically from `rng`. `day_start_s` is the
+  /// absolute time of the day's midnight. Throws std::invalid_argument on
+  /// non-positive speeds or an inverted service window.
+  day_schedule(const geo::polyline& route, const motion_params& params,
+               stats::rng_stream rng, double day_start_s);
+
+  /// Fix at absolute time `t_s`; nullopt outside the service window.
+  std::optional<gps_fix> fix_at(double t_s) const;
+
+  double service_start_abs_s() const noexcept { return t_begin_; }
+  double service_end_abs_s() const noexcept { return t_end_; }
+
+ private:
+  struct knot {
+    double t_s;      // absolute time
+    double dist_m;   // odometer distance (monotone, unfolded)
+  };
+
+  const geo::polyline* route_;
+  std::vector<knot> knots_;
+  double t_begin_ = 0.0;
+  double t_end_ = 0.0;
+};
+
+/// Folds a monotone odometer distance onto a route of length `len` traversed
+/// back and forth (triangle wave).
+double fold_distance(double odometer_m, double len_m) noexcept;
+
+}  // namespace wiscape::mobility

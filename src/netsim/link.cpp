@@ -1,0 +1,74 @@
+#include "netsim/link.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace wiscape::netsim {
+
+link_profile fixed_profile(double rate_bps, double delay_s, double loss_prob,
+                           std::size_t queue_capacity) {
+  link_profile p;
+  p.rate_bps = [rate_bps](sim_time) { return rate_bps; };
+  p.delay_s = [delay_s](sim_time) { return delay_s; };
+  p.loss_prob = [loss_prob](sim_time) { return loss_prob; };
+  p.queue_capacity = queue_capacity;
+  return p;
+}
+
+link::link(simulation& sim, link_profile profile, stats::rng_stream rng)
+    : sim_(sim), profile_(std::move(profile)), rng_(rng) {
+  if (!profile_.rate_bps || !profile_.delay_s || !profile_.loss_prob) {
+    throw std::invalid_argument("link profile callbacks must all be set");
+  }
+  if (profile_.queue_capacity == 0) {
+    throw std::invalid_argument("link queue capacity must be >= 1");
+  }
+}
+
+void link::send(packet p, receiver rx) {
+  if (queued_ >= profile_.queue_capacity) {
+    ++dropped_queue_;
+    return;
+  }
+  queue_.push(pending{p, std::move(rx)});
+  ++queued_;
+  if (!busy_) start_service();
+}
+
+void link::start_service() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  pending item = std::move(queue_.front());
+  queue_.pop();
+
+  const sim_time t = sim_.now();
+  const double bits = static_cast<double>(item.pkt.size_bytes) * 8.0;
+  double tx_time;
+  if (profile_.service_time) {
+    tx_time = std::max(profile_.service_time(t, bits), 1e-9);
+  } else {
+    tx_time = bits / std::max(profile_.rate_bps(t), 1.0);
+  }
+
+  sim_.schedule_in(tx_time, [this, item = std::move(item)]() mutable {
+    --queued_;
+    const sim_time t2 = sim_.now();
+    if (rng_.chance(profile_.loss_prob(t2))) {
+      ++dropped_random_;
+    } else {
+      double delay = profile_.delay_s(t2);
+      if (profile_.delay_noise_sigma_s > 0.0) {
+        delay += std::abs(rng_.normal(0.0, profile_.delay_noise_sigma_s));
+      }
+      ++delivered_;
+      sim_.schedule_in(delay, [item]() { item.rx(item.pkt); });
+    }
+    start_service();
+  });
+}
+
+}  // namespace wiscape::netsim

@@ -1,0 +1,92 @@
+// Packets and the rate-limited, queued, lossy link model.
+//
+// A link serializes packets at a (possibly time-varying) bit rate through a
+// bounded drop-tail queue, then delivers them after a propagation delay with
+// optional per-packet delay noise and random loss. The cellular downlink is
+// a link whose rate function is wired to cellnet link conditions x fading.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+#include "netsim/simulation.h"
+#include "stats/rng.h"
+
+namespace wiscape::netsim {
+
+/// What travels through links. Payload-free: size and metadata suffice for
+/// performance simulation.
+struct packet {
+  std::uint64_t flow_id = 0;
+  std::uint32_t seq = 0;
+  std::size_t size_bytes = 0;
+  sim_time sent_at = 0.0;  ///< stamped by the sender at first transmission
+  bool is_ack = false;
+};
+
+/// Receiver callback invoked on delivery.
+using receiver = std::function<void(const packet&)>;
+
+/// Time-varying properties, queried when each packet starts transmission.
+struct link_profile {
+  /// Bits per second; must return > 0.
+  std::function<double(sim_time)> rate_bps;
+  /// One-way propagation + processing delay, seconds.
+  std::function<double(sim_time)> delay_s;
+  /// Per-packet drop probability in [0, 1].
+  std::function<double(sim_time)> loss_prob;
+  /// Optional custom service model: total time (seconds) to serve a packet
+  /// of the given size starting at time t. When set it replaces the default
+  /// size/rate_bps(t) serialization; the probe engine uses it to model
+  /// slotted per-user 3G scheduling (transmission progresses only during
+  /// granted slots). Must return > 0.
+  std::function<double(sim_time, double /*bits*/)> service_time;
+  /// Stddev of per-packet delay noise (seconds); models scheduler and core
+  /// jitter. Noise is truncated at zero so causality holds.
+  double delay_noise_sigma_s = 0.0;
+  /// Drop-tail queue capacity, packets (including the one in service).
+  std::size_t queue_capacity = 64;
+};
+
+/// Fixed-parameter convenience profile.
+link_profile fixed_profile(double rate_bps, double delay_s,
+                           double loss_prob = 0.0,
+                           std::size_t queue_capacity = 64);
+
+/// One-directional link.
+class link {
+ public:
+  /// Throws std::invalid_argument when any profile callback is missing or
+  /// queue capacity is zero.
+  link(simulation& sim, link_profile profile, stats::rng_stream rng);
+
+  /// Enqueues a packet for `rx`. Silently drops when the queue is full or
+  /// the random-loss draw fires; drops are counted.
+  void send(packet p, receiver rx);
+
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t dropped_queue() const noexcept { return dropped_queue_; }
+  std::uint64_t dropped_random() const noexcept { return dropped_random_; }
+  std::size_t queue_len() const noexcept { return queued_; }
+
+ private:
+  void start_service();
+
+  simulation& sim_;
+  link_profile profile_;
+  stats::rng_stream rng_;
+
+  struct pending {
+    packet pkt;
+    receiver rx;
+  };
+  std::queue<pending> queue_;
+  std::size_t queued_ = 0;
+  bool busy_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_queue_ = 0;
+  std::uint64_t dropped_random_ = 0;
+};
+
+}  // namespace wiscape::netsim

@@ -1,0 +1,30 @@
+// A bidirectional client<->server path: cellular downlink (the bottleneck)
+// plus a return uplink for ACKs, pings and requests.
+#pragma once
+
+#include "netsim/link.h"
+
+namespace wiscape::netsim {
+
+/// Owns the two directional links of one client's session.
+class duplex_path {
+ public:
+  duplex_path(simulation& sim, link_profile downlink, link_profile uplink,
+              stats::rng_stream rng)
+      : down_(sim, std::move(downlink), rng.fork("down")),
+        up_(sim, std::move(uplink), rng.fork("up")) {}
+
+  /// Server -> client direction (data, ping replies).
+  link& down() noexcept { return down_; }
+  /// Client -> server direction (ACKs, requests, pings).
+  link& up() noexcept { return up_; }
+
+  const link& down() const noexcept { return down_; }
+  const link& up() const noexcept { return up_; }
+
+ private:
+  link down_;
+  link up_;
+};
+
+}  // namespace wiscape::netsim

@@ -1,0 +1,35 @@
+#include "netsim/simulation.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wiscape::netsim {
+
+void simulation::schedule_at(sim_time t, std::function<void()> fn) {
+  queue_.push(event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+void simulation::schedule_in(sim_time delay, std::function<void()> fn) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+void simulation::pop_and_run() {
+  // Move the handler out before popping: the handler may schedule new
+  // events, which mutates the queue.
+  auto ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+}
+
+void simulation::run() {
+  while (!queue_.empty()) pop_and_run();
+}
+
+void simulation::run_until(sim_time t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) pop_and_run();
+  now_ = std::max(now_, t_end);
+}
+
+}  // namespace wiscape::netsim

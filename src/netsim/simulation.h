@@ -1,0 +1,60 @@
+// Discrete-event simulation core.
+//
+// Probes in this reproduction are *actually run* as packet exchanges through
+// a queued, rate-limited link model (DESIGN.md: "packet-level DES for
+// probes"), so TCP slow-start effects, queueing jitter and loss emerge
+// rather than being sampled from formulas. simulation owns the event clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wiscape::netsim {
+
+/// Simulated time, seconds since the simulation epoch.
+using sim_time = double;
+
+/// An executable event calendar with a monotonic clock.
+class simulation {
+ public:
+  sim_time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t`. Events scheduled in the past run
+  /// at the current time (t clamps to now). Ties run in scheduling order.
+  void schedule_at(sim_time t, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay (>= 0; negative clamps to 0).
+  void schedule_in(sim_time delay, std::function<void()> fn);
+
+  /// Runs events until the calendar empties.
+  void run();
+
+  /// Runs events with time <= t_end, then advances the clock to t_end.
+  void run_until(sim_time t_end);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct event {
+    sim_time t;
+    std::uint64_t seq;  // FIFO tiebreak for simultaneous events
+    std::function<void()> fn;
+  };
+  struct later {
+    bool operator()(const event& a, const event& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  void pop_and_run();
+
+  std::priority_queue<event, std::vector<event>, later> queue_;
+  sim_time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace wiscape::netsim

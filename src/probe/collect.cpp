@@ -1,0 +1,257 @@
+#include "probe/collect.h"
+
+#include "mobility/fleet.h"
+#include "mobility/route_gen.h"
+
+namespace wiscape::probe {
+
+namespace {
+
+/// Probe-time jitter: clients are opportunistic, not metronomes.
+double jittered(double interval_s, stats::rng_stream& rng) {
+  return interval_s * rng.uniform(0.85, 1.15);
+}
+
+}  // namespace
+
+std::vector<geo::lat_lon> default_spot_locations(
+    const cellnet::deployment& dep, int count, std::uint64_t seed) {
+  std::vector<geo::lat_lon> out;
+  stats::rng_stream rng(seed);
+  const auto& area = dep.area();
+  // Rejection-sample positions covered by every operator; cap attempts so a
+  // pathological deployment cannot loop forever.
+  for (int attempts = 0; attempts < 1000 && out.size() < static_cast<std::size_t>(count);
+       ++attempts) {
+    geo::xy p{rng.uniform(-area.width_m * 0.4, area.width_m * 0.4),
+              rng.uniform(-area.height_m * 0.4, area.height_m * 0.4)};
+    bool ok = true;
+    for (std::size_t n = 0; n < dep.size(); ++n) {
+      const auto lc = dep.network(n).conditions_at(p, 12.0 * 3600);
+      if (!lc.in_coverage || lc.sinr_db < 2.0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(dep.proj().to_lat_lon(p));
+  }
+  return out;
+}
+
+trace::dataset collect_standalone(probe_engine& engine,
+                                  const standalone_params& params) {
+  const auto& dep = engine.dep();
+  stats::rng_stream rng(engine.dep().network(0).config().seed ^ 0x57a4d41aULL);
+
+  auto routes = mobility::make_city_routes(
+      dep.proj(), dep.area().width_m * 0.9, dep.area().height_m * 0.9,
+      params.routes, rng.fork("routes"));
+  mobility::fleet fleet(std::move(routes), params.buses,
+                        mobility::transit_bus_params(), rng.fork("fleet"));
+
+  trace::dataset ds;
+  tcp_probe_params tcp;
+  tcp.bytes = params.tcp_bytes;
+  ping_probe_params ping;
+  ping.count = 5;
+  ping.interval_s = 1.0;
+
+  stats::rng_stream jitter = rng.fork("jitter");
+  for (int day = 0; day < params.days; ++day) {
+    const double day_start = day * 86400.0;
+    for (std::size_t bus = 0; bus < fleet.size(); ++bus) {
+      double t = day_start + 6.0 * 3600;
+      const double t_end = day_start + 24.0 * 3600;
+      while (t < t_end) {
+        if (auto fix = fleet.fix_at(bus, t)) {
+          auto rec = engine.tcp_probe(params.network_index, *fix, tcp);
+          rec.client_id = bus + 1;
+          ds.add(std::move(rec));
+          if (params.with_pings) {
+            auto pr = engine.ping_probe(params.network_index, *fix, ping);
+            pr.client_id = bus + 1;
+            ds.add(std::move(pr));
+          }
+        }
+        t += jittered(params.probe_interval_s, jitter);
+      }
+    }
+  }
+  return ds;
+}
+
+trace::dataset collect_wirover(probe_engine& engine,
+                               const wirover_params& params) {
+  const auto& dep = engine.dep();
+  stats::rng_stream rng(dep.network(0).config().seed ^ 0x31304e52ULL);
+
+  // Buses run the full main road of the region: west edge to east edge.
+  const double half_w = dep.area().width_m / 2.0;
+  const geo::lat_lon west = dep.proj().to_lat_lon({-half_w * 0.95, 0.0});
+  const geo::lat_lon east = dep.proj().to_lat_lon({half_w * 0.95, 0.0});
+  std::vector<geo::polyline> roads;
+  roads.push_back(mobility::make_road(west, east, dep.area().height_m * 0.15,
+                                      rng.fork("road")));
+  const bool intercity = dep.area().width_m > 50'000.0;
+  mobility::fleet fleet(std::move(roads), params.buses,
+                        intercity ? mobility::intercity_bus_params()
+                                  : mobility::transit_bus_params(),
+                        rng.fork("fleet"));
+
+  ping_probe_params ping;
+  ping.count = params.pings_per_train;
+  ping.interval_s = params.ping_spacing_s;
+
+  trace::dataset ds;
+  stats::rng_stream jitter = rng.fork("jitter");
+  for (int day = 0; day < params.days; ++day) {
+    const double day_start = day * 86400.0;
+    for (std::size_t bus = 0; bus < fleet.size(); ++bus) {
+      double t = day_start + 7.0 * 3600;
+      const double t_end = day_start + 22.0 * 3600;
+      while (t < t_end) {
+        if (auto fix = fleet.fix_at(bus, t)) {
+          for (std::size_t n = 0; n < dep.size(); ++n) {
+            auto rec = engine.ping_probe(n, *fix, ping);
+            rec.client_id = bus + 1;
+            ds.add(std::move(rec));
+          }
+        }
+        t += jittered(params.train_interval_s, jitter);
+      }
+    }
+  }
+  return ds;
+}
+
+trace::dataset collect_spot(probe_engine& engine,
+                            const std::vector<geo::lat_lon>& locations,
+                            const spot_params& params) {
+  const auto& dep = engine.dep();
+  stats::rng_stream rng(dep.network(0).config().seed ^ 0x5907aaabULL);
+
+  udp_probe_params udp;
+  udp.packets = params.udp_packets;
+  tcp_probe_params tcp;
+  tcp.bytes = params.tcp_bytes;
+
+  trace::dataset ds;
+  stats::rng_stream jitter = rng.fork("jitter");
+  const double t_total = params.days * 86400.0;
+  std::uint64_t station = 0;
+  for (const auto& loc : locations) {
+    ++station;
+    mobility::static_node node{loc};
+    double next_tcp = 0.0;
+    double t = 0.0;
+    while (t < t_total) {
+      const auto fix = node.fix_at(t);
+      for (std::size_t n = 0; n < dep.size(); ++n) {
+        auto rec = engine.udp_probe(n, fix, udp);
+        rec.client_id = station;
+        ds.add(std::move(rec));
+      }
+      if (t >= next_tcp) {
+        for (std::size_t n = 0; n < dep.size(); ++n) {
+          auto rec = engine.tcp_probe(n, fix, tcp);
+          rec.client_id = station;
+          ds.add(std::move(rec));
+        }
+        next_tcp = t + params.tcp_interval_s;
+      }
+      t += jittered(params.udp_interval_s, jitter);
+    }
+  }
+  return ds;
+}
+
+trace::dataset collect_proximate(probe_engine& engine,
+                                 const geo::lat_lon& center,
+                                 const proximate_params& params) {
+  const auto& dep = engine.dep();
+  stats::rng_stream rng(dep.network(0).config().seed ^ 0x9067817eULL);
+
+  std::vector<geo::polyline> loop;
+  loop.push_back(
+      mobility::make_drive_loop(dep.proj(), center, params.loop_radius_m));
+  mobility::fleet car(std::move(loop), 1, mobility::drive_loop_params(),
+                      rng.fork("car"));
+
+  udp_probe_params udp;
+  udp.packets = params.udp_packets;
+  tcp_probe_params tcp;
+  tcp.bytes = params.tcp_bytes;
+
+  trace::dataset ds;
+  stats::rng_stream jitter = rng.fork("jitter");
+  for (int day = 0; day < params.days; ++day) {
+    double t = day * 86400.0 + 8.0 * 3600;
+    const double t_end = day * 86400.0 + 20.0 * 3600;
+    double next_tcp = t;
+    while (t < t_end) {
+      if (auto fix = car.fix_at(0, t)) {
+        for (std::size_t n = 0; n < dep.size(); ++n) {
+          auto rec = engine.udp_probe(n, *fix, udp);
+          rec.client_id = 1;
+          ds.add(std::move(rec));
+        }
+        if (t >= next_tcp) {
+          for (std::size_t n = 0; n < dep.size(); ++n) {
+            auto rec = engine.tcp_probe(n, *fix, tcp);
+            rec.client_id = 1;
+            ds.add(std::move(rec));
+          }
+          next_tcp = t + 3.0 * params.probe_interval_s;
+        }
+      }
+      t += jittered(params.probe_interval_s, jitter);
+    }
+  }
+  return ds;
+}
+
+trace::dataset collect_segment(probe_engine& engine,
+                               const segment_params& params) {
+  const auto& dep = engine.dep();
+  stats::rng_stream rng(dep.network(0).config().seed ^ 0x5e94e47ULL);
+
+  const double half_w = dep.area().width_m / 2.0;
+  const geo::lat_lon west = dep.proj().to_lat_lon({-half_w * 0.9, 0.0});
+  const geo::lat_lon east = dep.proj().to_lat_lon({half_w * 0.9, 0.0});
+  std::vector<geo::polyline> road;
+  road.push_back(
+      mobility::make_road(west, east, 150.0, rng.fork("road"), 24));
+  mobility::fleet car(std::move(road), 1, mobility::drive_loop_params(),
+                      rng.fork("car"));
+
+  tcp_probe_params tcp;
+  tcp.bytes = params.tcp_bytes;
+  udp_probe_params udp;
+  udp.packets = params.udp_packets;
+  ping_probe_params ping;
+  ping.count = params.pings_per_train;
+  ping.interval_s = 1.0;
+
+  trace::dataset ds;
+  stats::rng_stream jitter = rng.fork("jitter");
+  for (int day = 0; day < params.days; ++day) {
+    double t = day * 86400.0 + 8.0 * 3600;
+    const double t_end = day * 86400.0 + 20.0 * 3600;
+    while (t < t_end) {
+      if (auto fix = car.fix_at(0, t)) {
+        for (std::size_t n = 0; n < dep.size(); ++n) {
+          for (auto rec : {engine.tcp_probe(n, *fix, tcp),
+                           engine.udp_probe(n, *fix, udp),
+                           engine.ping_probe(n, *fix, ping)}) {
+            rec.client_id = 1;
+            ds.add(std::move(rec));
+          }
+        }
+      }
+      t += jittered(params.probe_interval_s, jitter);
+    }
+  }
+  return ds;
+}
+
+}  // namespace wiscape::probe

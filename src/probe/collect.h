@@ -1,0 +1,97 @@
+// Dataset builders: regenerate each of the paper's collection campaigns
+// (Table 2) against the synthetic substrate.
+//
+//   Standalone   - Madison transit buses, single network (NetB), 1 MB TCP
+//                  downloads + ICMP-style pings, city-wide
+//   WiRover      - buses with two networks (NetB+NetC), latency-only
+//                  (UDP ping trains), Madison + the 240 km corridor
+//   Spot         - static indoor locations, continuous TCP/UDP sampling
+//   Proximate    - car loops within 250 m of the Spot locations
+//   Short segment- 20 km road stretch, all three networks, TCP/UDP/ping
+//
+// All builders are deterministic in (engine seed, params).
+#pragma once
+
+#include <vector>
+
+#include "probe/engine.h"
+#include "trace/dataset.h"
+
+namespace wiscape::probe {
+
+/// Picks `count` static locations spread over the deployment that have
+/// coverage on every operator (the paper chose representative zones with
+/// low variability for its Spot collection).
+std::vector<geo::lat_lon> default_spot_locations(
+    const cellnet::deployment& dep, int count, std::uint64_t seed);
+
+struct standalone_params {
+  int days = 10;
+  std::size_t buses = 5;
+  std::size_t routes = 12;
+  double probe_interval_s = 90.0;      ///< per bus, between TCP probes
+  std::size_t tcp_bytes = 1'000'000;
+  std::size_t network_index = 1;       ///< NetB in the madison preset
+  bool with_pings = true;              ///< ICMP-style ping alongside TCP
+};
+
+/// Bus-mounted single-network city campaign (TCP + pings).
+trace::dataset collect_standalone(probe_engine& engine,
+                                  const standalone_params& params);
+
+struct wirover_params {
+  int days = 6;
+  std::size_t buses = 4;
+  /// The paper's cadence is ~12 pings a minute; short, frequent trains keep
+  /// zone attribution honest while the bus moves (a 12-ping 60 s train
+  /// would span several zones at highway speed).
+  double train_interval_s = 20.0;
+  std::uint32_t pings_per_train = 4;
+  double ping_spacing_s = 1.0;
+};
+
+/// Two-network latency campaign on intercity buses (the corridor preset) or
+/// city buses (madison preset) -- ping trains only, per the paper.
+trace::dataset collect_wirover(probe_engine& engine,
+                               const wirover_params& params);
+
+struct spot_params {
+  int days = 3;
+  double udp_interval_s = 10.0;   ///< continuous fine-grained UDP sampling
+  double tcp_interval_s = 60.0;
+  std::uint32_t udp_packets = 50;
+  std::size_t tcp_bytes = 250'000;
+};
+
+/// Continuous static-location campaign across all operators.
+trace::dataset collect_spot(probe_engine& engine,
+                            const std::vector<geo::lat_lon>& locations,
+                            const spot_params& params);
+
+struct proximate_params {
+  int days = 3;
+  double loop_radius_m = 250.0;
+  double probe_interval_s = 20.0;
+  std::uint32_t udp_packets = 100;
+  std::size_t tcp_bytes = 250'000;
+};
+
+/// Car-loop campaign in the vicinity of a static location.
+trace::dataset collect_proximate(probe_engine& engine,
+                                 const geo::lat_lon& center,
+                                 const proximate_params& params);
+
+struct segment_params {
+  int days = 5;
+  double probe_interval_s = 30.0;
+  std::size_t tcp_bytes = 500'000;
+  std::uint32_t udp_packets = 100;
+  std::uint32_t pings_per_train = 5;
+};
+
+/// All-operator campaign along a road (the segment preset's main road from
+/// west extent edge to east edge).
+trace::dataset collect_segment(probe_engine& engine,
+                               const segment_params& params);
+
+}  // namespace wiscape::probe

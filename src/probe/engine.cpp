@@ -1,0 +1,368 @@
+#include "probe/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "netsim/path.h"
+#include "radio/fading.h"
+#include "transport/ping.h"
+#include "transport/tcp.h"
+#include "transport/udp.h"
+
+namespace wiscape::probe {
+
+namespace {
+/// How long the slow-field condition cache stays valid (simulated seconds).
+/// Probes re-query the cellnet field at this cadence; fading varies faster
+/// and is applied per call.
+constexpr double slow_refresh_s = 1.0;
+
+/// Slotted per-user scheduling. 3G downlinks are time-division scheduled
+/// (EV-DO serves one user per 1.67 ms slot, proportional-fair over ~ms
+/// horizons): a client is served in bursts above its average share with
+/// gaps in between. Bulk transfers queue through the gaps and see the
+/// average rate, but packet-pair / one-way-delay probing tools sample the
+/// burst structure -- which is precisely why Pathload and WBest misestimate
+/// cellular links (Sec 3.3.1 / Koutsonikolas & Hu). We model the schedule
+/// as 8 ms grant windows in which the client is scheduled with probability
+/// sched_p, receiving its share scaled by 1/sched_p (mean preserved).
+constexpr double sched_slot_s = 0.008;
+constexpr double sched_p = 0.6;
+
+bool scheduled_in_slot(std::uint64_t seed, std::int64_t slot) noexcept {
+  const std::uint64_t h =
+      stats::splitmix64(seed ^ stats::splitmix64(static_cast<std::uint64_t>(slot)));
+  return static_cast<double>(h >> 11) / 9007199254740992.0 < sched_p;
+}
+}  // namespace
+
+device_profile laptop_device() { return {"laptop", 0.0}; }
+device_profile phone_device() { return {"phone", 2.5}; }
+
+/// Per-probe wiring: one DES, one fading process, a cached view of the slow
+/// cellular field at the probe's position, and the duplex path whose rate /
+/// delay / loss callbacks sample them.
+struct probe_engine::session {
+  netsim::simulation sim;
+  const cellnet::cellular_network& net;
+  geo::xy pos;
+  double wall_t0;
+  mutable radio::fading_process fading;
+  std::uint64_t sched_seed;
+
+  mutable cellnet::link_conditions cached{};
+  mutable double cache_wall_t = -1.0;
+
+  std::optional<netsim::duplex_path> path;
+
+  double sinr_penalty_db = 0.0;
+
+  session(const cellnet::cellular_network& n, geo::xy p, double t0,
+          stats::rng_stream fading_rng, double penalty_db = 0.0)
+      : net(n),
+        pos(p),
+        wall_t0(t0),
+        fading(fading_rng, n.config().fading_sigma, n.config().fading_tau_s),
+        sched_seed(fading_rng.fork("sched").seed()),
+        sinr_penalty_db(penalty_db) {}
+
+  const cellnet::link_conditions& slow(double sim_t) const {
+    const double wall = wall_t0 + sim_t;
+    if (cache_wall_t < 0.0 || wall - cache_wall_t >= slow_refresh_s) {
+      cached = net.conditions_at(pos, wall, sinr_penalty_db);
+      cache_wall_t = wall;
+    }
+    return cached;
+  }
+
+  void build_path(stats::rng_stream link_rng) {
+    const auto& cfg = net.config();
+
+    netsim::link_profile down;
+    // Burst rate while a slot is granted: the client's share scaled up by
+    // 1/sched_p. The slotted service model below only lets transmission
+    // progress during granted slots, so the long-run average equals the
+    // share exactly.
+    down.rate_bps = [this](netsim::sim_time t) {
+      const auto& lc = slow(t);
+      const double gain = fading.gain_at(wall_t0 + t);
+      const double share = std::max(lc.capacity_bps * gain, 1000.0);
+      return share / sched_p;
+    };
+    down.service_time = [this, rate = down.rate_bps](netsim::sim_time t,
+                                                     double bits) {
+      const double burst = std::max(rate(t), 1.0);
+      const double start = wall_t0 + t;
+      double remaining = bits;
+      // Walk slots by integer index (never re-derive the index from a
+      // floating-point time: the boundary can round back into the previous
+      // slot and loop forever). Transmit through granted slots, skip the
+      // rest.
+      auto slot = static_cast<std::int64_t>(std::floor(start / sched_slot_s));
+      double cursor = start;
+      while (true) {
+        const double slot_end = static_cast<double>(slot + 1) * sched_slot_s;
+        if (scheduled_in_slot(sched_seed, slot)) {
+          const double can_send = burst * std::max(slot_end - cursor, 0.0);
+          if (can_send >= remaining) {
+            cursor += remaining / burst;
+            break;
+          }
+          remaining -= can_send;
+        }
+        cursor = slot_end;
+        ++slot;
+      }
+      return std::max(cursor - start, 1e-9);
+    };
+    down.delay_s = [this](netsim::sim_time t) { return slow(t).rtt_s / 2.0; };
+    down.loss_prob = [this](netsim::sim_time t) {
+      const auto& lc = slow(t);
+      return lc.in_coverage ? lc.loss_prob : 1.0;
+    };
+    down.delay_noise_sigma_s = cfg.latency_jitter_sigma_s;
+    // 3G RNC buffers were famously deep (bufferbloat): bulk TCP rarely sees
+    // queue loss, so per-download throughput is stable -- the property that
+    // makes Fig 4's low intra-zone spread possible.
+    down.queue_capacity = 256;
+
+    netsim::link_profile up;
+    up.rate_bps = [this](netsim::sim_time t) {
+      const double gain = fading.gain_at(wall_t0 + t);
+      return std::max(slow(t).uplink_capacity_bps * gain, 8e3);
+    };
+    up.delay_s = [this](netsim::sim_time t) { return slow(t).rtt_s / 2.0; };
+    up.loss_prob = [this](netsim::sim_time t) {
+      const auto& lc = slow(t);
+      return lc.in_coverage ? lc.loss_prob * 0.3 : 1.0;
+    };
+    up.delay_noise_sigma_s = cfg.latency_jitter_sigma_s * 0.5;
+    up.queue_capacity = 64;
+
+    path.emplace(sim, std::move(down), std::move(up), link_rng);
+  }
+};
+
+
+namespace {
+/// Stamps the modem-style RSSI reading onto a record: slow-field received
+/// power plus an *independent* instantaneous fluctuation. RSSI is a
+/// momentary pilot-channel sample; by the time a transfer runs, fast fading
+/// has decorrelated (tau ~ 2 s), so the reading shares no noise with the
+/// measured throughput -- which is why the paper found RSSI uncorrelated
+/// with TCP throughput and dropped it (Sec 5).
+double rssi_reading(const cellnet::link_conditions& lc, double noise_db) {
+  return lc.rx_dbm + noise_db;
+}
+}  // namespace
+
+probe_engine::probe_engine(const cellnet::deployment& dep, std::uint64_t seed)
+    : dep_(&dep), rng_(seed) {}
+
+trace::measurement_record probe_engine::base_record(
+    std::size_t net, const mobility::gps_fix& fix, trace::probe_kind kind,
+    const device_profile& dev) const {
+  trace::measurement_record r;
+  r.time_s = fix.time_s;
+  r.network = dep_->network(net).config().name;
+  r.pos = fix.pos;
+  r.speed_mps = fix.speed_mps;
+  r.device = dev.name;
+  r.kind = kind;
+  return r;
+}
+
+trace::measurement_record probe_engine::tcp_probe(
+    std::size_t net, const mobility::gps_fix& fix,
+    const tcp_probe_params& params, const device_profile& dev) {
+  auto record = base_record(net, fix, trace::probe_kind::tcp_download, dev);
+  const auto& network = dep_->network(net);
+  const geo::xy pos = dep_->proj().to_xy(fix.pos);
+  const std::uint64_t id = ++probe_counter_;
+
+  session s(network, pos, fix.time_s, rng_.fork(id).fork("fading"),
+            dev.sinr_penalty_db);
+  record.rssi_dbm = rssi_reading(s.slow(0.0),
+                                 rng_.fork(id).fork("rssi").normal(0.0, 2.5));
+  if (!s.slow(0.0).in_coverage) return record;  // success stays false
+  s.build_path(rng_.fork(id).fork("link"));
+
+  transport::tcp_config cfg;
+  cfg.transfer_bytes = params.bytes;
+  std::optional<transport::tcp_result> result;
+  auto flow = transport::start_tcp_download(
+      s.sim, *s.path, cfg, id,
+      [&result](const transport::tcp_result& r) { result = r; });
+  s.sim.run_until(params.deadline_s);
+  if (!result) flow->abort();
+
+  record.success = result->completed;
+  record.throughput_bps = result->throughput_bps;
+  record.rtt_s = result->srtt_s;
+  return record;
+}
+
+trace::measurement_record probe_engine::udp_probe(
+    std::size_t net, const mobility::gps_fix& fix,
+    const udp_probe_params& params, const device_profile& dev) {
+  auto record = base_record(net, fix, trace::probe_kind::udp_burst, dev);
+  const auto& network = dep_->network(net);
+  const geo::xy pos = dep_->proj().to_xy(fix.pos);
+  const std::uint64_t id = ++probe_counter_;
+
+  session s(network, pos, fix.time_s, rng_.fork(id).fork("fading"),
+            dev.sinr_penalty_db);
+  const auto first = s.slow(0.0);
+  record.rssi_dbm = rssi_reading(first,
+                                 rng_.fork(id).fork("rssi").normal(0.0, 2.5));
+  if (!first.in_coverage) return record;
+  s.build_path(rng_.fork(id).fork("link"));
+
+  transport::udp_config cfg;
+  cfg.packet_count = params.packets;
+  cfg.packet_bytes = params.packet_bytes;
+  // Adaptive pacing (Table 1: "inter packet delay adaptively varies based on
+  // available capacity"): offer just under the current link share so the
+  // burst measures available bandwidth without self-induced queue loss.
+  const double adaptive =
+      static_cast<double>(params.packet_bytes) * 8.0 / (0.95 * first.capacity_bps);
+  cfg.interval_s = std::max(params.interval_s, adaptive);
+
+  std::optional<transport::udp_result> result;
+  auto flow = transport::start_udp_flow(
+      s.sim, *s.path, cfg, id,
+      [&result](const transport::udp_result& r) { result = r; });
+  const double deadline = static_cast<double>(params.packets) * cfg.interval_s +
+                          cfg.drain_timeout_s + params.deadline_s;
+  s.sim.run_until(deadline);
+  (void)flow;
+  if (!result) return record;  // should not happen: finish() is scheduled
+
+  record.success = result->received > 0;
+  record.throughput_bps = result->throughput_bps;
+  record.loss_rate = result->loss_rate;
+  record.jitter_s = result->jitter_s;
+  return record;
+}
+
+trace::measurement_record probe_engine::udp_uplink_probe(
+    std::size_t net, const mobility::gps_fix& fix,
+    const udp_probe_params& params, const device_profile& dev) {
+  auto record = base_record(net, fix, trace::probe_kind::udp_uplink, dev);
+  const auto& network = dep_->network(net);
+  const geo::xy pos = dep_->proj().to_xy(fix.pos);
+  const std::uint64_t id = ++probe_counter_;
+
+  session s(network, pos, fix.time_s, rng_.fork(id).fork("fading"),
+            dev.sinr_penalty_db);
+  const auto first = s.slow(0.0);
+  record.rssi_dbm = rssi_reading(first,
+                                 rng_.fork(id).fork("rssi").normal(0.0, 2.5));
+  if (!first.in_coverage) return record;
+  s.build_path(rng_.fork(id).fork("link"));
+
+  transport::udp_config cfg;
+  cfg.packet_count = params.packets;
+  cfg.packet_bytes = params.packet_bytes;
+  cfg.use_uplink = true;
+  const double adaptive = static_cast<double>(params.packet_bytes) * 8.0 /
+                          (0.95 * first.uplink_capacity_bps);
+  cfg.interval_s = std::max(params.interval_s, adaptive);
+
+  std::optional<transport::udp_result> result;
+  auto flow = transport::start_udp_flow(
+      s.sim, *s.path, cfg, id,
+      [&result](const transport::udp_result& r) { result = r; });
+  const double deadline = static_cast<double>(params.packets) * cfg.interval_s +
+                          cfg.drain_timeout_s + params.deadline_s;
+  s.sim.run_until(deadline);
+  (void)flow;
+  if (!result) return record;
+
+  record.success = result->received > 0;
+  record.throughput_bps = result->throughput_bps;
+  record.loss_rate = result->loss_rate;
+  record.jitter_s = result->jitter_s;
+  return record;
+}
+
+trace::measurement_record probe_engine::ping_probe(
+    std::size_t net, const mobility::gps_fix& fix,
+    const ping_probe_params& params, const device_profile& dev) {
+  auto record = base_record(net, fix, trace::probe_kind::ping, dev);
+  const auto& network = dep_->network(net);
+  const geo::xy pos = dep_->proj().to_xy(fix.pos);
+  const std::uint64_t id = ++probe_counter_;
+
+  session s(network, pos, fix.time_s, rng_.fork(id).fork("fading"),
+            dev.sinr_penalty_db);
+  record.rssi_dbm = rssi_reading(s.slow(0.0),
+                                 rng_.fork(id).fork("rssi").normal(0.0, 2.5));
+  s.build_path(rng_.fork(id).fork("link"));
+
+  transport::ping_config cfg;
+  cfg.count = params.count;
+  cfg.interval_s = params.interval_s;
+  cfg.timeout_s = params.timeout_s;
+
+  std::optional<transport::ping_result> result;
+  auto train = transport::start_ping_train(
+      s.sim, *s.path, cfg, id,
+      [&result](const transport::ping_result& r) { result = r; });
+  s.sim.run();
+  (void)train;
+
+  // Ping probes always produce a record: failures are themselves the signal
+  // (Fig 9's failed-ping triage).
+  record.ping_sent = static_cast<int>(result->sent);
+  record.ping_failures = static_cast<int>(result->failures);
+  record.success = result->replies > 0;
+  record.rtt_s = result->mean_rtt_s;
+  return record;
+}
+
+probe_engine::train_result probe_engine::udp_train(std::size_t net,
+                                                   const mobility::gps_fix& fix,
+                                                   double rate_bps,
+                                                   std::uint32_t packets,
+                                                   std::size_t packet_bytes) {
+  train_result out;
+  out.packet_bytes = packet_bytes;
+  out.sent = packets;
+  out.send_s.assign(packets, -1.0);
+  out.recv_s.assign(packets, -1.0);
+  if (!(rate_bps > 0.0) || packets == 0 || packet_bytes == 0) {
+    throw std::invalid_argument("udp_train: bad rate/count/size");
+  }
+
+  const auto& network = dep_->network(net);
+  const geo::xy pos = dep_->proj().to_xy(fix.pos);
+  const std::uint64_t id = ++probe_counter_;
+
+  session s(network, pos, fix.time_s, rng_.fork(id).fork("fading"));
+  if (!s.slow(0.0).in_coverage) return out;
+  s.build_path(rng_.fork(id).fork("link"));
+
+  const double interval =
+      static_cast<double>(packet_bytes) * 8.0 / rate_bps;
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    const double at = static_cast<double>(i) * interval;
+    s.sim.schedule_at(at, [&s, &out, i, packet_bytes, id]() {
+      netsim::packet p;
+      p.flow_id = id;
+      p.seq = i;
+      p.size_bytes = packet_bytes;
+      p.sent_at = s.sim.now();
+      out.send_s[i] = s.sim.now();
+      s.path->down().send(p, [&s, &out](const netsim::packet& pkt) {
+        out.recv_s[pkt.seq] = s.sim.now();
+      });
+    });
+  }
+  s.sim.run();
+  return out;
+}
+
+}  // namespace wiscape::probe

@@ -1,0 +1,150 @@
+#include "proto/messages.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "trace/csv.h"
+
+namespace wiscape::proto {
+
+namespace {
+
+/// Splits "TYPE k=v k=v ..." into the tag and a key->value map.
+std::unordered_map<std::string, std::string> fields_of(
+    const std::string& line, const std::string& expected_type) {
+  std::istringstream is(line);
+  std::string tag;
+  if (!(is >> tag) || tag != expected_type) {
+    throw std::invalid_argument("expected " + expected_type + " message, got '" +
+                                line + "'");
+  }
+  std::unordered_map<std::string, std::string> out;
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("malformed field '" + token + "'");
+    }
+    out[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return out;
+}
+
+const std::string& need(
+    const std::unordered_map<std::string, std::string>& fields,
+    const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    throw std::invalid_argument("missing field '" + key + "'");
+  }
+  return it->second;
+}
+
+double need_double(const std::unordered_map<std::string, std::string>& fields,
+                   const std::string& key) {
+  const std::string& s = need(fields, key);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric field " + key + "='" + s + "'");
+  }
+}
+
+std::uint64_t need_u64(
+    const std::unordered_map<std::string, std::string>& fields,
+    const std::string& key) {
+  return static_cast<std::uint64_t>(need_double(fields, key));
+}
+
+}  // namespace
+
+std::string encode(const checkin_request& m) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "CHECKIN client=%llu lat=%.6f lon=%.6f t=%.3f net=%u "
+                "active=%u device=%s",
+                static_cast<unsigned long long>(m.client_id), m.pos.lat_deg,
+                m.pos.lon_deg, m.time_s, m.network_index, m.active_in_zone,
+                m.device.c_str());
+  return buf;
+}
+
+std::string encode(const task_assignment& m) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "TASK kind=%s net=%u tcp_bytes=%llu udp_packets=%u "
+                "ping_count=%u",
+                trace::to_string(m.kind).c_str(), m.network_index,
+                static_cast<unsigned long long>(m.tcp_bytes), m.udp_packets,
+                m.ping_count);
+  return buf;
+}
+
+std::string encode(const measurement_report& m) {
+  // The record payload reuses the CSV trace schema verbatim, so reports can
+  // be appended straight into dataset files.
+  return "REPORT client=" + std::to_string(m.client_id) + " csv=" +
+         trace::to_csv(m.record);
+}
+
+std::string encode_idle() { return "IDLE"; }
+
+std::string message_type(const std::string& line) {
+  const auto sp = line.find(' ');
+  const std::string tag = sp == std::string::npos ? line : line.substr(0, sp);
+  for (const char* known : {"CHECKIN", "TASK", "REPORT", "IDLE", "ACK"}) {
+    if (tag == known) return tag;
+  }
+  return "";
+}
+
+checkin_request decode_checkin(const std::string& line) {
+  const auto f = fields_of(line, "CHECKIN");
+  checkin_request m;
+  m.client_id = need_u64(f, "client");
+  m.pos = {need_double(f, "lat"), need_double(f, "lon")};
+  m.time_s = need_double(f, "t");
+  m.network_index = static_cast<std::uint32_t>(need_u64(f, "net"));
+  m.active_in_zone = static_cast<std::uint32_t>(need_u64(f, "active"));
+  m.device = need(f, "device");
+  return m;
+}
+
+task_assignment decode_task(const std::string& line) {
+  const auto f = fields_of(line, "TASK");
+  task_assignment m;
+  m.kind = trace::probe_kind_from_string(need(f, "kind"));
+  m.network_index = static_cast<std::uint32_t>(need_u64(f, "net"));
+  m.tcp_bytes = need_u64(f, "tcp_bytes");
+  m.udp_packets = static_cast<std::uint32_t>(need_u64(f, "udp_packets"));
+  m.ping_count = static_cast<std::uint32_t>(need_u64(f, "ping_count"));
+  return m;
+}
+
+measurement_report decode_report(const std::string& line) {
+  // REPORT client=<id> csv=<csv line with commas and no spaces>
+  const std::string prefix = "REPORT client=";
+  if (line.rfind(prefix, 0) != 0) {
+    throw std::invalid_argument("expected REPORT message");
+  }
+  const auto csv_pos = line.find(" csv=");
+  if (csv_pos == std::string::npos) {
+    throw std::invalid_argument("REPORT missing csv field");
+  }
+  measurement_report m;
+  try {
+    m.client_id = std::stoull(line.substr(prefix.size(),
+                                          csv_pos - prefix.size()));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("REPORT bad client id");
+  }
+  m.record = trace::from_csv(line.substr(csv_pos + 5));
+  return m;
+}
+
+}  // namespace wiscape::proto

@@ -1,0 +1,64 @@
+// Wire messages between client user agents and the measurement coordinator
+// (paper Sec 3.4: "a simple user agent in each client device ... a
+// measurement coordinator, deployed by the operator or by third-party
+// users, will manage the entire measurement process").
+//
+// The format is a single text line per message -- `TYPE k=v k=v ...` --
+// chosen for the same reasons as the CSV trace format: transport-agnostic,
+// greppable, and trivially replaceable by real field software. Encoding
+// never fails; decoding throws std::invalid_argument with a reason.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "geo/lat_lon.h"
+#include "trace/record.h"
+
+namespace wiscape::proto {
+
+/// Client -> coordinator: periodic zone report / task request.
+struct checkin_request {
+  std::uint64_t client_id = 0;
+  geo::lat_lon pos;
+  double time_s = 0.0;
+  std::uint32_t network_index = 0;
+  std::uint32_t active_in_zone = 1;  ///< peers the client estimates nearby
+  std::string device = "laptop";
+};
+
+/// Coordinator -> client: a measurement instruction (absent = stay idle).
+struct task_assignment {
+  trace::probe_kind kind = trace::probe_kind::udp_burst;
+  std::uint32_t network_index = 0;
+  /// Probe sizing knobs; 0 = client default.
+  std::uint64_t tcp_bytes = 0;
+  std::uint32_t udp_packets = 0;
+  std::uint32_t ping_count = 0;
+};
+
+/// Client -> coordinator: a completed measurement.
+struct measurement_report {
+  std::uint64_t client_id = 0;
+  trace::measurement_record record;
+};
+
+// ---- codec ----------------------------------------------------------------
+
+std::string encode(const checkin_request& m);
+std::string encode(const task_assignment& m);
+std::string encode(const measurement_report& m);
+
+/// The coordinator's answer to a check-in when no task is issued.
+std::string encode_idle();
+
+/// The message type tag at the start of a line ("CHECKIN", "TASK", "REPORT",
+/// "IDLE", "ACK"); empty for a malformed line.
+std::string message_type(const std::string& line);
+
+checkin_request decode_checkin(const std::string& line);
+task_assignment decode_task(const std::string& line);
+measurement_report decode_report(const std::string& line);
+
+}  // namespace wiscape::proto

@@ -1,0 +1,80 @@
+#include "proto/server.h"
+
+#include <stdexcept>
+
+namespace wiscape::proto {
+
+std::string coordinator_server::handle(const std::string& line) {
+  const std::string type = message_type(line);
+  if (type == "CHECKIN") {
+    const auto req = decode_checkin(line);
+    const auto task = coord_->checkin(req.pos, req.time_s, req.network_index,
+                                      req.active_in_zone, req.client_id);
+    if (!task) return encode_idle();
+    ++tasks_;
+    task_assignment out;
+    out.kind = task->kind;
+    out.network_index = static_cast<std::uint32_t>(task->network_index);
+    return encode(out);
+  }
+  if (type == "REPORT") {
+    const auto rep = decode_report(line);
+    coord_->report(rep.record);
+    ++reports_;
+    return "ACK";
+  }
+  throw std::invalid_argument("unsupported request: '" + line + "'");
+}
+
+std::optional<trace::measurement_record> remote_agent::step(
+    const mobility::gps_fix& fix, std::uint32_t network_index,
+    std::uint32_t active_in_zone) {
+  checkin_request req;
+  req.client_id = client_id_;
+  req.pos = fix.pos;
+  req.time_s = fix.time_s;
+  req.network_index = network_index;
+  req.active_in_zone = active_in_zone;
+  req.device = device_.name;
+
+  const std::string reply = send_(encode(req));
+  if (message_type(reply) != "TASK") return std::nullopt;
+  const auto task = decode_task(reply);
+
+  trace::measurement_record rec;
+  switch (task.kind) {
+    case trace::probe_kind::tcp_download: {
+      probe::tcp_probe_params params;
+      if (task.tcp_bytes > 0) params.bytes = task.tcp_bytes;
+      rec = engine_->tcp_probe(task.network_index, fix, params, device_);
+      break;
+    }
+    case trace::probe_kind::udp_burst: {
+      probe::udp_probe_params params;
+      if (task.udp_packets > 0) params.packets = task.udp_packets;
+      rec = engine_->udp_probe(task.network_index, fix, params, device_);
+      break;
+    }
+    case trace::probe_kind::udp_uplink: {
+      probe::udp_probe_params params;
+      if (task.udp_packets > 0) params.packets = task.udp_packets;
+      rec = engine_->udp_uplink_probe(task.network_index, fix, params, device_);
+      break;
+    }
+    case trace::probe_kind::ping: {
+      probe::ping_probe_params params;
+      if (task.ping_count > 0) params.count = task.ping_count;
+      rec = engine_->ping_probe(task.network_index, fix, params, device_);
+      break;
+    }
+  }
+
+  rec.client_id = client_id_;
+  measurement_report rep;
+  rep.client_id = client_id_;
+  rep.record = rec;
+  send_(encode(rep));
+  return rec;
+}
+
+}  // namespace wiscape::proto

@@ -1,0 +1,68 @@
+// A transport-agnostic coordinator server and its client-side counterpart.
+//
+// coordinator_server turns the in-process core::coordinator into a
+// line-protocol service: hand it any CHECKIN/REPORT line (from a socket, a
+// message queue, a file of replayed traffic -- the transport is the
+// caller's business) and it answers with TASK/IDLE/ACK lines.
+// remote_agent is the matching client shim: it performs the check-in /
+// execute / report cycle against any `send` function.
+#pragma once
+
+#include <functional>
+
+#include "core/coordinator.h"
+#include "probe/engine.h"
+#include "proto/messages.h"
+
+namespace wiscape::proto {
+
+/// Serves a core::coordinator over the line protocol.
+class coordinator_server {
+ public:
+  /// Borrows the coordinator; it must outlive the server.
+  explicit coordinator_server(core::coordinator& coord) : coord_(&coord) {}
+
+  /// Handles one request line and returns the response line:
+  ///   CHECKIN -> TASK ... | IDLE
+  ///   REPORT  -> ACK
+  /// Throws std::invalid_argument on malformed input (a transport wrapper
+  /// would map that to an error reply).
+  std::string handle(const std::string& line);
+
+  std::uint64_t reports_received() const noexcept { return reports_; }
+  std::uint64_t tasks_issued() const noexcept { return tasks_; }
+
+ private:
+  core::coordinator* coord_;
+  std::uint64_t reports_ = 0;
+  std::uint64_t tasks_ = 0;
+};
+
+/// Client-side agent speaking the line protocol through a caller-supplied
+/// transport (`send` delivers a request line and returns the response line).
+class remote_agent {
+ public:
+  using transport = std::function<std::string(const std::string&)>;
+
+  remote_agent(probe::probe_engine& engine, transport send,
+               std::uint64_t client_id,
+               probe::device_profile device = probe::laptop_device())
+      : engine_(&engine),
+        send_(std::move(send)),
+        client_id_(client_id),
+        device_(std::move(device)) {}
+
+  /// One opportunistic cycle: check in, execute any assigned task, report.
+  /// Returns the record when a probe ran.
+  std::optional<trace::measurement_record> step(
+      const mobility::gps_fix& fix, std::uint32_t network_index,
+      std::uint32_t active_in_zone = 4);
+
+ private:
+  probe::probe_engine* engine_;
+  transport send_;
+  std::uint64_t client_id_;
+  probe::device_profile device_;
+};
+
+}  // namespace wiscape::proto

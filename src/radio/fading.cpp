@@ -1,0 +1,34 @@
+#include "radio/fading.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wiscape::radio {
+
+fading_process::fading_process(stats::rng_stream rng, double sigma,
+                               double tau_s)
+    : rng_(rng), sigma_(sigma), tau_s_(tau_s) {
+  if (!(sigma >= 0.0) || !(tau_s > 0.0)) {
+    throw std::invalid_argument("fading_process requires sigma>=0, tau>0");
+  }
+}
+
+double fading_process::gain_at(double t_s) {
+  if (!started_) {
+    log_state_ = rng_.normal(0.0, sigma_);
+    last_t_s_ = t_s;
+    started_ = true;
+  } else if (t_s > last_t_s_) {
+    // Exact discretization of an Ornstein-Uhlenbeck step of length dt.
+    const double dt = t_s - last_t_s_;
+    const double rho = std::exp(-dt / tau_s_);
+    const double innovation_sd = sigma_ * std::sqrt(1.0 - rho * rho);
+    log_state_ = rho * log_state_ + rng_.normal(0.0, innovation_sd);
+    last_t_s_ = t_s;
+  }
+  // exp(X - sigma^2/2) has mean one when X ~ N(0, sigma^2): fading reshapes
+  // short-term samples without biasing the long-term mean rate.
+  return std::exp(log_state_ - 0.5 * sigma_ * sigma_);
+}
+
+}  // namespace wiscape::radio

@@ -1,0 +1,40 @@
+// Fast fading and short-timescale channel churn.
+//
+// Table 4 of the paper shows 10-second bins are several times noisier than
+// 30-minute bins. That short-timescale variance comes from fast fading and
+// scheduler churn; we model it as a mean-one multiplicative AR(1) process
+// per client link, so consecutive probe packets see correlated -- but
+// rapidly decorrelating -- channel quality.
+#pragma once
+
+#include "stats/rng.h"
+
+namespace wiscape::radio {
+
+/// Mean-one lognormal AR(1) channel-gain process, advanced in continuous
+/// time. gain(t) multiplies the slow-field link rate.
+class fading_process {
+ public:
+  /// `sigma` is the stddev of the underlying log-gain; `tau_s` the
+  /// decorrelation time constant. Throws std::invalid_argument unless
+  /// sigma >= 0 and tau_s > 0.
+  fading_process(stats::rng_stream rng, double sigma = 0.25,
+                 double tau_s = 2.0);
+
+  /// Gain at absolute time `t_s`. Calls must be non-decreasing in time;
+  /// earlier times return the current state without advancing.
+  double gain_at(double t_s);
+
+  double sigma() const noexcept { return sigma_; }
+  double tau_s() const noexcept { return tau_s_; }
+
+ private:
+  stats::rng_stream rng_;
+  double sigma_;
+  double tau_s_;
+  double log_state_ = 0.0;
+  double last_t_s_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace wiscape::radio

@@ -1,0 +1,68 @@
+#include "radio/propagation.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wiscape::radio {
+
+double pathloss_model::loss_db(double dist_m) const noexcept {
+  const double d = std::max(dist_m, d0_m);
+  return pl0_db + 10.0 * exponent * std::log10(d / d0_m);
+}
+
+shadowing_field::shadowing_field(stats::rng_stream rng, double sigma_db,
+                                 double corr_m, int components)
+    : sigma_db_(sigma_db), corr_m_(corr_m) {
+  if (!(sigma_db >= 0.0) || !(corr_m > 0.0) || components < 1) {
+    throw std::invalid_argument(
+        "shadowing_field requires sigma>=0, corr>0, components>=1");
+  }
+  waves_.reserve(static_cast<std::size_t>(components));
+  // Spectral method: wave numbers drawn so the field's autocorrelation decays
+  // on the scale of corr_m. Rayleigh-distributed |k| with mode ~ 1/corr_m
+  // gives an approximately exponential-looking correlogram, which is the
+  // Gudmundson shape used for cellular shadowing.
+  for (int i = 0; i < components; ++i) {
+    const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double r = std::sqrt(-2.0 * std::log(1.0 - rng.uniform()));
+    const double k = r / corr_m;
+    waves_.push_back({k * std::cos(theta), k * std::sin(theta),
+                      rng.uniform(0.0, 2.0 * std::numbers::pi)});
+  }
+  amplitude_ = sigma_db * std::sqrt(2.0 / static_cast<double>(components));
+}
+
+double shadowing_field::at(const geo::xy& p) const noexcept {
+  double sum = 0.0;
+  for (const auto& w : waves_) {
+    sum += std::cos(w.kx * p.x_m + w.ky * p.y_m + w.phase);
+  }
+  return amplitude_ * sum;
+}
+
+composite_shadowing::composite_shadowing(stats::rng_stream rng,
+                                         double macro_sigma_db,
+                                         double macro_corr_m,
+                                         double micro_sigma_db,
+                                         double micro_corr_m)
+    : macro_(rng.fork("macro"), macro_sigma_db, macro_corr_m),
+      micro_(rng.fork("micro"), micro_sigma_db, micro_corr_m) {}
+
+double received_power_dbm(double tx_power_dbm, double pathloss_db,
+                          double shadowing_db) noexcept {
+  return tx_power_dbm - pathloss_db + shadowing_db;
+}
+
+double sinr_db(double rx_dbm, double interference_noise_dbm) noexcept {
+  return rx_dbm - interference_noise_dbm;
+}
+
+double spectral_efficiency(double sinr, double efficiency,
+                           double max_bps_per_hz) noexcept {
+  const double linear = std::pow(10.0, sinr / 10.0);
+  const double shannon = std::log2(1.0 + linear);
+  return std::min(efficiency * shannon, max_bps_per_hz);
+}
+
+}  // namespace wiscape::radio

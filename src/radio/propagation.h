@@ -1,0 +1,92 @@
+// RF propagation: log-distance path loss, spatially-correlated shadowing,
+// and SINR-to-rate mapping.
+//
+// This is the physical layer of the substitute substrate (see DESIGN.md):
+// the paper's spatial findings (smooth performance inside 250 m zones,
+// operator-specific coverage fields, dominance patterns) are emergent
+// properties of exactly these standard models.
+#pragma once
+
+#include <vector>
+
+#include "geo/projection.h"
+#include "stats/rng.h"
+
+namespace wiscape::radio {
+
+/// Log-distance path loss: PL(d) = pl0_db + 10 * exponent * log10(d / d0).
+/// Distances below d0 clamp to d0 (near-field guard).
+struct pathloss_model {
+  double pl0_db = 38.0;    ///< loss at reference distance d0
+  double exponent = 3.3;   ///< urban macro-cell decay exponent
+  double d0_m = 1.0;       ///< reference distance
+
+  double loss_db(double dist_m) const noexcept;
+};
+
+/// A smooth, deterministic Gaussian random field over the plane,
+/// approximating Gudmundson-correlated log-normal shadowing.
+///
+/// Implemented as a sum of K random plane waves (spectral / "random
+/// cosines" method): continuous everywhere, no grid storage, and fully
+/// reproducible from the rng seed. The effective decorrelation distance is
+/// set by corr_m.
+class shadowing_field {
+ public:
+  /// Throws std::invalid_argument unless sigma_db >= 0, corr_m > 0 and
+  /// components >= 1.
+  shadowing_field(stats::rng_stream rng, double sigma_db, double corr_m,
+                  int components = 96);
+
+  /// Shadowing value (dB, zero-mean, stddev ~= sigma_db) at a point.
+  double at(const geo::xy& p) const noexcept;
+
+  double sigma_db() const noexcept { return sigma_db_; }
+  double correlation_m() const noexcept { return corr_m_; }
+
+ private:
+  struct wave {
+    double kx, ky, phase;
+  };
+  std::vector<wave> waves_;
+  double sigma_db_;
+  double corr_m_;
+  double amplitude_;
+};
+
+/// Two-scale shadowing: a macro field (large decorrelation distance, gives
+/// zones their identity) plus a micro field (street-level texture). The
+/// macro/micro split is what makes intra-zone relative stddev small while
+/// zones still differ from each other -- the central premise of Fig 4.
+class composite_shadowing {
+ public:
+  composite_shadowing(stats::rng_stream rng, double macro_sigma_db,
+                      double macro_corr_m, double micro_sigma_db,
+                      double micro_corr_m);
+
+  double at(const geo::xy& p) const noexcept {
+    return macro_.at(p) + micro_.at(p);
+  }
+
+  const shadowing_field& macro() const noexcept { return macro_; }
+  const shadowing_field& micro() const noexcept { return micro_; }
+
+ private:
+  shadowing_field macro_;
+  shadowing_field micro_;
+};
+
+/// Received power in dBm given transmit power and losses.
+double received_power_dbm(double tx_power_dbm, double pathloss_db,
+                          double shadowing_db) noexcept;
+
+/// SINR in dB from received signal power and a combined
+/// interference-plus-noise floor.
+double sinr_db(double rx_dbm, double interference_noise_dbm) noexcept;
+
+/// Shannon-bounded spectral efficiency (bps/Hz) scaled by an implementation
+/// efficiency factor; capped at `max_bps_per_hz`.
+double spectral_efficiency(double sinr_db, double efficiency,
+                           double max_bps_per_hz = 4.8) noexcept;
+
+}  // namespace wiscape::radio

@@ -1,0 +1,46 @@
+#include "radio/technology.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace wiscape::radio {
+
+namespace {
+// Rate caps follow Table 1 of the paper; RTT floors reflect the ~100-120 ms
+// idle-state latencies its Fig 2/Fig 10 report for 3G core networks.
+constexpr tech_profile hspa_profile{
+    .name = "HSPA",
+    .downlink_cap_bps = 7.2e6,
+    .uplink_cap_bps = 1.2e6,
+    .bandwidth_hz = 5.0e6,
+    .base_rtt_s = 0.090,
+    .efficiency = 0.55,
+};
+
+constexpr tech_profile evdo_profile{
+    .name = "EV-DO Rev.A",
+    .downlink_cap_bps = 3.1e6,
+    .uplink_cap_bps = 1.8e6,
+    .bandwidth_hz = 1.25e6,
+    .base_rtt_s = 0.100,
+    .efficiency = 0.60,
+};
+}  // namespace
+
+const tech_profile& profile_for(technology t) noexcept {
+  switch (t) {
+    case technology::hspa:
+      return hspa_profile;
+    case technology::evdo_rev_a:
+      return evdo_profile;
+  }
+  return evdo_profile;  // unreachable for valid enum values
+}
+
+technology technology_from_string(std::string_view s) {
+  if (s == "hspa") return technology::hspa;
+  if (s == "evdo_rev_a") return technology::evdo_rev_a;
+  throw std::invalid_argument("unknown technology: " + std::string(s));
+}
+
+}  // namespace wiscape::radio

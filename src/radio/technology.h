@@ -1,0 +1,35 @@
+// Cellular air-interface technology profiles.
+//
+// The paper's three operators run two technologies (Table 1):
+//   NetA  - GSM HSPA, downlink <= 7.2 Mbps, uplink <= 1.2 Mbps
+//   NetB/C- CDMA2000 1xEV-DO Rev.A, downlink <= 3.1 Mbps, uplink <= 1.8 Mbps
+// Profiles carry the rate caps and nominal air-interface parameters the
+// propagation model needs.
+#pragma once
+
+#include <string_view>
+
+namespace wiscape::radio {
+
+enum class technology {
+  hspa,        ///< GSM/UMTS High-Speed Packet Access
+  evdo_rev_a,  ///< CDMA2000 1xEV-DO Revision A
+};
+
+/// Static description of one air-interface technology.
+struct tech_profile {
+  std::string_view name;
+  double downlink_cap_bps;   ///< peak advertised downlink rate
+  double uplink_cap_bps;     ///< peak advertised uplink rate
+  double bandwidth_hz;       ///< carrier bandwidth
+  double base_rtt_s;         ///< floor RTT through the core network
+  double efficiency;         ///< implementation loss vs Shannon (0..1)
+};
+
+/// Profile lookup; total over the enum.
+const tech_profile& profile_for(technology t) noexcept;
+
+/// Parses "hspa" / "evdo_rev_a"; throws std::invalid_argument otherwise.
+technology technology_from_string(std::string_view s);
+
+}  // namespace wiscape::radio

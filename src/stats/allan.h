@@ -1,0 +1,50 @@
+// Allan deviation (two-sample deviation) over averaged measurement windows.
+//
+// Section 3.2.2 of the paper picks each zone's *epoch* as the averaging time
+// tau at which the Allan deviation of the zone's metric is minimized: below
+// that tau successive windows still disagree (short-term churn), above it the
+// slow diurnal drift re-enters. We implement the paper's estimator
+//
+//     sigma_y(tau) = sqrt( sum_i (T_{i+1} - T_i)^2 / (2 (N-1)) )
+//
+// where T_i are the means of consecutive tau-wide windows, plus a relative
+// (mean-normalized) form matching the 0..1 scale of the paper's Fig 6.
+#pragma once
+
+#include <vector>
+
+#include "stats/time_series.h"
+
+namespace wiscape::stats {
+
+/// Allan deviation of `series` averaged into windows of `tau_s` seconds.
+/// Returns 0 when fewer than two windows are available.
+/// Throws std::invalid_argument if tau_s <= 0.
+double allan_deviation(const time_series& series, double tau_s);
+
+/// Allan deviation normalized by the overall series mean (dimensionless,
+/// comparable across zones with different absolute throughputs).
+/// Returns 0 when the mean is 0 or fewer than two windows exist.
+double relative_allan_deviation(const time_series& series, double tau_s);
+
+/// One point of an Allan-deviation-vs-tau curve.
+struct allan_point {
+  double tau_s = 0.0;
+  double deviation = 0.0;
+};
+
+/// Evaluates relative Allan deviation over a set of candidate taus (seconds).
+/// Candidates yielding fewer than two windows are skipped.
+std::vector<allan_point> allan_curve(const time_series& series,
+                                     const std::vector<double>& taus_s);
+
+/// Tau (seconds) minimizing the relative Allan deviation over `taus_s`.
+/// Throws std::invalid_argument if no candidate yields at least two windows.
+double allan_minimum_tau(const time_series& series,
+                         const std::vector<double>& taus_s);
+
+/// Log-spaced tau candidates from `lo_s` to `hi_s` (inclusive endpoints,
+/// `count` >= 2 points). The paper scans minutes to ~1000 minutes.
+std::vector<double> log_spaced_taus(double lo_s, double hi_s, int count);
+
+}  // namespace wiscape::stats

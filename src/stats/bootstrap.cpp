@@ -1,0 +1,39 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace wiscape::stats {
+
+confidence_interval bootstrap_mean_ci(std::span<const double> xs,
+                                      double level, rng_stream& rng,
+                                      int resamples) {
+  if (xs.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("bootstrap: level must be in (0, 1)");
+  }
+  if (resamples < 10) throw std::invalid_argument("bootstrap: resamples < 10");
+
+  const auto n = static_cast<std::int64_t>(xs.size());
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int b = 0; b < resamples; ++b) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sum += xs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+
+  confidence_interval ci;
+  ci.point = mean(xs);
+  const double alpha = (1.0 - level) / 2.0;
+  ci.low = percentile(means, alpha * 100.0);
+  ci.high = percentile(means, (1.0 - alpha) * 100.0);
+  return ci;
+}
+
+}  // namespace wiscape::stats

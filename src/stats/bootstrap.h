@@ -1,0 +1,33 @@
+// Bootstrap confidence intervals.
+//
+// WiScape's estimates come from deliberately few samples; an operator
+// deciding whether to roll a truck wants to know how much to trust the
+// number. Percentile-bootstrap CIs need no distributional assumptions and
+// match the framework's resampling style (the NKLD planner already draws
+// random subsets).
+#pragma once
+
+#include <span>
+
+#include "stats/rng.h"
+
+namespace wiscape::stats {
+
+struct confidence_interval {
+  double low = 0.0;
+  double high = 0.0;
+  double point = 0.0;  ///< sample mean
+
+  double width() const noexcept { return high - low; }
+  bool contains(double v) const noexcept { return v >= low && v <= high; }
+};
+
+/// Percentile-bootstrap CI for the mean of `xs` at the given confidence
+/// level (e.g. 0.95), using `resamples` bootstrap draws. Throws
+/// std::invalid_argument on an empty sample, level outside (0, 1), or
+/// resamples < 10.
+confidence_interval bootstrap_mean_ci(std::span<const double> xs,
+                                      double level, rng_stream& rng,
+                                      int resamples = 400);
+
+}  // namespace wiscape::stats

@@ -1,0 +1,110 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wiscape::stats {
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins < 1) {
+    throw std::invalid_argument("histogram requires lo < hi and bins >= 1");
+  }
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::vector<double> histogram::pmf(double smoothing) const {
+  if (total_ == 0 && smoothing <= 0.0) {
+    throw std::logic_error("pmf of empty histogram without smoothing");
+  }
+  std::vector<double> p(counts_.size());
+  const double denom = static_cast<double>(total_) +
+                       smoothing * static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = (static_cast<double>(counts_[i]) + smoothing) / denom;
+  }
+  return p;
+}
+
+double entropy(std::span<const double> pmf) {
+  double h = 0.0;
+  for (double p : pmf) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+double kl_divergence_abs(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("kl_divergence_abs: size mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    if (q[i] <= 0.0) {
+      throw std::invalid_argument(
+          "kl_divergence_abs: q has zero mass where p is positive; smooth "
+          "the pmfs first");
+    }
+    d += p[i] * std::abs(std::log(p[i] / q[i]));
+  }
+  return d;
+}
+
+double nkld(std::span<const double> p, std::span<const double> q) {
+  const double hp = entropy(p);
+  const double hq = entropy(q);
+  if (hp <= 0.0 || hq <= 0.0) {
+    // Point-mass distribution(s): identical pmfs are perfectly similar,
+    // anything else is maximally dissimilar.
+    const bool same = std::equal(p.begin(), p.end(), q.begin(), q.end());
+    return same ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return 0.5 * (kl_divergence_abs(p, q) / hp + kl_divergence_abs(q, p) / hq);
+}
+
+double nkld_of_samples(std::span<const double> a, std::span<const double> b,
+                       std::size_t bins) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("nkld_of_samples: empty sample set");
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double x : a) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  for (double x : b) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (lo == hi) {
+    // All samples identical: widen the support a hair so binning works.
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  histogram ha(lo, hi, bins);
+  histogram hb(lo, hi, bins);
+  ha.add_all(a);
+  hb.add_all(b);
+  // Laplace smoothing of one pseudo-count spread over the bins keeps the
+  // divergence finite for sparse client-side histograms.
+  const double smoothing = 1.0 / static_cast<double>(bins);
+  return nkld(ha.pmf(smoothing), hb.pmf(smoothing));
+}
+
+}  // namespace wiscape::stats

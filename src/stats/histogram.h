@@ -1,0 +1,65 @@
+// Fixed-bin histograms and discrete probability distributions.
+//
+// The NKLD composability test (Sec 3.3) compares *distributions* of client
+// samples against ground truth; histogram turns raw sample vectors into
+// comparable discrete pmfs over a common support.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wiscape::stats {
+
+/// Equal-width histogram over [lo, hi) with `bins` buckets. Samples outside
+/// the range are clamped into the first/last bucket so that two histograms
+/// built over the same range always share support.
+class histogram {
+ public:
+  /// Throws std::invalid_argument unless lo < hi and bins >= 1.
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t total() const noexcept { return total_; }
+  const std::vector<std::size_t>& counts() const noexcept { return counts_; }
+
+  /// Normalized probability mass function. `smoothing` (additive /
+  /// Laplace) keeps every bin strictly positive so KL divergence is finite;
+  /// 0 disables smoothing. Throws std::logic_error when the histogram is
+  /// empty and smoothing is 0.
+  std::vector<double> pmf(double smoothing = 1e-9) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Shannon entropy (nats) of a pmf. Zero-probability bins contribute 0.
+double entropy(std::span<const double> pmf);
+
+/// Kullback-Leibler divergence D(p || q) in the paper's form, which takes the
+/// absolute value of each log-ratio term:
+///     D(p||q) = sum_x p(x) |log(p(x)/q(x))|
+/// Throws std::invalid_argument when sizes differ or q has a zero where p is
+/// positive.
+double kl_divergence_abs(std::span<const double> p, std::span<const double> q);
+
+/// Symmetric Normalized KLD of the paper (Sec 3.3):
+///     NKLD(p,q) = 1/2 * ( D(p||q)/H(p) + D(q||p)/H(q) )
+/// Degenerate entropies (H == 0, i.e. a point-mass distribution) make the
+/// ratio ill-defined; we treat such a pair as maximally dissimilar unless the
+/// distributions are identical, returning 0 in that case.
+double nkld(std::span<const double> p, std::span<const double> q);
+
+/// Convenience: builds two histograms over the common range of both sample
+/// sets and returns their NKLD. `bins` buckets, Laplace smoothing.
+/// Throws std::invalid_argument when either sample set is empty.
+double nkld_of_samples(std::span<const double> a, std::span<const double> b,
+                       std::size_t bins = 20);
+
+}  // namespace wiscape::stats

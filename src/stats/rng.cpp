@@ -1,0 +1,43 @@
+#include "stats/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wiscape::stats {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_label(std::string_view label) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+rng_stream rng_stream::fork(std::string_view label) const noexcept {
+  return rng_stream(splitmix64(seed_ ^ hash_label(label)));
+}
+
+rng_stream rng_stream::fork(std::uint64_t index) const noexcept {
+  return rng_stream(splitmix64(seed_ + 0x632be59bd9b4e019ULL * (index + 1)));
+}
+
+double rng_stream::bounded_pareto(double alpha, double lo, double hi) {
+  if (!(alpha > 0.0) || !(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("bounded_pareto requires alpha>0, 0<lo<hi");
+  }
+  // Inverse-CDF of the bounded Pareto distribution.
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+}  // namespace wiscape::stats

@@ -1,0 +1,81 @@
+// Deterministic random-number plumbing.
+//
+// Everything stochastic in the simulator (shadowing fields, load processes,
+// route assignment, probe scheduling) draws from an rng_stream fanned out of
+// one master seed, so that a whole city-year of synthetic measurement is
+// reproducible bit-for-bit from a single integer. Child streams are derived
+// with a splitmix64 hash of (parent seed, label), which keeps streams
+// statistically independent without coordination.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace wiscape::stats {
+
+/// splitmix64 step; good avalanche, used for seed derivation only.
+std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// Stable 64-bit hash of a label (FNV-1a), for named substreams.
+std::uint64_t hash_label(std::string_view label) noexcept;
+
+/// A seeded random stream with named fan-out.
+///
+/// Wraps std::mt19937_64 and exposes just the draws the simulator needs.
+class rng_stream {
+ public:
+  explicit rng_stream(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derives an independent child stream keyed by a label. Deterministic:
+  /// the same (seed, label) always yields the same child.
+  rng_stream fork(std::string_view label) const noexcept;
+
+  /// Derives an independent child stream keyed by an index.
+  rng_stream fork(std::uint64_t index) const noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>()(engine_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Exponential with the given rate (events per unit).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bounded Pareto sample (shape alpha, support [lo, hi]).
+  double bounded_pareto(double alpha, double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Access the underlying engine for use with std distributions/shuffle.
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wiscape::stats

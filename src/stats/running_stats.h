@@ -1,0 +1,51 @@
+// Streaming summary statistics (Welford's algorithm).
+//
+// Zone/epoch estimates in WiScape are built incrementally as client samples
+// trickle in; running_stats gives numerically-stable mean/variance without
+// retaining the samples.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace wiscape::stats {
+
+/// Accumulates count / mean / variance / extrema of a stream of doubles.
+class running_stats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-friendly, Chan et al. form).
+  void merge(const running_stats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the samples; 0 when empty.
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Coefficient of variation (stddev / mean); the paper's
+  /// "relative standard deviation". 0 when mean is 0.
+  double relative_stddev() const noexcept;
+
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  void reset() noexcept { *this = running_stats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the mean
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace wiscape::stats

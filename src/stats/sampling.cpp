@@ -1,0 +1,65 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace wiscape::stats {
+
+std::vector<double> sample_without_replacement(std::span<const double> xs,
+                                               std::size_t k,
+                                               rng_stream& rng) {
+  if (k > xs.size()) {
+    throw std::invalid_argument("sample_without_replacement: k > population");
+  }
+  std::vector<std::size_t> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need shuffling.
+  std::vector<double> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(idx.size()) - 1));
+    std::swap(idx[i], idx[j]);
+    out.push_back(xs[idx[i]]);
+  }
+  return out;
+}
+
+index_split random_split(std::size_t n, double first_fraction,
+                         rng_stream& rng) {
+  if (!(first_fraction > 0.0 && first_fraction < 1.0) || n < 2) {
+    throw std::invalid_argument(
+        "random_split requires n >= 2 and fraction in (0, 1)");
+  }
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  auto cut = static_cast<std::size_t>(
+      static_cast<double>(n) * first_fraction);
+  cut = std::clamp<std::size_t>(cut, 1, n - 1);
+  index_split split;
+  split.first.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(cut));
+  split.second.assign(idx.begin() + static_cast<std::ptrdiff_t>(cut), idx.end());
+  return split;
+}
+
+reservoir::reservoir(std::size_t capacity, rng_stream rng)
+    : capacity_(capacity), rng_(rng) {
+  if (capacity == 0) throw std::invalid_argument("reservoir capacity == 0");
+  items_.reserve(capacity);
+}
+
+void reservoir::add(double x) {
+  ++seen_;
+  if (items_.size() < capacity_) {
+    items_.push_back(x);
+    return;
+  }
+  const auto j = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+  if (j < capacity_) items_[j] = x;
+}
+
+}  // namespace wiscape::stats

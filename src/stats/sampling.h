@@ -1,0 +1,47 @@
+// Random subset selection utilities.
+//
+// WiScape's validation repeatedly draws random client subsets from a larger
+// ground-truth pool (Fig 7's 100-iteration NKLD runs, Fig 8's client/ground
+// split); these helpers centralize that, deterministically via rng_stream.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace wiscape::stats {
+
+/// Draws `k` values uniformly without replacement. Throws
+/// std::invalid_argument when k > xs.size().
+std::vector<double> sample_without_replacement(std::span<const double> xs,
+                                               std::size_t k, rng_stream& rng);
+
+/// Splits indices [0, n) into two disjoint random halves: the first
+/// `first_fraction` share and the remainder. Useful for client-sourced vs
+/// ground-truth partitions. Throws std::invalid_argument unless
+/// first_fraction is in (0, 1) and n >= 2.
+struct index_split {
+  std::vector<std::size_t> first;
+  std::vector<std::size_t> second;
+};
+index_split random_split(std::size_t n, double first_fraction, rng_stream& rng);
+
+/// Fixed-size reservoir sample of a stream of doubles.
+class reservoir {
+ public:
+  /// Throws std::invalid_argument when capacity == 0.
+  reservoir(std::size_t capacity, rng_stream rng);
+
+  void add(double x);
+  std::size_t seen() const noexcept { return seen_; }
+  const std::vector<double>& items() const noexcept { return items_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::vector<double> items_;
+  rng_stream rng_;
+};
+
+}  // namespace wiscape::stats

@@ -1,0 +1,91 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/running_stats.h"
+
+namespace wiscape::stats {
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile p must be in [0, 100]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean of empty sample");
+  running_stats rs;
+  for (double x : xs) rs.add(x);
+  return rs.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  running_stats rs;
+  for (double x : xs) rs.add(x);
+  return rs.stddev();
+}
+
+double relative_stddev(std::span<const double> xs) {
+  running_stats rs;
+  for (double x : xs) rs.add(x);
+  return rs.relative_stddev();
+}
+
+std::vector<cdf_point> empirical_cdf(std::span<const double> xs,
+                                     std::size_t max_points) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<cdf_point> out;
+  const std::size_t n = sorted.size();
+  if (n == 0) return out;
+  const std::size_t step =
+      (max_points > 0 && n > max_points) ? n / max_points : 1;
+  for (std::size_t i = 0; i < n; i += step) {
+    out.push_back({sorted[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (out.back().value != sorted.back() || out.back().fraction != 1.0) {
+    out.push_back({sorted.back(), 1.0});
+  }
+  return out;
+}
+
+double fraction_at_most(std::span<const double> xs, double threshold) {
+  if (xs.empty()) throw std::invalid_argument("fraction_at_most of empty sample");
+  const auto n =
+      std::count_if(xs.begin(), xs.end(), [&](double x) { return x <= threshold; });
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson_correlation: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("pearson_correlation: need at least 2 pairs");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace wiscape::stats

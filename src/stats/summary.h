@@ -1,0 +1,45 @@
+// Batch descriptive statistics over sample vectors: percentiles, empirical
+// CDFs, Pearson correlation. These are the primitives behind every CDF plot
+// and correlation figure in the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wiscape::stats {
+
+/// `p`-th percentile (p in [0,100]) by linear interpolation between order
+/// statistics (the "linear" / R-7 method). Throws std::invalid_argument on
+/// an empty span or p outside [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Arithmetic mean; throws std::invalid_argument on empty input.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// stddev / |mean|: the paper's relative standard deviation.
+double relative_stddev(std::span<const double> xs);
+
+/// One point of an empirical CDF.
+struct cdf_point {
+  double value = 0.0;
+  double fraction = 0.0;  ///< P(X <= value)
+};
+
+/// Empirical CDF of `xs`, optionally downsampled to at most `max_points`
+/// evenly spaced points (0 keeps every sample). Result is sorted by value.
+std::vector<cdf_point> empirical_cdf(std::span<const double> xs,
+                                     std::size_t max_points = 0);
+
+/// Fraction of samples <= threshold (reads a CDF at a point).
+double fraction_at_most(std::span<const double> xs, double threshold);
+
+/// Pearson correlation coefficient of paired samples. Returns 0 when either
+/// series is constant (no linear relationship measurable). Throws
+/// std::invalid_argument when sizes differ or fewer than two pairs.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+}  // namespace wiscape::stats

@@ -1,0 +1,55 @@
+// Timestamped sample series and fixed-window binning.
+//
+// The paper constantly re-aggregates the same underlying samples at different
+// time granularities (10 s vs 30 min bins in Table 4, variable tau for the
+// Allan deviation in Fig 6); time_series provides that re-binning.
+#pragma once
+
+#include <vector>
+
+#include "stats/running_stats.h"
+
+namespace wiscape::stats {
+
+/// One timestamped scalar observation. Time is seconds since an arbitrary
+/// epoch (the simulator's t=0).
+struct sample {
+  double time_s = 0.0;
+  double value = 0.0;
+};
+
+/// An append-ordered series of samples (not required to be time-sorted on
+/// input; binning sorts internally as needed).
+class time_series {
+ public:
+  time_series() = default;
+  explicit time_series(std::vector<sample> samples)
+      : samples_(std::move(samples)) {}
+
+  void add(double time_s, double value) { samples_.push_back({time_s, value}); }
+  void add(const sample& s) { samples_.push_back(s); }
+
+  const std::vector<sample>& samples() const noexcept { return samples_; }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// All values, in insertion order.
+  std::vector<double> values() const;
+
+  /// Averages samples into consecutive windows of `bin_s` seconds starting at
+  /// the earliest sample time. Windows with no samples are skipped (the field
+  /// data also has coverage gaps). Returns per-bin means in time order.
+  /// Throws std::invalid_argument if bin_s <= 0.
+  std::vector<double> bin_means(double bin_s) const;
+
+  /// Like bin_means but returns full per-bin summary stats.
+  std::vector<running_stats> bin_stats(double bin_s) const;
+
+  /// Restricts to samples with time in [t0, t1).
+  time_series between(double t0, double t1) const;
+
+ private:
+  std::vector<sample> samples_;
+};
+
+}  // namespace wiscape::stats

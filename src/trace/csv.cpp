@@ -1,0 +1,122 @@
+#include "trace/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace wiscape::trace {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+double to_double(const std::string& s, const char* field) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("bad CSV field ") + field + ": '" +
+                                s + "'");
+  }
+}
+
+int to_int(const std::string& s, const char* field) {
+  return static_cast<int>(to_double(s, field));
+}
+
+}  // namespace
+
+std::string csv_header() {
+  return "time_s,network,lat,lon,speed_mps,kind,success,throughput_bps,"
+         "loss_rate,jitter_s,rtt_s,ping_sent,ping_failures,rssi_dbm,device,client_id";
+}
+
+std::string to_csv(const measurement_record& r) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "%.3f,%s,%.6f,%.6f,%.2f,%s,%d,%.1f,%.6f,%.6f,%.6f,%d,%d,%.1f,%s,%llu",
+                r.time_s, r.network.c_str(), r.pos.lat_deg, r.pos.lon_deg,
+                r.speed_mps, to_string(r.kind).c_str(), r.success ? 1 : 0,
+                r.throughput_bps, r.loss_rate, r.jitter_s, r.rtt_s,
+                r.ping_sent, r.ping_failures, r.rssi_dbm, r.device.c_str(),
+                static_cast<unsigned long long>(r.client_id));
+  return buf;
+}
+
+measurement_record from_csv(const std::string& line) {
+  const auto f = split(line, ',');
+  if (f.size() != 16) {
+    throw std::invalid_argument("CSV record needs 16 fields, got " +
+                                std::to_string(f.size()));
+  }
+  measurement_record r;
+  r.time_s = to_double(f[0], "time_s");
+  r.network = f[1];
+  r.pos = {to_double(f[2], "lat"), to_double(f[3], "lon")};
+  r.speed_mps = to_double(f[4], "speed_mps");
+  r.kind = probe_kind_from_string(f[5]);
+  r.success = to_int(f[6], "success") != 0;
+  r.throughput_bps = to_double(f[7], "throughput_bps");
+  r.loss_rate = to_double(f[8], "loss_rate");
+  r.jitter_s = to_double(f[9], "jitter_s");
+  r.rtt_s = to_double(f[10], "rtt_s");
+  r.ping_sent = to_int(f[11], "ping_sent");
+  r.ping_failures = to_int(f[12], "ping_failures");
+  r.rssi_dbm = to_double(f[13], "rssi_dbm");
+  r.device = f[14];
+  r.client_id = static_cast<std::uint64_t>(to_double(f[15], "client_id"));
+  return r;
+}
+
+void write_csv(std::ostream& os, const dataset& ds) {
+  os << csv_header() << '\n';
+  for (const auto& r : ds.records()) os << to_csv(r) << '\n';
+}
+
+void write_csv_file(const std::string& path, const dataset& ds) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(os, ds);
+}
+
+dataset read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("empty CSV input");
+  }
+  if (line != csv_header()) {
+    throw std::invalid_argument("CSV header mismatch: '" + line + "'");
+  }
+  dataset ds;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ds.add(from_csv(line));
+  }
+  return ds;
+}
+
+dataset read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_csv(is);
+}
+
+}  // namespace wiscape::trace

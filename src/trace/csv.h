@@ -1,0 +1,33 @@
+// CSV import/export of datasets.
+//
+// The paper promises its traces via CRAWDAD; this is the interchange layer:
+// a flat, self-describing CSV schema so synthetic datasets can be exported,
+// inspected, and re-loaded (or replaced with real field data).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/dataset.h"
+
+namespace wiscape::trace {
+
+/// Header line of the CSV schema (time,network,lat,lon,speed,kind,...).
+std::string csv_header();
+
+/// Renders one record as a CSV line (no trailing newline).
+std::string to_csv(const measurement_record& r);
+
+/// Parses one CSV line. Throws std::invalid_argument on malformed input.
+measurement_record from_csv(const std::string& line);
+
+/// Writes `ds` with header to a stream / file.
+void write_csv(std::ostream& os, const dataset& ds);
+void write_csv_file(const std::string& path, const dataset& ds);
+
+/// Reads a dataset written by write_csv. Throws std::runtime_error when the
+/// file cannot be opened and std::invalid_argument on schema mismatch.
+dataset read_csv(std::istream& is);
+dataset read_csv_file(const std::string& path);
+
+}  // namespace wiscape::trace

@@ -1,0 +1,86 @@
+#include "trace/dataset.h"
+
+namespace wiscape::trace {
+
+void dataset::append(const dataset& other) {
+  records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+}
+
+dataset dataset::filter(
+    const std::function<bool(const measurement_record&)>& pred) const {
+  dataset out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.add(r);
+  }
+  return out;
+}
+
+dataset dataset::select(std::string_view network, probe_kind kind) const {
+  return filter([&](const measurement_record& r) {
+    return r.success && r.kind == kind &&
+           (network.empty() || r.network == network);
+  });
+}
+
+dataset dataset::between(double t0, double t1) const {
+  return filter([&](const measurement_record& r) {
+    return r.time_s >= t0 && r.time_s < t1;
+  });
+}
+
+std::vector<double> dataset::metric_values(metric m,
+                                           std::string_view network) const {
+  const probe_kind k = kind_for(m);
+  std::vector<double> out;
+  for (const auto& r : records_) {
+    if (!r.success || r.kind != k) continue;
+    if (!network.empty() && r.network != network) continue;
+    out.push_back(value_of(r, m));
+  }
+  return out;
+}
+
+stats::time_series dataset::metric_series(metric m,
+                                          std::string_view network) const {
+  const probe_kind k = kind_for(m);
+  stats::time_series out;
+  for (const auto& r : records_) {
+    if (!r.success || r.kind != k) continue;
+    if (!network.empty() && r.network != network) continue;
+    out.add(r.time_s, value_of(r, m));
+  }
+  return out;
+}
+
+std::unordered_map<geo::zone_id, std::vector<std::size_t>, geo::zone_id_hash>
+dataset::group_by_zone(const geo::zone_grid& grid) const {
+  std::unordered_map<geo::zone_id, std::vector<std::size_t>, geo::zone_id_hash>
+      out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out[grid.zone_of(records_[i].pos)].push_back(i);
+  }
+  return out;
+}
+
+std::unordered_map<geo::zone_id, std::vector<double>, geo::zone_id_hash>
+dataset::zone_metric_values(const geo::zone_grid& grid, metric m,
+                            std::string_view network,
+                            std::size_t min_samples) const {
+  const probe_kind k = kind_for(m);
+  std::unordered_map<geo::zone_id, std::vector<double>, geo::zone_id_hash> out;
+  for (const auto& r : records_) {
+    if (!r.success || r.kind != k) continue;
+    if (!network.empty() && r.network != network) continue;
+    out[grid.zone_of(r.pos)].push_back(value_of(r, m));
+  }
+  for (auto it = out.begin(); it != out.end();) {
+    if (it->second.size() < min_samples) {
+      it = out.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace wiscape::trace

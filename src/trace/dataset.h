@@ -1,0 +1,62 @@
+// Datasets: bags of measurement records with the filtering/grouping verbs
+// the paper's analysis uses (by network, probe kind, time span, zone).
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/zone_grid.h"
+#include "stats/time_series.h"
+#include "trace/record.h"
+
+namespace wiscape::trace {
+
+class dataset {
+ public:
+  dataset() = default;
+  explicit dataset(std::vector<measurement_record> records)
+      : records_(std::move(records)) {}
+
+  void add(measurement_record r) { records_.push_back(std::move(r)); }
+  void append(const dataset& other);
+
+  const std::vector<measurement_record>& records() const noexcept {
+    return records_;
+  }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  /// Records matching a predicate.
+  dataset filter(const std::function<bool(const measurement_record&)>& pred) const;
+
+  /// Successful records of one network and probe kind.
+  dataset select(std::string_view network, probe_kind kind) const;
+
+  /// Records with time in [t0, t1).
+  dataset between(double t0, double t1) const;
+
+  /// Values of a metric over successful records of the matching kind
+  /// (optionally one network; empty = all).
+  std::vector<double> metric_values(metric m, std::string_view network = {}) const;
+
+  /// (time, value) series of a metric, same filtering as metric_values.
+  stats::time_series metric_series(metric m, std::string_view network = {}) const;
+
+  /// Groups record indices by grid zone.
+  std::unordered_map<geo::zone_id, std::vector<std::size_t>, geo::zone_id_hash>
+  group_by_zone(const geo::zone_grid& grid) const;
+
+  /// Per-zone values of a metric (successful, matching kind, one network or
+  /// all when empty), keeping only zones with at least `min_samples` values.
+  std::unordered_map<geo::zone_id, std::vector<double>, geo::zone_id_hash>
+  zone_metric_values(const geo::zone_grid& grid, metric m,
+                     std::string_view network = {},
+                     std::size_t min_samples = 1) const;
+
+ private:
+  std::vector<measurement_record> records_;
+};
+
+}  // namespace wiscape::trace

@@ -1,0 +1,103 @@
+#include "trace/hygiene.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace wiscape::trace {
+
+std::string hygiene_report::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "kept %zu/%zu (teleport %zu, negative %zu, implausible %zu, "
+                "duplicate %zu, out-of-window %zu)",
+                kept, input, dropped_teleport, dropped_negative,
+                dropped_implausible_rate, dropped_duplicate,
+                dropped_out_of_window);
+  return buf;
+}
+
+hygiene_report scrub(const dataset& ds, const hygiene_config& cfg,
+                     dataset& out) {
+  hygiene_report rep;
+  rep.input = ds.size();
+  out = dataset{};
+
+  // Pass 1: order record indices per client stream by time for the
+  // teleport check (two different clients are never a teleport).
+  std::map<std::tuple<std::uint64_t, std::string, std::string>,
+           std::vector<std::size_t>>
+      streams;
+  const auto& records = ds.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    streams[{records[i].client_id, records[i].network, records[i].device}]
+        .push_back(i);
+  }
+  std::vector<bool> teleport(records.size(), false);
+  if (cfg.max_plausible_speed_mps > 0.0) {
+    for (auto& [_, idx] : streams) {
+      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return records[a].time_s < records[b].time_s;
+      });
+      // Compare each record against the last *kept* record, not its raw
+      // predecessor: otherwise dropping a glitch re-pairs its neighbours
+      // and a second scrub pass would drop more (non-idempotent).
+      std::size_t anchor = idx[0];
+      for (std::size_t k = 1; k < idx.size(); ++k) {
+        const auto& prev = records[anchor];
+        const auto& cur = records[idx[k]];
+        const double dt = cur.time_s - prev.time_s;
+        if (dt > 0.0) {
+          const double dist = geo::distance_m(prev.pos, cur.pos);
+          if (dist / dt > cfg.max_plausible_speed_mps) {
+            teleport[idx[k]] = true;
+            continue;  // anchor stays on the last kept record
+          }
+        }
+        anchor = idx[k];
+      }
+    }
+  }
+
+  std::set<std::tuple<double, std::string, double, double, int>> seen;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+
+    if (cfg.max_time_s > cfg.min_time_s &&
+        (r.time_s < cfg.min_time_s || r.time_s >= cfg.max_time_s)) {
+      ++rep.dropped_out_of_window;
+      continue;
+    }
+    if (teleport[i]) {
+      ++rep.dropped_teleport;
+      continue;
+    }
+    if (cfg.drop_negative_metrics &&
+        (r.throughput_bps < 0.0 || r.loss_rate < 0.0 || r.loss_rate > 1.0 ||
+         r.jitter_s < 0.0 || r.rtt_s < 0.0 || r.ping_failures < 0 ||
+         r.ping_failures > r.ping_sent)) {
+      ++rep.dropped_negative;
+      continue;
+    }
+    if (cfg.max_throughput_bps > 0.0 &&
+        r.throughput_bps > cfg.max_throughput_bps) {
+      ++rep.dropped_implausible_rate;
+      continue;
+    }
+    if (cfg.drop_duplicates) {
+      const auto key = std::make_tuple(r.time_s, r.network, r.pos.lat_deg,
+                                       r.pos.lon_deg, static_cast<int>(r.kind));
+      if (!seen.insert(key).second) {
+        ++rep.dropped_duplicate;
+        continue;
+      }
+    }
+    out.add(r);
+  }
+  rep.kept = out.size();
+  return rep;
+}
+
+}  // namespace wiscape::trace

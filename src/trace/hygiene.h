@@ -1,0 +1,52 @@
+// Trace hygiene: the cleaning pass every crowd-sourced pipeline needs.
+//
+// Field data from volunteer devices arrives dirty -- GPS glitches that
+// teleport a bus across town, duplicated uploads after flaky connections,
+// readings from the future, zero-length probes. WiScape's statistics assume
+// none of that, so datasets go through this scrub first. Each rule is
+// individually toggleable and the report says what was dropped and why
+// (silent data loss is how measurement studies go wrong).
+#pragma once
+
+#include <string>
+
+#include "trace/dataset.h"
+
+namespace wiscape::trace {
+
+struct hygiene_config {
+  /// Drop records whose GPS fix implies an impossible jump from the same
+  /// client stream: faster than this between consecutive records.
+  /// (Applied per network+device stream ordered by time.) 0 disables.
+  double max_plausible_speed_mps = 70.0;
+  /// Drop physically impossible metric values.
+  bool drop_negative_metrics = true;
+  /// Drop throughputs above this (a 2011 3G link cannot beat it). 0 disables.
+  double max_throughput_bps = 20e6;
+  /// Drop exact duplicates (same time, network, position, kind).
+  bool drop_duplicates = true;
+  /// Drop records timestamped outside [min_time_s, max_time_s); both 0
+  /// disables the window.
+  double min_time_s = 0.0;
+  double max_time_s = 0.0;
+};
+
+struct hygiene_report {
+  std::size_t input = 0;
+  std::size_t kept = 0;
+  std::size_t dropped_teleport = 0;
+  std::size_t dropped_negative = 0;
+  std::size_t dropped_implausible_rate = 0;
+  std::size_t dropped_duplicate = 0;
+  std::size_t dropped_out_of_window = 0;
+
+  std::size_t dropped() const noexcept { return input - kept; }
+  std::string summary() const;
+};
+
+/// Scrubs `ds` according to `cfg`; the cleaned dataset is written to `out`
+/// and the report returned. `out` may alias nothing (it is cleared first).
+hygiene_report scrub(const dataset& ds, const hygiene_config& cfg,
+                     dataset& out);
+
+}  // namespace wiscape::trace

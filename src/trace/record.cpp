@@ -1,0 +1,89 @@
+#include "trace/record.h"
+
+#include <stdexcept>
+
+namespace wiscape::trace {
+
+std::string to_string(probe_kind k) {
+  switch (k) {
+    case probe_kind::tcp_download:
+      return "tcp";
+    case probe_kind::udp_burst:
+      return "udp";
+    case probe_kind::ping:
+      return "ping";
+    case probe_kind::udp_uplink:
+      return "udp_up";
+  }
+  return "?";
+}
+
+probe_kind probe_kind_from_string(const std::string& s) {
+  if (s == "tcp") return probe_kind::tcp_download;
+  if (s == "udp") return probe_kind::udp_burst;
+  if (s == "ping") return probe_kind::ping;
+  if (s == "udp_up") return probe_kind::udp_uplink;
+  throw std::invalid_argument("unknown probe kind: " + s);
+}
+
+std::string to_string(metric m) {
+  switch (m) {
+    case metric::tcp_throughput_bps:
+      return "tcp_throughput";
+    case metric::udp_throughput_bps:
+      return "udp_throughput";
+    case metric::loss_rate:
+      return "loss_rate";
+    case metric::jitter_s:
+      return "jitter";
+    case metric::rtt_s:
+      return "rtt";
+    case metric::uplink_throughput_bps:
+      return "uplink_throughput";
+  }
+  return "?";
+}
+
+metric metric_from_string(const std::string& s) {
+  for (metric m : {metric::tcp_throughput_bps, metric::udp_throughput_bps,
+                   metric::loss_rate, metric::jitter_s, metric::rtt_s,
+                   metric::uplink_throughput_bps}) {
+    if (to_string(m) == s) return m;
+  }
+  throw std::invalid_argument("unknown metric: " + s);
+}
+
+probe_kind kind_for(metric m) noexcept {
+  switch (m) {
+    case metric::tcp_throughput_bps:
+      return probe_kind::tcp_download;
+    case metric::udp_throughput_bps:
+    case metric::loss_rate:
+    case metric::jitter_s:
+      return probe_kind::udp_burst;
+    case metric::rtt_s:
+      return probe_kind::ping;
+    case metric::uplink_throughput_bps:
+      return probe_kind::udp_uplink;
+  }
+  return probe_kind::ping;
+}
+
+double value_of(const measurement_record& r, metric m) noexcept {
+  if (r.kind != kind_for(m)) return 0.0;
+  switch (m) {
+    case metric::tcp_throughput_bps:
+    case metric::udp_throughput_bps:
+    case metric::uplink_throughput_bps:
+      return r.throughput_bps;
+    case metric::loss_rate:
+      return r.loss_rate;
+    case metric::jitter_s:
+      return r.jitter_s;
+    case metric::rtt_s:
+      return r.rtt_s;
+  }
+  return 0.0;
+}
+
+}  // namespace wiscape::trace

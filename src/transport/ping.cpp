@@ -1,0 +1,99 @@
+#include "transport/ping.h"
+
+#include <algorithm>
+
+namespace wiscape::transport {
+
+ping_train::ping_train(netsim::simulation& sim, netsim::duplex_path& path,
+                       ping_config config, std::uint64_t flow_id,
+                       ping_callback on_done)
+    : sim_(sim),
+      path_(path),
+      cfg_(config),
+      flow_id_(flow_id),
+      on_done_(std::move(on_done)) {
+  send_times_.assign(cfg_.count, 0.0);
+  answered_.assign(cfg_.count, false);
+}
+
+void ping_train::start() { send_next(); }
+
+void ping_train::send_next() {
+  if (done_ || next_seq_ >= cfg_.count) return;
+  const std::uint32_t seq = next_seq_++;
+  send_times_[seq] = sim_.now();
+
+  netsim::packet req;
+  req.flow_id = flow_id_;
+  req.seq = seq;
+  req.size_bytes = cfg_.request_bytes;
+  req.sent_at = sim_.now();
+
+  auto self = shared_from_this();
+  // Request up; the echo server turns it around instantly onto the downlink.
+  path_.up().send(req, [self](const netsim::packet& r) {
+    netsim::packet reply;
+    reply.flow_id = r.flow_id;
+    reply.seq = r.seq;
+    reply.size_bytes = self->cfg_.reply_bytes;
+    reply.sent_at = r.sent_at;  // carry the original send stamp for RTT
+    self->path_.down().send(reply, [self](const netsim::packet& rp) {
+      self->on_reply(rp.seq);
+    });
+  });
+
+  sim_.schedule_in(cfg_.timeout_s, [self, seq]() { self->on_timeout(seq); });
+  if (next_seq_ < cfg_.count) {
+    sim_.schedule_in(cfg_.interval_s, [self]() { self->send_next(); });
+  }
+}
+
+void ping_train::on_reply(std::uint32_t seq) {
+  if (done_ || answered_[seq]) return;
+  answered_[seq] = true;
+  ++resolved_;
+  result_.rtts_s.push_back(sim_.now() - send_times_[seq]);
+  ++result_.replies;
+  maybe_finish();
+}
+
+void ping_train::on_timeout(std::uint32_t seq) {
+  if (done_ || answered_[seq]) return;
+  answered_[seq] = true;
+  ++resolved_;
+  ++result_.failures;
+  maybe_finish();
+}
+
+void ping_train::maybe_finish() {
+  if (resolved_ < cfg_.count) return;
+  done_ = true;
+  result_.sent = cfg_.count;
+  if (!result_.rtts_s.empty()) {
+    double sum = 0.0;
+    double mn = result_.rtts_s.front();
+    double mx = result_.rtts_s.front();
+    for (double r : result_.rtts_s) {
+      sum += r;
+      mn = std::min(mn, r);
+      mx = std::max(mx, r);
+    }
+    result_.mean_rtt_s = sum / static_cast<double>(result_.rtts_s.size());
+    result_.min_rtt_s = mn;
+    result_.max_rtt_s = mx;
+  }
+  if (on_done_) on_done_(result_);
+}
+
+std::shared_ptr<ping_train> start_ping_train(netsim::simulation& sim,
+                                             netsim::duplex_path& path,
+                                             const ping_config& config,
+                                             std::uint64_t flow_id,
+                                             ping_callback on_done) {
+  auto train = std::make_shared<ping_train>(sim, path, config, flow_id,
+                                            std::move(on_done));
+  train->start();
+  return train;
+}
+
+}  // namespace wiscape::transport

@@ -1,0 +1,72 @@
+// Ping trains: round-trip latency probes with per-ping timeout.
+//
+// The WiRover dataset collects ~12 UDP pings a minute; the Standalone
+// dataset uses ICMP pings. Failed pings (timeouts) are themselves a signal:
+// Fig 9 shows zones with persistent ping failures are exactly the
+// high-variability zones operators should investigate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netsim/path.h"
+
+namespace wiscape::transport {
+
+struct ping_config {
+  std::uint32_t count = 10;
+  double interval_s = 5.0;
+  std::size_t request_bytes = 64;
+  std::size_t reply_bytes = 64;
+  double timeout_s = 2.0;
+};
+
+struct ping_result {
+  std::uint32_t sent = 0;
+  std::uint32_t replies = 0;
+  std::uint32_t failures = 0;
+  double mean_rtt_s = 0.0;
+  double min_rtt_s = 0.0;
+  double max_rtt_s = 0.0;
+  std::vector<double> rtts_s;  ///< RTTs of successful pings, in order
+};
+
+using ping_callback = std::function<void(const ping_result&)>;
+
+/// One client->server->client ping train. Construct via start_ping_train.
+class ping_train : public std::enable_shared_from_this<ping_train> {
+ public:
+  ping_train(netsim::simulation& sim, netsim::duplex_path& path,
+             ping_config config, std::uint64_t flow_id, ping_callback on_done);
+
+  void start();
+
+ private:
+  void send_next();
+  void on_reply(std::uint32_t seq);
+  void on_timeout(std::uint32_t seq);
+  void maybe_finish();
+
+  netsim::simulation& sim_;
+  netsim::duplex_path& path_;
+  ping_config cfg_;
+  std::uint64_t flow_id_;
+  ping_callback on_done_;
+
+  std::uint32_t next_seq_ = 0;
+  std::uint32_t resolved_ = 0;  // replies + failures
+  std::vector<double> send_times_;
+  std::vector<bool> answered_;
+  ping_result result_;
+  bool done_ = false;
+};
+
+std::shared_ptr<ping_train> start_ping_train(netsim::simulation& sim,
+                                             netsim::duplex_path& path,
+                                             const ping_config& config,
+                                             std::uint64_t flow_id,
+                                             ping_callback on_done);
+
+}  // namespace wiscape::transport

@@ -1,0 +1,191 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wiscape::transport {
+
+tcp_flow::tcp_flow(netsim::simulation& sim, netsim::duplex_path& path,
+                   tcp_config config, std::uint64_t flow_id,
+                   tcp_callback on_done)
+    : sim_(sim),
+      path_(path),
+      cfg_(config),
+      flow_id_(flow_id),
+      on_done_(std::move(on_done)),
+      cwnd_(config.initial_cwnd_pkts),
+      ssthresh_(config.initial_ssthresh_pkts),
+      rto_s_(1.0) {
+  total_pkts_ = static_cast<std::uint32_t>(
+      (cfg_.transfer_bytes + cfg_.mss_bytes - 1) / cfg_.mss_bytes);
+  total_pkts_ = std::max<std::uint32_t>(total_pkts_, 1);
+  recv_ok_.assign(total_pkts_, false);
+  sent_time_.assign(total_pkts_, 0.0);
+  send_count_.assign(total_pkts_, 0);
+}
+
+void tcp_flow::start() {
+  start_time_ = sim_.now();
+  send_window();
+}
+
+void tcp_flow::abort() {
+  if (done_) return;
+  complete();
+}
+
+void tcp_flow::transmit(std::uint32_t seq) {
+  netsim::packet p;
+  p.flow_id = flow_id_;
+  p.seq = seq;
+  p.size_bytes = cfg_.mss_bytes;
+  p.sent_at = sim_.now();
+  sent_time_[seq] = sim_.now();
+  if (send_count_[seq] < 255) ++send_count_[seq];
+
+  auto self = shared_from_this();
+  path_.down().send(p, [self](const netsim::packet& pkt) {
+    self->on_data_at_receiver(pkt);
+  });
+}
+
+void tcp_flow::on_data_at_receiver(const netsim::packet& p) {
+  if (done_) return;
+  if (p.seq < recv_ok_.size()) recv_ok_[p.seq] = true;
+  while (recv_next_ < total_pkts_ && recv_ok_[recv_next_]) ++recv_next_;
+
+  netsim::packet ack;
+  ack.flow_id = flow_id_;
+  ack.seq = recv_next_;  // cumulative: next expected sequence
+  ack.size_bytes = cfg_.ack_bytes;
+  ack.sent_at = sim_.now();
+  ack.is_ack = true;
+
+  auto self = shared_from_this();
+  path_.up().send(ack, [self](const netsim::packet& a) {
+    self->on_ack(a.seq);
+  });
+}
+
+void tcp_flow::on_ack(std::uint32_t ack_seq) {
+  if (done_) return;
+  if (ack_seq > highest_acked_) {
+    // New data acknowledged.
+    const std::uint32_t newly = ack_seq - highest_acked_;
+    // Karn's rule: only sample RTT from segments transmitted exactly once.
+    const std::uint32_t probe_seq = ack_seq - 1;
+    if (send_count_[probe_seq] == 1) {
+      const double sample = sim_.now() - sent_time_[probe_seq];
+      if (!have_rtt_) {
+        srtt_s_ = sample;
+        rttvar_s_ = sample / 2.0;
+        have_rtt_ = true;
+      } else {
+        rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::abs(srtt_s_ - sample);
+        srtt_s_ = 0.875 * srtt_s_ + 0.125 * sample;
+      }
+      rto_s_ = std::clamp(srtt_s_ + 4.0 * rttvar_s_, cfg_.min_rto_s,
+                          cfg_.max_rto_s);
+    }
+
+    highest_acked_ = ack_seq;
+    dup_acks_ = 0;
+    if (in_recovery_ && ack_seq >= recovery_point_) {
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+    }
+    if (!in_recovery_) {
+      for (std::uint32_t i = 0; i < newly; ++i) {
+        if (cwnd_ < ssthresh_) {
+          cwnd_ += 1.0;  // slow start
+        } else {
+          cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+        }
+      }
+      cwnd_ = std::min(cwnd_, cfg_.rwnd_pkts);
+    }
+
+    if (highest_acked_ >= total_pkts_) {
+      complete();
+      return;
+    }
+    arm_rto();
+    send_window();
+  } else if (ack_seq == highest_acked_) {
+    ++dup_acks_;
+    if (dup_acks_ == 3 && !in_recovery_) {
+      // Fast retransmit + (simplified) fast recovery.
+      const double flight = static_cast<double>(next_seq_ - highest_acked_);
+      ssthresh_ = std::max(flight / 2.0, 2.0);
+      cwnd_ = ssthresh_;
+      in_recovery_ = true;
+      recovery_point_ = next_seq_;
+      ++retransmits_;
+      transmit(highest_acked_);
+      arm_rto();
+    }
+  }
+}
+
+void tcp_flow::send_window() {
+  const double window = std::min(cwnd_, cfg_.rwnd_pkts);
+  while (next_seq_ < total_pkts_ &&
+         static_cast<double>(next_seq_ - highest_acked_) < window) {
+    transmit(next_seq_++);
+  }
+  if (next_seq_ > highest_acked_ && rto_generation_ == 0) arm_rto();
+}
+
+void tcp_flow::arm_rto() {
+  const std::uint64_t gen = ++rto_generation_;
+  auto self = shared_from_this();
+  sim_.schedule_in(rto_s_, [self, gen]() { self->on_rto(gen); });
+}
+
+void tcp_flow::on_rto(std::uint64_t generation) {
+  if (done_ || generation != rto_generation_) return;
+  ++timeouts_;
+  const double flight = static_cast<double>(next_seq_ - highest_acked_);
+  ssthresh_ = std::max(flight / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  rto_s_ = std::min(rto_s_ * 2.0, cfg_.max_rto_s);
+  // Go-back-N: resume from the first unacknowledged segment.
+  retransmits_ += next_seq_ - highest_acked_ > 0 ? 1 : 0;
+  next_seq_ = highest_acked_;
+  send_window();
+  arm_rto();
+}
+
+void tcp_flow::complete() {
+  if (done_) return;
+  done_ = true;
+  ++rto_generation_;  // cancel any armed timer
+
+  tcp_result r;
+  r.completed = highest_acked_ >= total_pkts_;
+  r.bytes = static_cast<std::size_t>(highest_acked_) * cfg_.mss_bytes;
+  r.bytes = std::min(r.bytes, cfg_.transfer_bytes);
+  r.duration_s = sim_.now() - start_time_;
+  r.throughput_bps = r.duration_s > 0.0
+                         ? static_cast<double>(r.bytes) * 8.0 / r.duration_s
+                         : 0.0;
+  r.retransmits = retransmits_;
+  r.timeouts = timeouts_;
+  r.srtt_s = srtt_s_;
+  if (on_done_) on_done_(r);
+}
+
+std::shared_ptr<tcp_flow> start_tcp_download(netsim::simulation& sim,
+                                             netsim::duplex_path& path,
+                                             const tcp_config& config,
+                                             std::uint64_t flow_id,
+                                             tcp_callback on_done) {
+  auto flow = std::make_shared<tcp_flow>(sim, path, config, flow_id,
+                                         std::move(on_done));
+  flow->start();
+  return flow;
+}
+
+}  // namespace wiscape::transport

@@ -1,0 +1,108 @@
+// Reno-style TCP download over a duplex path.
+//
+// WiScape's headline metric is TCP throughput of ~1 MB downloads (Fig 1,
+// Fig 4, Fig 13). Short transfers spend much of their life in slow start, so
+// measured throughput sits visibly below link capacity -- a behaviour the
+// framework (and the Pathload/WBest comparison of Sec 3.3.1) depends on.
+// This is a deliberately compact Reno: slow start, congestion avoidance,
+// fast retransmit/recovery, and a coarse retransmission timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netsim/path.h"
+
+namespace wiscape::transport {
+
+struct tcp_config {
+  std::size_t transfer_bytes = 1'000'000;
+  std::size_t mss_bytes = 1400;
+  std::size_t ack_bytes = 40;
+  double initial_cwnd_pkts = 2.0;
+  double initial_ssthresh_pkts = 64.0;
+  double min_rto_s = 0.25;
+  double max_rto_s = 8.0;
+  /// Receiver window, packets (caps cwnd).
+  double rwnd_pkts = 128.0;
+};
+
+struct tcp_result {
+  bool completed = false;
+  std::size_t bytes = 0;
+  double duration_s = 0.0;
+  double throughput_bps = 0.0;
+  std::uint32_t retransmits = 0;
+  std::uint32_t timeouts = 0;
+  double srtt_s = 0.0;  ///< smoothed RTT at completion
+};
+
+using tcp_callback = std::function<void(const tcp_result&)>;
+
+/// A single server->client TCP transfer. Construct via start_tcp_download;
+/// the returned handle keeps the flow alive and exposes progress.
+class tcp_flow : public std::enable_shared_from_this<tcp_flow> {
+ public:
+  /// Not for direct use; see start_tcp_download.
+  tcp_flow(netsim::simulation& sim, netsim::duplex_path& path,
+           tcp_config config, std::uint64_t flow_id, tcp_callback on_done);
+
+  void start();
+
+  /// Aborts the flow: reports a non-completed result immediately and ignores
+  /// all in-flight events. Used when a probe deadline expires.
+  void abort();
+
+  bool finished() const noexcept { return done_; }
+  std::uint32_t packets_acked() const noexcept { return highest_acked_; }
+
+ private:
+  void send_window();
+  void transmit(std::uint32_t seq);
+  void on_data_at_receiver(const netsim::packet& p);
+  void on_ack(std::uint32_t ack_seq);
+  void arm_rto();
+  void on_rto(std::uint64_t generation);
+  void complete();
+
+  netsim::simulation& sim_;
+  netsim::duplex_path& path_;
+  tcp_config cfg_;
+  std::uint64_t flow_id_;
+  tcp_callback on_done_;
+
+  std::uint32_t total_pkts_ = 0;
+  std::uint32_t next_seq_ = 0;       // next never-sent packet
+  std::uint32_t highest_acked_ = 0;  // cumulative: all < this are acked
+  std::uint32_t recv_next_ = 0;      // receiver's next expected seq
+  std::vector<bool> recv_ok_;        // out-of-order reassembly buffer
+  std::vector<double> sent_time_;    // last transmission time per segment
+  std::vector<std::uint8_t> send_count_;  // transmissions per segment (Karn)
+  double cwnd_;
+  double ssthresh_;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint32_t recovery_point_ = 0;
+
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  bool have_rtt_ = false;
+  double rto_s_;
+  std::uint64_t rto_generation_ = 0;
+
+  double start_time_ = 0.0;
+  std::uint32_t retransmits_ = 0;
+  std::uint32_t timeouts_ = 0;
+  bool done_ = false;
+};
+
+/// Launches a download; completion (or abort) invokes `on_done` exactly once.
+std::shared_ptr<tcp_flow> start_tcp_download(netsim::simulation& sim,
+                                             netsim::duplex_path& path,
+                                             const tcp_config& config,
+                                             std::uint64_t flow_id,
+                                             tcp_callback on_done);
+
+}  // namespace wiscape::transport

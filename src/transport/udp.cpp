@@ -1,0 +1,99 @@
+#include "transport/udp.h"
+
+#include <cmath>
+
+namespace wiscape::transport {
+
+udp_flow::udp_flow(netsim::simulation& sim, netsim::duplex_path& path,
+                   udp_config config, std::uint64_t flow_id,
+                   udp_callback on_done)
+    : sim_(sim),
+      path_(path),
+      cfg_(config),
+      flow_id_(flow_id),
+      on_done_(std::move(on_done)) {}
+
+void udp_flow::start() {
+  first_send_ = sim_.now();
+  send_next();
+}
+
+void udp_flow::send_next() {
+  if (done_) return;
+  if (next_seq_ >= cfg_.packet_count) {
+    // All sent; give stragglers time to drain, then report.
+    auto self = shared_from_this();
+    sim_.schedule_in(cfg_.drain_timeout_s, [self]() { self->finish(); });
+    return;
+  }
+  netsim::packet p;
+  p.flow_id = flow_id_;
+  p.seq = next_seq_++;
+  p.size_bytes = cfg_.packet_bytes;
+  p.sent_at = sim_.now();
+
+  auto self = shared_from_this();
+  auto& data_link = cfg_.use_uplink ? path_.up() : path_.down();
+  data_link.send(p, [self](const netsim::packet& pkt) {
+    self->on_receive(pkt);
+  });
+  sim_.schedule_in(cfg_.interval_s, [self]() { self->send_next(); });
+}
+
+void udp_flow::on_receive(const netsim::packet& p) {
+  if (done_) return;
+  if (received_ == 0) {
+    first_arrival_ = sim_.now();
+    first_bytes_ = p.size_bytes;
+  }
+  ++received_;
+  received_bytes_ += p.size_bytes;
+  last_arrival_ = sim_.now();
+  const double delay = sim_.now() - p.sent_at;
+  delay_sum_ += delay;
+  delays_.push_back(delay);
+  if (have_prev_delay_) {
+    ipdv_sum_ += std::abs(delay - prev_delay_);
+    ++ipdv_count_;
+  }
+  prev_delay_ = delay;
+  have_prev_delay_ = true;
+}
+
+void udp_flow::finish() {
+  if (done_) return;
+  done_ = true;
+  udp_result r;
+  r.sent = cfg_.packet_count;
+  r.received = received_;
+  r.loss_rate =
+      r.sent > 0
+          ? 1.0 - static_cast<double>(received_) / static_cast<double>(r.sent)
+          : 0.0;
+  // Receiver-side rate over the arrival span (first packet anchors the
+  // window, so its bytes are excluded); excludes the one-way delay that
+  // would otherwise bias short bursts low.
+  const double span = last_arrival_ - first_arrival_;
+  r.throughput_bps =
+      (received_ >= 2 && span > 0.0)
+          ? static_cast<double>(received_bytes_ - first_bytes_) * 8.0 / span
+          : 0.0;
+  r.mean_delay_s =
+      received_ > 0 ? delay_sum_ / static_cast<double>(received_) : 0.0;
+  r.jitter_s = ipdv_count_ > 0 ? ipdv_sum_ / static_cast<double>(ipdv_count_) : 0.0;
+  r.delays_s = std::move(delays_);
+  if (on_done_) on_done_(r);
+}
+
+std::shared_ptr<udp_flow> start_udp_flow(netsim::simulation& sim,
+                                         netsim::duplex_path& path,
+                                         const udp_config& config,
+                                         std::uint64_t flow_id,
+                                         udp_callback on_done) {
+  auto flow =
+      std::make_shared<udp_flow>(sim, path, config, flow_id, std::move(on_done));
+  flow->start();
+  return flow;
+}
+
+}  // namespace wiscape::transport

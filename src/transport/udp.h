@@ -1,0 +1,84 @@
+// UDP constant-bit-rate probe flow with per-packet delay accounting.
+//
+// WiScape's UDP probes (Table 1: 200/1200-byte packets, 1-100 ms spacing)
+// yield throughput, loss rate, one-way delay, and application-level jitter
+// measured as Instantaneous Packet Delay Variation (RFC 3393): the
+// difference between the one-way delays of consecutive packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netsim/path.h"
+
+namespace wiscape::transport {
+
+struct udp_config {
+  std::uint32_t packet_count = 100;
+  std::size_t packet_bytes = 1200;
+  double interval_s = 0.010;  ///< inter-packet send spacing
+  double drain_timeout_s = 2.0;  ///< wait after last send before reporting
+  /// Send client->server through the uplink instead of the downlink.
+  bool use_uplink = false;
+};
+
+struct udp_result {
+  std::uint32_t sent = 0;
+  std::uint32_t received = 0;
+  double loss_rate = 0.0;
+  /// Goodput: received bytes / (last arrival - first send).
+  double throughput_bps = 0.0;
+  /// Mean one-way delay of delivered packets, seconds.
+  double mean_delay_s = 0.0;
+  /// Mean |IPDV| over consecutive delivered packets, seconds (RFC 3393).
+  double jitter_s = 0.0;
+  /// Per-packet one-way delays in arrival order (diagnostics / tests).
+  std::vector<double> delays_s;
+};
+
+using udp_callback = std::function<void(const udp_result&)>;
+
+/// One server->client UDP burst. Construct via start_udp_flow.
+class udp_flow : public std::enable_shared_from_this<udp_flow> {
+ public:
+  udp_flow(netsim::simulation& sim, netsim::duplex_path& path,
+           udp_config config, std::uint64_t flow_id, udp_callback on_done);
+
+  void start();
+
+ private:
+  void send_next();
+  void on_receive(const netsim::packet& p);
+  void finish();
+
+  netsim::simulation& sim_;
+  netsim::duplex_path& path_;
+  udp_config cfg_;
+  std::uint64_t flow_id_;
+  udp_callback on_done_;
+
+  std::uint32_t next_seq_ = 0;
+  double first_send_ = 0.0;
+  double first_arrival_ = 0.0;
+  std::size_t first_bytes_ = 0;
+  double last_arrival_ = 0.0;
+  std::uint32_t received_ = 0;
+  std::size_t received_bytes_ = 0;
+  double delay_sum_ = 0.0;
+  double ipdv_sum_ = 0.0;
+  std::uint32_t ipdv_count_ = 0;
+  double prev_delay_ = 0.0;
+  bool have_prev_delay_ = false;
+  std::vector<double> delays_;
+  bool done_ = false;
+};
+
+std::shared_ptr<udp_flow> start_udp_flow(netsim::simulation& sim,
+                                         netsim::duplex_path& path,
+                                         const udp_config& config,
+                                         std::uint64_t flow_id,
+                                         udp_callback on_done);
+
+}  // namespace wiscape::transport

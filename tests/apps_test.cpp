@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/multihoming.h"
+#include "apps/surge.h"
+#include "apps/zone_knowledge.h"
+#include "test_util.h"
+
+namespace wiscape::apps {
+namespace {
+
+const geo::lat_lon here = cellnet::anchors::madison;
+
+// ------------------------------------------------------------------ surge ----
+
+TEST(Surge, SizesWithinPaperRange) {
+  surge_config cfg;
+  const auto pages = surge_pages(cfg, 42);
+  ASSERT_EQ(pages.size(), 1000u);
+  for (std::size_t b : pages) {
+    EXPECT_GE(b, cfg.min_bytes);
+    EXPECT_LE(b, cfg.max_bytes);
+  }
+}
+
+TEST(Surge, DeterministicInSeed) {
+  const auto a = surge_pages({}, 42);
+  const auto b = surge_pages({}, 42);
+  EXPECT_EQ(a, b);
+  const auto c = surge_pages({}, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Surge, HeavyTailPresent) {
+  const auto pages = surge_pages({}, 42);
+  std::vector<double> sizes(pages.begin(), pages.end());
+  std::sort(sizes.begin(), sizes.end());
+  const double median = sizes[sizes.size() / 2];
+  const double p99 = sizes[sizes.size() * 99 / 100];
+  // Heavy tail: p99 at least an order of magnitude above the median.
+  EXPECT_GT(p99, 10.0 * median);
+  // Median stays in the "typical page" range.
+  EXPECT_LT(median, 200'000.0);
+}
+
+TEST(Surge, WebsitesMatchExpectedOrdering) {
+  const auto sites = well_known_websites(42);
+  ASSERT_EQ(sites.size(), 4u);
+  auto total = [&](const char* name) {
+    for (const auto& s : sites) {
+      if (s.name == name) return s.total_bytes();
+    }
+    return std::size_t{0};
+  };
+  // cnn is the heaviest mix, microsoft the lightest (Fig 14's ordering).
+  EXPECT_GT(total("cnn"), total("microsoft"));
+  EXPECT_GT(total("youtube"), total("microsoft"));
+  EXPECT_GT(total("amazon"), total("microsoft"));
+  for (const auto& s : sites) EXPECT_GT(s.object_bytes.size(), 10u);
+}
+
+// --------------------------------------------------------- zone_knowledge ----
+
+trace::dataset training_two_zones() {
+  // Zone A: NetB wins. Zone B (4 km east): NetC wins.
+  trace::dataset ds;
+  stats::rng_stream r(3);
+  const geo::lat_lon zone_a = here;
+  const geo::lat_lon zone_b = geo::destination(here, 90.0, 4000.0);
+  for (int i = 0; i < 50; ++i) {
+    ds.add(testing::make_record(i, "NetB", zone_a,
+                                trace::probe_kind::tcp_download,
+                                r.normal(2e6, 1e5)));
+    ds.add(testing::make_record(i, "NetC", zone_a,
+                                trace::probe_kind::tcp_download,
+                                r.normal(1e6, 1e5)));
+    ds.add(testing::make_record(i, "NetB", zone_b,
+                                trace::probe_kind::tcp_download,
+                                r.normal(0.8e6, 1e5)));
+    ds.add(testing::make_record(i, "NetC", zone_b,
+                                trace::probe_kind::tcp_download,
+                                r.normal(1.9e6, 1e5)));
+  }
+  return ds;
+}
+
+TEST(ZoneKnowledge, PerZoneBestNetwork) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  const zone_knowledge zk(training_two_zones(), grid, {"NetB", "NetC"});
+  EXPECT_EQ(zk.best_network(here), 0u);
+  EXPECT_EQ(zk.best_network(geo::destination(here, 90.0, 4000.0)), 1u);
+}
+
+TEST(ZoneKnowledge, ExpectedBpsTracksTraining) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  const zone_knowledge zk(training_two_zones(), grid, {"NetB", "NetC"});
+  EXPECT_NEAR(zk.expected_bps(0, here), 2e6, 2e5);
+  EXPECT_NEAR(zk.expected_bps(1, here), 1e6, 2e5);
+}
+
+TEST(ZoneKnowledge, UnknownZoneFallsBackToGlobalMean) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  const zone_knowledge zk(training_two_zones(), grid, {"NetB", "NetC"});
+  const geo::lat_lon far = geo::destination(here, 0.0, 50'000.0);
+  EXPECT_NEAR(zk.expected_bps(0, far), zk.global_mean_bps(0), 1.0);
+  EXPECT_GT(zk.global_mean_bps(0), 0.0);
+}
+
+TEST(ZoneKnowledge, ThinZonesUseFallback) {
+  trace::dataset ds = training_two_zones();
+  // A zone with only 2 samples of wildly different value.
+  const geo::lat_lon thin = geo::destination(here, 0.0, 4000.0);
+  ds.add(testing::make_record(0, "NetB", thin, trace::probe_kind::tcp_download,
+                              9e6));
+  ds.add(testing::make_record(1, "NetB", thin, trace::probe_kind::tcp_download,
+                              9e6));
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  const zone_knowledge zk(ds, grid, {"NetB", "NetC"}, 10);
+  // min_samples=10: the 9 Mbps outliers must not dominate.
+  EXPECT_LT(zk.expected_bps(0, thin), 3e6);
+}
+
+TEST(ZoneKnowledge, Validation) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  EXPECT_THROW(zone_knowledge(trace::dataset{}, grid, {}),
+               std::invalid_argument);
+  const zone_knowledge zk(training_two_zones(), grid, {"NetB", "NetC"});
+  EXPECT_THROW(zk.expected_bps(5, here), std::out_of_range);
+  EXPECT_THROW(zk.global_mean_bps(5), std::out_of_range);
+}
+
+// ------------------------------------------------------------ multihoming ----
+
+struct app_world {
+  cellnet::deployment dep = testing::tiny_deployment();
+  probe::probe_engine engine{dep, 6};
+  geo::polyline route = geo::straight_route(
+      dep.proj().to_lat_lon({-1500.0, 0.0}),
+      dep.proj().to_lat_lon({1500.0, 0.0}), 6);
+  std::vector<std::size_t> pages;
+
+  app_world() {
+    surge_config cfg;
+    cfg.pages = 30;
+    cfg.max_bytes = 400'000;
+    pages = surge_pages(cfg, 9);
+  }
+
+  zone_knowledge knowledge() {
+    // Train on a quick segment-style dataset over the route.
+    probe::probe_engine train_engine(dep, 77);
+    trace::dataset ds;
+    probe::tcp_probe_params tcp;
+    tcp.bytes = 100'000;
+    for (int i = 0; i < 40; ++i) {
+      const double d = route.length_m() * (i % 10) / 10.0;
+      const mobility::gps_fix fix{route.point_at(d), 10.0,
+                                  9.0 * 3600 + i * 120.0};
+      for (std::size_t n = 0; n < dep.size(); ++n) {
+        ds.add(train_engine.tcp_probe(n, fix, tcp));
+      }
+    }
+    return zone_knowledge(ds, geo::zone_grid(dep.proj(), 250.0), dep.names());
+  }
+};
+
+TEST(Multisim, AllPoliciesCompleteAllPages) {
+  app_world w;
+  const auto zk = w.knowledge();
+  const drive_config drive;
+  for (auto policy : {multisim_policy::wiscape, multisim_policy::fixed,
+                      multisim_policy::round_robin,
+                      multisim_policy::random_pick}) {
+    const auto result = run_multisim(w.engine, &zk, policy, 0, w.pages,
+                                     w.route, drive, 5);
+    EXPECT_EQ(result.pages, w.pages.size());
+    EXPECT_EQ(result.page_s.size(), w.pages.size());
+    EXPECT_GT(result.total_s, 0.0);
+    EXPECT_LT(result.failures, w.pages.size() / 2);
+  }
+}
+
+TEST(Multisim, WiscapeNotWorseThanWorstFixed) {
+  app_world w;
+  const auto zk = w.knowledge();
+  const drive_config drive;
+  const auto ws = run_multisim(w.engine, &zk, multisim_policy::wiscape, 0,
+                               w.pages, w.route, drive, 5);
+  double worst_fixed = 0.0;
+  for (std::size_t n = 0; n < w.dep.size(); ++n) {
+    const auto fixed = run_multisim(w.engine, nullptr, multisim_policy::fixed,
+                                    n, w.pages, w.route, drive, 5);
+    worst_fixed = std::max(worst_fixed, fixed.total_s);
+  }
+  EXPECT_LE(ws.total_s, worst_fixed * 1.1);
+}
+
+TEST(Multisim, Validation) {
+  app_world w;
+  const drive_config drive;
+  EXPECT_THROW(run_multisim(w.engine, nullptr, multisim_policy::wiscape, 0,
+                            w.pages, w.route, drive, 5),
+               std::invalid_argument);
+  EXPECT_THROW(run_multisim(w.engine, nullptr, multisim_policy::fixed, 99,
+                            w.pages, w.route, drive, 5),
+               std::invalid_argument);
+}
+
+TEST(Mar, PoliciesCompleteBatch) {
+  app_world w;
+  const auto zk = w.knowledge();
+  const drive_config drive;
+  for (auto policy : {mar_policy::round_robin, mar_policy::weighted_round_robin,
+                      mar_policy::wiscape}) {
+    const auto result =
+        run_mar(w.engine, &zk, policy, w.pages, w.route, drive, 5);
+    EXPECT_GT(result.total_s, 0.0);
+    EXPECT_EQ(result.interface_busy_s.size(), w.dep.size());
+    // Makespan >= any interface's busy time.
+    for (double busy : result.interface_busy_s) {
+      EXPECT_LE(busy, result.total_s + 1e-9);
+    }
+  }
+}
+
+TEST(Mar, ParallelismBeatsSequentialMultisim) {
+  app_world w;
+  const auto zk = w.knowledge();
+  const drive_config drive;
+  const auto mar =
+      run_mar(w.engine, &zk, mar_policy::round_robin, w.pages, w.route, drive, 5);
+  const auto seq = run_multisim(w.engine, nullptr, multisim_policy::fixed, 0,
+                                w.pages, w.route, drive, 5);
+  EXPECT_LT(mar.total_s, seq.total_s);
+}
+
+TEST(Mar, WiscapeNotWorseThanNaiveRoundRobin) {
+  app_world w;
+  const auto zk = w.knowledge();
+  const drive_config drive;
+  const auto ws = run_mar(w.engine, &zk, mar_policy::wiscape, w.pages, w.route,
+                          drive, 5);
+  const auto rr = run_mar(w.engine, &zk, mar_policy::round_robin, w.pages,
+                          w.route, drive, 5);
+  EXPECT_LE(ws.total_s, rr.total_s * 1.1);
+}
+
+TEST(Mar, Validation) {
+  app_world w;
+  const drive_config drive;
+  EXPECT_THROW(run_mar(w.engine, nullptr, mar_policy::wiscape, w.pages,
+                       w.route, drive, 5),
+               std::invalid_argument);
+  EXPECT_THROW(run_mar(w.engine, nullptr, mar_policy::weighted_round_robin,
+                       w.pages, w.route, drive, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wiscape::apps

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "stats/bootstrap.h"
+#include "stats/summary.h"
+
+namespace wiscape::stats {
+namespace {
+
+TEST(Bootstrap, IntervalBracketsSampleMean) {
+  rng_stream gen(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(gen.normal(50.0, 5.0));
+  rng_stream rng(7);
+  const auto ci = bootstrap_mean_ci(xs, 0.95, rng);
+  EXPECT_LT(ci.low, ci.point);
+  EXPECT_GT(ci.high, ci.point);
+  EXPECT_TRUE(ci.contains(mean(xs)));
+}
+
+TEST(Bootstrap, WidthShrinksWithSampleSize) {
+  rng_stream gen(3);
+  std::vector<double> small, large;
+  for (int i = 0; i < 20; ++i) small.push_back(gen.normal(50.0, 5.0));
+  for (int i = 0; i < 2000; ++i) large.push_back(gen.normal(50.0, 5.0));
+  rng_stream r1(7), r2(7);
+  const auto ci_small = bootstrap_mean_ci(small, 0.95, r1);
+  const auto ci_large = bootstrap_mean_ci(large, 0.95, r2);
+  EXPECT_GT(ci_small.width(), 3.0 * ci_large.width());
+}
+
+TEST(Bootstrap, HigherLevelWiderInterval) {
+  rng_stream gen(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(gen.normal(0.0, 1.0));
+  rng_stream r1(7), r2(7);
+  EXPECT_GT(bootstrap_mean_ci(xs, 0.99, r1).width(),
+            bootstrap_mean_ci(xs, 0.80, r2).width());
+}
+
+TEST(Bootstrap, ApproximateCoverage) {
+  // Across many synthetic draws, a 90% CI should contain the true mean
+  // roughly 90% of the time (within Monte Carlo slack).
+  rng_stream master(11);
+  int covered = 0;
+  const int trials = 120;
+  for (int t = 0; t < trials; ++t) {
+    rng_stream gen = master.fork(static_cast<std::uint64_t>(t));
+    std::vector<double> xs;
+    for (int i = 0; i < 40; ++i) xs.push_back(gen.normal(10.0, 2.0));
+    rng_stream rng = master.fork(1000 + static_cast<std::uint64_t>(t));
+    if (bootstrap_mean_ci(xs, 0.90, rng, 300).contains(10.0)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.80);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(Bootstrap, ConstantSampleDegenerateInterval) {
+  std::vector<double> xs(30, 7.0);
+  rng_stream rng(1);
+  const auto ci = bootstrap_mean_ci(xs, 0.95, rng);
+  EXPECT_DOUBLE_EQ(ci.low, 7.0);
+  EXPECT_DOUBLE_EQ(ci.high, 7.0);
+}
+
+TEST(Bootstrap, Validation) {
+  rng_stream rng(1);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(bootstrap_mean_ci({}, 0.95, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(xs, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(xs, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(xs, 0.9, rng, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wiscape::stats

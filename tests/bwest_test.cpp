@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "bwest/ground_truth.h"
+#include "bwest/pathload.h"
+#include "bwest/wbest.h"
+#include "test_util.h"
+
+namespace wiscape::bwest {
+namespace {
+
+mobility::gps_fix center_fix(const cellnet::deployment& dep) {
+  return {dep.proj().to_lat_lon({150.0, -150.0}), 0.0, 12.0 * 3600};
+}
+
+TEST(ClassifyTrend, RisingDelaysAreIncreasing) {
+  std::vector<double> owds;
+  for (int i = 0; i < 60; ++i) owds.push_back(0.05 + i * 0.002);
+  EXPECT_EQ(classify_trend(owds, 0.66, 0.55), owd_trend::increasing);
+}
+
+TEST(ClassifyTrend, FlatDelaysNotIncreasing) {
+  std::vector<double> owds(60, 0.05);
+  EXPECT_EQ(classify_trend(owds, 0.66, 0.55), owd_trend::not_increasing);
+}
+
+TEST(ClassifyTrend, NoisyFlatNeverRuledIncreasing) {
+  // Noise can land in the inconclusive band, but a flat series must never
+  // be classified as an increasing trend.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    stats::rng_stream r(seed);
+    std::vector<double> owds;
+    // Pathload-sized streams (its trains carry >= 100 packets; we use more
+    // so the sqrt(n) median buckets are statistically meaningful).
+    for (int i = 0; i < 400; ++i) owds.push_back(0.05 + r.normal(0.0, 0.002));
+    EXPECT_NE(classify_trend(owds, 0.66, 0.55), owd_trend::increasing)
+        << "seed " << seed;
+  }
+}
+
+TEST(ClassifyTrend, TooFewSamplesInconclusive) {
+  EXPECT_EQ(classify_trend({0.05, 0.06, 0.07}, 0.66, 0.55),
+            owd_trend::inconclusive);
+}
+
+TEST(GroundTruth, MeasuresNearLinkShare) {
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const auto fix = center_fix(dep);
+  const auto lc =
+      dep.network(0).conditions_at(dep.proj().to_xy(fix.pos), fix.time_s);
+  ASSERT_TRUE(lc.in_coverage);
+
+  ground_truth_config cfg;
+  cfg.iterations = 3;
+  cfg.duration_s = 10.0;
+  cfg.offered_rate_bps = 8e6;
+  const double truth = ground_truth_udp_bps(eng, 0, fix, cfg);
+  EXPECT_GT(truth, 0.4 * lc.capacity_bps);
+  EXPECT_LT(truth, 1.5 * lc.capacity_bps);
+}
+
+TEST(GroundTruth, Validation) {
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  ground_truth_config bad;
+  bad.iterations = 0;
+  EXPECT_THROW(ground_truth_udp_bps(eng, 0, center_fix(dep), bad),
+               std::invalid_argument);
+  EXPECT_THROW(relative_error(1.0, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(relative_error(0.5e6, 1e6), -0.5);
+}
+
+TEST(Wbest, ProducesPositiveEstimates) {
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const auto result = wbest_estimate(eng, 0, center_fix(dep));
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.capacity_bps, 50e3);
+  EXPECT_GT(result.available_bps, 0.0);
+  EXPECT_LE(result.available_bps, result.capacity_bps);
+}
+
+TEST(Wbest, UnderestimatesCellularGroundTruth) {
+  // The paper's Sec 3.3.1 headline: WBest underestimates, often severely.
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const auto fix = center_fix(dep);
+
+  ground_truth_config gt_cfg;
+  gt_cfg.iterations = 3;
+  gt_cfg.duration_s = 10.0;
+  gt_cfg.offered_rate_bps = 8e6;
+  const double truth = ground_truth_udp_bps(eng, 0, fix, gt_cfg);
+  ASSERT_GT(truth, 0.0);
+
+  // Average over several runs: individual pair estimates are noisy.
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 5; ++i) {
+    mobility::gps_fix f = fix;
+    f.time_s += i * 60.0;
+    const auto r = wbest_estimate(eng, 0, f);
+    if (r.valid) {
+      sum += r.available_bps;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(sum / n, truth);  // strictly below ground truth
+}
+
+TEST(Pathload, BracketConvergesWithinRange) {
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const auto result = pathload_estimate(eng, 0, center_fix(dep));
+  ASSERT_TRUE(result.valid);
+  EXPECT_GE(result.low_bps, 50e3 - 1.0);
+  EXPECT_LE(result.high_bps, 8e6 + 1.0);
+  EXPECT_LE(result.low_bps, result.high_bps);
+  EXPECT_GT(result.iterations, 2);
+}
+
+TEST(Pathload, UnderestimatesCellularGroundTruth) {
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const auto fix = center_fix(dep);
+
+  ground_truth_config gt_cfg;
+  gt_cfg.iterations = 3;
+  gt_cfg.duration_s = 10.0;
+  gt_cfg.offered_rate_bps = 8e6;
+  const double truth = ground_truth_udp_bps(eng, 0, fix, gt_cfg);
+
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 3; ++i) {
+    mobility::gps_fix f = fix;
+    f.time_s += i * 120.0;
+    const auto r = pathload_estimate(eng, 0, f);
+    if (r.valid) {
+      sum += r.estimate_bps;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(sum / n, truth * 1.05);
+}
+
+TEST(Pathload, SimpleDownloadBeatsBothBaselines) {
+  // WiScape's design choice (Sec 3.3.1): plain downloads estimate better
+  // than both tools on cellular links. The UDP probe's relative error
+  // should be smaller in magnitude than WBest's.
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const auto fix = center_fix(dep);
+
+  ground_truth_config gt_cfg;
+  gt_cfg.iterations = 3;
+  gt_cfg.duration_s = 10.0;
+  gt_cfg.offered_rate_bps = 8e6;
+  const double truth = ground_truth_udp_bps(eng, 0, fix, gt_cfg);
+
+  double wiscape_sum = 0.0, wbest_sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 5; ++i) {
+    mobility::gps_fix f = fix;
+    f.time_s += i * 60.0;
+    const auto simple = eng.udp_probe(0, f);
+    const auto wb = wbest_estimate(eng, 0, f);
+    if (!simple.success || !wb.valid) continue;
+    wiscape_sum += std::abs(relative_error(simple.throughput_bps, truth));
+    wbest_sum += std::abs(relative_error(wb.available_bps, truth));
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(wiscape_sum / n, wbest_sum / n);
+}
+
+}  // namespace
+}  // namespace wiscape::bwest

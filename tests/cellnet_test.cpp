@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cellnet/cellular_network.h"
+#include "cellnet/deployment.h"
+#include "cellnet/presets.h"
+#include "cellnet/temporal_field.h"
+#include "stats/running_stats.h"
+#include "stats/summary.h"
+#include "test_util.h"
+
+namespace wiscape::cellnet {
+namespace {
+
+TEST(TemporalField, ZeroMeanCorrectScale) {
+  const temporal_field f(stats::rng_stream(3), 0.05, 3600.0);
+  stats::running_stats rs;
+  for (int i = 0; i < 40000; ++i) rs.add(f.at(i * 100.0));
+  EXPECT_NEAR(rs.mean(), 0.0, 0.01);
+  EXPECT_NEAR(rs.stddev(), 0.05, 0.015);
+}
+
+TEST(TemporalField, DeterministicGivenSeed) {
+  const temporal_field a(stats::rng_stream(3), 0.05, 3600.0);
+  const temporal_field b(stats::rng_stream(3), 0.05, 3600.0);
+  EXPECT_DOUBLE_EQ(a.at(12345.0), b.at(12345.0));
+}
+
+TEST(TemporalField, CorrelationDecaysWithLag) {
+  stats::rng_stream seeds(5);
+  std::vector<double> v0, v_near, v_far;
+  for (int k = 0; k < 300; ++k) {
+    const temporal_field f(seeds.fork(static_cast<std::uint64_t>(k)), 1.0,
+                           1000.0);
+    v0.push_back(f.at(0.0));
+    v_near.push_back(f.at(100.0));
+    v_far.push_back(f.at(50000.0));
+  }
+  EXPECT_GT(stats::pearson_correlation(v0, v_near), 0.7);
+  EXPECT_LT(std::abs(stats::pearson_correlation(v0, v_far)), 0.3);
+}
+
+TEST(TemporalField, Validation) {
+  EXPECT_THROW(temporal_field(stats::rng_stream(1), -0.1, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(temporal_field(stats::rng_stream(1), 0.1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CellularNetwork, BuildsTowerGridCoveringExtent) {
+  const auto dep = testing::tiny_deployment();
+  const auto& net = dep.network(0);
+  EXPECT_GT(net.stations().size(), 4u);
+  // Towers should pad slightly beyond the extent.
+  double max_x = 0.0;
+  for (const auto& s : net.stations()) {
+    max_x = std::max(max_x, std::abs(s.pos.x_m));
+  }
+  EXPECT_GT(max_x, dep.area().width_m / 2.0 * 0.8);
+}
+
+TEST(CellularNetwork, DeterministicConditions) {
+  const auto a = testing::tiny_deployment(3);
+  const auto b = testing::tiny_deployment(3);
+  const geo::xy p{300.0, -200.0};
+  const auto ca = a.network(0).conditions_at(p, 5000.0);
+  const auto cb = b.network(0).conditions_at(p, 5000.0);
+  EXPECT_DOUBLE_EQ(ca.capacity_bps, cb.capacity_bps);
+  EXPECT_DOUBLE_EQ(ca.rtt_s, cb.rtt_s);
+  EXPECT_EQ(ca.serving_station, cb.serving_station);
+}
+
+TEST(CellularNetwork, CoverageInCoreOfExtent) {
+  const auto dep = testing::tiny_deployment();
+  int covered = 0;
+  const int n = 100;
+  stats::rng_stream r(8);
+  for (int i = 0; i < n; ++i) {
+    const geo::xy p{r.uniform(-1500.0, 1500.0), r.uniform(-1500.0, 1500.0)};
+    if (dep.network(0).conditions_at(p, 1000.0).in_coverage) ++covered;
+  }
+  EXPECT_GT(covered, 90);
+}
+
+TEST(CellularNetwork, ConditionsFieldsAreSane) {
+  const auto dep = testing::tiny_deployment();
+  const auto lc = dep.network(0).conditions_at({100.0, 100.0}, 43200.0);
+  ASSERT_TRUE(lc.in_coverage);
+  EXPECT_GT(lc.capacity_bps, 50e3);
+  EXPECT_LE(lc.capacity_bps, 3.1e6 * 1.2);
+  EXPECT_GT(lc.rtt_s, 0.05);
+  EXPECT_LT(lc.rtt_s, 1.0);
+  EXPECT_GE(lc.loss_prob, 0.0);
+  EXPECT_LE(lc.loss_prob, 0.5);
+  EXPECT_GE(lc.utilization, 0.02);
+  EXPECT_LE(lc.utilization, 0.97);
+  EXPECT_GE(lc.serving_station, 0);
+}
+
+TEST(CellularNetwork, UtilizationBounded) {
+  const auto dep = testing::tiny_deployment();
+  stats::rng_stream r(4);
+  for (int i = 0; i < 200; ++i) {
+    const geo::xy p{r.uniform(-1800.0, 1800.0), r.uniform(-1800.0, 1800.0)};
+    const double u = dep.network(0).utilization_at(p, r.uniform(0.0, 86400.0));
+    EXPECT_GE(u, 0.02);
+    EXPECT_LE(u, 0.97);
+  }
+}
+
+TEST(CellularNetwork, HigherUtilizationMeansHigherRtt) {
+  // Compare the same point's RTT at low vs artificially-evented high load.
+  auto dep = testing::tiny_deployment();
+  auto& net = dep.network(0);
+  const geo::xy p{0.0, 0.0};
+  const double t = 3.0 * 3600;  // early morning: low diurnal load
+  const auto before = net.conditions_at(p, t);
+  net.add_event({p, 800.0, t - 10.0, t + 10.0, 0.7});
+  const auto during = net.conditions_at(p, t);
+  ASSERT_TRUE(before.in_coverage);
+  ASSERT_TRUE(during.in_coverage);
+  EXPECT_GT(during.utilization, before.utilization + 0.3);
+  EXPECT_GT(during.rtt_s, 1.3 * before.rtt_s);
+  EXPECT_LT(during.capacity_bps, before.capacity_bps);
+}
+
+TEST(CellularNetwork, EventTapersWithDistance) {
+  auto dep = testing::tiny_deployment();
+  auto& net = dep.network(0);
+  const double t0 = 3.0 * 3600;
+  net.add_event({{0.0, 0.0}, 500.0, t0, t0 + 3600.0, 0.5});
+  // Average over the event window so per-second burst noise and per-tower
+  // drift do not mask the taper.
+  auto mean_u = [&](geo::xy p) {
+    double sum = 0.0;
+    const int n = 60;
+    for (int i = 0; i < n; ++i) sum += net.utilization_at(p, t0 + i * 60.0);
+    return sum / n;
+  };
+  const double u_center = mean_u({0.0, 0.0});
+  const double u_ring = mean_u({700.0, 0.0});
+  const double u_far = mean_u({1900.0, 0.0});
+  EXPECT_GT(u_center, u_ring + 0.05);
+  // Far point may sit on a different tower with its own drift; just check
+  // the event is not inflating it to the cap.
+  EXPECT_LT(u_far, 0.9);
+}
+
+TEST(CellularNetwork, EventOnlyDuringWindow) {
+  auto dep = testing::tiny_deployment();
+  auto& net = dep.network(0);
+  net.add_event({{0.0, 0.0}, 500.0, 1000.0, 2000.0, 0.5});
+  const double u_before = net.utilization_at({0.0, 0.0}, 500.0);
+  const double u_during = net.utilization_at({0.0, 0.0}, 1500.0);
+  const double u_after = net.utilization_at({0.0, 0.0}, 2500.0);
+  EXPECT_GT(u_during, u_before + 0.3);
+  EXPECT_LT(std::abs(u_after - u_before), 0.2);
+}
+
+TEST(CellularNetwork, TroubleSpotCausesOutagesInside) {
+  auto dep = testing::tiny_deployment();
+  auto& net = dep.network(0);
+  net.add_trouble_spot({{0.0, 0.0}, 400.0, 0.5, 0.2});
+  int outages_in = 0, outages_out = 0;
+  for (int w = 0; w < 200; ++w) {
+    const double t = w * 600.0 + 1.0;
+    if (net.in_outage({0.0, 0.0}, t)) ++outages_in;
+    if (net.in_outage({3000.0, 3000.0}, t)) ++outages_out;
+  }
+  EXPECT_NEAR(outages_in, 100, 35);
+  EXPECT_EQ(outages_out, 0);
+}
+
+TEST(CellularNetwork, OutageWindowsAreStable) {
+  auto dep = testing::tiny_deployment();
+  auto& net = dep.network(0);
+  net.add_trouble_spot({{0.0, 0.0}, 400.0, 0.5, 0.2});
+  // All queries within the same 600 s window agree.
+  for (int w = 0; w < 50; ++w) {
+    const double base = w * 600.0;
+    const bool first = net.in_outage({0.0, 0.0}, base + 1.0);
+    EXPECT_EQ(net.in_outage({0.0, 0.0}, base + 300.0), first);
+    EXPECT_EQ(net.in_outage({0.0, 0.0}, base + 599.0), first);
+  }
+}
+
+TEST(CellularNetwork, Validation) {
+  operator_config cfg;
+  EXPECT_THROW(cellular_network(cfg, extent{0.0, 100.0}),
+               std::invalid_argument);
+  cfg.tower_spacing_m = 0.0;
+  EXPECT_THROW(cellular_network(cfg, extent{100.0, 100.0}),
+               std::invalid_argument);
+}
+
+TEST(Deployment, LookupByNameAndIndex) {
+  const auto dep = testing::tiny_deployment();
+  EXPECT_EQ(dep.size(), 2u);
+  EXPECT_EQ(dep.network("NetB").config().name, "NetB");
+  EXPECT_EQ(dep.network(1).config().name, "NetC");
+  EXPECT_EQ(dep.index_of("NetC"), 1);
+  EXPECT_EQ(dep.index_of("NetZ"), -1);
+  EXPECT_THROW(dep.network("NetZ"), std::invalid_argument);
+  EXPECT_THROW(dep.network(5), std::out_of_range);
+}
+
+TEST(Deployment, RejectsDuplicateNames) {
+  geo::projection proj(anchors::madison);
+  std::vector<operator_config> ops(2);
+  ops[0].name = "NetB";
+  ops[1].name = "NetB";
+  EXPECT_THROW(deployment(proj, extent{1000.0, 1000.0}, std::move(ops)),
+               std::invalid_argument);
+}
+
+TEST(Deployment, ConditionsAtGeographicFix) {
+  const auto dep = testing::tiny_deployment();
+  const auto lc = dep.conditions_at(0, anchors::madison, 1000.0);
+  EXPECT_TRUE(lc.in_coverage);
+}
+
+TEST(Presets, OperatorCountsMatchTable2) {
+  EXPECT_EQ(operator_count(region_preset::madison), 3);
+  EXPECT_EQ(operator_count(region_preset::new_jersey), 2);
+  EXPECT_EQ(operator_count(region_preset::corridor), 2);
+  EXPECT_EQ(operator_count(region_preset::segment), 3);
+}
+
+TEST(Presets, MadisonDeploymentShape) {
+  const auto dep = make_deployment(region_preset::madison, 42);
+  EXPECT_EQ(dep.size(), 3u);
+  EXPECT_EQ(dep.names(),
+            (std::vector<std::string>{"NetA", "NetB", "NetC"}));
+  // ~155 sq km.
+  EXPECT_NEAR(dep.area().width_m * dep.area().height_m, 155e6, 4e6);
+}
+
+TEST(Presets, OperatorsHaveDistinctSeeds) {
+  const auto ops = preset_operators(region_preset::madison, 42);
+  EXPECT_NE(ops[0].seed, ops[1].seed);
+  EXPECT_NE(ops[1].seed, ops[2].seed);
+  // And differ from the segment preset's.
+  const auto seg = preset_operators(region_preset::segment, 42);
+  EXPECT_NE(ops[0].seed, seg[0].seed);
+}
+
+TEST(Presets, NjDriftFasterThanMadison) {
+  const auto wi = preset_operators(region_preset::madison, 42);
+  const auto nj = preset_operators(region_preset::new_jersey, 42);
+  EXPECT_LT(nj[0].load.drift_tau_s, wi[1].load.drift_tau_s);
+  EXPECT_GT(nj[0].load.drift_sigma, wi[1].load.drift_sigma);
+}
+
+TEST(Presets, DeterministicAcrossCalls) {
+  const auto a = make_deployment(region_preset::new_jersey, 7);
+  const auto b = make_deployment(region_preset::new_jersey, 7);
+  const geo::xy p{500.0, 500.0};
+  EXPECT_DOUBLE_EQ(a.network(0).conditions_at(p, 100.0).capacity_bps,
+                   b.network(0).conditions_at(p, 100.0).capacity_bps);
+}
+
+TEST(WifiComparison, DeploymentPairsCellularWithMesh) {
+  const auto dep = make_wifi_comparison_deployment(42);
+  ASSERT_EQ(dep.size(), 2u);
+  EXPECT_EQ(dep.names()[0], "NetB");
+  EXPECT_EQ(dep.names()[1], "WiFiMesh");
+  // The mesh is much denser than the cellular grid.
+  EXPECT_GT(dep.network("WiFiMesh").stations().size(),
+            4 * dep.network("NetB").stations().size());
+}
+
+TEST(WifiComparison, MeshChurnsFasterAndHarder) {
+  const auto wifi = wifi_mesh_config(42);
+  const auto cell = preset_operators(region_preset::madison, 42)[1];
+  EXPECT_GT(wifi.load.drift_sigma, 3.0 * cell.load.drift_sigma);
+  EXPECT_LT(wifi.load.drift_tau_s, cell.load.drift_tau_s / 10.0);
+  EXPECT_GT(wifi.fading_sigma, 2.0 * cell.fading_sigma);
+}
+
+TEST(WifiComparison, MeshUtilizationVariesMoreOverMinutes) {
+  const auto dep = make_wifi_comparison_deployment(42);
+  stats::running_stats cell_u, wifi_u;
+  const geo::xy p{300.0, 300.0};
+  for (int i = 0; i < 240; ++i) {
+    const double t = 10.0 * 3600 + i * 30.0;
+    cell_u.add(dep.network(0).utilization_at(p, t));
+    wifi_u.add(dep.network(1).utilization_at(p, t));
+  }
+  EXPECT_GT(wifi_u.stddev(), 2.0 * cell_u.stddev());
+}
+
+}  // namespace
+}  // namespace wiscape::cellnet
+

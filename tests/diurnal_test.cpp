@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diurnal.h"
+#include "stats/rng.h"
+#include "test_util.h"
+
+namespace wiscape::core {
+namespace {
+
+TEST(Diurnal, ExpectedMatchesHourMean) {
+  diurnal_profile p;
+  for (int day = 0; day < 10; ++day) {
+    p.add(day * 86400.0 + 9.5 * 3600, 100.0);  // 09:xx
+    p.add(day * 86400.0 + 18.5 * 3600, 200.0);  // 18:xx
+  }
+  EXPECT_NEAR(p.expected(9.2 * 3600).value(), 100.0, 1e-9);
+  EXPECT_NEAR(p.expected(18.9 * 3600).value(), 200.0, 1e-9);
+  EXPECT_FALSE(p.expected(3.0 * 3600).has_value());  // empty hour
+}
+
+TEST(Diurnal, HourFoldingAcrossDays) {
+  diurnal_profile p;
+  // 26:00 == 02:00 next day.
+  for (int i = 0; i < 6; ++i) p.add(26.0 * 3600 + i, 50.0);
+  EXPECT_NEAR(p.expected(2.5 * 3600).value(), 50.0, 1e-9);
+}
+
+TEST(Diurnal, OverallFallback) {
+  diurnal_profile p;
+  for (int i = 0; i < 6; ++i) p.add(10.0 * 3600 + i, 80.0);
+  // 03:00 has no data; fall back to the overall mean.
+  EXPECT_NEAR(p.expected_or_overall(3.0 * 3600).value(), 80.0, 1e-9);
+  diurnal_profile empty;
+  EXPECT_FALSE(empty.expected_or_overall(0.0).has_value());
+}
+
+TEST(Diurnal, ZscoreFlagsSurges) {
+  diurnal_profile p;
+  stats::rng_stream r(3);
+  for (int day = 0; day < 30; ++day) {
+    p.add(day * 86400.0 + 14.25 * 3600, r.normal(0.113, 0.005));
+  }
+  // Game-day latency of 420 ms against a 113 +- 5 ms hour: huge z.
+  const auto z = p.zscore(14.5 * 3600, 0.420);
+  ASSERT_TRUE(z.has_value());
+  EXPECT_GT(*z, 20.0);
+  // A normal reading is unremarkable.
+  EXPECT_LT(std::abs(p.zscore(14.5 * 3600, 0.114).value()), 2.0);
+}
+
+TEST(Diurnal, PeakToTroughCapturesDailySwing) {
+  diurnal_profile p;
+  for (int day = 0; day < 5; ++day) {
+    for (int i = 0; i < 6; ++i) {
+      p.add(day * 86400.0 + 4.0 * 3600 + i, 100.0);   // quiet 04:00
+      p.add(day * 86400.0 + 18.0 * 3600 + i, 150.0);  // busy 18:00
+    }
+  }
+  EXPECT_NEAR(p.peak_to_trough().value(), 1.5, 1e-9);
+  diurnal_profile single;
+  single.add(0.0, 10.0);
+  EXPECT_FALSE(single.peak_to_trough().has_value());
+}
+
+TEST(Diurnal, SeriesIngestAndCounts) {
+  stats::time_series ts;
+  for (int i = 0; i < 48; ++i) ts.add(i * 1800.0, 1.0);
+  diurnal_profile p;
+  p.add_series(ts);
+  EXPECT_EQ(p.total_samples(), 48u);
+}
+
+TEST(Diurnal, RealSubstrateShowsDailyCycle) {
+  // The cellnet load model is diurnal by construction; the profile should
+  // see a peak-to-trough swing in utilization-driven capacity.
+  const auto dep = testing::tiny_deployment();
+  diurnal_profile p;
+  for (int day = 0; day < 3; ++day) {
+    for (int h = 0; h < 24; ++h) {
+      for (int k = 0; k < 3; ++k) {
+        const double t = day * 86400.0 + h * 3600.0 + k * 900.0;
+        const auto lc = dep.network(0).conditions_at({100.0, 100.0}, t);
+        if (lc.in_coverage) p.add(t, lc.capacity_bps);
+      }
+    }
+  }
+  const auto swing = p.peak_to_trough(3);
+  ASSERT_TRUE(swing.has_value());
+  EXPECT_GT(*swing, 1.01);
+  EXPECT_LT(*swing, 1.6);
+}
+
+}  // namespace
+}  // namespace wiscape::core

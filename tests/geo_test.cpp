@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/lat_lon.h"
+#include "geo/polyline.h"
+#include "geo/projection.h"
+#include "geo/zone_grid.h"
+
+namespace wiscape::geo {
+namespace {
+
+constexpr lat_lon madison{43.0731, -89.4012};
+
+TEST(LatLon, DistanceToSelfIsZero) {
+  EXPECT_DOUBLE_EQ(distance_m(madison, madison), 0.0);
+}
+
+TEST(LatLon, DistanceIsSymmetric) {
+  const lat_lon other{43.1, -89.3};
+  EXPECT_NEAR(distance_m(madison, other), distance_m(other, madison), 1e-9);
+}
+
+TEST(LatLon, KnownDistanceMadisonChicago) {
+  // Madison -> Chicago is roughly 196 km great-circle.
+  const lat_lon chicago{41.8781, -87.6298};
+  EXPECT_NEAR(distance_m(madison, chicago), 196'000.0, 4'000.0);
+}
+
+TEST(LatLon, OneDegreeLatitudeIsAbout111km) {
+  const lat_lon north{madison.lat_deg + 1.0, madison.lon_deg};
+  EXPECT_NEAR(distance_m(madison, north), 111'195.0, 200.0);
+}
+
+TEST(LatLon, BearingCardinalDirections) {
+  const lat_lon north{madison.lat_deg + 0.1, madison.lon_deg};
+  const lat_lon east{madison.lat_deg, madison.lon_deg + 0.1};
+  EXPECT_NEAR(bearing_deg(madison, north), 0.0, 0.1);
+  EXPECT_NEAR(bearing_deg(madison, east), 90.0, 0.1);
+}
+
+TEST(LatLon, DestinationRoundTrip) {
+  for (double bearing : {0.0, 45.0, 133.0, 270.0}) {
+    const lat_lon dest = destination(madison, bearing, 5000.0);
+    EXPECT_NEAR(distance_m(madison, dest), 5000.0, 1.0) << bearing;
+    EXPECT_NEAR(bearing_deg(madison, dest), bearing, 0.2) << bearing;
+  }
+}
+
+TEST(LatLon, InterpolateEndpointsAndMidpoint) {
+  const lat_lon b{43.2, -89.2};
+  EXPECT_EQ(interpolate(madison, b, 0.0), madison);
+  EXPECT_EQ(interpolate(madison, b, 1.0), b);
+  const lat_lon mid = interpolate(madison, b, 0.5);
+  EXPECT_NEAR(mid.lat_deg, (madison.lat_deg + b.lat_deg) / 2.0, 1e-12);
+}
+
+TEST(LatLon, ToStringFormat) {
+  EXPECT_EQ(to_string(lat_lon{43.0, -89.5}), "43.000000,-89.500000");
+}
+
+TEST(Projection, RoundTripNearOrigin) {
+  const projection proj(madison);
+  for (double dx : {-3000.0, 0.0, 4000.0}) {
+    for (double dy : {-2500.0, 0.0, 1500.0}) {
+      const lat_lon p = proj.to_lat_lon({dx, dy});
+      const xy back = proj.to_xy(p);
+      EXPECT_NEAR(back.x_m, dx, 1e-6);
+      EXPECT_NEAR(back.y_m, dy, 1e-6);
+    }
+  }
+}
+
+TEST(Projection, DistancesMatchHaversineAtCityScale) {
+  const projection proj(madison);
+  const lat_lon a = proj.to_lat_lon({-4000.0, 2000.0});
+  const lat_lon b = proj.to_lat_lon({3000.0, -1000.0});
+  const double planar = distance_m(proj.to_xy(a), proj.to_xy(b));
+  const double sphere = distance_m(a, b);
+  EXPECT_NEAR(planar, sphere, sphere * 0.001);
+}
+
+TEST(Projection, RejectsPolarOrigin) {
+  EXPECT_THROW(projection({89.9, 0.0}), std::invalid_argument);
+  EXPECT_THROW(projection({-90.0, 0.0}), std::invalid_argument);
+}
+
+TEST(ZoneGrid, CellAreaMatchesCircularZoneArea) {
+  const zone_grid grid(projection(madison), 250.0);
+  const double area = grid.cell_side_m() * grid.cell_side_m();
+  EXPECT_NEAR(area, 3.14159265 * 250.0 * 250.0, 1.0);
+}
+
+TEST(ZoneGrid, SamePointSameZone) {
+  const zone_grid grid(projection(madison), 250.0);
+  EXPECT_EQ(grid.zone_of(madison), grid.zone_of(madison));
+}
+
+TEST(ZoneGrid, NearbyPointsShareZoneFarPointsDoNot) {
+  const zone_grid grid(projection(madison), 250.0);
+  const projection proj(madison);
+  const zone_id center = grid.zone_of(proj.to_lat_lon({10.0, 10.0}));
+  EXPECT_EQ(grid.zone_of(proj.to_lat_lon({30.0, 30.0})), center);
+  EXPECT_NE(grid.zone_of(proj.to_lat_lon({3000.0, 3000.0})), center);
+}
+
+TEST(ZoneGrid, CenterLiesInsideItsZone) {
+  const zone_grid grid(projection(madison), 250.0);
+  const zone_id z{3, -2};
+  EXPECT_EQ(grid.zone_of(grid.center(z)), z);
+}
+
+TEST(ZoneGrid, DistanceToCenterBounded) {
+  const zone_grid grid(projection(madison), 250.0);
+  const projection proj(madison);
+  // Any point is within half the cell diagonal of its zone center.
+  const double max_d = grid.cell_side_m() * std::sqrt(2.0) / 2.0;
+  for (double x : {-801.0, 13.0, 997.0}) {
+    const lat_lon p = proj.to_lat_lon({x, x / 2.0});
+    EXPECT_LE(grid.distance_to_center_m(p, grid.zone_of(p)), max_d + 1e-6);
+  }
+}
+
+TEST(ZoneGrid, RejectsBadRadius) {
+  EXPECT_THROW(zone_grid(projection(madison), 0.0), std::invalid_argument);
+  EXPECT_THROW(zone_grid(projection(madison), -5.0), std::invalid_argument);
+}
+
+TEST(ZoneGrid, ZoneIdHashDistinguishesNeighbours) {
+  zone_id_hash h;
+  EXPECT_NE(h({0, 1}), h({1, 0}));
+  EXPECT_NE(h({-1, 0}), h({0, -1}));
+}
+
+TEST(CircularZone, ContainsRespectsRadius) {
+  const circular_zone z{madison, 250.0, "test"};
+  EXPECT_TRUE(z.contains(madison));
+  EXPECT_TRUE(z.contains(destination(madison, 90.0, 249.0)));
+  EXPECT_FALSE(z.contains(destination(madison, 90.0, 251.0)));
+}
+
+TEST(CircularZone, FindZonePicksFirstMatch) {
+  const std::vector<circular_zone> zones{
+      {destination(madison, 0.0, 2000.0), 250.0, "north"},
+      {madison, 250.0, "home"},
+  };
+  EXPECT_EQ(find_zone(zones, madison), 1);
+  EXPECT_EQ(find_zone(zones, destination(madison, 0.0, 2000.0)), 0);
+  EXPECT_EQ(find_zone(zones, destination(madison, 90.0, 9000.0)), -1);
+}
+
+TEST(Polyline, RequiresTwoWaypoints) {
+  EXPECT_THROW(polyline({madison}), std::invalid_argument);
+}
+
+TEST(Polyline, LengthOfStraightSegment) {
+  const lat_lon end = destination(madison, 90.0, 1000.0);
+  const polyline line({madison, end});
+  EXPECT_NEAR(line.length_m(), 1000.0, 0.5);
+}
+
+TEST(Polyline, PointAtClampsAndInterpolates) {
+  const lat_lon end = destination(madison, 90.0, 1000.0);
+  const polyline line({madison, end});
+  EXPECT_NEAR(distance_m(line.point_at(-10.0), madison), 0.0, 1e-6);
+  EXPECT_NEAR(distance_m(line.point_at(99999.0), end), 0.0, 1e-6);
+  EXPECT_NEAR(distance_m(line.point_at(500.0), madison), 500.0, 1.0);
+}
+
+TEST(Polyline, MultiSegmentCumulative) {
+  const lat_lon a = destination(madison, 90.0, 1000.0);
+  const lat_lon b = destination(a, 0.0, 500.0);
+  const polyline line({madison, a, b});
+  EXPECT_NEAR(line.length_m(), 1500.0, 1.0);
+  // 1200 m in: 200 m up the second leg.
+  EXPECT_NEAR(distance_m(line.point_at(1200.0), a), 200.0, 1.0);
+}
+
+TEST(Polyline, HeadingFollowsSegments) {
+  const lat_lon a = destination(madison, 90.0, 1000.0);
+  const lat_lon b = destination(a, 0.0, 500.0);
+  const polyline line({madison, a, b});
+  EXPECT_NEAR(line.heading_at(500.0), 90.0, 0.5);
+  EXPECT_NEAR(line.heading_at(1200.0), 0.0, 0.5);
+}
+
+TEST(Polyline, StraightRouteSubdivides) {
+  const lat_lon end = destination(madison, 45.0, 2000.0);
+  const polyline line = straight_route(madison, end, 8);
+  EXPECT_EQ(line.waypoints().size(), 9u);
+  EXPECT_NEAR(line.length_m(), 2000.0, 2.0);
+  EXPECT_THROW(straight_route(madison, end, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wiscape::geo

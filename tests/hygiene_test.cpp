@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trace/hygiene.h"
+
+namespace wiscape::trace {
+namespace {
+
+const geo::lat_lon here = cellnet::anchors::madison;
+
+TEST(Hygiene, CleanDataPassesUntouched) {
+  dataset ds;
+  for (int i = 0; i < 20; ++i) {
+    ds.add(testing::make_record(i * 60.0, "NetB",
+                                geo::destination(here, 90.0, i * 100.0),
+                                trace::probe_kind::tcp_download, 1e6 + i));
+  }
+  dataset out;
+  const auto rep = scrub(ds, {}, out);
+  EXPECT_EQ(rep.kept, 20u);
+  EXPECT_EQ(rep.dropped(), 0u);
+}
+
+TEST(Hygiene, TeleportingFixDropped) {
+  dataset ds;
+  ds.add(testing::make_record(0.0, "NetB", here,
+                              trace::probe_kind::tcp_download, 1e6));
+  // 100 km in 10 seconds: impossible.
+  ds.add(testing::make_record(10.0, "NetB",
+                              geo::destination(here, 0.0, 100'000.0),
+                              trace::probe_kind::tcp_download, 1e6));
+  dataset out;
+  const auto rep = scrub(ds, {}, out);
+  EXPECT_EQ(rep.dropped_teleport, 1u);
+  EXPECT_EQ(rep.kept, 1u);
+}
+
+TEST(Hygiene, TeleportCheckIsPerStream) {
+  // Two different networks at far-apart positions are separate streams:
+  // no teleport between them.
+  dataset ds;
+  ds.add(testing::make_record(0.0, "NetB", here,
+                              trace::probe_kind::tcp_download, 1e6));
+  ds.add(testing::make_record(10.0, "NetC",
+                              geo::destination(here, 0.0, 100'000.0),
+                              trace::probe_kind::tcp_download, 1e6));
+  dataset out;
+  const auto rep = scrub(ds, {}, out);
+  EXPECT_EQ(rep.dropped_teleport, 0u);
+  EXPECT_EQ(rep.kept, 2u);
+}
+
+TEST(Hygiene, NegativeAndImpossibleMetricsDropped) {
+  dataset ds;
+  auto bad_loss = testing::make_record(0.0, "NetB", here,
+                                       trace::probe_kind::udp_burst, 1e6);
+  bad_loss.loss_rate = 1.4;
+  ds.add(bad_loss);
+  auto bad_jitter = testing::make_record(1.0, "NetB", here,
+                                         trace::probe_kind::udp_burst, 1e6);
+  bad_jitter.jitter_s = -0.01;
+  ds.add(bad_jitter);
+  auto bad_pings = testing::make_record(2.0, "NetB", here,
+                                        trace::probe_kind::ping, 0.1);
+  bad_pings.ping_failures = 99;  // more than sent
+  ds.add(bad_pings);
+  dataset out;
+  const auto rep = scrub(ds, {}, out);
+  EXPECT_EQ(rep.dropped_negative, 3u);
+  EXPECT_EQ(rep.kept, 0u);
+}
+
+TEST(Hygiene, ImplausibleThroughputDropped) {
+  dataset ds;
+  ds.add(testing::make_record(0.0, "NetB", here,
+                              trace::probe_kind::tcp_download, 90e6));
+  dataset out;
+  const auto rep = scrub(ds, {}, out);
+  EXPECT_EQ(rep.dropped_implausible_rate, 1u);
+}
+
+TEST(Hygiene, DuplicatesDropped) {
+  dataset ds;
+  const auto rec = testing::make_record(5.0, "NetB", here,
+                                        trace::probe_kind::tcp_download, 1e6);
+  ds.add(rec);
+  ds.add(rec);
+  ds.add(rec);
+  dataset out;
+  const auto rep = scrub(ds, {}, out);
+  EXPECT_EQ(rep.dropped_duplicate, 2u);
+  EXPECT_EQ(rep.kept, 1u);
+}
+
+TEST(Hygiene, TimeWindowApplied) {
+  dataset ds;
+  for (int i = 0; i < 10; ++i) {
+    ds.add(testing::make_record(i * 100.0, "NetB", here,
+                                trace::probe_kind::ping, 0.1));
+  }
+  hygiene_config cfg;
+  cfg.min_time_s = 200.0;
+  cfg.max_time_s = 600.0;
+  cfg.drop_duplicates = false;
+  dataset out;
+  const auto rep = scrub(ds, cfg, out);
+  EXPECT_EQ(rep.dropped_out_of_window, 6u);
+  EXPECT_EQ(rep.kept, 4u);
+}
+
+TEST(Hygiene, RulesCanBeDisabled) {
+  dataset ds;
+  const auto rec = testing::make_record(5.0, "NetB", here,
+                                        trace::probe_kind::tcp_download, 90e6);
+  ds.add(rec);
+  ds.add(rec);
+  hygiene_config cfg;
+  cfg.max_throughput_bps = 0.0;
+  cfg.drop_duplicates = false;
+  cfg.max_plausible_speed_mps = 0.0;
+  dataset out;
+  const auto rep = scrub(ds, cfg, out);
+  EXPECT_EQ(rep.kept, 2u);
+}
+
+TEST(Hygiene, SummaryMentionsCounts) {
+  dataset ds;
+  ds.add(testing::make_record(0.0, "NetB", here, trace::probe_kind::ping, 0.1));
+  dataset out;
+  const auto rep = scrub(ds, {}, out);
+  EXPECT_NE(rep.summary().find("kept 1/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wiscape::trace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mapping.h"
+#include "test_util.h"
+
+namespace wiscape::core {
+namespace {
+
+const geo::lat_lon here = cellnet::anchors::madison;
+
+TEST(Mapping, ZoneSamplesAggregatePerZone) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  trace::dataset ds;
+  for (int i = 0; i < 30; ++i) {
+    ds.add(testing::make_record(i, "NetB", here,
+                                trace::probe_kind::tcp_download, 1e6));
+    ds.add(testing::make_record(i, "NetB",
+                                geo::destination(here, 90.0, 3000.0),
+                                trace::probe_kind::tcp_download, 2e6));
+  }
+  const auto samples = zone_samples(ds, grid,
+                                    trace::metric::tcp_throughput_bps,
+                                    "NetB", 20);
+  ASSERT_EQ(samples.size(), 2u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.samples, 30u);
+    EXPECT_TRUE(std::abs(s.value - 1e6) < 1.0 ||
+                std::abs(s.value - 2e6) < 1.0);
+  }
+}
+
+TEST(Mapping, InterpolateExactAtSources) {
+  std::vector<map_sample> sources{
+      {{0.0, 0.0}, 10.0, 50},
+      {{2000.0, 0.0}, 20.0, 50},
+  };
+  mapping_config cfg;
+  cfg.cell_m = 200.0;
+  const auto raster = interpolate(sources, cfg);
+  // The cells containing the sources carry the source values.
+  const auto col0 = static_cast<std::size_t>((0.0 - raster.west_m) /
+                                             raster.cell_m);
+  const auto row0 = static_cast<std::size_t>((0.0 - raster.south_m) /
+                                             raster.cell_m);
+  EXPECT_NEAR(raster.at(col0, row0), 10.0, 2.5);
+}
+
+TEST(Mapping, InterpolateBlendsBetweenSources) {
+  std::vector<map_sample> sources{
+      {{0.0, 0.0}, 10.0, 50},
+      {{1000.0, 0.0}, 20.0, 50},
+  };
+  mapping_config cfg;
+  cfg.cell_m = 100.0;
+  cfg.max_range_m = 2000.0;
+  const auto raster = interpolate(sources, cfg);
+  const auto mid_col = static_cast<std::size_t>((500.0 - raster.west_m) /
+                                                raster.cell_m);
+  const auto mid_row = static_cast<std::size_t>((0.0 - raster.south_m) /
+                                                raster.cell_m);
+  const double mid = raster.at(mid_col, mid_row);
+  EXPECT_GT(mid, 12.0);
+  EXPECT_LT(mid, 18.0);
+}
+
+TEST(Mapping, FarCellsAreNoData) {
+  std::vector<map_sample> sources{
+      {{0.0, 0.0}, 10.0, 50},
+      {{8000.0, 0.0}, 20.0, 50},
+  };
+  mapping_config cfg;
+  cfg.cell_m = 500.0;
+  cfg.max_range_m = 1000.0;
+  const auto raster = interpolate(sources, cfg);
+  const auto mid_col = static_cast<std::size_t>((4000.0 - raster.west_m) /
+                                                raster.cell_m);
+  const auto mid_row = static_cast<std::size_t>((0.0 - raster.south_m) /
+                                                raster.cell_m);
+  EXPECT_TRUE(std::isnan(raster.at(mid_col, mid_row)));
+}
+
+TEST(Mapping, HeavierZonesPullHarder) {
+  // Same distances, very different sample counts: the estimate leans to the
+  // well-observed source.
+  std::vector<map_sample> sources{
+      {{0.0, 0.0}, 10.0, 200},
+      {{1000.0, 0.0}, 20.0, 10},
+  };
+  mapping_config cfg;
+  cfg.cell_m = 100.0;
+  cfg.max_range_m = 2000.0;
+  const auto raster = interpolate(sources, cfg);
+  const auto mid_col = static_cast<std::size_t>((500.0 - raster.west_m) /
+                                                raster.cell_m);
+  const auto mid_row = static_cast<std::size_t>((0.0 - raster.south_m) /
+                                                raster.cell_m);
+  EXPECT_LT(raster.at(mid_col, mid_row), 12.0);
+}
+
+TEST(Mapping, Validation) {
+  EXPECT_THROW(interpolate({}, {}), std::invalid_argument);
+  std::vector<map_sample> one{{{0.0, 0.0}, 1.0, 5}};
+  mapping_config bad;
+  bad.cell_m = 0.0;
+  EXPECT_THROW(interpolate(one, bad), std::invalid_argument);
+}
+
+TEST(Mapping, AsciiRenderShapesAndRamp) {
+  std::vector<map_sample> sources{
+      {{0.0, 0.0}, 10.0, 50},
+      {{2000.0, 2000.0}, 100.0, 50},
+  };
+  mapping_config cfg;
+  cfg.cell_m = 500.0;
+  cfg.max_range_m = 1500.0;
+  const auto raster = interpolate(sources, cfg);
+  const auto text = render_ascii(raster);
+  // rows lines, each cols+1 characters (incl newline).
+  EXPECT_EQ(text.size(), (raster.cols + 1) * raster.rows);
+  // Contains both low and high ramp characters.
+  EXPECT_NE(text.find('.'), std::string::npos);
+  EXPECT_NE(text.find('@'), std::string::npos);
+}
+
+TEST(Mapping, EndToEndAsciiMap) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  trace::dataset ds;
+  for (int z = 0; z < 4; ++z) {
+    const auto pos = geo::destination(here, 90.0, z * 800.0);
+    for (int i = 0; i < 25; ++i) {
+      ds.add(testing::make_record(i, "NetB", pos,
+                                  trace::probe_kind::tcp_download,
+                                  (z + 1) * 5e5));
+    }
+  }
+  const auto map = ascii_map(ds, grid, trace::metric::tcp_throughput_bps,
+                             "NetB");
+  EXPECT_GT(map.size(), 20u);
+  EXPECT_NE(map.find('@'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wiscape::core

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cellnet/presets.h"
+#include "mobility/fleet.h"
+#include "mobility/route_gen.h"
+#include "mobility/schedule.h"
+
+namespace wiscape::mobility {
+namespace {
+
+const geo::lat_lon origin = cellnet::anchors::madison;
+
+geo::polyline test_route() {
+  return geo::straight_route(origin, geo::destination(origin, 90.0, 5000.0), 4);
+}
+
+TEST(FoldDistance, TriangleWave) {
+  EXPECT_DOUBLE_EQ(fold_distance(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(fold_distance(50.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(fold_distance(100.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(fold_distance(150.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(fold_distance(200.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(fold_distance(250.0, 100.0), 50.0);
+}
+
+TEST(FoldDistance, DegenerateLength) {
+  EXPECT_DOUBLE_EQ(fold_distance(42.0, 0.0), 0.0);
+}
+
+TEST(DaySchedule, OutOfServiceReturnsNullopt) {
+  const auto route = test_route();
+  const day_schedule sched(route, transit_bus_params(), stats::rng_stream(1),
+                           0.0);
+  EXPECT_FALSE(sched.fix_at(5.0 * 3600).has_value());   // before 6am
+  EXPECT_TRUE(sched.fix_at(12.0 * 3600).has_value());   // midday
+  EXPECT_FALSE(sched.fix_at(24.5 * 3600).has_value());  // next day
+}
+
+TEST(DaySchedule, PositionsStayOnRoute) {
+  const auto route = test_route();
+  const day_schedule sched(route, transit_bus_params(), stats::rng_stream(1),
+                           0.0);
+  for (double t = 6.5 * 3600; t < 23.0 * 3600; t += 1800.0) {
+    const auto fix = sched.fix_at(t);
+    ASSERT_TRUE(fix.has_value());
+    // Distance from the route's straight line should be ~0.
+    const double along = geo::distance_m(route.point_at(0.0), fix->pos);
+    EXPECT_LE(along, route.length_m() + 1.0);
+  }
+}
+
+TEST(DaySchedule, SpeedsWithinConfiguredRange) {
+  const auto route = test_route();
+  auto params = transit_bus_params();
+  const day_schedule sched(route, params, stats::rng_stream(2), 0.0);
+  int moving = 0, stopped = 0;
+  for (double t = 6.1 * 3600; t < 23.9 * 3600; t += 60.0) {
+    const auto fix = sched.fix_at(t);
+    ASSERT_TRUE(fix.has_value());
+    if (fix->speed_mps > 0.0) {
+      ++moving;
+      EXPECT_GE(fix->speed_mps, params.min_speed_mps - 1e-9);
+      EXPECT_LE(fix->speed_mps, params.max_speed_mps + 1e-9);
+    } else {
+      ++stopped;
+    }
+  }
+  EXPECT_GT(moving, 0);
+  EXPECT_GT(stopped, 0);  // dwell at stops shows up
+}
+
+TEST(DaySchedule, NoStopsMeansNeverStopped) {
+  const auto route = test_route();
+  const day_schedule sched(route, drive_loop_params(), stats::rng_stream(3),
+                           0.0);
+  for (double t = 8.5 * 3600; t < 19.5 * 3600; t += 600.0) {
+    const auto fix = sched.fix_at(t);
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_GT(fix->speed_mps, 0.0);
+  }
+}
+
+TEST(DaySchedule, MovementIsContinuous) {
+  const auto route = test_route();
+  const day_schedule sched(route, transit_bus_params(), stats::rng_stream(4),
+                           0.0);
+  auto prev = sched.fix_at(12.0 * 3600);
+  ASSERT_TRUE(prev.has_value());
+  for (double t = 12.0 * 3600 + 10.0; t < 12.5 * 3600; t += 10.0) {
+    const auto fix = sched.fix_at(t);
+    ASSERT_TRUE(fix.has_value());
+    // In 10 s a bus moves at most max_speed * 10 ~ 130 m.
+    EXPECT_LE(geo::distance_m(prev->pos, fix->pos), 140.0);
+    prev = fix;
+  }
+}
+
+TEST(DaySchedule, Validation) {
+  const auto route = test_route();
+  motion_params bad = transit_bus_params();
+  bad.min_speed_mps = 0.0;
+  EXPECT_THROW(day_schedule(route, bad, stats::rng_stream(1), 0.0),
+               std::invalid_argument);
+  motion_params inverted = transit_bus_params();
+  inverted.service_start_s = 10 * 3600;
+  inverted.service_end_s = 9 * 3600;
+  EXPECT_THROW(day_schedule(route, inverted, stats::rng_stream(1), 0.0),
+               std::invalid_argument);
+}
+
+TEST(Fleet, Validation) {
+  EXPECT_THROW(fleet({}, 2, transit_bus_params(), stats::rng_stream(1)),
+               std::invalid_argument);
+  std::vector<geo::polyline> routes{test_route()};
+  EXPECT_THROW(fleet(std::move(routes), 0, transit_bus_params(),
+                     stats::rng_stream(1)),
+               std::invalid_argument);
+}
+
+TEST(Fleet, RouteAssignmentDeterministicAndVarying) {
+  std::vector<geo::polyline> routes;
+  for (int i = 0; i < 6; ++i) {
+    routes.push_back(geo::straight_route(
+        origin, geo::destination(origin, i * 60.0, 3000.0), 2));
+  }
+  fleet f(std::move(routes), 3, transit_bus_params(), stats::rng_stream(9));
+  // Deterministic.
+  EXPECT_EQ(f.route_of(0, 0), f.route_of(0, 0));
+  // Varies across days for at least one vehicle.
+  bool varies = false;
+  for (int day = 1; day < 20 && !varies; ++day) {
+    varies = f.route_of(0, day) != f.route_of(0, 0);
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(Fleet, FixDeterministicAcrossInstances) {
+  auto make = [] {
+    std::vector<geo::polyline> routes{test_route()};
+    return fleet(std::move(routes), 2, transit_bus_params(),
+                 stats::rng_stream(9));
+  };
+  fleet a = make();
+  fleet b = make();
+  const double t = 13.0 * 3600;
+  const auto fa = a.fix_at(1, t);
+  const auto fb = b.fix_at(1, t);
+  ASSERT_TRUE(fa.has_value());
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_DOUBLE_EQ(fa->pos.lat_deg, fb->pos.lat_deg);
+  EXPECT_DOUBLE_EQ(fa->speed_mps, fb->speed_mps);
+}
+
+TEST(Fleet, CacheSurvivesDayChanges) {
+  std::vector<geo::polyline> routes{test_route()};
+  fleet f(std::move(routes), 1, transit_bus_params(), stats::rng_stream(9));
+  const auto day0 = f.fix_at(0, 12.0 * 3600);
+  const auto day1 = f.fix_at(0, 36.0 * 3600);
+  const auto day0_again = f.fix_at(0, 12.0 * 3600);
+  ASSERT_TRUE(day0.has_value());
+  ASSERT_TRUE(day1.has_value());
+  ASSERT_TRUE(day0_again.has_value());
+  EXPECT_DOUBLE_EQ(day0->pos.lat_deg, day0_again->pos.lat_deg);
+}
+
+TEST(Fleet, OutOfRangeVehicleThrows) {
+  std::vector<geo::polyline> routes{test_route()};
+  fleet f(std::move(routes), 1, transit_bus_params(), stats::rng_stream(9));
+  EXPECT_THROW(f.fix_at(5, 1000.0), std::out_of_range);
+}
+
+TEST(StaticNode, FixedPositionZeroSpeed) {
+  static_node node{origin};
+  const auto fix = node.fix_at(123.0);
+  EXPECT_EQ(fix.pos, origin);
+  EXPECT_DOUBLE_EQ(fix.speed_mps, 0.0);
+  EXPECT_DOUBLE_EQ(fix.time_s, 123.0);
+}
+
+TEST(RouteGen, CityRoutesCountAndSpan) {
+  geo::projection proj(origin);
+  const auto routes =
+      make_city_routes(proj, 8000.0, 8000.0, 10, stats::rng_stream(4));
+  EXPECT_EQ(routes.size(), 10u);
+  for (const auto& r : routes) {
+    EXPECT_GE(r.waypoints().size(), 7u);
+    EXPECT_GT(r.length_m(), 2000.0);
+  }
+}
+
+TEST(RouteGen, CityRoutesStayInsideExtent) {
+  geo::projection proj(origin);
+  const auto routes =
+      make_city_routes(proj, 8000.0, 6000.0, 8, stats::rng_stream(4));
+  for (const auto& r : routes) {
+    for (const auto& wp : r.waypoints()) {
+      const auto p = proj.to_xy(wp);
+      EXPECT_LE(std::abs(p.x_m), 4000.0 + 1.0);
+      EXPECT_LE(std::abs(p.y_m), 3000.0 + 1.0);
+    }
+  }
+}
+
+TEST(RouteGen, Validation) {
+  geo::projection proj(origin);
+  EXPECT_THROW(make_city_routes(proj, 100.0, 100.0, 0, stats::rng_stream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_city_routes(proj, -1.0, 100.0, 2, stats::rng_stream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_drive_loop(proj, origin, 0.0), std::invalid_argument);
+  EXPECT_THROW(
+      make_road(origin, geo::destination(origin, 90.0, 100.0), 10.0,
+                stats::rng_stream(1), 1),
+      std::invalid_argument);
+}
+
+TEST(RouteGen, RoadApproximatesAnchors) {
+  const auto end = geo::destination(origin, 90.0, 20000.0);
+  const auto road = make_road(origin, end, 150.0, stats::rng_stream(3));
+  // Lateral wiggle lengthens the road a little; it must stay the same order.
+  EXPECT_NEAR(road.length_m(), 20000.0, 5000.0);
+  EXPECT_GE(road.length_m(), 20000.0);
+  EXPECT_NEAR(geo::distance_m(road.waypoints().front(), origin), 0.0, 1.0);
+  EXPECT_NEAR(geo::distance_m(road.waypoints().back(), end), 0.0, 1.0);
+}
+
+TEST(RouteGen, DriveLoopStaysWithinRadius) {
+  geo::projection proj(origin);
+  const auto loop = make_drive_loop(proj, origin, 250.0);
+  for (const auto& wp : loop.waypoints()) {
+    EXPECT_LE(geo::distance_m(wp, origin), 250.0 * 1.2);
+  }
+  // Closed loop.
+  EXPECT_NEAR(geo::distance_m(loop.waypoints().front(), loop.waypoints().back()),
+              0.0, 1.0);
+}
+
+}  // namespace
+}  // namespace wiscape::mobility

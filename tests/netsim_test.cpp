@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/link.h"
+#include "netsim/path.h"
+#include "netsim/simulation.h"
+
+namespace wiscape::netsim {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, TiesRunInSchedulingOrder) {
+  simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 10) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulation, RunUntilStopsAndAdvancesClock) {
+  simulation sim;
+  int ran = 0;
+  sim.schedule_at(1.0, [&] { ++ran; });
+  sim.schedule_at(5.0, [&] { ++ran; });
+  sim.run_until(2.0);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(1.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulation, NegativeDelayClampsToZero) {
+  simulation sim;
+  double seen = -1.0;
+  sim.schedule_in(-5.0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 0.0);
+}
+
+TEST(Link, SerializationTimePlusDelay) {
+  simulation sim;
+  link l(sim, fixed_profile(8000.0, 0.1), stats::rng_stream(1));
+  double arrival = -1.0;
+  packet p;
+  p.size_bytes = 1000;  // 8000 bits at 8000 bps = 1 s
+  l.send(p, [&](const packet&) { arrival = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(arrival, 1.1, 1e-9);
+  EXPECT_EQ(l.delivered(), 1u);
+}
+
+TEST(Link, BackToBackPacketsQueue) {
+  simulation sim;
+  link l(sim, fixed_profile(8000.0, 0.0), stats::rng_stream(1));
+  std::vector<double> arrivals;
+  packet p;
+  p.size_bytes = 1000;
+  for (int i = 0; i < 3; ++i) {
+    p.seq = static_cast<std::uint32_t>(i);
+    l.send(p, [&](const packet&) { arrivals.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 1.0, 1e-9);
+  EXPECT_NEAR(arrivals[1], 2.0, 1e-9);
+  EXPECT_NEAR(arrivals[2], 3.0, 1e-9);
+}
+
+TEST(Link, QueueOverflowDropsTail) {
+  simulation sim;
+  auto profile = fixed_profile(8000.0, 0.0);
+  profile.queue_capacity = 2;
+  link l(sim, profile, stats::rng_stream(1));
+  int delivered = 0;
+  packet p;
+  p.size_bytes = 1000;
+  for (int i = 0; i < 5; ++i) {
+    l.send(p, [&](const packet&) { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(l.dropped_queue(), 3u);
+}
+
+TEST(Link, RandomLossMatchesProbability) {
+  simulation sim;
+  link l(sim, fixed_profile(1e9, 0.0, 0.3, 10000), stats::rng_stream(7));
+  int delivered = 0;
+  packet p;
+  p.size_bytes = 100;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    l.send(p, [&](const packet&) { ++delivered; });
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.7, 0.03);
+  EXPECT_EQ(l.delivered() + l.dropped_random(), static_cast<std::uint64_t>(n));
+}
+
+TEST(Link, ConservationNoLossNoOverflow) {
+  simulation sim;
+  link l(sim, fixed_profile(1e6, 0.01, 0.0, 10000), stats::rng_stream(2));
+  int delivered = 0;
+  packet p;
+  p.size_bytes = 500;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) l.send(p, [&](const packet&) { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, n);
+  EXPECT_EQ(l.dropped_queue(), 0u);
+  EXPECT_EQ(l.dropped_random(), 0u);
+}
+
+TEST(Link, TimeVaryingRateIsSampledAtServiceStart) {
+  simulation sim;
+  link_profile profile = fixed_profile(8000.0, 0.0);
+  // Rate doubles after t=1s.
+  profile.rate_bps = [](sim_time t) { return t < 1.0 ? 8000.0 : 16000.0; };
+  link l(sim, profile, stats::rng_stream(1));
+  std::vector<double> arrivals;
+  packet p;
+  p.size_bytes = 1000;
+  l.send(p, [&](const packet&) { arrivals.push_back(sim.now()); });
+  l.send(p, [&](const packet&) { arrivals.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 1.0, 1e-9);  // at old rate
+  EXPECT_NEAR(arrivals[1], 1.5, 1e-9);  // second packet serviced at new rate
+}
+
+TEST(Link, DelayNoiseNeverNegative) {
+  simulation sim;
+  link_profile profile = fixed_profile(1e9, 0.05);
+  profile.delay_noise_sigma_s = 0.02;
+  link l(sim, profile, stats::rng_stream(3));
+  std::vector<double> arrivals;
+  packet p;
+  p.size_bytes = 10;
+  double sent_at = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule_at(i * 1.0, [&, i]() {
+      packet q;
+      q.size_bytes = 10;
+      l.send(q, [&](const packet&) { arrivals.push_back(sim.now()); });
+    });
+  }
+  (void)sent_at;
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 500u);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i] - static_cast<double>(i), 0.05 - 1e-9);
+  }
+}
+
+TEST(Link, Validation) {
+  simulation sim;
+  link_profile missing;
+  EXPECT_THROW(link(sim, missing, stats::rng_stream(1)), std::invalid_argument);
+  auto profile = fixed_profile(1e6, 0.0);
+  profile.queue_capacity = 0;
+  EXPECT_THROW(link(sim, profile, stats::rng_stream(1)), std::invalid_argument);
+}
+
+TEST(DuplexPath, IndependentDirections) {
+  simulation sim;
+  duplex_path path(sim, fixed_profile(8000.0, 0.0), fixed_profile(16000.0, 0.0),
+                   stats::rng_stream(1));
+  double down_at = -1.0, up_at = -1.0;
+  packet p;
+  p.size_bytes = 1000;
+  path.down().send(p, [&](const packet&) { down_at = sim.now(); });
+  path.up().send(p, [&](const packet&) { up_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(down_at, 1.0, 1e-9);
+  EXPECT_NEAR(up_at, 0.5, 1e-9);
+}
+
+TEST(Link, ServiceTimeOverrideReplacesRate) {
+  simulation sim;
+  link_profile profile = fixed_profile(1e9, 0.0);
+  // Custom service: always 0.5 s regardless of size or nominal rate.
+  profile.service_time = [](sim_time, double) { return 0.5; };
+  link l(sim, profile, stats::rng_stream(1));
+  std::vector<double> arrivals;
+  packet p;
+  p.size_bytes = 1;
+  for (int i = 0; i < 3; ++i) {
+    l.send(p, [&](const packet&) { arrivals.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 0.5, 1e-9);
+  EXPECT_NEAR(arrivals[1], 1.0, 1e-9);
+  EXPECT_NEAR(arrivals[2], 1.5, 1e-9);
+}
+
+TEST(Link, ServiceTimeSeesQueueDelayedStart) {
+  simulation sim;
+  link_profile profile = fixed_profile(1e9, 0.0);
+  std::vector<double> service_starts;
+  profile.service_time = [&](sim_time t, double) {
+    service_starts.push_back(t);
+    return 1.0;
+  };
+  link l(sim, profile, stats::rng_stream(1));
+  packet p;
+  p.size_bytes = 1;
+  l.send(p, [](const packet&) {});
+  l.send(p, [](const packet&) {});
+  sim.run();
+  ASSERT_EQ(service_starts.size(), 2u);
+  EXPECT_NEAR(service_starts[0], 0.0, 1e-9);
+  EXPECT_NEAR(service_starts[1], 1.0, 1e-9);  // starts when the first ends
+}
+
+}  // namespace
+}  // namespace wiscape::netsim
+

@@ -1,0 +1,147 @@
+// Device categories and cross-category normalization (paper Sec 3.3).
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "probe/engine.h"
+#include "stats/summary.h"
+#include "test_util.h"
+
+namespace wiscape::core {
+namespace {
+
+const geo::lat_lon here = cellnet::anchors::madison;
+
+trace::measurement_record device_record(double t, geo::lat_lon pos,
+                                        const char* device, double bps) {
+  auto r = testing::make_record(t, "NetB", pos,
+                                trace::probe_kind::udp_burst, bps);
+  r.device = device;
+  return r;
+}
+
+TEST(DeviceProfile, PhoneProbesSlowerThanLaptop) {
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const mobility::gps_fix fix{dep.proj().to_lat_lon({150.0, -150.0}), 0.0,
+                              12.0 * 3600};
+  stats::running_stats laptop, phone;
+  for (int i = 0; i < 20; ++i) {
+    mobility::gps_fix f = fix;
+    f.time_s += i * 300.0;
+    const auto l = eng.udp_probe(0, f, {}, probe::laptop_device());
+    const auto p = eng.udp_probe(0, f, {}, probe::phone_device());
+    if (l.success) laptop.add(l.throughput_bps);
+    if (p.success) phone.add(p.throughput_bps);
+  }
+  ASSERT_GT(laptop.count(), 15u);
+  ASSERT_GT(phone.count(), 15u);
+  EXPECT_LT(phone.mean(), laptop.mean());
+  EXPECT_GT(phone.mean(), 0.5 * laptop.mean());  // degraded, not dead
+}
+
+TEST(DeviceProfile, RecordsCarryCategory) {
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const mobility::gps_fix fix{dep.proj().to_lat_lon({150.0, -150.0}), 0.0,
+                              12.0 * 3600};
+  EXPECT_EQ(eng.ping_probe(0, fix).device, "laptop");
+  EXPECT_EQ(eng.ping_probe(0, fix, {}, probe::phone_device()).device, "phone");
+}
+
+TEST(DeviceProfile, PhoneRssiReadsLower) {
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const mobility::gps_fix fix{dep.proj().to_lat_lon({150.0, -150.0}), 0.0,
+                              12.0 * 3600};
+  stats::running_stats laptop, phone;
+  for (int i = 0; i < 30; ++i) {
+    mobility::gps_fix f = fix;
+    f.time_s += i * 60.0;
+    laptop.add(eng.ping_probe(0, f).rssi_dbm);
+    phone.add(eng.ping_probe(0, f, {}, probe::phone_device()).rssi_dbm);
+  }
+  EXPECT_NEAR(laptop.mean() - phone.mean(), 2.5, 1.2);
+}
+
+TEST(Normalize, RecoversImposedScale) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  trace::dataset ds;
+  stats::rng_stream r(5);
+  // Three zones; phone measures exactly 0.7x the laptop truth.
+  for (int z = 0; z < 3; ++z) {
+    const auto pos = geo::destination(here, 90.0, z * 3000.0);
+    const double truth = 1e6 + z * 4e5;
+    for (int i = 0; i < 50; ++i) {
+      ds.add(device_record(i, pos, "laptop", r.normal(truth, truth * 0.05)));
+      ds.add(device_record(i, pos, "phone",
+                           r.normal(0.7 * truth, truth * 0.05)));
+    }
+  }
+  const auto est = estimate_category_scale(
+      ds, grid, trace::metric::udp_throughput_bps, "phone", "laptop");
+  EXPECT_EQ(est.zones_used, 3u);
+  EXPECT_NEAR(est.scale, 1.0 / 0.7, 0.08);
+  EXPECT_LT(est.ratio_spread, 0.1);
+}
+
+TEST(Normalize, NoSharedZonesReturnsIdentity) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  trace::dataset ds;
+  for (int i = 0; i < 50; ++i) {
+    ds.add(device_record(i, here, "laptop", 1e6));
+  }
+  const auto est = estimate_category_scale(
+      ds, grid, trace::metric::udp_throughput_bps, "phone", "laptop");
+  EXPECT_EQ(est.zones_used, 0u);
+  EXPECT_DOUBLE_EQ(est.scale, 1.0);
+}
+
+TEST(Normalize, ApplyScaleLiftsAndRelabels) {
+  trace::dataset ds;
+  ds.add(device_record(0.0, here, "phone", 700e3));
+  ds.add(device_record(1.0, here, "laptop", 1e6));
+  const auto out = apply_category_scale(
+      ds, trace::metric::udp_throughput_bps, "phone", 1.0 / 0.7, "laptop");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.records()[0].device, "laptop");
+  EXPECT_NEAR(out.records()[0].throughput_bps, 1e6, 1e3);
+  EXPECT_NEAR(out.records()[1].throughput_bps, 1e6, 1.0);  // untouched
+}
+
+TEST(Normalize, EndToEndProbeCategoriesMerge) {
+  // Collect both categories at one spot, estimate the scale from the data,
+  // lift the phone samples, and check the merged mean matches laptop-only.
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine eng(dep, 4);
+  const auto loc = dep.proj().to_lat_lon({150.0, -150.0});
+  trace::dataset ds;
+  for (int i = 0; i < 60; ++i) {
+    const mobility::gps_fix f{loc, 0.0, 8.0 * 3600 + i * 300.0};
+    ds.add(eng.udp_probe(0, f, {}, probe::laptop_device()));
+    ds.add(eng.udp_probe(0, f, {}, probe::phone_device()));
+  }
+  const geo::zone_grid grid(dep.proj(), 250.0);
+  const auto est = estimate_category_scale(
+      ds, grid, trace::metric::udp_throughput_bps, "phone", "laptop");
+  ASSERT_GT(est.zones_used, 0u);
+  EXPECT_GT(est.scale, 1.0);  // phones read low, so the lift is upward
+
+  const auto lifted = apply_category_scale(
+      ds, trace::metric::udp_throughput_bps, "phone", est.scale, "laptop");
+  // After lifting, all records are one category and their mean matches the
+  // laptop-only mean within a few percent.
+  std::vector<double> laptop_only, merged;
+  for (const auto& r : ds.records()) {
+    if (r.success && r.device == "laptop") {
+      laptop_only.push_back(r.throughput_bps);
+    }
+  }
+  for (const auto& r : lifted.records()) {
+    if (r.success) merged.push_back(r.throughput_bps);
+  }
+  EXPECT_NEAR(stats::mean(merged), stats::mean(laptop_only),
+              stats::mean(laptop_only) * 0.05);
+}
+
+}  // namespace
+}  // namespace wiscape::core

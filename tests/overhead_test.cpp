@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/overhead.h"
+#include "test_util.h"
+
+namespace wiscape::core {
+namespace {
+
+const geo::lat_lon here = cellnet::anchors::madison;
+
+TEST(Overhead, TcpCostScalesWithTransferSize) {
+  auto rec = testing::make_record(0.0, "NetB", here,
+                                  trace::probe_kind::tcp_download, 1e6);
+  const auto small = cost_of(rec, 100'000);
+  const auto large = cost_of(rec, 1'000'000);
+  EXPECT_GT(large.bytes_down, small.bytes_down);
+  EXPECT_GT(large.airtime_s, small.airtime_s);
+  EXPECT_GT(large.energy_j, small.energy_j);
+  EXPECT_NEAR(static_cast<double>(large.bytes_down), 1'000'000.0, 5'000.0);
+}
+
+TEST(Overhead, TcpAirtimeFollowsThroughput) {
+  auto fast = testing::make_record(0.0, "NetB", here,
+                                   trace::probe_kind::tcp_download, 2e6);
+  auto slow = testing::make_record(0.0, "NetB", here,
+                                   trace::probe_kind::tcp_download, 0.5e6);
+  EXPECT_NEAR(cost_of(fast, 1'000'000).airtime_s, 4.0, 0.01);
+  EXPECT_NEAR(cost_of(slow, 1'000'000).airtime_s, 16.0, 0.01);
+}
+
+TEST(Overhead, PingCostIsTiny) {
+  auto rec = testing::make_record(0.0, "NetB", here, trace::probe_kind::ping,
+                                  0.12);
+  rec.ping_sent = 12;
+  rec.ping_failures = 2;
+  const auto c = cost_of(rec, 0);
+  EXPECT_EQ(c.bytes_up, 12u * 64u);
+  EXPECT_EQ(c.bytes_down, 10u * 64u);
+  EXPECT_LT(c.bytes_down + c.bytes_up, 2'000u);
+}
+
+TEST(Overhead, FailedTcpHasNoAirtime) {
+  auto rec = testing::make_record(0.0, "NetB", here,
+                                  trace::probe_kind::tcp_download, 0.0);
+  rec.success = false;
+  rec.throughput_bps = 0.0;
+  const auto c = cost_of(rec, 1'000'000);
+  EXPECT_DOUBLE_EQ(c.airtime_s, 0.0);
+  // Tail energy is still burned: the radio powered up.
+  EXPECT_GT(c.energy_j, 0.0);
+}
+
+TEST(Overhead, SummaryNormalizesPerClientDay) {
+  trace::dataset ds;
+  for (int i = 0; i < 100; ++i) {
+    ds.add(testing::make_record(i, "NetB", here,
+                                trace::probe_kind::tcp_download, 1e6));
+  }
+  const auto s = summarize_overhead(ds, 1'000'000, 5, 2.0);
+  EXPECT_EQ(s.probes, 100u);
+  EXPECT_NEAR(s.total_mbytes, 100.0 * 1.016, 2.0);
+  EXPECT_NEAR(s.mbytes_per_client_day, s.total_mbytes / 10.0, 1e-9);
+  EXPECT_GT(s.energy_j_per_client_day, 0.0);
+}
+
+TEST(Overhead, SummaryValidation) {
+  trace::dataset ds;
+  EXPECT_THROW(summarize_overhead(ds, 1000, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(summarize_overhead(ds, 1000, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Overhead, WiscapeBudgetFarBelowContinuousMonitoring) {
+  // The paper's core overhead claim, quantified: a WiScape client-day
+  // (a handful of small probes) moves orders of magnitude less data than
+  // continuously measuring at link rate.
+  trace::dataset ds;
+  // 100 samples per epoch, ~20 epochs/day, one zone, shared by 50 clients:
+  // a heavy day for one client is ~40 probes.
+  for (int i = 0; i < 40; ++i) {
+    ds.add(testing::make_record(i, "NetB", here,
+                                trace::probe_kind::tcp_download, 1e6));
+  }
+  const auto s = summarize_overhead(ds, 1'000'000, 1, 1.0);
+  const double continuous = continuous_monitoring_mbytes_per_day(1e6);
+  EXPECT_LT(s.mbytes_per_client_day, continuous / 100.0);
+}
+
+TEST(Overhead, ContinuousMonitoringFormula) {
+  // 1 Mbps for 18 h = 8.1 GB.
+  EXPECT_NEAR(continuous_monitoring_mbytes_per_day(1e6, 18.0), 8100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace wiscape::core

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/persist.h"
+#include "test_util.h"
+
+namespace wiscape::core {
+namespace {
+
+zone_table populated_table() {
+  zone_table t(2.0);
+  stats::rng_stream r(4);
+  const estimate_key a{{3, -2}, "NetB", trace::metric::udp_throughput_bps};
+  const estimate_key b{{0, 5}, "NetC", trace::metric::rtt_s};
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (int i = 0; i < 20; ++i) {
+      t.add_sample(a, epoch * 100.0 + i, r.normal(1e6, 5e4), 100.0);
+      t.add_sample(b, epoch * 100.0 + i, r.normal(0.12, 0.01), 100.0);
+    }
+  }
+  return t;
+}
+
+TEST(Persist, RoundTripPreservesHistory) {
+  const auto t = populated_table();
+  std::stringstream ss;
+  save_zone_table(ss, t);
+  const auto back = load_zone_table(ss);
+
+  ASSERT_EQ(back.keys().size(), t.keys().size());
+  for (const auto& key : t.keys()) {
+    const auto orig = t.history(key);
+    const auto rest = back.history(key);
+    ASSERT_EQ(rest.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      EXPECT_NEAR(rest[i].mean, orig[i].mean, 1e-4);
+      EXPECT_NEAR(rest[i].stddev, orig[i].stddev, 1e-4);
+      EXPECT_EQ(rest[i].samples, orig[i].samples);
+      EXPECT_NEAR(rest[i].epoch_start_s, orig[i].epoch_start_s, 1e-3);
+    }
+  }
+}
+
+TEST(Persist, RestoredTableKeepsAccumulating) {
+  const auto t = populated_table();
+  std::stringstream ss;
+  save_zone_table(ss, t);
+  auto back = load_zone_table(ss);
+
+  // New samples after a restart roll into fresh epochs with alerts intact.
+  const estimate_key a{{3, -2}, "NetB", trace::metric::udp_throughput_bps};
+  const std::size_t before = back.history(a).size();
+  for (int i = 0; i < 10; ++i) {
+    back.add_sample(a, 1000.0 + i, 1e6, 100.0);
+  }
+  back.add_sample(a, 1200.0, 1e6, 100.0);  // rollover
+  EXPECT_EQ(back.history(a).size(), before + 1);
+}
+
+TEST(Persist, DeterministicFileOrder) {
+  const auto t = populated_table();
+  std::stringstream s1, s2;
+  save_zone_table(s1, t);
+  save_zone_table(s2, t);
+  EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(Persist, EmptyTableRoundTrip) {
+  zone_table t;
+  std::stringstream ss;
+  save_zone_table(ss, t);
+  const auto back = load_zone_table(ss);
+  EXPECT_TRUE(back.keys().empty());
+}
+
+TEST(Persist, RejectsMalformedInput) {
+  std::stringstream bad_header("nope\n");
+  EXPECT_THROW(load_zone_table(bad_header), std::invalid_argument);
+  std::stringstream bad_line("WISCAPE-ZONETABLE v1\nEST garbage\n");
+  EXPECT_THROW(load_zone_table(bad_line), std::invalid_argument);
+  std::stringstream bad_zone(
+      "WISCAPE-ZONETABLE v1\nEST nozone NetB rtt 0 1 1 1\n");
+  EXPECT_THROW(load_zone_table(bad_zone), std::invalid_argument);
+  std::stringstream bad_metric(
+      "WISCAPE-ZONETABLE v1\nEST 1:1 NetB warp 0 1 1 1\n");
+  EXPECT_THROW(load_zone_table(bad_metric), std::invalid_argument);
+  EXPECT_THROW(load_zone_table_file("/nonexistent/x"), std::runtime_error);
+}
+
+TEST(Persist, FileRoundTrip) {
+  const auto t = populated_table();
+  const std::string path = ::testing::TempDir() + "/wiscape_table.txt";
+  save_zone_table_file(path, t);
+  const auto back = load_zone_table_file(path);
+  EXPECT_EQ(back.keys().size(), t.keys().size());
+}
+
+TEST(MetricFromString, RoundTripsAllMetrics) {
+  for (auto m : {trace::metric::tcp_throughput_bps,
+                 trace::metric::udp_throughput_bps, trace::metric::loss_rate,
+                 trace::metric::jitter_s, trace::metric::rtt_s,
+                 trace::metric::uplink_throughput_bps}) {
+    EXPECT_EQ(trace::metric_from_string(trace::to_string(m)), m);
+  }
+  EXPECT_THROW(trace::metric_from_string("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wiscape::core

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "probe/collect.h"
+#include "probe/engine.h"
+#include "test_util.h"
+
+namespace wiscape::probe {
+namespace {
+
+mobility::gps_fix center_fix(const cellnet::deployment& dep,
+                             double t = 12.0 * 3600) {
+  return {dep.proj().to_lat_lon({150.0, -150.0}), 0.0, t};
+}
+
+TEST(ProbeEngine, TcpProbeSucceedsInCoverage) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  tcp_probe_params params;
+  params.bytes = 250'000;
+  const auto rec = eng.tcp_probe(0, center_fix(dep), params);
+  EXPECT_TRUE(rec.success);
+  EXPECT_EQ(rec.kind, trace::probe_kind::tcp_download);
+  EXPECT_EQ(rec.network, "NetB");
+  EXPECT_GT(rec.throughput_bps, 100e3);
+  EXPECT_LT(rec.throughput_bps, 3.1e6);
+  EXPECT_GT(rec.rtt_s, 0.05);
+}
+
+TEST(ProbeEngine, UdpProbeMetricsSane) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  const auto rec = eng.udp_probe(0, center_fix(dep));
+  EXPECT_TRUE(rec.success);
+  EXPECT_EQ(rec.kind, trace::probe_kind::udp_burst);
+  EXPECT_GT(rec.throughput_bps, 100e3);
+  EXPECT_GE(rec.loss_rate, 0.0);
+  EXPECT_LT(rec.loss_rate, 0.2);
+  EXPECT_GT(rec.jitter_s, 0.0);
+  EXPECT_LT(rec.jitter_s, 0.05);
+}
+
+TEST(ProbeEngine, PingProbeRttNearConfiguredFloor) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  const auto rec = eng.ping_probe(0, center_fix(dep));
+  EXPECT_TRUE(rec.success);
+  EXPECT_EQ(rec.ping_sent, 12);
+  EXPECT_EQ(rec.ping_failures, 0);
+  EXPECT_GT(rec.rtt_s, 0.08);
+  EXPECT_LT(rec.rtt_s, 0.5);
+}
+
+TEST(ProbeEngine, RecordsCarryFixMetadata) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  mobility::gps_fix fix = center_fix(dep, 7777.0);
+  fix.speed_mps = 9.5;
+  const auto rec = eng.ping_probe(1, fix);
+  EXPECT_DOUBLE_EQ(rec.time_s, 7777.0);
+  EXPECT_DOUBLE_EQ(rec.speed_mps, 9.5);
+  EXPECT_EQ(rec.network, "NetC");
+  EXPECT_NEAR(rec.pos.lat_deg, fix.pos.lat_deg, 1e-12);
+}
+
+TEST(ProbeEngine, DeterministicGivenSameSeedAndSequence) {
+  const auto dep1 = testing::tiny_deployment();
+  const auto dep2 = testing::tiny_deployment();
+  probe_engine a(dep1, 5);
+  probe_engine b(dep2, 5);
+  const auto ra = a.tcp_probe(0, center_fix(dep1));
+  const auto rb = b.tcp_probe(0, center_fix(dep2));
+  EXPECT_DOUBLE_EQ(ra.throughput_bps, rb.throughput_bps);
+}
+
+TEST(ProbeEngine, DifferentSeedsDifferentNoise) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine a(dep, 5);
+  probe_engine b(dep, 6);
+  const auto ra = a.tcp_probe(0, center_fix(dep));
+  const auto rb = b.tcp_probe(0, center_fix(dep));
+  EXPECT_NE(ra.throughput_bps, rb.throughput_bps);
+}
+
+TEST(ProbeEngine, OutOfCoverageTcpFails) {
+  // A trouble spot with outage probability 1 blankets the probe location.
+  auto dep = testing::tiny_deployment();
+  dep.network(0).add_trouble_spot({{150.0, -150.0}, 500.0, 1.0, 0.0});
+  probe_engine eng(dep, 1);
+  const auto rec = eng.tcp_probe(0, center_fix(dep));
+  EXPECT_FALSE(rec.success);
+  EXPECT_DOUBLE_EQ(rec.throughput_bps, 0.0);
+}
+
+TEST(ProbeEngine, OutOfCoveragePingRecordsFailures) {
+  auto dep = testing::tiny_deployment();
+  dep.network(0).add_trouble_spot({{150.0, -150.0}, 500.0, 1.0, 0.0});
+  probe_engine eng(dep, 1);
+  const auto rec = eng.ping_probe(0, center_fix(dep));
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(rec.ping_failures, rec.ping_sent);
+  EXPECT_GT(rec.ping_sent, 0);
+}
+
+TEST(ProbeEngine, UdpTrainTimestampsOrdered) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  const auto train = eng.udp_train(0, center_fix(dep), 500e3, 50, 1000);
+  EXPECT_EQ(train.sent, 50u);
+  double prev_recv = -1.0;
+  int delivered = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(train.send_s[i], 0.0);
+    if (train.recv_s[i] < 0.0) continue;
+    ++delivered;
+    EXPECT_GT(train.recv_s[i], train.send_s[i]);
+    EXPECT_GT(train.recv_s[i], prev_recv);  // FIFO link preserves order
+    prev_recv = train.recv_s[i];
+  }
+  EXPECT_GT(delivered, 40);
+}
+
+TEST(ProbeEngine, UdpTrainValidation) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  EXPECT_THROW(eng.udp_train(0, center_fix(dep), 0.0, 10, 100),
+               std::invalid_argument);
+  EXPECT_THROW(eng.udp_train(0, center_fix(dep), 1e6, 0, 100),
+               std::invalid_argument);
+}
+
+TEST(ProbeEngine, ProbeCounterAdvances) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  EXPECT_EQ(eng.probes_run(), 0u);
+  eng.ping_probe(0, center_fix(dep));
+  eng.udp_probe(0, center_fix(dep));
+  EXPECT_EQ(eng.probes_run(), 2u);
+}
+
+TEST(SpotLocations, CoveredByAllOperators) {
+  const auto dep = testing::tiny_deployment();
+  const auto locs = default_spot_locations(dep, 3, 99);
+  ASSERT_GE(locs.size(), 1u);
+  for (const auto& loc : locs) {
+    for (std::size_t n = 0; n < dep.size(); ++n) {
+      EXPECT_TRUE(dep.conditions_at(n, loc, 12 * 3600.0).in_coverage);
+    }
+  }
+}
+
+TEST(Collect, SpotDatasetShape) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 2);
+  spot_params params;
+  params.days = 1;
+  params.udp_interval_s = 1800.0;  // keep the test fast
+  params.tcp_interval_s = 3600.0;
+  params.udp_packets = 20;
+  params.tcp_bytes = 60'000;
+  const auto locs = default_spot_locations(dep, 1, 99);
+  ASSERT_FALSE(locs.empty());
+  const auto ds = collect_spot(eng, {locs[0]}, params);
+  EXPECT_GT(ds.size(), 40u);
+  // Both operators and both kinds present.
+  EXPECT_GT(ds.select("NetB", trace::probe_kind::udp_burst).size(), 10u);
+  EXPECT_GT(ds.select("NetC", trace::probe_kind::udp_burst).size(), 10u);
+  EXPECT_GT(ds.select("NetB", trace::probe_kind::tcp_download).size(), 5u);
+  // All records at the spot location.
+  for (const auto& r : ds.records()) {
+    EXPECT_LT(geo::distance_m(r.pos, locs[0]), 1.0);
+    EXPECT_DOUBLE_EQ(r.speed_mps, 0.0);
+  }
+}
+
+TEST(Collect, ProximateRecordsStayNearCenter) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 2);
+  proximate_params params;
+  params.days = 1;
+  params.probe_interval_s = 1200.0;
+  params.udp_packets = 20;
+  params.tcp_bytes = 60'000;
+  const auto center = dep.proj().to_lat_lon({200.0, 200.0});
+  const auto ds = collect_proximate(eng, center, params);
+  EXPECT_GT(ds.size(), 20u);
+  for (const auto& r : ds.records()) {
+    EXPECT_LT(geo::distance_m(r.pos, center), 300.0);
+  }
+}
+
+TEST(Collect, StandaloneCoversManyZonesSingleNetwork) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 2);
+  standalone_params params;
+  params.days = 1;
+  params.buses = 2;
+  params.routes = 3;
+  params.probe_interval_s = 900.0;
+  params.tcp_bytes = 60'000;
+  params.network_index = 0;
+  const auto ds = collect_standalone(eng, params);
+  EXPECT_GT(ds.size(), 50u);
+  for (const auto& r : ds.records()) EXPECT_EQ(r.network, "NetB");
+  // Should visit multiple zones.
+  const geo::zone_grid grid(dep.proj(), 250.0);
+  EXPECT_GT(ds.group_by_zone(grid).size(), 3u);
+  // Mix of TCP and pings.
+  EXPECT_GT(ds.select("NetB", trace::probe_kind::tcp_download).size(), 20u);
+  EXPECT_GT(
+      ds.filter([](const trace::measurement_record& r) {
+          return r.kind == trace::probe_kind::ping;
+        }).size(),
+      20u);
+}
+
+TEST(Collect, WiroverIsPingOnlyBothNetworks) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 2);
+  wirover_params params;
+  params.days = 1;
+  params.buses = 1;
+  params.train_interval_s = 900.0;
+  params.pings_per_train = 4;
+  params.ping_spacing_s = 1.0;
+  const auto ds = collect_wirover(eng, params);
+  EXPECT_GT(ds.size(), 20u);
+  for (const auto& r : ds.records()) {
+    EXPECT_EQ(r.kind, trace::probe_kind::ping);
+  }
+  EXPECT_GT(ds.filter([](const auto& r) { return r.network == "NetB"; }).size(),
+            10u);
+  EXPECT_GT(ds.filter([](const auto& r) { return r.network == "NetC"; }).size(),
+            10u);
+  // Mobile collection: speeds recorded.
+  bool any_moving = false;
+  for (const auto& r : ds.records()) any_moving |= r.speed_mps > 1.0;
+  EXPECT_TRUE(any_moving);
+}
+
+TEST(Collect, SegmentCollectsAllKindsAllNetworks) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 2);
+  segment_params params;
+  params.days = 1;
+  params.probe_interval_s = 1800.0;
+  params.tcp_bytes = 60'000;
+  params.udp_packets = 20;
+  const auto ds = collect_segment(eng, params);
+  EXPECT_GT(ds.size(), 30u);
+  for (const char* net : {"NetB", "NetC"}) {
+    EXPECT_GT(ds.select(net, trace::probe_kind::tcp_download).size(), 3u);
+    EXPECT_GT(ds.select(net, trace::probe_kind::udp_burst).size(), 3u);
+  }
+}
+
+TEST(Collect, DeterministicDatasets) {
+  const auto dep1 = testing::tiny_deployment();
+  const auto dep2 = testing::tiny_deployment();
+  probe_engine e1(dep1, 2), e2(dep2, 2);
+  spot_params params;
+  params.days = 1;
+  params.udp_interval_s = 3600.0;
+  params.tcp_interval_s = 7200.0;
+  params.udp_packets = 10;
+  params.tcp_bytes = 30'000;
+  const auto loc = dep1.proj().to_lat_lon({100.0, 100.0});
+  const auto a = collect_spot(e1, {loc}, params);
+  const auto b = collect_spot(e2, {loc}, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records()[i].throughput_bps,
+                     b.records()[i].throughput_bps);
+  }
+}
+
+TEST(ProbeEngine, SlottedSchedulePreservesMeanRate) {
+  // The slotted service model must not change the long-run average rate:
+  // a saturating train's delivered rate matches the slow-field share.
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 9);
+  const auto fix = center_fix(dep);
+  const auto lc =
+      dep.network(0).conditions_at(dep.proj().to_xy(fix.pos), fix.time_s);
+  ASSERT_TRUE(lc.in_coverage);
+
+  const auto train = eng.udp_train(0, fix, 20e6, 600, 1200);
+  int first = -1, last = -1, delivered = 0;
+  for (std::size_t i = 0; i < train.recv_s.size(); ++i) {
+    if (train.recv_s[i] < 0.0) continue;
+    if (first < 0) first = static_cast<int>(i);
+    last = static_cast<int>(i);
+    ++delivered;
+  }
+  ASSERT_GT(delivered, 100);
+  const double span = train.recv_s[static_cast<std::size_t>(last)] -
+                      train.recv_s[static_cast<std::size_t>(first)];
+  const double rate = (delivered - 1) * 1200.0 * 8.0 / span;
+  EXPECT_NEAR(rate, lc.capacity_bps, lc.capacity_bps * 0.35);
+}
+
+TEST(ProbeEngine, BackToBackPairsSeeBurstRate) {
+  // Packet pairs measure the burst (slot) rate, which sits above the mean
+  // share -- the mechanism behind WBest's overestimated capacity stage.
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 9);
+  const auto fix = center_fix(dep);
+  const auto lc =
+      dep.network(0).conditions_at(dep.proj().to_xy(fix.pos), fix.time_s);
+
+  stats::running_stats pair_rates;
+  for (int i = 0; i < 40; ++i) {
+    mobility::gps_fix f = fix;
+    f.time_s += i * 1.0;
+    const auto pair = eng.udp_train(0, f, 50e6, 2, 1200);
+    if (pair.recv_s[0] < 0.0 || pair.recv_s[1] < 0.0) continue;
+    const double disp = pair.recv_s[1] - pair.recv_s[0];
+    if (disp > 0.0) pair_rates.add(1200.0 * 8.0 / disp);
+  }
+  ASSERT_GT(pair_rates.count(), 20u);
+  // Median-ish mean pair rate exceeds the average share noticeably.
+  EXPECT_GT(pair_rates.mean(), 1.10 * lc.capacity_bps);
+}
+
+TEST(ProbeEngine, UplinkProbeMeasuresUplinkDirection) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  const auto fix = center_fix(dep);
+  const auto up = eng.udp_uplink_probe(0, fix);
+  EXPECT_TRUE(up.success);
+  EXPECT_EQ(up.kind, trace::probe_kind::udp_uplink);
+  EXPECT_GT(up.throughput_bps, 50e3);
+  // Uplink stays under the EV-DO Rev.A uplink cap.
+  EXPECT_LT(up.throughput_bps, 1.8e6);
+}
+
+TEST(ProbeEngine, UplinkAndDownlinkAreAsymmetric) {
+  // Table 1: the two directions have different caps and loads; measured
+  // rates must not be identical.
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  const auto fix = center_fix(dep);
+  stats::running_stats down, up;
+  for (int i = 0; i < 10; ++i) {
+    mobility::gps_fix f = fix;
+    f.time_s += i * 600.0;
+    const auto d = eng.udp_probe(0, f);
+    const auto u = eng.udp_uplink_probe(0, f);
+    if (d.success) down.add(d.throughput_bps);
+    if (u.success) up.add(u.throughput_bps);
+  }
+  ASSERT_GT(down.count(), 5u);
+  ASSERT_GT(up.count(), 5u);
+  EXPECT_GT(std::abs(up.mean() - down.mean()), 0.05 * down.mean());
+}
+
+TEST(ProbeEngine, UplinkMetricRoutesThroughRecordApi) {
+  const auto dep = testing::tiny_deployment();
+  probe_engine eng(dep, 1);
+  const auto rec = eng.udp_uplink_probe(0, center_fix(dep));
+  EXPECT_DOUBLE_EQ(trace::value_of(rec, trace::metric::uplink_throughput_bps),
+                   rec.throughput_bps);
+  EXPECT_DOUBLE_EQ(trace::value_of(rec, trace::metric::udp_throughput_bps),
+                   0.0);
+  EXPECT_EQ(trace::kind_for(trace::metric::uplink_throughput_bps),
+            trace::probe_kind::udp_uplink);
+}
+
+}  // namespace
+}  // namespace wiscape::probe
+
+

@@ -1,0 +1,274 @@
+// Parameterized property-style sweeps over seeds, zone radii and operators:
+// the invariants the paper's design rests on must hold across the parameter
+// space, not at one lucky point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dominance.h"
+#include "core/sample_planner.h"
+#include "geo/zone_grid.h"
+#include "probe/engine.h"
+#include "proto/messages.h"
+#include "trace/hygiene.h"
+#include "stats/allan.h"
+#include "stats/histogram.h"
+#include "stats/sampling.h"
+#include "stats/summary.h"
+#include "test_util.h"
+
+namespace wiscape {
+namespace {
+
+// ---------------------------------------------------- seeds x determinism ----
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, DeploymentDeterministicPerSeed) {
+  const auto seed = GetParam();
+  const auto a = testing::tiny_deployment(seed);
+  const auto b = testing::tiny_deployment(seed);
+  const geo::xy p{321.0, -123.0};
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    const auto ca = a.network(n).conditions_at(p, 4321.0);
+    const auto cb = b.network(n).conditions_at(p, 4321.0);
+    EXPECT_DOUBLE_EQ(ca.capacity_bps, cb.capacity_bps);
+    EXPECT_DOUBLE_EQ(ca.rtt_s, cb.rtt_s);
+  }
+}
+
+TEST_P(SeedSweep, ProbeMetricsStayPhysical) {
+  const auto seed = GetParam();
+  const auto dep = testing::tiny_deployment(seed);
+  probe::probe_engine eng(dep, seed ^ 0xabcd);
+  const mobility::gps_fix fix{dep.proj().to_lat_lon({200.0, 100.0}), 0.0,
+                              10.0 * 3600};
+  probe::tcp_probe_params tcp;
+  tcp.bytes = 120'000;
+  const auto t = eng.tcp_probe(0, fix, tcp);
+  if (t.success) {
+    EXPECT_GT(t.throughput_bps, 0.0);
+    EXPECT_LE(t.throughput_bps, 3.1e6);  // never above the EV-DO cap
+  }
+  const auto u = eng.udp_probe(0, fix);
+  if (u.success) {
+    EXPECT_GE(u.loss_rate, 0.0);
+    EXPECT_LE(u.loss_rate, 1.0);
+    EXPECT_GE(u.jitter_s, 0.0);
+  }
+  const auto p = eng.ping_probe(0, fix);
+  EXPECT_EQ(p.ping_sent, 12);
+  EXPECT_GE(p.ping_failures, 0);
+  EXPECT_LE(p.ping_failures, p.ping_sent);
+}
+
+TEST_P(SeedSweep, NkldNonNegativeAndIdentityZero) {
+  stats::rng_stream rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(50.0, 7.0));
+  EXPECT_GE(stats::nkld_of_samples(xs, xs), 0.0);
+  EXPECT_LT(stats::nkld_of_samples(xs, xs), 1e-9);
+}
+
+TEST_P(SeedSweep, RandomSplitAlwaysPartitions) {
+  stats::rng_stream rng(GetParam());
+  const auto split = stats::random_split(257, 0.41, rng);
+  EXPECT_EQ(split.first.size() + split.second.size(), 257u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 987654u));
+
+// ------------------------------------------------------- zone radius sweep ----
+
+class RadiusSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RadiusSweep, GridRoundTripAtEveryRadius) {
+  const double radius = GetParam();
+  const geo::zone_grid grid(geo::projection(cellnet::anchors::madison), radius);
+  stats::rng_stream rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const geo::xy p{rng.uniform(-5000.0, 5000.0), rng.uniform(-5000.0, 5000.0)};
+    const auto z = grid.zone_of(p);
+    EXPECT_EQ(grid.zone_of(grid.center_xy(z)), z);
+  }
+}
+
+TEST_P(RadiusSweep, IntraZoneSpreadGrowsWithRadius) {
+  // Fig 4's driver: spatial capacity spread inside a zone grows (weakly)
+  // with zone size. Compare this radius against a tiny 50 m zone.
+  const double radius = GetParam();
+  if (radius <= 50.0) GTEST_SKIP();
+  const auto dep = testing::tiny_deployment(5);
+  const auto& net = dep.network(0);
+  stats::rng_stream rng(17);
+
+  auto spread_at = [&](double r) {
+    stats::running_stats rel;
+    for (int zone = 0; zone < 12; ++zone) {
+      const geo::xy center{rng.uniform(-1200.0, 1200.0),
+                           rng.uniform(-1200.0, 1200.0)};
+      stats::running_stats caps;
+      for (int i = 0; i < 24; ++i) {
+        const geo::xy p{center.x_m + rng.uniform(-r, r),
+                        center.y_m + rng.uniform(-r, r)};
+        const auto lc = net.conditions_at(p, 12.0 * 3600);
+        if (lc.in_coverage) caps.add(lc.capacity_bps);
+      }
+      if (caps.count() > 10) rel.add(caps.relative_stddev());
+    }
+    return rel.mean();
+  };
+  EXPECT_GE(spread_at(radius) + 0.03, spread_at(50.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RadiusSweep,
+                         ::testing::Values(50.0, 150.0, 250.0, 450.0, 750.0));
+
+// ------------------------------------------------------ allan noise sweep ----
+
+class AllanNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AllanNoiseSweep, WhiteNoiseAllanScalesWithSigma) {
+  const double sigma = GetParam();
+  const auto ts = testing::noise_series(20000, 1.0, 100.0, sigma, 9);
+  // Allan deviation at tau=1 approximates the per-sample sigma.
+  EXPECT_NEAR(stats::allan_deviation(ts, 1.0), sigma, sigma * 0.1 + 0.01);
+}
+
+TEST_P(AllanNoiseSweep, AllanAlwaysNonNegative) {
+  const double sigma = GetParam();
+  const auto ts = testing::noise_series(2000, 1.0, 100.0, sigma, 10);
+  for (double tau : {1.0, 7.0, 50.0, 300.0}) {
+    EXPECT_GE(stats::allan_deviation(ts, tau), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, AllanNoiseSweep,
+                         ::testing::Values(0.5, 2.0, 8.0, 25.0));
+
+// ----------------------------------------------- planner population sweep ----
+
+struct planner_case {
+  double rel_stddev;
+  const char* label;
+};
+
+class PlannerSweep : public ::testing::TestWithParam<planner_case> {};
+
+TEST_P(PlannerSweep, SubsetMeanConvergesToPopulationMean) {
+  const auto param = GetParam();
+  stats::rng_stream gen(13);
+  std::vector<double> population;
+  for (int i = 0; i < 4000; ++i) {
+    population.push_back(gen.normal(1000.0, 1000.0 * param.rel_stddev));
+  }
+  core::planner_config cfg;
+  cfg.iterations = 40;
+  const core::sample_planner planner(cfg);
+  stats::rng_stream rng(14);
+  const std::size_t n = planner.packets_for_accuracy(population, rng);
+  // Check the claim: n draws average within 3% most of the time.
+  double err = 0.0;
+  for (int it = 0; it < 40; ++it) {
+    const auto sub = stats::sample_without_replacement(population, n, rng);
+    err += std::abs(stats::mean(sub) - stats::mean(population)) / 1000.0;
+  }
+  EXPECT_LE(err / 40.0, 0.05) << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Populations, PlannerSweep,
+    ::testing::Values(planner_case{0.05, "calm"}, planner_case{0.15, "city"},
+                      planner_case{0.30, "wild"}));
+
+// -------------------------------------------------- dominance gap sweep ----
+
+class DominanceGapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DominanceGapSweep, WinnerIffGapExceedsSpread) {
+  const double gap = GetParam();  // mean separation in units of sigma
+  stats::rng_stream r(19);
+  const double sigma = 1e5;
+  std::vector<std::vector<double>> nets(2);
+  for (int i = 0; i < 300; ++i) {
+    nets[0].push_back(r.normal(1e6 + gap * sigma, sigma));
+    nets[1].push_back(r.normal(1e6, sigma));
+  }
+  const int winner =
+      core::dominant_network(nets, core::preference::higher_is_better);
+  // 5th vs 95th percentile gap is ~3.3 sigma: clear separation far beyond
+  // that must dominate; tiny separation must not.
+  if (gap >= 5.0) {
+    EXPECT_EQ(winner, 0) << "gap=" << gap;
+  } else if (gap <= 2.0) {
+    EXPECT_EQ(winner, -1) << "gap=" << gap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, DominanceGapSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 8.0));
+
+// ------------------------------------------------- hygiene & proto fuzz ----
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, HygieneIsIdempotent) {
+  stats::rng_stream rng(GetParam());
+  trace::dataset ds;
+  for (int i = 0; i < 150; ++i) {
+    auto r = testing::make_record(
+        rng.uniform(0.0, 86400.0), rng.chance(0.5) ? "NetB" : "NetC",
+        geo::destination(cellnet::anchors::madison, rng.uniform(0.0, 360.0),
+                         rng.uniform(0.0, 20000.0)),
+        rng.chance(0.5) ? trace::probe_kind::tcp_download
+                        : trace::probe_kind::ping,
+        rng.uniform(-1e5, 30e6));
+    r.loss_rate = rng.uniform(-0.2, 1.4);
+    ds.add(r);
+  }
+  trace::dataset once, twice;
+  const auto rep1 = trace::scrub(ds, {}, once);
+  const auto rep2 = trace::scrub(once, {}, twice);
+  EXPECT_EQ(once.size(), rep1.kept);
+  // A scrubbed dataset passes its own scrub untouched.
+  EXPECT_EQ(rep2.kept, once.size());
+  EXPECT_EQ(rep2.dropped(), 0u);
+}
+
+TEST_P(FuzzSweep, ProtoDecodersNeverAcceptGarbage) {
+  stats::rng_stream rng(GetParam());
+  static constexpr char alphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 =._-";
+  for (int i = 0; i < 200; ++i) {
+    std::string line;
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 120));
+    for (std::size_t k = 0; k < len; ++k) {
+      line.push_back(alphabet[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sizeof(alphabet)) - 2))]);
+    }
+    // Decoders must throw (or the line parses as a valid message, which is
+    // astronomically unlikely but permitted); they must never crash.
+    try {
+      (void)proto::decode_checkin(line);
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      (void)proto::decode_task(line);
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      (void)proto::decode_report(line);
+    } catch (const std::invalid_argument&) {
+    }
+    (void)proto::message_type(line);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, FuzzSweep,
+                         ::testing::Values(3u, 17u, 2026u));
+
+}  // namespace
+}  // namespace wiscape
+

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "proto/messages.h"
+#include "proto/server.h"
+#include "test_util.h"
+
+namespace wiscape::proto {
+namespace {
+
+const geo::lat_lon here = cellnet::anchors::madison;
+
+TEST(ProtoCodec, CheckinRoundTrip) {
+  checkin_request m;
+  m.client_id = 42;
+  m.pos = here;
+  m.time_s = 1234.567;
+  m.network_index = 2;
+  m.active_in_zone = 7;
+  m.device = "phone";
+  const auto back = decode_checkin(encode(m));
+  EXPECT_EQ(back.client_id, 42u);
+  EXPECT_NEAR(back.pos.lat_deg, here.lat_deg, 1e-6);
+  EXPECT_NEAR(back.time_s, 1234.567, 1e-3);
+  EXPECT_EQ(back.network_index, 2u);
+  EXPECT_EQ(back.active_in_zone, 7u);
+  EXPECT_EQ(back.device, "phone");
+}
+
+TEST(ProtoCodec, TaskRoundTripAllKinds) {
+  for (auto kind : {trace::probe_kind::tcp_download, trace::probe_kind::udp_burst,
+                    trace::probe_kind::ping, trace::probe_kind::udp_uplink}) {
+    task_assignment m;
+    m.kind = kind;
+    m.network_index = 1;
+    m.tcp_bytes = 500'000;
+    m.udp_packets = 80;
+    m.ping_count = 12;
+    const auto back = decode_task(encode(m));
+    EXPECT_EQ(back.kind, kind);
+    EXPECT_EQ(back.network_index, 1u);
+    EXPECT_EQ(back.tcp_bytes, 500'000u);
+    EXPECT_EQ(back.udp_packets, 80u);
+    EXPECT_EQ(back.ping_count, 12u);
+  }
+}
+
+TEST(ProtoCodec, ReportRoundTripCarriesRecord) {
+  measurement_report m;
+  m.client_id = 9;
+  m.record = testing::make_record(99.0, "NetB", here,
+                                  trace::probe_kind::udp_burst, 1.25e6);
+  m.record.jitter_s = 0.004;
+  const auto back = decode_report(encode(m));
+  EXPECT_EQ(back.client_id, 9u);
+  EXPECT_EQ(back.record.network, "NetB");
+  EXPECT_NEAR(back.record.throughput_bps, 1.25e6, 1.0);
+  EXPECT_NEAR(back.record.jitter_s, 0.004, 1e-6);
+}
+
+TEST(ProtoCodec, MessageTypeTagging) {
+  EXPECT_EQ(message_type(encode(checkin_request{})), "CHECKIN");
+  EXPECT_EQ(message_type(encode(task_assignment{})), "TASK");
+  EXPECT_EQ(message_type(encode_idle()), "IDLE");
+  EXPECT_EQ(message_type("garbage line"), "");
+}
+
+TEST(ProtoCodec, RejectsMalformedInput) {
+  EXPECT_THROW(decode_checkin("TASK kind=udp"), std::invalid_argument);
+  EXPECT_THROW(decode_checkin("CHECKIN client=1"), std::invalid_argument);
+  EXPECT_THROW(decode_checkin("CHECKIN client=x lat=1 lon=1 t=1 net=0 "
+                              "active=1 device=laptop"),
+               std::invalid_argument);
+  EXPECT_THROW(decode_task("TASK kind=warp net=0 tcp_bytes=0 udp_packets=0 "
+                           "ping_count=0"),
+               std::invalid_argument);
+  EXPECT_THROW(decode_report("REPORT client=1"), std::invalid_argument);
+  EXPECT_THROW(decode_report("REPORT client=abc csv=x"),
+               std::invalid_argument);
+}
+
+TEST(ProtoServer, CheckinYieldsTaskOrIdleAndReportAcks) {
+  const auto dep = testing::tiny_deployment();
+  geo::zone_grid grid(dep.proj(), 250.0);
+  core::coordinator_config cfg;
+  cfg.default_samples_per_epoch = 3;
+  core::coordinator coord(grid, dep.names(), cfg, 5);
+  coordinator_server server(coord);
+
+  checkin_request req;
+  req.client_id = 1;
+  req.pos = dep.proj().to_lat_lon({100.0, 100.0});
+  req.time_s = 1000.0;
+  req.network_index = 0;
+  req.active_in_zone = 1;
+
+  int tasks = 0;
+  for (int i = 0; i < 30; ++i) {
+    req.time_s += 10.0;
+    const std::string reply = server.handle(encode(req));
+    const auto type = message_type(reply);
+    ASSERT_TRUE(type == "TASK" || type == "IDLE") << reply;
+    if (type != "TASK") continue;
+    ++tasks;
+    // Report a matching fake measurement back.
+    measurement_report rep;
+    rep.client_id = 1;
+    rep.record = testing::make_record(req.time_s, dep.names()[0], req.pos,
+                                      decode_task(reply).kind, 1e6);
+    EXPECT_EQ(server.handle(encode(rep)), "ACK");
+  }
+  EXPECT_GT(tasks, 0);
+  EXPECT_EQ(server.tasks_issued(), static_cast<std::uint64_t>(tasks));
+  EXPECT_EQ(server.reports_received(), static_cast<std::uint64_t>(tasks));
+  // The coordinator actually ingested the reports.
+  EXPECT_GT(coord.status_of(grid.zone_of(req.pos)).open_epoch_samples, 0u);
+}
+
+TEST(ProtoServer, RejectsUnknownRequests) {
+  const auto dep = testing::tiny_deployment();
+  core::coordinator coord(geo::zone_grid(dep.proj(), 250.0), dep.names(),
+                          {}, 5);
+  coordinator_server server(coord);
+  EXPECT_THROW(server.handle("HELLO"), std::invalid_argument);
+  EXPECT_THROW(server.handle(encode_idle()), std::invalid_argument);
+}
+
+TEST(ProtoEndToEnd, RemoteAgentDrivesFullLoop) {
+  // The whole Sec 3.4 loop over the wire: remote agents check in through a
+  // string transport, execute real probes, and report back; the coordinator
+  // accumulates estimates exactly as with in-process agents.
+  const auto dep = testing::tiny_deployment();
+  probe::probe_engine engine(dep, 8);
+  geo::zone_grid grid(dep.proj(), 250.0);
+  core::coordinator_config cfg;
+  cfg.default_samples_per_epoch = 5;
+  cfg.epochs.default_epoch_s = 300.0;
+  core::coordinator coord(grid, dep.names(), cfg, 5);
+  coordinator_server server(coord);
+
+  auto transport = [&server](const std::string& line) {
+    return server.handle(line);
+  };
+  remote_agent agent_b(engine, transport, 101);
+  remote_agent agent_phone(engine, transport, 102, probe::phone_device());
+
+  const geo::lat_lon loc = dep.proj().to_lat_lon({150.0, -150.0});
+  int ran = 0;
+  for (int i = 0; i < 120; ++i) {
+    const mobility::gps_fix fix{loc, 0.0, 8.0 * 3600 + i * 30.0};
+    if (const auto rec = agent_b.step(fix, 0, 2)) {
+      ++ran;
+      EXPECT_EQ(rec->device, "laptop");
+    }
+    if (const auto rec = agent_phone.step(fix, 1, 2)) {
+      ++ran;
+      EXPECT_EQ(rec->device, "phone");
+    }
+  }
+  EXPECT_GT(ran, 5);
+  EXPECT_EQ(server.reports_received(), static_cast<std::uint64_t>(ran));
+
+  // Estimates were published under both networks.
+  int published = 0;
+  for (const auto& key : coord.table().keys()) {
+    published += coord.table().latest(key).has_value() ? 1 : 0;
+  }
+  EXPECT_GT(published, 0);
+}
+
+}  // namespace
+}  // namespace wiscape::proto

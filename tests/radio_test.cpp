@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radio/fading.h"
+#include "radio/propagation.h"
+#include "radio/technology.h"
+#include "stats/running_stats.h"
+#include "stats/summary.h"
+
+namespace wiscape::radio {
+namespace {
+
+TEST(Technology, ProfilesMatchTable1) {
+  const auto& hspa = profile_for(technology::hspa);
+  EXPECT_DOUBLE_EQ(hspa.downlink_cap_bps, 7.2e6);
+  EXPECT_DOUBLE_EQ(hspa.uplink_cap_bps, 1.2e6);
+  const auto& evdo = profile_for(technology::evdo_rev_a);
+  EXPECT_DOUBLE_EQ(evdo.downlink_cap_bps, 3.1e6);
+  EXPECT_DOUBLE_EQ(evdo.uplink_cap_bps, 1.8e6);
+}
+
+TEST(Technology, FromStringRoundTrip) {
+  EXPECT_EQ(technology_from_string("hspa"), technology::hspa);
+  EXPECT_EQ(technology_from_string("evdo_rev_a"), technology::evdo_rev_a);
+  EXPECT_THROW(technology_from_string("lte"), std::invalid_argument);
+}
+
+TEST(Pathloss, MonotoneInDistance) {
+  const pathloss_model pl;
+  double prev = pl.loss_db(1.0);
+  for (double d : {10.0, 100.0, 1000.0, 10000.0}) {
+    const double loss = pl.loss_db(d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(Pathloss, TenXDistanceAddsTenNdB) {
+  const pathloss_model pl{.pl0_db = 38.0, .exponent = 3.3, .d0_m = 1.0};
+  EXPECT_NEAR(pl.loss_db(1000.0) - pl.loss_db(100.0), 33.0, 1e-9);
+}
+
+TEST(Pathloss, NearFieldClampsAtReference) {
+  const pathloss_model pl;
+  EXPECT_DOUBLE_EQ(pl.loss_db(0.01), pl.loss_db(pl.d0_m));
+}
+
+TEST(Shadowing, ZeroMeanUnitScale) {
+  const shadowing_field f(stats::rng_stream(3), 6.0, 500.0);
+  stats::running_stats rs;
+  stats::rng_stream r(9);
+  for (int i = 0; i < 20000; ++i) {
+    rs.add(f.at({r.uniform(-20000.0, 20000.0), r.uniform(-20000.0, 20000.0)}));
+  }
+  EXPECT_NEAR(rs.mean(), 0.0, 0.4);
+  EXPECT_NEAR(rs.stddev(), 6.0, 1.0);
+}
+
+TEST(Shadowing, DeterministicGivenSeed) {
+  const shadowing_field a(stats::rng_stream(3), 6.0, 500.0);
+  const shadowing_field b(stats::rng_stream(3), 6.0, 500.0);
+  EXPECT_DOUBLE_EQ(a.at({123.0, -456.0}), b.at({123.0, -456.0}));
+}
+
+TEST(Shadowing, NearbyPointsCorrelatedFarPointsNot) {
+  const double corr_m = 800.0;
+  stats::rng_stream seeds(1);
+  // Average correlation over many field realizations.
+  std::vector<double> v0, v_near, v_far;
+  for (int k = 0; k < 200; ++k) {
+    const shadowing_field f(seeds.fork(static_cast<std::uint64_t>(k)), 6.0,
+                            corr_m);
+    v0.push_back(f.at({0.0, 0.0}));
+    v_near.push_back(f.at({80.0, 0.0}));
+    v_far.push_back(f.at({8000.0, 0.0}));
+  }
+  EXPECT_GT(stats::pearson_correlation(v0, v_near), 0.8);
+  EXPECT_LT(std::abs(stats::pearson_correlation(v0, v_far)), 0.3);
+}
+
+TEST(Shadowing, Validation) {
+  EXPECT_THROW(shadowing_field(stats::rng_stream(1), -1.0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(shadowing_field(stats::rng_stream(1), 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(shadowing_field(stats::rng_stream(1), 1.0, 100.0, 0),
+               std::invalid_argument);
+}
+
+TEST(CompositeShadowing, SumsComponents) {
+  const composite_shadowing cs(stats::rng_stream(7), 5.0, 1500.0, 1.0, 100.0);
+  const geo::xy p{321.0, 654.0};
+  EXPECT_DOUBLE_EQ(cs.at(p), cs.macro().at(p) + cs.micro().at(p));
+}
+
+TEST(LinkBudget, ReceivedPowerArithmetic) {
+  EXPECT_DOUBLE_EQ(received_power_dbm(43.0, 130.0, 3.0), -84.0);
+  EXPECT_DOUBLE_EQ(sinr_db(-84.0, -96.0), 12.0);
+}
+
+TEST(SpectralEfficiency, TracksShannonAndCaps) {
+  // At 0 dB SINR Shannon gives 1 bps/Hz.
+  EXPECT_NEAR(spectral_efficiency(0.0, 1.0), 1.0, 1e-9);
+  // Efficiency scales linearly.
+  EXPECT_NEAR(spectral_efficiency(0.0, 0.5), 0.5, 1e-9);
+  // Very high SINR hits the cap.
+  EXPECT_DOUBLE_EQ(spectral_efficiency(60.0, 1.0, 4.8), 4.8);
+  // Deep fade: tiny but nonnegative.
+  EXPECT_GE(spectral_efficiency(-30.0, 1.0), 0.0);
+  EXPECT_LT(spectral_efficiency(-30.0, 1.0), 0.01);
+}
+
+TEST(Fading, MeanOneOverTime) {
+  fading_process f(stats::rng_stream(5), 0.3, 2.0);
+  stats::running_stats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(f.gain_at(i * 0.5));
+  EXPECT_NEAR(rs.mean(), 1.0, 0.05);
+}
+
+TEST(Fading, AlwaysPositive) {
+  fading_process f(stats::rng_stream(5), 0.5, 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(f.gain_at(i * 0.1), 0.0);
+}
+
+TEST(Fading, CorrelatedWithinTauDecorrelatedBeyond) {
+  // Sample pairs (g(t), g(t+dt)) across many independent processes.
+  std::vector<double> a_short, b_short, a_long, b_long;
+  stats::rng_stream seeds(2);
+  for (int k = 0; k < 400; ++k) {
+    fading_process f(seeds.fork(static_cast<std::uint64_t>(k)), 0.3, 2.0);
+    const double g0 = f.gain_at(0.0);
+    const double g1 = f.gain_at(0.2);    // well inside tau
+    const double g2 = f.gain_at(40.0);   // many taus later
+    a_short.push_back(g0);
+    b_short.push_back(g1);
+    a_long.push_back(g0);
+    b_long.push_back(g2);
+  }
+  EXPECT_GT(stats::pearson_correlation(a_short, b_short), 0.7);
+  EXPECT_LT(std::abs(stats::pearson_correlation(a_long, b_long)), 0.25);
+}
+
+TEST(Fading, ZeroSigmaIsConstantOne) {
+  fading_process f(stats::rng_stream(5), 0.0, 1.0);
+  EXPECT_NEAR(f.gain_at(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(f.gain_at(100.0), 1.0, 1e-12);
+}
+
+TEST(Fading, Validation) {
+  EXPECT_THROW(fading_process(stats::rng_stream(1), -0.1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(fading_process(stats::rng_stream(1), 0.1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wiscape::radio

@@ -1,0 +1,505 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/allan.h"
+#include "stats/histogram.h"
+#include "stats/rng.h"
+#include "stats/running_stats.h"
+#include "stats/sampling.h"
+#include "stats/summary.h"
+#include "stats/time_series.h"
+#include "test_util.h"
+
+namespace wiscape::stats {
+namespace {
+
+// ---------------------------------------------------------------- rng ----
+
+TEST(Rng, SameSeedSameSequence) {
+  rng_stream a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng_stream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkByLabelIsDeterministicAndIndependent) {
+  rng_stream root(7);
+  rng_stream a = root.fork("alpha");
+  rng_stream b = root.fork("alpha");
+  rng_stream c = root.fork("beta");
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  EXPECT_NE(a.seed(), c.seed());
+}
+
+TEST(Rng, ForkByIndexDistinct) {
+  rng_stream root(7);
+  EXPECT_NE(root.fork(std::uint64_t{0}).seed(), root.fork(std::uint64_t{1}).seed());
+}
+
+TEST(Rng, UniformRangeRespected) {
+  rng_stream r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  rng_stream r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  rng_stream r(9);
+  running_stats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 10.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  rng_stream r(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = r.bounded_pareto(1.1, 10.0, 1000.0);
+    EXPECT_GE(x, 10.0 * 0.999);
+    EXPECT_LE(x, 1000.0 * 1.001);
+  }
+}
+
+TEST(Rng, BoundedParetoRejectsBadArgs) {
+  rng_stream r(1);
+  EXPECT_THROW(r.bounded_pareto(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(r.bounded_pareto(1.0, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(r.bounded_pareto(1.0, 0.0, 2.0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  rng_stream r(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, Splitmix64Avalanche) {
+  // Adjacent inputs should differ in many bits.
+  const auto a = splitmix64(1);
+  const auto b = splitmix64(2);
+  EXPECT_GE(__builtin_popcountll(a ^ b), 16);
+}
+
+// ------------------------------------------------------- running_stats ----
+
+TEST(RunningStats, EmptyDefaults) {
+  running_stats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.relative_stddev(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  running_stats rs;
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  rng_stream r(4);
+  running_stats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.normal(3.0, 1.5);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  running_stats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, RelativeStddev) {
+  running_stats rs;
+  rs.add(90.0);
+  rs.add(110.0);
+  EXPECT_NEAR(rs.relative_stddev(), std::sqrt(200.0) / 100.0, 1e-12);
+}
+
+// -------------------------------------------------------------- summary ----
+
+TEST(Summary, PercentileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Summary, PercentileValidation) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Summary, EmpiricalCdfSortedAndEndsAtOne) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LE(cdf[i - 1].fraction, cdf[i].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
+}
+
+TEST(Summary, EmpiricalCdfDownsamples) {
+  std::vector<double> xs(1000);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  const auto cdf = empirical_cdf(xs, 50);
+  EXPECT_LE(cdf.size(), 60u);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Summary, FractionAtMost) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fraction_at_most(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_most(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most(xs, 10.0), 1.0);
+}
+
+TEST(Summary, PearsonPerfectAndAnti) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Summary, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(xs, c), 0.0);
+}
+
+TEST(Summary, PearsonIndependentNearZero) {
+  rng_stream r(8);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(r.normal());
+    b.push_back(r.normal());
+  }
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.05);
+}
+
+TEST(Summary, PearsonValidatesInput) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(pearson_correlation(a, b), std::invalid_argument);
+  EXPECT_THROW(pearson_correlation(b, b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- time_series ----
+
+TEST(TimeSeries, BinMeansAveragesPerWindow) {
+  time_series ts;
+  ts.add(0.0, 1.0);
+  ts.add(1.0, 3.0);
+  ts.add(10.0, 5.0);
+  ts.add(11.0, 7.0);
+  const auto bins = ts.bin_means(5.0);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 2.0);
+  EXPECT_DOUBLE_EQ(bins[1], 6.0);
+}
+
+TEST(TimeSeries, BinMeansUnsortedInput) {
+  time_series ts;
+  ts.add(11.0, 7.0);
+  ts.add(0.0, 1.0);
+  ts.add(10.0, 5.0);
+  ts.add(1.0, 3.0);
+  const auto bins = ts.bin_means(5.0);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 2.0);
+}
+
+TEST(TimeSeries, BinMeansSkipsEmptyWindows) {
+  time_series ts;
+  ts.add(0.0, 1.0);
+  ts.add(100.0, 9.0);
+  EXPECT_EQ(ts.bin_means(10.0).size(), 2u);
+}
+
+TEST(TimeSeries, BinValidation) {
+  time_series ts;
+  ts.add(0.0, 1.0);
+  EXPECT_THROW(ts.bin_means(0.0), std::invalid_argument);
+  EXPECT_THROW(ts.bin_means(-1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, BetweenFilters) {
+  time_series ts;
+  for (int i = 0; i < 10; ++i) ts.add(i, i);
+  const auto mid = ts.between(3.0, 7.0);
+  EXPECT_EQ(mid.size(), 4u);
+}
+
+TEST(TimeSeries, ShortBinsNoisierThanLongBins) {
+  // The Table 4 property: stddev of fine bins exceeds stddev of coarse bins
+  // for a noisy series.
+  const auto ts = testing::noise_series(20000, 1.0, 100.0, 10.0);
+  const auto fine = ts.bin_means(10.0);
+  const auto coarse = ts.bin_means(1800.0);
+  EXPECT_GT(stddev(fine), 2.0 * stddev(coarse));
+}
+
+// ---------------------------------------------------------------- allan ----
+
+TEST(Allan, WhiteNoiseDecreasesWithTau) {
+  const auto ts = testing::noise_series(50000, 1.0, 100.0, 10.0);
+  const double d10 = allan_deviation(ts, 10.0);
+  const double d100 = allan_deviation(ts, 100.0);
+  const double d1000 = allan_deviation(ts, 1000.0);
+  EXPECT_GT(d10, d100);
+  EXPECT_GT(d100, d1000);
+  // 1/sqrt(tau) scaling within a factor.
+  EXPECT_NEAR(d10 / d100, std::sqrt(10.0), 1.2);
+}
+
+TEST(Allan, DriftSeriesHasInteriorMinimum) {
+  // Noise (fast) + sinusoidal drift (slow, period 5000 s): the Allan curve
+  // should dip somewhere between the two scales.
+  const auto ts =
+      testing::drift_series(20000, 1.0, 100.0, 8.0, 15.0, 5000.0);
+  const auto taus = log_spaced_taus(2.0, 8000.0, 24);
+  const double best = allan_minimum_tau(ts, taus);
+  EXPECT_GT(best, 10.0);
+  EXPECT_LT(best, 5000.0);
+}
+
+TEST(Allan, RelativeNormalizesByMean) {
+  const auto ts = testing::noise_series(5000, 1.0, 200.0, 10.0);
+  EXPECT_NEAR(relative_allan_deviation(ts, 10.0),
+              allan_deviation(ts, 10.0) / 200.0, 0.001);
+}
+
+TEST(Allan, FewWindowsReturnsZero) {
+  time_series ts;
+  ts.add(0.0, 1.0);
+  ts.add(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(allan_deviation(ts, 100.0), 0.0);
+}
+
+TEST(Allan, Validation) {
+  time_series ts;
+  ts.add(0.0, 1.0);
+  EXPECT_THROW(allan_deviation(ts, 0.0), std::invalid_argument);
+  EXPECT_THROW(allan_minimum_tau(ts, {1000.0}), std::invalid_argument);
+  EXPECT_THROW(log_spaced_taus(10.0, 5.0, 5), std::invalid_argument);
+  EXPECT_THROW(log_spaced_taus(1.0, 10.0, 1), std::invalid_argument);
+}
+
+TEST(Allan, LogSpacedTausEndpointsAndMonotone) {
+  const auto taus = log_spaced_taus(60.0, 3600.0, 10);
+  ASSERT_EQ(taus.size(), 10u);
+  EXPECT_NEAR(taus.front(), 60.0, 1e-9);
+  EXPECT_NEAR(taus.back(), 3600.0, 1e-6);
+  for (std::size_t i = 1; i < taus.size(); ++i) EXPECT_GT(taus[i], taus[i - 1]);
+}
+
+// ------------------------------------------------------------ histogram ----
+
+TEST(Histogram, CountsAndClamping) {
+  histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(100.0);   // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts().front(), 2u);
+  EXPECT_EQ(h.counts().back(), 2u);
+}
+
+TEST(Histogram, PmfSumsToOne) {
+  histogram h(0.0, 1.0, 7);
+  rng_stream r(5);
+  for (int i = 0; i < 100; ++i) h.add(r.uniform());
+  const auto p = h.pmf(0.01);
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+  histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.pmf(0.0), std::logic_error);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<double> p(8, 1.0 / 8.0);
+  EXPECT_NEAR(entropy(p), std::log(8.0), 1e-12);
+}
+
+TEST(Entropy, PointMassIsZero) {
+  const std::vector<double> p{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy(p), 0.0);
+}
+
+TEST(Nkld, IdenticalDistributionsAreZero) {
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(nkld(p, p), 0.0);
+}
+
+TEST(Nkld, IsSymmetric) {
+  const std::vector<double> p{0.7, 0.2, 0.1};
+  const std::vector<double> q{0.3, 0.4, 0.3};
+  EXPECT_DOUBLE_EQ(nkld(p, q), nkld(q, p));
+}
+
+TEST(Nkld, GrowsWithDivergence) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> close{0.55, 0.45};
+  const std::vector<double> far{0.95, 0.05};
+  EXPECT_LT(nkld(p, close), nkld(p, far));
+}
+
+TEST(Nkld, KlValidation) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW(kl_divergence_abs(p, bad), std::invalid_argument);
+  const std::vector<double> shorter{1.0};
+  EXPECT_THROW(kl_divergence_abs(p, shorter), std::invalid_argument);
+}
+
+TEST(NkldSamples, SameSourceConvergesSmall) {
+  rng_stream r(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 4000; ++i) a.push_back(r.normal(10.0, 2.0));
+  for (int i = 0; i < 4000; ++i) b.push_back(r.normal(10.0, 2.0));
+  EXPECT_LT(nkld_of_samples(a, b), 0.05);
+}
+
+TEST(NkldSamples, DifferentSourcesLarge) {
+  rng_stream r(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) a.push_back(r.normal(10.0, 1.0));
+  for (int i = 0; i < 2000; ++i) b.push_back(r.normal(20.0, 1.0));
+  EXPECT_GT(nkld_of_samples(a, b), 0.5);
+}
+
+TEST(NkldSamples, HandlesConstantSamples) {
+  const std::vector<double> a(50, 3.0);
+  const std::vector<double> b(50, 3.0);
+  EXPECT_LT(nkld_of_samples(a, b), 1e-9);
+}
+
+TEST(NkldSamples, RejectsEmpty) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(nkld_of_samples(a, {}), std::invalid_argument);
+  EXPECT_THROW(nkld_of_samples({}, a), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- sampling ----
+
+TEST(Sampling, WithoutReplacementSizesAndMembership) {
+  std::vector<double> xs(100);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  rng_stream r(3);
+  const auto sub = sample_without_replacement(xs, 10, r);
+  EXPECT_EQ(sub.size(), 10u);
+  for (double v : sub) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 100.0);
+  }
+  // No duplicates (values are unique in the population).
+  auto sorted = sub;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Sampling, WithoutReplacementFullPopulation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  rng_stream r(3);
+  auto sub = sample_without_replacement(xs, 3, r);
+  std::sort(sub.begin(), sub.end());
+  EXPECT_EQ(sub, xs);
+  EXPECT_THROW(sample_without_replacement(xs, 4, r), std::invalid_argument);
+}
+
+TEST(Sampling, RandomSplitPartitions) {
+  rng_stream r(5);
+  const auto split = random_split(100, 0.3, r);
+  EXPECT_EQ(split.first.size() + split.second.size(), 100u);
+  EXPECT_NEAR(static_cast<double>(split.first.size()), 30.0, 1.0);
+  std::vector<bool> seen(100, false);
+  for (auto i : split.first) seen[i] = true;
+  for (auto i : split.second) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Sampling, RandomSplitValidation) {
+  rng_stream r(5);
+  EXPECT_THROW(random_split(1, 0.5, r), std::invalid_argument);
+  EXPECT_THROW(random_split(10, 0.0, r), std::invalid_argument);
+  EXPECT_THROW(random_split(10, 1.0, r), std::invalid_argument);
+}
+
+TEST(Sampling, ReservoirKeepsCapAndApproximatesUniform) {
+  reservoir res(10, rng_stream(4));
+  for (int i = 0; i < 10000; ++i) res.add(i);
+  EXPECT_EQ(res.items().size(), 10u);
+  EXPECT_EQ(res.seen(), 10000u);
+  // Mean of kept items ~ population mean.
+  double sum = 0.0;
+  for (double v : res.items()) sum += v;
+  EXPECT_NEAR(sum / 10.0, 5000.0, 2500.0);
+}
+
+TEST(Sampling, ReservoirRejectsZeroCapacity) {
+  EXPECT_THROW(reservoir(0, rng_stream(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wiscape::stats

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cellnet/presets.h"
+#include "geo/zone_grid.h"
+#include "test_util.h"
+#include "trace/csv.h"
+#include "trace/dataset.h"
+#include "trace/record.h"
+
+namespace wiscape::trace {
+namespace {
+
+const geo::lat_lon here = cellnet::anchors::madison;
+
+TEST(Record, KindStringsRoundTrip) {
+  for (probe_kind k : {probe_kind::tcp_download, probe_kind::udp_burst,
+                       probe_kind::ping, probe_kind::udp_uplink}) {
+    EXPECT_EQ(probe_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(probe_kind_from_string("warp"), std::invalid_argument);
+}
+
+TEST(Record, KindForMapsMetricsToProbes) {
+  EXPECT_EQ(kind_for(metric::tcp_throughput_bps), probe_kind::tcp_download);
+  EXPECT_EQ(kind_for(metric::udp_throughput_bps), probe_kind::udp_burst);
+  EXPECT_EQ(kind_for(metric::loss_rate), probe_kind::udp_burst);
+  EXPECT_EQ(kind_for(metric::jitter_s), probe_kind::udp_burst);
+  EXPECT_EQ(kind_for(metric::rtt_s), probe_kind::ping);
+}
+
+TEST(Record, ValueOfChecksKind) {
+  measurement_record r;
+  r.kind = probe_kind::udp_burst;
+  r.throughput_bps = 1e6;
+  r.jitter_s = 0.003;
+  EXPECT_DOUBLE_EQ(value_of(r, metric::udp_throughput_bps), 1e6);
+  EXPECT_DOUBLE_EQ(value_of(r, metric::jitter_s), 0.003);
+  EXPECT_DOUBLE_EQ(value_of(r, metric::tcp_throughput_bps), 0.0);  // mismatch
+}
+
+TEST(Dataset, SelectFiltersNetworkKindSuccess) {
+  dataset ds;
+  ds.add(testing::make_record(0.0, "NetB", here, probe_kind::tcp_download, 1e6));
+  ds.add(testing::make_record(1.0, "NetC", here, probe_kind::tcp_download, 2e6));
+  ds.add(testing::make_record(2.0, "NetB", here, probe_kind::udp_burst, 3e6));
+  auto failed =
+      testing::make_record(3.0, "NetB", here, probe_kind::tcp_download, 4e6);
+  failed.success = false;
+  ds.add(failed);
+
+  EXPECT_EQ(ds.select("NetB", probe_kind::tcp_download).size(), 1u);
+  EXPECT_EQ(ds.select("", probe_kind::tcp_download).size(), 2u);
+}
+
+TEST(Dataset, BetweenIsHalfOpen) {
+  dataset ds;
+  for (int i = 0; i < 5; ++i) {
+    ds.add(testing::make_record(i, "NetB", here, probe_kind::ping, 0.1));
+  }
+  EXPECT_EQ(ds.between(1.0, 4.0).size(), 3u);
+}
+
+TEST(Dataset, MetricValuesAndSeries) {
+  dataset ds;
+  ds.add(testing::make_record(0.0, "NetB", here, probe_kind::tcp_download, 1e6));
+  ds.add(testing::make_record(5.0, "NetB", here, probe_kind::tcp_download, 2e6));
+  ds.add(testing::make_record(9.0, "NetC", here, probe_kind::tcp_download, 9e6));
+  const auto values = ds.metric_values(metric::tcp_throughput_bps, "NetB");
+  EXPECT_EQ(values, (std::vector<double>{1e6, 2e6}));
+  const auto series = ds.metric_series(metric::tcp_throughput_bps);
+  EXPECT_EQ(series.size(), 3u);
+}
+
+TEST(Dataset, GroupByZoneSeparatesDistantRecords) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  dataset ds;
+  ds.add(testing::make_record(0.0, "NetB", here, probe_kind::tcp_download, 1e6));
+  ds.add(testing::make_record(1.0, "NetB", geo::destination(here, 90.0, 5000.0),
+                              probe_kind::tcp_download, 2e6));
+  const auto groups = ds.group_by_zone(grid);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Dataset, ZoneMetricValuesHonoursMinSamples) {
+  const geo::zone_grid grid(geo::projection(here), 250.0);
+  dataset ds;
+  for (int i = 0; i < 5; ++i) {
+    ds.add(
+        testing::make_record(i, "NetB", here, probe_kind::tcp_download, 1e6));
+  }
+  ds.add(testing::make_record(9.0, "NetB", geo::destination(here, 0.0, 9000.0),
+                              probe_kind::tcp_download, 2e6));
+  EXPECT_EQ(ds.zone_metric_values(grid, metric::tcp_throughput_bps, "NetB", 3)
+                .size(),
+            1u);
+  EXPECT_EQ(ds.zone_metric_values(grid, metric::tcp_throughput_bps, "NetB", 1)
+                .size(),
+            2u);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  dataset a, b;
+  a.add(testing::make_record(0.0, "NetB", here, probe_kind::ping, 0.1));
+  b.add(testing::make_record(1.0, "NetB", here, probe_kind::ping, 0.2));
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Csv, RecordRoundTrip) {
+  measurement_record r;
+  r.time_s = 1234.567;
+  r.network = "NetA";
+  r.pos = here;
+  r.speed_mps = 13.42;
+  r.kind = probe_kind::udp_burst;
+  r.success = true;
+  r.throughput_bps = 987654.3;
+  r.loss_rate = 0.0123;
+  r.jitter_s = 0.0034;
+  r.rtt_s = 0.121;
+  r.ping_sent = 0;
+  r.ping_failures = 0;
+
+  const auto back = from_csv(to_csv(r));
+  EXPECT_NEAR(back.time_s, r.time_s, 1e-3);
+  EXPECT_EQ(back.network, r.network);
+  EXPECT_NEAR(back.pos.lat_deg, r.pos.lat_deg, 1e-6);
+  EXPECT_EQ(back.kind, r.kind);
+  EXPECT_EQ(back.success, r.success);
+  EXPECT_NEAR(back.throughput_bps, r.throughput_bps, 0.1);
+  EXPECT_NEAR(back.loss_rate, r.loss_rate, 1e-6);
+  EXPECT_NEAR(back.jitter_s, r.jitter_s, 1e-6);
+}
+
+TEST(Csv, DatasetStreamRoundTrip) {
+  dataset ds;
+  for (int i = 0; i < 20; ++i) {
+    ds.add(testing::make_record(i * 10.0, i % 2 ? "NetB" : "NetC", here,
+                                probe_kind::tcp_download, 1e6 + i));
+  }
+  std::stringstream ss;
+  write_csv(ss, ds);
+  const dataset back = read_csv(ss);
+  ASSERT_EQ(back.size(), ds.size());
+  EXPECT_EQ(back.records()[7].network, ds.records()[7].network);
+  EXPECT_NEAR(back.records()[7].throughput_bps,
+              ds.records()[7].throughput_bps, 0.1);
+}
+
+TEST(Csv, RejectsMalformedInput) {
+  EXPECT_THROW(from_csv("too,few,fields"), std::invalid_argument);
+  EXPECT_THROW(from_csv("a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p,q"), std::invalid_argument);
+  std::stringstream empty;
+  EXPECT_THROW(read_csv(empty), std::invalid_argument);
+  std::stringstream bad_header("not,the,header\n");
+  EXPECT_THROW(read_csv(bad_header), std::invalid_argument);
+}
+
+TEST(Csv, FileRoundTripAndMissingFile) {
+  dataset ds;
+  ds.add(testing::make_record(1.0, "NetB", here, probe_kind::ping, 0.11));
+  const std::string path = ::testing::TempDir() + "/wiscape_csv_test.csv";
+  write_csv_file(path, ds);
+  const dataset back = read_csv_file(path);
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_THROW(read_csv_file("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::stringstream ss(csv_header() + "\n\n" +
+                       to_csv(testing::make_record(1.0, "NetB", here,
+                                                   probe_kind::ping, 0.1)) +
+                       "\n\n");
+  EXPECT_EQ(read_csv(ss).size(), 1u);
+}
+
+}  // namespace
+}  // namespace wiscape::trace

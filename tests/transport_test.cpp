@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "netsim/path.h"
+#include "transport/ping.h"
+#include "transport/tcp.h"
+#include "transport/udp.h"
+
+namespace wiscape::transport {
+namespace {
+
+netsim::duplex_path make_path(netsim::simulation& sim, double down_bps,
+                              double delay_s, double loss = 0.0,
+                              std::uint64_t seed = 1) {
+  auto down = netsim::fixed_profile(down_bps, delay_s, loss);
+  auto up = netsim::fixed_profile(1e6, delay_s);
+  return netsim::duplex_path(sim, down, up, stats::rng_stream(seed));
+}
+
+// ------------------------------------------------------------------ TCP ----
+
+TEST(Tcp, CompletesCleanTransfer) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 2e6, 0.05);
+  tcp_config cfg;
+  cfg.transfer_bytes = 500'000;
+  std::optional<tcp_result> result;
+  auto flow = start_tcp_download(sim, path, cfg, 1,
+                                 [&](const tcp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->completed);
+  EXPECT_EQ(result->bytes, cfg.transfer_bytes);
+  EXPECT_GT(result->throughput_bps, 0.0);
+  EXPECT_TRUE(flow->finished());
+}
+
+TEST(Tcp, ThroughputBelowLinkRateButReasonable) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 2e6, 0.05);
+  tcp_config cfg;
+  cfg.transfer_bytes = 1'000'000;
+  std::optional<tcp_result> result;
+  start_tcp_download(sim, path, cfg, 1,
+                     [&](const tcp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->throughput_bps, 2e6);
+  EXPECT_GT(result->throughput_bps, 0.5 * 2e6);  // should get most of the link
+}
+
+TEST(Tcp, SlowStartPenalizesShortTransfers) {
+  // Relative throughput of a short transfer is lower than a long one.
+  auto run = [](std::size_t bytes) {
+    netsim::simulation sim;
+    auto path = make_path(sim, 2e6, 0.1);
+    tcp_config cfg;
+    cfg.transfer_bytes = bytes;
+    std::optional<tcp_result> result;
+    start_tcp_download(sim, path, cfg, 1,
+                       [&](const tcp_result& r) { result = r; });
+    sim.run();
+    return result->throughput_bps;
+  };
+  EXPECT_LT(run(20'000), 0.8 * run(2'000'000));
+}
+
+TEST(Tcp, SurvivesRandomLoss) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 2e6, 0.05, 0.02, 9);
+  tcp_config cfg;
+  cfg.transfer_bytes = 300'000;
+  std::optional<tcp_result> result;
+  start_tcp_download(sim, path, cfg, 1,
+                     [&](const tcp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->completed);
+  EXPECT_GT(result->retransmits + result->timeouts, 0u);
+}
+
+TEST(Tcp, HeavyLossStillCompletes) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 2e6, 0.05, 0.15, 10);
+  tcp_config cfg;
+  cfg.transfer_bytes = 100'000;
+  std::optional<tcp_result> result;
+  start_tcp_download(sim, path, cfg, 1,
+                     [&](const tcp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->completed);
+}
+
+TEST(Tcp, AbortReportsPartialResult) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 50e3, 0.05);  // slow: 1 MB would take ~160 s
+  tcp_config cfg;
+  cfg.transfer_bytes = 1'000'000;
+  std::optional<tcp_result> result;
+  auto flow = start_tcp_download(sim, path, cfg, 1,
+                                 [&](const tcp_result& r) { result = r; });
+  sim.run_until(5.0);
+  EXPECT_FALSE(result.has_value());
+  flow->abort();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->completed);
+  EXPECT_LT(result->bytes, cfg.transfer_bytes);
+}
+
+TEST(Tcp, AbortIsIdempotent) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 50e3, 0.05);
+  tcp_config cfg;
+  int calls = 0;
+  auto flow = start_tcp_download(sim, path, cfg, 1,
+                                 [&](const tcp_result&) { ++calls; });
+  flow->abort();
+  flow->abort();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Tcp, SrttApproximatesPathRtt) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 2e6, 0.08);  // RTT floor = 0.16 s
+  tcp_config cfg;
+  cfg.transfer_bytes = 500'000;
+  std::optional<tcp_result> result;
+  start_tcp_download(sim, path, cfg, 1,
+                     [&](const tcp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->srtt_s, 0.16 - 0.01);
+  EXPECT_LT(result->srtt_s, 1.0);
+}
+
+TEST(Tcp, TinyTransferSinglePacket) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 1e6, 0.05);
+  tcp_config cfg;
+  cfg.transfer_bytes = 100;  // less than one MSS
+  std::optional<tcp_result> result;
+  start_tcp_download(sim, path, cfg, 1,
+                     [&](const tcp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->completed);
+}
+
+// ------------------------------------------------------------------ UDP ----
+
+TEST(Udp, AllPacketsDeliveredOnCleanLink) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 2e6, 0.05);
+  udp_config cfg;
+  cfg.packet_count = 50;
+  cfg.interval_s = 0.01;
+  std::optional<udp_result> result;
+  start_udp_flow(sim, path, cfg, 1, [&](const udp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->received, 50u);
+  EXPECT_DOUBLE_EQ(result->loss_rate, 0.0);
+  EXPECT_EQ(result->delays_s.size(), 50u);
+}
+
+TEST(Udp, ThroughputMatchesOfferedWhenUnderCapacity) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 10e6, 0.05);
+  udp_config cfg;
+  cfg.packet_count = 100;
+  cfg.packet_bytes = 1250;  // 10 kbit per packet
+  cfg.interval_s = 0.010;   // 1 Mbps offered
+  std::optional<udp_result> result;
+  start_udp_flow(sim, path, cfg, 1, [&](const udp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->throughput_bps, 1e6, 0.1e6);
+}
+
+TEST(Udp, SaturatingBurstMeasuresCapacity) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 1e6, 0.05);
+  udp_config cfg;
+  cfg.packet_count = 200;
+  cfg.packet_bytes = 1250;
+  cfg.interval_s = 0.001;  // 10 Mbps offered onto a 1 Mbps link
+  std::optional<udp_result> result;
+  start_udp_flow(sim, path, cfg, 1, [&](const udp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->throughput_bps, 1e6, 0.15e6);
+  EXPECT_GT(result->loss_rate, 0.3);  // queue overflow drops most packets
+}
+
+TEST(Udp, LossRateTracksLinkLoss) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 10e6, 0.05, 0.2, 5);
+  udp_config cfg;
+  cfg.packet_count = 1000;
+  cfg.interval_s = 0.002;
+  std::optional<udp_result> result;
+  start_udp_flow(sim, path, cfg, 1, [&](const udp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->loss_rate, 0.2, 0.04);
+}
+
+TEST(Udp, JitterZeroOnConstantDelayLink) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 100e6, 0.05);
+  udp_config cfg;
+  cfg.packet_count = 50;
+  cfg.interval_s = 0.02;
+  std::optional<udp_result> result;
+  start_udp_flow(sim, path, cfg, 1, [&](const udp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->jitter_s, 0.0, 1e-9);
+}
+
+TEST(Udp, JitterPositiveWithDelayNoise) {
+  netsim::simulation sim;
+  auto down = netsim::fixed_profile(100e6, 0.05);
+  down.delay_noise_sigma_s = 0.005;
+  auto up = netsim::fixed_profile(1e6, 0.05);
+  netsim::duplex_path path(sim, down, up, stats::rng_stream(3));
+  udp_config cfg;
+  cfg.packet_count = 200;
+  cfg.interval_s = 0.02;
+  std::optional<udp_result> result;
+  start_udp_flow(sim, path, cfg, 1, [&](const udp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->jitter_s, 0.001);
+  EXPECT_LT(result->jitter_s, 0.02);
+}
+
+TEST(Udp, TotalLossReportsZeroReceived) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 1e6, 0.05, 1.0);
+  udp_config cfg;
+  cfg.packet_count = 20;
+  std::optional<udp_result> result;
+  start_udp_flow(sim, path, cfg, 1, [&](const udp_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->received, 0u);
+  EXPECT_DOUBLE_EQ(result->loss_rate, 1.0);
+}
+
+// ----------------------------------------------------------------- ping ----
+
+TEST(Ping, RttMatchesPathDelay) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 1e6, 0.06);  // 0.12 s floor + serialization
+  ping_config cfg;
+  cfg.count = 10;
+  cfg.interval_s = 0.5;
+  std::optional<ping_result> result;
+  start_ping_train(sim, path, cfg, 1,
+                   [&](const ping_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->replies, 10u);
+  EXPECT_EQ(result->failures, 0u);
+  EXPECT_NEAR(result->mean_rtt_s, 0.12, 0.02);
+  EXPECT_LE(result->min_rtt_s, result->mean_rtt_s);
+  EXPECT_GE(result->max_rtt_s, result->mean_rtt_s);
+}
+
+TEST(Ping, TimeoutsCountAsFailures) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 1e6, 0.06, 1.0);  // downlink drops everything
+  ping_config cfg;
+  cfg.count = 5;
+  cfg.interval_s = 0.2;
+  cfg.timeout_s = 1.0;
+  std::optional<ping_result> result;
+  start_ping_train(sim, path, cfg, 1,
+                   [&](const ping_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->failures, 5u);
+  EXPECT_EQ(result->replies, 0u);
+  EXPECT_DOUBLE_EQ(result->mean_rtt_s, 0.0);
+}
+
+TEST(Ping, PartialLossMixedOutcome) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 1e6, 0.06, 0.5, 17);
+  ping_config cfg;
+  cfg.count = 40;
+  cfg.interval_s = 0.1;
+  cfg.timeout_s = 1.0;
+  std::optional<ping_result> result;
+  start_ping_train(sim, path, cfg, 1,
+                   [&](const ping_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->replies + result->failures, 40u);
+  EXPECT_GT(result->replies, 5u);
+  EXPECT_GT(result->failures, 5u);
+}
+
+TEST(Ping, SlowLinkRttIncludesSerialization) {
+  netsim::simulation sim;
+  auto path = make_path(sim, 64e3, 0.05);  // 64 kbps: 64-byte reply ~ 8 ms
+  ping_config cfg;
+  cfg.count = 3;
+  std::optional<ping_result> result;
+  start_ping_train(sim, path, cfg, 1,
+                   [&](const ping_result& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->mean_rtt_s, 0.10);
+}
+
+}  // namespace
+}  // namespace wiscape::transport

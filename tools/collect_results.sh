@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Collects bench outputs into the repository's result logs.
+#
+# Usage: tools/collect_results.sh <bench-output-dir>
+#   <bench-output-dir> holds the bench_*.txt files produced by running the
+#   bench binaries (and their wiscape_bench_cache_*.csv campaign caches).
+#
+# Writes:
+#   bench_output.txt  - full concatenated bench output
+#   and prints the paper-vs-measured summary lines to stdout.
+set -eu
+
+dir="${1:-bench_out}"
+out="bench_output.txt"
+
+: > "$out"
+for f in "$dir"/bench_*.txt; do
+  cat "$f" >> "$out"
+  printf '\n' >> "$out"
+done
+
+echo "wrote $out ($(wc -l < "$out") lines)"
+echo
+echo "== paper vs measured =="
+grep -h "paper:" "$dir"/bench_*.txt | grep "measured:" || true
