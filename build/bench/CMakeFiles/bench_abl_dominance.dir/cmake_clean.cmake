@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dominance.dir/bench_abl_dominance.cpp.o"
+  "CMakeFiles/bench_abl_dominance.dir/bench_abl_dominance.cpp.o.d"
+  "bench_abl_dominance"
+  "bench_abl_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_epoch.dir/bench_abl_epoch.cpp.o"
+  "CMakeFiles/bench_abl_epoch.dir/bench_abl_epoch.cpp.o.d"
+  "bench_abl_epoch"
+  "bench_abl_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

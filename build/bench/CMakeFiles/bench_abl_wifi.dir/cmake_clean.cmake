@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_wifi.dir/bench_abl_wifi.cpp.o"
+  "CMakeFiles/bench_abl_wifi.dir/bench_abl_wifi.cpp.o.d"
+  "bench_abl_wifi"
+  "bench_abl_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

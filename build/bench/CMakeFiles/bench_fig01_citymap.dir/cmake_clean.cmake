@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_citymap.dir/bench_fig01_citymap.cpp.o"
+  "CMakeFiles/bench_fig01_citymap.dir/bench_fig01_citymap.cpp.o.d"
+  "bench_fig01_citymap"
+  "bench_fig01_citymap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_citymap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

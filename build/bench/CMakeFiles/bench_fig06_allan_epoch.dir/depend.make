@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_allan_epoch.
+# This may be replaced when dependencies are built.

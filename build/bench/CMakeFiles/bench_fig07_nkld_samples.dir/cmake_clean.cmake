@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_nkld_samples.dir/bench_fig07_nkld_samples.cpp.o"
+  "CMakeFiles/bench_fig07_nkld_samples.dir/bench_fig07_nkld_samples.cpp.o.d"
+  "bench_fig07_nkld_samples"
+  "bench_fig07_nkld_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_nkld_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

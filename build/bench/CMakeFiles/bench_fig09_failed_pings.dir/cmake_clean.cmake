@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_failed_pings.dir/bench_fig09_failed_pings.cpp.o"
+  "CMakeFiles/bench_fig09_failed_pings.dir/bench_fig09_failed_pings.cpp.o.d"
+  "bench_fig09_failed_pings"
+  "bench_fig09_failed_pings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_failed_pings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

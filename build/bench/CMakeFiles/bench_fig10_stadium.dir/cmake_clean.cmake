@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_stadium.dir/bench_fig10_stadium.cpp.o"
+  "CMakeFiles/bench_fig10_stadium.dir/bench_fig10_stadium.cpp.o.d"
+  "bench_fig10_stadium"
+  "bench_fig10_stadium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stadium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

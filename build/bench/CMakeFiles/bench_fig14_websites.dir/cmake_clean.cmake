@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_websites.dir/bench_fig14_websites.cpp.o"
+  "CMakeFiles/bench_fig14_websites.dir/bench_fig14_websites.cpp.o.d"
+  "bench_fig14_websites"
+  "bench_fig14_websites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_websites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

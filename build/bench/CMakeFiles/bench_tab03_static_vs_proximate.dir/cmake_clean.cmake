@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_static_vs_proximate.dir/bench_tab03_static_vs_proximate.cpp.o"
+  "CMakeFiles/bench_tab03_static_vs_proximate.dir/bench_tab03_static_vs_proximate.cpp.o.d"
+  "bench_tab03_static_vs_proximate"
+  "bench_tab03_static_vs_proximate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_static_vs_proximate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_timescales.dir/bench_tab04_timescales.cpp.o"
+  "CMakeFiles/bench_tab04_timescales.dir/bench_tab04_timescales.cpp.o.d"
+  "bench_tab04_timescales"
+  "bench_tab04_timescales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_timescales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

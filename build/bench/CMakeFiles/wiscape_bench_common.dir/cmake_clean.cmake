@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/wiscape_bench_common.dir/bench_common.cpp.o.d"
+  "libwiscape_bench_common.a"
+  "libwiscape_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

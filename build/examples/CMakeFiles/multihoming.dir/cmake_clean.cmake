@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihoming.dir/multihoming.cpp.o"
+  "CMakeFiles/multihoming.dir/multihoming.cpp.o.d"
+  "multihoming"
+  "multihoming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihoming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_watch.dir/operator_watch.cpp.o"
+  "CMakeFiles/operator_watch.dir/operator_watch.cpp.o.d"
+  "operator_watch"
+  "operator_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

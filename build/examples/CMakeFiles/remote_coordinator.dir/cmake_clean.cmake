@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_coordinator.dir/remote_coordinator.cpp.o"
+  "CMakeFiles/remote_coordinator.dir/remote_coordinator.cpp.o.d"
+  "remote_coordinator"
+  "remote_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

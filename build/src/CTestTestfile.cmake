@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geo")
+subdirs("stats")
+subdirs("radio")
+subdirs("cellnet")
+subdirs("netsim")
+subdirs("transport")
+subdirs("mobility")
+subdirs("trace")
+subdirs("probe")
+subdirs("core")
+subdirs("proto")
+subdirs("bwest")
+subdirs("apps")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_apps.dir/multihoming.cpp.o"
+  "CMakeFiles/wiscape_apps.dir/multihoming.cpp.o.d"
+  "CMakeFiles/wiscape_apps.dir/surge.cpp.o"
+  "CMakeFiles/wiscape_apps.dir/surge.cpp.o.d"
+  "CMakeFiles/wiscape_apps.dir/zone_knowledge.cpp.o"
+  "CMakeFiles/wiscape_apps.dir/zone_knowledge.cpp.o.d"
+  "libwiscape_apps.a"
+  "libwiscape_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

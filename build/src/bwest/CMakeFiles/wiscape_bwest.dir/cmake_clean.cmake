@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_bwest.dir/ground_truth.cpp.o"
+  "CMakeFiles/wiscape_bwest.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/wiscape_bwest.dir/pathload.cpp.o"
+  "CMakeFiles/wiscape_bwest.dir/pathload.cpp.o.d"
+  "CMakeFiles/wiscape_bwest.dir/wbest.cpp.o"
+  "CMakeFiles/wiscape_bwest.dir/wbest.cpp.o.d"
+  "libwiscape_bwest.a"
+  "libwiscape_bwest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_bwest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

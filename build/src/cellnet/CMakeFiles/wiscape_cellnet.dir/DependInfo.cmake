@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellnet/cellular_network.cpp" "src/cellnet/CMakeFiles/wiscape_cellnet.dir/cellular_network.cpp.o" "gcc" "src/cellnet/CMakeFiles/wiscape_cellnet.dir/cellular_network.cpp.o.d"
+  "/root/repo/src/cellnet/deployment.cpp" "src/cellnet/CMakeFiles/wiscape_cellnet.dir/deployment.cpp.o" "gcc" "src/cellnet/CMakeFiles/wiscape_cellnet.dir/deployment.cpp.o.d"
+  "/root/repo/src/cellnet/presets.cpp" "src/cellnet/CMakeFiles/wiscape_cellnet.dir/presets.cpp.o" "gcc" "src/cellnet/CMakeFiles/wiscape_cellnet.dir/presets.cpp.o.d"
+  "/root/repo/src/cellnet/temporal_field.cpp" "src/cellnet/CMakeFiles/wiscape_cellnet.dir/temporal_field.cpp.o" "gcc" "src/cellnet/CMakeFiles/wiscape_cellnet.dir/temporal_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/radio/CMakeFiles/wiscape_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiscape_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wiscape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

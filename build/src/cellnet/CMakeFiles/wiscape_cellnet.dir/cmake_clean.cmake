@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_cellnet.dir/cellular_network.cpp.o"
+  "CMakeFiles/wiscape_cellnet.dir/cellular_network.cpp.o.d"
+  "CMakeFiles/wiscape_cellnet.dir/deployment.cpp.o"
+  "CMakeFiles/wiscape_cellnet.dir/deployment.cpp.o.d"
+  "CMakeFiles/wiscape_cellnet.dir/presets.cpp.o"
+  "CMakeFiles/wiscape_cellnet.dir/presets.cpp.o.d"
+  "CMakeFiles/wiscape_cellnet.dir/temporal_field.cpp.o"
+  "CMakeFiles/wiscape_cellnet.dir/temporal_field.cpp.o.d"
+  "libwiscape_cellnet.a"
+  "libwiscape_cellnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_cellnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

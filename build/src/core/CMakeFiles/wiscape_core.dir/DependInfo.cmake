@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/wiscape_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/client_agent.cpp" "src/core/CMakeFiles/wiscape_core.dir/client_agent.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/client_agent.cpp.o.d"
+  "/root/repo/src/core/coordinator.cpp" "src/core/CMakeFiles/wiscape_core.dir/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/core/diurnal.cpp" "src/core/CMakeFiles/wiscape_core.dir/diurnal.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/diurnal.cpp.o.d"
+  "/root/repo/src/core/dominance.cpp" "src/core/CMakeFiles/wiscape_core.dir/dominance.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/dominance.cpp.o.d"
+  "/root/repo/src/core/epoch_estimator.cpp" "src/core/CMakeFiles/wiscape_core.dir/epoch_estimator.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/epoch_estimator.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/wiscape_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/normalize.cpp" "src/core/CMakeFiles/wiscape_core.dir/normalize.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/normalize.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/core/CMakeFiles/wiscape_core.dir/overhead.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/overhead.cpp.o.d"
+  "/root/repo/src/core/persist.cpp" "src/core/CMakeFiles/wiscape_core.dir/persist.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/persist.cpp.o.d"
+  "/root/repo/src/core/sample_planner.cpp" "src/core/CMakeFiles/wiscape_core.dir/sample_planner.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/sample_planner.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/wiscape_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/validation.cpp.o.d"
+  "/root/repo/src/core/zone_table.cpp" "src/core/CMakeFiles/wiscape_core.dir/zone_table.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/zone_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/probe/CMakeFiles/wiscape_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wiscape_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wiscape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiscape_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/wiscape_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wiscape_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wiscape_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/wiscape_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wiscape_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_core.dir/anomaly.cpp.o"
+  "CMakeFiles/wiscape_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/client_agent.cpp.o"
+  "CMakeFiles/wiscape_core.dir/client_agent.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/coordinator.cpp.o"
+  "CMakeFiles/wiscape_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/diurnal.cpp.o"
+  "CMakeFiles/wiscape_core.dir/diurnal.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/dominance.cpp.o"
+  "CMakeFiles/wiscape_core.dir/dominance.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/epoch_estimator.cpp.o"
+  "CMakeFiles/wiscape_core.dir/epoch_estimator.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/mapping.cpp.o"
+  "CMakeFiles/wiscape_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/normalize.cpp.o"
+  "CMakeFiles/wiscape_core.dir/normalize.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/overhead.cpp.o"
+  "CMakeFiles/wiscape_core.dir/overhead.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/persist.cpp.o"
+  "CMakeFiles/wiscape_core.dir/persist.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/sample_planner.cpp.o"
+  "CMakeFiles/wiscape_core.dir/sample_planner.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/validation.cpp.o"
+  "CMakeFiles/wiscape_core.dir/validation.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/zone_table.cpp.o"
+  "CMakeFiles/wiscape_core.dir/zone_table.cpp.o.d"
+  "libwiscape_core.a"
+  "libwiscape_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

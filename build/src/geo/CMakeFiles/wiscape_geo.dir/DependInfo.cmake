@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/lat_lon.cpp" "src/geo/CMakeFiles/wiscape_geo.dir/lat_lon.cpp.o" "gcc" "src/geo/CMakeFiles/wiscape_geo.dir/lat_lon.cpp.o.d"
+  "/root/repo/src/geo/polyline.cpp" "src/geo/CMakeFiles/wiscape_geo.dir/polyline.cpp.o" "gcc" "src/geo/CMakeFiles/wiscape_geo.dir/polyline.cpp.o.d"
+  "/root/repo/src/geo/projection.cpp" "src/geo/CMakeFiles/wiscape_geo.dir/projection.cpp.o" "gcc" "src/geo/CMakeFiles/wiscape_geo.dir/projection.cpp.o.d"
+  "/root/repo/src/geo/zone_grid.cpp" "src/geo/CMakeFiles/wiscape_geo.dir/zone_grid.cpp.o" "gcc" "src/geo/CMakeFiles/wiscape_geo.dir/zone_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_geo.dir/lat_lon.cpp.o"
+  "CMakeFiles/wiscape_geo.dir/lat_lon.cpp.o.d"
+  "CMakeFiles/wiscape_geo.dir/polyline.cpp.o"
+  "CMakeFiles/wiscape_geo.dir/polyline.cpp.o.d"
+  "CMakeFiles/wiscape_geo.dir/projection.cpp.o"
+  "CMakeFiles/wiscape_geo.dir/projection.cpp.o.d"
+  "CMakeFiles/wiscape_geo.dir/zone_grid.cpp.o"
+  "CMakeFiles/wiscape_geo.dir/zone_grid.cpp.o.d"
+  "libwiscape_geo.a"
+  "libwiscape_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

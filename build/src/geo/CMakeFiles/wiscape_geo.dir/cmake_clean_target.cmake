@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwiscape_geo.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/fleet.cpp" "src/mobility/CMakeFiles/wiscape_mobility.dir/fleet.cpp.o" "gcc" "src/mobility/CMakeFiles/wiscape_mobility.dir/fleet.cpp.o.d"
+  "/root/repo/src/mobility/route_gen.cpp" "src/mobility/CMakeFiles/wiscape_mobility.dir/route_gen.cpp.o" "gcc" "src/mobility/CMakeFiles/wiscape_mobility.dir/route_gen.cpp.o.d"
+  "/root/repo/src/mobility/schedule.cpp" "src/mobility/CMakeFiles/wiscape_mobility.dir/schedule.cpp.o" "gcc" "src/mobility/CMakeFiles/wiscape_mobility.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/wiscape_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wiscape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

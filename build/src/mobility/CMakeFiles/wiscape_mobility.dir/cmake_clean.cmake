@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_mobility.dir/fleet.cpp.o"
+  "CMakeFiles/wiscape_mobility.dir/fleet.cpp.o.d"
+  "CMakeFiles/wiscape_mobility.dir/route_gen.cpp.o"
+  "CMakeFiles/wiscape_mobility.dir/route_gen.cpp.o.d"
+  "CMakeFiles/wiscape_mobility.dir/schedule.cpp.o"
+  "CMakeFiles/wiscape_mobility.dir/schedule.cpp.o.d"
+  "libwiscape_mobility.a"
+  "libwiscape_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_netsim.dir/link.cpp.o"
+  "CMakeFiles/wiscape_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/wiscape_netsim.dir/simulation.cpp.o"
+  "CMakeFiles/wiscape_netsim.dir/simulation.cpp.o.d"
+  "libwiscape_netsim.a"
+  "libwiscape_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

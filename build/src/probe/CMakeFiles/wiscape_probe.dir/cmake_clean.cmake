@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_probe.dir/collect.cpp.o"
+  "CMakeFiles/wiscape_probe.dir/collect.cpp.o.d"
+  "CMakeFiles/wiscape_probe.dir/engine.cpp.o"
+  "CMakeFiles/wiscape_probe.dir/engine.cpp.o.d"
+  "libwiscape_probe.a"
+  "libwiscape_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_proto.dir/messages.cpp.o"
+  "CMakeFiles/wiscape_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/wiscape_proto.dir/server.cpp.o"
+  "CMakeFiles/wiscape_proto.dir/server.cpp.o.d"
+  "libwiscape_proto.a"
+  "libwiscape_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

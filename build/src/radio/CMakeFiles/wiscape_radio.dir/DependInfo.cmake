@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/fading.cpp" "src/radio/CMakeFiles/wiscape_radio.dir/fading.cpp.o" "gcc" "src/radio/CMakeFiles/wiscape_radio.dir/fading.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/radio/CMakeFiles/wiscape_radio.dir/propagation.cpp.o" "gcc" "src/radio/CMakeFiles/wiscape_radio.dir/propagation.cpp.o.d"
+  "/root/repo/src/radio/technology.cpp" "src/radio/CMakeFiles/wiscape_radio.dir/technology.cpp.o" "gcc" "src/radio/CMakeFiles/wiscape_radio.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/wiscape_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wiscape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_radio.dir/fading.cpp.o"
+  "CMakeFiles/wiscape_radio.dir/fading.cpp.o.d"
+  "CMakeFiles/wiscape_radio.dir/propagation.cpp.o"
+  "CMakeFiles/wiscape_radio.dir/propagation.cpp.o.d"
+  "CMakeFiles/wiscape_radio.dir/technology.cpp.o"
+  "CMakeFiles/wiscape_radio.dir/technology.cpp.o.d"
+  "libwiscape_radio.a"
+  "libwiscape_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_stats.dir/allan.cpp.o"
+  "CMakeFiles/wiscape_stats.dir/allan.cpp.o.d"
+  "CMakeFiles/wiscape_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/wiscape_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/wiscape_stats.dir/histogram.cpp.o"
+  "CMakeFiles/wiscape_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/wiscape_stats.dir/rng.cpp.o"
+  "CMakeFiles/wiscape_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/wiscape_stats.dir/running_stats.cpp.o"
+  "CMakeFiles/wiscape_stats.dir/running_stats.cpp.o.d"
+  "CMakeFiles/wiscape_stats.dir/sampling.cpp.o"
+  "CMakeFiles/wiscape_stats.dir/sampling.cpp.o.d"
+  "CMakeFiles/wiscape_stats.dir/summary.cpp.o"
+  "CMakeFiles/wiscape_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/wiscape_stats.dir/time_series.cpp.o"
+  "CMakeFiles/wiscape_stats.dir/time_series.cpp.o.d"
+  "libwiscape_stats.a"
+  "libwiscape_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/wiscape_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/wiscape_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/dataset.cpp" "src/trace/CMakeFiles/wiscape_trace.dir/dataset.cpp.o" "gcc" "src/trace/CMakeFiles/wiscape_trace.dir/dataset.cpp.o.d"
+  "/root/repo/src/trace/hygiene.cpp" "src/trace/CMakeFiles/wiscape_trace.dir/hygiene.cpp.o" "gcc" "src/trace/CMakeFiles/wiscape_trace.dir/hygiene.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/wiscape_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/wiscape_trace.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/wiscape_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wiscape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_trace.dir/csv.cpp.o"
+  "CMakeFiles/wiscape_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/wiscape_trace.dir/dataset.cpp.o"
+  "CMakeFiles/wiscape_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/wiscape_trace.dir/hygiene.cpp.o"
+  "CMakeFiles/wiscape_trace.dir/hygiene.cpp.o.d"
+  "CMakeFiles/wiscape_trace.dir/record.cpp.o"
+  "CMakeFiles/wiscape_trace.dir/record.cpp.o.d"
+  "libwiscape_trace.a"
+  "libwiscape_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

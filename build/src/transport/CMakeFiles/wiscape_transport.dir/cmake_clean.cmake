@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscape_transport.dir/ping.cpp.o"
+  "CMakeFiles/wiscape_transport.dir/ping.cpp.o.d"
+  "CMakeFiles/wiscape_transport.dir/tcp.cpp.o"
+  "CMakeFiles/wiscape_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/wiscape_transport.dir/udp.cpp.o"
+  "CMakeFiles/wiscape_transport.dir/udp.cpp.o.d"
+  "libwiscape_transport.a"
+  "libwiscape_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscape_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/bootstrap_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/bwest_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/bwest_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/bwest_test.cpp.o.d"
+  "/root/repo/tests/cellnet_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/cellnet_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/cellnet_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/diurnal_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/diurnal_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/diurnal_test.cpp.o.d"
+  "/root/repo/tests/geo_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/geo_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/geo_test.cpp.o.d"
+  "/root/repo/tests/hygiene_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/hygiene_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/hygiene_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mapping_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/mapping_test.cpp.o.d"
+  "/root/repo/tests/mobility_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/mobility_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/mobility_test.cpp.o.d"
+  "/root/repo/tests/netsim_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/netsim_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/netsim_test.cpp.o.d"
+  "/root/repo/tests/normalize_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/normalize_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/normalize_test.cpp.o.d"
+  "/root/repo/tests/overhead_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/overhead_test.cpp.o.d"
+  "/root/repo/tests/persist_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/persist_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/persist_test.cpp.o.d"
+  "/root/repo/tests/probe_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/probe_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/probe_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/proto_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/proto_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/proto_test.cpp.o.d"
+  "/root/repo/tests/radio_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/radio_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/radio_test.cpp.o.d"
+  "/root/repo/tests/rssi_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/rssi_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/rssi_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/transport_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/transport_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/transport_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/wiscape_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wiscape_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/wiscape_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwest/CMakeFiles/wiscape_bwest.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/wiscape_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/wiscape_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wiscape_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/wiscape_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wiscape_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wiscape_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wiscape_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wiscape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiscape_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
