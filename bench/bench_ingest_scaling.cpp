@@ -1,0 +1,201 @@
+// Ingestion scaling - reports/sec through the sharded coordinator pipeline
+// at 1/2/4/8 threads (ISSUE 1 tentpole; no paper figure -- this bench sizes
+// the ROADMAP's "serving heavy traffic from millions of users" claim).
+//
+// Two measurements over the same synthetic fleet replay:
+//  * raw drain: producers enqueue pre-built reports as fast as possible and
+//    the per-shard workers apply them. CPU-bound; scales with physical
+//    cores (flat on a single-core host).
+//  * fleet replay: each producer thread emulates one client transport whose
+//    REPORT lines arrive with a per-line service latency (parse + a modelled
+//    wire delay), the way a real coordinator receives traffic. Extra
+//    threads overlap that latency, so throughput scales with thread count
+//    even on one core -- the reason monitoring backends thread their
+//    ingestion front-end.
+//
+//   ./bench_ingest_scaling [reports] [wire_us]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sharded_coordinator.h"
+#include "geo/projection.h"
+#include "proto/server.h"
+
+using namespace wiscape;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Synthetic fleet stream: all probe kinds, two operators, a 5x5 zone
+// neighbourhood (same recipe as tests/sharded_coordinator_test.cpp).
+std::vector<trace::measurement_record> make_stream(const geo::projection& proj,
+                                                   std::size_t count) {
+  stats::rng_stream rng(bench::bench_seed);
+  std::vector<trace::measurement_record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace::measurement_record r;
+    r.time_s = 1000.0 + static_cast<double>(i) * 0.5;
+    r.network = rng.chance(0.5) ? "NetB" : "NetC";
+    r.pos = proj.to_lat_lon(
+        {443.0 * static_cast<double>(rng.uniform_int(-2, 2)),
+         443.0 * static_cast<double>(rng.uniform_int(-2, 2))});
+    r.client_id = 1 + (i % 64);
+    r.kind = static_cast<trace::probe_kind>(rng.uniform_int(0, 3));
+    r.success = true;
+    if (r.kind == trace::probe_kind::ping) {
+      r.rtt_s = 0.1 + 0.02 * rng.uniform();
+      r.ping_sent = 5;
+    } else {
+      r.throughput_bps = 1e6 * (1.0 + rng.uniform());
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+core::sharded_config pipeline_config(std::size_t threads) {
+  core::sharded_config cfg;
+  cfg.coordinator.epochs.default_epoch_s = 120.0;
+  cfg.num_shards = threads;
+  cfg.synchronous = false;
+  cfg.queue_capacity = 4096;
+  cfg.drain_batch = 64;
+  return cfg;
+}
+
+/// Raw drain: `threads` producers enqueue slices of the stream into a
+/// `threads`-shard pipeline; returns reports/sec from first push to flush.
+double run_raw(const geo::zone_grid& grid,
+               const std::vector<trace::measurement_record>& stream,
+               std::size_t threads) {
+  core::sharded_coordinator sc(grid, {"NetB", "NetC"},
+                               pipeline_config(threads), bench::bench_seed);
+  const double t0 = now_s();
+  std::vector<std::thread> producers;
+  producers.reserve(threads);
+  for (std::size_t p = 0; p < threads; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = p; i < stream.size(); i += threads) {
+        sc.report(stream[i]);
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  sc.flush();
+  const double dt = now_s() - t0;
+  return static_cast<double>(stream.size()) / dt;
+}
+
+/// Fleet replay: each producer is one client transport delivering encoded
+/// REPORT lines to the concurrent server, `wire_us` of modelled wire/service
+/// latency apart. Returns reports/sec.
+double run_replay(const geo::zone_grid& grid,
+                  const std::vector<trace::measurement_record>& stream,
+                  std::size_t threads, unsigned wire_us) {
+  core::sharded_coordinator sc(grid, {"NetB", "NetC"},
+                               pipeline_config(threads), bench::bench_seed);
+  proto::coordinator_server server(sc);
+
+  // Encode outside the timed region: the client paid that cost.
+  std::vector<std::string> lines;
+  lines.reserve(stream.size());
+  for (const auto& rec : stream) {
+    proto::measurement_report rep;
+    rep.client_id = rec.client_id;
+    rep.record = rec;
+    lines.push_back(proto::encode(rep));
+  }
+
+  const double t0 = now_s();
+  std::vector<std::thread> producers;
+  producers.reserve(threads);
+  for (std::size_t p = 0; p < threads; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = p; i < lines.size(); i += threads) {
+        std::this_thread::sleep_for(std::chrono::microseconds(wire_us));
+        server.handle(lines[i]);
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  sc.flush();
+  const double dt = now_s() - t0;
+  if (server.reports_received() != stream.size()) {
+    std::fprintf(stderr, "LOST REPORTS: %llu of %zu\n",
+                 static_cast<unsigned long long>(server.reports_received()),
+                 stream.size());
+    std::exit(1);
+  }
+  return static_cast<double>(stream.size()) / dt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t reports =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60'000;
+  const unsigned wire_us =
+      argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10))
+               : 100;
+
+  bench::banner("Ingestion scaling - sharded coordinator pipeline",
+                "no paper figure; ROADMAP north star (production-scale "
+                "ingestion)");
+  std::printf("  host cores: %u, reports: %zu, modelled wire latency: %u us\n\n",
+              std::thread::hardware_concurrency(), reports, wire_us);
+
+  const geo::projection proj(cellnet::anchors::madison);
+  const geo::zone_grid grid(proj, 250.0);
+  const auto stream = make_stream(proj, reports);
+
+  // Sequential reference: the pre-sharding code path.
+  {
+    core::coordinator seq(grid, {"NetB", "NetC"}, {}, bench::bench_seed);
+    const double t0 = now_s();
+    for (const auto& rec : stream) seq.report(rec);
+    const double rps = static_cast<double>(stream.size()) / (now_s() - t0);
+    std::printf("  sequential coordinator (reference): %11.0f reports/s\n\n",
+                rps);
+  }
+
+  std::printf("  raw drain (CPU-bound; scales with cores):\n");
+  double raw1 = 0.0, raw4 = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const double rps = run_raw(grid, stream, threads);
+    if (threads == 1) raw1 = rps;
+    if (threads == 4) raw4 = rps;
+    std::printf("    %zu thread(s): %11.0f reports/s  (%.2fx vs 1 thread)\n",
+                threads, rps, raw1 > 0 ? rps / raw1 : 1.0);
+  }
+
+  // Replay uses a lighter stream: each line also pays the wire latency.
+  const std::size_t replay_n = std::min<std::size_t>(reports / 4, 16'000);
+  const std::vector<trace::measurement_record> replay_stream(
+      stream.begin(), stream.begin() + static_cast<std::ptrdiff_t>(replay_n));
+  std::printf("\n  fleet replay (latency-bound; scales with threads):\n");
+  double rep1 = 0.0, rep4 = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const double rps = run_replay(grid, replay_stream, threads, wire_us);
+    if (threads == 1) rep1 = rps;
+    if (threads == 4) rep4 = rps;
+    std::printf("    %zu thread(s): %11.0f reports/s  (%.2fx vs 1 thread)\n",
+                threads, rps, rep1 > 0 ? rps / rep1 : 1.0);
+  }
+
+  std::printf("\n");
+  bench::report("fleet replay speedup, 4 threads vs 1", "> 1x",
+                bench::fmt(rep1 > 0 ? rep4 / rep1 : 0.0) + "x");
+  bench::report("raw drain speedup, 4 threads vs 1 (1 core => ~1x)", "-",
+                bench::fmt(raw1 > 0 ? raw4 / raw1 : 0.0) + "x");
+  return 0;
+}

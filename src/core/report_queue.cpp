@@ -1,0 +1,75 @@
+#include "core/report_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wiscape::core {
+
+report_queue::report_queue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("report_queue capacity must be > 0");
+  }
+}
+
+bool report_queue::push(trace::measurement_record rec) {
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  items_.push_back(std::move(rec));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool report_queue::try_push(trace::measurement_record rec) {
+  std::unique_lock lock(mu_);
+  if (closed_ || items_.size() >= capacity_) return false;
+  items_.push_back(std::move(rec));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t report_queue::pop_batch(std::vector<trace::measurement_record>& out,
+                                    std::size_t max_batch) {
+  std::unique_lock lock(mu_);
+  not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+  std::size_t n = 0;
+  while (n < max_batch && !items_.empty()) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+    ++n;
+  }
+  const bool emptied = items_.empty();
+  lock.unlock();
+  if (n > 0) not_full_.notify_all();
+  if (emptied) emptied_.notify_all();
+  return n;
+}
+
+void report_queue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  emptied_.notify_all();
+}
+
+void report_queue::wait_empty() const {
+  std::unique_lock lock(mu_);
+  emptied_.wait(lock, [this] { return items_.empty() || closed_; });
+}
+
+bool report_queue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t report_queue::size() const {
+  std::lock_guard lock(mu_);
+  return items_.size();
+}
+
+}  // namespace wiscape::core

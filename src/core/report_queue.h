@@ -1,0 +1,71 @@
+// A bounded MPMC queue of measurement reports.
+//
+// The concurrent ingestion pipeline (sharded_coordinator) decouples the
+// threads that *receive* reports from the threads that *apply* them to the
+// zone tables. This queue is the hand-off point: any number of producers
+// block-push completed measurement_records, any number of consumers drain
+// them in batches. Bounded capacity gives natural backpressure -- a server
+// flooded faster than it can ingest slows its transports down instead of
+// growing without limit.
+//
+// Ordering guarantee: items from one producer thread are dequeued in the
+// order that producer pushed them (global FIFO over all successfully
+// completed pushes; per-producer order is a corollary). With a single
+// consumer per queue this preserves the per-zone sample order the
+// zone_table's epoch rollover logic depends on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace wiscape::core {
+
+class report_queue {
+ public:
+  /// Throws std::invalid_argument if capacity == 0.
+  explicit report_queue(std::size_t capacity);
+
+  report_queue(const report_queue&) = delete;
+  report_queue& operator=(const report_queue&) = delete;
+
+  /// Blocks while the queue is full. Returns true once the record is
+  /// enqueued, false if the queue was closed (record dropped).
+  bool push(trace::measurement_record rec);
+
+  /// Non-blocking push: returns false (record dropped) when the queue is
+  /// full or closed.
+  bool try_push(trace::measurement_record rec);
+
+  /// Pops up to `max_batch` records into `out` (appended), blocking until at
+  /// least one record is available or the queue is closed. Returns the
+  /// number popped; 0 only after close() with the queue fully drained.
+  std::size_t pop_batch(std::vector<trace::measurement_record>& out,
+                        std::size_t max_batch);
+
+  /// Closes the queue: pending and future pushes fail, consumers drain the
+  /// remaining items and then see 0 from pop_batch. Idempotent.
+  void close();
+
+  /// Blocks until the queue is empty (all enqueued items popped) or closed.
+  void wait_empty() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool closed() const;
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable not_full_;
+  mutable std::condition_variable not_empty_;
+  mutable std::condition_variable emptied_;
+  std::deque<trace::measurement_record> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wiscape::core

@@ -1,0 +1,249 @@
+#include "core/sharded_coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+namespace wiscape::core {
+
+struct sharded_coordinator::shard {
+  shard(geo::zone_grid grid, std::vector<std::string> networks,
+        const coordinator_config& cfg, std::uint64_t seed,
+        std::size_t queue_capacity)
+      : coord(std::move(grid), std::move(networks), cfg, seed),
+        queue(queue_capacity) {}
+
+  mutable std::mutex mu;  // guards coord and the drain stats below
+  coordinator coord;
+  report_queue queue;
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> applied{0};
+  std::condition_variable drained_cv;  // signalled after each applied batch
+  std::uint64_t tasks = 0;
+  std::uint64_t drain_batches = 0;
+  double drain_latency_s = 0.0;
+};
+
+sharded_coordinator::sharded_coordinator(geo::zone_grid grid,
+                                         std::vector<std::string> networks,
+                                         sharded_config cfg,
+                                         std::uint64_t seed)
+    : grid_(grid), cfg_(cfg) {
+  if (cfg.num_shards == 0) {
+    throw std::invalid_argument("sharded_coordinator needs >= 1 shard");
+  }
+  shards_.reserve(cfg.num_shards);
+  const stats::rng_stream seeder(seed);
+  for (std::size_t i = 0; i < cfg.num_shards; ++i) {
+    const std::uint64_t shard_seed = i == 0 ? seed : seeder.fork(i).seed();
+    shards_.push_back(std::make_unique<shard>(
+        grid, networks, cfg.coordinator, shard_seed, cfg.queue_capacity));
+  }
+  if (!cfg_.synchronous) {
+    workers_.reserve(shards_.size());
+    for (auto& sh : shards_) {
+      shard* owned = sh.get();
+      workers_.emplace_back([this, owned] { drain_loop(*owned); });
+    }
+  }
+}
+
+sharded_coordinator::~sharded_coordinator() { stop(); }
+
+std::size_t sharded_coordinator::shard_of(
+    const geo::zone_id& zone) const noexcept {
+  return geo::zone_id_hash{}(zone) % shards_.size();
+}
+
+std::size_t sharded_coordinator::shard_of(
+    const geo::lat_lon& pos) const noexcept {
+  return shard_of(grid_.zone_of(pos));
+}
+
+sharded_coordinator::shard& sharded_coordinator::owner_of(
+    const geo::zone_id& zone) noexcept {
+  return *shards_[shard_of(zone)];
+}
+
+std::optional<measurement_task> sharded_coordinator::checkin(
+    const geo::lat_lon& pos, double time_s, std::size_t network_index,
+    std::size_t active_clients_in_zone, std::uint64_t client_id) {
+  shard& sh = owner_of(grid_.zone_of(pos));
+  std::optional<measurement_task> task;
+  {
+    std::lock_guard lock(sh.mu);
+    task = sh.coord.checkin(pos, time_s, network_index,
+                            active_clients_in_zone, client_id);
+    if (task) ++sh.tasks;
+  }
+  if (task) tasks_issued_.fetch_add(1, std::memory_order_relaxed);
+  return task;
+}
+
+bool sharded_coordinator::report(const trace::measurement_record& rec) {
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+  shard& sh = owner_of(grid_.zone_of(rec.pos));
+  if (cfg_.synchronous) {
+    std::lock_guard lock(sh.mu);
+    sh.coord.report(rec);
+    sh.enqueued.fetch_add(1, std::memory_order_relaxed);
+    sh.applied.fetch_add(1, std::memory_order_relaxed);
+    reports_received_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (!sh.queue.push(rec)) return false;
+  sh.enqueued.fetch_add(1, std::memory_order_relaxed);
+  reports_received_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void sharded_coordinator::drain_loop(shard& sh) {
+  std::vector<trace::measurement_record> batch;
+  batch.reserve(cfg_.drain_batch);
+  for (;;) {
+    batch.clear();
+    if (sh.queue.pop_batch(batch, cfg_.drain_batch) == 0) return;
+    apply_batch(sh, batch);
+  }
+}
+
+void sharded_coordinator::apply_batch(
+    shard& sh, const std::vector<trace::measurement_record>& batch) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lock(sh.mu);
+    for (const auto& rec : batch) sh.coord.report(rec);
+    sh.applied.fetch_add(batch.size(), std::memory_order_relaxed);
+    ++sh.drain_batches;
+    sh.drain_latency_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  sh.drained_cv.notify_all();
+}
+
+void sharded_coordinator::flush() {
+  if (cfg_.synchronous) return;
+  for (auto& shp : shards_) {
+    shard& sh = *shp;
+    const std::uint64_t target = sh.enqueued.load(std::memory_order_relaxed);
+    std::unique_lock lock(sh.mu);
+    sh.drained_cv.wait(lock, [&] {
+      return sh.applied.load(std::memory_order_relaxed) >= target;
+    });
+  }
+}
+
+void sharded_coordinator::stop() {
+  stopped_.store(true, std::memory_order_relaxed);
+  for (auto& sh : shards_) sh->queue.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void sharded_coordinator::recompute_epochs() {
+  for (auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    sh->coord.recompute_epochs();
+  }
+}
+
+std::size_t sharded_coordinator::refine_sample_target(
+    const geo::zone_id& zone, std::string_view network, trace::metric metric) {
+  shard& sh = owner_of(zone);
+  std::lock_guard lock(sh.mu);
+  return sh.coord.refine_sample_target(zone, network, metric);
+}
+
+zone_status sharded_coordinator::status_of(const geo::zone_id& zone) const {
+  const shard& sh = *shards_[shard_of(zone)];
+  std::lock_guard lock(sh.mu);
+  return sh.coord.status_of(zone);
+}
+
+double sharded_coordinator::client_spend_mb(std::uint64_t client_id,
+                                            double time_s) const {
+  double total = 0.0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    total += sh->coord.client_spend_mb(client_id, time_s);
+  }
+  return total;
+}
+
+std::optional<epoch_estimate> sharded_coordinator::latest(
+    const estimate_key& key) const {
+  const shard& sh = *shards_[shard_of(key.zone)];
+  std::lock_guard lock(sh.mu);
+  return sh.coord.table().latest(key);
+}
+
+std::vector<epoch_estimate> sharded_coordinator::history(
+    const estimate_key& key) const {
+  const shard& sh = *shards_[shard_of(key.zone)];
+  std::lock_guard lock(sh.mu);
+  return sh.coord.table().history(key);
+}
+
+std::vector<estimate_key> sharded_coordinator::keys() const {
+  std::vector<estimate_key> out;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    auto shard_keys = sh->coord.table().keys();
+    out.insert(out.end(), std::make_move_iterator(shard_keys.begin()),
+               std::make_move_iterator(shard_keys.end()));
+  }
+  return out;
+}
+
+std::vector<change_alert> sharded_coordinator::alerts() const {
+  std::vector<change_alert> out;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    const auto& alerts = sh->coord.alerts();
+    out.insert(out.end(), alerts.begin(), alerts.end());
+  }
+  const auto order = [](const change_alert& a) {
+    return std::make_tuple(a.epoch_start_s, a.key.zone.ix, a.key.zone.iy,
+                           a.key.network, static_cast<int>(a.key.metric),
+                           a.new_mean);
+  };
+  std::sort(out.begin(), out.end(),
+            [&](const change_alert& a, const change_alert& b) {
+              return order(a) < order(b);
+            });
+  return out;
+}
+
+std::uint64_t sharded_coordinator::reports_ingested() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->applied.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t sharded_coordinator::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) total += sh->queue.size();
+  return total;
+}
+
+shard_stats sharded_coordinator::stats_of(std::size_t shard_index) const {
+  const shard& sh = *shards_.at(shard_index);
+  shard_stats out;
+  out.queue_depth = sh.queue.size();
+  std::lock_guard lock(sh.mu);
+  out.reports_ingested = sh.applied.load(std::memory_order_relaxed);
+  out.tasks_issued = sh.tasks;
+  out.drain_batches = sh.drain_batches;
+  out.drain_latency_s = sh.drain_latency_s;
+  return out;
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,166 @@
+// Sharded, thread-parallel coordinator ingestion (ROADMAP north star:
+// "serving heavy traffic from millions of users").
+//
+// WiScape's server aggregates independent per-(zone, network, metric)
+// streams (Sec 3.4), which makes ingestion embarrassingly shardable by
+// zone: every CHECKIN and REPORT touches exactly one zone, so zones are
+// mapped to N shards by zone_id hash and each shard owns a full
+// coordinator (zone_table + sample_planner + epoch state) behind its own
+// mutex. Check-ins are answered synchronously on the caller's thread
+// (clients wait for their task); reports flow through one bounded
+// report_queue per shard into a worker-thread pool, and each worker drains
+// its shard's queue in batches so one lock acquisition is amortised over
+// many reports.
+//
+// Determinism: a report's effect depends only on its zone's prior samples,
+// and each shard has exactly one drain worker, so per-zone arrival order is
+// preserved and the published estimates/alerts are bit-for-bit what the
+// sequential coordinator produces for the same per-zone report order --
+// regardless of shard count (tests/sharded_coordinator_test.cpp holds
+// N = 1, 2, 4, 8 to this). With `num_shards = 1, synchronous = true` the
+// single shard *is* a sequential coordinator with the same seed, so task
+// probabilities and budget accounting reproduce the sequential path
+// exactly. With several shards, per-client budgets are tracked by the shard
+// of the zone the client checks in from; a client roaming across shards is
+// capped per shard, not globally (centralised budgets would serialise the
+// check-in path -- an accepted trade documented in DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/report_queue.h"
+
+namespace wiscape::core {
+
+struct sharded_config {
+  coordinator_config coordinator{};  ///< applied to every shard
+  std::size_t num_shards = 4;
+  /// true: reports are applied inline on the caller's thread (no queues, no
+  /// workers). With num_shards = 1 this reproduces core::coordinator
+  /// exactly. false: reports are enqueued and drained by one worker thread
+  /// per shard.
+  bool synchronous = false;
+  std::size_t queue_capacity = 4096;  ///< per shard
+  std::size_t drain_batch = 64;       ///< max reports applied per lock hold
+};
+
+/// Read-only per-shard ingestion counters, for benches and tools.
+struct shard_stats {
+  std::uint64_t reports_ingested = 0;  ///< applied to the shard's tables
+  std::uint64_t tasks_issued = 0;
+  std::uint64_t drain_batches = 0;     ///< lock-amortised drain rounds
+  double drain_latency_s = 0.0;        ///< total time spent applying batches
+  std::size_t queue_depth = 0;         ///< reports enqueued, not yet applied
+};
+
+class sharded_coordinator {
+ public:
+  /// Shard 0 seeds its rng with `seed` itself (so num_shards = 1 matches a
+  /// sequential coordinator(seed) draw-for-draw); shard i > 0 uses an
+  /// independent stream forked from (seed, i).
+  sharded_coordinator(geo::zone_grid grid, std::vector<std::string> networks,
+                      sharded_config cfg, std::uint64_t seed);
+  ~sharded_coordinator();
+
+  sharded_coordinator(const sharded_coordinator&) = delete;
+  sharded_coordinator& operator=(const sharded_coordinator&) = delete;
+
+  const geo::zone_grid& grid() const noexcept { return grid_; }
+  const sharded_config& config() const noexcept { return cfg_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Which shard owns a zone / position (zone_id hash mod num_shards).
+  std::size_t shard_of(const geo::zone_id& zone) const noexcept;
+  std::size_t shard_of(const geo::lat_lon& pos) const noexcept;
+
+  /// Client check-in, answered synchronously under the owning shard's lock.
+  /// Same contract as coordinator::checkin.
+  std::optional<measurement_task> checkin(const geo::lat_lon& pos,
+                                          double time_s,
+                                          std::size_t network_index,
+                                          std::size_t active_clients_in_zone,
+                                          std::uint64_t client_id = 0);
+
+  /// Ingests a completed measurement. Synchronous mode applies it inline;
+  /// otherwise it is enqueued for the owning shard's worker (blocking while
+  /// that shard's queue is full -- backpressure). Returns false only when
+  /// the pipeline has been stopped.
+  bool report(const trace::measurement_record& rec);
+
+  /// Blocks until every report enqueued before the call has been applied.
+  /// No-op in synchronous mode. Call before reading tables for a consistent
+  /// snapshot while producers are quiescent.
+  void flush();
+
+  /// Closes the queues, drains what remains and joins the workers. Further
+  /// reports are dropped (report() returns false). Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Re-estimates epoch durations on every shard (under each shard's lock).
+  void recompute_epochs();
+
+  /// Refines a zone's sample target on its owning shard. Same contract as
+  /// coordinator::refine_sample_target.
+  std::size_t refine_sample_target(const geo::zone_id& zone,
+                                   std::string_view network,
+                                   trace::metric metric);
+
+  zone_status status_of(const geo::zone_id& zone) const;
+
+  /// Total MB charged against a client today, summed across shards (each
+  /// shard accounts the check-ins it answered).
+  double client_spend_mb(std::uint64_t client_id, double time_s) const;
+
+  // ---- read-side aggregation (flush() first for a consistent view) -------
+
+  /// Latest frozen estimate / history for a key, from its owning shard.
+  std::optional<epoch_estimate> latest(const estimate_key& key) const;
+  std::vector<epoch_estimate> history(const estimate_key& key) const;
+
+  /// All keys across shards (unspecified order).
+  std::vector<estimate_key> keys() const;
+
+  /// All change alerts across shards, sorted by (epoch_start_s, key) so two
+  /// runs that raised the same alerts compare equal regardless of shard
+  /// interleaving.
+  std::vector<change_alert> alerts() const;
+
+  // ---- counters ----------------------------------------------------------
+
+  std::uint64_t reports_received() const noexcept {
+    return reports_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reports_ingested() const noexcept;
+  std::uint64_t tasks_issued() const noexcept {
+    return tasks_issued_.load(std::memory_order_relaxed);
+  }
+  /// Reports enqueued but not yet applied, summed over shards.
+  std::size_t queue_depth() const;
+  shard_stats stats_of(std::size_t shard) const;
+
+ private:
+  struct shard;
+
+  shard& owner_of(const geo::zone_id& zone) noexcept;
+  void drain_loop(shard& sh);
+  /// Applies a batch to the shard's coordinator under its lock.
+  void apply_batch(shard& sh,
+                   const std::vector<trace::measurement_record>& batch);
+
+  geo::zone_grid grid_;
+  sharded_config cfg_;
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> reports_received_{0};
+  std::atomic<std::uint64_t> tasks_issued_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace wiscape::core

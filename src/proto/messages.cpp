@@ -94,10 +94,14 @@ std::string encode(const measurement_report& m) {
 
 std::string encode_idle() { return "IDLE"; }
 
+std::string encode_error(const std::string& reason) {
+  return "ERR " + reason;
+}
+
 std::string message_type(const std::string& line) {
   const auto sp = line.find(' ');
   const std::string tag = sp == std::string::npos ? line : line.substr(0, sp);
-  for (const char* known : {"CHECKIN", "TASK", "REPORT", "IDLE", "ACK"}) {
+  for (const char* known : {"CHECKIN", "TASK", "REPORT", "IDLE", "ACK", "ERR"}) {
     if (tag == known) return tag;
   }
   return "";

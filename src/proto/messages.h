@@ -53,8 +53,11 @@ std::string encode(const measurement_report& m);
 /// The coordinator's answer to a check-in when no task is issued.
 std::string encode_idle();
 
+/// The server's reply to a malformed or rejected request: "ERR <reason>".
+std::string encode_error(const std::string& reason);
+
 /// The message type tag at the start of a line ("CHECKIN", "TASK", "REPORT",
-/// "IDLE", "ACK"); empty for a malformed line.
+/// "IDLE", "ACK", "ERR"); empty for a malformed line.
 std::string message_type(const std::string& line);
 
 checkin_request decode_checkin(const std::string& line);

@@ -5,25 +5,41 @@
 namespace wiscape::proto {
 
 std::string coordinator_server::handle(const std::string& line) {
-  const std::string type = message_type(line);
-  if (type == "CHECKIN") {
-    const auto req = decode_checkin(line);
-    const auto task = coord_->checkin(req.pos, req.time_s, req.network_index,
-                                      req.active_in_zone, req.client_id);
-    if (!task) return encode_idle();
-    ++tasks_;
-    task_assignment out;
-    out.kind = task->kind;
-    out.network_index = static_cast<std::uint32_t>(task->network_index);
-    return encode(out);
+  try {
+    const std::string type = message_type(line);
+    if (type == "CHECKIN") {
+      const auto req = decode_checkin(line);
+      const auto task =
+          sharded_ ? sharded_->checkin(req.pos, req.time_s, req.network_index,
+                                       req.active_in_zone, req.client_id)
+                   : coord_->checkin(req.pos, req.time_s, req.network_index,
+                                     req.active_in_zone, req.client_id);
+      if (!task) return encode_idle();
+      tasks_.fetch_add(1, std::memory_order_relaxed);
+      task_assignment out;
+      out.kind = task->kind;
+      out.network_index = static_cast<std::uint32_t>(task->network_index);
+      return encode(out);
+    }
+    if (type == "REPORT") {
+      const auto rep = decode_report(line);
+      if (sharded_) {
+        if (!sharded_->report(rep.record)) {
+          throw std::invalid_argument("ingestion pipeline stopped");
+        }
+      } else {
+        coord_->report(rep.record);
+      }
+      reports_.fetch_add(1, std::memory_order_relaxed);
+      return "ACK";
+    }
+    throw std::invalid_argument("unsupported request: '" + line + "'");
+  } catch (const std::invalid_argument& e) {
+    // The line protocol promises a reply per request; malformed input is a
+    // client bug the server reports, not a server crash.
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return encode_error(e.what());
   }
-  if (type == "REPORT") {
-    const auto rep = decode_report(line);
-    coord_->report(rep.record);
-    ++reports_;
-    return "ACK";
-  }
-  throw std::invalid_argument("unsupported request: '" + line + "'");
 }
 
 std::optional<trace::measurement_record> remote_agent::step(

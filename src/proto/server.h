@@ -8,34 +8,61 @@
 // execute / report cycle against any `send` function.
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "core/coordinator.h"
+#include "core/sharded_coordinator.h"
 #include "probe/engine.h"
 #include "proto/messages.h"
 
 namespace wiscape::proto {
 
-/// Serves a core::coordinator over the line protocol.
+/// Serves a coordinator over the line protocol.
+///
+/// Two modes share one request surface:
+///  * sequential -- wraps a core::coordinator; handle() must be called from
+///    one thread at a time, exactly as before.
+///  * concurrent -- wraps a core::sharded_coordinator; handle() is safe to
+///    call from many transport threads at once. CHECKINs are answered
+///    synchronously by the owning shard, REPORTs are enqueued into the
+///    sharded ingestion pipeline (ACK means accepted, not yet applied;
+///    flush the sharded coordinator before reading its tables).
 class coordinator_server {
  public:
   /// Borrows the coordinator; it must outlive the server.
   explicit coordinator_server(core::coordinator& coord) : coord_(&coord) {}
 
+  /// Concurrent mode over a sharded coordinator (it must outlive the
+  /// server).
+  explicit coordinator_server(core::sharded_coordinator& coord)
+      : sharded_(&coord) {}
+
   /// Handles one request line and returns the response line:
-  ///   CHECKIN -> TASK ... | IDLE
-  ///   REPORT  -> ACK
-  /// Throws std::invalid_argument on malformed input (a transport wrapper
-  /// would map that to an error reply).
+  ///   CHECKIN   -> TASK ... | IDLE
+  ///   REPORT    -> ACK
+  ///   malformed -> ERR <reason>
   std::string handle(const std::string& line);
 
-  std::uint64_t reports_received() const noexcept { return reports_; }
-  std::uint64_t tasks_issued() const noexcept { return tasks_; }
+  bool concurrent() const noexcept { return sharded_ != nullptr; }
+
+  std::uint64_t reports_received() const noexcept {
+    return reports_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_issued() const noexcept {
+    return tasks_.load(std::memory_order_relaxed);
+  }
+  /// Malformed or rejected request lines answered with ERR.
+  std::uint64_t errors() const noexcept {
+    return errors_.load(std::memory_order_relaxed);
+  }
 
  private:
-  core::coordinator* coord_;
-  std::uint64_t reports_ = 0;
-  std::uint64_t tasks_ = 0;
+  core::coordinator* coord_ = nullptr;
+  core::sharded_coordinator* sharded_ = nullptr;
+  std::atomic<std::uint64_t> reports_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> errors_{0};
 };
 
 /// Client-side agent speaking the line protocol through a caller-supplied

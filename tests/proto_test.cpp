@@ -115,13 +115,107 @@ TEST(ProtoServer, CheckinYieldsTaskOrIdleAndReportAcks) {
   EXPECT_GT(coord.status_of(grid.zone_of(req.pos)).open_epoch_samples, 0u);
 }
 
-TEST(ProtoServer, RejectsUnknownRequests) {
+TEST(ProtoServer, AnswersUnknownRequestsWithErr) {
   const auto dep = testing::tiny_deployment();
   core::coordinator coord(geo::zone_grid(dep.proj(), 250.0), dep.names(),
                           {}, 5);
   coordinator_server server(coord);
-  EXPECT_THROW(server.handle("HELLO"), std::invalid_argument);
-  EXPECT_THROW(server.handle(encode_idle()), std::invalid_argument);
+  EXPECT_EQ(message_type(server.handle("HELLO")), "ERR");
+  EXPECT_EQ(message_type(server.handle(encode_idle())), "ERR");
+  EXPECT_EQ(server.errors(), 2u);
+}
+
+TEST(ProtoServer, MapsMalformedLinesToErrReplies) {
+  // Regression: handle() used to propagate std::invalid_argument out of the
+  // decoder; a line-protocol server must answer every request, so malformed
+  // CHECKIN/REPORT lines come back as "ERR <reason>" instead.
+  const auto dep = testing::tiny_deployment();
+  core::coordinator coord(geo::zone_grid(dep.proj(), 250.0), dep.names(),
+                          {}, 5);
+  coordinator_server server(coord);
+
+  for (const std::string bad : {
+           "CHECKIN client=1",                               // missing fields
+           "CHECKIN client=x lat=1 lon=1 t=1 net=0 active=1 device=laptop",
+           "CHECKIN client=1 lat=bogus lon=1 t=1 net=0 active=1 device=a",
+           "REPORT client=1",                                // missing csv
+           "REPORT client=abc csv=x",                        // bad client id
+       }) {
+    const std::string reply = server.handle(bad);
+    EXPECT_EQ(message_type(reply), "ERR") << bad << " -> " << reply;
+    EXPECT_GT(reply.size(), 4u) << "ERR reply should carry a reason";
+  }
+  EXPECT_EQ(server.errors(), 5u);
+  // Nothing malformed was counted as real traffic.
+  EXPECT_EQ(server.reports_received(), 0u);
+  EXPECT_EQ(server.tasks_issued(), 0u);
+  // The server still works after the garbage.
+  checkin_request req;
+  req.pos = dep.proj().to_lat_lon({0.0, 0.0});
+  req.time_s = 100.0;
+  const auto type = message_type(server.handle(encode(req)));
+  EXPECT_TRUE(type == "TASK" || type == "IDLE");
+}
+
+TEST(ProtoCodec, MetricRoundTripAllValues) {
+  // Enum growth must not silently desync client and server: every metric
+  // round-trips through its wire string.
+  for (const trace::metric m :
+       {trace::metric::tcp_throughput_bps, trace::metric::udp_throughput_bps,
+        trace::metric::loss_rate, trace::metric::jitter_s,
+        trace::metric::rtt_s, trace::metric::uplink_throughput_bps}) {
+    const std::string wire = trace::to_string(m);
+    EXPECT_FALSE(wire.empty());
+    EXPECT_EQ(trace::metric_from_string(wire), m);
+  }
+  EXPECT_THROW(trace::metric_from_string("no_such_metric"),
+               std::invalid_argument);
+}
+
+TEST(ProtoCodec, ProbeKindRoundTripAllValues) {
+  for (const trace::probe_kind k :
+       {trace::probe_kind::tcp_download, trace::probe_kind::udp_burst,
+        trace::probe_kind::ping, trace::probe_kind::udp_uplink}) {
+    const std::string wire = trace::to_string(k);
+    EXPECT_FALSE(wire.empty());
+    EXPECT_EQ(trace::probe_kind_from_string(wire), k);
+  }
+  EXPECT_THROW(trace::probe_kind_from_string("warp"), std::invalid_argument);
+}
+
+TEST(ProtoServer, ConcurrentModeServesShardedCoordinator) {
+  const auto dep = testing::tiny_deployment();
+  geo::zone_grid grid(dep.proj(), 250.0);
+  core::sharded_config cfg;
+  cfg.coordinator.default_samples_per_epoch = 3;
+  cfg.num_shards = 2;
+  core::sharded_coordinator coord(grid, dep.names(), cfg, 5);
+  coordinator_server server(coord);
+  ASSERT_TRUE(server.concurrent());
+
+  checkin_request req;
+  req.client_id = 1;
+  req.pos = dep.proj().to_lat_lon({100.0, 100.0});
+  req.time_s = 1000.0;
+  int tasks = 0;
+  for (int i = 0; i < 30; ++i) {
+    req.time_s += 10.0;
+    const std::string reply = server.handle(encode(req));
+    const auto type = message_type(reply);
+    ASSERT_TRUE(type == "TASK" || type == "IDLE") << reply;
+    if (type != "TASK") continue;
+    ++tasks;
+    measurement_report rep;
+    rep.client_id = 1;
+    rep.record = testing::make_record(req.time_s, dep.names()[0], req.pos,
+                                      decode_task(reply).kind, 1e6);
+    EXPECT_EQ(server.handle(encode(rep)), "ACK");
+  }
+  EXPECT_GT(tasks, 0);
+  coord.flush();
+  EXPECT_EQ(server.tasks_issued(), static_cast<std::uint64_t>(tasks));
+  EXPECT_EQ(coord.reports_ingested(), static_cast<std::uint64_t>(tasks));
+  EXPECT_GT(coord.status_of(grid.zone_of(req.pos)).open_epoch_samples, 0u);
 }
 
 TEST(ProtoEndToEnd, RemoteAgentDrivesFullLoop) {

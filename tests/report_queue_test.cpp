@@ -1,0 +1,146 @@
+// Bounded MPMC report queue: FIFO per producer, backpressure on a full
+// queue, and clean shutdown that drains everything already enqueued.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/report_queue.h"
+
+namespace wiscape::core {
+namespace {
+
+// Tags a record so tests can recover (producer, sequence) after dequeue.
+trace::measurement_record tagged(std::uint64_t producer, double seq) {
+  trace::measurement_record r;
+  r.client_id = producer;
+  r.time_s = seq;
+  return r;
+}
+
+TEST(ReportQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(report_queue(0), std::invalid_argument);
+}
+
+TEST(ReportQueue, SingleThreadFifo) {
+  report_queue q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(tagged(1, i)));
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<trace::measurement_record> out;
+  EXPECT_EQ(q.pop_batch(out, 3), 3u);
+  EXPECT_EQ(q.pop_batch(out, 100), 2u);
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i].time_s, i);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ReportQueue, FifoPerProducerUnderConcurrency) {
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 2000;
+  report_queue q(64);
+
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(tagged(p, static_cast<double>(i))));
+      }
+    });
+  }
+
+  std::vector<trace::measurement_record> drained;
+  std::thread consumer([&] {
+    std::vector<trace::measurement_record> batch;
+    while (drained.size() < kProducers * kPerProducer) {
+      batch.clear();
+      if (q.pop_batch(batch, 128) == 0) break;
+      drained.insert(drained.end(), batch.begin(), batch.end());
+    }
+  });
+  for (auto& t : producers) t.join();
+  q.close();
+  consumer.join();
+
+  ASSERT_EQ(drained.size(), kProducers * kPerProducer);
+  // Each producer's records appear in its push order.
+  std::vector<double> next(kProducers, 0.0);
+  for (const auto& rec : drained) {
+    ASSERT_LT(rec.client_id, kProducers);
+    EXPECT_EQ(rec.time_s, next[rec.client_id]);
+    next[rec.client_id] += 1.0;
+  }
+}
+
+TEST(ReportQueue, FullQueueBlocksProducerUntilConsumed) {
+  report_queue q(2);
+  ASSERT_TRUE(q.push(tagged(1, 0)));
+  ASSERT_TRUE(q.push(tagged(1, 1)));
+  EXPECT_FALSE(q.try_push(tagged(1, 99)));  // full: non-blocking push fails
+
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(tagged(1, 2)));  // blocks until the consumer pops
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load()) << "push returned while queue was full";
+
+  std::vector<trace::measurement_record> out;
+  EXPECT_EQ(q.pop_batch(out, 1), 1u);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.pop_batch(out, 10), 2u);
+  ASSERT_EQ(out.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i].time_s, i);  // FIFO held
+}
+
+TEST(ReportQueue, CloseDrainsEnqueuedItemsThenReturnsZero) {
+  report_queue q(16);
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(q.push(tagged(1, i)));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(tagged(1, 100)));  // no new items after close
+
+  std::vector<trace::measurement_record> out;
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(q.pop_batch(out, 4), 3u);  // the remainder drains
+  EXPECT_EQ(q.pop_batch(out, 4), 0u);  // then consumers see shutdown
+  ASSERT_EQ(out.size(), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i].time_s, i);
+}
+
+TEST(ReportQueue, CloseUnblocksWaitingProducerAndConsumer) {
+  report_queue q(1);
+  ASSERT_TRUE(q.push(tagged(1, 0)));
+  std::thread blocked_producer([&] {
+    EXPECT_FALSE(q.push(tagged(1, 1)));  // full; close() must release it
+  });
+  report_queue empty_q(1);
+  std::thread blocked_consumer([&] {
+    std::vector<trace::measurement_record> out;
+    EXPECT_EQ(empty_q.pop_batch(out, 8), 0u);  // empty; close() releases it
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  empty_q.close();
+  blocked_producer.join();
+  blocked_consumer.join();
+}
+
+TEST(ReportQueue, WaitEmptyReturnsOnceConsumed) {
+  report_queue q(8);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.push(tagged(1, i)));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<trace::measurement_record> out;
+    q.pop_batch(out, 8);
+  });
+  q.wait_empty();
+  EXPECT_EQ(q.size(), 0u);
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace wiscape::core

@@ -1,0 +1,308 @@
+// The sharded ingestion pipeline's two load-bearing promises (ISSUE 1):
+//  * equivalence -- for any seeded report stream, the sharded coordinator
+//    (any shard count, threaded drain) publishes bit-for-bit the estimates
+//    and change alerts of the sequential coordinator;
+//  * no lost reports -- a multi-threaded producer storm is fully ingested,
+//    accounted by the server/pipeline counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/sharded_coordinator.h"
+#include "proto/server.h"
+#include "test_util.h"
+
+namespace wiscape::core {
+namespace {
+
+geo::projection test_proj() {
+  return geo::projection(cellnet::anchors::madison);
+}
+
+// A seeded synthetic fleet stream: reports scattered over a 5x5 zone
+// neighbourhood, two networks, all probe kinds, with a mid-stream mean shift
+// so epoch rollovers raise change alerts.
+std::vector<trace::measurement_record> synthetic_stream(std::uint64_t seed,
+                                                        std::size_t count) {
+  stats::rng_stream rng(seed);
+  const geo::projection proj = test_proj();
+  std::vector<trace::measurement_record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = 1000.0 + static_cast<double>(i) * 2.0;
+    const double cell = 443.0;  // ~zone side for r=250m, keeps zones distinct
+    const geo::xy pos_xy{cell * static_cast<double>(rng.uniform_int(-2, 2)),
+                         cell * static_cast<double>(rng.uniform_int(-2, 2))};
+    const char* net = rng.chance(0.5) ? "NetB" : "NetC";
+    const auto kind = static_cast<trace::probe_kind>(rng.uniform_int(0, 3));
+    const double base =
+        kind == trace::probe_kind::ping ? 0.12 : 1.5e6;
+    // Step change halfway through the stream: the second half's epochs land
+    // far from the first half's, guaranteeing >2-sigma alerts.
+    const double level = i < count / 2 ? base : base * 3.0;
+    const double value = level * (1.0 + 0.05 * rng.normal());
+    auto rec = testing::make_record(t, net, proj.to_lat_lon(pos_xy), kind,
+                                    std::abs(value));
+    rec.client_id = 1 + (i % 7);
+    // Occasional failures exercise the success-filter path too.
+    rec.success = !rng.chance(0.05);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+// Normalizes alert order the same way sharded_coordinator::alerts() does, so
+// sequential output can be compared shard-interleaving-free.
+std::vector<change_alert> normalized(std::vector<change_alert> alerts) {
+  const auto order = [](const change_alert& a) {
+    return std::make_tuple(a.epoch_start_s, a.key.zone.ix, a.key.zone.iy,
+                           a.key.network, static_cast<int>(a.key.metric),
+                           a.new_mean);
+  };
+  std::sort(alerts.begin(), alerts.end(),
+            [&](const change_alert& a, const change_alert& b) {
+              return order(a) < order(b);
+            });
+  return alerts;
+}
+
+coordinator_config small_epoch_config() {
+  coordinator_config cfg;
+  cfg.epochs.default_epoch_s = 120.0;  // many rollovers in a short stream
+  cfg.default_samples_per_epoch = 10;
+  return cfg;
+}
+
+bool same_key(const estimate_key& a, const estimate_key& b) {
+  return a == b;
+}
+
+TEST(ShardedCoordinator, MatchesSequentialForAnyShardCount) {
+  const auto stream = synthetic_stream(/*seed=*/77, /*count=*/6000);
+  const geo::zone_grid grid(test_proj(), 250.0);
+  const std::vector<std::string> nets{"NetB", "NetC"};
+  const coordinator_config ccfg = small_epoch_config();
+
+  coordinator seq(grid, nets, ccfg, /*seed=*/42);
+  for (const auto& rec : stream) seq.report(rec);
+  auto seq_keys = seq.table().keys();
+  ASSERT_FALSE(seq_keys.empty());
+  const auto seq_alerts = normalized(seq.alerts());
+  ASSERT_FALSE(seq_alerts.empty()) << "stream should raise change alerts";
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    sharded_config cfg;
+    cfg.coordinator = ccfg;
+    cfg.num_shards = shards;
+    cfg.synchronous = false;
+    cfg.queue_capacity = 256;
+    cfg.drain_batch = 32;
+    sharded_coordinator sc(grid, nets, cfg, /*seed=*/42);
+    for (const auto& rec : stream) ASSERT_TRUE(sc.report(rec));
+    sc.flush();
+    EXPECT_EQ(sc.reports_received(), stream.size());
+    EXPECT_EQ(sc.reports_ingested(), stream.size());
+    EXPECT_EQ(sc.queue_depth(), 0u);
+
+    // Identical key sets...
+    auto keys = sc.keys();
+    EXPECT_EQ(keys.size(), seq_keys.size());
+    for (const auto& key : seq_keys) {
+      EXPECT_TRUE(std::any_of(keys.begin(), keys.end(), [&](const auto& k) {
+        return same_key(k, key);
+      })) << "missing key zone=" << geo::to_string(key.zone)
+          << " net=" << key.network;
+    }
+    // ...identical published estimate histories, bit for bit...
+    for (const auto& key : seq_keys) {
+      const auto want = seq.table().history(key);
+      const auto got = sc.history(key);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].epoch_start_s, want[i].epoch_start_s);
+        EXPECT_EQ(got[i].mean, want[i].mean);
+        EXPECT_EQ(got[i].stddev, want[i].stddev);
+        EXPECT_EQ(got[i].samples, want[i].samples);
+      }
+      const auto want_latest = seq.table().latest(key);
+      const auto got_latest = sc.latest(key);
+      ASSERT_EQ(got_latest.has_value(), want_latest.has_value());
+      if (want_latest) {
+        EXPECT_EQ(got_latest->mean, want_latest->mean);
+      }
+    }
+    // ...and identical change alerts (order-normalized).
+    const auto alerts = sc.alerts();
+    ASSERT_EQ(alerts.size(), seq_alerts.size());
+    for (std::size_t i = 0; i < alerts.size(); ++i) {
+      EXPECT_TRUE(same_key(alerts[i].key, seq_alerts[i].key));
+      EXPECT_EQ(alerts[i].epoch_start_s, seq_alerts[i].epoch_start_s);
+      EXPECT_EQ(alerts[i].previous_mean, seq_alerts[i].previous_mean);
+      EXPECT_EQ(alerts[i].new_mean, seq_alerts[i].new_mean);
+      EXPECT_EQ(alerts[i].previous_stddev, seq_alerts[i].previous_stddev);
+    }
+  }
+}
+
+TEST(ShardedCoordinator, SynchronousSingleShardReproducesSequentialExactly) {
+  // num_shards = 1, synchronous = true must be the sequential coordinator:
+  // same task decisions (same rng draws), same budget accounting, same
+  // estimates.
+  const geo::zone_grid grid(test_proj(), 250.0);
+  const std::vector<std::string> nets{"NetB", "NetC"};
+  coordinator_config ccfg = small_epoch_config();
+  ccfg.client_daily_budget_mb = 2.0;
+
+  coordinator seq(grid, nets, ccfg, /*seed=*/9);
+  sharded_config cfg;
+  cfg.coordinator = ccfg;
+  cfg.num_shards = 1;
+  cfg.synchronous = true;
+  sharded_coordinator sc(grid, nets, cfg, /*seed=*/9);
+
+  stats::rng_stream rng(123);
+  const geo::projection proj = test_proj();
+  std::uint64_t tasks = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = 500.0 + i * 3.0;
+    const geo::lat_lon pos = proj.to_lat_lon(
+        {300.0 * static_cast<double>(rng.uniform_int(-1, 1)),
+         300.0 * static_cast<double>(rng.uniform_int(-1, 1))});
+    const std::size_t net = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    const std::uint64_t client = 1 + static_cast<std::uint64_t>(i % 3);
+    const auto a = seq.checkin(pos, t, net, 4, client);
+    const auto b = sc.checkin(pos, t, net, 4, client);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "checkin " << i;
+    if (a) {
+      EXPECT_EQ(a->kind, b->kind);
+      EXPECT_EQ(a->network_index, b->network_index);
+      ++tasks;
+      auto rec = testing::make_record(t, nets[net], pos, a->kind, 1e6);
+      rec.client_id = client;
+      seq.report(rec);
+      ASSERT_TRUE(sc.report(rec));
+    }
+  }
+  ASSERT_GT(tasks, 0u);
+  EXPECT_EQ(sc.tasks_issued(), tasks);
+  for (std::uint64_t client : {1ull, 2ull, 3ull}) {
+    EXPECT_EQ(sc.client_spend_mb(client, 6000.0),
+              seq.client_spend_mb(client, 6000.0));
+  }
+  for (const auto& key : seq.table().keys()) {
+    const auto want = seq.table().history(key);
+    const auto got = sc.history(key);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].mean, want[i].mean);
+      EXPECT_EQ(got[i].samples, want[i].samples);
+    }
+  }
+  EXPECT_EQ(normalized(seq.alerts()).size(), sc.alerts().size());
+}
+
+TEST(ShardedCoordinator, EpochAndTargetManagementWorkPerShard) {
+  const geo::zone_grid grid(test_proj(), 250.0);
+  const std::vector<std::string> nets{"NetB"};
+  sharded_config cfg;
+  cfg.coordinator = small_epoch_config();
+  cfg.num_shards = 4;
+  sharded_coordinator sc(grid, nets, cfg, 3);
+
+  const auto stream = synthetic_stream(5, 2000);
+  for (const auto& rec : stream) {
+    auto r = rec;
+    r.network = "NetB";
+    ASSERT_TRUE(sc.report(r));
+  }
+  sc.flush();
+  sc.recompute_epochs();  // must not deadlock or race with drain workers
+
+  const geo::zone_id zone = grid.zone_of(test_proj().to_lat_lon({0.0, 0.0}));
+  const auto status = sc.status_of(zone);
+  EXPECT_GT(status.epoch_duration_s, 0.0);
+  const std::size_t target =
+      sc.refine_sample_target(zone, "NetB", trace::metric::rtt_s);
+  EXPECT_GT(target, 0u);
+
+  std::uint64_t per_shard_total = 0;
+  for (std::size_t s = 0; s < sc.num_shards(); ++s) {
+    per_shard_total += sc.stats_of(s).reports_ingested;
+  }
+  EXPECT_EQ(per_shard_total, stream.size());
+}
+
+TEST(ShardedCoordinatorStress, EightProducersLoseNoReports) {
+  // 8 producer threads x 10k reports each through the concurrent server;
+  // the counters must account for every line (run under TSan by
+  // tools/run_tsan.sh).
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10'000;
+
+  const geo::zone_grid grid(test_proj(), 250.0);
+  const std::vector<std::string> nets{"NetB", "NetC"};
+  sharded_config cfg;
+  cfg.coordinator = small_epoch_config();
+  cfg.num_shards = 4;
+  cfg.queue_capacity = 512;  // small: exercises producer backpressure
+  cfg.drain_batch = 64;
+  sharded_coordinator sc(grid, nets, cfg, 17);
+  proto::coordinator_server server(sc);
+  ASSERT_TRUE(server.concurrent());
+
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (std::size_t p = 0; p < kThreads; ++p) {
+    producers.emplace_back([&, p] {
+      stats::rng_stream rng(1000 + p);
+      const geo::projection proj = test_proj();
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const double t = 1000.0 + static_cast<double>(i);
+        const geo::xy xy{443.0 * static_cast<double>(rng.uniform_int(-2, 2)),
+                         443.0 * static_cast<double>(rng.uniform_int(-2, 2))};
+        auto rec = testing::make_record(
+            t, p % 2 == 0 ? "NetB" : "NetC", proj.to_lat_lon(xy),
+            trace::probe_kind::ping, 0.1 + 0.01 * rng.uniform());
+        rec.client_id = 100 + p;
+        proto::measurement_report rep;
+        rep.client_id = rec.client_id;
+        rep.record = rec;
+        const std::string reply = server.handle(proto::encode(rep));
+        ASSERT_EQ(reply, "ACK");
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  sc.flush();
+
+  const std::uint64_t expected = kThreads * kPerThread;
+  EXPECT_EQ(server.reports_received(), expected);
+  EXPECT_EQ(server.errors(), 0u);
+  EXPECT_EQ(sc.reports_received(), expected);
+  EXPECT_EQ(sc.reports_ingested(), expected);
+  EXPECT_EQ(sc.queue_depth(), 0u);
+
+  // Every shard that owns zones did real, batched work.
+  std::uint64_t ingested = 0, batches = 0;
+  for (std::size_t s = 0; s < sc.num_shards(); ++s) {
+    const auto stats = sc.stats_of(s);
+    ingested += stats.reports_ingested;
+    batches += stats.drain_batches;
+    EXPECT_EQ(stats.queue_depth, 0u);
+  }
+  EXPECT_EQ(ingested, expected);
+  EXPECT_GT(batches, 0u);
+  EXPECT_LT(batches, expected);  // drains were lock-amortised over batches
+
+  sc.stop();
+  EXPECT_FALSE(sc.report(trace::measurement_record{}));
+}
+
+}  // namespace
+}  // namespace wiscape::core

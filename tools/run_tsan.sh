@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# ThreadSanitizer run for the concurrent ingestion pipeline.
+#
+# Configures a dedicated build tree with -DWISCAPE_SANITIZE=thread, builds
+# the test suite, and runs it under TSan -- the whole suite first (the
+# sequential paths must stay clean too), then the dedicated multi-producer
+# stress test on its own so its verdict is visible at the end of the log.
+# Complements the ASan bench run recorded in bench_out/asan_fig02.txt.
+#
+# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+build_dir="${1:-build-tsan}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure ($build_dir, WISCAPE_SANITIZE=thread) =="
+cmake -B "$build_dir" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DWISCAPE_SANITIZE=thread
+
+echo "== build wiscape_tests =="
+cmake --build "$build_dir" -j"$jobs" --target wiscape_tests
+
+# second_deadlock_stack aids debugging lock-order reports;
+# halt_on_error makes any race fail the script immediately.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export TSAN_OPTIONS
+
+echo "== full test suite under TSan =="
+"$build_dir"/tests/wiscape_tests
+
+echo "== concurrency stress under TSan =="
+"$build_dir"/tests/wiscape_tests \
+  --gtest_filter='ShardedCoordinatorStress.*:ReportQueue.*:ShardedCoordinator.*'
+
+echo "TSan run clean."
