@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/bench/CMakeFiles/wiscape_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/wiscape_proto.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/wiscape_core.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/wiscape_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/bwest/CMakeFiles/wiscape_bwest.dir/DependInfo.cmake"

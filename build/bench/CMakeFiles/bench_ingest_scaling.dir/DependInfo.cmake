@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ingest_scaling.cpp" "bench/CMakeFiles/bench_ingest_scaling.dir/bench_ingest_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_ingest_scaling.dir/bench_ingest_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wiscape_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/wiscape_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wiscape_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/wiscape_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwest/CMakeFiles/wiscape_bwest.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/wiscape_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/wiscape_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wiscape_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/wiscape_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wiscape_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wiscape_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wiscape_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wiscape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiscape_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -18,7 +18,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/normalize.cpp" "src/core/CMakeFiles/wiscape_core.dir/normalize.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/normalize.cpp.o.d"
   "/root/repo/src/core/overhead.cpp" "src/core/CMakeFiles/wiscape_core.dir/overhead.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/overhead.cpp.o.d"
   "/root/repo/src/core/persist.cpp" "src/core/CMakeFiles/wiscape_core.dir/persist.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/persist.cpp.o.d"
+  "/root/repo/src/core/report_queue.cpp" "src/core/CMakeFiles/wiscape_core.dir/report_queue.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/report_queue.cpp.o.d"
   "/root/repo/src/core/sample_planner.cpp" "src/core/CMakeFiles/wiscape_core.dir/sample_planner.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/sample_planner.cpp.o.d"
+  "/root/repo/src/core/sharded_coordinator.cpp" "src/core/CMakeFiles/wiscape_core.dir/sharded_coordinator.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/sharded_coordinator.cpp.o.d"
   "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/wiscape_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/validation.cpp.o.d"
   "/root/repo/src/core/zone_table.cpp" "src/core/CMakeFiles/wiscape_core.dir/zone_table.cpp.o" "gcc" "src/core/CMakeFiles/wiscape_core.dir/zone_table.cpp.o.d"
   )

@@ -19,8 +19,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/wiscape_core.dir/overhead.cpp.o.d"
   "CMakeFiles/wiscape_core.dir/persist.cpp.o"
   "CMakeFiles/wiscape_core.dir/persist.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/report_queue.cpp.o"
+  "CMakeFiles/wiscape_core.dir/report_queue.cpp.o.d"
   "CMakeFiles/wiscape_core.dir/sample_planner.cpp.o"
   "CMakeFiles/wiscape_core.dir/sample_planner.cpp.o.d"
+  "CMakeFiles/wiscape_core.dir/sharded_coordinator.cpp.o"
+  "CMakeFiles/wiscape_core.dir/sharded_coordinator.cpp.o.d"
   "CMakeFiles/wiscape_core.dir/validation.cpp.o"
   "CMakeFiles/wiscape_core.dir/validation.cpp.o.d"
   "CMakeFiles/wiscape_core.dir/zone_table.cpp.o"

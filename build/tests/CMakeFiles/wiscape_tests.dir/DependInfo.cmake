@@ -27,7 +27,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/property_test.cpp.o.d"
   "/root/repo/tests/proto_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/proto_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/proto_test.cpp.o.d"
   "/root/repo/tests/radio_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/radio_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/radio_test.cpp.o.d"
+  "/root/repo/tests/report_queue_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/report_queue_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/report_queue_test.cpp.o.d"
   "/root/repo/tests/rssi_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/rssi_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/rssi_test.cpp.o.d"
+  "/root/repo/tests/sharded_coordinator_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/sharded_coordinator_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/sharded_coordinator_test.cpp.o.d"
   "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/stats_test.cpp.o.d"
   "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/trace_test.cpp.o.d"
   "/root/repo/tests/transport_test.cpp" "tests/CMakeFiles/wiscape_tests.dir/transport_test.cpp.o" "gcc" "tests/CMakeFiles/wiscape_tests.dir/transport_test.cpp.o.d"

@@ -327,7 +327,20 @@ tests/CMakeFiles/wiscape_tests.dir/proto_test.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/zone_table.h /root/repo/src/geo/zone_grid.h \
- /root/repo/src/geo/projection.h /root/repo/src/probe/engine.h \
+ /root/repo/src/geo/projection.h \
+ /root/repo/src/core/sharded_coordinator.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/core/report_queue.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /root/repo/src/probe/engine.h \
  /root/repo/src/cellnet/deployment.h \
  /root/repo/src/cellnet/cellular_network.h \
  /root/repo/src/cellnet/operator_config.h \
