@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/names.h"
+#include "obs/registry.h"
+
 namespace wiscape::core {
+
+namespace {
+// Process-wide coordinator metrics (aggregated over all instances -- every
+// shard of a sharded_coordinator contributes to the same counters).
+struct coord_metrics {
+  obs::counter& checkins;
+  obs::counter& tasks_issued;
+  obs::counter& budget_exhausted;
+  obs::counter& reports_accepted;
+  obs::counter& reports_rejected;
+  obs::counter& alerts_raised;
+};
+
+coord_metrics& metrics() {
+  auto& reg = obs::registry::global();
+  static coord_metrics m{reg.get_counter(obs::names::kCoordCheckins),
+                         reg.get_counter(obs::names::kCoordTasksIssued),
+                         reg.get_counter(obs::names::kCoordBudgetExhausted),
+                         reg.get_counter(obs::names::kCoordReportsAccepted),
+                         reg.get_counter(obs::names::kCoordReportsRejected),
+                         reg.get_counter(obs::names::kCoordAlertsRaised)};
+  return m;
+}
+}  // namespace
 
 coordinator::coordinator(geo::zone_grid grid, std::vector<std::string> networks,
                          coordinator_config cfg, std::uint64_t seed)
@@ -44,6 +71,7 @@ trace::metric coordinator::planning_metric(trace::probe_kind k) noexcept {
 std::optional<measurement_task> coordinator::checkin(
     const geo::lat_lon& pos, double time_s, std::size_t network_index,
     std::size_t active_clients_in_zone, std::uint64_t client_id) {
+  metrics().checkins.inc();
   const geo::zone_id z = grid_.zone_of(pos);
   zone_state& st = state_of(z);
   if (network_index >= networks_.size()) return std::nullopt;
@@ -81,6 +109,7 @@ std::optional<measurement_task> coordinator::checkin(
       budget->spent_mb = 0.0;
     }
     if (budget->spent_mb + task_mb > cfg_.client_daily_budget_mb) {
+      metrics().budget_exhausted.inc();
       return std::nullopt;
     }
   }
@@ -96,6 +125,7 @@ std::optional<measurement_task> coordinator::checkin(
 
   ++task_counter_;
   if (budget != nullptr) budget->spent_mb += task_mb;
+  metrics().tasks_issued.inc();
   return measurement_task{kind, network_index};
 }
 
@@ -110,6 +140,13 @@ double coordinator::client_spend_mb(std::uint64_t client_id,
 void coordinator::report(const trace::measurement_record& rec) {
   const geo::zone_id z = grid_.zone_of(rec.pos);
   zone_state& st = state_of(z);
+
+  if (rec.success) {
+    metrics().reports_accepted.inc();
+  } else {
+    metrics().reports_rejected.inc();
+  }
+  const std::size_t alerts_before = table_.alerts().size();
 
   // Fold every metric the record carries into the table.
   static constexpr trace::metric all_metrics[] = {
@@ -135,6 +172,11 @@ void coordinator::report(const trace::measurement_record& rec) {
           samples.end()));
       series = std::move(trimmed);
     }
+  }
+
+  const std::size_t alerts_after = table_.alerts().size();
+  if (alerts_after > alerts_before) {
+    metrics().alerts_raised.inc(alerts_after - alerts_before);
   }
 }
 

@@ -6,6 +6,18 @@
 // measurements flow into the zone_table, whose epoch rollovers publish
 // estimates and raise >2-sigma change alerts. Epoch durations are
 // re-estimated per zone from accumulated history via the Allan minimum.
+//
+// Thread safety: NOT thread-safe, by design -- a coordinator is a
+// deterministic sequential state machine (same seed + same call sequence =>
+// bit-for-bit the same estimates, tasks and alerts). Callers serialise
+// access; `sharded_coordinator` is the concurrent wrapper that does so at
+// scale, one coordinator per shard behind the shard's mutex.
+//
+// Observability: checkin() and report() count into the process-wide
+// `core.coordinator.*` metrics (src/obs/names.h; reference table in
+// DESIGN.md §5) -- check-ins, tasks issued, budget denials, reports
+// accepted/rejected, and change alerts raised. One relaxed atomic
+// fetch-add per event; observation only, never behaviour.
 #pragma once
 
 #include <cstdint>

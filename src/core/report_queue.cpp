@@ -1,21 +1,72 @@
 #include "core/report_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/names.h"
+#include "obs/registry.h"
+
 namespace wiscape::core {
+
+namespace {
+// Process-wide queue metrics, shared by every report_queue instance (the
+// registry aggregates; per-shard detail lives in sharded_coordinator's
+// per-shard counters). Looked up once. The enqueue-side totals are staged
+// as plain fields under the queue mutex and published here in batches --
+// see publish_metrics_locked() -- so a push performs no atomic RMW beyond
+// the lock it already takes.
+struct queue_metrics {
+  obs::counter& enqueued;
+  obs::counter& dequeued;
+  obs::counter& rejected;
+  obs::counter& blocked;
+  obs::gauge& high_water;
+};
+
+queue_metrics& metrics() {
+  auto& reg = obs::registry::global();
+  static queue_metrics m{reg.get_counter(obs::names::kQueueEnqueued),
+                         reg.get_counter(obs::names::kQueueDequeued),
+                         reg.get_counter(obs::names::kQueueRejected),
+                         reg.get_counter(obs::names::kQueueBlockedProducers),
+                         reg.get_gauge(obs::names::kQueueHighWater)};
+  return m;
+}
+}  // namespace
 
 report_queue::report_queue(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("report_queue capacity must be > 0");
   }
+  (void)metrics();  // force registration before any concurrent use
+}
+
+void report_queue::publish_metrics_locked() {
+  if (enq_count_ > enq_published_) {
+    metrics().enqueued.inc(enq_count_ - enq_published_);
+    enq_published_ = enq_count_;
+    metrics().high_water.record_max(high_water_);
+  }
 }
 
 bool report_queue::push(trace::measurement_record rec) {
   std::unique_lock lock(mu_);
-  not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
-  if (closed_) return false;
+  if (items_.size() >= capacity_ && !closed_) {
+    metrics().blocked.inc();  // backpressure: producer is about to wait
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+  }
+  if (closed_) {
+    lock.unlock();
+    metrics().rejected.inc();
+    return false;
+  }
   items_.push_back(std::move(rec));
+  // Hot path: stage the metric updates as plain writes under the lock we
+  // already hold; pop_batch/close publish them to the registry in batches.
+  ++enq_count_;
+  high_water_ = std::max(high_water_, static_cast<std::int64_t>(items_.size()));
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -23,8 +74,14 @@ bool report_queue::push(trace::measurement_record rec) {
 
 bool report_queue::try_push(trace::measurement_record rec) {
   std::unique_lock lock(mu_);
-  if (closed_ || items_.size() >= capacity_) return false;
+  if (closed_ || items_.size() >= capacity_) {
+    lock.unlock();
+    metrics().rejected.inc();
+    return false;
+  }
   items_.push_back(std::move(rec));
+  ++enq_count_;
+  high_water_ = std::max(high_water_, static_cast<std::int64_t>(items_.size()));
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -40,9 +97,13 @@ std::size_t report_queue::pop_batch(std::vector<trace::measurement_record>& out,
     items_.pop_front();
     ++n;
   }
+  publish_metrics_locked();
   const bool emptied = items_.empty();
   lock.unlock();
-  if (n > 0) not_full_.notify_all();
+  if (n > 0) {
+    not_full_.notify_all();
+    metrics().dequeued.inc(n);
+  }
   if (emptied) emptied_.notify_all();
   return n;
 }
@@ -51,6 +112,7 @@ void report_queue::close() {
   {
     std::lock_guard lock(mu_);
     closed_ = true;
+    publish_metrics_locked();
   }
   not_full_.notify_all();
   not_empty_.notify_all();

@@ -13,10 +13,19 @@
 // completed pushes; per-producer order is a corollary). With a single
 // consumer per queue this preserves the per-zone sample order the
 // zone_table's epoch rollover logic depends on.
+//
+// Observability: every queue contributes to the process-wide
+// `core.report_queue.*` metrics (see src/obs/names.h and DESIGN.md). The
+// per-push bookkeeping is plain arithmetic under the queue mutex the push
+// already holds; totals are published to the obs registry in batches -- at
+// every pop_batch() and at close() -- so the hot path adds no atomic RMW.
+// Snapshots taken mid-run may therefore lag by up to one drain batch; they
+// are exact whenever the queue is quiescent (drained or closed).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -59,6 +68,10 @@ class report_queue {
   std::size_t size() const;
 
  private:
+  /// Pushes any un-published enqueue/high-water totals into the obs
+  /// registry. Must be called with mu_ held; cheap when nothing is pending.
+  void publish_metrics_locked();
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   mutable std::condition_variable not_full_;
@@ -66,6 +79,11 @@ class report_queue {
   mutable std::condition_variable emptied_;
   std::deque<trace::measurement_record> items_;
   bool closed_ = false;
+  // Metric staging, guarded by mu_: counted per push with plain arithmetic,
+  // flushed to the (atomic) obs registry counters at batch boundaries.
+  std::uint64_t enq_count_ = 0;      ///< successful pushes, lifetime total
+  std::uint64_t enq_published_ = 0;  ///< portion already in the registry
+  std::int64_t high_water_ = 0;      ///< deepest items_.size() seen
 };
 
 }  // namespace wiscape::core

@@ -5,16 +5,51 @@
 #include <condition_variable>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <tuple>
 
+#include "obs/names.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+
 namespace wiscape::core {
+
+namespace {
+// Pipeline-level metrics, aggregated over every sharded_coordinator in the
+// process; per-shard detail is registered per shard index below.
+struct sharded_metrics {
+  obs::counter& routed;
+  obs::counter& dropped;
+  obs::counter& drain_batches;
+  obs::histogram& drain_latency;
+};
+
+sharded_metrics& metrics() {
+  auto& reg = obs::registry::global();
+  static sharded_metrics m{
+      reg.get_counter(obs::names::kShardedRoutedTotal),
+      reg.get_counter(obs::names::kShardedDropped),
+      reg.get_counter(obs::names::kShardedDrainBatches),
+      reg.get_histogram(obs::names::kShardedDrainLatency)};
+  return m;
+}
+
+std::string shard_metric(std::size_t index, const char* suffix) {
+  return std::string(obs::names::kShardPrefix) + std::to_string(index) + "." +
+         suffix;
+}
+}  // namespace
 
 struct sharded_coordinator::shard {
   shard(geo::zone_grid grid, std::vector<std::string> networks,
         const coordinator_config& cfg, std::uint64_t seed,
-        std::size_t queue_capacity)
+        std::size_t queue_capacity, std::size_t index)
       : coord(std::move(grid), std::move(networks), cfg, seed),
-        queue(queue_capacity) {}
+        queue(queue_capacity),
+        routed_metric(obs::registry::global().get_counter(
+            shard_metric(index, obs::names::kShardRoutedSuffix))),
+        drained_metric(obs::registry::global().get_counter(
+            shard_metric(index, obs::names::kShardDrainedSuffix))) {}
 
   mutable std::mutex mu;  // guards coord and the drain stats below
   coordinator coord;
@@ -25,6 +60,25 @@ struct sharded_coordinator::shard {
   std::uint64_t tasks = 0;
   std::uint64_t drain_batches = 0;
   double drain_latency_s = 0.0;
+  obs::counter& routed_metric;   // core.sharded.shard<i>.routed
+  obs::counter& drained_metric;  // core.sharded.shard<i>.drained
+  // Portion of `enqueued` already published to the routed counters (guarded
+  // by mu). Routing is the per-report hot path, so the registry counters are
+  // fed deltas of the pre-existing `enqueued` atomic at drain and flush
+  // boundaries instead of one fetch-add per report.
+  std::uint64_t routed_published = 0;
+
+  /// Publishes any un-counted routed reports (enqueued - routed_published)
+  /// into the process-wide and per-shard routed counters. Call with mu held.
+  void publish_routed_locked(obs::counter& routed_total) {
+    const std::uint64_t enq = enqueued.load(std::memory_order_relaxed);
+    if (enq > routed_published) {
+      const std::uint64_t delta = enq - routed_published;
+      routed_published = enq;
+      routed_total.inc(delta);
+      routed_metric.inc(delta);
+    }
+  }
 };
 
 sharded_coordinator::sharded_coordinator(geo::zone_grid grid,
@@ -40,7 +94,7 @@ sharded_coordinator::sharded_coordinator(geo::zone_grid grid,
   for (std::size_t i = 0; i < cfg.num_shards; ++i) {
     const std::uint64_t shard_seed = i == 0 ? seed : seeder.fork(i).seed();
     shards_.push_back(std::make_unique<shard>(
-        grid, networks, cfg.coordinator, shard_seed, cfg.queue_capacity));
+        grid, networks, cfg.coordinator, shard_seed, cfg.queue_capacity, i));
   }
   if (!cfg_.synchronous) {
     workers_.reserve(shards_.size());
@@ -84,17 +138,30 @@ std::optional<measurement_task> sharded_coordinator::checkin(
 }
 
 bool sharded_coordinator::report(const trace::measurement_record& rec) {
-  if (stopped_.load(std::memory_order_relaxed)) return false;
+  if (stopped_.load(std::memory_order_relaxed)) {
+    metrics().dropped.inc();
+    return false;
+  }
   shard& sh = owner_of(grid_.zone_of(rec.pos));
   if (cfg_.synchronous) {
-    std::lock_guard lock(sh.mu);
-    sh.coord.report(rec);
-    sh.enqueued.fetch_add(1, std::memory_order_relaxed);
-    sh.applied.fetch_add(1, std::memory_order_relaxed);
-    reports_received_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(sh.mu);
+      sh.coord.report(rec);
+      sh.enqueued.fetch_add(1, std::memory_order_relaxed);
+      sh.applied.fetch_add(1, std::memory_order_relaxed);
+      reports_received_.fetch_add(1, std::memory_order_relaxed);
+      sh.publish_routed_locked(metrics().routed);
+    }
+    sh.drained_metric.inc();
     return true;
   }
-  if (!sh.queue.push(rec)) return false;
+  if (!sh.queue.push(rec)) {
+    metrics().dropped.inc();
+    return false;
+  }
+  // Hot path: no registry fetch-adds here. The routed counters are fed from
+  // `enqueued` deltas at drain/flush boundaries (publish_routed_locked), so
+  // snapshots may lag mid-run but are exact once the pipeline is flushed.
   sh.enqueued.fetch_add(1, std::memory_order_relaxed);
   reports_received_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -115,12 +182,22 @@ void sharded_coordinator::apply_batch(
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::lock_guard lock(sh.mu);
-    for (const auto& rec : batch) sh.coord.report(rec);
-    sh.applied.fetch_add(batch.size(), std::memory_order_relaxed);
+    {
+      // The span times the batched table updates -- the per-batch critical
+      // section a drain worker holds the shard lock for.
+      obs::span drain_span(metrics().drain_latency);
+      for (const auto& rec : batch) sh.coord.report(rec);
+    }
     ++sh.drain_batches;
     sh.drain_latency_s +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    metrics().drain_batches.inc();
+    sh.drained_metric.inc(batch.size());
+    sh.publish_routed_locked(metrics().routed);
+    // Last write under the lock: flush() waits on `applied` under sh.mu, so
+    // every metric update above is visible once a flusher sees this store.
+    sh.applied.fetch_add(batch.size(), std::memory_order_relaxed);
   }
   sh.drained_cv.notify_all();
 }
@@ -134,6 +211,10 @@ void sharded_coordinator::flush() {
     sh.drained_cv.wait(lock, [&] {
       return sh.applied.load(std::memory_order_relaxed) >= target;
     });
+    // The routed counters are published in enqueued-deltas at drain
+    // boundaries; settle any remainder so a post-flush STATS/snapshot
+    // accounts for 100% of the reports this pipeline accepted.
+    sh.publish_routed_locked(metrics().routed);
   }
 }
 

@@ -24,6 +24,19 @@
 // of the zone the client checks in from; a client roaming across shards is
 // capped per shard, not globally (centralised budgets would serialise the
 // check-in path -- an accepted trade documented in DESIGN.md).
+//
+// Thread safety: every public member is safe to call from any thread;
+// checkin()/report() are the concurrent hot paths, the read-side
+// aggregators take each shard's lock in turn (flush() first for a
+// consistent view).
+//
+// Observability: the pipeline feeds the `core.sharded.*` metrics plus the
+// per-shard `core.sharded.shard<i>.{routed,drained}` family (src/obs/
+// names.h; reference table in DESIGN.md §5). To keep report() free of
+// registry work, the routed counters are published as deltas of the
+// internal enqueue counter at drain and flush boundaries -- mid-run
+// snapshots can lag by up to one drain batch, but after flush() they
+// account for every report the pipeline accepted.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,83 @@
+// Canonical metric names for the observability layer (`obs::`).
+//
+// Every metric the system registers is named here, in one place, so that
+// (a) call sites cannot drift apart on spelling, and (b) tools/check_docs.sh
+// can mechanically verify that DESIGN.md's "Observability" reference table
+// documents every name. Naming convention: `<layer>.<component>.<what>`,
+// lower_snake_case, with the unit as a suffix where one applies (`_s` for
+// seconds). Per-shard counters are the one dynamic family: they are built
+// from `kShardPrefix` as `core.sharded.shard<i>.<what>` and documented as a
+// pattern rather than enumerated.
+#pragma once
+
+namespace wiscape::obs::names {
+
+// ---- core::report_queue ---------------------------------------------------
+/// Records successfully enqueued (push / try_push returned true). [reports]
+inline constexpr char kQueueEnqueued[] = "core.report_queue.enqueued";
+/// Records handed to consumers by pop_batch. [reports]
+inline constexpr char kQueueDequeued[] = "core.report_queue.dequeued";
+/// Pushes refused because the queue was closed (or try_push found it
+/// full). [reports]
+inline constexpr char kQueueRejected[] = "core.report_queue.rejected";
+/// push() calls that had to block on a full queue (backpressure events).
+inline constexpr char kQueueBlockedProducers[] =
+    "core.report_queue.producer_blocked";
+/// Highest queue depth ever observed at enqueue time. [reports]
+inline constexpr char kQueueHighWater[] = "core.report_queue.depth_high_water";
+
+// ---- core::coordinator ----------------------------------------------------
+/// Client check-ins processed (any outcome).
+inline constexpr char kCoordCheckins[] = "core.coordinator.checkins";
+/// Measurement tasks handed out to clients.
+inline constexpr char kCoordTasksIssued[] = "core.coordinator.tasks_issued";
+/// Check-ins denied because the client's daily byte budget was exhausted.
+inline constexpr char kCoordBudgetExhausted[] =
+    "core.coordinator.budget_exhausted";
+/// Successful measurement reports folded into the zone table. [reports]
+inline constexpr char kCoordReportsAccepted[] =
+    "core.coordinator.reports_accepted";
+/// Reports carrying a failed probe (success=false): counted, not folded.
+inline constexpr char kCoordReportsRejected[] =
+    "core.coordinator.reports_rejected";
+/// >2-sigma change alerts raised by the zone table's epoch rollovers.
+inline constexpr char kCoordAlertsRaised[] = "core.coordinator.alerts_raised";
+
+// ---- core::sharded_coordinator --------------------------------------------
+/// Reports accepted into the sharded pipeline (enqueued or applied inline).
+inline constexpr char kShardedRoutedTotal[] = "core.sharded.reports_routed";
+/// Reports dropped because the pipeline was stopped.
+inline constexpr char kShardedDropped[] = "core.sharded.reports_dropped";
+/// Lock-amortised drain rounds executed by shard workers.
+inline constexpr char kShardedDrainBatches[] = "core.sharded.drain_batches";
+/// Wall time of one drain batch (lock + apply). [seconds]
+inline constexpr char kShardedDrainLatency[] = "core.sharded.drain_latency_s";
+/// Per-shard dynamic family: "core.sharded.shard<i>." + {routed, drained}.
+inline constexpr char kShardPrefix[] = "core.sharded.shard";
+/// Suffix under kShardPrefix: reports routed to shard i. [reports]
+inline constexpr char kShardRoutedSuffix[] = "routed";
+/// Suffix under kShardPrefix: reports applied by shard i's worker. [reports]
+inline constexpr char kShardDrainedSuffix[] = "drained";
+
+// ---- proto::coordinator_server --------------------------------------------
+/// Request lines handled (any outcome, STATS included).
+inline constexpr char kServerLines[] = "proto.server.lines";
+/// CHECKIN lines answered with TASK or IDLE.
+inline constexpr char kServerCheckins[] = "proto.server.checkins";
+/// REPORT lines answered with ACK.
+inline constexpr char kServerReports[] = "proto.server.reports";
+/// STATS lines answered with a metrics dump.
+inline constexpr char kServerStats[] = "proto.server.stats_requests";
+/// ERR replies: request line failed to decode.
+inline constexpr char kServerErrParse[] = "proto.server.err_parse";
+/// ERR replies: syntactically valid line of an unsupported type.
+inline constexpr char kServerErrUnsupported[] = "proto.server.err_unsupported";
+/// ERR replies: REPORT refused because the ingestion pipeline was stopped.
+inline constexpr char kServerErrStopped[] = "proto.server.err_stopped";
+/// Wall time to answer one CHECKIN (decode + shard lock + encode). [seconds]
+inline constexpr char kServerCheckinLatency[] =
+    "proto.server.checkin_latency_s";
+/// Wall time to answer one REPORT (decode + enqueue/apply). [seconds]
+inline constexpr char kServerReportLatency[] = "proto.server.report_latency_s";
+
+}  // namespace wiscape::obs::names

@@ -1,0 +1,133 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wiscape::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+
+std::string edge_label(std::size_t i) {
+  if (i >= histogram::edges.size()) return "le_inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "le_%g", histogram::edges[i]);
+  return buf;
+}
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void histogram::record(double seconds) noexcept {
+  if (!enabled()) return;
+  if (seconds < 0.0) seconds = 0.0;
+  std::size_t i = 0;
+  while (i < edges.size() && seconds > edges[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                    std::memory_order_relaxed);
+}
+
+registry::entry& registry::find_or_create(std::string_view name, kind k) {
+  std::lock_guard lock(mu_);
+  for (auto& e : entries_) {
+    if (e.name == name) {
+      if (e.k != k) {
+        throw std::invalid_argument("obs metric '" + std::string(name) +
+                                    "' already registered as another kind");
+      }
+      return e;
+    }
+  }
+  std::size_t index = 0;
+  switch (k) {
+    case kind::counter:
+      index = counters_.size();
+      counters_.emplace_back();
+      break;
+    case kind::gauge:
+      index = gauges_.size();
+      gauges_.emplace_back();
+      break;
+    case kind::histogram:
+      index = histograms_.size();
+      histograms_.emplace_back();
+      break;
+  }
+  entries_.push_back(entry{std::string(name), k, index});
+  return entries_.back();
+}
+
+counter& registry::get_counter(std::string_view name) {
+  return counters_[find_or_create(name, kind::counter).index];
+}
+
+gauge& registry::get_gauge(std::string_view name) {
+  return gauges_[find_or_create(name, kind::gauge).index];
+}
+
+histogram& registry::get_histogram(std::string_view name) {
+  return histograms_[find_or_create(name, kind::histogram).index];
+}
+
+std::vector<metric_sample> registry::snapshot() const {
+  std::vector<metric_sample> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& e : entries_) {
+      switch (e.k) {
+        case kind::counter:
+          out.push_back({e.name,
+                         static_cast<double>(counters_[e.index].value()),
+                         true});
+          break;
+        case kind::gauge:
+          out.push_back(
+              {e.name, static_cast<double>(gauges_[e.index].value()), true});
+          break;
+        case kind::histogram: {
+          const histogram& h = histograms_[e.index];
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < histogram::num_buckets; ++i) {
+            cumulative += h.bucket(i);
+            out.push_back({e.name + "." + edge_label(i),
+                           static_cast<double>(cumulative), true});
+          }
+          out.push_back(
+              {e.name + ".count", static_cast<double>(h.count()), true});
+          out.push_back({e.name + ".sum_s", h.sum_s(), false});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const metric_sample& a, const metric_sample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+registry& registry::global() {
+  static registry g;
+  return g;
+}
+
+std::string format_value(const metric_sample& s) {
+  char buf[64];
+  if (s.integral && std::abs(s.value) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(std::llround(s.value)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", s.value);
+  }
+  return buf;
+}
+
+}  // namespace wiscape::obs

@@ -1,0 +1,167 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket latency
+// histograms with lock-free hot paths.
+//
+// Design (DESIGN.md § Observability):
+//  * Instruments are owned by a `registry` and live for its lifetime at a
+//    stable address (node-based storage), so components look an instrument
+//    up ONCE (mutex-protected, cold) and afterwards increment through a
+//    plain reference -- the hot path is a single relaxed atomic fetch-add,
+//    no locks, no lookups.
+//  * `registry::global()` is the process-wide instance every instrumented
+//    component uses; tests build private `registry` objects for isolated,
+//    deterministic snapshots.
+//  * `set_enabled(false)` turns every increment into a relaxed load + a
+//    predicted-not-taken branch, giving benches an "uninstrumented" baseline
+//    to price the telemetry against (bench_ingest_scaling records both).
+//  * `snapshot()` returns name-sorted (name, value) samples; histograms
+//    expand Prometheus-style into cumulative `le_*` buckets plus `count`
+//    and `sum_s`. Snapshots are wait-free for writers: readers may see a
+//    mid-update histogram (count vs sum off by an in-flight record), which
+//    is acceptable for telemetry and exact once writers are quiescent.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wiscape::obs {
+
+/// Global instrumentation switch (default on). Relaxed-atomic; flipping it
+/// mid-run affects subsequent increments only. Thread-safe.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonic event counter. inc() is one relaxed fetch-add; thread-safe.
+class counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, high-water mark). All ops relaxed;
+/// thread-safe. record_max() keeps the largest value ever seen (CAS loop).
+class gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void record_max(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram. Buckets are decades from 1 us to 10 s
+/// plus an overflow bucket; record() is two relaxed fetch-adds plus a
+/// branch-free-ish edge scan over 8 doubles. Thread-safe. Values are
+/// seconds; the running sum is kept in integer nanoseconds so concurrent
+/// adds stay exact (no floating-point atomics).
+class histogram {
+ public:
+  /// Upper bucket edges in seconds; values above the last edge land in the
+  /// +inf overflow bucket.
+  static constexpr std::array<double, 8> edges = {1e-6, 1e-5, 1e-4, 1e-3,
+                                                  1e-2, 1e-1, 1.0,  10.0};
+  static constexpr std::size_t num_buckets = edges.size() + 1;
+
+  /// Records one observation of `seconds` (negative values clamp to 0).
+  void record(double seconds) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Sum of recorded values in seconds (nanosecond resolution).
+  double sum_s() const noexcept {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  /// Non-cumulative count of bucket `i` (i == num_buckets-1 is overflow).
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, num_buckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// One (name, value) pair of a registry snapshot. `integral` marks counter /
+/// gauge / bucket-count samples so formatters can print them without a
+/// decimal point.
+struct metric_sample {
+  std::string name;
+  double value = 0.0;
+  bool integral = true;
+};
+
+/// Named-instrument registry. Lookup/creation takes a mutex (cold path, do
+/// it once at component construction); returned references stay valid for
+/// the registry's lifetime. All methods are thread-safe.
+class registry {
+ public:
+  registry() = default;
+  registry(const registry&) = delete;
+  registry& operator=(const registry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. A name identifies one kind of instrument: re-requesting it as a
+  /// different kind throws std::invalid_argument.
+  counter& get_counter(std::string_view name);
+  gauge& get_gauge(std::string_view name);
+  histogram& get_histogram(std::string_view name);
+
+  /// All instruments flattened to (name, value) samples, sorted by name.
+  /// Histograms expand to `<name>.le_<edge>` cumulative bucket counts (edge
+  /// formatted as in histogram::edges, plus `le_inf`), `<name>.count` and
+  /// `<name>.sum_s`.
+  std::vector<metric_sample> snapshot() const;
+
+  /// The process-wide registry used by all instrumented components.
+  static registry& global();
+
+ private:
+  enum class kind { counter, gauge, histogram };
+  struct entry {
+    std::string name;
+    kind k;
+    std::size_t index;  // into the per-kind deque
+  };
+
+  entry& find_or_create(std::string_view name, kind k);
+
+  mutable std::mutex mu_;  // guards the maps below, never held by increments
+  std::deque<entry> entries_;
+  std::deque<counter> counters_;
+  std::deque<gauge> gauges_;
+  std::deque<histogram> histograms_;
+};
+
+/// Formats one sample value the way STATS and the snapshot writer print it:
+/// integral samples without a decimal point, others with %.9g.
+std::string format_value(const metric_sample& s);
+
+}  // namespace wiscape::obs

@@ -1,0 +1,58 @@
+// RAII tracing spans: time a critical section into a latency histogram.
+//
+// A `span` stamps steady_clock at construction and records the elapsed
+// seconds into its histogram at destruction, so instrumenting a scope is
+// one line and early returns / exceptions are covered for free:
+//
+//   void coordinator_server::handle(...) {
+//     obs::span timed(metrics().report_latency);
+//     ... // every exit path records
+//   }
+//
+// Cost model: two steady_clock reads plus the histogram's two relaxed
+// fetch-adds per scope -- cheap enough for per-request use, not for
+// per-sample inner loops. When obs::set_enabled(false), construction skips
+// the clock read entirely and destruction is a null check. Spans are
+// thread-compatible (confine one span to one thread; the histogram it
+// records into is thread-safe). Under the sharded drain workers each worker
+// opens its own span per batch, so concurrent batches time independently
+// and the shared histogram merges them without locks.
+#pragma once
+
+#include <chrono>
+
+#include "obs/registry.h"
+
+namespace wiscape::obs {
+
+/// Times its own lifetime into a histogram (seconds). Move/copy are
+/// disabled: a span is bound to one scope on one thread.
+class span {
+ public:
+  explicit span(histogram& h) noexcept : h_(enabled() ? &h : nullptr) {
+    if (h_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+  ~span() {
+    if (h_ != nullptr) {
+      h_->record(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count());
+    }
+  }
+
+  /// Seconds elapsed since construction (0 when spans are disabled).
+  double elapsed_s() const noexcept {
+    if (h_ == nullptr) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  histogram* h_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace wiscape::obs

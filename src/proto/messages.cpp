@@ -101,7 +101,8 @@ std::string encode_error(const std::string& reason) {
 std::string message_type(const std::string& line) {
   const auto sp = line.find(' ');
   const std::string tag = sp == std::string::npos ? line : line.substr(0, sp);
-  for (const char* known : {"CHECKIN", "TASK", "REPORT", "IDLE", "ACK", "ERR"}) {
+  for (const char* known :
+       {"CHECKIN", "TASK", "REPORT", "IDLE", "ACK", "ERR", "STATS"}) {
     if (tag == known) return tag;
   }
   return "";

@@ -7,6 +7,12 @@
 // chosen for the same reasons as the CSV trace format: transport-agnostic,
 // greppable, and trivially replaceable by real field software. Encoding
 // never fails; decoding throws std::invalid_argument with a reason.
+//
+// Request types: CHECKIN (task request), REPORT (completed measurement),
+// STATS (operational metrics dump). Reply types: TASK, IDLE, ACK, ERR, and
+// the STATS reply (`STATS <n>` followed by n `name value` lines -- the one
+// multi-line message; see coordinator_server::handle). All functions here
+// are stateless and thread-safe.
 #pragma once
 
 #include <cstdint>
@@ -20,12 +26,12 @@ namespace wiscape::proto {
 
 /// Client -> coordinator: periodic zone report / task request.
 struct checkin_request {
-  std::uint64_t client_id = 0;
-  geo::lat_lon pos;
-  double time_s = 0.0;
-  std::uint32_t network_index = 0;
+  std::uint64_t client_id = 0;       ///< 0 = anonymous (never budget-capped)
+  geo::lat_lon pos;                  ///< client position (degrees)
+  double time_s = 0.0;               ///< client clock, seconds since epoch 0
+  std::uint32_t network_index = 0;   ///< operator the client can probe
   std::uint32_t active_in_zone = 1;  ///< peers the client estimates nearby
-  std::string device = "laptop";
+  std::string device = "laptop";     ///< device category (probe profiles)
 };
 
 /// Coordinator -> client: a measurement instruction (absent = stay idle).
@@ -40,14 +46,19 @@ struct task_assignment {
 
 /// Client -> coordinator: a completed measurement.
 struct measurement_report {
-  std::uint64_t client_id = 0;
-  trace::measurement_record record;
+  std::uint64_t client_id = 0;      ///< reporting device (0 = anonymous)
+  trace::measurement_record record; ///< the full Table 1 record (CSV payload)
 };
 
 // ---- codec ----------------------------------------------------------------
+// encode() never fails; decode_*() throws std::invalid_argument naming the
+// offending field. All codec functions are pure and thread-safe.
 
+/// Encodes a check-in as one "CHECKIN k=v ..." line.
 std::string encode(const checkin_request& m);
+/// Encodes a task as one "TASK k=v ..." line.
 std::string encode(const task_assignment& m);
+/// Encodes a report as one "REPORT client=<id> csv=<record>" line.
 std::string encode(const measurement_report& m);
 
 /// The coordinator's answer to a check-in when no task is issued.
@@ -57,11 +68,17 @@ std::string encode_idle();
 std::string encode_error(const std::string& reason);
 
 /// The message type tag at the start of a line ("CHECKIN", "TASK", "REPORT",
-/// "IDLE", "ACK", "ERR"); empty for a malformed line.
+/// "IDLE", "ACK", "ERR", "STATS"); empty for a malformed line.
 std::string message_type(const std::string& line);
 
+/// Parses a CHECKIN line. Throws std::invalid_argument on any missing or
+/// malformed field.
 checkin_request decode_checkin(const std::string& line);
+/// Parses a TASK line. Throws std::invalid_argument on any missing or
+/// malformed field.
 task_assignment decode_task(const std::string& line);
+/// Parses a REPORT line. Throws std::invalid_argument on any missing or
+/// malformed field (including the embedded CSV record).
 measurement_report decode_report(const std::string& line);
 
 }  // namespace wiscape::proto

@@ -1,19 +1,68 @@
 #include "proto/server.h"
 
+#include <sstream>
 #include <stdexcept>
+
+#include "obs/names.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 
 namespace wiscape::proto {
 
+namespace {
+// Process-wide server metrics (every coordinator_server instance shares
+// them; looked up once, then lock-free).
+struct server_metrics {
+  obs::counter& lines;
+  obs::counter& checkins;
+  obs::counter& reports;
+  obs::counter& stats_requests;
+  obs::counter& err_parse;
+  obs::counter& err_unsupported;
+  obs::counter& err_stopped;
+  obs::histogram& checkin_latency;
+  obs::histogram& report_latency;
+};
+
+server_metrics& metrics() {
+  auto& reg = obs::registry::global();
+  static server_metrics m{
+      reg.get_counter(obs::names::kServerLines),
+      reg.get_counter(obs::names::kServerCheckins),
+      reg.get_counter(obs::names::kServerReports),
+      reg.get_counter(obs::names::kServerStats),
+      reg.get_counter(obs::names::kServerErrParse),
+      reg.get_counter(obs::names::kServerErrUnsupported),
+      reg.get_counter(obs::names::kServerErrStopped),
+      reg.get_histogram(obs::names::kServerCheckinLatency),
+      reg.get_histogram(obs::names::kServerReportLatency)};
+  return m;
+}
+}  // namespace
+
+std::string encode_stats() {
+  const auto samples = obs::registry::global().snapshot();
+  std::ostringstream os;
+  os << "STATS " << samples.size();
+  for (const auto& s : samples) {
+    os << '\n' << s.name << ' ' << obs::format_value(s);
+  }
+  return os.str();
+}
+
 std::string coordinator_server::handle(const std::string& line) {
+  metrics().lines.inc();
+  const std::string type = message_type(line);
   try {
-    const std::string type = message_type(line);
     if (type == "CHECKIN") {
+      obs::span timed(metrics().checkin_latency);
       const auto req = decode_checkin(line);
       const auto task =
           sharded_ ? sharded_->checkin(req.pos, req.time_s, req.network_index,
                                        req.active_in_zone, req.client_id)
                    : coord_->checkin(req.pos, req.time_s, req.network_index,
                                      req.active_in_zone, req.client_id);
+      metrics().checkins.inc();
       if (!task) return encode_idle();
       tasks_.fetch_add(1, std::memory_order_relaxed);
       task_assignment out;
@@ -22,21 +71,32 @@ std::string coordinator_server::handle(const std::string& line) {
       return encode(out);
     }
     if (type == "REPORT") {
+      obs::span timed(metrics().report_latency);
       const auto rep = decode_report(line);
       if (sharded_) {
         if (!sharded_->report(rep.record)) {
-          throw std::invalid_argument("ingestion pipeline stopped");
+          metrics().err_stopped.inc();
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          return encode_error("ingestion pipeline stopped");
         }
       } else {
         coord_->report(rep.record);
       }
       reports_.fetch_add(1, std::memory_order_relaxed);
+      metrics().reports.inc();
       return "ACK";
     }
-    throw std::invalid_argument("unsupported request: '" + line + "'");
+    if (type == "STATS") {
+      metrics().stats_requests.inc();
+      return encode_stats();
+    }
+    metrics().err_unsupported.inc();
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return encode_error("unsupported request: '" + line + "'");
   } catch (const std::invalid_argument& e) {
     // The line protocol promises a reply per request; malformed input is a
     // client bug the server reports, not a server crash.
+    metrics().err_parse.inc();
     errors_.fetch_add(1, std::memory_order_relaxed);
     return encode_error(e.what());
   }

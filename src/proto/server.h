@@ -18,6 +18,12 @@
 
 namespace wiscape::proto {
 
+/// Renders the process-wide obs:: metrics registry as the STATS wire reply:
+/// "STATS <n>" followed by n lines of "name value", sorted by name. Also
+/// usable directly by tools that want the dump without a server.
+/// Thread-safe.
+std::string encode_stats();
+
 /// Serves a coordinator over the line protocol.
 ///
 /// Two modes share one request surface:
@@ -38,17 +44,26 @@ class coordinator_server {
   explicit coordinator_server(core::sharded_coordinator& coord)
       : sharded_(&coord) {}
 
-  /// Handles one request line and returns the response line:
+  /// Handles one request line and returns the response:
   ///   CHECKIN   -> TASK ... | IDLE
   ///   REPORT    -> ACK
+  ///   STATS     -> "STATS <n>" + n lines "name value" (the one multi-line
+  ///                reply: a flat dump of the process-wide obs:: registry)
   ///   malformed -> ERR <reason>
+  /// Thread-safety follows the mode: any number of threads in concurrent
+  /// mode, one at a time in sequential mode. Every request is counted into
+  /// the obs:: metrics registry (proto.server.*), including per-command
+  /// latency histograms.
   std::string handle(const std::string& line);
 
+  /// True when serving a sharded coordinator (handle() is thread-safe).
   bool concurrent() const noexcept { return sharded_ != nullptr; }
 
+  /// REPORT lines accepted (ACKed) since construction.
   std::uint64_t reports_received() const noexcept {
     return reports_.load(std::memory_order_relaxed);
   }
+  /// CHECKIN lines answered with a TASK since construction.
   std::uint64_t tasks_issued() const noexcept {
     return tasks_.load(std::memory_order_relaxed);
   }
@@ -69,6 +84,9 @@ class coordinator_server {
 /// transport (`send` delivers a request line and returns the response line).
 class remote_agent {
  public:
+  /// Delivers one request line, returns the response line. The agent is as
+  /// thread-safe as this function plus the probe engine (in practice:
+  /// confine one agent to one thread).
   using transport = std::function<std::string(const std::string&)>;
 
   remote_agent(probe::probe_engine& engine, transport send,

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "obs/names.h"
 #include "proto/messages.h"
 #include "proto/server.h"
 #include "test_util.h"
@@ -8,6 +13,32 @@ namespace wiscape::proto {
 namespace {
 
 const geo::lat_lon here = cellnet::anchors::madison;
+
+// Parses a STATS wire reply ("STATS <n>" + n "name value" lines) into a
+// name -> value map. The obs registry is process-wide, so tests assert on
+// deltas between two dumps rather than absolute values.
+std::map<std::string, double> parse_stats(const std::string& reply) {
+  std::istringstream in(reply);
+  std::string tag;
+  std::size_t n = 0;
+  in >> tag >> n;
+  EXPECT_EQ(tag, "STATS");
+  std::map<std::string, double> out;
+  std::string name;
+  double value = 0.0;
+  while (in >> name >> value) out[name] = value;
+  EXPECT_EQ(out.size(), n);
+  return out;
+}
+
+double delta(const std::map<std::string, double>& before,
+             const std::map<std::string, double>& after,
+             const std::string& name) {
+  const auto b = before.find(name);
+  const auto a = after.find(name);
+  return (a == after.end() ? 0.0 : a->second) -
+         (b == before.end() ? 0.0 : b->second);
+}
 
 TEST(ProtoCodec, CheckinRoundTrip) {
   checkin_request m;
@@ -259,6 +290,115 @@ TEST(ProtoEndToEnd, RemoteAgentDrivesFullLoop) {
     published += coord.table().latest(key).has_value() ? 1 : 0;
   }
   EXPECT_GT(published, 0);
+}
+
+TEST(ProtoServer, StatsReflectsReportsAndErrLines) {
+  // Regression for the STATS command: a known sequence of ACKed reports and
+  // ERR replies must show up, exactly counted, in the metrics dump.
+  const auto dep = testing::tiny_deployment();
+  geo::zone_grid grid(dep.proj(), 250.0);
+  core::coordinator coord(grid, dep.names(), {}, 5);
+  coordinator_server server(coord);
+
+  const auto before = parse_stats(server.handle("STATS"));
+
+  constexpr int kGood = 7;
+  constexpr int kMalformed = 3;
+  const geo::lat_lon pos = dep.proj().to_lat_lon({50.0, 50.0});
+  for (int i = 0; i < kGood; ++i) {
+    measurement_report rep;
+    rep.client_id = 1;
+    rep.record = testing::make_record(1000.0 + i * 10.0, dep.names()[0], pos,
+                                      trace::probe_kind::udp_burst, 1e6);
+    ASSERT_EQ(server.handle(encode(rep)), "ACK");
+  }
+  for (int i = 0; i < kMalformed; ++i) {
+    ASSERT_EQ(message_type(server.handle("REPORT client=1")), "ERR");
+  }
+  ASSERT_EQ(message_type(server.handle("HELLO there")), "ERR");
+
+  const auto after = parse_stats(server.handle("STATS"));
+  using namespace obs::names;
+  EXPECT_EQ(delta(before, after, kServerReports), kGood);
+  EXPECT_EQ(delta(before, after, kServerErrParse), kMalformed);
+  EXPECT_EQ(delta(before, after, kServerErrUnsupported), 1.0);
+  // lines = good + malformed + unsupported + the closing STATS itself.
+  EXPECT_EQ(delta(before, after, kServerLines), kGood + kMalformed + 1 + 1);
+  EXPECT_EQ(delta(before, after, kServerStats), 1.0);
+  // The coordinator layer saw exactly the successful records.
+  EXPECT_EQ(delta(before, after, kCoordReportsAccepted), kGood);
+  EXPECT_EQ(delta(before, after, kCoordReportsRejected), 0.0);
+  // Per-command latency histograms observed each ACKed report.
+  EXPECT_EQ(delta(before, after,
+                  std::string(kServerReportLatency) + ".count"),
+            kGood + kMalformed);
+}
+
+TEST(ProtoServer, StatsAccountsForAllReportsInShardedStress) {
+  // Acceptance check from ISSUE 2: after a multi-producer run against a
+  // 4-shard pipeline, the STATS dump must account for 100% of submitted
+  // lines: drained (applied to shard tables) + still queued + rejected.
+  const auto dep = testing::tiny_deployment();
+  geo::zone_grid grid(dep.proj(), 250.0);
+  core::sharded_config cfg;
+  cfg.coordinator.epochs.default_epoch_s = 120.0;
+  cfg.num_shards = 4;
+  core::sharded_coordinator coord(grid, dep.names(), cfg, 5);
+  coordinator_server server(coord);
+  const auto before = parse_stats(server.handle("STATS"));
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  constexpr int kMalformedEvery = 10;  // every 10th line is garbage
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      stats::rng_stream rng(100 + p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (i % kMalformedEvery == 0) {
+          EXPECT_EQ(message_type(server.handle("REPORT client=oops")), "ERR");
+          continue;
+        }
+        measurement_report rep;
+        rep.client_id = p + 1;
+        rep.record = testing::make_record(
+            1000.0 + i, dep.names()[0],
+            dep.proj().to_lat_lon({250.0 * rng.uniform_int(-2, 2),
+                                   250.0 * rng.uniform_int(-2, 2)}),
+            trace::probe_kind::udp_burst, 1e6);
+        EXPECT_EQ(server.handle(encode(rep)), "ACK");
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  coord.flush();
+
+  const auto after = parse_stats(server.handle("STATS"));
+  using namespace obs::names;
+  constexpr double kSubmitted = kProducers * kPerProducer;
+  const double rejected = delta(before, after, kServerErrParse);
+  const double routed = delta(before, after, kShardedRoutedTotal);
+  const double queued = delta(before, after, kQueueEnqueued) -
+                        delta(before, after, kQueueDequeued);
+  double drained = 0.0;
+  for (int s = 0; s < 4; ++s) {
+    drained += delta(before, after,
+                     std::string(kShardPrefix) + std::to_string(s) +
+                         "." + kShardDrainedSuffix);
+  }
+  EXPECT_EQ(rejected, kProducers * (kPerProducer / kMalformedEvery));
+  EXPECT_EQ(routed, kSubmitted - rejected);
+  // 100% accounting: every submitted line is drained, queued or rejected.
+  EXPECT_EQ(drained + queued + rejected, kSubmitted);
+  EXPECT_EQ(queued, 0.0);  // flushed
+  // The server and pipeline layers agree with each other.
+  EXPECT_EQ(delta(before, after, kServerReports), routed);
+  EXPECT_EQ(delta(before, after, kCoordReportsAccepted), drained);
+  // Work actually went through the batched drain path.
+  EXPECT_GE(delta(before, after, kShardedDrainBatches), 4.0);
+  EXPECT_EQ(delta(before, after,
+                  std::string(kShardedDrainLatency) + ".count"),
+            delta(before, after, kShardedDrainBatches));
 }
 
 }  // namespace

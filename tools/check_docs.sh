@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Documentation hygiene gate, run as a ctest case (docs.check).
+#
+# Two mechanical checks keep the docs honest:
+#  1. Every public header in src/core, src/proto and src/obs must open with
+#     a file-level doc comment (a '//' line before any code), so a reader
+#     landing on any header learns its contract before its includes.
+#  2. Every metric name constant defined in src/obs/names.h must appear in
+#     DESIGN.md -- the §5 "Metric reference" table is required to cover the
+#     full registry namespace, and this is what enforces it.
+#
+# Usage: tools/check_docs.sh [repo-root]   (default: script's parent dir)
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root"
+fail=0
+
+echo "== file-level doc comments (src/core, src/proto, src/obs) =="
+for h in src/core/*.h src/proto/*.h src/obs/*.h; do
+  # The first non-blank line must start a comment; '#pragma once' or an
+  # #include first means the header has no file-level documentation.
+  first="$(sed -n '/[^[:space:]]/{p;q;}' "$h")"
+  case "$first" in
+    //*) ;;
+    *)
+      echo "FAIL: $h has no file-level doc comment (starts: $first)"
+      fail=1
+      ;;
+  esac
+done
+
+echo "== DESIGN.md covers every metric name in src/obs/names.h =="
+# Pull the string literal out of every name constant. Suffix constants for
+# the dynamic per-shard family ("routed"/"drained") are matched as part of
+# the documented core.sharded.shard<i>.* pattern rows.
+names="$(sed -n 's/.*constexpr char k[A-Za-z]*\[\] *= *"\([^"]*\)".*/\1/p' \
+  src/obs/names.h)"
+[ -n "$names" ] || { echo "FAIL: no metric names found in src/obs/names.h"; exit 1; }
+for n in $names; do
+  if ! grep -qF "$n" DESIGN.md; then
+    echo "FAIL: metric name '$n' (src/obs/names.h) is not documented in DESIGN.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK"
