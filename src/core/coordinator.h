@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "core/epoch_estimator.h"
@@ -94,6 +95,11 @@ class coordinator {
   /// Ingests a completed measurement. Updates the zone table (all metrics
   /// the record carries) and the zone's epoch-estimation history.
   void report(const trace::measurement_record& rec);
+
+  /// Ingests a batch of completed measurements in order. Equivalent to
+  /// calling report() per record; exists so the batched wire path (REPORTB)
+  /// has one entry point in sequential mode too.
+  void report_batch(std::span<const trace::measurement_record> recs);
 
   /// Re-estimates the epoch duration of every zone with enough history
   /// (Allan minimum). Cheap enough to call periodically.

@@ -87,6 +87,35 @@ bool report_queue::try_push(trace::measurement_record rec) {
   return true;
 }
 
+std::size_t report_queue::push_batch(
+    std::span<const trace::measurement_record> recs) {
+  if (recs.empty()) return 0;
+  std::unique_lock lock(mu_);
+  std::size_t i = 0;
+  for (;;) {
+    while (!closed_ && i < recs.size() && items_.size() < capacity_) {
+      items_.push_back(recs[i]);
+      ++i;
+      ++enq_count_;
+    }
+    high_water_ =
+        std::max(high_water_, static_cast<std::int64_t>(items_.size()));
+    if (closed_ || i == recs.size()) break;
+    // Queue full mid-batch: wake consumers so they can make room, then wait
+    // like push() does (backpressure).
+    metrics().blocked.inc();
+    not_empty_.notify_all();
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+  }
+  const std::size_t pushed = i;
+  const std::size_t dropped = recs.size() - i;
+  lock.unlock();
+  if (pushed > 0) not_empty_.notify_all();
+  if (dropped > 0) metrics().rejected.inc(dropped);
+  return pushed;
+}
+
 std::size_t report_queue::pop_batch(std::vector<trace::measurement_record>& out,
                                     std::size_t max_batch) {
   std::unique_lock lock(mu_);

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "trace/record.h"
@@ -49,6 +50,15 @@ class report_queue {
   /// Non-blocking push: returns false (record dropped) when the queue is
   /// full or closed.
   bool try_push(trace::measurement_record rec);
+
+  /// Enqueues a whole batch under one lock acquisition (and one metrics
+  /// delta), blocking while the queue is full -- batches larger than the
+  /// remaining capacity are fed in capacity-sized gulps as consumers make
+  /// room. The batch is contiguous in FIFO order (no other producer's
+  /// records interleave within one gulp). Returns the number of records
+  /// enqueued: recs.size() on success, fewer only when the queue is closed
+  /// mid-batch (the remainder is dropped).
+  std::size_t push_batch(std::span<const trace::measurement_record> recs);
 
   /// Pops up to `max_batch` records into `out` (appended), blocking until at
   /// least one record is available or the queue is closed. Returns the

@@ -167,6 +167,51 @@ bool sharded_coordinator::report(const trace::measurement_record& rec) {
   return true;
 }
 
+std::size_t sharded_coordinator::report_batch(
+    std::span<const trace::measurement_record> recs) {
+  if (recs.empty()) return 0;
+  if (stopped_.load(std::memory_order_relaxed)) {
+    metrics().dropped.inc(recs.size());
+    return 0;
+  }
+  // Route once, then touch each shard once. The per-shard copies are the
+  // price of one lock acquisition per shard instead of one per record; the
+  // single-shard case routes straight through without regrouping.
+  std::size_t accepted = 0;
+  if (shards_.size() == 1) {
+    accepted = ingest_group(*shards_[0], recs);
+  } else {
+    std::vector<std::vector<trace::measurement_record>> groups(shards_.size());
+    for (const auto& rec : recs) {
+      groups[shard_of(grid_.zone_of(rec.pos))].push_back(rec);
+    }
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+      if (!groups[s].empty()) accepted += ingest_group(*shards_[s], groups[s]);
+    }
+  }
+  reports_received_.fetch_add(accepted, std::memory_order_relaxed);
+  if (accepted < recs.size()) metrics().dropped.inc(recs.size() - accepted);
+  return accepted;
+}
+
+std::size_t sharded_coordinator::ingest_group(
+    shard& sh, std::span<const trace::measurement_record> recs) {
+  if (cfg_.synchronous) {
+    {
+      std::lock_guard lock(sh.mu);
+      for (const auto& rec : recs) sh.coord.report(rec);
+      sh.enqueued.fetch_add(recs.size(), std::memory_order_relaxed);
+      sh.applied.fetch_add(recs.size(), std::memory_order_relaxed);
+      sh.publish_routed_locked(metrics().routed);
+    }
+    sh.drained_metric.inc(recs.size());
+    return recs.size();
+  }
+  const std::size_t pushed = sh.queue.push_batch(recs);
+  sh.enqueued.fetch_add(pushed, std::memory_order_relaxed);
+  return pushed;
+}
+
 void sharded_coordinator::drain_loop(shard& sh) {
   std::vector<trace::measurement_record> batch;
   batch.reserve(cfg_.drain_batch);

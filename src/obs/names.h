@@ -79,5 +79,12 @@ inline constexpr char kServerCheckinLatency[] =
     "proto.server.checkin_latency_s";
 /// Wall time to answer one REPORT (decode + enqueue/apply). [seconds]
 inline constexpr char kServerReportLatency[] = "proto.server.report_latency_s";
+/// REPORTB frames answered with ACK (records inside count into
+/// proto.server.reports).
+inline constexpr char kServerReportBatches[] = "proto.server.report_batches";
+/// Wall time to answer one REPORTB frame (decode all + batch enqueue).
+/// [seconds]
+inline constexpr char kServerBatchLatency[] =
+    "proto.server.report_batch_latency_s";
 
 }  // namespace wiscape::obs::names

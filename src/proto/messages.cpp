@@ -1,9 +1,8 @@
 #include "proto/messages.h"
 
+#include <charconv>
 #include <cstdio>
-#include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "trace/csv.h"
 
@@ -11,78 +10,139 @@ namespace wiscape::proto {
 
 namespace {
 
-/// Splits "TYPE k=v k=v ..." into the tag and a key->value map.
-std::unordered_map<std::string, std::string> fields_of(
-    const std::string& line, const std::string& expected_type) {
-  std::istringstream is(line);
-  std::string tag;
-  if (!(is >> tag) || tag != expected_type) {
-    throw std::invalid_argument("expected " + expected_type + " message, got '" +
-                                line + "'");
-  }
-  std::unordered_map<std::string, std::string> out;
-  std::string token;
-  while (is >> token) {
-    const auto eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw std::invalid_argument("malformed field '" + token + "'");
+// ---- zero-allocation line tokenizer ---------------------------------------
+// The happy path never allocates: tokens are views into the input line and
+// numbers are parsed in place with std::from_chars. Only throw-paths build
+// std::strings.
+
+constexpr std::string_view separators = " \t\r";
+
+/// Walks a line as whitespace-separated tokens (views into the input).
+struct token_cursor {
+  std::string_view rest;
+
+  std::optional<std::string_view> next() {
+    const std::size_t b = rest.find_first_not_of(separators);
+    if (b == std::string_view::npos) {
+      rest = {};
+      return std::nullopt;
     }
-    out[token.substr(0, eq)] = token.substr(eq + 1);
+    const std::size_t e = rest.find_first_of(separators, b);
+    std::string_view tok;
+    if (e == std::string_view::npos) {
+      tok = rest.substr(b);
+      rest = {};
+    } else {
+      tok = rest.substr(b, e - b);
+      rest = rest.substr(e);
+    }
+    return tok;
   }
+};
+
+struct kv {
+  std::string_view key;
+  std::string_view value;
+};
+
+kv split_kv(std::string_view token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 == token.size()) {
+    throw std::invalid_argument("malformed field '" + error_excerpt(token, 80) +
+                                "'");
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+void expect_tag(token_cursor& c, std::string_view expected,
+                std::string_view line) {
+  const auto tag = c.next();
+  if (!tag || *tag != expected) {
+    throw std::invalid_argument("expected " + std::string(expected) +
+                                " message, got '" + error_excerpt(line) + "'");
+  }
+}
+
+[[noreturn]] void bad_numeric(std::string_view key, std::string_view s) {
+  throw std::invalid_argument("bad numeric field " + std::string(key) + "='" +
+                              error_excerpt(s, 80) + "'");
+}
+
+double parse_double(std::string_view s, std::string_view key) {
+  double v = 0.0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) bad_numeric(key, s);
+  return v;
+}
+
+std::uint64_t parse_u64(std::string_view s, std::string_view key) {
+  std::uint64_t v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) bad_numeric(key, s);
+  return v;
+}
+
+std::uint32_t parse_u32(std::string_view s, std::string_view key) {
+  std::uint32_t v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) bad_numeric(key, s);
+  return v;
+}
+
+/// Field-presence bookkeeping: one bit per required field, so missing and
+/// duplicate keys are detected without a map.
+void mark_seen(unsigned& seen, unsigned bit, std::string_view key) {
+  if (seen & bit) {
+    throw std::invalid_argument("duplicate field '" + std::string(key) + "'");
+  }
+  seen |= bit;
+}
+
+void require_seen(unsigned seen, unsigned bit, const char* key) {
+  if (!(seen & bit)) {
+    throw std::invalid_argument(std::string("missing field '") + key + "'");
+  }
+}
+
+/// snprintf into a stack buffer, growing onto the heap instead of silently
+/// truncating when the rendered line is longer than the buffer.
+template <class... Args>
+std::string format_line(const char* fmt, Args... args) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof buf, fmt, args...);
+  if (n < 0) throw std::runtime_error("encode: snprintf format error");
+  if (static_cast<std::size_t>(n) < sizeof buf) {
+    return std::string(buf, static_cast<std::size_t>(n));
+  }
+  std::string out(static_cast<std::size_t>(n) + 1, '\0');
+  std::snprintf(out.data(), out.size(), fmt, args...);
+  out.resize(static_cast<std::size_t>(n));
   return out;
-}
-
-const std::string& need(
-    const std::unordered_map<std::string, std::string>& fields,
-    const std::string& key) {
-  const auto it = fields.find(key);
-  if (it == fields.end()) {
-    throw std::invalid_argument("missing field '" + key + "'");
-  }
-  return it->second;
-}
-
-double need_double(const std::unordered_map<std::string, std::string>& fields,
-                   const std::string& key) {
-  const std::string& s = need(fields, key);
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("bad numeric field " + key + "='" + s + "'");
-  }
-}
-
-std::uint64_t need_u64(
-    const std::unordered_map<std::string, std::string>& fields,
-    const std::string& key) {
-  return static_cast<std::uint64_t>(need_double(fields, key));
 }
 
 }  // namespace
 
+std::string error_excerpt(std::string_view s, std::size_t max_len) {
+  if (s.size() <= max_len) return std::string(s);
+  return std::string(s.substr(0, max_len)) + "...";
+}
+
 std::string encode(const checkin_request& m) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "CHECKIN client=%llu lat=%.6f lon=%.6f t=%.3f net=%u "
-                "active=%u device=%s",
-                static_cast<unsigned long long>(m.client_id), m.pos.lat_deg,
-                m.pos.lon_deg, m.time_s, m.network_index, m.active_in_zone,
-                m.device.c_str());
-  return buf;
+  return format_line(
+      "CHECKIN client=%llu lat=%.6f lon=%.6f t=%.3f net=%u "
+      "active=%u device=%s",
+      static_cast<unsigned long long>(m.client_id), m.pos.lat_deg,
+      m.pos.lon_deg, m.time_s, m.network_index, m.active_in_zone,
+      m.device.c_str());
 }
 
 std::string encode(const task_assignment& m) {
-  char buf[192];
-  std::snprintf(buf, sizeof(buf),
-                "TASK kind=%s net=%u tcp_bytes=%llu udp_packets=%u "
-                "ping_count=%u",
-                trace::to_string(m.kind).c_str(), m.network_index,
-                static_cast<unsigned long long>(m.tcp_bytes), m.udp_packets,
-                m.ping_count);
-  return buf;
+  return format_line(
+      "TASK kind=%s net=%u tcp_bytes=%llu udp_packets=%u "
+      "ping_count=%u",
+      trace::to_string(m.kind).c_str(), m.network_index,
+      static_cast<unsigned long long>(m.tcp_bytes), m.udp_packets,
+      m.ping_count);
 }
 
 std::string encode(const measurement_report& m) {
@@ -92,64 +152,203 @@ std::string encode(const measurement_report& m) {
          trace::to_csv(m.record);
 }
 
+std::string encode_report_batch(
+    std::span<const trace::measurement_record> recs) {
+  std::string out = "REPORTB " + std::to_string(recs.size());
+  for (const auto& rec : recs) {
+    out += '\n';
+    out += trace::to_csv(rec);
+  }
+  return out;
+}
+
 std::string encode_idle() { return "IDLE"; }
 
 std::string encode_error(const std::string& reason) {
   return "ERR " + reason;
 }
 
-std::string message_type(const std::string& line) {
-  const auto sp = line.find(' ');
-  const std::string tag = sp == std::string::npos ? line : line.substr(0, sp);
-  for (const char* known :
-       {"CHECKIN", "TASK", "REPORT", "IDLE", "ACK", "ERR", "STATS"}) {
-    if (tag == known) return tag;
+std::string_view message_type(std::string_view line) {
+  const std::size_t sp = line.find_first_of(" \t\r\n");
+  const std::string_view tag =
+      sp == std::string_view::npos ? line : line.substr(0, sp);
+  // Return the static literal, not a view into the caller's line, so the
+  // result stays valid after the line's buffer dies.
+  for (const std::string_view known : {"CHECKIN", "TASK", "REPORT", "REPORTB",
+                                       "IDLE", "ACK", "ERR", "STATS"}) {
+    if (tag == known) return known;
   }
-  return "";
+  return {};
 }
 
-checkin_request decode_checkin(const std::string& line) {
-  const auto f = fields_of(line, "CHECKIN");
+checkin_request decode_checkin(std::string_view line) {
+  token_cursor c{line};
+  expect_tag(c, "CHECKIN", line);
+  enum : unsigned {
+    f_client = 1u << 0,
+    f_lat = 1u << 1,
+    f_lon = 1u << 2,
+    f_t = 1u << 3,
+    f_net = 1u << 4,
+    f_active = 1u << 5,
+    f_device = 1u << 6,
+  };
   checkin_request m;
-  m.client_id = need_u64(f, "client");
-  m.pos = {need_double(f, "lat"), need_double(f, "lon")};
-  m.time_s = need_double(f, "t");
-  m.network_index = static_cast<std::uint32_t>(need_u64(f, "net"));
-  m.active_in_zone = static_cast<std::uint32_t>(need_u64(f, "active"));
-  m.device = need(f, "device");
+  unsigned seen = 0;
+  while (const auto tok = c.next()) {
+    const kv f = split_kv(*tok);
+    if (f.key == "client") {
+      mark_seen(seen, f_client, f.key);
+      m.client_id = parse_u64(f.value, f.key);
+    } else if (f.key == "lat") {
+      mark_seen(seen, f_lat, f.key);
+      m.pos.lat_deg = parse_double(f.value, f.key);
+    } else if (f.key == "lon") {
+      mark_seen(seen, f_lon, f.key);
+      m.pos.lon_deg = parse_double(f.value, f.key);
+    } else if (f.key == "t") {
+      mark_seen(seen, f_t, f.key);
+      m.time_s = parse_double(f.value, f.key);
+    } else if (f.key == "net") {
+      mark_seen(seen, f_net, f.key);
+      m.network_index = parse_u32(f.value, f.key);
+    } else if (f.key == "active") {
+      mark_seen(seen, f_active, f.key);
+      m.active_in_zone = parse_u32(f.value, f.key);
+    } else if (f.key == "device") {
+      mark_seen(seen, f_device, f.key);
+      m.device.assign(f.value);
+    }
+    // Unknown keys are tolerated and ignored (forward compatibility), same
+    // as the old map-based parser which only looked up the fields it needed.
+  }
+  require_seen(seen, f_client, "client");
+  require_seen(seen, f_lat, "lat");
+  require_seen(seen, f_lon, "lon");
+  require_seen(seen, f_t, "t");
+  require_seen(seen, f_net, "net");
+  require_seen(seen, f_active, "active");
+  require_seen(seen, f_device, "device");
   return m;
 }
 
-task_assignment decode_task(const std::string& line) {
-  const auto f = fields_of(line, "TASK");
+task_assignment decode_task(std::string_view line) {
+  token_cursor c{line};
+  expect_tag(c, "TASK", line);
+  enum : unsigned {
+    f_kind = 1u << 0,
+    f_net = 1u << 1,
+    f_tcp_bytes = 1u << 2,
+    f_udp_packets = 1u << 3,
+    f_ping_count = 1u << 4,
+  };
   task_assignment m;
-  m.kind = trace::probe_kind_from_string(need(f, "kind"));
-  m.network_index = static_cast<std::uint32_t>(need_u64(f, "net"));
-  m.tcp_bytes = need_u64(f, "tcp_bytes");
-  m.udp_packets = static_cast<std::uint32_t>(need_u64(f, "udp_packets"));
-  m.ping_count = static_cast<std::uint32_t>(need_u64(f, "ping_count"));
+  unsigned seen = 0;
+  while (const auto tok = c.next()) {
+    const kv f = split_kv(*tok);
+    if (f.key == "kind") {
+      mark_seen(seen, f_kind, f.key);
+      m.kind = trace::probe_kind_from_string(f.value);
+    } else if (f.key == "net") {
+      mark_seen(seen, f_net, f.key);
+      m.network_index = parse_u32(f.value, f.key);
+    } else if (f.key == "tcp_bytes") {
+      mark_seen(seen, f_tcp_bytes, f.key);
+      m.tcp_bytes = parse_u64(f.value, f.key);
+    } else if (f.key == "udp_packets") {
+      mark_seen(seen, f_udp_packets, f.key);
+      m.udp_packets = parse_u32(f.value, f.key);
+    } else if (f.key == "ping_count") {
+      mark_seen(seen, f_ping_count, f.key);
+      m.ping_count = parse_u32(f.value, f.key);
+    }
+  }
+  require_seen(seen, f_kind, "kind");
+  require_seen(seen, f_net, "net");
+  require_seen(seen, f_tcp_bytes, "tcp_bytes");
+  require_seen(seen, f_udp_packets, "udp_packets");
+  require_seen(seen, f_ping_count, "ping_count");
   return m;
 }
 
-measurement_report decode_report(const std::string& line) {
+measurement_report decode_report(std::string_view line) {
   // REPORT client=<id> csv=<csv line with commas and no spaces>
-  const std::string prefix = "REPORT client=";
-  if (line.rfind(prefix, 0) != 0) {
+  constexpr std::string_view prefix = "REPORT client=";
+  if (line.substr(0, prefix.size()) != prefix) {
     throw std::invalid_argument("expected REPORT message");
   }
-  const auto csv_pos = line.find(" csv=");
-  if (csv_pos == std::string::npos) {
+  // The client id is the run of characters up to the next space, which must
+  // open " csv=" -- a single memchr instead of a substring search.
+  const std::size_t csv_pos = line.find(' ', prefix.size());
+  if (csv_pos == std::string_view::npos ||
+      line.substr(csv_pos, 5) != " csv=") {
     throw std::invalid_argument("REPORT missing csv field");
   }
   measurement_report m;
-  try {
-    m.client_id = std::stoull(line.substr(prefix.size(),
-                                          csv_pos - prefix.size()));
-  } catch (const std::exception&) {
+  const std::string_view id = line.substr(prefix.size(),
+                                          csv_pos - prefix.size());
+  // Exact full-width parse: the old std::stoull path both truncated at the
+  // first non-digit (silent misparse) and ids never hit it above 2^53
+  // unscathed when they travelled via need_u64's double.
+  std::uint64_t v = 0;
+  const auto [end, ec] = std::from_chars(id.data(), id.data() + id.size(), v);
+  if (ec != std::errc{} || end != id.data() + id.size() || id.empty()) {
     throw std::invalid_argument("REPORT bad client id");
   }
+  m.client_id = v;
   m.record = trace::from_csv(line.substr(csv_pos + 5));
   return m;
+}
+
+std::vector<trace::measurement_record> decode_report_batch(
+    std::string_view frame) {
+  const std::size_t nl = frame.find('\n');
+  const std::string_view header =
+      nl == std::string_view::npos ? frame : frame.substr(0, nl);
+  token_cursor c{header};
+  expect_tag(c, "REPORTB", header);
+  const auto count_tok = c.next();
+  if (!count_tok) {
+    throw std::invalid_argument("REPORTB missing record count");
+  }
+  const std::uint64_t n = parse_u64(*count_tok, "count");
+  if (c.next()) {
+    throw std::invalid_argument("REPORTB header has trailing tokens");
+  }
+  if (n > max_report_batch) {
+    throw std::invalid_argument("REPORTB count " + std::to_string(n) +
+                                " exceeds max " +
+                                std::to_string(max_report_batch));
+  }
+  std::vector<trace::measurement_record> out;
+  out.reserve(static_cast<std::size_t>(n));
+  std::size_t produced = 0;
+  std::string_view rest =
+      nl == std::string_view::npos ? std::string_view{} : frame.substr(nl + 1);
+  while (!rest.empty()) {
+    if (produced == n) {
+      throw std::invalid_argument("REPORTB count mismatch: header says " +
+                                  std::to_string(n) + ", payload has more");
+    }
+    const std::size_t e = rest.find('\n');
+    const std::string_view payload =
+        e == std::string_view::npos ? rest : rest.substr(0, e);
+    try {
+      out.push_back(trace::from_csv(payload));
+    } catch (const std::invalid_argument& ex) {
+      throw std::invalid_argument("REPORTB record " +
+                                  std::to_string(produced) + ": " + ex.what());
+    }
+    ++produced;
+    if (e == std::string_view::npos) break;
+    rest = rest.substr(e + 1);  // a single trailing '\n' ends the frame
+  }
+  if (produced != n) {
+    throw std::invalid_argument("REPORTB count mismatch: header says " +
+                                std::to_string(n) + ", got " +
+                                std::to_string(produced) + " records");
+  }
+  return out;
 }
 
 }  // namespace wiscape::proto

@@ -6,18 +6,31 @@
 // The format is a single text line per message -- `TYPE k=v k=v ...` --
 // chosen for the same reasons as the CSV trace format: transport-agnostic,
 // greppable, and trivially replaceable by real field software. Encoding
-// never fails; decoding throws std::invalid_argument with a reason.
+// never fails (oversized fields grow the output, never truncate it);
+// decoding throws std::invalid_argument with a reason.
+//
+// Decoding is a zero-allocation fast path: lines are walked as
+// std::string_view tokens and numbers parsed with std::from_chars -- no
+// istringstream, no key/value map, no locale, no heap traffic on the happy
+// path (only the std::string members of the decoded structs may allocate,
+// and short names stay in SSO). Error reasons (the cold path) allocate and
+// echo at most a clipped excerpt of the offending input.
 //
 // Request types: CHECKIN (task request), REPORT (completed measurement),
-// STATS (operational metrics dump). Reply types: TASK, IDLE, ACK, ERR, and
-// the STATS reply (`STATS <n>` followed by n `name value` lines -- the one
-// multi-line message; see coordinator_server::handle). All functions here
-// are stateless and thread-safe.
+// REPORTB (batched reports -- the one multi-line request: "REPORTB <n>"
+// followed by n CSV record payload lines), STATS (operational metrics
+// dump). Reply types: TASK, IDLE, ACK, ERR, and the STATS reply
+// (`STATS <n>` followed by n `name value` lines; see
+// coordinator_server::handle). All functions here are stateless and
+// thread-safe.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "geo/lat_lon.h"
 #include "trace/record.h"
@@ -50,6 +63,11 @@ struct measurement_report {
   trace::measurement_record record; ///< the full Table 1 record (CSV payload)
 };
 
+/// Hard cap on the record count of one REPORTB frame; larger counts are
+/// rejected before any payload is decoded (a hostile header cannot force a
+/// huge allocation).
+inline constexpr std::size_t max_report_batch = 65536;
+
 // ---- codec ----------------------------------------------------------------
 // encode() never fails; decode_*() throws std::invalid_argument naming the
 // offending field. All codec functions are pure and thread-safe.
@@ -61,24 +79,41 @@ std::string encode(const task_assignment& m);
 /// Encodes a report as one "REPORT client=<id> csv=<record>" line.
 std::string encode(const measurement_report& m);
 
+/// Encodes a batch of records as one "REPORTB <n>" frame: a header line
+/// followed by n CSV record payload lines ('\n'-separated, no trailing
+/// newline). Each record carries its own client_id in the CSV schema, so no
+/// per-record framing is needed.
+std::string encode_report_batch(std::span<const trace::measurement_record> recs);
+
 /// The coordinator's answer to a check-in when no task is issued.
 std::string encode_idle();
 
 /// The server's reply to a malformed or rejected request: "ERR <reason>".
 std::string encode_error(const std::string& reason);
 
-/// The message type tag at the start of a line ("CHECKIN", "TASK", "REPORT",
-/// "IDLE", "ACK", "ERR", "STATS"); empty for a malformed line.
-std::string message_type(const std::string& line);
+/// Clips `s` for inclusion in an error reason: at most `max_len` bytes plus
+/// an ellipsis, so a multi-megabyte garbage line is never echoed verbatim.
+std::string error_excerpt(std::string_view s, std::size_t max_len = 120);
 
-/// Parses a CHECKIN line. Throws std::invalid_argument on any missing or
-/// malformed field.
-checkin_request decode_checkin(const std::string& line);
-/// Parses a TASK line. Throws std::invalid_argument on any missing or
-/// malformed field.
-task_assignment decode_task(const std::string& line);
+/// The message type tag at the start of a line ("CHECKIN", "TASK", "REPORT",
+/// "REPORTB", "IDLE", "ACK", "ERR", "STATS"); empty for a malformed line.
+/// The returned view aliases a static literal, never the input.
+std::string_view message_type(std::string_view line);
+
+/// Parses a CHECKIN line. Throws std::invalid_argument on any missing,
+/// duplicate or malformed field (unknown keys are ignored).
+checkin_request decode_checkin(std::string_view line);
+/// Parses a TASK line. Throws std::invalid_argument on any missing,
+/// duplicate or malformed field (unknown keys are ignored).
+task_assignment decode_task(std::string_view line);
 /// Parses a REPORT line. Throws std::invalid_argument on any missing or
 /// malformed field (including the embedded CSV record).
-measurement_report decode_report(const std::string& line);
+measurement_report decode_report(std::string_view line);
+/// Parses a REPORTB frame into its records. All-or-nothing: throws
+/// std::invalid_argument when the header is malformed, the count disagrees
+/// with the payload lines, the count exceeds max_report_batch, or any
+/// payload line fails to decode.
+std::vector<trace::measurement_record> decode_report_batch(
+    std::string_view frame);
 
 }  // namespace wiscape::proto

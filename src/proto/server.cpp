@@ -16,12 +16,14 @@ struct server_metrics {
   obs::counter& lines;
   obs::counter& checkins;
   obs::counter& reports;
+  obs::counter& report_batches;
   obs::counter& stats_requests;
   obs::counter& err_parse;
   obs::counter& err_unsupported;
   obs::counter& err_stopped;
   obs::histogram& checkin_latency;
   obs::histogram& report_latency;
+  obs::histogram& batch_latency;
 };
 
 server_metrics& metrics() {
@@ -30,12 +32,14 @@ server_metrics& metrics() {
       reg.get_counter(obs::names::kServerLines),
       reg.get_counter(obs::names::kServerCheckins),
       reg.get_counter(obs::names::kServerReports),
+      reg.get_counter(obs::names::kServerReportBatches),
       reg.get_counter(obs::names::kServerStats),
       reg.get_counter(obs::names::kServerErrParse),
       reg.get_counter(obs::names::kServerErrUnsupported),
       reg.get_counter(obs::names::kServerErrStopped),
       reg.get_histogram(obs::names::kServerCheckinLatency),
-      reg.get_histogram(obs::names::kServerReportLatency)};
+      reg.get_histogram(obs::names::kServerReportLatency),
+      reg.get_histogram(obs::names::kServerBatchLatency)};
   return m;
 }
 }  // namespace
@@ -50,9 +54,9 @@ std::string encode_stats() {
   return os.str();
 }
 
-std::string coordinator_server::handle(const std::string& line) {
+std::string coordinator_server::handle(std::string_view line) {
   metrics().lines.inc();
-  const std::string type = message_type(line);
+  const std::string_view type = message_type(line);
   try {
     if (type == "CHECKIN") {
       obs::span timed(metrics().checkin_latency);
@@ -86,13 +90,30 @@ std::string coordinator_server::handle(const std::string& line) {
       metrics().reports.inc();
       return "ACK";
     }
+    if (type == "REPORTB") {
+      obs::span timed(metrics().batch_latency);
+      const auto recs = decode_report_batch(line);
+      if (sharded_) {
+        if (sharded_->report_batch(recs) != recs.size()) {
+          metrics().err_stopped.inc();
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          return encode_error("ingestion pipeline stopped");
+        }
+      } else {
+        coord_->report_batch(recs);
+      }
+      reports_.fetch_add(recs.size(), std::memory_order_relaxed);
+      metrics().reports.inc(recs.size());
+      metrics().report_batches.inc();
+      return "ACK " + std::to_string(recs.size());
+    }
     if (type == "STATS") {
       metrics().stats_requests.inc();
       return encode_stats();
     }
     metrics().err_unsupported.inc();
     errors_.fetch_add(1, std::memory_order_relaxed);
-    return encode_error("unsupported request: '" + line + "'");
+    return encode_error("unsupported request: '" + error_excerpt(line) + "'");
   } catch (const std::invalid_argument& e) {
     // The line protocol promises a reply per request; malformed input is a
     // client bug the server reports, not a server crash.

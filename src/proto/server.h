@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <functional>
+#include <string_view>
 
 #include "core/coordinator.h"
 #include "core/sharded_coordinator.h"
@@ -44,17 +45,23 @@ class coordinator_server {
   explicit coordinator_server(core::sharded_coordinator& coord)
       : sharded_(&coord) {}
 
-  /// Handles one request line and returns the response:
+  /// Handles one request and returns the response:
   ///   CHECKIN   -> TASK ... | IDLE
   ///   REPORT    -> ACK
+  ///   REPORTB   -> "ACK <n>" (the one multi-line request: "REPORTB <n>"
+  ///                header + n CSV record lines, decoded and ingested as one
+  ///                batch -- all-or-nothing, a single bad record ERRs the
+  ///                whole frame and nothing is ingested)
   ///   STATS     -> "STATS <n>" + n lines "name value" (the one multi-line
   ///                reply: a flat dump of the process-wide obs:: registry)
-  ///   malformed -> ERR <reason>
-  /// Thread-safety follows the mode: any number of threads in concurrent
-  /// mode, one at a time in sequential mode. Every request is counted into
-  /// the obs:: metrics registry (proto.server.*), including per-command
-  /// latency histograms.
-  std::string handle(const std::string& line);
+  ///   malformed -> ERR <reason> (long inputs are echoed clipped, never
+  ///                verbatim)
+  /// The request is read as a borrowed view; nothing is retained after
+  /// return. Thread-safety follows the mode: any number of threads in
+  /// concurrent mode, one at a time in sequential mode. Every request is
+  /// counted into the obs:: metrics registry (proto.server.*), including
+  /// per-command latency histograms.
+  std::string handle(std::string_view line);
 
   /// True when serving a sharded coordinator (handle() is thread-safe).
   bool concurrent() const noexcept { return sharded_ != nullptr; }

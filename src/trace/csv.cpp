@@ -3,43 +3,110 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
-#include <vector>
+#include <string>
 
 namespace wiscape::trace {
 
 namespace {
 
-std::vector<std::string> split(const std::string& line, char sep) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t pos = line.find(sep, start);
-    if (pos == std::string::npos) {
-      out.push_back(line.substr(start));
-      break;
+/// Clips a field echoed into an error message so a multi-megabyte garbage
+/// input cannot be reflected verbatim into the reason string.
+std::string clip(std::string_view s, std::size_t max_len = 80) {
+  if (s.size() <= max_len) return std::string(s);
+  return std::string(s.substr(0, max_len)) + "...";
+}
+
+/// Exact decimal fast path for the fixed-notation values to_csv emits
+/// ("12345.500", "-89.400000"): with the mantissa under 10^15 < 2^53 and a
+/// fractional power of ten that is itself exactly representable, one IEEE
+/// divide rounds exactly once -- bit-identical to std::from_chars, at a
+/// fraction of its cost. Anything else (exponents, inf/nan, overlong or
+/// malformed digits) returns false and takes the from_chars path.
+bool parse_simple_decimal(std::string_view s, double& out) {
+  static constexpr double kPow10[23] = {
+      1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,  1e8,  1e9,  1e10, 1e11,
+      1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22};
+  const char* p = s.data();
+  const char* const e = p + s.size();
+  if (p == e) return false;
+  const bool neg = *p == '-';
+  p += neg;
+  std::uint64_t mant = 0;
+  const char* const int_start = p;
+  while (p != e && static_cast<unsigned>(*p - '0') <= 9u) {
+    mant = mant * 10 + static_cast<std::uint64_t>(*p - '0');
+    ++p;
+  }
+  std::size_t digits = static_cast<std::size_t>(p - int_start);
+  std::size_t frac = 0;
+  if (p != e && *p == '.') {
+    ++p;
+    const char* const frac_start = p;
+    while (p != e && static_cast<unsigned>(*p - '0') <= 9u) {
+      mant = mant * 10 + static_cast<std::uint64_t>(*p - '0');
+      ++p;
     }
-    out.push_back(line.substr(start, pos - start));
-    start = pos + 1;
+    frac = static_cast<std::size_t>(p - frac_start);
+    // A trailing dot with no fraction ("1."): from_chars treats it as a
+    // partial parse, so it must not shortcut here.
+    if (frac == 0) return false;
+    digits += frac;
   }
-  return out;
+  // >15 digits can need more than one rounding (and the mantissa may have
+  // wrapped); leftover chars mean exponents/inf/nan/garbage. Both defer.
+  if (p != e || digits == 0 || digits > 15 || frac > 22) return false;
+  const double v = frac ? static_cast<double>(mant) / kPow10[frac]
+                        : static_cast<double>(mant);
+  out = neg ? -v : v;
+  return true;
 }
 
-double to_double(const std::string& s, const char* field) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
+double to_double(std::string_view s, const char* field) {
+  double v = 0.0;
+  if (parse_simple_decimal(s, v)) return v;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) {
     throw std::invalid_argument(std::string("bad CSV field ") + field + ": '" +
-                                s + "'");
+                                clip(s) + "'");
   }
+  return v;
 }
 
-int to_int(const std::string& s, const char* field) {
-  return static_cast<int>(to_double(s, field));
+int to_int(std::string_view s, const char* field) {
+  int v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) {
+    throw std::invalid_argument(std::string("bad CSV field ") + field + ": '" +
+                                clip(s) + "'");
+  }
+  return v;
+}
+
+std::uint64_t to_u64(std::string_view s, const char* field) {
+  std::uint64_t v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) {
+    throw std::invalid_argument(std::string("bad CSV field ") + field + ": '" +
+                                clip(s) + "'");
+  }
+  return v;
+}
+
+/// snprintf into a stack buffer, growing onto the heap instead of silently
+/// truncating when the rendered line is longer than the buffer.
+template <class... Args>
+std::string format_line(const char* fmt, Args... args) {
+  char buf[320];
+  const int n = std::snprintf(buf, sizeof buf, fmt, args...);
+  if (n < 0) throw std::runtime_error("to_csv: snprintf format error");
+  if (static_cast<std::size_t>(n) < sizeof buf) {
+    return std::string(buf, static_cast<std::size_t>(n));
+  }
+  std::string out(static_cast<std::size_t>(n) + 1, '\0');
+  std::snprintf(out.data(), out.size(), fmt, args...);
+  out.resize(static_cast<std::size_t>(n));
+  return out;
 }
 
 }  // namespace
@@ -50,39 +117,72 @@ std::string csv_header() {
 }
 
 std::string to_csv(const measurement_record& r) {
-  char buf[320];
-  std::snprintf(buf, sizeof(buf),
-                "%.3f,%s,%.6f,%.6f,%.2f,%s,%d,%.1f,%.6f,%.6f,%.6f,%d,%d,%.1f,%s,%llu",
-                r.time_s, r.network.c_str(), r.pos.lat_deg, r.pos.lon_deg,
-                r.speed_mps, to_string(r.kind).c_str(), r.success ? 1 : 0,
-                r.throughput_bps, r.loss_rate, r.jitter_s, r.rtt_s,
-                r.ping_sent, r.ping_failures, r.rssi_dbm, r.device.c_str(),
-                static_cast<unsigned long long>(r.client_id));
-  return buf;
+  return format_line(
+      "%.3f,%s,%.6f,%.6f,%.2f,%s,%d,%.1f,%.6f,%.6f,%.6f,%d,%d,%.1f,%s,%llu",
+      r.time_s, r.network.c_str(), r.pos.lat_deg, r.pos.lon_deg, r.speed_mps,
+      to_string(r.kind).c_str(), r.success ? 1 : 0, r.throughput_bps,
+      r.loss_rate, r.jitter_s, r.rtt_s, r.ping_sent, r.ping_failures,
+      r.rssi_dbm, r.device.c_str(),
+      static_cast<unsigned long long>(r.client_id));
 }
 
-measurement_record from_csv(const std::string& line) {
-  const auto f = split(line, ',');
-  if (f.size() != 16) {
-    throw std::invalid_argument("CSV record needs 16 fields, got " +
-                                std::to_string(f.size()));
+namespace {
+
+/// Cuts comma-separated fields off the front of a record in one fused
+/// pass -- a record is ~100 bytes of ~6-byte fields, where a plain
+/// byte-compare loop beats sixteen memchr calls and parsing each field as
+/// it is cut avoids a second walk. After the final field `p` rests one
+/// past `end`, which is how exhaustion is told apart from a last empty
+/// field.
+struct field_cursor {
+  const char* p;
+  const char* const end;
+  bool exhausted() const { return p > end; }
+  std::string_view cut() {
+    const char* const s = p;
+    while (p != end && *p != ',') ++p;
+    const std::string_view f(s, static_cast<std::size_t>(p - s));
+    p = (p == end) ? end + 1 : p + 1;
+    return f;
   }
+};
+
+[[noreturn]] void throw_field_count(std::string_view line) {
+  std::size_t count = 1;
+  for (const char c : line) count += c == ',';
+  throw std::invalid_argument("CSV record needs 16 fields, got " +
+                              std::to_string(count));
+}
+
+std::string_view next_field(field_cursor& c, std::string_view line) {
+  if (c.exhausted()) throw_field_count(line);
+  return c.cut();
+}
+
+}  // namespace
+
+measurement_record from_csv(std::string_view line) {
+  field_cursor c{line.data(), line.data() + line.size()};
   measurement_record r;
-  r.time_s = to_double(f[0], "time_s");
-  r.network = f[1];
-  r.pos = {to_double(f[2], "lat"), to_double(f[3], "lon")};
-  r.speed_mps = to_double(f[4], "speed_mps");
-  r.kind = probe_kind_from_string(f[5]);
-  r.success = to_int(f[6], "success") != 0;
-  r.throughput_bps = to_double(f[7], "throughput_bps");
-  r.loss_rate = to_double(f[8], "loss_rate");
-  r.jitter_s = to_double(f[9], "jitter_s");
-  r.rtt_s = to_double(f[10], "rtt_s");
-  r.ping_sent = to_int(f[11], "ping_sent");
-  r.ping_failures = to_int(f[12], "ping_failures");
-  r.rssi_dbm = to_double(f[13], "rssi_dbm");
-  r.device = f[14];
-  r.client_id = static_cast<std::uint64_t>(to_double(f[15], "client_id"));
+  r.time_s = to_double(next_field(c, line), "time_s");
+  r.network.assign(next_field(c, line));
+  r.pos.lat_deg = to_double(next_field(c, line), "lat");
+  r.pos.lon_deg = to_double(next_field(c, line), "lon");
+  r.speed_mps = to_double(next_field(c, line), "speed_mps");
+  r.kind = probe_kind_from_string(next_field(c, line));
+  r.success = to_int(next_field(c, line), "success") != 0;
+  r.throughput_bps = to_double(next_field(c, line), "throughput_bps");
+  r.loss_rate = to_double(next_field(c, line), "loss_rate");
+  r.jitter_s = to_double(next_field(c, line), "jitter_s");
+  r.rtt_s = to_double(next_field(c, line), "rtt_s");
+  r.ping_sent = to_int(next_field(c, line), "ping_sent");
+  r.ping_failures = to_int(next_field(c, line), "ping_failures");
+  r.rssi_dbm = to_double(next_field(c, line), "rssi_dbm");
+  r.device.assign(next_field(c, line));
+  // Exact 64-bit parse: ids above 2^53 used to be corrupted by a double
+  // round-trip.
+  r.client_id = to_u64(next_field(c, line), "client_id");
+  if (!c.exhausted()) throw_field_count(line);
   return r;
 }
 
@@ -103,7 +203,7 @@ dataset read_csv(std::istream& is) {
     throw std::invalid_argument("empty CSV input");
   }
   if (line != csv_header()) {
-    throw std::invalid_argument("CSV header mismatch: '" + line + "'");
+    throw std::invalid_argument("CSV header mismatch: '" + clip(line) + "'");
   }
   dataset ds;
   while (std::getline(is, line)) {

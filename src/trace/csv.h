@@ -3,10 +3,18 @@
 // The paper promises its traces via CRAWDAD; this is the interchange layer:
 // a flat, self-describing CSV schema so synthetic datasets can be exported,
 // inspected, and re-loaded (or replaced with real field data).
+//
+// Parsing is a zero-allocation fast path: from_csv() walks the line as a
+// std::string_view, numeric fields go through std::from_chars (no locale,
+// no istringstream, no temporary substrings), and only the two string
+// fields of the decoded record allocate -- short names stay in SSO. Error
+// messages (the cold path) may allocate and echo at most a clipped excerpt
+// of the offending field.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/dataset.h"
 
@@ -15,11 +23,15 @@ namespace wiscape::trace {
 /// Header line of the CSV schema (time,network,lat,lon,speed,kind,...).
 std::string csv_header();
 
-/// Renders one record as a CSV line (no trailing newline).
+/// Renders one record as a CSV line (no trailing newline). Never truncates:
+/// oversized fields (e.g. a long device name) grow the output instead.
 std::string to_csv(const measurement_record& r);
 
-/// Parses one CSV line. Throws std::invalid_argument on malformed input.
-measurement_record from_csv(const std::string& line);
+/// Parses one CSV line. Throws std::invalid_argument on malformed input
+/// (wrong field count, non-numeric field, trailing junk in a number).
+/// Integer fields -- including the 64-bit client_id -- are parsed exactly
+/// with std::from_chars, never through a double.
+measurement_record from_csv(std::string_view line);
 
 /// Writes `ds` with header to a stream / file.
 void write_csv(std::ostream& os, const dataset& ds);

@@ -18,12 +18,12 @@ std::string to_string(probe_kind k) {
   return "?";
 }
 
-probe_kind probe_kind_from_string(const std::string& s) {
+probe_kind probe_kind_from_string(std::string_view s) {
   if (s == "tcp") return probe_kind::tcp_download;
   if (s == "udp") return probe_kind::udp_burst;
   if (s == "ping") return probe_kind::ping;
   if (s == "udp_up") return probe_kind::udp_uplink;
-  throw std::invalid_argument("unknown probe kind: " + s);
+  throw std::invalid_argument("unknown probe kind: " + std::string(s));
 }
 
 std::string to_string(metric m) {
@@ -44,13 +44,13 @@ std::string to_string(metric m) {
   return "?";
 }
 
-metric metric_from_string(const std::string& s) {
+metric metric_from_string(std::string_view s) {
   for (metric m : {metric::tcp_throughput_bps, metric::udp_throughput_bps,
                    metric::loss_rate, metric::jitter_s, metric::rtt_s,
                    metric::uplink_throughput_bps}) {
     if (to_string(m) == s) return m;
   }
-  throw std::invalid_argument("unknown metric: " + s);
+  throw std::invalid_argument("unknown metric: " + std::string(s));
 }
 
 probe_kind kind_for(metric m) noexcept {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "geo/lat_lon.h"
 
@@ -23,7 +24,9 @@ enum class probe_kind {
 };
 
 std::string to_string(probe_kind k);
-probe_kind probe_kind_from_string(const std::string& s);
+/// Parses the strings produced by to_string(probe_kind); throws
+/// std::invalid_argument otherwise. Does not allocate on success.
+probe_kind probe_kind_from_string(std::string_view s);
 
 /// One collected measurement sample.
 struct measurement_record {
@@ -70,7 +73,7 @@ std::string to_string(metric m);
 
 /// Parses the strings produced by to_string(metric); throws
 /// std::invalid_argument otherwise.
-metric metric_from_string(const std::string& s);
+metric metric_from_string(std::string_view s);
 
 /// The probe kind that carries a metric.
 probe_kind kind_for(metric m) noexcept;

@@ -292,6 +292,127 @@ TEST(ProtoEndToEnd, RemoteAgentDrivesFullLoop) {
   EXPECT_GT(published, 0);
 }
 
+TEST(ProtoServer, ReportBatchAcksAndIngests) {
+  // REPORTB against the sequential coordinator: one frame, n records, one
+  // "ACK <n>" reply, all ingested exactly as n single REPORTs would be.
+  const auto dep = testing::tiny_deployment();
+  geo::zone_grid grid(dep.proj(), 250.0);
+  core::coordinator coord(grid, dep.names(), {}, 5);
+  coordinator_server server(coord);
+  const auto before = parse_stats(server.handle("STATS"));
+
+  const geo::lat_lon pos = dep.proj().to_lat_lon({50.0, 50.0});
+  std::vector<trace::measurement_record> recs;
+  for (int i = 0; i < 25; ++i) {
+    recs.push_back(testing::make_record(1000.0 + i * 10.0, dep.names()[0],
+                                        pos, trace::probe_kind::udp_burst,
+                                        1e6));
+  }
+  EXPECT_EQ(server.handle(encode_report_batch(recs)), "ACK 25");
+  EXPECT_EQ(server.reports_received(), 25u);
+  EXPECT_GT(coord.status_of(grid.zone_of(pos)).open_epoch_samples, 0u);
+
+  const auto after = parse_stats(server.handle("STATS"));
+  using namespace obs::names;
+  EXPECT_EQ(delta(before, after, kServerReports), 25.0);
+  EXPECT_EQ(delta(before, after, kServerReportBatches), 1.0);
+  EXPECT_EQ(delta(before, after, kCoordReportsAccepted), 25.0);
+  EXPECT_EQ(delta(before, after,
+                  std::string(kServerBatchLatency) + ".count"),
+            1.0);
+  // lines = the one REPORTB frame + the closing STATS itself.
+  EXPECT_EQ(delta(before, after, kServerLines), 2.0);
+}
+
+TEST(ProtoServer, ReportBatchIsAllOrNothingOnBadRecord) {
+  const auto dep = testing::tiny_deployment();
+  geo::zone_grid grid(dep.proj(), 250.0);
+  core::coordinator coord(grid, dep.names(), {}, 5);
+  coordinator_server server(coord);
+
+  const geo::lat_lon pos = dep.proj().to_lat_lon({50.0, 50.0});
+  std::vector<trace::measurement_record> recs;
+  for (int i = 0; i < 3; ++i) {
+    recs.push_back(testing::make_record(1000.0 + i, dep.names()[0], pos,
+                                        trace::probe_kind::udp_burst, 1e6));
+  }
+  std::string frame = encode_report_batch(recs);
+  frame += "\nnot,a,valid,record";  // 4th line breaks the declared count
+  EXPECT_EQ(message_type(server.handle(frame)), "ERR");
+  EXPECT_EQ(server.reports_received(), 0u);
+  EXPECT_EQ(coord.status_of(grid.zone_of(pos)).open_epoch_samples, 0u);
+  EXPECT_EQ(server.errors(), 1u);
+}
+
+TEST(ProtoServer, ReportBatchFlowsThroughShardedPipeline) {
+  // REPORTB against the 2-shard concurrent server: the batch is routed per
+  // shard and drained; after flush the tables saw every record.
+  const auto dep = testing::tiny_deployment();
+  geo::zone_grid grid(dep.proj(), 250.0);
+  core::sharded_config cfg;
+  cfg.coordinator.epochs.default_epoch_s = 120.0;
+  cfg.num_shards = 2;
+  core::sharded_coordinator coord(grid, dep.names(), cfg, 5);
+  coordinator_server server(coord);
+  const auto before = parse_stats(server.handle("STATS"));
+
+  stats::rng_stream rng(7);
+  constexpr int kFrames = 8;
+  constexpr int kPerFrame = 40;
+  for (int f = 0; f < kFrames; ++f) {
+    std::vector<trace::measurement_record> recs;
+    for (int i = 0; i < kPerFrame; ++i) {
+      recs.push_back(testing::make_record(
+          1000.0 + f * 100.0 + i, dep.names()[0],
+          dep.proj().to_lat_lon({250.0 * rng.uniform_int(-2, 2),
+                                 250.0 * rng.uniform_int(-2, 2)}),
+          trace::probe_kind::udp_burst, 1e6));
+    }
+    EXPECT_EQ(server.handle(encode_report_batch(recs)),
+              "ACK " + std::to_string(kPerFrame));
+  }
+  coord.flush();
+  constexpr std::uint64_t kTotal = kFrames * kPerFrame;
+  EXPECT_EQ(server.reports_received(), kTotal);
+  EXPECT_EQ(coord.reports_received(), kTotal);
+  EXPECT_EQ(coord.reports_ingested(), kTotal);
+
+  const auto after = parse_stats(server.handle("STATS"));
+  using namespace obs::names;
+  EXPECT_EQ(delta(before, after, kServerReports), double(kTotal));
+  EXPECT_EQ(delta(before, after, kServerReportBatches), double(kFrames));
+  EXPECT_EQ(delta(before, after, kShardedRoutedTotal), double(kTotal));
+  EXPECT_EQ(delta(before, after, kCoordReportsAccepted), double(kTotal));
+
+  // Stopped pipeline refuses the whole frame.
+  coord.stop();
+  std::vector<trace::measurement_record> one{testing::make_record(
+      9000.0, dep.names()[0], dep.proj().to_lat_lon({0.0, 0.0}),
+      trace::probe_kind::udp_burst, 1e6)};
+  EXPECT_EQ(message_type(server.handle(encode_report_batch(one))), "ERR");
+}
+
+TEST(ProtoServer, LongGarbageLineEchoIsClipped) {
+  // A multi-megabyte garbage line must not be reflected verbatim into the
+  // ERR reply (or the obs error path).
+  const auto dep = testing::tiny_deployment();
+  core::coordinator coord(geo::zone_grid(dep.proj(), 250.0), dep.names(),
+                          {}, 5);
+  coordinator_server server(coord);
+
+  const std::string garbage = "NOISE " + std::string(4 << 20, 'x');
+  const std::string reply = server.handle(garbage);
+  EXPECT_EQ(message_type(reply), "ERR");
+  EXPECT_LT(reply.size(), 256u) << "ERR reply must clip the echoed line";
+
+  const std::string bad_checkin =
+      "CHECKIN client=1 lat=" + std::string(1 << 20, '9') +
+      " lon=1 t=1 net=0 active=1 device=a";
+  const std::string reply2 = server.handle(bad_checkin);
+  EXPECT_EQ(message_type(reply2), "ERR");
+  EXPECT_LT(reply2.size(), 256u);
+}
+
 TEST(ProtoServer, StatsReflectsReportsAndErrLines) {
   // Regression for the STATS command: a known sequence of ACKed reports and
   // ERR replies must show up, exactly counted, in the metrics dump.

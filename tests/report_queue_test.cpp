@@ -129,6 +129,83 @@ TEST(ReportQueue, CloseUnblocksWaitingProducerAndConsumer) {
   blocked_consumer.join();
 }
 
+TEST(ReportQueue, PushBatchEnqueuesAllInOrder) {
+  report_queue q(64);
+  std::vector<trace::measurement_record> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(tagged(1, i));
+  EXPECT_EQ(q.push_batch(batch), 10u);
+  EXPECT_EQ(q.size(), 10u);
+  std::vector<trace::measurement_record> out;
+  EXPECT_EQ(q.pop_batch(out, 100), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i].time_s, i);
+  EXPECT_EQ(q.push_batch({}), 0u);  // empty batch is a no-op
+}
+
+TEST(ReportQueue, PushBatchLargerThanCapacityFeedsThroughBackpressure) {
+  // A batch bigger than the queue's capacity must flow through in gulps as
+  // the consumer makes room, keeping order, losing nothing.
+  constexpr std::size_t kBatch = 100;
+  report_queue q(8);
+  std::vector<trace::measurement_record> batch;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    batch.push_back(tagged(1, static_cast<double>(i)));
+  }
+  std::vector<trace::measurement_record> drained;
+  std::thread consumer([&] {
+    std::vector<trace::measurement_record> out;
+    while (drained.size() < kBatch) {
+      out.clear();
+      if (q.pop_batch(out, 16) == 0) break;
+      drained.insert(drained.end(), out.begin(), out.end());
+    }
+  });
+  EXPECT_EQ(q.push_batch(batch), kBatch);
+  q.close();
+  consumer.join();
+  ASSERT_EQ(drained.size(), kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) EXPECT_EQ(drained[i].time_s, i);
+}
+
+TEST(ReportQueue, PushBatchStaysContiguousAcrossProducers) {
+  // Two producers batch-push concurrently into a roomy queue: each batch
+  // must land contiguous (one lock hold), in order, nothing interleaved.
+  constexpr std::size_t kBatch = 50;
+  report_queue q(256);
+  auto make = [](std::uint64_t p) {
+    std::vector<trace::measurement_record> batch;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(tagged(p, static_cast<double>(i)));
+    }
+    return batch;
+  };
+  std::thread a([&] { EXPECT_EQ(q.push_batch(make(1)), kBatch); });
+  std::thread b([&] { EXPECT_EQ(q.push_batch(make(2)), kBatch); });
+  a.join();
+  b.join();
+  std::vector<trace::measurement_record> out;
+  EXPECT_EQ(q.pop_batch(out, 2 * kBatch), 2 * kBatch);
+  // Batches didn't interleave: the producer id changes at most once.
+  int switches = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].client_id != out[i - 1].client_id) ++switches;
+  }
+  EXPECT_LE(switches, 1);
+  // And within each batch the order held.
+  std::vector<double> next(3, 0.0);
+  for (const auto& rec : out) {
+    EXPECT_EQ(rec.time_s, next[rec.client_id]);
+    next[rec.client_id] += 1.0;
+  }
+}
+
+TEST(ReportQueue, PushBatchAfterCloseDropsEverything) {
+  report_queue q(8);
+  q.close();
+  std::vector<trace::measurement_record> batch{tagged(1, 0), tagged(1, 1)};
+  EXPECT_EQ(q.push_batch(batch), 0u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(ReportQueue, WaitEmptyReturnsOnceConsumed) {
   report_queue q(8);
   for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.push(tagged(1, i)));

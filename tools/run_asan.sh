@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# AddressSanitizer + UndefinedBehaviorSanitizer run for the wire parsers.
+#
+# The zero-allocation decode fast path works on raw std::string_view spans
+# with std::from_chars -- exactly the kind of code where an off-by-one reads
+# past a buffer without crashing in a normal build. This script configures
+# two dedicated build trees (-DWISCAPE_SANITIZE=address and =undefined),
+# builds the test suite in each, and runs it twice per tree: the whole
+# suite first (parsers are exercised from many layers), then the dedicated
+# parser/codec suites on their own so their verdict is visible at the end
+# of the log. Complements tools/run_tsan.sh (ingestion concurrency).
+#
+# Usage: tools/run_asan.sh [asan-build-dir] [ubsan-build-dir]
+#        (defaults: build-asan, build-ubsan)
+set -eu
+
+asan_dir="${1:-build-asan}"
+ubsan_dir="${2:-build-ubsan}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+parser_filter='WireParse*.*:ProtoCodec.*:ProtoServer.*:Fuzz/*.*:Csv.*'
+
+run_tree() {
+  dir="$1"
+  kind="$2"
+
+  echo "== configure ($dir, WISCAPE_SANITIZE=$kind) =="
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DWISCAPE_SANITIZE="$kind"
+
+  echo "== build wiscape_tests =="
+  cmake --build "$dir" -j"$jobs" --target wiscape_tests
+
+  echo "== full test suite under $kind sanitizer =="
+  "$dir"/tests/wiscape_tests
+
+  echo "== parser/codec suites under $kind sanitizer =="
+  "$dir"/tests/wiscape_tests --gtest_filter="$parser_filter"
+}
+
+# halt_on_error fails the script on the first finding in both modes;
+# detect_leaks catches cold-path error strings that never get freed.
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+export ASAN_OPTIONS UBSAN_OPTIONS
+
+run_tree "$asan_dir" address
+run_tree "$ubsan_dir" undefined
+
+echo "ASan + UBSan runs clean."
