@@ -37,10 +37,15 @@ coordinator::coordinator(geo::zone_grid grid, std::vector<std::string> networks,
     : grid_(std::move(grid)),
       networks_(std::move(networks)),
       cfg_(cfg),
-      table_(cfg.change_sigma_factor),
+      table_(cfg.change_sigma_factor, networks_),
       epochs_(cfg.epochs),
       planner_(cfg.planner),
-      rng_(seed) {}
+      rng_(seed) {
+  // networks_[i] -> interned id; the interner collapses duplicate operator
+  // names to the first id, so two indices can legitimately share one.
+  net_ids_.reserve(networks_.size());
+  for (const auto& n : networks_) net_ids_.push_back(table_.interner().try_id(n));
+}
 
 coordinator::zone_state& coordinator::state_of(const geo::zone_id& z) {
   auto it = zones_.find(z);
@@ -79,8 +84,8 @@ std::optional<measurement_task> coordinator::checkin(
   // How many samples has the open epoch of this zone's planning stream
   // accumulated? (Tracked on the probe kind we would issue next.)
   const auto kind = static_cast<trace::probe_kind>(task_counter_ % 3);
-  const estimate_key key{z, networks_[network_index], planning_metric(kind)};
-  const std::size_t have = table_.open_epoch_samples(key);
+  const std::size_t have = table_.open_epoch_samples(
+      z, net_ids_[network_index], planning_metric(kind));
   if (have >= st.samples_target) return std::nullopt;
 
   // Per-client budget guard: a device that already spent its day's
@@ -137,41 +142,45 @@ double coordinator::client_spend_mb(std::uint64_t client_id,
   return it->second.day == day ? it->second.spent_mb : 0.0;
 }
 
+std::uint16_t coordinator::resolve_network(
+    const trace::measurement_record& rec) {
+  // Trust the wire-cached id only after checking it maps back to the same
+  // name here: records can cross process boundaries carrying ids assigned
+  // by a different (or stale) interner.
+  const auto& in = table_.interner();
+  if (rec.network_id != trace::no_network_id && rec.network_id < in.size() &&
+      in.name_of(rec.network_id) == rec.network) {
+    return rec.network_id;
+  }
+  return table_.interner().id_of(rec.network);
+}
+
 void coordinator::report(const trace::measurement_record& rec) {
   const geo::zone_id z = grid_.zone_of(rec.pos);
   zone_state& st = state_of(z);
 
-  if (rec.success) {
-    metrics().reports_accepted.inc();
-  } else {
+  if (!rec.success) {
     metrics().reports_rejected.inc();
+    return;
   }
+  metrics().reports_accepted.inc();
   const std::size_t alerts_before = table_.alerts().size();
 
-  // Fold every metric the record carries into the table.
-  static constexpr trace::metric all_metrics[] = {
-      trace::metric::tcp_throughput_bps, trace::metric::udp_throughput_bps,
-      trace::metric::loss_rate, trace::metric::jitter_s, trace::metric::rtt_s,
-      trace::metric::uplink_throughput_bps};
-  for (const trace::metric m : all_metrics) {
-    if (trace::kind_for(m) != rec.kind) continue;
-    if (!rec.success) continue;
-    table_.add_sample({z, rec.network, m}, rec.time_s, trace::value_of(rec, m),
+  // Fold every metric the record carries into the table. One id resolution
+  // per record; the per-metric applies then hash a single integer each.
+  const std::uint16_t nid = resolve_network(rec);
+  for (const trace::metric m : trace::metrics_of(rec.kind)) {
+    table_.add_sample(z, nid, m, rec.time_s, trace::value_of(rec, m),
                       st.epoch_s);
   }
 
   // Epoch-estimation history tracks the planning metric of the record kind.
-  if (rec.success) {
-    auto& series = st.history[rec.network];
-    series.add(rec.time_s, trace::value_of(rec, planning_metric(rec.kind)));
-    if (series.size() > cfg_.history_cap) {
-      // Drop the oldest half to bound memory while keeping a long window.
-      const auto& samples = series.samples();
-      stats::time_series trimmed(std::vector<stats::sample>(
-          samples.begin() + static_cast<std::ptrdiff_t>(samples.size() / 2),
-          samples.end()));
-      series = std::move(trimmed);
-    }
+  if (nid >= st.history.size()) st.history.resize(nid + 1);
+  auto& series = st.history[nid];
+  series.add(rec.time_s, trace::value_of(rec, planning_metric(rec.kind)));
+  if (series.size() > cfg_.history_cap) {
+    // Drop the oldest half to bound memory while keeping a long window.
+    series.drop_oldest(series.size() / 2);
   }
 
   const std::size_t alerts_after = table_.alerts().size();
@@ -187,9 +196,11 @@ void coordinator::report_batch(
 
 void coordinator::recompute_epochs() {
   for (auto& [zone, st] : zones_) {
-    // Use the longest per-network history in this zone.
+    // Use the longest per-network history in this zone. Ties go to the
+    // lowest network id (the vector replaces the seed's unordered_map, whose
+    // tie order was unspecified; strictly-longest winners are unchanged).
     const stats::time_series* best = nullptr;
-    for (const auto& [net, series] : st.history) {
+    for (const auto& series : st.history) {
       if (!best || series.size() > best->size()) best = &series;
     }
     if (!best || best->size() < 32) continue;
@@ -203,13 +214,15 @@ std::size_t coordinator::refine_sample_target(const geo::zone_id& zone,
   auto it = zones_.find(zone);
   if (it == zones_.end()) return cfg_.default_samples_per_epoch;
   zone_state& st = it->second;
-  const auto hist = st.history.find(std::string(network));
+  // Allocation-free lookup: networks with no history were never interned
+  // (or never reported into this zone).
+  const std::uint16_t nid = table_.interner().try_id(network);
   (void)metric;  // histories are keyed per network on the planning metric
-  if (hist == st.history.end() ||
-      hist->second.size() < cfg_.planner.step * 4) {
+  if (nid == network_interner::npos || nid >= st.history.size() ||
+      st.history[nid].size() < cfg_.planner.step * 4) {
     return st.samples_target;
   }
-  const auto values = hist->second.values();
+  const auto values = st.history[nid].values();
   st.samples_target = planner_.samples_needed(values, rng_);
   return st.samples_target;
 }
@@ -225,12 +238,12 @@ zone_status coordinator::status_of(const geo::zone_id& zone) const {
   out.epoch_duration_s = it->second.epoch_s;
   out.samples_target = it->second.samples_target;
   // Report the fullest open stream across networks/metrics for this zone.
-  for (const auto& net : networks_) {
+  for (const std::uint16_t nid : net_ids_) {
     for (const trace::metric m :
          {trace::metric::tcp_throughput_bps, trace::metric::udp_throughput_bps,
           trace::metric::rtt_s}) {
       out.open_epoch_samples = std::max(
-          out.open_epoch_samples, table_.open_epoch_samples({zone, net, m}));
+          out.open_epoch_samples, table_.open_epoch_samples(zone, nid, m));
     }
   }
   return out;

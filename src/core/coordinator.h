@@ -116,22 +116,34 @@ class coordinator {
     return table_.alerts();
   }
 
+  /// Interned id a record's network would resolve to here, or
+  /// trace::no_network_id if never seen. Read-only (does not intern).
+  std::uint16_t network_id_of(std::string_view network) const noexcept {
+    return table_.interner().try_id(network);
+  }
+
  private:
   struct zone_state {
     double epoch_s;
     std::size_t samples_target;
-    // (network index -> metric history used for epoch/NKLD estimation)
-    std::unordered_map<std::string, stats::time_series> history;
+    // Metric history used for epoch/NKLD estimation, indexed by the table's
+    // interned network id (dense: most zones see every operator).
+    std::vector<stats::time_series> history;
   };
 
   zone_state& state_of(const geo::zone_id& z);
   /// The primary metric driving sampling decisions for a probe kind.
   static trace::metric planning_metric(trace::probe_kind k) noexcept;
+  /// The record's interned network id: the wire-cached id when it checks
+  /// out against our interner, else a (possibly interning) name lookup.
+  std::uint16_t resolve_network(const trace::measurement_record& rec);
 
   geo::zone_grid grid_;
   std::vector<std::string> networks_;
   coordinator_config cfg_;
   zone_table table_;
+  // networks_[i] -> interned id (duplicate names collapse to the first id).
+  std::vector<std::uint16_t> net_ids_;
   epoch_estimator epochs_;
   sample_planner planner_;
   stats::rng_stream rng_;

@@ -1,0 +1,38 @@
+#include "core/network_interner.h"
+
+#include <stdexcept>
+
+namespace wiscape::core {
+
+network_interner::network_interner(const std::vector<std::string>& names) {
+  for (const auto& name : names) id_of(name);
+}
+
+std::uint16_t network_interner::id_of(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  if (names_.size() >= max_networks) {
+    throw std::length_error("network_interner: more than " +
+                            std::to_string(max_networks) +
+                            " distinct networks");
+  }
+  const auto id = static_cast<std::uint16_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint16_t network_interner::try_id(std::string_view name) const noexcept {
+  const auto it = index_.find(name);
+  return it == index_.end() ? npos : it->second;
+}
+
+std::string_view network_interner::name_of(std::uint16_t id) const {
+  if (id >= names_.size()) {
+    throw std::out_of_range("network_interner: unknown id " +
+                            std::to_string(id));
+  }
+  return names_[id];
+}
+
+}  // namespace wiscape::core

@@ -36,7 +36,8 @@ void save_zone_table(std::ostream& os, const zone_table& table) {
             });
   char buf[256];
   for (const auto& key : keys) {
-    for (const auto& est : table.history(key)) {
+    // Non-copying view: the table is not mutated while we stream it out.
+    for (const auto& est : table.history_view(key)) {
       std::snprintf(buf, sizeof(buf), "EST %s %s %s %.3f %.6f %.6f %zu\n",
                     geo::to_string(key.zone).c_str(), key.network.c_str(),
                     trace::to_string(key.metric).c_str(), est.epoch_start_s,

@@ -85,7 +85,7 @@ sharded_coordinator::sharded_coordinator(geo::zone_grid grid,
                                          std::vector<std::string> networks,
                                          sharded_config cfg,
                                          std::uint64_t seed)
-    : grid_(grid), cfg_(cfg) {
+    : grid_(grid), cfg_(cfg), wire_ids_(networks) {
   if (cfg.num_shards == 0) {
     throw std::invalid_argument("sharded_coordinator needs >= 1 shard");
   }
@@ -313,7 +313,10 @@ std::vector<epoch_estimate> sharded_coordinator::history(
     const estimate_key& key) const {
   const shard& sh = *shards_[shard_of(key.zone)];
   std::lock_guard lock(sh.mu);
-  return sh.coord.table().history(key);
+  // Materialise from the non-copying view while the shard lock is held --
+  // the returned vector must outlive the lock, the view must not.
+  const auto view = sh.coord.table().history_view(key);
+  return {view.begin(), view.end()};
 }
 
 std::vector<estimate_key> sharded_coordinator::keys() const {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "core/coordinator.h"
+#include "core/network_interner.h"
 #include "core/report_queue.h"
 
 namespace wiscape::core {
@@ -141,6 +142,20 @@ class sharded_coordinator {
   /// shard accounts the check-ins it answered).
   double client_spend_mb(std::uint64_t client_id, double time_s) const;
 
+  /// Interned id of an operator from the constructor's network list, or
+  /// trace::no_network_id (== network_interner::npos) for anything else.
+  /// Backed by a frozen interner that is never mutated after construction,
+  /// so it is safe to call concurrently without a lock -- the wire boundary
+  /// uses it to pre-resolve measurement_record::network_id once per record.
+  /// Ids agree with every shard's table for these networks (all interners
+  /// are seeded from the same list in the same order).
+  std::uint16_t network_id_of(std::string_view network) const noexcept {
+    return wire_ids_.try_id(network);
+  }
+
+  /// The frozen wire-boundary interner itself (read-only).
+  const network_interner& wire_interner() const noexcept { return wire_ids_; }
+
   // ---- read-side aggregation (flush() first for a consistent view) -------
 
   /// Latest frozen estimate / history for a key, from its owning shard.
@@ -183,6 +198,9 @@ class sharded_coordinator {
 
   geo::zone_grid grid_;
   sharded_config cfg_;
+  // Frozen copy of the constructor's operator-id assignment, readable from
+  // any thread without a lock (see network_id_of).
+  network_interner wire_ids_;
   std::vector<std::unique_ptr<shard>> shards_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> reports_received_{0};

@@ -3,7 +3,30 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/names.h"
+#include "obs/registry.h"
+
 namespace wiscape::core {
+
+namespace {
+
+// Cold-path store metrics (stream creation, epoch rollover, gap jumps);
+// the per-sample apply path touches no registry counter.
+struct store_metrics {
+  obs::counter& streams;
+  obs::counter& rollovers;
+  obs::counter& gap_fast_forwards;
+};
+
+store_metrics& metrics() {
+  auto& reg = obs::registry::global();
+  static store_metrics m{reg.get_counter(obs::names::kZoneTableStreams),
+                         reg.get_counter(obs::names::kZoneTableRollovers),
+                         reg.get_counter(obs::names::kZoneTableGapFastForwards)};
+  return m;
+}
+
+}  // namespace
 
 std::size_t estimate_key_hash::operator()(const estimate_key& k) const noexcept {
   std::size_t h = geo::zone_id_hash{}(k.zone);
@@ -12,71 +35,178 @@ std::size_t estimate_key_hash::operator()(const estimate_key& k) const noexcept 
   return h;
 }
 
-void zone_table::add_sample(const estimate_key& key, double time_s,
-                            double value, double epoch_duration_s) {
-  if (!(epoch_duration_s > 0.0)) {
-    throw std::invalid_argument("epoch duration must be positive");
-  }
-  stream& s = streams_[key];
-  if (s.open_start_s < 0.0) {
-    // Align the first epoch boundary to a multiple of the duration so
-    // different clients agree on epoch edges.
-    s.open_start_s =
-        std::floor(time_s / epoch_duration_s) * epoch_duration_s;
-  }
-  while (time_s >= s.open_start_s + epoch_duration_s) {
-    rollover(key, s);
-    s.open_start_s += epoch_duration_s;
-  }
-  s.open.add(value);
+void zone_table::throw_zone_range(const geo::zone_id& zone) {
+  throw std::invalid_argument("zone " + geo::to_string(zone) +
+                              " outside the packed +/-2^23 cell range");
 }
 
-void zone_table::rollover(const estimate_key& key, stream& s) {
+void zone_table::grow_slots() {
+  const std::size_t cap = slot_mask_ == 0 ? 64 : (slot_mask_ + 1) * 2;
+  std::vector<gslot> old = std::move(slots_);
+  slots_.assign(cap, gslot{});
+  slot_mask_ = cap - 1;
+  memo_key_ = 0;  // memoized slot index is stale after the rehash
+  for (const gslot& g : old) {
+    if (g.key == 0) continue;
+    std::size_t slot = static_cast<std::size_t>(mix64(g.key)) & slot_mask_;
+    while (slots_[slot].key != 0) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = g;
+  }
+}
+
+std::size_t zone_table::create_group(std::uint64_t gkey) {
+  // Keep the directory under 1/2 load: linear probing degrades sharply past
+  // that, and at 32 bytes/slot the headroom costs little memory.
+  if (slot_mask_ == 0 || (group_count_ + 1) * 2 > (slot_mask_ + 1)) {
+    grow_slots();
+  }
+  std::size_t slot = static_cast<std::size_t>(mix64(gkey)) & slot_mask_;
+  while (slots_[slot].key != 0) slot = (slot + 1) & slot_mask_;
+  slots_[slot].key = gkey;
+  ++group_count_;
+  memo_key_ = gkey;
+  memo_slot_ = slot;
+  return slot;
+}
+
+std::size_t zone_table::materialize_stream(std::size_t slot,
+                                           const geo::zone_id& zone,
+                                           std::uint16_t network_id,
+                                           trace::metric metric) {
+  hot_.push_back(hot_state{});
+  cold_.push_back(cold_state{
+      {},
+      estimate_key{zone, std::string(interner_.name_of(network_id)), metric}});
+  const auto val = static_cast<std::uint32_t>(hot_.size());
+  slots_[slot].streams[static_cast<std::size_t>(metric)] = val;
+  metrics().streams.inc();
+  return val - 1;
+}
+
+std::size_t zone_table::find_stream(const geo::zone_id& zone,
+                                    std::uint16_t network_id,
+                                    trace::metric metric) const noexcept {
+  if (zone.ix < -kCoordLimit || zone.ix >= kCoordLimit ||
+      zone.iy < -kCoordLimit || zone.iy >= kCoordLimit) {
+    return npos_index;  // out-of-range zones can never have been stored
+  }
+  const std::size_t slot = find_group(pack_group(zone, network_id));
+  if (slot == npos_index) return npos_index;
+  const std::uint32_t val =
+      slots_[slot].streams[static_cast<std::size_t>(metric)];
+  return val == 0 ? npos_index : val - 1;
+}
+
+void zone_table::cross_epochs(std::size_t index, double time_s,
+                              double epoch_duration_s) {
+  hot_state& s = hot_[index];
+  // One rollover publishes the open epoch (if it collected anything)...
+  rollover(index);
+  s.open_start_s += epoch_duration_s;
+  // ...and every further elapsed epoch is empty and publishes nothing, so
+  // the seed's one-iteration-per-epoch walk reduces to repeatedly adding
+  // the duration. Jump all but the last two steps in one fused
+  // multiply-add -- bit-identical to the iterated walk whenever fp
+  // addition of the duration is exact (integral-second durations in
+  // particular) -- and let the bounded loop below absorb any fp residue
+  // without ever overshooting past time_s.
+  const double elapsed = time_s - s.open_start_s;
+  if (elapsed >= 2.0 * epoch_duration_s) {
+    const double skip = std::floor(elapsed / epoch_duration_s) - 2.0;
+    if (skip > 0.0) {
+      s.open_start_s += skip * epoch_duration_s;
+      metrics().gap_fast_forwards.inc();
+    }
+  }
+  while (time_s >= s.open_start_s + epoch_duration_s) {
+    s.open_start_s += epoch_duration_s;
+  }
+}
+
+void zone_table::add_sample(const estimate_key& key, double time_s,
+                            double value, double epoch_duration_s) {
+  add_sample(key.zone, interner_.id_of(key.network), key.metric, time_s,
+             value, epoch_duration_s);
+}
+
+void zone_table::rollover(std::size_t index) {
+  hot_state& s = hot_[index];
   if (s.open.empty()) return;  // nothing collected: publish nothing
+  cold_state& c = cold_[index];
   epoch_estimate e;
   e.epoch_start_s = s.open_start_s;
-  e.mean = s.open.mean();
+  e.mean = s.open.mean;
   e.stddev = s.open.stddev();
-  e.samples = s.open.count();
+  e.samples = s.open.n;
 
-  if (!s.frozen.empty()) {
-    const epoch_estimate& prev = s.frozen.back();
+  if (!c.frozen.empty()) {
+    const epoch_estimate& prev = c.frozen.back();
     const double threshold = sigma_factor_ * prev.stddev;
     if (threshold > 0.0 && std::abs(e.mean - prev.mean) > threshold) {
       alerts_.push_back(
-          {key, e.epoch_start_s, prev.mean, e.mean, prev.stddev});
+          {c.key, e.epoch_start_s, prev.mean, e.mean, prev.stddev});
     }
   }
-  s.frozen.push_back(e);
+  c.frozen.push_back(e);
   s.open.reset();
+  metrics().rollovers.inc();
 }
 
 std::optional<epoch_estimate> zone_table::latest(const estimate_key& key) const {
-  const auto it = streams_.find(key);
-  if (it == streams_.end() || it->second.frozen.empty()) return std::nullopt;
-  return it->second.frozen.back();
+  const auto view = history_view(key);
+  if (view.empty()) return std::nullopt;
+  return view.back();
+}
+
+std::size_t zone_table::open_epoch_samples(const geo::zone_id& zone,
+                                           std::uint16_t network_id,
+                                           trace::metric metric) const {
+  if (network_id == network_interner::npos) return 0;
+  const std::size_t idx = find_stream(zone, network_id, metric);
+  return idx == npos_index ? 0 : hot_[idx].open.n;
 }
 
 std::size_t zone_table::open_epoch_samples(const estimate_key& key) const {
-  const auto it = streams_.find(key);
-  return it == streams_.end() ? 0 : it->second.open.count();
+  return open_epoch_samples(key.zone, interner_.try_id(key.network),
+                            key.metric);
+}
+
+std::span<const epoch_estimate> zone_table::history_view(
+    const geo::zone_id& zone, std::uint16_t network_id,
+    trace::metric metric) const {
+  if (network_id == network_interner::npos) return {};
+  const std::size_t idx = find_stream(zone, network_id, metric);
+  if (idx == npos_index) return {};
+  return cold_[idx].frozen;
+}
+
+std::span<const epoch_estimate> zone_table::history_view(
+    const estimate_key& key) const {
+  return history_view(key.zone, interner_.try_id(key.network), key.metric);
 }
 
 std::vector<epoch_estimate> zone_table::history(const estimate_key& key) const {
-  const auto it = streams_.find(key);
-  return it == streams_.end() ? std::vector<epoch_estimate>{}
-                              : it->second.frozen;
+  const auto view = history_view(key);
+  return {view.begin(), view.end()};
 }
 
 void zone_table::restore(const estimate_key& key,
                          const epoch_estimate& estimate) {
-  streams_[key].frozen.push_back(estimate);
+  const std::uint16_t nid = interner_.id_of(key.network);
+  const std::uint64_t gkey = pack_group(key.zone, nid);
+  std::size_t slot = find_group(gkey);
+  if (slot == npos_index) slot = create_group(gkey);
+  const std::uint32_t val =
+      slots_[slot].streams[static_cast<std::size_t>(key.metric)];
+  const std::size_t idx =
+      val != 0 ? val - 1 : materialize_stream(slot, key.zone, nid, key.metric);
+  cold_[idx].frozen.push_back(estimate);
 }
 
 std::vector<estimate_key> zone_table::keys() const {
   std::vector<estimate_key> out;
-  out.reserve(streams_.size());
-  for (const auto& [k, _] : streams_) out.push_back(k);
+  out.reserve(cold_.size());
+  for (const auto& c : cold_) out.push_back(c.key);
   return out;
 }
 

@@ -6,20 +6,50 @@
 // from the previous one raises a change alert ("the server checks if the
 // measured statistic has changed substantially from its previous update,
 // say by more than twice the standard deviation", Sec 3.4).
+//
+// Storage is a dense interned layout (ISSUE 4): network names are interned
+// to u16 ids (core::network_interner) and each (zone, network) pair packs
+// into one u64 group key -- zone ix:24 | zone iy:24 | network id:12 -- that
+// indexes an open-addressing directory. One 32-byte directory slot holds
+// the group key AND the six per-metric stream indices, so a record's whole
+// metric fold (1-3 applies) costs a single integer-hash probe touching one
+// cache line; per-stream state lives in insertion-ordered parallel vectors
+// split hot (open-epoch accumulator) / cold (frozen history + unpacked
+// key). The apply path (the id-based add_sample overload) hashes one
+// integer, allocates nothing, and a one-entry last-group memo
+// short-circuits the probe for consecutive samples from the same zone and
+// operator. The string-keyed API is preserved for readers and persistence;
+// its lookups go through the interner's transparent hash, so they are
+// allocation-free too.
+//
+// Epoch fast-forward invariant: when a sample lands k >= 1 epochs past the
+// open epoch, exactly one rollover publishes (the open epoch, if it has
+// samples) and the k-1 intervening *empty* epochs publish nothing, so the
+// boundary is advanced in O(1) with one fused multiply-add instead of one
+// loop iteration per elapsed epoch. The jump is bit-identical to the seed's
+// iterated `open_start += duration` walk whenever fp addition of the
+// duration is exact -- integral-second durations in particular, which is
+// every duration this system produces -- and a bounded tail loop absorbs
+// any fp residue so the boundary never overshoots the sample's time
+// (tests/apply_path_test.cpp pins this against the frozen seed loop).
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/network_interner.h"
 #include "geo/zone_grid.h"
-#include "stats/running_stats.h"
 #include "trace/record.h"
 
 namespace wiscape::core {
 
-/// Key of one estimate stream.
+/// Key of one estimate stream (the boundary/reader form; the hot path works
+/// on the packed form below).
 struct estimate_key {
   geo::zone_id zone;
   std::string network;
@@ -52,15 +82,26 @@ struct change_alert {
 class zone_table {
  public:
   /// `change_sigma_factor`: alert threshold in units of the previous epoch's
-  /// stddev (paper suggests 2).
-  explicit zone_table(double change_sigma_factor = 2.0)
-      : sigma_factor_(change_sigma_factor) {}
+  /// stddev (paper suggests 2). `networks` pre-interns the coordinator's
+  /// operator list so ids 0..n-1 match the vector order on every shard;
+  /// networks first seen in reports are interned on the cold path.
+  explicit zone_table(double change_sigma_factor = 2.0,
+                      const std::vector<std::string>& networks = {})
+      : sigma_factor_(change_sigma_factor), interner_(networks) {}
 
   /// Adds one sample to the current epoch of `key`. `epoch_duration_s` is
   /// the zone's current epoch length (rollover happens when a sample lands
   /// past the epoch end). Throws std::invalid_argument if
-  /// epoch_duration_s <= 0.
+  /// epoch_duration_s <= 0 or the zone exceeds the packed +/-2^23 cell
+  /// range. Interns the key's network on first sight.
   void add_sample(const estimate_key& key, double time_s, double value,
+                  double epoch_duration_s);
+
+  /// The allocation-free apply path: same contract, keyed by an interned
+  /// network id (see interner()). Defined inline below -- the happy path
+  /// (existing stream, open epoch) folds into the caller's loop.
+  void add_sample(const geo::zone_id& zone, std::uint16_t network_id,
+                  trace::metric metric, double time_s, double value,
                   double epoch_duration_s);
 
   /// Latest frozen estimate for a key (nullopt before the first rollover).
@@ -68,32 +109,200 @@ class zone_table {
 
   /// Samples accumulated in the currently-open epoch of `key`.
   std::size_t open_epoch_samples(const estimate_key& key) const;
+  /// Id-keyed flavour for allocation-free callers (coordinator::checkin).
+  std::size_t open_epoch_samples(const geo::zone_id& zone,
+                                 std::uint16_t network_id,
+                                 trace::metric metric) const;
 
-  /// Full history of frozen estimates for a key (time order).
+  /// Full history of frozen estimates for a key (time order), copied.
+  /// Prefer history_view() unless the result must outlive the table (or the
+  /// lock protecting it).
   std::vector<epoch_estimate> history(const estimate_key& key) const;
+
+  /// Non-copying view of a key's frozen history. Invalidated by the next
+  /// mutating call (add_sample/restore) -- use only while the table is
+  /// stable (e.g. under the owning shard's lock, or in single-threaded
+  /// tools/benches).
+  std::span<const epoch_estimate> history_view(const estimate_key& key) const;
+  std::span<const epoch_estimate> history_view(const geo::zone_id& zone,
+                                               std::uint16_t network_id,
+                                               trace::metric metric) const;
 
   /// All change alerts raised so far (time order).
   const std::vector<change_alert>& alerts() const noexcept { return alerts_; }
 
-  /// All keys ever seen.
+  /// All keys ever seen (stream-creation order).
   std::vector<estimate_key> keys() const;
 
   /// Appends a frozen estimate to a key's history without touching the open
   /// epoch or raising alerts (used when restoring persisted state).
   void restore(const estimate_key& key, const epoch_estimate& estimate);
 
+  /// The table's network id assignment. Mutating it (id_of) outside the
+  /// table's own apply path is allowed -- ids are append-only -- but must
+  /// be serialised with every other table call.
+  const network_interner& interner() const noexcept { return interner_; }
+  network_interner& interner() noexcept { return interner_; }
+
  private:
-  struct stream {
-    stats::running_stats open;        // accumulating epoch
-    double open_start_s = -1.0;       // <0: no epoch started yet
-    std::vector<epoch_estimate> frozen;
+  static constexpr std::size_t kMetricCount = 6;  // trace::metric cardinality
+  static constexpr std::int32_t kCoordLimit = 1 << 23;  // packed cell range
+
+  // Inline open-epoch accumulator: 24 bytes, replicating
+  // stats::running_stats' Welford update bit-for-bit for the three moments
+  // an epoch_estimate publishes (count/mean/stddev). min/max are dropped --
+  // no published estimate consumes them -- and the add inlines into the
+  // apply loop instead of the out-of-line running_stats::add call.
+  struct epoch_accum {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+
+    void add(double x) noexcept {
+      ++n;
+      const double delta = x - mean;
+      mean += delta / static_cast<double>(n);
+      m2 += delta * (x - mean);
+    }
+    double variance() const noexcept {
+      return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+    double stddev() const noexcept { return std::sqrt(variance()); }
+    bool empty() const noexcept { return n == 0; }
+    void reset() noexcept { *this = epoch_accum{}; }
   };
 
-  void rollover(const estimate_key& key, stream& s);
+  // Per-stream state is split hot/cold so the per-sample apply touches as
+  // few cache lines as possible: `hot_state` (32 bytes) is everything the
+  // happy path reads and writes; the frozen history and the unpacked key
+  // live in a parallel cold vector only rollovers and readers visit.
+  struct hot_state {
+    epoch_accum open;                 // accumulating epoch
+    double open_start_s = -1.0;       // <0: no epoch started yet
+  };
+  struct cold_state {
+    std::vector<epoch_estimate> frozen;
+    estimate_key key;                 // unpacked, for keys()/alerts
+  };
+  // One directory slot covers a whole (zone, network) group: the packed
+  // group key plus stream index+1 per metric (0 = not materialized). 32
+  // bytes -- two per cache line -- so a record's full metric fold resolves
+  // every stream it touches with a single probe.
+  struct gslot {
+    std::uint64_t key = 0;  // 0 = empty slot (group keys always set bit 63)
+    std::uint32_t streams[kMetricCount] = {};
+  };
+  static_assert(sizeof(gslot) == 32);
+
+  /// Packs (zone, network id) into the directory key: tag bit 63 (so no
+  /// valid group packs to 0, the empty-slot marker) | ix:24 | iy:24 | id:12.
+  /// Throws std::invalid_argument past the +/-2^23 cell range.
+  static std::uint64_t pack_group(const geo::zone_id& zone,
+                                  std::uint16_t network_id);
+  [[noreturn]] static void throw_zone_range(const geo::zone_id& zone);
+
+  /// splitmix64 finalizer: full-avalanche mix of the packed key, so linear
+  /// probing sees well-scattered slots even for clustered zone coordinates.
+  static std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Directory slot of a group key, or npos when absent. Warms the memo.
+  std::size_t find_group(std::uint64_t gkey) const noexcept;
+  /// Directory slot of a group key, inserted on first sight (cold path;
+  /// may grow the directory, invalidating previously returned slots).
+  std::size_t create_group(std::uint64_t gkey);
+  /// Rare path of add_sample: the sample landed past the open epoch --
+  /// publish the open epoch and fast-forward the boundary.
+  void cross_epochs(std::size_t index, double time_s, double epoch_duration_s);
+  /// Stream index for (group slot, metric), creating hot/cold state on
+  /// first sight of this metric within the group.
+  std::size_t materialize_stream(std::size_t slot, const geo::zone_id& zone,
+                                 std::uint16_t network_id,
+                                 trace::metric metric);
+  /// Reader-path stream lookup: npos when the group or metric is absent.
+  std::size_t find_stream(const geo::zone_id& zone, std::uint16_t network_id,
+                          trace::metric metric) const noexcept;
+  void grow_slots();
+  void rollover(std::size_t index);
+
+  static constexpr std::size_t npos_index = static_cast<std::size_t>(-1);
 
   double sigma_factor_;
-  std::unordered_map<estimate_key, stream, estimate_key_hash> streams_;
+  network_interner interner_;
+  std::vector<hot_state> hot_;         // dense, stream-creation-ordered
+  std::vector<cold_state> cold_;       // parallel to hot_
+  std::vector<gslot> slots_;           // open-addressing directory, pow2
+  std::size_t slot_mask_ = 0;          // capacity-1; 0 = no slots yet
+  std::size_t group_count_ = 0;        // occupied directory slots
+  // One-entry group memo: consecutive reports overwhelmingly come from the
+  // same (zone, network), so the last directory hit short-circuits the probe.
+  mutable std::uint64_t memo_key_ = 0;  // 0 = invalid
+  mutable std::size_t memo_slot_ = 0;
   std::vector<change_alert> alerts_;
 };
+
+// ---- inline apply path ------------------------------------------------------
+
+inline std::uint64_t zone_table::pack_group(const geo::zone_id& zone,
+                                            std::uint16_t network_id) {
+  if (zone.ix < -kCoordLimit || zone.ix >= kCoordLimit ||
+      zone.iy < -kCoordLimit || zone.iy >= kCoordLimit) {
+    throw_zone_range(zone);
+  }
+  // tag:1 | ix:24 | iy:24 | network:12. The interner caps ids at 4096 (12
+  // bits); the tag bit keeps the all-zero group distinct from the empty
+  // slot marker.
+  const auto bx = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(zone.ix) & 0xFFFFFFu);
+  const auto by = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(zone.iy) & 0xFFFFFFu);
+  return (1ull << 63) | (bx << 36) | (by << 12) |
+         static_cast<std::uint64_t>(network_id & 0xFFFu);
+}
+
+inline std::size_t zone_table::find_group(std::uint64_t gkey) const noexcept {
+  if (memo_key_ == gkey) return memo_slot_;
+  if (slot_mask_ == 0) return npos_index;
+  std::size_t slot = static_cast<std::size_t>(mix64(gkey)) & slot_mask_;
+  while (slots_[slot].key != 0) {
+    if (slots_[slot].key == gkey) {
+      memo_key_ = gkey;
+      memo_slot_ = slot;
+      return slot;
+    }
+    slot = (slot + 1) & slot_mask_;
+  }
+  return npos_index;
+}
+
+inline void zone_table::add_sample(const geo::zone_id& zone,
+                                   std::uint16_t network_id,
+                                   trace::metric metric, double time_s,
+                                   double value, double epoch_duration_s) {
+  if (!(epoch_duration_s > 0.0)) {
+    throw std::invalid_argument("epoch duration must be positive");
+  }
+  const std::uint64_t gkey = pack_group(zone, network_id);
+  std::size_t slot = find_group(gkey);
+  if (slot == npos_index) slot = create_group(gkey);
+  const std::uint32_t val =
+      slots_[slot].streams[static_cast<std::size_t>(metric)];
+  const std::size_t idx =
+      val != 0 ? val - 1 : materialize_stream(slot, zone, network_id, metric);
+  hot_state& s = hot_[idx];
+  if (s.open_start_s < 0.0) {
+    // Align the first epoch boundary to a multiple of the duration so
+    // different clients agree on epoch edges.
+    s.open_start_s = std::floor(time_s / epoch_duration_s) * epoch_duration_s;
+  }
+  if (time_s >= s.open_start_s + epoch_duration_s) {
+    cross_epochs(idx, time_s, epoch_duration_s);
+  }
+  s.open.add(value);
+}
 
 }  // namespace wiscape::core

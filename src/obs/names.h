@@ -26,6 +26,16 @@ inline constexpr char kQueueBlockedProducers[] =
 /// Highest queue depth ever observed at enqueue time. [reports]
 inline constexpr char kQueueHighWater[] = "core.report_queue.depth_high_water";
 
+// ---- core::zone_table -----------------------------------------------------
+/// Estimate streams (distinct (zone, network, metric) keys) created.
+inline constexpr char kZoneTableStreams[] = "core.zone_table.streams";
+/// Epoch rollovers that published a frozen estimate.
+inline constexpr char kZoneTableRollovers[] = "core.zone_table.rollovers";
+/// O(1) epoch fast-forwards taken over a gap of empty epochs (the fused
+/// jump replacing the per-epoch boundary walk).
+inline constexpr char kZoneTableGapFastForwards[] =
+    "core.zone_table.gap_fast_forwards";
+
 // ---- core::coordinator ----------------------------------------------------
 /// Client check-ins processed (any outcome).
 inline constexpr char kCoordCheckins[] = "core.coordinator.checkins";

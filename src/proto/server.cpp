@@ -76,7 +76,12 @@ std::string coordinator_server::handle(std::string_view line) {
     }
     if (type == "REPORT") {
       obs::span timed(metrics().report_latency);
-      const auto rep = decode_report(line);
+      auto rep = decode_report(line);
+      // Resolve the operator id once at the wire boundary so the apply path
+      // skips the string hash (the coordinator re-validates before trusting).
+      rep.record.network_id =
+          sharded_ ? sharded_->network_id_of(rep.record.network)
+                   : coord_->network_id_of(rep.record.network);
       if (sharded_) {
         if (!sharded_->report(rep.record)) {
           metrics().err_stopped.inc();
@@ -92,7 +97,19 @@ std::string coordinator_server::handle(std::string_view line) {
     }
     if (type == "REPORTB") {
       obs::span timed(metrics().batch_latency);
-      const auto recs = decode_report_batch(line);
+      auto recs = decode_report_batch(line);
+      // Batches overwhelmingly repeat one operator name; memoise the last
+      // resolution so a frame costs ~1 interner lookup, not one per record.
+      std::string_view last_name;
+      std::uint16_t last_id = trace::no_network_id;
+      for (auto& r : recs) {
+        if (r.network != last_name || last_name.empty()) {
+          last_id = sharded_ ? sharded_->network_id_of(r.network)
+                             : coord_->network_id_of(r.network);
+          last_name = r.network;
+        }
+        r.network_id = last_id;
+      }
       if (sharded_) {
         if (sharded_->report_batch(recs) != recs.size()) {
           metrics().err_stopped.inc();

@@ -6,17 +6,29 @@
 
 namespace wiscape::stats {
 
+void time_series::drop_oldest(std::size_t n) {
+  begin_ += std::min(n, size());
+  if (begin_ >= samples_.size() - begin_) {
+    // Dead prefix outgrew the live window: compact in place (keeps
+    // capacity, so the steady-state add/trim cycle never reallocates).
+    samples_.erase(samples_.begin(),
+                   samples_.begin() + static_cast<std::ptrdiff_t>(begin_));
+    begin_ = 0;
+  }
+}
+
 std::vector<double> time_series::values() const {
   std::vector<double> out;
-  out.reserve(samples_.size());
-  for (const auto& s : samples_) out.push_back(s.value);
+  out.reserve(size());
+  for (const auto& s : samples()) out.push_back(s.value);
   return out;
 }
 
 std::vector<running_stats> time_series::bin_stats(double bin_s) const {
   if (!(bin_s > 0.0)) throw std::invalid_argument("bin width must be positive");
-  if (samples_.empty()) return {};
-  std::vector<sample> sorted = samples_;
+  if (empty()) return {};
+  const auto live = samples();
+  std::vector<sample> sorted(live.begin(), live.end());
   std::sort(sorted.begin(), sorted.end(),
             [](const sample& a, const sample& b) { return a.time_s < b.time_s; });
   const double t0 = sorted.front().time_s;
@@ -44,7 +56,7 @@ std::vector<double> time_series::bin_means(double bin_s) const {
 
 time_series time_series::between(double t0, double t1) const {
   time_series out;
-  for (const auto& s : samples_) {
+  for (const auto& s : samples()) {
     if (s.time_s >= t0 && s.time_s < t1) out.add(s);
   }
   return out;

@@ -3,8 +3,16 @@
 // The paper constantly re-aggregates the same underlying samples at different
 // time granularities (10 s vs 30 min bins in Table 4, variable tau for the
 // Allan deviation in Fig 6); time_series provides that re-binning.
+//
+// Bounded-history callers (core::coordinator's per-zone epoch-estimation
+// windows) trim with drop_oldest(), which advances an offset into the
+// backing vector instead of copying the surviving half into a fresh
+// allocation; the dead prefix is compacted in place (one element move, no
+// allocation) only once it outgrows the live window, so steady-state
+// add/trim cycles touch the allocator not at all.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "stats/running_stats.h"
@@ -29,9 +37,18 @@ class time_series {
   void add(double time_s, double value) { samples_.push_back({time_s, value}); }
   void add(const sample& s) { samples_.push_back(s); }
 
-  const std::vector<sample>& samples() const noexcept { return samples_; }
-  std::size_t size() const noexcept { return samples_.size(); }
-  bool empty() const noexcept { return samples_.empty(); }
+  /// The live samples, oldest first. The view is invalidated by the next
+  /// add() or drop_oldest().
+  std::span<const sample> samples() const noexcept {
+    return {samples_.data() + begin_, samples_.size() - begin_};
+  }
+  std::size_t size() const noexcept { return samples_.size() - begin_; }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Drops the `n` oldest live samples (all of them when n >= size()).
+  /// Amortized O(1): no allocation, and element moves only when the dead
+  /// prefix has outgrown the live window.
+  void drop_oldest(std::size_t n);
 
   /// All values, in insertion order.
   std::vector<double> values() const;
@@ -50,6 +67,7 @@ class time_series {
 
  private:
   std::vector<sample> samples_;
+  std::size_t begin_ = 0;  // offset of the live window into samples_
 };
 
 }  // namespace wiscape::stats

@@ -69,6 +69,27 @@ probe_kind kind_for(metric m) noexcept {
   return probe_kind::ping;
 }
 
+std::span<const metric> metrics_of(probe_kind k) noexcept {
+  // Order matters: the coordinator folds a record's metrics in this order,
+  // and change-alert ordering is observable output.
+  static constexpr metric tcp[] = {metric::tcp_throughput_bps};
+  static constexpr metric udp[] = {metric::udp_throughput_bps,
+                                   metric::loss_rate, metric::jitter_s};
+  static constexpr metric icmp[] = {metric::rtt_s};
+  static constexpr metric up[] = {metric::uplink_throughput_bps};
+  switch (k) {
+    case probe_kind::tcp_download:
+      return tcp;
+    case probe_kind::udp_burst:
+      return udp;
+    case probe_kind::ping:
+      return icmp;
+    case probe_kind::udp_uplink:
+      return up;
+  }
+  return {};
+}
+
 double value_of(const measurement_record& r, metric m) noexcept {
   if (r.kind != kind_for(m)) return 0.0;
   switch (m) {

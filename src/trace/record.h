@@ -8,12 +8,17 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
 #include "geo/lat_lon.h"
 
 namespace wiscape::trace {
+
+/// Sentinel for measurement_record::network_id: the name has not been
+/// resolved against an interner (matches core::network_interner::npos).
+inline constexpr std::uint16_t no_network_id = 0xFFFF;
 
 /// What kind of probe produced a record.
 enum class probe_kind {
@@ -42,6 +47,13 @@ struct measurement_record {
   /// per-client accounting and for ordering each client's GPS stream in
   /// trace::hygiene (two distinct clients are not a "teleport").
   std::uint64_t client_id = 0;
+  /// Cached interned id of `network`, resolved once at the wire boundary
+  /// against the coordinator's fixed operator list (no_network_id when the
+  /// record came from a path that did not resolve it, or the operator is
+  /// not in the list). Purely an acceleration: consumers must validate the
+  /// id maps back to `network` before trusting it, since records can cross
+  /// process boundaries carrying a foreign interner's ids.
+  std::uint16_t network_id = no_network_id;
   probe_kind kind = probe_kind::tcp_download;
   bool success = false;       ///< probe completed (coverage + no timeout)
 
@@ -77,6 +89,11 @@ metric metric_from_string(std::string_view s);
 
 /// The probe kind that carries a metric.
 probe_kind kind_for(metric m) noexcept;
+
+/// The metrics a probe kind yields, in the canonical fold order the
+/// coordinator applies them (alert ordering depends on this order staying
+/// fixed). Views into static storage.
+std::span<const metric> metrics_of(probe_kind k) noexcept;
 
 /// Value of `m` in record `r`. Callers should pre-filter records by
 /// kind_for(m) and success; mismatched kinds return 0.

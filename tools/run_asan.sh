@@ -19,6 +19,10 @@ ubsan_dir="${2:-build-ubsan}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 parser_filter='WireParse*.*:ProtoCodec.*:ProtoServer.*:Fuzz/*.*:Csv.*'
+# The dense estimate store hands out spans over its own vectors
+# (history_view) and runs an open-addressing probe over raw slots --
+# exactly where an off-by-one would hide in a normal build.
+store_filter='ApplyPath*.*:NetworkInterner.*:ZoneTableStore.*'
 
 run_tree() {
   dir="$1"
@@ -37,6 +41,9 @@ run_tree() {
 
   echo "== parser/codec suites under $kind sanitizer =="
   "$dir"/tests/wiscape_tests --gtest_filter="$parser_filter"
+
+  echo "== apply path / estimate store suites under $kind sanitizer =="
+  "$dir"/tests/wiscape_tests --gtest_filter="$store_filter"
 }
 
 # halt_on_error fails the script on the first finding in both modes;

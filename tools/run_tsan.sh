@@ -33,4 +33,11 @@ echo "== concurrency stress under TSan =="
 "$build_dir"/tests/wiscape_tests \
   --gtest_filter='ShardedCoordinatorStress.*:ReportQueue.*:ShardedCoordinator.*'
 
+# The dense estimate store is single-writer-per-shard by design; this rerun
+# pins that the interned apply path stays clean when driven through the
+# sharded pipeline's threads.
+echo "== apply path / estimate store under TSan =="
+"$build_dir"/tests/wiscape_tests \
+  --gtest_filter='ApplyPath*.*:NetworkInterner.*:ZoneTableStore.*'
+
 echo "TSan run clean."
