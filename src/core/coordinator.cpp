@@ -152,23 +152,38 @@ std::uint16_t coordinator::resolve_network(
       in.name_of(rec.network_id) == rec.network) {
     return rec.network_id;
   }
-  return table_.interner().id_of(rec.network);
+  // try_intern, not id_of: network names are untrusted wire strings, so a
+  // flood of distinct names must saturate to rejection (npos), not throw
+  // through the apply path (and terminate an async drain worker).
+  return table_.interner().try_intern(rec.network);
 }
 
 void coordinator::report(const trace::measurement_record& rec) {
-  const geo::zone_id z = grid_.zone_of(rec.pos);
-  zone_state& st = state_of(z);
-
   if (!rec.success) {
     metrics().reports_rejected.inc();
     return;
   }
+  // Wire-reachable validity checks, before any state mutation: a zone
+  // outside the store's packed cell range (absurd coordinates) or an
+  // exhausted network interner rejects the record instead of throwing --
+  // add_sample's throws must stay unreachable from attacker-controlled
+  // input because drain workers apply records off-thread.
+  const geo::zone_id z = grid_.zone_of(rec.pos);
+  if (!zone_table::zone_in_range(z)) {
+    metrics().reports_rejected.inc();
+    return;
+  }
+  const std::uint16_t nid = resolve_network(rec);
+  if (nid == network_interner::npos) {
+    metrics().reports_rejected.inc();
+    return;
+  }
+  zone_state& st = state_of(z);
   metrics().reports_accepted.inc();
   const std::size_t alerts_before = table_.alerts().size();
 
   // Fold every metric the record carries into the table. One id resolution
   // per record; the per-metric applies then hash a single integer each.
-  const std::uint16_t nid = resolve_network(rec);
   for (const trace::metric m : trace::metrics_of(rec.kind)) {
     table_.add_sample(z, nid, m, rec.time_s, trace::value_of(rec, m),
                       st.epoch_s);

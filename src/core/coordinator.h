@@ -93,7 +93,11 @@ class coordinator {
   double client_spend_mb(std::uint64_t client_id, double time_s) const;
 
   /// Ingests a completed measurement. Updates the zone table (all metrics
-  /// the record carries) and the zone's epoch-estimation history.
+  /// the record carries) and the zone's epoch-estimation history. Never
+  /// throws on wire-reachable input: failed probes, zones outside the
+  /// store's packed cell range, and records arriving after the network
+  /// interner is exhausted are counted into
+  /// `core.coordinator.reports_rejected` and dropped.
   void report(const trace::measurement_record& rec);
 
   /// Ingests a batch of completed measurements in order. Equivalent to
@@ -136,6 +140,8 @@ class coordinator {
   static trace::metric planning_metric(trace::probe_kind k) noexcept;
   /// The record's interned network id: the wire-cached id when it checks
   /// out against our interner, else a (possibly interning) name lookup.
+  /// Returns network_interner::npos -- never throws -- when the interner
+  /// is full and the name is new.
   std::uint16_t resolve_network(const trace::measurement_record& rec);
 
   geo::zone_grid grid_;

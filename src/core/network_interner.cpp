@@ -9,16 +9,27 @@ network_interner::network_interner(const std::vector<std::string>& names) {
 }
 
 std::uint16_t network_interner::id_of(std::string_view name) {
-  const auto it = index_.find(name);
-  if (it != index_.end()) return it->second;
-  if (names_.size() >= max_networks) {
+  const std::uint16_t id = try_intern(name);
+  if (id == npos) {
     throw std::length_error("network_interner: more than " +
                             std::to_string(max_networks) +
                             " distinct networks");
   }
+  return id;
+}
+
+std::uint16_t network_interner::try_intern(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  if (names_.size() >= max_networks) return npos;
   const auto id = static_cast<std::uint16_t>(names_.size());
   names_.emplace_back(name);
-  index_.emplace(names_.back(), id);
+  try {
+    index_.emplace(names_.back(), id);
+  } catch (...) {
+    names_.pop_back();  // keep names_/index_ in lockstep if the map throws
+    throw;
+  }
   return id;
 }
 

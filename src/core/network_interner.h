@@ -45,10 +45,16 @@ class network_interner {
   /// their first occurrence's id).
   explicit network_interner(const std::vector<std::string>& names);
 
-  /// Id of `name`, interning it on first sight (the one mutating call).
+  /// Id of `name`, interning it on first sight (a mutating call).
   /// Lookup of an already-interned name is allocation-free (transparent
   /// string_view hashing). Throws std::length_error past max_networks.
   std::uint16_t id_of(std::string_view name);
+
+  /// Like id_of, but returns npos instead of throwing when the table is
+  /// full. Wire-facing paths use this: network names arrive as untrusted
+  /// free-form strings, so exhaustion must reject the record, not unwind
+  /// (and in a drain worker, terminate) the apply path.
+  std::uint16_t try_intern(std::string_view name);
 
   /// Id of `name` if already interned, npos otherwise. Never interns.
   std::uint16_t try_id(std::string_view name) const noexcept;

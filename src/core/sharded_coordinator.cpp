@@ -20,6 +20,7 @@ namespace {
 struct sharded_metrics {
   obs::counter& routed;
   obs::counter& dropped;
+  obs::counter& apply_errors;
   obs::counter& drain_batches;
   obs::histogram& drain_latency;
 };
@@ -29,6 +30,7 @@ sharded_metrics& metrics() {
   static sharded_metrics m{
       reg.get_counter(obs::names::kShardedRoutedTotal),
       reg.get_counter(obs::names::kShardedDropped),
+      reg.get_counter(obs::names::kShardedApplyErrors),
       reg.get_counter(obs::names::kShardedDrainBatches),
       reg.get_histogram(obs::names::kShardedDrainLatency)};
   return m;
@@ -37,6 +39,19 @@ sharded_metrics& metrics() {
 std::string shard_metric(std::size_t index, const char* suffix) {
   return std::string(obs::names::kShardPrefix) + std::to_string(index) + "." +
          suffix;
+}
+
+// Applies one record, containing any throw. coordinator::report rejects all
+// wire-reachable bad input itself, so this catch is defense in depth: a
+// throw unwinding a drain worker would std::terminate the whole process, so
+// an un-applicable record is counted and dropped instead. Call with the
+// shard's mutex held.
+void apply_record(coordinator& coord, const trace::measurement_record& rec) {
+  try {
+    coord.report(rec);
+  } catch (const std::exception&) {
+    metrics().apply_errors.inc();
+  }
 }
 }  // namespace
 
@@ -146,7 +161,7 @@ bool sharded_coordinator::report(const trace::measurement_record& rec) {
   if (cfg_.synchronous) {
     {
       std::lock_guard lock(sh.mu);
-      sh.coord.report(rec);
+      apply_record(sh.coord, rec);
       sh.enqueued.fetch_add(1, std::memory_order_relaxed);
       sh.applied.fetch_add(1, std::memory_order_relaxed);
       reports_received_.fetch_add(1, std::memory_order_relaxed);
@@ -199,7 +214,7 @@ std::size_t sharded_coordinator::ingest_group(
   if (cfg_.synchronous) {
     {
       std::lock_guard lock(sh.mu);
-      for (const auto& rec : recs) sh.coord.report(rec);
+      for (const auto& rec : recs) apply_record(sh.coord, rec);
       sh.enqueued.fetch_add(recs.size(), std::memory_order_relaxed);
       sh.applied.fetch_add(recs.size(), std::memory_order_relaxed);
       sh.publish_routed_locked(metrics().routed);
@@ -231,7 +246,7 @@ void sharded_coordinator::apply_batch(
       // The span times the batched table updates -- the per-batch critical
       // section a drain worker holds the shard lock for.
       obs::span drain_span(metrics().drain_latency);
-      for (const auto& rec : batch) sh.coord.report(rec);
+      for (const auto& rec : batch) apply_record(sh.coord, rec);
     }
     ++sh.drain_batches;
     sh.drain_latency_s +=

@@ -40,6 +40,11 @@ void zone_table::throw_zone_range(const geo::zone_id& zone) {
                               " outside the packed +/-2^23 cell range");
 }
 
+void zone_table::throw_network_range(std::uint16_t network_id) {
+  throw std::invalid_argument("network id " + std::to_string(network_id) +
+                              " outside the packed 12-bit interner range");
+}
+
 void zone_table::grow_slots() {
   const std::size_t cap = slot_mask_ == 0 ? 64 : (slot_mask_ + 1) * 2;
   std::vector<gslot> old = std::move(slots_);
@@ -73,10 +78,18 @@ std::size_t zone_table::materialize_stream(std::size_t slot,
                                            const geo::zone_id& zone,
                                            std::uint16_t network_id,
                                            trace::metric metric) {
-  hot_.push_back(hot_state{});
+  // cold_ first (its string copy can throw), then hot_ with a rollback, so
+  // the parallel vectors stay in lockstep on any throw -- a desync would
+  // make later rollover()/keys() index out of bounds.
   cold_.push_back(cold_state{
       {},
       estimate_key{zone, std::string(interner_.name_of(network_id)), metric}});
+  try {
+    hot_.push_back(hot_state{});
+  } catch (...) {
+    cold_.pop_back();
+    throw;
+  }
   const auto val = static_cast<std::uint32_t>(hot_.size());
   slots_[slot].streams[static_cast<std::size_t>(metric)] = val;
   metrics().streams.inc();
@@ -86,9 +99,9 @@ std::size_t zone_table::materialize_stream(std::size_t slot,
 std::size_t zone_table::find_stream(const geo::zone_id& zone,
                                     std::uint16_t network_id,
                                     trace::metric metric) const noexcept {
-  if (zone.ix < -kCoordLimit || zone.ix >= kCoordLimit ||
-      zone.iy < -kCoordLimit || zone.iy >= kCoordLimit) {
-    return npos_index;  // out-of-range zones can never have been stored
+  if (!zone_in_range(zone) ||
+      network_id >= network_interner::max_networks) {
+    return npos_index;  // out-of-range keys can never have been stored
   }
   const std::size_t slot = find_group(pack_group(zone, network_id));
   if (slot == npos_index) return npos_index;

@@ -89,11 +89,21 @@ class zone_table {
                       const std::vector<std::string>& networks = {})
       : sigma_factor_(change_sigma_factor), interner_(networks) {}
 
+  /// True when `zone` fits the packed +/-2^23 cell range. Callers feeding
+  /// wire-derived coordinates must reject out-of-range zones up front:
+  /// add_sample throws on them, and a throw escaping an async drain worker
+  /// would terminate the process.
+  static bool zone_in_range(const geo::zone_id& zone) noexcept {
+    return zone.ix >= -kCoordLimit && zone.ix < kCoordLimit &&
+           zone.iy >= -kCoordLimit && zone.iy < kCoordLimit;
+  }
+
   /// Adds one sample to the current epoch of `key`. `epoch_duration_s` is
   /// the zone's current epoch length (rollover happens when a sample lands
   /// past the epoch end). Throws std::invalid_argument if
   /// epoch_duration_s <= 0 or the zone exceeds the packed +/-2^23 cell
-  /// range. Interns the key's network on first sight.
+  /// range. Interns the key's network on first sight (std::length_error
+  /// past the interner cap).
   void add_sample(const estimate_key& key, double time_s, double value,
                   double epoch_duration_s);
 
@@ -196,10 +206,13 @@ class zone_table {
 
   /// Packs (zone, network id) into the directory key: tag bit 63 (so no
   /// valid group packs to 0, the empty-slot marker) | ix:24 | iy:24 | id:12.
-  /// Throws std::invalid_argument past the +/-2^23 cell range.
+  /// Throws std::invalid_argument past the +/-2^23 cell range or when
+  /// network_id exceeds the interner cap (masking would silently alias
+  /// npos onto id 4095's streams).
   static std::uint64_t pack_group(const geo::zone_id& zone,
                                   std::uint16_t network_id);
   [[noreturn]] static void throw_zone_range(const geo::zone_id& zone);
+  [[noreturn]] static void throw_network_range(std::uint16_t network_id);
 
   /// splitmix64 finalizer: full-avalanche mix of the packed key, so linear
   /// probing sees well-scattered slots even for clustered zone coordinates.
@@ -249,19 +262,19 @@ class zone_table {
 
 inline std::uint64_t zone_table::pack_group(const geo::zone_id& zone,
                                             std::uint16_t network_id) {
-  if (zone.ix < -kCoordLimit || zone.ix >= kCoordLimit ||
-      zone.iy < -kCoordLimit || zone.iy >= kCoordLimit) {
-    throw_zone_range(zone);
+  if (!zone_in_range(zone)) throw_zone_range(zone);
+  if (network_id >= network_interner::max_networks) {
+    throw_network_range(network_id);
   }
   // tag:1 | ix:24 | iy:24 | network:12. The interner caps ids at 4096 (12
-  // bits); the tag bit keeps the all-zero group distinct from the empty
-  // slot marker.
+  // bits, checked above so npos can never alias a valid id); the tag bit
+  // keeps the all-zero group distinct from the empty slot marker.
   const auto bx = static_cast<std::uint64_t>(
       static_cast<std::uint32_t>(zone.ix) & 0xFFFFFFu);
   const auto by = static_cast<std::uint64_t>(
       static_cast<std::uint32_t>(zone.iy) & 0xFFFFFFu);
   return (1ull << 63) | (bx << 36) | (by << 12) |
-         static_cast<std::uint64_t>(network_id & 0xFFFu);
+         static_cast<std::uint64_t>(network_id);
 }
 
 inline std::size_t zone_table::find_group(std::uint64_t gkey) const noexcept {

@@ -1,6 +1,7 @@
 #include "geo/zone_grid.h"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
@@ -18,9 +19,24 @@ zone_grid::zone_grid(projection proj, double radius_m)
   side_m_ = radius_m * std::sqrt(std::numbers::pi);
 }
 
+namespace {
+// Saturating double -> cell cast. Wire-derived coordinates can be absurd
+// (the REPORT decoder accepts any double), and casting an out-of-int32-range
+// double is undefined behaviour; saturate instead so extreme fixes land on
+// extreme cells (which downstream packed-range checks reject) and NaN lands
+// on INT32_MIN rather than an arbitrary value.
+std::int32_t cell_index(double coord_m, double side_m) noexcept {
+  const double c = std::floor(coord_m / side_m);
+  constexpr double lo = std::numeric_limits<std::int32_t>::min();
+  constexpr double hi = std::numeric_limits<std::int32_t>::max();
+  if (!(c >= lo)) return std::numeric_limits<std::int32_t>::min();  // or NaN
+  if (c > hi) return std::numeric_limits<std::int32_t>::max();
+  return static_cast<std::int32_t>(c);
+}
+}  // namespace
+
 zone_id zone_grid::zone_of(const xy& p) const noexcept {
-  return {static_cast<std::int32_t>(std::floor(p.x_m / side_m_)),
-          static_cast<std::int32_t>(std::floor(p.y_m / side_m_))};
+  return {cell_index(p.x_m, side_m_), cell_index(p.y_m, side_m_)};
 }
 
 zone_id zone_grid::zone_of(const lat_lon& p) const noexcept {

@@ -58,6 +58,10 @@ inline constexpr char kCoordAlertsRaised[] = "core.coordinator.alerts_raised";
 inline constexpr char kShardedRoutedTotal[] = "core.sharded.reports_routed";
 /// Reports dropped because the pipeline was stopped.
 inline constexpr char kShardedDropped[] = "core.sharded.reports_dropped";
+/// Records whose apply threw inside the pipeline (counted and dropped --
+/// a throw escaping a drain worker would terminate the process). Boundary
+/// validation keeps this at zero; nonzero means an apply-path bug.
+inline constexpr char kShardedApplyErrors[] = "core.sharded.apply_errors";
 /// Lock-amortised drain rounds executed by shard workers.
 inline constexpr char kShardedDrainBatches[] = "core.sharded.drain_batches";
 /// Wall time of one drain batch (lock + apply). [seconds]
@@ -84,6 +88,9 @@ inline constexpr char kServerErrParse[] = "proto.server.err_parse";
 inline constexpr char kServerErrUnsupported[] = "proto.server.err_unsupported";
 /// ERR replies: REPORT refused because the ingestion pipeline was stopped.
 inline constexpr char kServerErrStopped[] = "proto.server.err_stopped";
+/// ERR replies: an unexpected std::exception escaped request handling
+/// (defense in depth -- the line protocol promises a reply per request).
+inline constexpr char kServerErrInternal[] = "proto.server.err_internal";
 /// Wall time to answer one CHECKIN (decode + shard lock + encode). [seconds]
 inline constexpr char kServerCheckinLatency[] =
     "proto.server.checkin_latency_s";

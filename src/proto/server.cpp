@@ -21,6 +21,7 @@ struct server_metrics {
   obs::counter& err_parse;
   obs::counter& err_unsupported;
   obs::counter& err_stopped;
+  obs::counter& err_internal;
   obs::histogram& checkin_latency;
   obs::histogram& report_latency;
   obs::histogram& batch_latency;
@@ -37,6 +38,7 @@ server_metrics& metrics() {
       reg.get_counter(obs::names::kServerErrParse),
       reg.get_counter(obs::names::kServerErrUnsupported),
       reg.get_counter(obs::names::kServerErrStopped),
+      reg.get_counter(obs::names::kServerErrInternal),
       reg.get_histogram(obs::names::kServerCheckinLatency),
       reg.get_histogram(obs::names::kServerReportLatency),
       reg.get_histogram(obs::names::kServerBatchLatency)};
@@ -137,6 +139,14 @@ std::string coordinator_server::handle(std::string_view line) {
     metrics().err_parse.inc();
     errors_.fetch_add(1, std::memory_order_relaxed);
     return encode_error(e.what());
+  } catch (const std::exception& e) {
+    // Defense in depth: nothing below is expected to throw anything else on
+    // wire input (the coordinator rejects bad records instead), but if it
+    // does, answer ERR rather than letting the throw escape the protocol
+    // layer and take down the transport.
+    metrics().err_internal.inc();
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return encode_error(std::string("internal error: ") + e.what());
   }
 }
 

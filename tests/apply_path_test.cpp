@@ -357,6 +357,20 @@ TEST(NetworkInterner, CapacityCapThrows) {
   EXPECT_THROW(in.id_of("one-too-many"), std::length_error);
   // try_id stays non-throwing at capacity.
   EXPECT_EQ(in.try_id("one-too-many"), network_interner::npos);
+  // try_intern saturates to npos instead of throwing (the wire-facing
+  // contract: a flood of distinct names must reject, not unwind) and keeps
+  // resolving already-interned names.
+  EXPECT_EQ(in.try_intern("one-too-many"), network_interner::npos);
+  EXPECT_EQ(in.try_intern("net0"), 0u);
+  EXPECT_EQ(in.size(), network_interner::max_networks);
+}
+
+TEST(NetworkInterner, TryInternAssignsIdsBelowCapacity) {
+  network_interner in;
+  EXPECT_EQ(in.try_intern("NetB"), 0u);
+  EXPECT_EQ(in.try_intern("NetC"), 1u);
+  EXPECT_EQ(in.try_intern("NetB"), 0u);  // stable on re-intern
+  EXPECT_EQ(in.size(), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -394,6 +408,28 @@ TEST(ZoneTableStore, PackedZoneRangeGuardThrows) {
   // The extremes of the representable range are fine.
   t.add_sample(key_of(big - 1, -big, "NetB"), 0.0, 1.0, 60.0);
   EXPECT_EQ(t.open_epoch_samples(key_of(big - 1, -big, "NetB")), 1u);
+}
+
+TEST(ZoneTableStore, OutOfRangeNetworkIdThrowsInsteadOfAliasing) {
+  // Regression: pack_group used to mask network_id & 0xFFF, so feeding
+  // network_interner::npos (0xFFFF) to the id-keyed write path silently
+  // landed the sample on valid id 4095's streams. It must throw instead.
+  zone_table t(2.0, {"NetB"});
+  const geo::zone_id z{0, 0};
+  const auto m = trace::metric::tcp_throughput_bps;
+  t.add_sample(z, 0, m, 0.0, 1.0, 60.0);
+  EXPECT_THROW(t.add_sample(z, network_interner::npos, m, 1.0, 2.0, 60.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      t.add_sample(z, static_cast<std::uint16_t>(network_interner::max_networks),
+                   m, 1.0, 2.0, 60.0),
+      std::invalid_argument);
+  // No phantom stream was created, and the real stream is untouched.
+  EXPECT_EQ(t.keys().size(), 1u);
+  EXPECT_EQ(t.open_epoch_samples(z, 0, m), 1u);
+  // Read paths saturate silently for out-of-range ids.
+  EXPECT_EQ(t.open_epoch_samples(z, network_interner::npos, m), 0u);
+  EXPECT_TRUE(t.history_view(z, network_interner::npos, m).empty());
 }
 
 TEST(ZoneTableStore, RestoreThenAppendMatchesLegacy) {

@@ -300,6 +300,48 @@ TEST(Coordinator, FailedRecordsAreNotFoldedIn) {
             0u);
 }
 
+TEST(Coordinator, ExtremeCoordinatesRejectedNotThrown) {
+  // Regression (review of ISSUE 4): lat/lon arrive on the wire unvalidated,
+  // and the packed store throws on zones outside +/-2^23 cells. The
+  // coordinator must reject such records up front -- a throw here would
+  // escape an async drain worker and terminate the process.
+  auto coord = make_coordinator();
+  auto hostile = testing::make_record(50.0, "NetB", geo::lat_lon{1e9, -1e9},
+                                      trace::probe_kind::udp_burst, 2e6);
+  EXPECT_NO_THROW(coord.report(hostile));
+  EXPECT_TRUE(coord.table().keys().empty());  // nothing folded in
+  // The coordinator keeps working for sane input afterwards.
+  coord.report(testing::make_record(60.0, "NetB", here,
+                                    trace::probe_kind::udp_burst, 2e6));
+  EXPECT_EQ(coord.table().open_epoch_samples(
+                {coord.grid().zone_of(here), "NetB",
+                 trace::metric::udp_throughput_bps}),
+            1u);
+}
+
+TEST(Coordinator, InternerExhaustionRejectsNewNetworksNotThrows) {
+  // Regression (review of ISSUE 4): network names are attacker-controlled
+  // free-form strings, so reports naming more than max_networks distinct
+  // operators must saturate to rejection, not throw std::length_error
+  // through the apply path.
+  auto coord = make_coordinator();  // seeds NetB, NetC
+  EXPECT_NO_THROW({
+    for (std::size_t i = 0; i < network_interner::max_networks + 8; ++i) {
+      coord.report(testing::make_record(10.0 + static_cast<double>(i),
+                                        "flood" + std::to_string(i), here,
+                                        trace::probe_kind::ping, 0.1));
+    }
+  });
+  EXPECT_EQ(coord.table().interner().size(), network_interner::max_networks);
+  // Already-interned networks still apply after exhaustion.
+  coord.report(testing::make_record(9999.0, "NetB", here,
+                                    trace::probe_kind::udp_burst, 2e6));
+  EXPECT_EQ(coord.table().open_epoch_samples(
+                {coord.grid().zone_of(here), "NetB",
+                 trace::metric::udp_throughput_bps}),
+            1u);
+}
+
 TEST(Coordinator, RecomputeEpochsUsesHistory) {
   auto coord = make_coordinator();
   // Feed a drifty series so the Allan minimum lands at an interior epoch.

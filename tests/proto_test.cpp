@@ -188,6 +188,32 @@ TEST(ProtoServer, MapsMalformedLinesToErrReplies) {
   EXPECT_TRUE(type == "TASK" || type == "IDLE");
 }
 
+TEST(ProtoServer, ExtremeReportFieldsAreContained) {
+  // Regression (review of ISSUE 4): REPORT carries unvalidated doubles and a
+  // free-form network name; absurd coordinates (zone outside the store's
+  // packed cell range) must not throw through the server. The record is
+  // rejected inside the coordinator and the line still gets its ACK.
+  const auto dep = testing::tiny_deployment();
+  core::coordinator coord(geo::zone_grid(dep.proj(), 250.0), dep.names(),
+                          {}, 5);
+  coordinator_server server(coord);
+
+  measurement_report rep;
+  rep.client_id = 1;
+  rep.record = testing::make_record(10.0, dep.names()[0],
+                                    geo::lat_lon{5e8, -5e8},
+                                    trace::probe_kind::udp_burst, 1e6);
+  EXPECT_EQ(server.handle(encode(rep)), "ACK");
+  EXPECT_EQ(server.errors(), 0u);
+  // Nothing landed in the table, and the server still answers.
+  EXPECT_TRUE(coord.table().keys().empty());
+  rep.record = testing::make_record(20.0, dep.names()[0],
+                                    dep.proj().to_lat_lon({0.0, 0.0}),
+                                    trace::probe_kind::udp_burst, 1e6);
+  EXPECT_EQ(server.handle(encode(rep)), "ACK");
+  EXPECT_EQ(coord.table().keys().empty(), false);
+}
+
 TEST(ProtoCodec, MetricRoundTripAllValues) {
   // Enum growth must not silently desync client and server: every metric
   // round-trips through its wire string.

@@ -82,6 +82,41 @@ bool same_key(const estimate_key& a, const estimate_key& b) {
   return a == b;
 }
 
+TEST(ShardedCoordinator, HostileRecordsDoNotKillDrainWorkers) {
+  // Regression (review of ISSUE 4): a report with absurd coordinates (zone
+  // outside the store's packed +/-2^23 cell range) used to throw inside a
+  // drain worker, and an exception unwinding a worker thread terminates the
+  // whole process. Hostile records must be rejected at apply time while the
+  // pipeline keeps draining everything else.
+  const geo::zone_grid grid(test_proj(), 250.0);
+  const std::vector<std::string> nets{"NetB", "NetC"};
+  sharded_config cfg;
+  cfg.coordinator = small_epoch_config();
+  cfg.num_shards = 4;
+  cfg.synchronous = false;
+  cfg.queue_capacity = 256;
+  cfg.drain_batch = 32;
+  sharded_coordinator sc(grid, nets, cfg, /*seed=*/42);
+
+  const auto good = synthetic_stream(/*seed=*/5, /*count=*/600);
+  std::uint64_t sent = 0;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    ASSERT_TRUE(sc.report(good[i]));
+    ++sent;
+    if (i % 10 == 0) {
+      auto bad = good[i];
+      bad.pos = geo::lat_lon{4e8, -4e8};  // far outside the packed range
+      ASSERT_TRUE(sc.report(bad));  // queued, then rejected at apply
+      ++sent;
+    }
+  }
+  sc.flush();  // only returns if every drain worker survived
+  EXPECT_EQ(sc.reports_ingested(), sent);
+  EXPECT_EQ(sc.queue_depth(), 0u);
+  // The sane part of the stream actually landed.
+  EXPECT_FALSE(sc.keys().empty());
+}
+
 TEST(ShardedCoordinator, MatchesSequentialForAnyShardCount) {
   const auto stream = synthetic_stream(/*seed=*/77, /*count=*/6000);
   const geo::zone_grid grid(test_proj(), 250.0);
