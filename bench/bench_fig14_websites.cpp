@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "apps/multihoming.h"
+#include "apps/zone_knowledge.h"
 #include "apps/surge.h"
 #include "bench_common.h"
 

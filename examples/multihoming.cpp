@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "apps/multihoming.h"
+#include "apps/zone_knowledge.h"
 #include "apps/surge.h"
 #include "cellnet/presets.h"
 #include "probe/collect.h"

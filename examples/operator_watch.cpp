@@ -14,7 +14,8 @@
 
 #include "cellnet/presets.h"
 #include "core/anomaly.h"
-#include "core/zone_table.h"
+#include "core/coordinator.h"
+#include "core/estimate_view.h"
 #include "probe/engine.h"
 #include "stats/summary.h"
 
@@ -35,17 +36,27 @@ int main(int argc, char** argv) {
   ping.count = 12;
   ping.interval_s = 5.0;
 
+  // The watchdog ingests through a coordinator and watches through
+  // core::estimate_view -- the serving layer an operations console would
+  // poll (same API the wire ALERTS/QUERY commands serve).
   stats::time_series rtts;
-  core::zone_table table(2.0);
   const geo::zone_grid grid(dep.proj(), 250.0);
-  const core::estimate_key key{grid.zone_of(cellnet::anchors::camp_randall),
-                               "NetB", trace::metric::rtt_s};
+  core::coordinator_config ccfg;
+  ccfg.epochs.default_epoch_s = 1800.0;
+  // Roll epochs on time, not sample count, matching the 30 min cadence the
+  // surge detector below compares against.
+  ccfg.default_samples_per_epoch = 100000;
+  core::coordinator coordinator(grid, dep.names(), ccfg, seed);
+  const core::estimate_view watch(coordinator);
+  const geo::zone_id stadium_zone = grid.zone_of(cellnet::anchors::camp_randall);
+  double last_t = 0.0;
   for (double t = 8.0 * 3600; t < 20.0 * 3600; t += 300.0) {
     const mobility::gps_fix fix{cellnet::anchors::camp_randall, 0.0, t};
     const auto rec = engine.ping_probe(netb, fix, ping);
     if (!rec.success) continue;
     rtts.add(t, rec.rtt_s);
-    table.add_sample(key, t, rec.rtt_s, 1800.0);
+    coordinator.report(rec);
+    last_t = t;
   }
 
   std::printf("== scenario 1: stadium game day ==\n");
@@ -56,13 +67,26 @@ int main(int argc, char** argv) {
         s.factor, s.baseline * 1e3, s.peak * 1e3, s.start_s / 3600.0,
         s.end_s / 3600.0);
   }
-  for (const auto& alert : table.alerts()) {
+  // Cursor-drain the >2-sigma change alerts (a long-running watchdog would
+  // remember next_seq and poll with it).
+  for (const auto& a : watch.alerts_since(0, 1 << 20).alerts) {
+    if (a.alert.key.metric != trace::metric::rtt_s) continue;
     std::printf(
-        "  zone-table alert: zone %s rtt %.0f -> %.0f ms (prev stddev %.1f "
+        "  change alert #%llu: zone %s rtt %.0f -> %.0f ms (prev stddev %.1f "
         "ms) at %.1fh\n",
-        geo::to_string(alert.key.zone).c_str(), alert.previous_mean * 1e3,
-        alert.new_mean * 1e3, alert.previous_stddev * 1e3,
-        alert.epoch_start_s / 3600.0);
+        static_cast<unsigned long long>(a.seq),
+        geo::to_string(a.alert.key.zone).c_str(), a.alert.previous_mean * 1e3,
+        a.alert.new_mean * 1e3, a.alert.previous_stddev * 1e3,
+        a.alert.epoch_start_s / 3600.0);
+  }
+  if (const auto est = watch.lookup(stadium_zone, "NetB", trace::metric::rtt_s,
+                                    last_t)) {
+    std::printf(
+        "  current stadium estimate: rtt %.0f ms +/- %.1f ms (n=%llu, "
+        "conf=%.2f, age=%.0f min)\n",
+        est->mean * 1e3, est->stddev * 1e3,
+        static_cast<unsigned long long>(est->count), est->confidence,
+        est->staleness_s / 60.0);
   }
 
   // --- Scenario 2: chronic trouble spots. ---------------------------------

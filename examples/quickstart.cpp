@@ -13,6 +13,7 @@
 #include "cellnet/presets.h"
 #include "core/client_agent.h"
 #include "core/coordinator.h"
+#include "core/estimate_view.h"
 #include "mobility/fleet.h"
 #include "mobility/route_gen.h"
 #include "probe/engine.h"
@@ -68,18 +69,27 @@ int main(int argc, char** argv) {
   }
   std::printf("executed %d probes\n", probes);
 
-  // 6. Query the product: per-zone estimates.
+  // 6. Query the product through the serving layer: core::estimate_view is
+  //    the application read API (lookup adds staleness + confidence; the
+  //    same facade backs the wire QUERY command).
+  const core::estimate_view view(coordinator);
+  const double now_s = 12.0 * 3600;
   std::printf("\npublished zone estimates (first 10):\n");
   int shown = 0;
-  for (const auto& key : coordinator.table().keys()) {
-    const auto est = coordinator.table().latest(key);
+  for (const auto& key : view.keys()) {
+    const auto est = view.lookup(key.zone, key.network, key.metric, now_s);
     if (!est || shown >= 10) continue;
     ++shown;
-    std::printf("  zone %-8s %-5s %-16s mean=%10.1f stddev=%10.1f (n=%zu)\n",
-                geo::to_string(key.zone).c_str(), key.network.c_str(),
-                to_string(key.metric).c_str(), est->mean, est->stddev,
-                est->samples);
+    std::printf(
+        "  zone %-8s %-5s %-16s mean=%10.1f stddev=%10.1f (n=%llu, "
+        "conf=%.2f, age=%.0fs)\n",
+        geo::to_string(key.zone).c_str(), key.network.c_str(),
+        to_string(key.metric).c_str(), est->mean, est->stddev,
+        static_cast<unsigned long long>(est->count), est->confidence,
+        est->staleness_s);
   }
-  std::printf("\nchange alerts raised: %zu\n", coordinator.alerts().size());
+  const auto alerts = view.alerts_since(0, 1 << 20);
+  std::printf("\nchange alerts raised: %zu\n",
+              alerts.alerts.size() + static_cast<std::size_t>(alerts.dropped));
   return 0;
 }

@@ -4,10 +4,13 @@
 // mixed fleet of remote agents -- laptops and phones, each with a daily
 // measurement budget -- through a simulated morning. Shows the message
 // traffic, the per-client budget accounting, and the zone estimates the
-// coordinator ends up with. A second pass replays the morning's reports
-// through the sharded concurrent pipeline (the production-scale ingestion
-// path) and shows the per-shard counters plus that the published estimate
-// count matches the sequential server's.
+// coordinator ends up with -- read back over the same wire via the
+// protocol-v2 query side: HELLO version negotiation, batched QUERYB
+// estimate lookups, and an ALERTS cursor drain. A second pass replays the
+// morning's reports through the sharded concurrent pipeline (the
+// production-scale ingestion path) and shows the per-shard counters plus
+// that the published estimate count, re-queried over the wire, matches the
+// sequential server's.
 //
 // The run doubles as the observability demo: an obs::snapshot_writer
 // appends periodic JSON-lines metric snapshots to
@@ -16,8 +19,10 @@
 // against a live coordinator.
 //
 //   ./remote_coordinator [seed]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,12 +47,12 @@ int main(int argc, char** argv) {
   auto dep = cellnet::make_deployment(cellnet::region_preset::madison, seed);
   probe::probe_engine engine(dep, seed);
 
+  const geo::zone_grid grid(dep.proj(), 250.0);
   core::coordinator_config cfg;
   cfg.default_samples_per_epoch = 12;
   cfg.epochs.default_epoch_s = 600.0;
   cfg.client_daily_budget_mb = 6.0;  // each device donates at most 6 MB/day
-  core::coordinator coordinator(geo::zone_grid(dep.proj(), 250.0),
-                                dep.names(), cfg, seed);
+  core::coordinator coordinator(grid, dep.names(), cfg, seed);
   proto::coordinator_server server(coordinator);
 
   // Transport: in this demo the "wire" is a function call, with a tap that
@@ -102,16 +107,44 @@ int main(int argc, char** argv) {
                 cfg.client_daily_budget_mb);
   }
 
-  int published = 0;
-  std::size_t accumulating = 0;
-  for (const auto& key : coordinator.table().keys()) {
-    if (coordinator.table().latest(key)) ++published;
-    accumulating += coordinator.table().open_epoch_samples(key);
+  // Read the product back over the same wire: negotiate a protocol version,
+  // then issue one QUERYB per 4096-query chunk -- one query per estimate
+  // stream the coordinator materialised, positioned at the zone center.
+  proto::remote_query_client query_client(transport);
+  const auto hello = query_client.hello();
+  std::printf("  negotiated wire protocol v%u (server minimum v%u)\n",
+              hello.version, hello.min_version);
+
+  std::vector<proto::query_request> queries;
+  for (const auto& key : coordinator.keys()) {
+    proto::query_request q;
+    q.pos = grid.center(key.zone);
+    q.network = key.network;
+    q.metric = key.metric;
+    q.time_s = last_t;
+    queries.push_back(q);
   }
+  const auto count_published = [&queries](proto::remote_query_client& client) {
+    int published = 0;
+    for (std::size_t i = 0; i < queries.size(); i += proto::max_query_batch) {
+      const std::span<const proto::query_request> chunk(
+          queries.data() + i,
+          std::min(proto::max_query_batch, queries.size() - i));
+      for (const auto& est : client.query_batch(chunk)) {
+        published += est.has_value() ? 1 : 0;
+      }
+    }
+    return published;
+  };
+  const int published = count_published(query_client);
+
+  // Alerts ride the same cursor API remote watchdogs would poll with.
+  const auto alerts = query_client.alerts(0);
   std::printf(
-      "  zone estimates published: %d (open-epoch samples in flight: %zu, "
-      "alerts: %zu)\n",
-      published, accumulating, coordinator.alerts().size());
+      "  zone estimates published: %d of %zu streams (change alerts served "
+      "over the wire: %zu, cursor %llu)\n",
+      published, queries.size(), alerts.alerts.size(),
+      static_cast<unsigned long long>(alerts.next_seq));
 
   // Replay the morning's reports through the sharded concurrent pipeline:
   // same line protocol, same estimates, but ingestion spread over shard
@@ -119,16 +152,17 @@ int main(int argc, char** argv) {
   core::sharded_config scfg;
   scfg.coordinator = cfg;
   scfg.num_shards = 4;
-  core::sharded_coordinator sharded(geo::zone_grid(dep.proj(), 250.0),
-                                    dep.names(), scfg, seed);
+  core::sharded_coordinator sharded(grid, dep.names(), scfg, seed);
   proto::coordinator_server concurrent_server(sharded);
   for (const auto& line : report_lines) concurrent_server.handle(line);
   sharded.flush();
 
-  int sharded_published = 0;
-  for (const auto& key : sharded.keys()) {
-    if (sharded.latest(key)) ++sharded_published;
-  }
+  // Same QUERYB sweep against the concurrent server: these lookups read the
+  // shards' lock-free estimate mirrors, so they would not stall ingestion
+  // even if the morning were still streaming in.
+  proto::remote_query_client sharded_query(
+      [&](const std::string& line) { return concurrent_server.handle(line); });
+  const int sharded_published = count_published(sharded_query);
   std::printf("\nconcurrent replay (%zu shards):\n", sharded.num_shards());
   std::printf(
       "  reports ingested: %llu, estimates published: %d (sequential "
@@ -156,7 +190,9 @@ int main(int argc, char** argv) {
   while (std::getline(stats_reply, stats_line)) {
     if (stats_line.rfind("core.coordinator.", 0) == 0 ||
         stats_line.rfind("core.sharded.reports", 0) == 0 ||
+        stats_line.rfind("core.estimate_view.", 0) == 0 ||
         stats_line.rfind("proto.server.err", 0) == 0 ||
+        stats_line.rfind("proto.server.queries", 0) == 0 ||
         stats_line.rfind("proto.server.reports", 0) == 0) {
       std::printf("  %s\n", stats_line.c_str());
     }

@@ -1,0 +1,68 @@
+#include "apps/estimate_knowledge.h"
+
+#include <stdexcept>
+
+#include "trace/record.h"
+
+namespace wiscape::apps {
+
+estimate_knowledge::estimate_knowledge(const core::estimate_view& view,
+                                       geo::zone_grid grid,
+                                       std::vector<std::string> networks,
+                                       std::size_t min_samples)
+    : view_(&view),
+      grid_(std::move(grid)),
+      networks_(std::move(networks)),
+      min_samples_(min_samples) {
+  if (networks_.empty()) {
+    throw std::invalid_argument("estimate_knowledge: no networks");
+  }
+  ids_.reserve(networks_.size());
+  for (const auto& name : networks_) {
+    ids_.push_back(view_->network_id_of(name));
+  }
+  global_mean_.assign(networks_.size(), 0.0);
+  refresh();
+}
+
+double estimate_knowledge::expected_bps(std::size_t net,
+                                        const geo::lat_lon& pos) const {
+  if (net >= networks_.size()) {
+    throw std::out_of_range("estimate_knowledge: network index");
+  }
+  const auto est = view_->lookup(grid_.zone_of(pos), ids_[net],
+                                 trace::metric::tcp_throughput_bps);
+  if (est && est->count >= min_samples_ && est->mean > 0.0) {
+    return est->mean;
+  }
+  return global_mean_[net];
+}
+
+double estimate_knowledge::global_mean_bps(std::size_t net) const {
+  if (net >= networks_.size()) {
+    throw std::out_of_range("estimate_knowledge: network index");
+  }
+  return global_mean_[net];
+}
+
+void estimate_knowledge::refresh() {
+  std::vector<double> weighted_sum(networks_.size(), 0.0);
+  std::vector<double> weight(networks_.size(), 0.0);
+  for (const auto& key : view_->keys()) {
+    if (key.metric != trace::metric::tcp_throughput_bps) continue;
+    for (std::size_t n = 0; n < networks_.size(); ++n) {
+      if (key.network != networks_[n]) continue;
+      const auto est = view_->lookup(key.zone, ids_[n], key.metric);
+      if (est && est->count > 0) {
+        weighted_sum[n] += est->mean * static_cast<double>(est->count);
+        weight[n] += static_cast<double>(est->count);
+      }
+      break;
+    }
+  }
+  for (std::size_t n = 0; n < networks_.size(); ++n) {
+    global_mean_[n] = weight[n] > 0.0 ? weighted_sum[n] / weight[n] : 0.0;
+  }
+}
+
+}  // namespace wiscape::apps

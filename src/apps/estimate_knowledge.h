@@ -1,0 +1,68 @@
+// network_knowledge served live from the coordinator (Sec 4.2 over Sec 3.4).
+//
+// Where zone_knowledge is trained once from an offline dataset,
+// estimate_knowledge answers every expected_bps() from the coordinator's
+// *current* published estimates through core::estimate_view -- the
+// sanctioned application read path. A zone answers with its latest frozen
+// TCP-throughput epoch mean when that epoch holds at least `min_samples`
+// samples; thinner or missing zones fall back to the operator's global
+// mean, which refresh() recomputes as the count-weighted mean over every
+// published estimate (so it tracks the live state, not a training set).
+//
+// Decision semantics intentionally match zone_knowledge: same fallback
+// rule, same best_network argmax -- a scheduler moved from the offline to
+// the live source keeps its behaviour wherever the data agrees.
+//
+// Concurrency: expected_bps()/best_network() ride estimate_view's lock-free
+// lookup and are safe from any thread while ingestion runs. refresh() is
+// the one cold call (enumerates streams under shard locks); call it from
+// one thread at a time, not concurrently with expected_bps().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/network_knowledge.h"
+#include "core/estimate_view.h"
+#include "geo/zone_grid.h"
+
+namespace wiscape::apps {
+
+class estimate_knowledge final : public network_knowledge {
+ public:
+  /// Borrows `view` (it must outlive this object). `grid` must be the
+  /// coordinator's grid so positions map to the zones estimates are keyed
+  /// by. `networks` fixes the operator index space (resolved against the
+  /// coordinator's interner once, here). Computes the initial global means
+  /// by calling refresh().
+  estimate_knowledge(const core::estimate_view& view, geo::zone_grid grid,
+                     std::vector<std::string> networks,
+                     std::size_t min_samples = 10);
+
+  std::size_t network_count() const noexcept override {
+    return networks_.size();
+  }
+  const std::vector<std::string>& networks() const noexcept {
+    return networks_;
+  }
+
+  double expected_bps(std::size_t net,
+                      const geo::lat_lon& pos) const override;
+
+  double global_mean_bps(std::size_t net) const override;
+
+  /// Recomputes the per-operator global-mean fallbacks from everything the
+  /// coordinator has published so far. COLD (enumerates all streams).
+  void refresh();
+
+ private:
+  const core::estimate_view* view_;
+  geo::zone_grid grid_;
+  std::vector<std::string> networks_;
+  std::vector<std::uint16_t> ids_;  // interned id per operator index
+  std::size_t min_samples_;
+  std::vector<double> global_mean_;
+};
+
+}  // namespace wiscape::apps

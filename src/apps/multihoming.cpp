@@ -44,7 +44,7 @@ page_outcome download_page(probe::probe_engine& engine, std::size_t net,
 }  // namespace
 
 http_run_result run_multisim(probe::probe_engine& engine,
-                             const zone_knowledge* knowledge,
+                             const network_knowledge* knowledge,
                              multisim_policy policy, std::size_t fixed_net,
                              std::span<const std::size_t> page_bytes,
                              const geo::polyline& route,
@@ -90,8 +90,9 @@ http_run_result run_multisim(probe::probe_engine& engine,
   return out;
 }
 
-mar_result run_mar(probe::probe_engine& engine, const zone_knowledge* knowledge,
-                   mar_policy policy, std::span<const std::size_t> page_bytes,
+mar_result run_mar(probe::probe_engine& engine,
+                   const network_knowledge* knowledge, mar_policy policy,
+                   std::span<const std::size_t> page_bytes,
                    const geo::polyline& route, const drive_config& drive,
                    std::uint64_t seed) {
   const std::size_t nets = engine.dep().size();

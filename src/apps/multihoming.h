@@ -18,14 +18,14 @@
 
 #include <span>
 
-#include "apps/zone_knowledge.h"
+#include "apps/network_knowledge.h"
 #include "geo/polyline.h"
 #include "probe/engine.h"
 
 namespace wiscape::apps {
 
 enum class multisim_policy {
-  wiscape,      ///< best network per zone from zone_knowledge
+  wiscape,      ///< best network per zone from network_knowledge
   fixed,        ///< always the configured network
   round_robin,  ///< cycle through interfaces per request
   random_pick,  ///< uniform random interface per request
@@ -50,10 +50,12 @@ struct http_run_result {
 };
 
 /// Sequential page downloads while driving `route` (looping as needed).
-/// `knowledge` is required for multisim_policy::wiscape and may be null
-/// otherwise. `fixed_net` selects the interface for policy fixed.
+/// `knowledge` is any network_knowledge source (offline zone_knowledge or
+/// the live estimate_knowledge); required for multisim_policy::wiscape and
+/// may be null otherwise. `fixed_net` selects the interface for policy
+/// fixed.
 http_run_result run_multisim(probe::probe_engine& engine,
-                             const zone_knowledge* knowledge,
+                             const network_knowledge* knowledge,
                              multisim_policy policy, std::size_t fixed_net,
                              std::span<const std::size_t> page_bytes,
                              const geo::polyline& route,
@@ -74,7 +76,8 @@ struct mar_result {
 /// Parallel batch download through all interfaces of the deployment.
 /// `knowledge` is required for mar_policy::wiscape and
 /// mar_policy::weighted_round_robin.
-mar_result run_mar(probe::probe_engine& engine, const zone_knowledge* knowledge,
+mar_result run_mar(probe::probe_engine& engine,
+                   const network_knowledge* knowledge,
                    mar_policy policy, std::span<const std::size_t> page_bytes,
                    const geo::polyline& route, const drive_config& drive,
                    std::uint64_t seed);

@@ -1,0 +1,50 @@
+// The knowledge interface multi-network applications plan against.
+//
+// Sec 4.2's schedulers need exactly three answers: how many operators there
+// are, what throughput to expect from operator `net` at a position, and the
+// operator's global mean as the no-zone-data fallback. network_knowledge
+// names that contract so the same multi-sim/MAR policies run against either
+// source: an offline training set (zone_knowledge) or the coordinator's
+// live serving layer (estimate_knowledge over core::estimate_view).
+#pragma once
+
+#include <cstddef>
+
+#include "geo/zone_grid.h"
+
+namespace wiscape::apps {
+
+class network_knowledge {
+ public:
+  virtual ~network_knowledge() = default;
+
+  /// Number of operators the knowledge covers (indices 0..count-1).
+  virtual std::size_t network_count() const noexcept = 0;
+
+  /// Expected TCP throughput of operator `net` at `pos` (bps). Falls back
+  /// to the operator's global mean where zone data is missing or too thin;
+  /// 0 when the operator was never observed at all. Throws
+  /// std::out_of_range for a bad index.
+  virtual double expected_bps(std::size_t net,
+                              const geo::lat_lon& pos) const = 0;
+
+  /// Mean throughput of operator `net` across everything observed (bps).
+  virtual double global_mean_bps(std::size_t net) const = 0;
+
+  /// Operator index with the best expected throughput at `pos` (shared
+  /// greedy argmax over expected_bps; ties keep the lowest index).
+  std::size_t best_network(const geo::lat_lon& pos) const {
+    std::size_t best = 0;
+    double best_bps = expected_bps(0, pos);
+    for (std::size_t n = 1; n < network_count(); ++n) {
+      const double bps = expected_bps(n, pos);
+      if (bps > best_bps) {
+        best_bps = bps;
+        best = n;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace wiscape::apps

@@ -57,19 +57,6 @@ double zone_knowledge::expected_bps(std::size_t net,
   return global_mean_[net];
 }
 
-std::size_t zone_knowledge::best_network(const geo::lat_lon& pos) const {
-  std::size_t best = 0;
-  double best_bps = expected_bps(0, pos);
-  for (std::size_t n = 1; n < networks_.size(); ++n) {
-    const double bps = expected_bps(n, pos);
-    if (bps > best_bps) {
-      best_bps = bps;
-      best = n;
-    }
-  }
-  return best;
-}
-
 double zone_knowledge::global_mean_bps(std::size_t net) const {
   if (net >= networks_.size()) {
     throw std::out_of_range("zone_knowledge: network index");

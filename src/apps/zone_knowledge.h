@@ -8,12 +8,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apps/network_knowledge.h"
 #include "geo/zone_grid.h"
 #include "trace/dataset.h"
 
 namespace wiscape::apps {
 
-class zone_knowledge {
+class zone_knowledge final : public network_knowledge {
  public:
   /// Builds per-zone per-network expected TCP throughput from `training`.
   /// Zones with fewer than `min_samples` samples for a network fall back to
@@ -22,20 +23,20 @@ class zone_knowledge {
                  std::vector<std::string> networks,
                  std::size_t min_samples = 10);
 
-  std::size_t network_count() const noexcept { return networks_.size(); }
+  std::size_t network_count() const noexcept override {
+    return networks_.size();
+  }
   const std::vector<std::string>& networks() const noexcept { return networks_; }
   const geo::zone_grid& grid() const noexcept { return grid_; }
 
   /// Expected TCP throughput of network `net` at `pos` (bps). Falls back to
   /// the network's global mean for unknown zones; 0 when the network was
   /// never observed at all.
-  double expected_bps(std::size_t net, const geo::lat_lon& pos) const;
-
-  /// Network index with the best expected throughput at `pos`.
-  std::size_t best_network(const geo::lat_lon& pos) const;
+  double expected_bps(std::size_t net,
+                      const geo::lat_lon& pos) const override;
 
   /// Global mean throughput of a network across the whole training set.
-  double global_mean_bps(std::size_t net) const;
+  double global_mean_bps(std::size_t net) const override;
 
  private:
   geo::zone_grid grid_;

@@ -1,0 +1,112 @@
+// Bounded, sequenced ring of change alerts -- the serving-side sink for the
+// zone table's >2-sigma detections (paper Sec 3.4: the server flags
+// estimates that "changed substantially from [the] previous update").
+//
+// Every alert pushed gets a process-unique, monotonically increasing
+// sequence number (starting at 1), so clients drain incrementally with a
+// cursor: `drain_since(seq)` returns alerts with sequence > seq in order,
+// plus the cursor to pass next time and an exact count of alerts that were
+// evicted unseen (ring wraparound). served + dropped always accounts for
+// every alert ever pushed -- a lagging client learns *that* it lost alerts
+// and how many, never silently.
+//
+// Concurrency: a plain mutex. Alerts are born on epoch rollovers (a cold
+// path, orders of magnitude rarer than sample ingestion), so contention is
+// negligible and cannot stall drain workers; the lock-free machinery is
+// reserved for the estimate read path (core/estimate_mirror.h). In sharded
+// mode one ring is shared by every shard, giving a single total order of
+// alert sequence numbers across the whole coordinator.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/zone_table.h"
+
+namespace wiscape::core {
+
+/// One alert with its ring-assigned sequence number.
+struct sequenced_alert {
+  std::uint64_t seq = 0;  ///< monotonically increasing, starts at 1
+  change_alert alert;
+};
+
+/// Result of one incremental drain.
+struct alert_drain {
+  std::vector<sequenced_alert> alerts;  ///< sequence order, seq > `since`
+  std::uint64_t next_seq = 0;  ///< cursor for the next drain_since call
+  std::uint64_t dropped = 0;   ///< alerts past `since` evicted before serving
+};
+
+class alert_ring {
+ public:
+  /// `capacity`: alerts retained; older ones are evicted (and accounted as
+  /// dropped to any reader whose cursor predates them). Must be >= 1.
+  explicit alert_ring(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  alert_ring(const alert_ring&) = delete;
+  alert_ring& operator=(const alert_ring&) = delete;
+
+  /// Appends one alert, assigning the next sequence number.
+  void push(const change_alert& a) {
+    std::lock_guard lock(mu_);
+    const std::uint64_t seq = next_seq_++;
+    if (ring_.size() < capacity_) {
+      ring_.push_back({seq, a});
+    } else {
+      ring_[static_cast<std::size_t>((seq - 1) % capacity_)] = {seq, a};
+    }
+  }
+
+  /// Alerts with sequence > `since`, oldest first, at most `max` of them.
+  /// `next_seq` is the cursor that makes the following call continue where
+  /// this one stopped (even when `max` truncated the result); `dropped`
+  /// counts alerts past `since` that were already evicted.
+  alert_drain drain_since(std::uint64_t since, std::size_t max = 256) const {
+    alert_drain out;
+    std::lock_guard lock(mu_);
+    const std::uint64_t newest = next_seq_ - 1;  // 0 = nothing pushed yet
+    const std::uint64_t oldest =
+        ring_.size() < capacity_ ? 1 : next_seq_ - capacity_;
+    if (newest == 0 || since >= newest) {
+      out.next_seq = newest;
+      return out;
+    }
+    std::uint64_t first = since + 1;
+    if (first < oldest) {
+      out.dropped = oldest - first;
+      first = oldest;
+    }
+    const std::uint64_t avail = newest - first + 1;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(avail, std::max<std::size_t>(max, 1));
+    const std::uint64_t last = first + take - 1;
+    out.alerts.reserve(static_cast<std::size_t>(take));
+    for (std::uint64_t s = first; s <= last; ++s) {
+      out.alerts.push_back(ring_[static_cast<std::size_t>((s - 1) % capacity_)]);
+    }
+    out.next_seq = last;
+    return out;
+  }
+
+  /// Total alerts ever pushed (served + still ringed + dropped).
+  std::uint64_t pushed() const {
+    std::lock_guard lock(mu_);
+    return next_seq_ - 1;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<sequenced_alert> ring_;  // slot of seq s: (s-1) % capacity_
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace wiscape::core

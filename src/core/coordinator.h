@@ -25,7 +25,9 @@
 #include <span>
 #include <unordered_map>
 
+#include "core/alert_ring.h"
 #include "core/epoch_estimator.h"
+#include "core/estimate_mirror.h"
 #include "core/sample_planner.h"
 #include "core/zone_table.h"
 #include "stats/time_series.h"
@@ -53,6 +55,11 @@ struct coordinator_config {
   double tcp_task_mb = 1.02;
   double udp_task_mb = 0.12;
   double ping_task_mb = 0.002;
+  /// Change alerts retained for incremental draining via
+  /// estimate_view::alerts_since (older ones are evicted and accounted as
+  /// dropped). In sharded mode the sharded_coordinator's shared ring uses
+  /// this capacity.
+  std::size_t alert_ring_capacity = 1024;
 };
 
 /// A measurement instruction handed to a client.
@@ -73,9 +80,38 @@ class coordinator {
   coordinator(geo::zone_grid grid, std::vector<std::string> networks,
               coordinator_config cfg, std::uint64_t seed);
 
+  // The serving-layer sinks are members the zone table points into, so a
+  // coordinator is pinned to its address once constructed.
+  coordinator(const coordinator&) = delete;
+  coordinator& operator=(const coordinator&) = delete;
+
   const geo::zone_grid& grid() const noexcept { return grid_; }
-  const zone_table& table() const noexcept { return table_; }
   const coordinator_config& config() const noexcept { return cfg_; }
+
+  /// Raw zone-table access for tests, benches and persistence tooling.
+  /// Application reads go through core::estimate_view (the sanctioned read
+  /// path; see DESIGN.md "Read-side serving") -- this accessor is named to
+  /// keep that boundary visible at call sites.
+  const zone_table& table_for_test() const noexcept { return table_; }
+
+  /// The serving-layer mirror every epoch rollover publishes into
+  /// (consumed by core::estimate_view; lock-free reads).
+  const estimate_mirror& published() const noexcept { return mirror_; }
+
+  /// The alert ring this coordinator's change alerts are sequenced into.
+  /// By default the coordinator's own ring; sharded_coordinator re-points
+  /// it at a ring shared across shards.
+  const alert_ring& alert_sink() const noexcept { return *alert_sink_; }
+
+  /// Redirects alert publication (and alert_sink()) to `ring`, which must
+  /// outlive this coordinator. Call before any report is ingested.
+  void redirect_alert_sink(alert_ring& ring) noexcept {
+    alert_sink_ = &ring;
+    table_.set_alert_sink(&ring);
+  }
+
+  /// All estimate-stream keys seen so far (stream-creation order).
+  std::vector<estimate_key> keys() const { return table_.keys(); }
 
   /// Client check-in: "I am at `pos` at time `t`, able to probe network
   /// `network_index`; about `active_clients_in_zone` peers are here too."
@@ -127,6 +163,8 @@ class coordinator {
   }
 
  private:
+  friend class sharded_coordinator;  // internal table reads under shard lock
+
   struct zone_state {
     double epoch_s;
     std::size_t samples_target;
@@ -134,6 +172,10 @@ class coordinator {
     // interned network id (dense: most zones see every operator).
     std::vector<stats::time_series> history;
   };
+
+  /// Internal-only raw table access (sharded_coordinator's read-side
+  /// aggregation under the shard lock).
+  const zone_table& table() const noexcept { return table_; }
 
   zone_state& state_of(const geo::zone_id& z);
   /// The primary metric driving sampling decisions for a probe kind.
@@ -147,6 +189,11 @@ class coordinator {
   geo::zone_grid grid_;
   std::vector<std::string> networks_;
   coordinator_config cfg_;
+  // Serving-layer sinks; constructed before table_ so set_sinks in the ctor
+  // hands the table valid addresses for the coordinator's whole lifetime.
+  estimate_mirror mirror_;
+  alert_ring ring_;
+  alert_ring* alert_sink_ = &ring_;
   zone_table table_;
   // networks_[i] -> interned id (duplicate names collapse to the first id).
   std::vector<std::uint16_t> net_ids_;

@@ -1,0 +1,135 @@
+#include "core/estimate_mirror.h"
+
+#include "obs/names.h"
+#include "obs/registry.h"
+
+namespace wiscape::core {
+
+namespace {
+
+// splitmix64 finalizer -- same mix the zone table's directory uses, so the
+// scatter quality is identical for identical key material.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+obs::counter& seqlock_retries() {
+  static obs::counter& c = obs::registry::global().get_counter(
+      obs::names::kEstimateViewSeqlockRetries);
+  return c;
+}
+
+}  // namespace
+
+estimate_mirror::~estimate_mirror() {
+  delete dir_.load(std::memory_order_relaxed);
+}
+
+void estimate_mirror::grow(std::size_t need) {
+  directory* old = dir_.load(std::memory_order_relaxed);
+  std::size_t cap = old == nullptr ? 64 : (old->mask + 1);
+  // Keep the directory under 1/2 load, same policy as the zone table.
+  while (cap < need * 2) cap *= 2;
+  auto next = std::make_unique<directory>();
+  next->mask = cap - 1;
+  next->entries = std::make_unique<dentry[]>(cap);
+  if (old != nullptr) {
+    for (std::size_t i = 0; i <= old->mask; ++i) {
+      const std::uint64_t k = old->entries[i].key.load(std::memory_order_relaxed);
+      if (k == 0) continue;
+      slot* s = old->entries[i].s.load(std::memory_order_relaxed);
+      std::size_t at = static_cast<std::size_t>(mix64(k)) & next->mask;
+      while (next->entries[at].key.load(std::memory_order_relaxed) != 0) {
+        at = (at + 1) & next->mask;
+      }
+      // Pre-publication stores: the new directory is private until the
+      // release store of dir_ below makes it (and these writes) visible.
+      next->entries[at].s.store(s, std::memory_order_relaxed);
+      next->entries[at].key.store(k, std::memory_order_relaxed);
+    }
+  }
+  directory* fresh = next.release();
+  dir_.store(fresh, std::memory_order_release);
+  // Readers may still be probing `old`; retire it instead of freeing.
+  if (old != nullptr) retired_.emplace_back(old);
+}
+
+estimate_mirror::slot* estimate_mirror::find_or_insert(std::uint64_t skey) {
+  directory* d = dir_.load(std::memory_order_relaxed);
+  const std::size_t occupied = count_.load(std::memory_order_relaxed);
+  if (d == nullptr || (occupied + 1) * 2 > d->mask + 1) {
+    grow(occupied + 1);
+    d = dir_.load(std::memory_order_relaxed);
+  }
+  std::size_t at = static_cast<std::size_t>(mix64(skey)) & d->mask;
+  for (;;) {
+    const std::uint64_t k = d->entries[at].key.load(std::memory_order_relaxed);
+    if (k == skey) return d->entries[at].s.load(std::memory_order_relaxed);
+    if (k == 0) break;
+    at = (at + 1) & d->mask;
+  }
+  slots_.emplace_back();
+  slot* s = &slots_.back();
+  // Publish pointer before key: a reader acquiring the key is guaranteed to
+  // see the pointer store that preceded it.
+  d->entries[at].s.store(s, std::memory_order_relaxed);
+  d->entries[at].key.store(skey, std::memory_order_release);
+  count_.store(occupied + 1, std::memory_order_release);
+  return s;
+}
+
+void estimate_mirror::publish(std::uint64_t skey, const epoch_estimate& e,
+                              std::uint64_t epoch_index) {
+  if (skey == 0) return;  // out-of-range sentinel: nothing to serve
+  slot* s = find_or_insert(skey);
+  // Seqlock writer protocol: mark the slot in flux (odd), fence, store the
+  // payload, then release-publish the even sequence.
+  const std::uint32_t seq = s->seq.load(std::memory_order_relaxed);
+  s->seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s->count.store(static_cast<std::uint64_t>(e.samples),
+                 std::memory_order_relaxed);
+  s->mean.store(e.mean, std::memory_order_relaxed);
+  s->stddev.store(e.stddev, std::memory_order_relaxed);
+  s->epoch_start_s.store(e.epoch_start_s, std::memory_order_relaxed);
+  s->epoch_index.store(epoch_index, std::memory_order_relaxed);
+  s->seq.store(seq + 2, std::memory_order_release);
+}
+
+bool estimate_mirror::read(std::uint64_t skey,
+                           published_estimate& out) const noexcept {
+  if (skey == 0) return false;
+  const directory* d = dir_.load(std::memory_order_acquire);
+  if (d == nullptr) return false;
+  std::size_t at = static_cast<std::size_t>(mix64(skey)) & d->mask;
+  const slot* s = nullptr;
+  for (;;) {
+    const std::uint64_t k = d->entries[at].key.load(std::memory_order_acquire);
+    if (k == skey) {
+      s = d->entries[at].s.load(std::memory_order_relaxed);
+      break;
+    }
+    if (k == 0) return false;  // possibly racing an insert: report not-found
+    at = (at + 1) & d->mask;
+  }
+  // Seqlock reader protocol: valid only when the sequence was even and
+  // unchanged across the payload reads.
+  for (;;) {
+    const std::uint32_t s1 = s->seq.load(std::memory_order_acquire);
+    if ((s1 & 1u) == 0u) {
+      out.count = s->count.load(std::memory_order_relaxed);
+      out.mean = s->mean.load(std::memory_order_relaxed);
+      out.stddev = s->stddev.load(std::memory_order_relaxed);
+      out.epoch_start_s = s->epoch_start_s.load(std::memory_order_relaxed);
+      out.epoch_index = s->epoch_index.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s->seq.load(std::memory_order_relaxed) == s1) return true;
+    }
+    seqlock_retries().inc();
+  }
+}
+
+}  // namespace wiscape::core

@@ -1,0 +1,111 @@
+// The application-facing read API of the coordinator (the serving layer).
+//
+// WiScape's product is the per-(zone, network, metric) estimate: "the
+// server aggregates client samples into per-zone per-epoch estimates ...
+// and serves the estimates to applications" (paper Sec 3.4, applications in
+// Sec 6). estimate_view is the *only* sanctioned way applications read
+// those estimates -- src/apps and examples consume it, and the wire QUERY/
+// ALERTS commands are a thin codec over it. Raw zone_table access is an
+// implementation detail (coordinator::table_for_test for tests/benches).
+//
+// lookup() answers "what do we currently believe about stream (zone,
+// network, metric)?" with the frozen estimate *plus* the serving context an
+// application needs to trust it: which epoch it is (epoch_index), how old
+// it is (staleness_s), and how close its sample count came to the zone's
+// target (confidence, the paper's ~100-samples rule as a [0,1] ratio).
+// alerts_since() incrementally drains the coordinator's >2-sigma change
+// alerts by sequence-number cursor.
+//
+// Concurrency: over a sharded_coordinator, lookups read the owning shard's
+// seqlock'd estimate mirror -- no shard lock, no stalls to drain workers,
+// safe from any thread, and the returned triple is never torn (it is
+// bit-for-bit an estimate the shard's sequential state machine published).
+// Over a plain coordinator the same mirror path runs single-threaded.
+// keys() is the one cold exception: it enumerates under shard locks and is
+// meant for tools, not the query hot path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/alert_ring.h"
+#include "core/coordinator.h"
+#include "core/sharded_coordinator.h"
+
+namespace wiscape::core {
+
+struct view_config {
+  /// Sample count at which an estimate is considered fully trustworthy
+  /// ("around 100 measurement samples", paper Sec 1). confidence =
+  /// min(1, count / target_samples).
+  double target_samples = 100.0;
+};
+
+/// One served estimate: the frozen triple plus serving context.
+struct served_estimate {
+  std::uint64_t count = 0;        ///< samples in the frozen epoch
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint64_t epoch_index = 0;  ///< 0-based index into the stream's history
+  double epoch_start_s = 0.0;     ///< when the frozen epoch began
+  double staleness_s = -1.0;      ///< query time - epoch_start_s; -1 unknown
+  double confidence = 0.0;        ///< min(1, count / target_samples)
+};
+
+class estimate_view {
+ public:
+  /// Serves a sequential coordinator (borrowed; must outlive the view).
+  explicit estimate_view(const coordinator& coord, view_config cfg = {})
+      : seq_(&coord), cfg_(cfg) {}
+
+  /// Serves a sharded coordinator (borrowed; must outlive the view).
+  /// lookup()/alerts_since() are safe from any thread while ingestion runs.
+  explicit estimate_view(const sharded_coordinator& coord,
+                         view_config cfg = {})
+      : sharded_(&coord), cfg_(cfg) {}
+
+  /// Latest published estimate of a stream, or nullopt before its first
+  /// epoch rollover. `now_s` (the caller's clock) prices staleness_s;
+  /// pass a negative value when unknown (staleness_s stays -1).
+  std::optional<served_estimate> lookup(const geo::zone_id& zone,
+                                        std::uint16_t network_id,
+                                        trace::metric metric,
+                                        double now_s = -1.0) const;
+
+  /// Name-keyed flavour. Over a sharded coordinator only operators from the
+  /// constructor's network list resolve (the frozen wire interner) -- the
+  /// same restriction the wire boundary has.
+  std::optional<served_estimate> lookup(const geo::zone_id& zone,
+                                        std::string_view network,
+                                        trace::metric metric,
+                                        double now_s = -1.0) const;
+
+  /// Change alerts with sequence number > `since` (cursor semantics: feed
+  /// the returned next_seq into the next call; `dropped` counts alerts
+  /// evicted unseen by ring wraparound). At most `max` alerts per call.
+  alert_drain alerts_since(std::uint64_t since, std::size_t max = 256) const;
+
+  /// Interned id of `network` (trace::no_network_id when unknown). Matches
+  /// the id space lookup() expects.
+  std::uint16_t network_id_of(std::string_view network) const noexcept {
+    return seq_ != nullptr ? seq_->network_id_of(network)
+                           : sharded_->network_id_of(network);
+  }
+
+  /// All streams ever materialised. COLD: takes each shard's lock in
+  /// sharded mode; for tools and enumeration, never the query hot path.
+  std::vector<estimate_key> keys() const {
+    return seq_ != nullptr ? seq_->keys() : sharded_->keys();
+  }
+
+  const view_config& config() const noexcept { return cfg_; }
+
+ private:
+  const coordinator* seq_ = nullptr;
+  const sharded_coordinator* sharded_ = nullptr;
+  view_config cfg_;
+};
+
+}  // namespace wiscape::core

@@ -100,7 +100,10 @@ sharded_coordinator::sharded_coordinator(geo::zone_grid grid,
                                          std::vector<std::string> networks,
                                          sharded_config cfg,
                                          std::uint64_t seed)
-    : grid_(grid), cfg_(cfg), wire_ids_(networks) {
+    : grid_(grid),
+      cfg_(cfg),
+      wire_ids_(networks),
+      ring_(cfg.coordinator.alert_ring_capacity) {
   if (cfg.num_shards == 0) {
     throw std::invalid_argument("sharded_coordinator needs >= 1 shard");
   }
@@ -110,6 +113,9 @@ sharded_coordinator::sharded_coordinator(geo::zone_grid grid,
     const std::uint64_t shard_seed = i == 0 ? seed : seeder.fork(i).seed();
     shards_.push_back(std::make_unique<shard>(
         grid, networks, cfg.coordinator, shard_seed, cfg.queue_capacity, i));
+    // All shards sequence their alerts through the shared ring -- one total
+    // order of alert sequence numbers across the whole coordinator.
+    shards_.back()->coord.redirect_alert_sink(ring_);
   }
   if (!cfg_.synchronous) {
     workers_.reserve(shards_.size());
@@ -362,6 +368,11 @@ std::vector<change_alert> sharded_coordinator::alerts() const {
               return order(a) < order(b);
             });
   return out;
+}
+
+const estimate_mirror& sharded_coordinator::published_of(
+    std::size_t shard_index) const noexcept {
+  return shards_[shard_index]->coord.published();
 }
 
 std::uint64_t sharded_coordinator::reports_ingested() const noexcept {

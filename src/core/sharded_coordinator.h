@@ -156,6 +156,16 @@ class sharded_coordinator {
   /// The frozen wire-boundary interner itself (read-only).
   const network_interner& wire_interner() const noexcept { return wire_ids_; }
 
+  // ---- serving layer (lock-free; consumed by core::estimate_view) --------
+
+  /// Shard `shard`'s published-estimate mirror. Reads are lock-free and
+  /// never contend with that shard's drain worker.
+  const estimate_mirror& published_of(std::size_t shard) const noexcept;
+
+  /// The alert ring shared by every shard: one total order of alert
+  /// sequence numbers across the whole coordinator.
+  const alert_ring& alert_sink() const noexcept { return ring_; }
+
   // ---- read-side aggregation (flush() first for a consistent view) -------
 
   /// Latest frozen estimate / history for a key, from its owning shard.
@@ -201,6 +211,9 @@ class sharded_coordinator {
   // Frozen copy of the constructor's operator-id assignment, readable from
   // any thread without a lock (see network_id_of).
   network_interner wire_ids_;
+  // Shared alert ring every shard's coordinator publishes into (alerts are
+  // rollover-rare, so the ring's mutex never pressures drain workers).
+  alert_ring ring_;
   std::vector<std::unique_ptr<shard>> shards_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> reports_received_{0};

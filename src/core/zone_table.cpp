@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/alert_ring.h"
+#include "core/estimate_mirror.h"
 #include "obs/names.h"
 #include "obs/registry.h"
 
@@ -83,7 +85,8 @@ std::size_t zone_table::materialize_stream(std::size_t slot,
   // make later rollover()/keys() index out of bounds.
   cold_.push_back(cold_state{
       {},
-      estimate_key{zone, std::string(interner_.name_of(network_id)), metric}});
+      estimate_key{zone, std::string(interner_.name_of(network_id)), metric},
+      pack_stream(zone, network_id, metric)});
   try {
     hot_.push_back(hot_state{});
   } catch (...) {
@@ -158,9 +161,13 @@ void zone_table::rollover(std::size_t index) {
     if (threshold > 0.0 && std::abs(e.mean - prev.mean) > threshold) {
       alerts_.push_back(
           {c.key, e.epoch_start_s, prev.mean, e.mean, prev.stddev});
+      if (alert_sink_ != nullptr) alert_sink_->push(alerts_.back());
     }
   }
   c.frozen.push_back(e);
+  if (mirror_ != nullptr) {
+    mirror_->publish(c.skey, e, c.frozen.size() - 1);
+  }
   s.open.reset();
   metrics().rollovers.inc();
 }
@@ -214,6 +221,11 @@ void zone_table::restore(const estimate_key& key,
   const std::size_t idx =
       val != 0 ? val - 1 : materialize_stream(slot, key.zone, nid, key.metric);
   cold_[idx].frozen.push_back(estimate);
+  // Restored estimates serve like published ones (no alert: restore replays
+  // persisted state, it does not observe a change).
+  if (mirror_ != nullptr) {
+    mirror_->publish(cold_[idx].skey, estimate, cold_[idx].frozen.size() - 1);
+  }
 }
 
 std::vector<estimate_key> zone_table::keys() const {

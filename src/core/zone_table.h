@@ -48,6 +48,9 @@
 
 namespace wiscape::core {
 
+class estimate_mirror;
+class alert_ring;
+
 /// Key of one estimate stream (the boundary/reader form; the hot path works
 /// on the packed form below).
 struct estimate_key {
@@ -97,6 +100,39 @@ class zone_table {
     return zone.ix >= -kCoordLimit && zone.ix < kCoordLimit &&
            zone.iy >= -kCoordLimit && zone.iy < kCoordLimit;
   }
+
+  /// Packed serving-layer stream key: the directory's group key (tag bit 63
+  /// | ix:24 | iy:24 | network id:12) with the metric folded into the free
+  /// bits 60..62. Returns 0 (never a valid key -- the tag bit is always
+  /// set) when the zone or network id is out of packed range, so read paths
+  /// can treat out-of-range lookups as plain not-found instead of throwing.
+  static std::uint64_t pack_stream(const geo::zone_id& zone,
+                                   std::uint16_t network_id,
+                                   trace::metric metric) noexcept {
+    if (!zone_in_range(zone) || network_id >= network_interner::max_networks) {
+      return 0;
+    }
+    const auto bx = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(zone.ix) & 0xFFFFFFu);
+    const auto by = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(zone.iy) & 0xFFFFFFu);
+    return (1ull << 63) | (static_cast<std::uint64_t>(metric) << 60) |
+           (bx << 36) | (by << 12) | static_cast<std::uint64_t>(network_id);
+  }
+
+  /// Attaches the serving-layer sinks: every epoch rollover (and restore)
+  /// publishes the frozen estimate into `mirror`, and every change alert is
+  /// additionally pushed into `alerts` with a sequence number. Either may
+  /// be null (not published). The sinks must outlive the table; writes into
+  /// them happen inside the table's own mutations, so they inherit whatever
+  /// serialisation the caller provides for those (the shard mutex).
+  void set_sinks(estimate_mirror* mirror, alert_ring* alerts) noexcept {
+    mirror_ = mirror;
+    alert_sink_ = alerts;
+  }
+  /// Re-points just the alert sink (sharded mode shares one global ring
+  /// across shards so alert sequence numbers are totally ordered).
+  void set_alert_sink(alert_ring* alerts) noexcept { alert_sink_ = alerts; }
 
   /// Adds one sample to the current epoch of `key`. `epoch_duration_s` is
   /// the zone's current epoch length (rollover happens when a sample lands
@@ -193,6 +229,7 @@ class zone_table {
   struct cold_state {
     std::vector<epoch_estimate> frozen;
     estimate_key key;                 // unpacked, for keys()/alerts
+    std::uint64_t skey = 0;           // pack_stream key, for mirror publish
   };
   // One directory slot covers a whole (zone, network) group: the packed
   // group key plus stream index+1 per metric (0 = not materialized). 32
@@ -256,6 +293,9 @@ class zone_table {
   mutable std::uint64_t memo_key_ = 0;  // 0 = invalid
   mutable std::size_t memo_slot_ = 0;
   std::vector<change_alert> alerts_;
+  estimate_mirror* mirror_ = nullptr;  // serving-layer estimate sink
+  alert_ring* alert_sink_ = nullptr;   // serving-layer alert sink
+
 };
 
 // ---- inline apply path ------------------------------------------------------

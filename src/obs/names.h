@@ -73,6 +73,23 @@ inline constexpr char kShardRoutedSuffix[] = "routed";
 /// Suffix under kShardPrefix: reports applied by shard i's worker. [reports]
 inline constexpr char kShardDrainedSuffix[] = "drained";
 
+// ---- core::estimate_view / estimate_mirror --------------------------------
+/// Serving-layer estimate lookups (any outcome).
+inline constexpr char kEstimateViewLookups[] = "core.estimate_view.lookups";
+/// Lookups answered "no estimate published" (stream unknown or pre-rollover).
+inline constexpr char kEstimateViewMisses[] = "core.estimate_view.misses";
+/// Seqlock read retries: a lookup raced an epoch publish and re-read. The
+/// read path is lock-free; this counts the (bounded, publish-width) spins.
+inline constexpr char kEstimateViewSeqlockRetries[] =
+    "core.estimate_view.seqlock_retries";
+/// Change alerts handed to clients by alerts_since drains.
+inline constexpr char kEstimateViewAlertsServed[] =
+    "core.estimate_view.alerts_served";
+/// Change alerts reported dropped (evicted by ring wraparound before a
+/// lagging client drained them).
+inline constexpr char kEstimateViewAlertsDropped[] =
+    "core.estimate_view.alerts_dropped";
+
 // ---- proto::coordinator_server --------------------------------------------
 /// Request lines handled (any outcome, STATS included).
 inline constexpr char kServerLines[] = "proto.server.lines";
@@ -103,5 +120,24 @@ inline constexpr char kServerReportBatches[] = "proto.server.report_batches";
 /// [seconds]
 inline constexpr char kServerBatchLatency[] =
     "proto.server.report_batch_latency_s";
+/// QUERY lines answered with EST or NONE.
+inline constexpr char kServerQueries[] = "proto.server.queries";
+/// QUERYB frames answered with an ESTB frame (lookups inside count into
+/// proto.server.queries).
+inline constexpr char kServerQueryBatches[] = "proto.server.query_batches";
+/// ALERTS requests answered with an alert frame.
+inline constexpr char kServerAlertsRequests[] = "proto.server.alerts_requests";
+/// HELLO lines answered with a negotiated version.
+inline constexpr char kServerHellos[] = "proto.server.hellos";
+/// ERR replies: HELLO version below the supported minimum.
+inline constexpr char kServerErrVersion[] = "proto.server.err_version";
+/// Wall time to answer one QUERY (decode + mirror read + encode). [seconds]
+inline constexpr char kServerQueryLatency[] = "proto.server.query_latency_s";
+/// Wall time to answer one QUERYB frame (decode all + lookups + encode).
+/// [seconds]
+inline constexpr char kServerQueryBatchLatency[] =
+    "proto.server.query_batch_latency_s";
+/// Wall time to answer one ALERTS request (ring drain + encode). [seconds]
+inline constexpr char kServerAlertsLatency[] = "proto.server.alerts_latency_s";
 
 }  // namespace wiscape::obs::names

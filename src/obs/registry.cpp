@@ -119,15 +119,22 @@ registry& registry::global() {
   return g;
 }
 
-std::string format_value(const metric_sample& s) {
+void append_value(std::string& out, const metric_sample& s) {
   char buf[64];
+  int n;
   if (s.integral && std::abs(s.value) < 9.007199254740992e15) {
-    std::snprintf(buf, sizeof buf, "%lld",
-                  static_cast<long long>(std::llround(s.value)));
+    n = std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(std::llround(s.value)));
   } else {
-    std::snprintf(buf, sizeof buf, "%.9g", s.value);
+    n = std::snprintf(buf, sizeof buf, "%.9g", s.value);
   }
-  return buf;
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+std::string format_value(const metric_sample& s) {
+  std::string out;
+  append_value(out, s);
+  return out;
 }
 
 }  // namespace wiscape::obs

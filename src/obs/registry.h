@@ -164,4 +164,8 @@ class registry {
 /// integral samples without a decimal point, others with %.9g.
 std::string format_value(const metric_sample& s);
 
+/// Appends exactly format_value(s) to `out` without a temporary string --
+/// the allocation-free flavour for preallocated-buffer encoders (STATS).
+void append_value(std::string& out, const metric_sample& s);
+
 }  // namespace wiscape::obs

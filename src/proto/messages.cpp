@@ -1,5 +1,6 @@
 #include "proto/messages.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <stdexcept>
@@ -164,8 +165,46 @@ std::string encode_report_batch(
 
 std::string encode_idle() { return "IDLE"; }
 
-std::string encode_error(const std::string& reason) {
-  return "ERR " + reason;
+namespace {
+// The single table every err_code conversion is driven from: one row per
+// code, in enum order (static_asserted below so a new code cannot be added
+// without a token).
+struct err_row {
+  err_code code;
+  std::string_view token;
+};
+constexpr err_row err_table[] = {
+    {err_code::parse, "parse"},
+    {err_code::unsupported, "unsupported"},
+    {err_code::stopped, "stopped"},
+    {err_code::version, "version"},
+    {err_code::internal, "internal"},
+};
+static_assert(static_cast<std::size_t>(err_code::internal) + 1 ==
+                  sizeof err_table / sizeof err_table[0],
+              "every err_code needs a row in err_table");
+}  // namespace
+
+std::string_view to_string(err_code code) noexcept {
+  return err_table[static_cast<std::size_t>(code)].token;
+}
+
+std::optional<err_code> err_code_from_string(std::string_view s) noexcept {
+  for (const err_row& row : err_table) {
+    if (row.token == s) return row.code;
+  }
+  return std::nullopt;
+}
+
+std::string encode_error(err_code code, std::string_view detail) {
+  const std::string_view token = to_string(code);
+  std::string out;
+  out.reserve(4 + token.size() + 1 + std::min<std::size_t>(detail.size(), 124));
+  out += "ERR ";
+  out += token;
+  out += ' ';
+  out += error_excerpt(detail);
+  return out;
 }
 
 std::string_view message_type(std::string_view line) {
@@ -174,8 +213,10 @@ std::string_view message_type(std::string_view line) {
       sp == std::string_view::npos ? line : line.substr(0, sp);
   // Return the static literal, not a view into the caller's line, so the
   // result stays valid after the line's buffer dies.
-  for (const std::string_view known : {"CHECKIN", "TASK", "REPORT", "REPORTB",
-                                       "IDLE", "ACK", "ERR", "STATS"}) {
+  for (const std::string_view known :
+       {"CHECKIN", "TASK", "REPORT", "REPORTB", "IDLE", "ACK", "ERR", "STATS",
+        "QUERY", "QUERYB", "EST", "ESTB", "NONE", "ALERTS", "ALERT",
+        "HELLO"}) {
     if (tag == known) return known;
   }
   return {};
@@ -349,6 +390,479 @@ std::vector<trace::measurement_record> decode_report_batch(
                                 std::to_string(produced) + " records");
   }
   return out;
+}
+
+// ---- read-side codec (protocol v2) ----------------------------------------
+
+namespace {
+
+/// Parses a "ix:iy" zone token (two signed 32-bit ints).
+geo::zone_id parse_zone(std::string_view s, std::string_view key) {
+  const std::size_t colon = s.find(':');
+  if (colon == std::string_view::npos) bad_numeric(key, s);
+  geo::zone_id z;
+  const std::string_view ix = s.substr(0, colon);
+  const std::string_view iy = s.substr(colon + 1);
+  const auto [e1, c1] = std::from_chars(ix.data(), ix.data() + ix.size(), z.ix);
+  if (c1 != std::errc{} || e1 != ix.data() + ix.size() || ix.empty()) {
+    bad_numeric(key, s);
+  }
+  const auto [e2, c2] = std::from_chars(iy.data(), iy.data() + iy.size(), z.iy);
+  if (c2 != std::errc{} || e2 != iy.data() + iy.size() || iy.empty()) {
+    bad_numeric(key, s);
+  }
+  return z;
+}
+
+/// Parses the k=v fields of a QUERY (everything after the tag). Shared by
+/// decode_query and QUERYB payload lines.
+query_request parse_query_fields(token_cursor& c) {
+  enum : unsigned {
+    f_lat = 1u << 0,
+    f_lon = 1u << 1,
+    f_net = 1u << 2,
+    f_metric = 1u << 3,
+    f_t = 1u << 4,
+  };
+  query_request m;
+  unsigned seen = 0;
+  while (const auto tok = c.next()) {
+    const kv f = split_kv(*tok);
+    if (f.key == "lat") {
+      mark_seen(seen, f_lat, f.key);
+      m.pos.lat_deg = parse_double(f.value, f.key);
+    } else if (f.key == "lon") {
+      mark_seen(seen, f_lon, f.key);
+      m.pos.lon_deg = parse_double(f.value, f.key);
+    } else if (f.key == "net") {
+      mark_seen(seen, f_net, f.key);
+      m.network.assign(f.value);
+    } else if (f.key == "metric") {
+      mark_seen(seen, f_metric, f.key);
+      m.metric = trace::metric_from_string(f.value);
+    } else if (f.key == "t") {
+      mark_seen(seen, f_t, f.key);
+      m.time_s = parse_double(f.value, f.key);
+    }
+  }
+  require_seen(seen, f_lat, "lat");
+  require_seen(seen, f_lon, "lon");
+  require_seen(seen, f_net, "net");
+  require_seen(seen, f_metric, "metric");
+  return m;  // t optional: stays -1 (staleness unknown) when absent
+}
+
+/// Renders the k=v fields of a QUERY (without the tag) into `out`.
+void append_query_fields(std::string& out, const query_request& m) {
+  out += format_line("lat=%.6f lon=%.6f net=%s metric=%s", m.pos.lat_deg,
+                     m.pos.lon_deg, m.network.c_str(),
+                     trace::to_string(m.metric).c_str());
+  if (m.time_s >= 0.0) out += format_line(" t=%.3f", m.time_s);
+}
+
+/// Frame walker shared by the multi-line decoders: splits off the header
+/// line and hands out payload lines one at a time.
+struct frame_cursor {
+  std::string_view rest;
+  bool done = false;
+
+  explicit frame_cursor(std::string_view frame, std::string_view& header) {
+    const std::size_t nl = frame.find('\n');
+    if (nl == std::string_view::npos) {
+      header = frame;
+      done = true;
+    } else {
+      header = frame.substr(0, nl);
+      rest = frame.substr(nl + 1);
+      done = rest.empty();
+    }
+  }
+
+  std::optional<std::string_view> next() {
+    if (done) return std::nullopt;
+    const std::size_t e = rest.find('\n');
+    std::string_view line;
+    if (e == std::string_view::npos) {
+      line = rest;
+      done = true;  // a single trailing '\n' ends the frame
+    } else {
+      line = rest.substr(0, e);
+      rest = rest.substr(e + 1);
+      done = rest.empty();
+    }
+    return line;
+  }
+};
+
+/// Parses a multi-line frame's "<TAG> <count> [k=v ...]" header count and
+/// enforces `cap` before any payload work.
+std::uint64_t parse_frame_count(token_cursor& c, std::string_view tag,
+                                std::size_t cap) {
+  const auto count_tok = c.next();
+  if (!count_tok) {
+    throw std::invalid_argument(std::string(tag) + " missing count");
+  }
+  const std::uint64_t n = parse_u64(*count_tok, "count");
+  if (n > cap) {
+    throw std::invalid_argument(std::string(tag) + " count " +
+                                std::to_string(n) + " exceeds max " +
+                                std::to_string(cap));
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string encode(const hello_request& m) {
+  return format_line("HELLO ver=%u", m.version);
+}
+
+std::string encode(const hello_reply& m) {
+  return format_line("HELLO ver=%u min=%u", m.version, m.min_version);
+}
+
+hello_request decode_hello(std::string_view line) {
+  token_cursor c{line};
+  expect_tag(c, "HELLO", line);
+  hello_request m;
+  unsigned seen = 0;
+  while (const auto tok = c.next()) {
+    const kv f = split_kv(*tok);
+    if (f.key == "ver") {
+      mark_seen(seen, 1u, f.key);
+      m.version = parse_u32(f.value, f.key);
+    }
+  }
+  require_seen(seen, 1u, "ver");
+  return m;
+}
+
+hello_reply decode_hello_reply(std::string_view line) {
+  token_cursor c{line};
+  expect_tag(c, "HELLO", line);
+  enum : unsigned { f_ver = 1u << 0, f_min = 1u << 1 };
+  hello_reply m;
+  unsigned seen = 0;
+  while (const auto tok = c.next()) {
+    const kv f = split_kv(*tok);
+    if (f.key == "ver") {
+      mark_seen(seen, f_ver, f.key);
+      m.version = parse_u32(f.value, f.key);
+    } else if (f.key == "min") {
+      mark_seen(seen, f_min, f.key);
+      m.min_version = parse_u32(f.value, f.key);
+    }
+  }
+  require_seen(seen, f_ver, "ver");
+  require_seen(seen, f_min, "min");
+  return m;
+}
+
+std::string encode(const query_request& m) {
+  std::string out = "QUERY ";
+  append_query_fields(out, m);
+  return out;
+}
+
+query_request decode_query(std::string_view line) {
+  token_cursor c{line};
+  expect_tag(c, "QUERY", line);
+  return parse_query_fields(c);
+}
+
+std::string encode(const estimate_reply& m) {
+  // %.17g on every double: what the client decodes is bit-for-bit what the
+  // view served (a remote application reproduces in-process decisions).
+  return format_line(
+      "EST zone=%d:%d net=%s metric=%s count=%llu mean=%.17g stddev=%.17g "
+      "epoch=%llu staleness_s=%.17g conf=%.17g",
+      m.zone.ix, m.zone.iy, m.network.c_str(),
+      trace::to_string(m.metric).c_str(),
+      static_cast<unsigned long long>(m.count), m.mean, m.stddev,
+      static_cast<unsigned long long>(m.epoch_index), m.staleness_s,
+      m.confidence);
+}
+
+std::string encode_none() { return "NONE"; }
+
+estimate_reply decode_estimate(std::string_view line) {
+  token_cursor c{line};
+  expect_tag(c, "EST", line);
+  enum : unsigned {
+    f_zone = 1u << 0,
+    f_net = 1u << 1,
+    f_metric = 1u << 2,
+    f_count = 1u << 3,
+    f_mean = 1u << 4,
+    f_stddev = 1u << 5,
+    f_epoch = 1u << 6,
+    f_staleness = 1u << 7,
+    f_conf = 1u << 8,
+  };
+  estimate_reply m;
+  unsigned seen = 0;
+  while (const auto tok = c.next()) {
+    const kv f = split_kv(*tok);
+    if (f.key == "zone") {
+      mark_seen(seen, f_zone, f.key);
+      m.zone = parse_zone(f.value, f.key);
+    } else if (f.key == "net") {
+      mark_seen(seen, f_net, f.key);
+      m.network.assign(f.value);
+    } else if (f.key == "metric") {
+      mark_seen(seen, f_metric, f.key);
+      m.metric = trace::metric_from_string(f.value);
+    } else if (f.key == "count") {
+      mark_seen(seen, f_count, f.key);
+      m.count = parse_u64(f.value, f.key);
+    } else if (f.key == "mean") {
+      mark_seen(seen, f_mean, f.key);
+      m.mean = parse_double(f.value, f.key);
+    } else if (f.key == "stddev") {
+      mark_seen(seen, f_stddev, f.key);
+      m.stddev = parse_double(f.value, f.key);
+    } else if (f.key == "epoch") {
+      mark_seen(seen, f_epoch, f.key);
+      m.epoch_index = parse_u64(f.value, f.key);
+    } else if (f.key == "staleness_s") {
+      mark_seen(seen, f_staleness, f.key);
+      m.staleness_s = parse_double(f.value, f.key);
+    } else if (f.key == "conf") {
+      mark_seen(seen, f_conf, f.key);
+      m.confidence = parse_double(f.value, f.key);
+    }
+  }
+  require_seen(seen, f_zone, "zone");
+  require_seen(seen, f_net, "net");
+  require_seen(seen, f_metric, "metric");
+  require_seen(seen, f_count, "count");
+  require_seen(seen, f_mean, "mean");
+  require_seen(seen, f_stddev, "stddev");
+  require_seen(seen, f_epoch, "epoch");
+  require_seen(seen, f_staleness, "staleness_s");
+  require_seen(seen, f_conf, "conf");
+  return m;
+}
+
+std::string encode_query_batch(std::span<const query_request> qs) {
+  std::string out = "QUERYB " + std::to_string(qs.size());
+  for (const query_request& q : qs) {
+    out += '\n';
+    append_query_fields(out, q);
+  }
+  return out;
+}
+
+std::vector<query_request> decode_query_batch(std::string_view frame) {
+  std::string_view header;
+  frame_cursor lines(frame, header);
+  token_cursor c{header};
+  expect_tag(c, "QUERYB", header);
+  const std::uint64_t n = parse_frame_count(c, "QUERYB", max_query_batch);
+  if (c.next()) {
+    throw std::invalid_argument("QUERYB header has trailing tokens");
+  }
+  std::vector<query_request> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (const auto line = lines.next()) {
+    if (out.size() == n) {
+      throw std::invalid_argument("QUERYB count mismatch: header says " +
+                                  std::to_string(n) + ", payload has more");
+    }
+    token_cursor fields{*line};
+    try {
+      out.push_back(parse_query_fields(fields));
+    } catch (const std::invalid_argument& ex) {
+      throw std::invalid_argument("QUERYB query " +
+                                  std::to_string(out.size()) + ": " +
+                                  ex.what());
+    }
+  }
+  if (out.size() != n) {
+    throw std::invalid_argument("QUERYB count mismatch: header says " +
+                                std::to_string(n) + ", got " +
+                                std::to_string(out.size()) + " queries");
+  }
+  return out;
+}
+
+std::string encode_estimate_batch(
+    std::span<const std::optional<estimate_reply>> replies) {
+  std::string out = "ESTB " + std::to_string(replies.size());
+  for (const auto& r : replies) {
+    out += '\n';
+    if (r.has_value()) {
+      out += encode(*r);
+    } else {
+      out += "NONE";
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<estimate_reply>> decode_estimate_batch(
+    std::string_view frame) {
+  std::string_view header;
+  frame_cursor lines(frame, header);
+  token_cursor c{header};
+  expect_tag(c, "ESTB", header);
+  const std::uint64_t n = parse_frame_count(c, "ESTB", max_query_batch);
+  if (c.next()) {
+    throw std::invalid_argument("ESTB header has trailing tokens");
+  }
+  std::vector<std::optional<estimate_reply>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (const auto line = lines.next()) {
+    if (out.size() == n) {
+      throw std::invalid_argument("ESTB count mismatch: header says " +
+                                  std::to_string(n) + ", payload has more");
+    }
+    try {
+      if (*line == "NONE") {
+        out.emplace_back(std::nullopt);
+      } else {
+        out.emplace_back(decode_estimate(*line));
+      }
+    } catch (const std::invalid_argument& ex) {
+      throw std::invalid_argument("ESTB reply " + std::to_string(out.size()) +
+                                  ": " + ex.what());
+    }
+  }
+  if (out.size() != n) {
+    throw std::invalid_argument("ESTB count mismatch: header says " +
+                                std::to_string(n) + ", got " +
+                                std::to_string(out.size()) + " replies");
+  }
+  return out;
+}
+
+std::string encode(const alerts_request& m) {
+  return format_line("ALERTS since=%llu max=%u",
+                     static_cast<unsigned long long>(m.since), m.max);
+}
+
+alerts_request decode_alerts_request(std::string_view line) {
+  token_cursor c{line};
+  expect_tag(c, "ALERTS", line);
+  enum : unsigned { f_since = 1u << 0, f_max = 1u << 1 };
+  alerts_request m;
+  unsigned seen = 0;
+  while (const auto tok = c.next()) {
+    const kv f = split_kv(*tok);
+    if (f.key == "since") {
+      mark_seen(seen, f_since, f.key);
+      m.since = parse_u64(f.value, f.key);
+    } else if (f.key == "max") {
+      mark_seen(seen, f_max, f.key);
+      m.max = parse_u32(f.value, f.key);
+    }
+  }
+  require_seen(seen, f_since, "since");
+  return m;  // max optional: defaults to 256
+}
+
+std::string encode(const alerts_reply& m) {
+  std::string out = format_line(
+      "ALERTS %zu next=%llu dropped=%llu", m.alerts.size(),
+      static_cast<unsigned long long>(m.next_seq),
+      static_cast<unsigned long long>(m.dropped));
+  for (const alert_event& a : m.alerts) {
+    out += '\n';
+    out += format_line(
+        "ALERT seq=%llu zone=%d:%d net=%s metric=%s epoch_start_s=%.17g "
+        "prev_mean=%.17g new_mean=%.17g prev_stddev=%.17g",
+        static_cast<unsigned long long>(a.seq), a.zone.ix, a.zone.iy,
+        a.network.c_str(), trace::to_string(a.metric).c_str(),
+        a.epoch_start_s, a.previous_mean, a.new_mean, a.previous_stddev);
+  }
+  return out;
+}
+
+alerts_reply decode_alerts_reply(std::string_view frame) {
+  std::string_view header;
+  frame_cursor lines(frame, header);
+  token_cursor c{header};
+  expect_tag(c, "ALERTS", header);
+  const std::uint64_t n = parse_frame_count(c, "ALERTS", max_alert_batch);
+  alerts_reply m;
+  enum : unsigned { f_next = 1u << 0, f_dropped = 1u << 1 };
+  unsigned seen = 0;
+  while (const auto tok = c.next()) {
+    const kv f = split_kv(*tok);
+    if (f.key == "next") {
+      mark_seen(seen, f_next, f.key);
+      m.next_seq = parse_u64(f.value, f.key);
+    } else if (f.key == "dropped") {
+      mark_seen(seen, f_dropped, f.key);
+      m.dropped = parse_u64(f.value, f.key);
+    }
+  }
+  require_seen(seen, f_next, "next");
+  require_seen(seen, f_dropped, "dropped");
+  m.alerts.reserve(static_cast<std::size_t>(n));
+  while (const auto line = lines.next()) {
+    if (m.alerts.size() == n) {
+      throw std::invalid_argument("ALERTS count mismatch: header says " +
+                                  std::to_string(n) + ", payload has more");
+    }
+    token_cursor ac{*line};
+    expect_tag(ac, "ALERT", *line);
+    enum : unsigned {
+      a_seq = 1u << 0,
+      a_zone = 1u << 1,
+      a_net = 1u << 2,
+      a_metric = 1u << 3,
+      a_epoch = 1u << 4,
+      a_prev_mean = 1u << 5,
+      a_new_mean = 1u << 6,
+      a_prev_stddev = 1u << 7,
+    };
+    alert_event a;
+    unsigned aseen = 0;
+    while (const auto tok = ac.next()) {
+      const kv f = split_kv(*tok);
+      if (f.key == "seq") {
+        mark_seen(aseen, a_seq, f.key);
+        a.seq = parse_u64(f.value, f.key);
+      } else if (f.key == "zone") {
+        mark_seen(aseen, a_zone, f.key);
+        a.zone = parse_zone(f.value, f.key);
+      } else if (f.key == "net") {
+        mark_seen(aseen, a_net, f.key);
+        a.network.assign(f.value);
+      } else if (f.key == "metric") {
+        mark_seen(aseen, a_metric, f.key);
+        a.metric = trace::metric_from_string(f.value);
+      } else if (f.key == "epoch_start_s") {
+        mark_seen(aseen, a_epoch, f.key);
+        a.epoch_start_s = parse_double(f.value, f.key);
+      } else if (f.key == "prev_mean") {
+        mark_seen(aseen, a_prev_mean, f.key);
+        a.previous_mean = parse_double(f.value, f.key);
+      } else if (f.key == "new_mean") {
+        mark_seen(aseen, a_new_mean, f.key);
+        a.new_mean = parse_double(f.value, f.key);
+      } else if (f.key == "prev_stddev") {
+        mark_seen(aseen, a_prev_stddev, f.key);
+        a.previous_stddev = parse_double(f.value, f.key);
+      }
+    }
+    require_seen(aseen, a_seq, "seq");
+    require_seen(aseen, a_zone, "zone");
+    require_seen(aseen, a_net, "net");
+    require_seen(aseen, a_metric, "metric");
+    require_seen(aseen, a_epoch, "epoch_start_s");
+    require_seen(aseen, a_prev_mean, "prev_mean");
+    require_seen(aseen, a_new_mean, "new_mean");
+    require_seen(aseen, a_prev_stddev, "prev_stddev");
+    m.alerts.push_back(std::move(a));
+  }
+  if (m.alerts.size() != n) {
+    throw std::invalid_argument("ALERTS count mismatch: header says " +
+                                std::to_string(n) + ", got " +
+                                std::to_string(m.alerts.size()) + " alerts");
+  }
+  return m;
 }
 
 }  // namespace wiscape::proto

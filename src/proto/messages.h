@@ -16,12 +16,15 @@
 // and short names stay in SSO). Error reasons (the cold path) allocate and
 // echo at most a clipped excerpt of the offending input.
 //
-// Request types: CHECKIN (task request), REPORT (completed measurement),
-// REPORTB (batched reports -- the one multi-line request: "REPORTB <n>"
-// followed by n CSV record payload lines), STATS (operational metrics
-// dump). Reply types: TASK, IDLE, ACK, ERR, and the STATS reply
-// (`STATS <n>` followed by n `name value` lines; see
-// coordinator_server::handle). All functions here are stateless and
+// Protocol v2 (spec: DESIGN.md "Wire protocol v2"). Request types:
+//   write side -- CHECKIN (task request), REPORT (completed measurement),
+//   REPORTB (batched reports: "REPORTB <n>" header + n CSV record lines);
+//   read side  -- QUERY (estimate lookup), QUERYB (batched lookups,
+//   mirroring the REPORTB frame discipline), ALERTS (incremental change-
+//   alert drain), HELLO (version negotiation), STATS (metrics dump).
+// Reply types: TASK, IDLE, ACK, EST, NONE, the multi-line ESTB / ALERTS /
+// STATS frames, HELLO, and ERR (typed: "ERR <code> <detail>" with a stable
+// code token -- see err_code). All functions here are stateless and
 // thread-safe.
 #pragma once
 
@@ -33,6 +36,7 @@
 #include <vector>
 
 #include "geo/lat_lon.h"
+#include "geo/zone_grid.h"
 #include "trace/record.h"
 
 namespace wiscape::proto {
@@ -68,6 +72,109 @@ struct measurement_report {
 /// huge allocation).
 inline constexpr std::size_t max_report_batch = 65536;
 
+// ---- protocol versioning --------------------------------------------------
+
+/// The protocol version this build speaks. v1: CHECKIN/REPORT/REPORTB/
+/// STATS. v2 adds the read side (QUERY/QUERYB/ALERTS/HELLO) and typed ERR
+/// codes.
+inline constexpr std::uint32_t wire_version = 2;
+/// Oldest client version this build still serves (v1 clients never send
+/// read-side commands, and every v1 reply shape is unchanged).
+inline constexpr std::uint32_t wire_min_version = 1;
+
+/// Client -> coordinator: version negotiation ("HELLO ver=<n>").
+struct hello_request {
+  std::uint32_t version = wire_version;  ///< highest version the client speaks
+};
+
+/// Coordinator -> client: "HELLO ver=<negotiated> min=<min>". `version` is
+/// min(client version, wire_version) -- the version both sides speak.
+struct hello_reply {
+  std::uint32_t version = wire_version;
+  std::uint32_t min_version = wire_min_version;
+};
+
+// ---- read-side messages ---------------------------------------------------
+
+/// Client -> coordinator: estimate lookup ("QUERY lat=.. lon=.. net=..
+/// metric=.. [t=..]"). The server maps the position to its zone grid; `t`
+/// (the client clock) is optional and only prices the reply's staleness.
+struct query_request {
+  geo::lat_lon pos;
+  std::string network;
+  trace::metric metric = trace::metric::tcp_throughput_bps;
+  double time_s = -1.0;  ///< <0 = not provided (staleness unknown)
+};
+
+/// Coordinator -> client: one served estimate ("EST zone=<ix>:<iy> ...").
+/// A stream with no published estimate answers "NONE" instead.
+struct estimate_reply {
+  geo::zone_id zone;
+  std::string network;
+  trace::metric metric = trace::metric::tcp_throughput_bps;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint64_t epoch_index = 0;
+  double staleness_s = -1.0;  ///< -1 = unknown (query carried no t)
+  double confidence = 0.0;
+};
+
+/// Client -> coordinator: incremental alert drain ("ALERTS since=<seq>
+/// [max=<n>]").
+struct alerts_request {
+  std::uint64_t since = 0;  ///< drain alerts with sequence > since
+  std::uint32_t max = 256;  ///< at most this many per reply frame
+};
+
+/// One change alert in an ALERTS reply frame.
+struct alert_event {
+  std::uint64_t seq = 0;
+  geo::zone_id zone;
+  std::string network;
+  trace::metric metric = trace::metric::tcp_throughput_bps;
+  double epoch_start_s = 0.0;
+  double previous_mean = 0.0;
+  double new_mean = 0.0;
+  double previous_stddev = 0.0;
+};
+
+/// Coordinator -> client: "ALERTS <n> next=<seq> dropped=<d>" header + n
+/// ALERT lines. Feed next_seq back as the next request's `since`.
+struct alerts_reply {
+  std::vector<alert_event> alerts;
+  std::uint64_t next_seq = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Hard cap on the lookup count of one QUERYB frame (same discipline as
+/// max_report_batch: rejected before any payload decode or allocation).
+inline constexpr std::size_t max_query_batch = 4096;
+
+/// Hard cap on the alert count of one ALERTS reply frame: the server clamps
+/// alerts_request::max to this, and decode_alerts_reply rejects larger
+/// headers before allocating.
+inline constexpr std::size_t max_alert_batch = 4096;
+
+// ---- error codes ----------------------------------------------------------
+
+/// Stable machine-readable ERR categories, serialized as "ERR <code>
+/// <detail>". Codes are append-only wire surface: clients switch on the
+/// token, the detail is for humans and capped at 120 bytes.
+enum class err_code {
+  parse,        ///< request line/frame failed to decode
+  unsupported,  ///< syntactically valid line of an unknown type
+  stopped,      ///< ingestion pipeline stopped; report refused
+  version,      ///< HELLO version below wire_min_version
+  internal,     ///< unexpected exception while handling (defense in depth)
+};
+
+/// The code's stable wire token ("parse", "unsupported", ...).
+std::string_view to_string(err_code code) noexcept;
+/// Parses a code token; nullopt for anything else (forward compatibility:
+/// clients treat unknown codes as a generic error).
+std::optional<err_code> err_code_from_string(std::string_view s) noexcept;
+
 // ---- codec ----------------------------------------------------------------
 // encode() never fails; decode_*() throws std::invalid_argument naming the
 // offending field. All codec functions are pure and thread-safe.
@@ -85,18 +192,49 @@ std::string encode(const measurement_report& m);
 /// per-record framing is needed.
 std::string encode_report_batch(std::span<const trace::measurement_record> recs);
 
+/// Encodes a version negotiation as one "HELLO ver=<n>" line.
+std::string encode(const hello_request& m);
+/// Encodes the negotiation answer as one "HELLO ver=<n> min=<n>" line.
+std::string encode(const hello_reply& m);
+
+/// Encodes a lookup as one "QUERY k=v ..." line (t omitted when < 0).
+std::string encode(const query_request& m);
+/// Encodes a served estimate as one "EST k=v ..." line. mean/stddev are
+/// rendered with round-trip precision (%.17g): what the client decodes is
+/// bit-for-bit what the view served.
+std::string encode(const estimate_reply& m);
+/// The QUERY reply when the stream has no published estimate yet.
+std::string encode_none();
+
+/// Encodes a batch of lookups as one "QUERYB <n>" frame: a header line
+/// followed by n QUERY payload lines (the k=v fields without the QUERY
+/// tag), '\n'-separated, no trailing newline.
+std::string encode_query_batch(std::span<const query_request> qs);
+/// Encodes the QUERYB answer as one "ESTB <n>" frame: n lines, each a full
+/// "EST k=v ..." line or "NONE", positionally matching the request.
+std::string encode_estimate_batch(
+    std::span<const std::optional<estimate_reply>> replies);
+
+/// Encodes an alert drain request as one "ALERTS since=<n> max=<n>" line.
+std::string encode(const alerts_request& m);
+/// Encodes the drain answer as one "ALERTS <n> next=<seq> dropped=<d>"
+/// frame: header + n "ALERT k=v ..." lines, oldest first.
+std::string encode(const alerts_reply& m);
+
 /// The coordinator's answer to a check-in when no task is issued.
 std::string encode_idle();
 
-/// The server's reply to a malformed or rejected request: "ERR <reason>".
-std::string encode_error(const std::string& reason);
+/// The server's reply to a malformed or rejected request:
+/// "ERR <code> <detail>". The detail is clipped to 120 bytes.
+std::string encode_error(err_code code, std::string_view detail);
 
 /// Clips `s` for inclusion in an error reason: at most `max_len` bytes plus
 /// an ellipsis, so a multi-megabyte garbage line is never echoed verbatim.
 std::string error_excerpt(std::string_view s, std::size_t max_len = 120);
 
 /// The message type tag at the start of a line ("CHECKIN", "TASK", "REPORT",
-/// "REPORTB", "IDLE", "ACK", "ERR", "STATS"); empty for a malformed line.
+/// "REPORTB", "IDLE", "ACK", "ERR", "STATS", "QUERY", "QUERYB", "EST",
+/// "ESTB", "NONE", "ALERTS", "ALERT", "HELLO"); empty for a malformed line.
 /// The returned view aliases a static literal, never the input.
 std::string_view message_type(std::string_view line);
 
@@ -115,5 +253,33 @@ measurement_report decode_report(std::string_view line);
 /// payload line fails to decode.
 std::vector<trace::measurement_record> decode_report_batch(
     std::string_view frame);
+
+/// Parses a "HELLO ver=<n>" request. Throws std::invalid_argument on a
+/// missing/duplicate/malformed ver field.
+hello_request decode_hello(std::string_view line);
+/// Parses a "HELLO ver=<n> min=<n>" reply.
+hello_reply decode_hello_reply(std::string_view line);
+
+/// Parses a QUERY line. Throws std::invalid_argument on any missing,
+/// duplicate or malformed field (t is optional; unknown keys are ignored).
+query_request decode_query(std::string_view line);
+/// Parses an EST reply line.
+estimate_reply decode_estimate(std::string_view line);
+
+/// Parses a QUERYB frame. All-or-nothing, same discipline as
+/// decode_report_batch: throws when the header is malformed, the count
+/// disagrees with the payload lines or exceeds max_query_batch, or any
+/// payload line fails to decode.
+std::vector<query_request> decode_query_batch(std::string_view frame);
+/// Parses an ESTB reply frame into per-request results (nullopt for NONE
+/// lines). All-or-nothing, same error discipline as decode_query_batch.
+std::vector<std::optional<estimate_reply>> decode_estimate_batch(
+    std::string_view frame);
+
+/// Parses an "ALERTS since=<n> [max=<n>]" request.
+alerts_request decode_alerts_request(std::string_view line);
+/// Parses an "ALERTS <n> next=.. dropped=.." reply frame (header + n ALERT
+/// lines). All-or-nothing.
+alerts_reply decode_alerts_reply(std::string_view frame);
 
 }  // namespace wiscape::proto

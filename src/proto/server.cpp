@@ -1,6 +1,7 @@
 #include "proto/server.h"
 
-#include <sstream>
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "obs/names.h"
@@ -18,13 +19,21 @@ struct server_metrics {
   obs::counter& reports;
   obs::counter& report_batches;
   obs::counter& stats_requests;
+  obs::counter& queries;
+  obs::counter& query_batches;
+  obs::counter& alerts_requests;
+  obs::counter& hellos;
   obs::counter& err_parse;
   obs::counter& err_unsupported;
   obs::counter& err_stopped;
+  obs::counter& err_version;
   obs::counter& err_internal;
   obs::histogram& checkin_latency;
   obs::histogram& report_latency;
   obs::histogram& batch_latency;
+  obs::histogram& query_latency;
+  obs::histogram& query_batch_latency;
+  obs::histogram& alerts_latency;
 };
 
 server_metrics& metrics() {
@@ -35,30 +44,102 @@ server_metrics& metrics() {
       reg.get_counter(obs::names::kServerReports),
       reg.get_counter(obs::names::kServerReportBatches),
       reg.get_counter(obs::names::kServerStats),
+      reg.get_counter(obs::names::kServerQueries),
+      reg.get_counter(obs::names::kServerQueryBatches),
+      reg.get_counter(obs::names::kServerAlertsRequests),
+      reg.get_counter(obs::names::kServerHellos),
       reg.get_counter(obs::names::kServerErrParse),
       reg.get_counter(obs::names::kServerErrUnsupported),
       reg.get_counter(obs::names::kServerErrStopped),
+      reg.get_counter(obs::names::kServerErrVersion),
       reg.get_counter(obs::names::kServerErrInternal),
       reg.get_histogram(obs::names::kServerCheckinLatency),
       reg.get_histogram(obs::names::kServerReportLatency),
-      reg.get_histogram(obs::names::kServerBatchLatency)};
+      reg.get_histogram(obs::names::kServerBatchLatency),
+      reg.get_histogram(obs::names::kServerQueryLatency),
+      reg.get_histogram(obs::names::kServerQueryBatchLatency),
+      reg.get_histogram(obs::names::kServerAlertsLatency)};
   return m;
+}
+
+// Registry names are constants from obs/names.h in practice, but the STATS
+// frame's integrity must not depend on that: any byte that could break the
+// "name value" line/token framing (whitespace, control characters, non-ASCII)
+// is rewritten to '_', and oversized names are clipped.
+void append_sanitized_name(std::string& out, std::string_view name) {
+  constexpr std::size_t max_name = 160;
+  const std::size_t n = std::min(name.size(), max_name);
+  for (const char c : name.substr(0, n)) {
+    const auto u = static_cast<unsigned char>(c);
+    out.push_back(u > 0x20 && u < 0x7f ? c : '_');
+  }
+  if (n == 0) out.push_back('_');
+  if (name.size() > max_name) out += "...";
 }
 }  // namespace
 
 std::string encode_stats() {
   const auto samples = obs::registry::global().snapshot();
-  std::ostringstream os;
-  os << "STATS " << samples.size();
+  std::string out;
+  out.reserve(16 + samples.size() * 56);
+  char head[32];
+  const int n = std::snprintf(head, sizeof head, "STATS %zu", samples.size());
+  out.append(head, static_cast<std::size_t>(n));
   for (const auto& s : samples) {
-    os << '\n' << s.name << ' ' << obs::format_value(s);
+    out.push_back('\n');
+    append_sanitized_name(out, s.name);
+    out.push_back(' ');
+    obs::append_value(out, s);
   }
-  return os.str();
+  return out;
+}
+
+std::optional<estimate_reply> coordinator_server::lookup_one(
+    const query_request& q) const {
+  const geo::zone_id zone =
+      (sharded_ != nullptr ? sharded_->grid() : coord_->grid()).zone_of(q.pos);
+  const auto est = view_.lookup(zone, q.network, q.metric, q.time_s);
+  if (!est) return std::nullopt;
+  estimate_reply rep;
+  rep.zone = zone;
+  rep.network = q.network;
+  rep.metric = q.metric;
+  rep.count = est->count;
+  rep.mean = est->mean;
+  rep.stddev = est->stddev;
+  rep.epoch_index = est->epoch_index;
+  rep.staleness_s = est->staleness_s;
+  rep.confidence = est->confidence;
+  return rep;
 }
 
 std::string coordinator_server::handle(std::string_view line) {
   metrics().lines.inc();
   const std::string_view type = message_type(line);
+  // Every ERR reply carries a stable machine-readable code; counting happens
+  // here so the per-reason counters cannot drift from the wire.
+  const auto fail = [this](err_code code, std::string_view detail) {
+    auto& m = metrics();
+    switch (code) {
+      case err_code::parse:
+        m.err_parse.inc();
+        break;
+      case err_code::unsupported:
+        m.err_unsupported.inc();
+        break;
+      case err_code::stopped:
+        m.err_stopped.inc();
+        break;
+      case err_code::version:
+        m.err_version.inc();
+        break;
+      case err_code::internal:
+        m.err_internal.inc();
+        break;
+    }
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return encode_error(code, detail);
+  };
   try {
     if (type == "CHECKIN") {
       obs::span timed(metrics().checkin_latency);
@@ -86,9 +167,7 @@ std::string coordinator_server::handle(std::string_view line) {
                    : coord_->network_id_of(rep.record.network);
       if (sharded_) {
         if (!sharded_->report(rep.record)) {
-          metrics().err_stopped.inc();
-          errors_.fetch_add(1, std::memory_order_relaxed);
-          return encode_error("ingestion pipeline stopped");
+          return fail(err_code::stopped, "ingestion pipeline stopped");
         }
       } else {
         coord_->report(rep.record);
@@ -114,9 +193,7 @@ std::string coordinator_server::handle(std::string_view line) {
       }
       if (sharded_) {
         if (sharded_->report_batch(recs) != recs.size()) {
-          metrics().err_stopped.inc();
-          errors_.fetch_add(1, std::memory_order_relaxed);
-          return encode_error("ingestion pipeline stopped");
+          return fail(err_code::stopped, "ingestion pipeline stopped");
         }
       } else {
         coord_->report_batch(recs);
@@ -126,27 +203,74 @@ std::string coordinator_server::handle(std::string_view line) {
       metrics().report_batches.inc();
       return "ACK " + std::to_string(recs.size());
     }
+    if (type == "QUERY") {
+      obs::span timed(metrics().query_latency);
+      const auto q = decode_query(line);
+      metrics().queries.inc();
+      const auto rep = lookup_one(q);
+      return rep ? encode(*rep) : encode_none();
+    }
+    if (type == "QUERYB") {
+      obs::span timed(metrics().query_batch_latency);
+      const auto queries = decode_query_batch(line);
+      std::vector<std::optional<estimate_reply>> replies;
+      replies.reserve(queries.size());
+      for (const auto& q : queries) replies.push_back(lookup_one(q));
+      metrics().queries.inc(queries.size());
+      metrics().query_batches.inc();
+      return encode_estimate_batch(replies);
+    }
+    if (type == "ALERTS") {
+      obs::span timed(metrics().alerts_latency);
+      const auto req = decode_alerts_request(line);
+      const auto drained = view_.alerts_since(
+          req.since, std::min<std::size_t>(req.max, max_alert_batch));
+      alerts_reply rep;
+      rep.alerts.reserve(drained.alerts.size());
+      for (const auto& a : drained.alerts) {
+        alert_event ev;
+        ev.seq = a.seq;
+        ev.zone = a.alert.key.zone;
+        ev.network = a.alert.key.network;
+        ev.metric = a.alert.key.metric;
+        ev.epoch_start_s = a.alert.epoch_start_s;
+        ev.previous_mean = a.alert.previous_mean;
+        ev.new_mean = a.alert.new_mean;
+        ev.previous_stddev = a.alert.previous_stddev;
+        rep.alerts.push_back(std::move(ev));
+      }
+      rep.next_seq = drained.next_seq;
+      rep.dropped = drained.dropped;
+      metrics().alerts_requests.inc();
+      return encode(rep);
+    }
+    if (type == "HELLO") {
+      const auto req = decode_hello(line);
+      if (req.version < wire_min_version) {
+        return fail(err_code::version, "client version below supported minimum");
+      }
+      metrics().hellos.inc();
+      hello_reply rep;
+      rep.version = std::min(req.version, wire_version);
+      rep.min_version = wire_min_version;
+      return encode(rep);
+    }
     if (type == "STATS") {
       metrics().stats_requests.inc();
       return encode_stats();
     }
-    metrics().err_unsupported.inc();
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return encode_error("unsupported request: '" + error_excerpt(line) + "'");
+    return fail(err_code::unsupported,
+                "unsupported request: '" + error_excerpt(line) + "'");
   } catch (const std::invalid_argument& e) {
     // The line protocol promises a reply per request; malformed input is a
     // client bug the server reports, not a server crash.
-    metrics().err_parse.inc();
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return encode_error(e.what());
+    return fail(err_code::parse, e.what());
   } catch (const std::exception& e) {
     // Defense in depth: nothing below is expected to throw anything else on
     // wire input (the coordinator rejects bad records instead), but if it
     // does, answer ERR rather than letting the throw escape the protocol
     // layer and take down the transport.
-    metrics().err_internal.inc();
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return encode_error(std::string("internal error: ") + e.what());
+    return fail(err_code::internal, e.what());
   }
 }
 
@@ -199,6 +323,45 @@ std::optional<trace::measurement_record> remote_agent::step(
   rep.record = rec;
   send_(encode(rep));
   return rec;
+}
+
+std::string remote_query_client::roundtrip(const std::string& request,
+                                           std::string_view expect) {
+  std::string reply = send_(request);
+  if (message_type(reply) != expect) {
+    throw std::runtime_error("remote query failed: " + error_excerpt(reply));
+  }
+  return reply;
+}
+
+hello_reply remote_query_client::hello(std::uint32_t version) {
+  hello_request req;
+  req.version = version;
+  return decode_hello_reply(roundtrip(encode(req), "HELLO"));
+}
+
+std::optional<estimate_reply> remote_query_client::query(
+    const query_request& q) {
+  const std::string reply = send_(encode(q));
+  const std::string_view type = message_type(reply);
+  if (type == "NONE") return std::nullopt;
+  if (type != "EST") {
+    throw std::runtime_error("remote query failed: " + error_excerpt(reply));
+  }
+  return decode_estimate(reply);
+}
+
+std::vector<std::optional<estimate_reply>> remote_query_client::query_batch(
+    std::span<const query_request> queries) {
+  return decode_estimate_batch(roundtrip(encode_query_batch(queries), "ESTB"));
+}
+
+alerts_reply remote_query_client::alerts(std::uint64_t since,
+                                         std::uint32_t max) {
+  alerts_request req;
+  req.since = since;
+  req.max = max;
+  return decode_alerts_reply(roundtrip(encode(req), "ALERTS"));
 }
 
 }  // namespace wiscape::proto

@@ -1,18 +1,26 @@
-// A transport-agnostic coordinator server and its client-side counterpart.
+// A transport-agnostic coordinator server and its client-side counterparts.
 //
 // coordinator_server turns the in-process core::coordinator into a
-// line-protocol service: hand it any CHECKIN/REPORT line (from a socket, a
+// line-protocol service: hand it any protocol v2 line (from a socket, a
 // message queue, a file of replayed traffic -- the transport is the
-// caller's business) and it answers with TASK/IDLE/ACK lines.
-// remote_agent is the matching client shim: it performs the check-in /
-// execute / report cycle against any `send` function.
+// caller's business) and it answers: CHECKIN/REPORT/REPORTB on the write
+// side, QUERY/QUERYB/ALERTS/HELLO on the read side (served through
+// core::estimate_view, so queries never take a shard lock in concurrent
+// mode). remote_agent is the write-side client shim (check-in / execute /
+// report cycle); remote_query_client is the read-side one (negotiate,
+// look up estimates, drain alerts) -- both against any `send` function.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "core/coordinator.h"
+#include "core/estimate_view.h"
 #include "core/sharded_coordinator.h"
 #include "probe/engine.h"
 #include "proto/messages.h"
@@ -38,29 +46,42 @@ std::string encode_stats();
 class coordinator_server {
  public:
   /// Borrows the coordinator; it must outlive the server.
-  explicit coordinator_server(core::coordinator& coord) : coord_(&coord) {}
+  explicit coordinator_server(core::coordinator& coord)
+      : coord_(&coord), view_(coord) {}
 
   /// Concurrent mode over a sharded coordinator (it must outlive the
   /// server).
   explicit coordinator_server(core::sharded_coordinator& coord)
-      : sharded_(&coord) {}
+      : sharded_(&coord), view_(coord) {}
 
-  /// Handles one request and returns the response:
+  /// Handles one request and returns the response (full spec: DESIGN.md
+  /// "Wire protocol v2"):
   ///   CHECKIN   -> TASK ... | IDLE
   ///   REPORT    -> ACK
-  ///   REPORTB   -> "ACK <n>" (the one multi-line request: "REPORTB <n>"
-  ///                header + n CSV record lines, decoded and ingested as one
-  ///                batch -- all-or-nothing, a single bad record ERRs the
-  ///                whole frame and nothing is ingested)
-  ///   STATS     -> "STATS <n>" + n lines "name value" (the one multi-line
-  ///                reply: a flat dump of the process-wide obs:: registry)
-  ///   malformed -> ERR <reason> (long inputs are echoed clipped, never
-  ///                verbatim)
+  ///   REPORTB   -> "ACK <n>" ("REPORTB <n>" header + n CSV record lines,
+  ///                decoded and ingested as one batch -- all-or-nothing, a
+  ///                single bad record ERRs the whole frame and nothing is
+  ///                ingested)
+  ///   QUERY     -> EST ... | NONE (estimate lookup via core::estimate_view;
+  ///                lock-free against ingestion in concurrent mode)
+  ///   QUERYB    -> "ESTB <n>" + n EST/NONE lines (batched lookups, same
+  ///                all-or-nothing frame discipline as REPORTB)
+  ///   ALERTS    -> "ALERTS <n> next=.. dropped=.." + n ALERT lines
+  ///                (incremental >2-sigma change-alert drain by cursor)
+  ///   HELLO     -> "HELLO ver=<negotiated> min=<min>" (version
+  ///                negotiation; versions below min ERR with code version)
+  ///   STATS     -> "STATS <n>" + n lines "name value" (a flat dump of the
+  ///                process-wide obs:: registry; names are sanitised so a
+  ///                hostile registration cannot corrupt line framing)
+  ///   malformed -> "ERR <code> <detail>" (stable code token -- see
+  ///                err_code; long inputs echoed clipped, never verbatim)
   /// The request is read as a borrowed view; nothing is retained after
   /// return. Thread-safety follows the mode: any number of threads in
   /// concurrent mode, one at a time in sequential mode. Every request is
   /// counted into the obs:: metrics registry (proto.server.*), including
-  /// per-command latency histograms.
+  /// per-command latency histograms. In concurrent mode an ACKed report is
+  /// applied asynchronously: flush the sharded coordinator before expecting
+  /// a QUERY to serve it.
   std::string handle(std::string_view line);
 
   /// True when serving a sharded coordinator (handle() is thread-safe).
@@ -80,8 +101,11 @@ class coordinator_server {
   }
 
  private:
+  std::optional<estimate_reply> lookup_one(const query_request& q) const;
+
   core::coordinator* coord_ = nullptr;
   core::sharded_coordinator* sharded_ = nullptr;
+  core::estimate_view view_;
   std::atomic<std::uint64_t> reports_{0};
   std::atomic<std::uint64_t> tasks_{0};
   std::atomic<std::uint64_t> errors_{0};
@@ -115,6 +139,40 @@ class remote_agent {
   transport send_;
   std::uint64_t client_id_;
   probe::device_profile device_;
+};
+
+/// Client-side query shim speaking the read half of protocol v2 through a
+/// caller-supplied transport. Holds no state beyond the transport; as
+/// thread-safe as `send` is.
+class remote_query_client {
+ public:
+  /// Delivers one request (possibly multi-line) and returns the reply.
+  using transport = std::function<std::string(const std::string&)>;
+
+  explicit remote_query_client(transport send) : send_(std::move(send)) {}
+
+  /// HELLO handshake: offers `version` (default: ours) and returns the
+  /// server's negotiated reply. Throws std::runtime_error when the server
+  /// rejects the version (ERR version) or replies with anything unexpected.
+  hello_reply hello(std::uint32_t version = wire_version);
+
+  /// One estimate lookup; nullopt when the server answered NONE (stream
+  /// unknown or no epoch published yet). Throws std::runtime_error on ERR.
+  std::optional<estimate_reply> query(const query_request& q);
+
+  /// Batched flavour: one QUERYB frame, replies positional with the
+  /// requests. Throws std::runtime_error on ERR.
+  std::vector<std::optional<estimate_reply>> query_batch(
+      std::span<const query_request> queries);
+
+  /// Drains change alerts after cursor `since` (feed the reply's next_seq
+  /// back in to continue). Throws std::runtime_error on ERR.
+  alerts_reply alerts(std::uint64_t since, std::uint32_t max = 256);
+
+ private:
+  std::string roundtrip(const std::string& request, std::string_view expect);
+
+  transport send_;
 };
 
 }  // namespace wiscape::proto

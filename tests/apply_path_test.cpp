@@ -535,20 +535,20 @@ TEST(ApplyPathCoordinator, ReportFoldMatchesLegacyAllMetricsWalk) {
 
   const auto keys = want.keys();
   ASSERT_FALSE(keys.empty());
-  EXPECT_EQ(coord.table().keys().size(), keys.size());
+  EXPECT_EQ(coord.table_for_test().keys().size(), keys.size());
   for (const auto& key : keys) {
     const auto wh = want.history(key);
-    const auto gh = coord.table().history(key);
+    const auto gh = coord.table_for_test().history(key);
     ASSERT_EQ(wh.size(), gh.size()) << key.network;
     for (std::size_t i = 0; i < wh.size(); ++i) {
       expect_same_estimate(wh[i], gh[i], "fold");
     }
     EXPECT_EQ(want.open_epoch_samples(key),
-              coord.table().open_epoch_samples(key));
+              coord.table_for_test().open_epoch_samples(key));
   }
   // Alert streams agree alert-for-alert (order included).
   const auto& wa = want.alerts();
-  const auto& ga = coord.table().alerts();
+  const auto& ga = coord.table_for_test().alerts();
   ASSERT_EQ(wa.size(), ga.size());
   ASSERT_FALSE(wa.empty()) << "corpus raised no alerts; weak test";
   for (std::size_t i = 0; i < wa.size(); ++i) {

@@ -277,13 +277,13 @@ TEST(Coordinator, ReportRoutesMetricsToTable) {
   rec.loss_rate = 0.01;
   coord.report(rec);
   const auto zone = coord.grid().zone_of(here);
-  EXPECT_EQ(coord.table().open_epoch_samples(
+  EXPECT_EQ(coord.table_for_test().open_epoch_samples(
                 {zone, "NetB", trace::metric::udp_throughput_bps}),
             1u);
-  EXPECT_EQ(coord.table().open_epoch_samples(
+  EXPECT_EQ(coord.table_for_test().open_epoch_samples(
                 {zone, "NetB", trace::metric::jitter_s}),
             1u);
-  EXPECT_EQ(coord.table().open_epoch_samples(
+  EXPECT_EQ(coord.table_for_test().open_epoch_samples(
                 {zone, "NetB", trace::metric::rtt_s}),
             0u);
 }
@@ -295,7 +295,7 @@ TEST(Coordinator, FailedRecordsAreNotFoldedIn) {
   rec.success = false;
   coord.report(rec);
   const auto zone = coord.grid().zone_of(here);
-  EXPECT_EQ(coord.table().open_epoch_samples(
+  EXPECT_EQ(coord.table_for_test().open_epoch_samples(
                 {zone, "NetB", trace::metric::udp_throughput_bps}),
             0u);
 }
@@ -309,11 +309,11 @@ TEST(Coordinator, ExtremeCoordinatesRejectedNotThrown) {
   auto hostile = testing::make_record(50.0, "NetB", geo::lat_lon{1e9, -1e9},
                                       trace::probe_kind::udp_burst, 2e6);
   EXPECT_NO_THROW(coord.report(hostile));
-  EXPECT_TRUE(coord.table().keys().empty());  // nothing folded in
+  EXPECT_TRUE(coord.table_for_test().keys().empty());  // nothing folded in
   // The coordinator keeps working for sane input afterwards.
   coord.report(testing::make_record(60.0, "NetB", here,
                                     trace::probe_kind::udp_burst, 2e6));
-  EXPECT_EQ(coord.table().open_epoch_samples(
+  EXPECT_EQ(coord.table_for_test().open_epoch_samples(
                 {coord.grid().zone_of(here), "NetB",
                  trace::metric::udp_throughput_bps}),
             1u);
@@ -332,11 +332,11 @@ TEST(Coordinator, InternerExhaustionRejectsNewNetworksNotThrows) {
                                         trace::probe_kind::ping, 0.1));
     }
   });
-  EXPECT_EQ(coord.table().interner().size(), network_interner::max_networks);
+  EXPECT_EQ(coord.table_for_test().interner().size(), network_interner::max_networks);
   // Already-interned networks still apply after exhaustion.
   coord.report(testing::make_record(9999.0, "NetB", here,
                                     trace::probe_kind::udp_burst, 2e6));
-  EXPECT_EQ(coord.table().open_epoch_samples(
+  EXPECT_EQ(coord.table_for_test().open_epoch_samples(
                 {coord.grid().zone_of(here), "NetB",
                  trace::metric::udp_throughput_bps}),
             1u);

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "obs/names.h"
+#include "obs/registry.h"
 #include "proto/messages.h"
 #include "proto/server.h"
 #include "test_util.h"
@@ -206,12 +207,12 @@ TEST(ProtoServer, ExtremeReportFieldsAreContained) {
   EXPECT_EQ(server.handle(encode(rep)), "ACK");
   EXPECT_EQ(server.errors(), 0u);
   // Nothing landed in the table, and the server still answers.
-  EXPECT_TRUE(coord.table().keys().empty());
+  EXPECT_TRUE(coord.table_for_test().keys().empty());
   rep.record = testing::make_record(20.0, dep.names()[0],
                                     dep.proj().to_lat_lon({0.0, 0.0}),
                                     trace::probe_kind::udp_burst, 1e6);
   EXPECT_EQ(server.handle(encode(rep)), "ACK");
-  EXPECT_EQ(coord.table().keys().empty(), false);
+  EXPECT_EQ(coord.table_for_test().keys().empty(), false);
 }
 
 TEST(ProtoCodec, MetricRoundTripAllValues) {
@@ -312,8 +313,8 @@ TEST(ProtoEndToEnd, RemoteAgentDrivesFullLoop) {
 
   // Estimates were published under both networks.
   int published = 0;
-  for (const auto& key : coord.table().keys()) {
-    published += coord.table().latest(key).has_value() ? 1 : 0;
+  for (const auto& key : coord.table_for_test().keys()) {
+    published += coord.table_for_test().latest(key).has_value() ? 1 : 0;
   }
   EXPECT_GT(published, 0);
 }
@@ -462,7 +463,9 @@ TEST(ProtoServer, StatsReflectsReportsAndErrLines) {
   for (int i = 0; i < kMalformed; ++i) {
     ASSERT_EQ(message_type(server.handle("REPORT client=1")), "ERR");
   }
-  ASSERT_EQ(message_type(server.handle("HELLO there")), "ERR");
+  // v2 note: "HELLO there" is now a recognised-but-malformed HELLO (parse
+  // error); a genuinely unknown verb is what counts as unsupported.
+  ASSERT_EQ(message_type(server.handle("BOGUS there")), "ERR");
 
   const auto after = parse_stats(server.handle("STATS"));
   using namespace obs::names;
@@ -546,6 +549,393 @@ TEST(ProtoServer, StatsAccountsForAllReportsInShardedStress) {
   EXPECT_EQ(delta(before, after,
                   std::string(kShardedDrainLatency) + ".count"),
             delta(before, after, kShardedDrainBatches));
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol v2: the read side (QUERY/QUERYB/ALERTS/HELLO) + typed errors.
+// ---------------------------------------------------------------------------
+
+TEST(ProtoCodecV2, HelloRoundTripAndNegotiation) {
+  hello_request req;
+  req.version = 7;
+  EXPECT_EQ(decode_hello(encode(req)).version, 7u);
+
+  hello_reply rep;
+  rep.version = 2;
+  rep.min_version = 1;
+  const auto back = decode_hello_reply(encode(rep));
+  EXPECT_EQ(back.version, 2u);
+  EXPECT_EQ(back.min_version, 1u);
+
+  EXPECT_THROW(decode_hello("HELLO"), std::invalid_argument);  // missing ver
+  EXPECT_THROW(decode_hello("HELLO ver=abc"), std::invalid_argument);
+  EXPECT_THROW(decode_hello_reply("HELLO ver=2"), std::invalid_argument);
+}
+
+TEST(ProtoCodecV2, QueryAndEstimateRoundTripBitExact) {
+  query_request q;
+  q.pos = here;
+  q.network = "NetB";
+  q.metric = trace::metric::rtt_s;
+  q.time_s = 43000.125;
+  const auto qb = decode_query(encode(q));
+  EXPECT_NEAR(qb.pos.lat_deg, here.lat_deg, 1e-6);
+  EXPECT_EQ(qb.network, "NetB");
+  EXPECT_EQ(qb.metric, trace::metric::rtt_s);
+  EXPECT_NEAR(qb.time_s, 43000.125, 1e-3);
+
+  // t is optional; omitted means "clock unknown".
+  query_request no_t = q;
+  no_t.time_s = -1.0;
+  EXPECT_EQ(decode_query(encode(no_t)).time_s, -1.0);
+
+  // Estimates carry doubles at %.17g: the wire round trip is bit-exact.
+  estimate_reply est;
+  est.zone = geo::zone_id{-3, 17};
+  est.network = "NetB";
+  est.metric = trace::metric::tcp_throughput_bps;
+  est.count = 12345678901ull;
+  est.mean = 1.0 / 3.0;
+  est.stddev = 2.0 / 7.0;
+  est.epoch_index = 41;
+  est.staleness_s = 0.1 + 0.2;  // deliberately non-representable
+  est.confidence = 0.99999999999999989;
+  const auto eb = decode_estimate(encode(est));
+  EXPECT_EQ(eb.zone, est.zone);
+  EXPECT_EQ(eb.network, "NetB");
+  EXPECT_EQ(eb.metric, est.metric);
+  EXPECT_EQ(eb.count, est.count);
+  EXPECT_EQ(eb.mean, est.mean);
+  EXPECT_EQ(eb.stddev, est.stddev);
+  EXPECT_EQ(eb.epoch_index, 41u);
+  EXPECT_EQ(eb.staleness_s, est.staleness_s);
+  EXPECT_EQ(eb.confidence, est.confidence);
+}
+
+TEST(ProtoCodecV2, QueryBatchAllOrNothing) {
+  std::vector<query_request> qs;
+  for (int i = 0; i < 3; ++i) {
+    query_request q;
+    q.pos = here;
+    q.network = i % 2 ? "NetC" : "NetB";
+    q.metric = trace::metric::loss_rate;
+    qs.push_back(q);
+  }
+  const std::string frame = encode_query_batch(qs);
+  EXPECT_EQ(message_type(frame), "QUERYB");
+  const auto back = decode_query_batch(frame);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[1].network, "NetC");
+
+  // One bad payload line poisons the whole frame (all-or-nothing).
+  std::string poisoned = frame;
+  poisoned.replace(poisoned.find("lat="), 4, "bat=");
+  EXPECT_THROW(decode_query_batch(poisoned), std::invalid_argument);
+  // Count mismatches in either direction are rejected.
+  EXPECT_THROW(decode_query_batch("QUERYB 2\n" + encode(qs[0])),
+               std::invalid_argument);
+  EXPECT_THROW(decode_query_batch("QUERYB 90000"), std::invalid_argument);
+}
+
+TEST(ProtoCodecV2, EstimateBatchPreservesPositionsAndGaps) {
+  estimate_reply est;
+  est.zone = geo::zone_id{1, 2};
+  est.network = "NetB";
+  est.metric = trace::metric::jitter_s;
+  est.mean = 0.25;
+  std::vector<std::optional<estimate_reply>> replies{std::nullopt, est,
+                                                     std::nullopt};
+  const std::string frame = encode_estimate_batch(replies);
+  EXPECT_EQ(message_type(frame), "ESTB");
+  const auto back = decode_estimate_batch(frame);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_FALSE(back[0].has_value());
+  ASSERT_TRUE(back[1].has_value());
+  EXPECT_EQ(back[1]->mean, 0.25);
+  EXPECT_FALSE(back[2].has_value());
+}
+
+TEST(ProtoCodecV2, AlertsRoundTrip) {
+  alerts_request req;
+  req.since = 41;
+  req.max = 5;
+  const auto rb = decode_alerts_request(encode(req));
+  EXPECT_EQ(rb.since, 41u);
+  EXPECT_EQ(rb.max, 5u);
+  // max is optional and defaults.
+  EXPECT_EQ(decode_alerts_request("ALERTS since=0").max, 256u);
+  EXPECT_THROW(decode_alerts_request("ALERTS max=5"), std::invalid_argument);
+
+  alerts_reply rep;
+  rep.next_seq = 44;
+  rep.dropped = 2;
+  alert_event ev;
+  ev.seq = 43;
+  ev.zone = geo::zone_id{5, -5};
+  ev.network = "NetC";
+  ev.metric = trace::metric::rtt_s;
+  ev.epoch_start_s = 1800.0;
+  ev.previous_mean = 0.1;
+  ev.new_mean = 1.0 / 3.0;
+  ev.previous_stddev = 0.01;
+  rep.alerts.push_back(ev);
+  const auto back = decode_alerts_reply(encode(rep));
+  EXPECT_EQ(back.next_seq, 44u);
+  EXPECT_EQ(back.dropped, 2u);
+  ASSERT_EQ(back.alerts.size(), 1u);
+  EXPECT_EQ(back.alerts[0].seq, 43u);
+  EXPECT_EQ(back.alerts[0].zone, ev.zone);
+  EXPECT_EQ(back.alerts[0].new_mean, ev.new_mean);  // %.17g bit-exact
+}
+
+TEST(ProtoCodecV2, ErrorCodesAreTableDrivenAndClipped) {
+  for (auto code : {err_code::parse, err_code::unsupported, err_code::stopped,
+                    err_code::version, err_code::internal}) {
+    const std::string_view token = to_string(code);
+    const auto back = err_code_from_string(token);
+    ASSERT_TRUE(back.has_value()) << token;
+    EXPECT_EQ(*back, code);
+    const std::string line = encode_error(code, "why");
+    EXPECT_EQ(message_type(line), "ERR");
+    EXPECT_EQ(line, "ERR " + std::string(token) + " why");
+  }
+  EXPECT_FALSE(err_code_from_string("nonsense").has_value());
+  // Hostile detail is clipped, never echoed verbatim.
+  const std::string huge = encode_error(err_code::parse,
+                                        std::string(1 << 16, 'x'));
+  EXPECT_LT(huge.size(), 256u);
+}
+
+TEST(ProtoServerV2, HelloNegotiatesAndGatesOldClients) {
+  const auto dep = testing::tiny_deployment();
+  core::coordinator coord(geo::zone_grid(dep.proj(), 250.0), dep.names(), {},
+                          5);
+  coordinator_server server(coord);
+
+  // Newer client: capped to ours. Older-but-supported: their version.
+  auto rep = decode_hello_reply(server.handle("HELLO ver=9"));
+  EXPECT_EQ(rep.version, wire_version);
+  EXPECT_EQ(rep.min_version, wire_min_version);
+  rep = decode_hello_reply(server.handle("HELLO ver=1"));
+  EXPECT_EQ(rep.version, 1u);
+
+  // Below the minimum: typed version error.
+  const std::string err = server.handle("HELLO ver=0");
+  EXPECT_EQ(message_type(err), "ERR");
+  EXPECT_EQ(err.rfind("ERR version", 0), 0u) << err;
+}
+
+TEST(ProtoServerV2, QueryServesWhatTheViewServes) {
+  const auto dep = testing::tiny_deployment();
+  const geo::zone_grid grid(dep.proj(), 250.0);
+  core::coordinator_config cfg;
+  cfg.epochs.default_epoch_s = 120.0;
+  cfg.default_samples_per_epoch = 10;
+  core::coordinator coord(grid, dep.names(), cfg, 5);
+  coordinator_server server(coord);
+
+  const geo::lat_lon pos = dep.proj().to_lat_lon({80.0, -40.0});
+  query_request q;
+  q.pos = pos;
+  q.network = dep.names()[0];
+  q.metric = trace::metric::udp_throughput_bps;
+
+  // Before anything is published: NONE, not an error.
+  EXPECT_EQ(server.handle(encode(q)), "NONE");
+
+  // Ingest enough over several epochs to freeze estimates.
+  for (int i = 0; i < 400; ++i) {
+    measurement_report rep;
+    rep.client_id = 1;
+    rep.record = testing::make_record(1000.0 + i * 2.0, dep.names()[0], pos,
+                                      trace::probe_kind::udp_burst,
+                                      2e6 * (1.0 + 0.01 * i));
+    ASSERT_EQ(server.handle(encode(rep)), "ACK");
+  }
+
+  const double now_s = 3000.0;
+  q.time_s = now_s;
+  const std::string reply = server.handle(encode(q));
+  ASSERT_EQ(message_type(reply), "EST") << reply;
+  const auto est = decode_estimate(reply);
+
+  const core::estimate_view view(coord);
+  const auto want =
+      view.lookup(grid.zone_of(pos), q.network, q.metric, now_s);
+  ASSERT_TRUE(want.has_value());
+  EXPECT_EQ(est.zone, grid.zone_of(pos));
+  EXPECT_EQ(est.network, q.network);
+  EXPECT_EQ(est.metric, q.metric);
+  EXPECT_EQ(est.count, want->count);
+  EXPECT_EQ(est.mean, want->mean);          // %.17g: wire is bit-exact
+  EXPECT_EQ(est.stddev, want->stddev);
+  EXPECT_EQ(est.epoch_index, want->epoch_index);
+  EXPECT_EQ(est.staleness_s, want->staleness_s);
+  EXPECT_EQ(est.confidence, want->confidence);
+
+  // The batched flavour answers positionally, gaps as NONE.
+  query_request missing = q;
+  missing.network = "NoSuchNet";
+  const std::vector<query_request> batch{q, missing, q};
+  const auto replies = decode_estimate_batch(
+      server.handle(encode_query_batch(batch)));
+  ASSERT_EQ(replies.size(), 3u);
+  ASSERT_TRUE(replies[0].has_value());
+  EXPECT_FALSE(replies[1].has_value());
+  ASSERT_TRUE(replies[2].has_value());
+  EXPECT_EQ(replies[0]->mean, want->mean);
+}
+
+TEST(ProtoServerV2, AlertsDrainOverTheWire) {
+  const auto dep = testing::tiny_deployment();
+  const geo::zone_grid grid(dep.proj(), 250.0);
+  core::coordinator_config cfg;
+  cfg.epochs.default_epoch_s = 60.0;
+  core::coordinator coord(grid, dep.names(), cfg, 5);
+  coordinator_server server(coord);
+
+  // A hard mean shift across epochs raises >2-sigma alerts.
+  const geo::lat_lon pos = dep.proj().to_lat_lon({10.0, 10.0});
+  for (int i = 0; i < 600; ++i) {
+    const double level = i < 300 ? 1e6 : 8e6;
+    measurement_report rep;
+    rep.client_id = 1;
+    rep.record = testing::make_record(
+        1000.0 + i * 1.0, dep.names()[0], pos,
+        trace::probe_kind::tcp_download, level * (1.0 + 0.01 * (i % 7)));
+    ASSERT_EQ(server.handle(encode(rep)), "ACK");
+  }
+  ASSERT_FALSE(coord.alerts().empty());
+
+  std::uint64_t cursor = 0;
+  std::size_t served = 0;
+  std::uint64_t prev_seq = 0;
+  for (int round = 0; round < 100; ++round) {
+    alerts_request req;
+    req.since = cursor;
+    req.max = 2;
+    const auto rep = decode_alerts_reply(server.handle(encode(req)));
+    if (rep.alerts.empty()) break;
+    for (const auto& a : rep.alerts) {
+      EXPECT_GT(a.seq, prev_seq);
+      prev_seq = a.seq;
+    }
+    served += rep.alerts.size();
+    cursor = rep.next_seq;
+  }
+  EXPECT_EQ(served, coord.alerts().size());
+
+  // Requests clamp to the frame cap rather than erroring.
+  alerts_request req;
+  req.since = 0;
+  req.max = 1 << 30;
+  const auto rep = decode_alerts_reply(server.handle(encode(req)));
+  EXPECT_LE(rep.alerts.size(), max_alert_batch);
+}
+
+TEST(ProtoServerV2, RemoteQueryClientSpeaksTheProtocol) {
+  const auto dep = testing::tiny_deployment();
+  const geo::zone_grid grid(dep.proj(), 250.0);
+  core::coordinator_config cfg;
+  cfg.epochs.default_epoch_s = 120.0;
+  core::coordinator coord(grid, dep.names(), cfg, 5);
+  coordinator_server server(coord);
+  remote_query_client client(
+      [&](const std::string& line) { return server.handle(line); });
+
+  EXPECT_EQ(client.hello().version, wire_version);
+  EXPECT_THROW(client.hello(0), std::runtime_error);
+
+  query_request q;
+  q.pos = dep.proj().to_lat_lon({0.0, 0.0});
+  q.network = dep.names()[0];
+  q.metric = trace::metric::rtt_s;
+  EXPECT_FALSE(client.query(q).has_value());  // nothing published yet
+
+  for (int i = 0; i < 300; ++i) {
+    measurement_report rep;
+    rep.client_id = 1;
+    rep.record = testing::make_record(1000.0 + i * 2.0, dep.names()[0], q.pos,
+                                      trace::probe_kind::ping, 0.08);
+    server.handle(encode(rep));
+  }
+  const auto est = client.query(q);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->count, 0u);
+
+  const std::vector<query_request> batch{q, q};
+  const auto replies = client.query_batch(batch);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_TRUE(replies[0].has_value());
+
+  const auto alerts = client.alerts(0);
+  EXPECT_EQ(alerts.dropped, 0u);
+}
+
+TEST(ProtoServerV2, StatsSurvivesHostileMetricNames) {
+  // The STATS encoder must keep its line/token framing even if some
+  // component registers a name with embedded whitespace or control bytes.
+  auto& reg = obs::registry::global();
+  reg.get_counter("test.hostile\nname with spaces\tand\rctl").inc(3);
+
+  const std::string dump = encode_stats();
+  std::istringstream in(dump);
+  std::string header;
+  std::size_t n = 0;
+  in >> header >> n;
+  EXPECT_EQ(header, "STATS");
+  std::string line;
+  std::getline(in, line);  // rest of header line
+  std::size_t lines = 0;
+  bool hostile_seen = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    // Every payload line is exactly "name value".
+    const auto space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' ', space + 1), std::string::npos) << line;
+    if (line.rfind("test.hostile_name_with_spaces_and_ctl ", 0) == 0) {
+      hostile_seen = true;
+      EXPECT_EQ(line.substr(space + 1), "3");
+    }
+  }
+  EXPECT_EQ(lines, n) << "frame header count disagrees with payload";
+  EXPECT_TRUE(hostile_seen) << dump.substr(0, 400);
+}
+
+TEST(ProtoServerV2, QueryCountersAndLatenciesAreAccounted) {
+  const auto dep = testing::tiny_deployment();
+  core::coordinator coord(geo::zone_grid(dep.proj(), 250.0), dep.names(), {},
+                          5);
+  coordinator_server server(coord);
+  const auto before = parse_stats(server.handle("STATS"));
+
+  query_request q;
+  q.pos = dep.proj().to_lat_lon({0.0, 0.0});
+  q.network = dep.names()[0];
+  q.metric = trace::metric::rtt_s;
+  server.handle(encode(q));
+  server.handle(encode(q));
+  server.handle(encode_query_batch(std::vector<query_request>{q, q, q}));
+  alerts_request areq;
+  server.handle(encode(areq));
+  server.handle("HELLO ver=2");
+  server.handle("HELLO ver=0");  // version-gated
+
+  const auto after = parse_stats(server.handle("STATS"));
+  using namespace obs::names;
+  EXPECT_EQ(delta(before, after, kServerQueries), 5.0);  // 2 single + 3 batched
+  EXPECT_EQ(delta(before, after, kServerQueryBatches), 1.0);
+  EXPECT_EQ(delta(before, after, kServerAlertsRequests), 1.0);
+  EXPECT_EQ(delta(before, after, kServerHellos), 1.0);
+  EXPECT_EQ(delta(before, after, kServerErrVersion), 1.0);
+  EXPECT_EQ(delta(before, after, std::string(kServerQueryLatency) + ".count"),
+            2.0);
+  EXPECT_EQ(
+      delta(before, after, std::string(kServerQueryBatchLatency) + ".count"),
+      1.0);
+  EXPECT_EQ(delta(before, after, std::string(kServerAlertsLatency) + ".count"),
+            1.0);
 }
 
 }  // namespace

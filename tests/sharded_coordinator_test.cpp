@@ -125,7 +125,7 @@ TEST(ShardedCoordinator, MatchesSequentialForAnyShardCount) {
 
   coordinator seq(grid, nets, ccfg, /*seed=*/42);
   for (const auto& rec : stream) seq.report(rec);
-  auto seq_keys = seq.table().keys();
+  auto seq_keys = seq.table_for_test().keys();
   ASSERT_FALSE(seq_keys.empty());
   const auto seq_alerts = normalized(seq.alerts());
   ASSERT_FALSE(seq_alerts.empty()) << "stream should raise change alerts";
@@ -156,7 +156,7 @@ TEST(ShardedCoordinator, MatchesSequentialForAnyShardCount) {
     }
     // ...identical published estimate histories, bit for bit...
     for (const auto& key : seq_keys) {
-      const auto want = seq.table().history(key);
+      const auto want = seq.table_for_test().history(key);
       const auto got = sc.history(key);
       ASSERT_EQ(got.size(), want.size());
       for (std::size_t i = 0; i < want.size(); ++i) {
@@ -165,7 +165,7 @@ TEST(ShardedCoordinator, MatchesSequentialForAnyShardCount) {
         EXPECT_EQ(got[i].stddev, want[i].stddev);
         EXPECT_EQ(got[i].samples, want[i].samples);
       }
-      const auto want_latest = seq.table().latest(key);
+      const auto want_latest = seq.table_for_test().latest(key);
       const auto got_latest = sc.latest(key);
       ASSERT_EQ(got_latest.has_value(), want_latest.has_value());
       if (want_latest) {
@@ -230,8 +230,8 @@ TEST(ShardedCoordinator, SynchronousSingleShardReproducesSequentialExactly) {
     EXPECT_EQ(sc.client_spend_mb(client, 6000.0),
               seq.client_spend_mb(client, 6000.0));
   }
-  for (const auto& key : seq.table().keys()) {
-    const auto want = seq.table().history(key);
+  for (const auto& key : seq.table_for_test().keys()) {
+    const auto want = seq.table_for_test().history(key);
     const auto got = sc.history(key);
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t i = 0; i < want.size(); ++i) {

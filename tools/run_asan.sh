@@ -18,11 +18,15 @@ asan_dir="${1:-build-asan}"
 ubsan_dir="${2:-build-ubsan}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-parser_filter='WireParse*.*:ProtoCodec.*:ProtoServer.*:Fuzz/*.*:Csv.*'
+parser_filter='WireParse*.*:ProtoCodec*.*:ProtoServer*.*:Fuzz/*.*:Csv.*'
 # The dense estimate store hands out spans over its own vectors
 # (history_view) and runs an open-addressing probe over raw slots --
 # exactly where an off-by-one would hide in a normal build.
 store_filter='ApplyPath*.*:NetworkInterner.*:ZoneTableStore.*'
+# The read-side serving layer: mirror directory growth, the bounded alert
+# ring's wraparound arithmetic, and the QUERY/QUERYB/ALERTS codecs under
+# query stress.
+query_filter='EstimateView.*:EstimateMirror.*:AlertRing.*:EstimateKnowledge.*'
 
 run_tree() {
   dir="$1"
@@ -44,6 +48,9 @@ run_tree() {
 
   echo "== apply path / estimate store suites under $kind sanitizer =="
   "$dir"/tests/wiscape_tests --gtest_filter="$store_filter"
+
+  echo "== query path / estimate view suites under $kind sanitizer =="
+  "$dir"/tests/wiscape_tests --gtest_filter="$query_filter"
 }
 
 # halt_on_error fails the script on the first finding in both modes;
