@@ -1,0 +1,106 @@
+// Scenario-engine throughput (ISSUE 6; no paper figure -- this bench
+// prices the deterministic fleet simulation that every scenario regression
+// replays, so a slowdown in the ingest/serving stack shows up as a drop in
+// scenario ticks per second before it shows up as a ctest timeout).
+//
+// Two measurements over the flash_crowd scenario (the densest traffic
+// shape: a third of the fleet converging on one hotspot, both operators
+// boosted), at a fleet size scaled well past the regression default:
+//
+//  * end-to-end ticks/s: full engine run -- wire encode, REPORTB frames
+//    through proto::coordinator_server::handle(), sharded drain, per-tick
+//    invariant evaluation, tick-log formatting.
+//  * determinism replay check: the same (config, seed) rerun must produce
+//    a byte-identical tick log; the bench exits non-zero otherwise, so a
+//    perf tree that breaks determinism fails here too, not only in ctest.
+//
+// Machine-readable results go to bench_scenario.jsonl in the working
+// directory (one JSON object per line; schema in EXPERIMENTS.md).
+//
+//   ./bench_scenario [ticks] [clients]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "bench_common.h"
+#include "scenario/engine.h"
+#include "scenario/scenarios.h"
+
+using namespace wiscape;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t ticks =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120;
+  const std::size_t clients =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 256;
+
+  bench::banner("Scenario engine - deterministic fleet simulation",
+                "no paper figure; ISSUE 6 (scenario regression throughput)");
+
+  scenario::scenario_config cfg = scenario::make_scenario("flash_crowd");
+  cfg.ticks = ticks;
+  cfg.clients = clients;
+  // Keep the flash window proportional to the stretched run so the dense
+  // crowd phase covers the same fraction of ticks as the regression shape.
+  cfg.stress.flash_end_s = cfg.tick_s * static_cast<double>(ticks) * 0.625;
+
+  std::printf("  flash_crowd: %llu ticks x %zu clients, %zu shards\n\n",
+              static_cast<unsigned long long>(cfg.ticks), cfg.clients,
+              cfg.shards);
+
+  const double t0 = now_s();
+  const scenario::scenario_result first =
+      scenario::run_scenario(cfg, bench::bench_seed);
+  const double elapsed = now_s() - t0;
+  if (!first.passed) {
+    std::fprintf(stderr, "FAIL: flash_crowd violated an invariant\n");
+    for (const auto& v : first.violations) {
+      std::fprintf(stderr, "  %s\n", scenario::to_string(v).c_str());
+    }
+    return 1;
+  }
+
+  const double t1 = now_s();
+  const scenario::scenario_result replay =
+      scenario::run_scenario(cfg, bench::bench_seed);
+  const double replay_elapsed = now_s() - t1;
+  if (replay.tick_log != first.tick_log) {
+    std::fprintf(stderr, "FAIL: same-seed replay diverged from first run\n");
+    return 1;
+  }
+
+  const double ticks_per_s =
+      elapsed > 0.0 ? static_cast<double>(cfg.ticks) / elapsed : 0.0;
+  // Every client files ~2 records per tick; this is the wall-clock cost of
+  // one simulated fleet-minute of wire traffic plus invariant checking.
+  const double sim_speedup =
+      elapsed > 0.0 ? cfg.tick_s * static_cast<double>(cfg.ticks) / elapsed
+                    : 0.0;
+
+  bench::report("scenario ticks per second", "-", bench::fmt(ticks_per_s, 1));
+  bench::report("simulated vs wall-clock time", ">> 1x",
+                bench::fmt(sim_speedup, 0) + "x");
+  bench::report("same-seed replay byte-identical", "required", "yes");
+
+  std::ofstream jsonl("bench_scenario.jsonl");
+  jsonl << "{\"bench\":\"scenario\",\"scenario\":\"flash_crowd\",\"ticks\":"
+        << cfg.ticks << ",\"clients\":" << cfg.clients
+        << ",\"elapsed_s\":" << bench::fmt(elapsed, 4)
+        << ",\"replay_elapsed_s\":" << bench::fmt(replay_elapsed, 4)
+        << ",\"ticks_per_s\":" << bench::fmt(ticks_per_s, 2)
+        << ",\"sim_speedup\":" << bench::fmt(sim_speedup, 1)
+        << ",\"deterministic\":true}\n";
+  return 0;
+}

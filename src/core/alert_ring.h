@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "core/zone_table.h"
@@ -46,7 +47,7 @@ class alert_ring {
   /// dropped to any reader whose cursor predates them). Must be >= 1.
   explicit alert_ring(std::size_t capacity = 1024)
       : capacity_(capacity == 0 ? 1 : capacity) {
-    ring_.reserve(capacity_);
+    ring_.assign(capacity_, sequenced_alert{});
   }
 
   alert_ring(const alert_ring&) = delete;
@@ -56,11 +57,24 @@ class alert_ring {
   void push(const change_alert& a) {
     std::lock_guard lock(mu_);
     const std::uint64_t seq = next_seq_++;
-    if (ring_.size() < capacity_) {
-      ring_.push_back({seq, a});
-    } else {
-      ring_[static_cast<std::size_t>((seq - 1) % capacity_)] = {seq, a};
+    ring_[static_cast<std::size_t>((seq - 1) % capacity_)] = {seq, a};
+  }
+
+  /// Resumes sequence numbering after a restart: the next push gets
+  /// `last_seq + 1`, and every sequence <= last_seq is treated as evicted
+  /// (a drain cursor behind it learns those alerts as `dropped` -- alert
+  /// payloads do not survive a restart, but their accounting does, so the
+  /// served+dropped==pushed ledger stays exact across process lifetimes).
+  /// Only valid on a ring nothing has been pushed into; throws
+  /// std::logic_error otherwise (resuming mid-stream would renumber live
+  /// alerts).
+  void resume_from(std::uint64_t last_seq) {
+    std::lock_guard lock(mu_);
+    if (next_seq_ != 1) {
+      throw std::logic_error("alert_ring::resume_from on a non-fresh ring");
     }
+    next_seq_ = last_seq + 1;
+    base_seq_ = last_seq;
   }
 
   /// Alerts with sequence > `since`, oldest first, at most `max` of them.
@@ -70,10 +84,16 @@ class alert_ring {
   alert_drain drain_since(std::uint64_t since, std::size_t max = 256) const {
     alert_drain out;
     std::lock_guard lock(mu_);
-    const std::uint64_t newest = next_seq_ - 1;  // 0 = nothing pushed yet
-    const std::uint64_t oldest =
-        ring_.size() < capacity_ ? 1 : next_seq_ - capacity_;
-    if (newest == 0 || since >= newest) {
+    const std::uint64_t newest = next_seq_ - 1;  // base_seq_ = nothing pushed
+    // Oldest sequence still in the ring: capacity eviction, floored at
+    // base_seq_ + 1 (sequences at or below base_seq_ predate a restart and
+    // were never stored here -- they count as dropped, same as evicted).
+    std::uint64_t oldest = next_seq_ > capacity_ ? next_seq_ - capacity_ : 1;
+    if (oldest <= base_seq_) oldest = base_seq_ + 1;
+    if (newest <= base_seq_ || since >= newest) {
+      // Nothing drainable. A cursor behind a resumed-empty ring still
+      // advances past the pre-restart sequences, accounting them dropped.
+      out.dropped = newest > since ? newest - since : 0;
       out.next_seq = newest;
       return out;
     }
@@ -94,7 +114,9 @@ class alert_ring {
     return out;
   }
 
-  /// Total alerts ever pushed (served + still ringed + dropped).
+  /// Total alerts ever pushed (served + still ringed + dropped). After
+  /// resume_from this includes the pre-restart sequences, so the ledger is
+  /// continuous across process lifetimes.
   std::uint64_t pushed() const {
     std::lock_guard lock(mu_);
     return next_seq_ - 1;
@@ -107,6 +129,7 @@ class alert_ring {
   std::size_t capacity_;
   std::vector<sequenced_alert> ring_;  // slot of seq s: (s-1) % capacity_
   std::uint64_t next_seq_ = 1;
+  std::uint64_t base_seq_ = 0;  // sequences <= base predate a resume_from
 };
 
 }  // namespace wiscape::core

@@ -177,6 +177,12 @@ void coordinator::report(const trace::measurement_record& rec) {
     metrics().reports_rejected.inc();
     return;
   }
+  // A NaN/inf timestamp would poison a stream's epoch boundary (and, before
+  // cross_epochs grew its saturation guard, spin its rollover walk forever).
+  if (!std::isfinite(rec.time_s)) {
+    metrics().reports_rejected.inc();
+    return;
+  }
   const std::uint16_t nid = resolve_network(rec);
   if (nid == network_interner::npos) {
     metrics().reports_rejected.inc();

@@ -162,6 +162,24 @@ class coordinator {
     return table_.interner().try_id(network);
   }
 
+  // ---- persistence surface (core::persist) -------------------------------
+  // Restore replays saved state, it does not observe new measurements: no
+  // alerts are raised, no reports_accepted counters move.
+
+  /// Appends a frozen estimate to a stream's history (publishing it to the
+  /// serving mirror so reads resume immediately).
+  void restore_estimate(const estimate_key& key, const epoch_estimate& e) {
+    table_.restore(key, e);
+  }
+  /// Restores a stream's open-epoch accumulator (see zone_table).
+  void restore_open(const estimate_key& key, const open_epoch_state& st) {
+    table_.restore_open(key, st);
+  }
+  /// Open-epoch accumulator of a stream (nullopt when absent or empty).
+  std::optional<open_epoch_state> open_state(const estimate_key& key) const {
+    return table_.open_state(key);
+  }
+
  private:
   friend class sharded_coordinator;  // internal table reads under shard lock
 

@@ -1,0 +1,30 @@
+#include "core/fault_injection.h"
+
+namespace wiscape::core::fault {
+
+const char* site_name(site s) noexcept {
+  switch (s) {
+    case site::queue_push:
+      return "queue_push";
+    case site::drain_stall:
+      return "drain_stall";
+    case site::server_handle:
+      return "server_handle";
+    case site::persist_save:
+      return "persist_save";
+  }
+  return "unknown";
+}
+
+namespace detail {
+std::atomic<hook*>& slot() noexcept {
+  static std::atomic<hook*> g{nullptr};
+  return g;
+}
+}  // namespace detail
+
+hook* install(hook* h) noexcept {
+  return detail::slot().exchange(h, std::memory_order_acq_rel);
+}
+
+}  // namespace wiscape::core::fault

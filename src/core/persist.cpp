@@ -5,6 +5,10 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#include "core/fault_injection.h"
+#include "core/sharded_coordinator.h"
 
 namespace wiscape::core {
 
@@ -22,11 +26,7 @@ geo::zone_id parse_zone(const std::string& s) {
   }
 }
 
-}  // namespace
-
-void save_zone_table(std::ostream& os, const zone_table& table) {
-  os << "WISCAPE-ZONETABLE v1\n";
-  auto keys = table.keys();
+void sort_keys(std::vector<estimate_key>& keys) {
   // Deterministic file order: by zone, then network, then metric.
   std::sort(keys.begin(), keys.end(),
             [](const estimate_key& a, const estimate_key& b) {
@@ -34,15 +34,77 @@ void save_zone_table(std::ostream& os, const zone_table& table) {
               if (a.network != b.network) return a.network < b.network;
               return static_cast<int>(a.metric) < static_cast<int>(b.metric);
             });
-  char buf[256];
+}
+
+void write_est(std::ostream& os, const estimate_key& key,
+               const epoch_estimate& est) {
+  char buf[320];
+  // %.17g round-trips IEEE doubles exactly, so load(save(t)) is bit-equal.
+  std::snprintf(buf, sizeof(buf), "EST %s %s %s %.17g %.17g %.17g %zu\n",
+                geo::to_string(key.zone).c_str(), key.network.c_str(),
+                trace::to_string(key.metric).c_str(), est.epoch_start_s,
+                est.mean, est.stddev, est.samples);
+  os << buf;
+}
+
+void write_open(std::ostream& os, const estimate_key& key,
+                const open_epoch_state& st) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf), "OPEN %s %s %s %.17g %llu %.17g %.17g\n",
+                geo::to_string(key.zone).c_str(), key.network.c_str(),
+                trace::to_string(key.metric).c_str(), st.open_start_s,
+                static_cast<unsigned long long>(st.n), st.mean, st.m2);
+  os << buf;
+}
+
+/// Parses the shared EST/OPEN body shared by both formats. Returns false if
+/// the line is neither (caller decides whether that's fatal).
+template <typename RestoreEst, typename RestoreOpen>
+bool parse_body_line(const std::string& line, RestoreEst&& restore_est,
+                     RestoreOpen&& restore_open) {
+  std::istringstream ls(line);
+  std::string tag, zone_s, net, metric_s;
+  if (!(ls >> tag >> zone_s >> net >> metric_s)) return false;
+  if (tag == "EST") {
+    epoch_estimate est;
+    if (!(ls >> est.epoch_start_s >> est.mean >> est.stddev >> est.samples)) {
+      throw std::invalid_argument("malformed zone-table line: '" + line + "'");
+    }
+    restore_est(
+        estimate_key{parse_zone(zone_s), net,
+                     trace::metric_from_string(metric_s)},
+        est);
+    return true;
+  }
+  if (tag == "OPEN") {
+    open_epoch_state st;
+    unsigned long long n = 0;
+    if (!(ls >> st.open_start_s >> n >> st.mean >> st.m2)) {
+      throw std::invalid_argument("malformed open-epoch line: '" + line + "'");
+    }
+    st.n = n;
+    restore_open(
+        estimate_key{parse_zone(zone_s), net,
+                     trace::metric_from_string(metric_s)},
+        st);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void save_zone_table(std::ostream& os, const zone_table& table) {
+  os << "WISCAPE-ZONETABLE v2\n";
+  auto keys = table.keys();
+  sort_keys(keys);
   for (const auto& key : keys) {
     // Non-copying view: the table is not mutated while we stream it out.
     for (const auto& est : table.history_view(key)) {
-      std::snprintf(buf, sizeof(buf), "EST %s %s %s %.3f %.6f %.6f %zu\n",
-                    geo::to_string(key.zone).c_str(), key.network.c_str(),
-                    trace::to_string(key.metric).c_str(), est.epoch_start_s,
-                    est.mean, est.stddev, est.samples);
-      os << buf;
+      write_est(os, key, est);
+    }
+    if (const auto open = table.open_state(key)) {
+      write_open(os, key, *open);
     }
   }
 }
@@ -55,22 +117,23 @@ void save_zone_table_file(const std::string& path, const zone_table& table) {
 
 zone_table load_zone_table(std::istream& is, double change_sigma_factor) {
   std::string line;
-  if (!std::getline(is, line) || line != "WISCAPE-ZONETABLE v1") {
+  if (!std::getline(is, line) || (line != "WISCAPE-ZONETABLE v1" &&
+                                  line != "WISCAPE-ZONETABLE v2")) {
     throw std::invalid_argument("not a zone-table file (bad header)");
   }
   zone_table table(change_sigma_factor);
   while (std::getline(is, line)) {
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string tag, zone_s, net, metric_s;
-    epoch_estimate est;
-    if (!(ls >> tag >> zone_s >> net >> metric_s >> est.epoch_start_s >>
-          est.mean >> est.stddev >> est.samples) ||
-        tag != "EST") {
+    if (!parse_body_line(
+            line,
+            [&](const estimate_key& k, const epoch_estimate& e) {
+              table.restore(k, e);
+            },
+            [&](const estimate_key& k, const open_epoch_state& s) {
+              table.restore_open(k, s);
+            })) {
       throw std::invalid_argument("malformed zone-table line: '" + line + "'");
     }
-    table.restore({parse_zone(zone_s), net, trace::metric_from_string(metric_s)},
-                  est);
   }
   return table;
 }
@@ -80,6 +143,54 @@ zone_table load_zone_table_file(const std::string& path,
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
   return load_zone_table(is, change_sigma_factor);
+}
+
+void save_coordinator_state(std::ostream& os,
+                            const sharded_coordinator& coord) {
+  if (fault::fire(fault::site::persist_save) == fault::action::fail) {
+    throw std::runtime_error("injected fault: coordinator snapshot refused");
+  }
+  os << "WISCAPE-COORD v2\n";
+  auto keys = coord.keys();
+  sort_keys(keys);
+  for (const auto& key : keys) {
+    for (const auto& est : coord.history(key)) {
+      write_est(os, key, est);
+    }
+    if (const auto open = coord.open_state(key)) {
+      write_open(os, key, *open);
+    }
+  }
+  os << "ALERTSEQ " << coord.alert_sink().pushed() << "\n";
+}
+
+void load_coordinator_state(std::istream& is, sharded_coordinator& coord) {
+  std::string line;
+  if (!std::getline(is, line) || line != "WISCAPE-COORD v2") {
+    throw std::invalid_argument("not a coordinator-state file (bad header)");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (parse_body_line(
+            line,
+            [&](const estimate_key& k, const epoch_estimate& e) {
+              coord.restore_estimate(k, e);
+            },
+            [&](const estimate_key& k, const open_epoch_state& s) {
+              coord.restore_open(k, s);
+            })) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    std::uint64_t seq = 0;
+    if ((ls >> tag >> seq) && tag == "ALERTSEQ") {
+      if (seq > 0) coord.resume_alert_seq(seq);
+      continue;
+    }
+    throw std::invalid_argument("malformed coordinator-state line: '" + line +
+                                "'");
+  }
 }
 
 }  // namespace wiscape::core

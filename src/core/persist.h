@@ -1,10 +1,27 @@
-// Zone-table persistence.
+// Zone-table and coordinator-state persistence.
 //
 // A real WiScape coordinator runs for months; its product -- the frozen
 // per-zone-epoch estimates -- must survive restarts. The format is
 // line-oriented text like the rest of the interchange surfaces
 // (one `EST <zone> <network> <metric> <epoch_start> <mean> <stddev> <n>`
 // line per frozen estimate), so operators can grep their coverage history.
+//
+// Format versions:
+//  * v1 ("WISCAPE-ZONETABLE v1"): EST lines only, fixed-precision doubles
+//    (%.3f / %.6f). Still loaded, never written.
+//  * v2 ("WISCAPE-ZONETABLE v2"): EST doubles are printed with %.17g so a
+//    save/load round trip is bit-exact, and each stream with a non-empty
+//    open (not yet frozen) epoch adds one
+//    `OPEN <zone> <network> <metric> <open_start> <n> <mean> <m2>` line
+//    carrying its Welford accumulator -- a coordinator killed mid-epoch
+//    resumes exactly where it stopped instead of losing the partial epoch.
+//    Streams whose open epoch is empty write no OPEN line: an empty epoch
+//    re-aligns to floor(t / duration) * duration on the first post-restart
+//    sample, identical to a fresh stream.
+//  * Coordinator-state flavour ("WISCAPE-COORD v2"): the v2 body plus one
+//    `ALERTSEQ <pushed>` line recording the alert ring's high sequence
+//    number, so a restarted coordinator resumes alert numbering instead of
+//    restarting at 1 (which would silently rewind client cursors).
 #pragma once
 
 #include <iosfwd>
@@ -14,17 +31,34 @@
 
 namespace wiscape::core {
 
-/// Writes every frozen estimate of every key (open epochs are transient and
-/// not persisted; they re-accumulate after a restart).
+class sharded_coordinator;
+
+/// Writes every frozen estimate of every key plus the open-epoch accumulator
+/// of each stream that has one (v2 format; bit-exact round trip).
 void save_zone_table(std::ostream& os, const zone_table& table);
 void save_zone_table_file(const std::string& path, const zone_table& table);
 
-/// Rebuilds a zone table from a saved stream. Restored estimates keep their
-/// history order; change alerts are not replayed (they were already acted
-/// on). Throws std::invalid_argument on malformed input and
-/// std::runtime_error when the file cannot be opened.
+/// Rebuilds a zone table from a saved stream (v1 or v2 header). Restored
+/// estimates keep their history order; change alerts are not replayed (they
+/// were already acted on). Throws std::invalid_argument on malformed input
+/// and std::runtime_error when the file cannot be opened.
 zone_table load_zone_table(std::istream& is, double change_sigma_factor = 2.0);
 zone_table load_zone_table_file(const std::string& path,
                                 double change_sigma_factor = 2.0);
+
+/// Writes a sharded coordinator's full estimate state (frozen + open epochs
+/// across every shard, deterministically sorted) plus the alert ring's
+/// sequence high-water mark. Call flush() first so in-flight reports are
+/// applied. Honours the `persist_save` fault-injection site: an injected
+/// fault throws std::runtime_error before anything is written, modelling a
+/// failed snapshot (callers must treat a throw as "no snapshot taken").
+void save_coordinator_state(std::ostream& os, const sharded_coordinator& coord);
+
+/// Restores estimate state saved by save_coordinator_state into a freshly
+/// constructed coordinator (same grid / networks / config). Must be called
+/// before any report is ingested: the ALERTSEQ line resumes the alert
+/// ring's numbering, which alert_ring::resume_from only permits on an
+/// untouched ring. Throws std::invalid_argument on malformed input.
+void load_coordinator_state(std::istream& is, sharded_coordinator& coord);
 
 }  // namespace wiscape::core

@@ -1,15 +1,36 @@
 #include "core/report_queue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "core/fault_injection.h"
 #include "obs/names.h"
 #include "obs/registry.h"
 
 namespace wiscape::core {
 
 namespace {
+
+/// Scenario seam at the producer edge (core::fault site queue_push).
+/// Returns true when an injected fault should make this push take its
+/// natural failure path -- exactly the path a full/closed queue takes, so
+/// callers' drop accounting is exercised for real. A stall sleeps briefly
+/// (timing-only) and then proceeds. Un-hooked cost: one relaxed load.
+bool push_fault_fails() {
+  switch (fault::fire(fault::site::queue_push)) {
+    case fault::action::fail:
+      return true;
+    case fault::action::stall:
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return false;
+    case fault::action::proceed:
+      break;
+  }
+  return false;
+}
 // Process-wide queue metrics, shared by every report_queue instance (the
 // registry aggregates; per-shard detail lives in sharded_coordinator's
 // per-shard counters). Looked up once. The enqueue-side totals are staged
@@ -51,6 +72,10 @@ void report_queue::publish_metrics_locked() {
 }
 
 bool report_queue::push(trace::measurement_record rec) {
+  if (push_fault_fails()) {
+    metrics().rejected.inc();
+    return false;
+  }
   std::unique_lock lock(mu_);
   if (items_.size() >= capacity_ && !closed_) {
     metrics().blocked.inc();  // backpressure: producer is about to wait
@@ -73,6 +98,10 @@ bool report_queue::push(trace::measurement_record rec) {
 }
 
 bool report_queue::try_push(trace::measurement_record rec) {
+  if (push_fault_fails()) {
+    metrics().rejected.inc();
+    return false;
+  }
   std::unique_lock lock(mu_);
   if (closed_ || items_.size() >= capacity_) {
     lock.unlock();
@@ -90,6 +119,13 @@ bool report_queue::try_push(trace::measurement_record rec) {
 std::size_t report_queue::push_batch(
     std::span<const trace::measurement_record> recs) {
   if (recs.empty()) return 0;
+  // The fault fires once per batch, before anything is enqueued: a refused
+  // batch is all-or-nothing, so wire-level accounting (one ERR covers the
+  // whole REPORTB frame) never half-ingests a frame.
+  if (push_fault_fails()) {
+    metrics().rejected.inc(recs.size());
+    return 0;
+  }
   std::unique_lock lock(mu_);
   std::size_t i = 0;
   for (;;) {

@@ -56,8 +56,11 @@ class report_queue {
   /// remaining capacity are fed in capacity-sized gulps as consumers make
   /// room. The batch is contiguous in FIFO order (no other producer's
   /// records interleave within one gulp). Returns the number of records
-  /// enqueued: recs.size() on success, fewer only when the queue is closed
-  /// mid-batch (the remainder is dropped).
+  /// enqueued: recs.size() on success, fewer when the queue is closed
+  /// mid-batch (the remainder is dropped), or 0 when an injected fault
+  /// fires at the core::fault queue_push site (scenario fault storms; the
+  /// fault refuses the batch whole, before anything is enqueued). Callers
+  /// must count the shortfall against their drop accounting either way.
   std::size_t push_batch(std::span<const trace::measurement_record> recs);
 
   /// Pops up to `max_batch` records into `out` (appended), blocking until at

@@ -8,6 +8,7 @@
 #include <string>
 #include <tuple>
 
+#include "core/fault_injection.h"
 #include "obs/names.h"
 #include "obs/registry.h"
 #include "obs/span.h"
@@ -239,6 +240,13 @@ void sharded_coordinator::drain_loop(shard& sh) {
   for (;;) {
     batch.clear();
     if (sh.queue.pop_batch(batch, cfg_.drain_batch) == 0) return;
+    // Scenario seam: a slow-consumer stressor stalls the drain worker here
+    // (outside the shard lock), backing the queue up against producers.
+    // Timing-only -- the batch is always applied; which records exist and
+    // what they compute never changes. Un-hooked cost: one relaxed load.
+    if (fault::fire(fault::site::drain_stall) != fault::action::proceed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     apply_batch(sh, batch);
   }
 }
@@ -368,6 +376,27 @@ std::vector<change_alert> sharded_coordinator::alerts() const {
               return order(a) < order(b);
             });
   return out;
+}
+
+void sharded_coordinator::restore_estimate(const estimate_key& key,
+                                           const epoch_estimate& e) {
+  shard& sh = owner_of(key.zone);
+  std::lock_guard lock(sh.mu);
+  sh.coord.restore_estimate(key, e);
+}
+
+void sharded_coordinator::restore_open(const estimate_key& key,
+                                       const open_epoch_state& st) {
+  shard& sh = owner_of(key.zone);
+  std::lock_guard lock(sh.mu);
+  sh.coord.restore_open(key, st);
+}
+
+std::optional<open_epoch_state> sharded_coordinator::open_state(
+    const estimate_key& key) const {
+  const shard& sh = *shards_[shard_of(key.zone)];
+  std::lock_guard lock(sh.mu);
+  return sh.coord.open_state(key);
 }
 
 const estimate_mirror& sharded_coordinator::published_of(

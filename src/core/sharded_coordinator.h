@@ -166,6 +166,20 @@ class sharded_coordinator {
   /// sequence numbers across the whole coordinator.
   const alert_ring& alert_sink() const noexcept { return ring_; }
 
+  // ---- persistence surface (core::persist coordinator-state format) ------
+
+  /// Restores a frozen estimate into the owning shard (under its lock).
+  void restore_estimate(const estimate_key& key, const epoch_estimate& e);
+  /// Restores an open-epoch accumulator into the owning shard.
+  void restore_open(const estimate_key& key, const open_epoch_state& st);
+  /// Open-epoch accumulator of a stream, from its owning shard.
+  std::optional<open_epoch_state> open_state(const estimate_key& key) const;
+  /// Resumes the shared alert ring's sequence numbering after a restart
+  /// (alert_ring::resume_from semantics: pre-restart sequences account as
+  /// dropped to lagging cursors, never silently vanish). Call before any
+  /// report is ingested.
+  void resume_alert_seq(std::uint64_t last_seq) { ring_.resume_from(last_seq); }
+
   // ---- read-side aggregation (flush() first for a consistent view) -------
 
   /// Latest frozen estimate / history for a key, from its owning shard.

@@ -135,7 +135,13 @@ void zone_table::cross_epochs(std::size_t index, double time_s,
     }
   }
   while (time_s >= s.open_start_s + epoch_duration_s) {
-    s.open_start_s += epoch_duration_s;
+    const double next = s.open_start_s + epoch_duration_s;
+    // fp saturation guard: past ~2^52 * duration (or at +-inf, where
+    // elapsed above is NaN and the fast-forward never ran), adding the
+    // duration no longer changes the boundary. Stop instead of spinning
+    // forever -- a hostile timestamp must never hang the apply path.
+    if (!(next > s.open_start_s)) break;
+    s.open_start_s = next;
   }
 }
 
@@ -226,6 +232,33 @@ void zone_table::restore(const estimate_key& key,
   if (mirror_ != nullptr) {
     mirror_->publish(cold_[idx].skey, estimate, cold_[idx].frozen.size() - 1);
   }
+}
+
+std::optional<open_epoch_state> zone_table::open_state(
+    const estimate_key& key) const {
+  const std::size_t idx =
+      find_stream(key.zone, interner_.try_id(key.network), key.metric);
+  if (idx == npos_index) return std::nullopt;
+  const hot_state& s = hot_[idx];
+  if (s.open.empty()) return std::nullopt;
+  return open_epoch_state{s.open_start_s, s.open.n, s.open.mean, s.open.m2};
+}
+
+void zone_table::restore_open(const estimate_key& key,
+                              const open_epoch_state& state) {
+  const std::uint16_t nid = interner_.id_of(key.network);
+  const std::uint64_t gkey = pack_group(key.zone, nid);
+  std::size_t slot = find_group(gkey);
+  if (slot == npos_index) slot = create_group(gkey);
+  const std::uint32_t val =
+      slots_[slot].streams[static_cast<std::size_t>(key.metric)];
+  const std::size_t idx =
+      val != 0 ? val - 1 : materialize_stream(slot, key.zone, nid, key.metric);
+  hot_state& s = hot_[idx];
+  s.open_start_s = state.open_start_s;
+  s.open.n = static_cast<std::size_t>(state.n);
+  s.open.mean = state.mean;
+  s.open.m2 = state.m2;
 }
 
 std::vector<estimate_key> zone_table::keys() const {

@@ -73,6 +73,17 @@ struct epoch_estimate {
   std::size_t samples = 0;
 };
 
+/// The open (not yet frozen) epoch of one stream, in the exact Welford form
+/// the accumulator carries -- persisted verbatim so a restored coordinator's
+/// next rollover publishes bit-for-bit what the uninterrupted one would
+///// (core::persist round-trips these at full %.17g precision).
+struct open_epoch_state {
+  double open_start_s = 0.0;
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+};
+
 /// Raised when an epoch's estimate moved substantially vs the previous one.
 struct change_alert {
   estimate_key key;
@@ -183,6 +194,17 @@ class zone_table {
   /// Appends a frozen estimate to a key's history without touching the open
   /// epoch or raising alerts (used when restoring persisted state).
   void restore(const estimate_key& key, const epoch_estimate& estimate);
+
+  /// Open-epoch accumulator of a key, or nullopt when the stream is absent
+  /// or its open epoch is empty (an empty open epoch carries no state worth
+  /// persisting: rollover publishes nothing from it, and the boundary
+  /// re-aligns identically from the next sample's timestamp).
+  std::optional<open_epoch_state> open_state(const estimate_key& key) const;
+
+  /// Restores a persisted open-epoch accumulator (creating the stream if
+  /// needed). No alert, no mirror publish -- open epochs are unpublished by
+  /// definition; the state feeds the stream's next rollover.
+  void restore_open(const estimate_key& key, const open_epoch_state& state);
 
   /// The table's network id assignment. Mutating it (id_of) outside the
   /// table's own apply path is allowed -- ids are append-only -- but must

@@ -139,5 +139,9 @@ inline constexpr char kServerQueryBatchLatency[] =
     "proto.server.query_batch_latency_s";
 /// Wall time to answer one ALERTS request (ring drain + encode). [seconds]
 inline constexpr char kServerAlertsLatency[] = "proto.server.alerts_latency_s";
+/// Requests refused by an injected fault (scenario engine's server_handle
+/// seam). Zero outside scenario runs; each refusal also counts into
+/// proto.server.err_internal (the reply is "ERR internal").
+inline constexpr char kServerFaultsInjected[] = "proto.server.faults_injected";
 
 }  // namespace wiscape::obs::names

@@ -84,24 +84,26 @@ std::vector<metric_sample> registry::snapshot() const {
       switch (e.k) {
         case kind::counter:
           out.push_back({e.name,
-                         static_cast<double>(counters_[e.index].value()),
+                         static_cast<double>(counters_[e.index].value()), true,
                          true});
           break;
         case kind::gauge:
-          out.push_back(
-              {e.name, static_cast<double>(gauges_[e.index].value()), true});
+          // Gauges move both ways (queue depth); not monotone.
+          out.push_back({e.name, static_cast<double>(gauges_[e.index].value()),
+                         true, false});
           break;
         case kind::histogram: {
+          // Cumulative buckets, count and sum are all append-only.
           const histogram& h = histograms_[e.index];
           std::uint64_t cumulative = 0;
           for (std::size_t i = 0; i < histogram::num_buckets; ++i) {
             cumulative += h.bucket(i);
             out.push_back({e.name + "." + edge_label(i),
-                           static_cast<double>(cumulative), true});
+                           static_cast<double>(cumulative), true, true});
           }
           out.push_back(
-              {e.name + ".count", static_cast<double>(h.count()), true});
-          out.push_back({e.name + ".sum_s", h.sum_s(), false});
+              {e.name + ".count", static_cast<double>(h.count()), true, true});
+          out.push_back({e.name + ".sum_s", h.sum_s(), false, true});
           break;
         }
       }

@@ -111,11 +111,16 @@ class histogram {
 
 /// One (name, value) pair of a registry snapshot. `integral` marks counter /
 /// gauge / bucket-count samples so formatters can print them without a
-/// decimal point.
+/// decimal point. `monotone` marks samples that never decrease over the
+/// process lifetime (counters, histogram buckets/count/sum) -- gauges move
+/// both ways and are excluded -- so consistency checkers (the scenario
+/// engine's tick invariants) can assert monotonicity across consecutive
+/// snapshots without a hand-maintained name list.
 struct metric_sample {
   std::string name;
   double value = 0.0;
   bool integral = true;
+  bool monotone = false;
 };
 
 /// Named-instrument registry. Lookup/creation takes a mutex (cold path, do

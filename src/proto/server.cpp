@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/fault_injection.h"
 #include "obs/names.h"
 #include "obs/registry.h"
 #include "obs/span.h"
@@ -28,6 +29,7 @@ struct server_metrics {
   obs::counter& err_stopped;
   obs::counter& err_version;
   obs::counter& err_internal;
+  obs::counter& faults_injected;
   obs::histogram& checkin_latency;
   obs::histogram& report_latency;
   obs::histogram& batch_latency;
@@ -53,6 +55,7 @@ server_metrics& metrics() {
       reg.get_counter(obs::names::kServerErrStopped),
       reg.get_counter(obs::names::kServerErrVersion),
       reg.get_counter(obs::names::kServerErrInternal),
+      reg.get_counter(obs::names::kServerFaultsInjected),
       reg.get_histogram(obs::names::kServerCheckinLatency),
       reg.get_histogram(obs::names::kServerReportLatency),
       reg.get_histogram(obs::names::kServerBatchLatency),
@@ -140,6 +143,16 @@ std::string coordinator_server::handle(std::string_view line) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     return encode_error(code, detail);
   };
+  // Scenario seam: an injected fault refuses the request before dispatch,
+  // answering the typed ERR a dying transport/overloaded server would --
+  // clients and accounting exercise the real rejection path. Whole-request
+  // granularity keeps REPORTB frames all-or-nothing. One relaxed load when
+  // no hook is installed.
+  if (core::fault::fire(core::fault::site::server_handle) ==
+      core::fault::action::fail) {
+    metrics().faults_injected.inc();
+    return fail(err_code::internal, "injected fault: request refused");
+  }
   try {
     if (type == "CHECKIN") {
       obs::span timed(metrics().checkin_latency);

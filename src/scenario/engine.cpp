@@ -1,0 +1,625 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "apps/estimate_knowledge.h"
+#include "cellnet/deployment.h"
+#include "cellnet/presets.h"
+#include "core/estimate_view.h"
+#include "core/persist.h"
+#include "core/sharded_coordinator.h"
+#include "obs/names.h"
+#include "obs/registry.h"
+#include "proto/messages.h"
+#include "proto/server.h"
+#include "stats/rng.h"
+#include "trace/record.h"
+
+namespace wiscape::scenario {
+namespace {
+
+// Sort order shared with core::persist: scenarios and snapshots enumerate
+// streams identically, so final_estb dumps compare byte-for-byte.
+struct key_less {
+  bool operator()(const core::estimate_key& a,
+                  const core::estimate_key& b) const noexcept {
+    if (a.zone.ix != b.zone.ix) return a.zone.ix < b.zone.ix;
+    if (a.zone.iy != b.zone.iy) return a.zone.iy < b.zone.iy;
+    if (a.network != b.network) return a.network < b.network;
+    return static_cast<int>(a.metric) < static_cast<int>(b.metric);
+  }
+};
+
+// The wire CSV renders lat/lon at %.6f, so the driver snaps every position
+// to integer microdegrees up front: the zone the driver computes locally is
+// the zone the decoded record lands in.
+double snap_deg(double deg) { return std::round(deg * 1e6) / 1e6; }
+geo::lat_lon snap(const geo::lat_lon& p) {
+  return {snap_deg(p.lat_deg), snap_deg(p.lon_deg)};
+}
+
+struct client_state {
+  geo::lat_lon home;  ///< microdegree-snapped home fix
+  geo::xy home_xy;
+  std::size_t op = 0;
+  double skew_s = 0.0;
+  bool active = true;
+  std::uint64_t id = 0;
+};
+
+// True when an ERR reply refused the request before dispatch ("ERR internal"
+// from an injected server_handle fault, "ERR parse"): its records never
+// reached the coordinator. "ERR stopped" frames did reach it and account
+// through accepted/rejected/dropped.
+bool refused_before_dispatch(std::string_view reply) {
+  const std::size_t sp1 = reply.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = reply.find(' ', sp1 + 1);
+  const std::string_view code = reply.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                             : sp2 - sp1 - 1);
+  return code == "internal" || code == "parse" || code == "unsupported";
+}
+
+// Continuity window of one tracked stream, for the staleness invariant.
+// Gap fast-forward legitimately publishes old epochs right after a feeding
+// gap (outage, churn), so staleness is only asserted for streams that have
+// been fed on every consecutive tick for >= 2 epochs.
+struct feed_state {
+  double window_start_s = 0.0;  ///< first sample time of the current window
+  double last_s = 0.0;          ///< newest sample time seen
+  std::uint64_t last_tick = 0;
+};
+
+}  // namespace
+
+scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
+  scenario_result out;
+  out.name = cfg.name;
+  out.seed = seed;
+
+  stats::rng_stream root(seed);
+
+  // ---- world: two-operator build-out around the Madison anchor ----------
+  geo::projection proj(cellnet::anchors::madison);
+  const cellnet::extent area{4000.0, 4000.0};
+  const std::vector<std::string> names = {"NetB", "NetC"};
+  std::vector<cellnet::operator_config> ops;
+  {
+    stats::rng_stream drng = root.fork("deployment");
+    double scale = 0.9;
+    for (const std::string& n : names) {
+      cellnet::operator_config oc;
+      oc.name = n;
+      oc.tech = radio::technology::evdo_rev_a;
+      oc.seed = drng.fork(n).seed();
+      oc.tower_spacing_m = 1500.0;
+      oc.capacity_scale = scale;
+      scale += 0.2;
+      ops.push_back(std::move(oc));
+    }
+  }
+  cellnet::deployment dep(proj, area, std::move(ops));
+  if (cfg.stress.flash_crowd) {
+    for (std::size_t i = 0; i < dep.size(); ++i) {
+      dep.network(i).add_event({geo::xy{0.0, 0.0}, 1200.0,
+                                cfg.stress.flash_start_s, cfg.stress.flash_end_s,
+                                0.55});
+    }
+  }
+  if (cfg.stress.outage) {
+    dep.network(0).add_trouble_spot({geo::xy{0.0, 0.0}, 3000.0, 1.0, 0.25});
+  }
+
+  geo::zone_grid grid(proj, 250.0);
+
+  core::coordinator_config ccfg;
+  ccfg.epochs.default_epoch_s = cfg.epoch_s;
+  ccfg.alert_ring_capacity = cfg.stress.alert_ring_capacity;
+  core::sharded_config scfg;
+  scfg.coordinator = ccfg;
+  scfg.num_shards = cfg.shards;
+  scfg.synchronous = cfg.synchronous;
+
+  auto coord = std::make_unique<core::sharded_coordinator>(grid, names, scfg,
+                                                           seed);
+  auto server = std::make_unique<proto::coordinator_server>(*coord);
+
+  // ---- fleet -------------------------------------------------------------
+  std::vector<client_state> fleet;
+  {
+    stats::rng_stream pos_rng = root.fork("clients");
+    stats::rng_stream skew_rng = root.fork("skew");
+    for (std::size_t i = 0; i < cfg.clients; ++i) {
+      stats::rng_stream cr = pos_rng.fork(i);
+      const geo::xy raw{cr.uniform(-1600.0, 1600.0),
+                        cr.uniform(-1600.0, 1600.0)};
+      client_state c;
+      c.home = snap(proj.to_lat_lon(raw));
+      c.home_xy = proj.to_xy(c.home);
+      c.op = i % dep.size();
+      if (cfg.stress.clock_skew_sigma_s > 0.0) {
+        c.skew_s = skew_rng.fork(i).normal(0.0, cfg.stress.clock_skew_sigma_s);
+      }
+      c.id = 1000 + i;
+      fleet.push_back(c);
+    }
+  }
+
+  // ---- fault schedule ----------------------------------------------------
+  injector inj(root.fork("faults").seed());
+  for (const fault_rule& r : cfg.stress.faults) inj.add_rule(r);
+  arm_scope armed(inj);
+
+  obs::registry& reg = obs::registry::global();
+  obs::counter& accepted_ctr = reg.get_counter(obs::names::kCoordReportsAccepted);
+  obs::counter& rejected_ctr = reg.get_counter(obs::names::kCoordReportsRejected);
+  obs::counter& apply_err_ctr = reg.get_counter(obs::names::kShardedApplyErrors);
+  obs::counter& dropped_ctr = reg.get_counter(obs::names::kShardedDropped);
+
+  std::map<core::estimate_key, feed_state, key_less> tracked;
+  std::uint64_t served_total = 0, dropped_total = 0, cursor = 0;
+  std::vector<obs::metric_sample> prev_snapshot;
+  std::ostringstream log;
+  std::string replay_frame;           // previous tick's first fleet frame
+  std::size_t replay_count = 0;
+
+  auto note = [&](const char* inv, std::uint64_t tick, std::string detail) {
+    out.violations.push_back(violation{inv, tick, seed, std::move(detail)});
+  };
+
+  // Sends records over the wire in REPORTB frames of at most 32 and folds
+  // the replies into the tick's accounting. The server ACKs a frame
+  // all-or-nothing, so a frame's records land wholly in acked or erred.
+  auto submit = [&](std::span<const trace::measurement_record> recs,
+                    std::uint64_t& acked, std::uint64_t& erred,
+                    std::uint64_t& refused) {
+    for (std::size_t off = 0; off < recs.size(); off += 32) {
+      const std::size_t n = std::min<std::size_t>(32, recs.size() - off);
+      const std::string reply =
+          server->handle(proto::encode_report_batch(recs.subspan(off, n)));
+      if (proto::message_type(reply) == "ACK") {
+        acked += n;
+      } else {
+        erred += n;
+        if (refused_before_dispatch(reply)) refused += n;
+      }
+    }
+  };
+
+  // Clock slack for the staleness bound: tick quantisation plus (nearly all
+  // of) the skew distribution when clocks are skewed.
+  const double slack_s = cfg.tick_s + 1.0 + 6.0 * cfg.stress.clock_skew_sigma_s;
+
+  for (std::uint64_t t = 0; t < cfg.ticks; ++t) {
+    const double T0 = static_cast<double>(t) * cfg.tick_s;
+    bool restarted = false;
+
+    // ---- coordinator kill + restore mid-run ------------------------------
+    if (cfg.stress.restart_tick && *cfg.stress.restart_tick == t) {
+      coord->flush();
+      std::stringstream snap_io;
+      bool saved = true;
+      try {
+        core::save_coordinator_state(snap_io, *coord);
+      } catch (const std::exception&) {
+        saved = false;  // injected persist_save fault: skip the restart
+      }
+      if (saved) {
+        server.reset();
+        coord->stop();
+        coord.reset();
+        coord = std::make_unique<core::sharded_coordinator>(grid, names, scfg,
+                                                            seed);
+        core::load_coordinator_state(snap_io, *coord);
+        server = std::make_unique<proto::coordinator_server>(*coord);
+        restarted = true;
+      }
+    }
+
+    const std::uint64_t accepted0 = accepted_ctr.value();
+    const std::uint64_t rejected0 = rejected_ctr.value();
+    const std::uint64_t apply_err0 = apply_err_ctr.value();
+    const std::uint64_t dropped0 = dropped_ctr.value();
+    std::uint64_t submitted = 0, acked = 0, erred = 0, refused = 0;
+
+    // ---- fleet traffic ---------------------------------------------------
+    stats::rng_stream tick_rng = root.fork("traffic").fork(t);
+    std::vector<trace::measurement_record> batch;
+    const bool flash_now = cfg.stress.flash_crowd &&
+                           T0 >= cfg.stress.flash_start_s &&
+                           T0 < cfg.stress.flash_end_s;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      client_state& c = fleet[i];
+      if (!c.active) continue;
+      // Fresh substream per (tick, client): a withdrawn client never shifts
+      // anyone else's draws.
+      stats::rng_stream cr = tick_rng.fork(i);
+      if (cfg.checkin_driven) {
+        proto::checkin_request chk;
+        chk.client_id = c.id;
+        chk.pos = c.home;
+        chk.time_s = T0 + c.skew_s;
+        chk.network_index = static_cast<std::uint32_t>(c.op);
+        chk.active_in_zone = 4;
+        (void)server->handle(proto::encode(chk));
+      }
+      for (int r = 0; r < 2; ++r) {
+        const double tt = T0 + 7.0 + 23.0 * r;
+        geo::xy at = c.home_xy;
+        if (flash_now && i % 3 == 0) {
+          // A third of the fleet converges on the stadium for the event.
+          at = {at.x_m * 0.2, at.y_m * 0.2};
+        }
+        if (cfg.stress.gps_jitter_m > 0.0) {
+          at.x_m += cr.normal(0.0, cfg.stress.gps_jitter_m);
+          at.y_m += cr.normal(0.0, cfg.stress.gps_jitter_m);
+        }
+        const geo::lat_lon pos = snap(proj.to_lat_lon(at));
+        const geo::xy pxy = proj.to_xy(pos);
+        const cellnet::link_conditions cond = dep.conditions_at(c.op, pos, tt);
+        const bool ok =
+            cond.in_coverage && !dep.network(c.op).in_outage(pxy, tt);
+        const double u1 = cr.uniform();
+        const double u2 = cr.uniform();
+
+        trace::measurement_record rec;
+        rec.time_s = tt + c.skew_s;
+        rec.network = names[c.op];
+        rec.pos = pos;
+        rec.client_id = c.id;
+        rec.rssi_dbm = cond.rx_dbm;
+        rec.success = ok;
+        const double free_bps = cond.capacity_bps * (1.0 - cond.utilization);
+        switch ((t + i + static_cast<std::uint64_t>(r)) % 3) {
+          case 0:
+            rec.kind = trace::probe_kind::udp_burst;
+            rec.throughput_bps = free_bps * (0.85 + 0.3 * u1);
+            rec.loss_rate = cond.loss_prob;
+            rec.jitter_s = 0.002 + 0.004 * u2;
+            break;
+          case 1:
+            rec.kind = trace::probe_kind::ping;
+            rec.rtt_s = cond.rtt_s * (0.95 + 0.1 * u1);
+            rec.ping_sent = 10;
+            rec.ping_failures = ok ? 0 : 10;
+            break;
+          default:
+            rec.kind = trace::probe_kind::tcp_download;
+            rec.throughput_bps = 0.9 * free_bps * (0.85 + 0.3 * u1);
+            break;
+        }
+        if (ok) {
+          const geo::zone_id z = grid.zone_of(pos);
+          for (trace::metric m : trace::metrics_of(rec.kind)) {
+            auto [it, inserted] =
+                tracked.try_emplace(core::estimate_key{z, rec.network, m});
+            feed_state& fs = it->second;
+            if (inserted || fs.last_tick + 1 < t) {
+              fs.window_start_s = rec.time_s;  // gap: restart the window
+              fs.last_s = rec.time_s;
+            } else {
+              fs.last_s = std::max(fs.last_s, rec.time_s);
+            }
+            fs.last_tick = t;
+          }
+        }
+        batch.push_back(std::move(rec));
+        ++submitted;
+      }
+    }
+    if (!batch.empty()) {
+      // First record rides the single-REPORT path; the rest batch.
+      const std::string reply = server->handle(proto::encode(
+          proto::measurement_report{batch.front().client_id, batch.front()}));
+      if (proto::message_type(reply) == "ACK") {
+        ++acked;
+      } else {
+        ++erred;
+        if (refused_before_dispatch(reply)) ++refused;
+      }
+      submit(std::span(batch).subspan(1), acked, erred, refused);
+    }
+
+    // ---- hostile clients -------------------------------------------------
+    if (cfg.stress.hostile) {
+      // Replay of a previously ACKed frame: duplicates flow through the
+      // normal accounting (the coordinator has no replay window by design).
+      if (!replay_frame.empty()) {
+        const std::string reply = server->handle(replay_frame);
+        submitted += replay_count;
+        if (proto::message_type(reply) == "ACK") {
+          acked += replay_count;
+        } else {
+          erred += replay_count;
+          if (refused_before_dispatch(reply)) refused += replay_count;
+        }
+      }
+      // Absurd coordinates: NaN and +-1e308 saturate the zone grid and must
+      // land in the rejected counter, never throw.
+      std::vector<trace::measurement_record> bad;
+      for (int k = 0; k < 3; ++k) {
+        trace::measurement_record rec;
+        rec.time_s = T0 + 11.0;
+        rec.network = "MalCoord";
+        rec.client_id = 660000 + static_cast<std::uint64_t>(k);
+        rec.kind = trace::probe_kind::udp_burst;
+        rec.success = true;
+        rec.throughput_bps = 1.0e6;
+        if (k == 0) {
+          rec.pos = {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::quiet_NaN()};
+        } else if (k == 1) {
+          rec.pos = {1.0e308, 1.0e308};
+        } else {
+          rec.pos = {-1.0e308, 50.0};
+        }
+        bad.push_back(std::move(rec));
+      }
+      submitted += bad.size();
+      submit(bad, acked, erred, refused);
+      // Malformed frames: must draw a typed ERR, carry no records.
+      for (const std::string_view junk :
+           {std::string_view("REPORTB 3\ngarbage"),
+            std::string_view("REPORT client=1 csv=notcsv"),
+            std::string_view("REPORTB two\nx")}) {
+        const std::string reply = server->handle(junk);
+        if (proto::message_type(reply) != "ERR") {
+          note("hostile_reply", t,
+               "malformed frame was not refused: " + std::string(junk));
+        }
+      }
+      // Duplicate REPORTB: the identical frame sent twice in one tick.
+      {
+        std::vector<trace::measurement_record> dup;
+        for (int k = 0; k < 3; ++k) {
+          trace::measurement_record rec;
+          rec.time_s = T0 + 13.0 + k;
+          rec.network = "MalDup";
+          rec.pos = snap(proj.to_lat_lon(geo::xy{200.0, 200.0}));
+          rec.client_id = 661000;
+          rec.kind = trace::probe_kind::ping;
+          rec.success = true;
+          rec.rtt_s = 0.2;
+          rec.ping_sent = 10;
+          dup.push_back(std::move(rec));
+        }
+        const std::string frame = proto::encode_report_batch(dup);
+        for (int rep = 0; rep < 2; ++rep) {
+          const std::string reply = server->handle(frame);
+          submitted += dup.size();
+          if (proto::message_type(reply) == "ACK") {
+            acked += dup.size();
+          } else {
+            erred += dup.size();
+            if (refused_before_dispatch(reply)) refused += dup.size();
+          }
+        }
+      }
+      // Interner-exhaustion flood: thousands of one-off operator names
+      // pinned to a single zone. The owning shard's interner caps out and
+      // the tail flows through the rejected counter (the PR 4 path).
+      if (t == 5) {
+        const geo::lat_lon flood_pos = snap(proj.to_lat_lon(geo::xy{120.0, 80.0}));
+        std::vector<trace::measurement_record> flood;
+        flood.reserve(4200);
+        for (int k = 0; k < 4200; ++k) {
+          trace::measurement_record rec;
+          rec.time_s = T0 + 17.0;
+          rec.network = "Mal" + std::to_string(k);
+          rec.pos = flood_pos;
+          rec.client_id = 662000;
+          rec.kind = trace::probe_kind::udp_burst;
+          rec.success = true;
+          rec.throughput_bps = 5.0e5;
+          flood.push_back(std::move(rec));
+        }
+        submitted += flood.size();
+        submit(flood, acked, erred, refused);
+      }
+    }
+    // Stash this tick's first frame for next tick's replay.
+    if (cfg.stress.hostile && batch.size() > 1) {
+      replay_count = std::min<std::size_t>(32, batch.size() - 1);
+      replay_frame = proto::encode_report_batch(
+          std::span(batch).subspan(1, replay_count));
+    }
+
+    // ---- QoE-driven churn ------------------------------------------------
+    std::size_t withdrawn = 0;
+    if (cfg.stress.qoe_churn && t >= 8 && t % 4 == 0) {
+      coord->flush();
+      core::estimate_view view(*coord);
+      apps::estimate_knowledge know(view, grid, names, 10);
+      const double now = T0 + 40.0;
+      for (client_state& c : fleet) {
+        if (!c.active) continue;
+        const cellnet::link_conditions cond =
+            dep.conditions_at(c.op, c.home, now);
+        const double truth =
+            0.9 * cond.capacity_bps * (1.0 - cond.utilization);
+        const double expect = know.expected_bps(c.op, c.home);
+        if (expect > 0.0 && truth > 0.0) {
+          const double rel = std::abs(expect - truth) / truth;
+          if (rel > cfg.stress.qoe_rel_error_threshold) c.active = false;
+        }
+      }
+      // One wire QUERY per churn round keeps the read path under traffic.
+      proto::query_request q;
+      q.pos = fleet.front().home;
+      q.network = names[fleet.front().op];
+      q.metric = trace::metric::tcp_throughput_bps;
+      q.time_s = now;
+      const std::string reply = server->handle(proto::encode(q));
+      const std::string_view type = proto::message_type(reply);
+      if (type != "EST" && type != "NONE") {
+        note("query_reply", t, "QUERY drew '" + std::string(type) +
+                                   "' instead of EST/NONE");
+      }
+    }
+    for (const client_state& c : fleet) {
+      if (!c.active) ++withdrawn;
+    }
+
+    // ---- deliberate sabotage (proves the checker catches a real lie) -----
+    if (cfg.stress.sabotage_tick && *cfg.stress.sabotage_tick == t) ++acked;
+
+    // ---- invariants ------------------------------------------------------
+    coord->flush();  // make the counter deltas exact for this tick
+
+    // ---- alert consumer (after flush: the set of alerts visible at the
+    // drain is a function of the tick, not of worker timing) --------------
+    if ((t + 1) % cfg.stress.alert_drain_every == 0) {
+      const std::string reply = server->handle(
+          proto::encode(proto::alerts_request{cursor, cfg.stress.alert_drain_max}));
+      // An injected server_handle fault answers ERR: the consumer simply
+      // makes no progress this tick (the ledger stays consistent).
+      if (proto::message_type(reply) == "ALERTS") {
+        const proto::alerts_reply drained = proto::decode_alerts_reply(reply);
+        served_total += drained.alerts.size();
+        dropped_total += drained.dropped;
+        cursor = drained.next_seq;
+      }
+    }
+
+    tick_accounting acct;
+    acct.submitted = submitted;
+    acct.acked = acked;
+    acct.erred = erred;
+    acct.refused = refused;
+    acct.accepted_delta = accepted_ctr.value() - accepted0;
+    acct.rejected_delta = rejected_ctr.value() - rejected0;
+    acct.dropped_delta = dropped_ctr.value() - dropped0;
+    acct.apply_errors_delta = apply_err_ctr.value() - apply_err0;
+    if (auto d = check_report_accounting(acct)) {
+      note("report_accounting", t, *d);
+    }
+
+    alert_ledger ledger;
+    ledger.served_total = served_total;
+    ledger.dropped_total = dropped_total;
+    ledger.cursor = cursor;
+    ledger.pushed = coord->alert_sink().pushed();
+    ledger.fully_drained = false;
+    if (auto d = check_alert_accounting(ledger)) {
+      note("alert_accounting", t, *d);
+    }
+
+    {
+      core::estimate_view view(*coord);
+      for (const auto& [key, fs] : tracked) {
+        if (fs.last_tick != t) continue;  // not fed this tick
+        const std::optional<core::epoch_estimate> latest = coord->latest(key);
+        // Staleness only for streams continuously fed >= 2 epochs + slack.
+        if (fs.last_s - fs.window_start_s >= 2.0 * cfg.epoch_s + slack_s) {
+          if (!latest) {
+            note("estimate_staleness", t,
+                 "stream " + key.network + " fed continuously for " +
+                     std::to_string(fs.last_s - fs.window_start_s) +
+                     "s has no published epoch");
+          } else if (auto d = check_staleness({latest->epoch_start_s,
+                                               fs.last_s, cfg.epoch_s,
+                                               slack_s})) {
+            note("estimate_staleness", t, *d);
+          }
+        }
+        // The serving mirror must agree bit-for-bit with the shard tables.
+        if (latest) {
+          const auto served = view.lookup(key.zone, key.network, key.metric);
+          if (!served) {
+            note("view_consistency", t,
+                 "published stream missing from the serving mirror");
+          } else if (served->mean != latest->mean ||
+                     served->stddev != latest->stddev ||
+                     served->count != latest->samples) {
+            note("view_consistency", t,
+                 "mirror and shard disagree on the latest epoch");
+          }
+        }
+      }
+    }
+
+    std::vector<obs::metric_sample> snap_now = reg.snapshot();
+    if (!prev_snapshot.empty()) {
+      if (auto d = check_counter_monotone(prev_snapshot, snap_now)) {
+        note("counter_monotone", t, *d);
+      }
+    }
+    prev_snapshot = std::move(snap_now);
+
+    // ---- tick log (driver-deterministic fields only) ---------------------
+    log << "tick=" << t << " submitted=" << submitted << " acked=" << acked
+        << " erred=" << erred << " accepted=" << acct.accepted_delta
+        << " rejected=" << acct.rejected_delta
+        << " streams=" << coord->keys().size()
+        << " alerts=" << coord->alert_sink().pushed()
+        << " served=" << served_total << " dropped=" << dropped_total
+        << " cursor=" << cursor << " withdrawn=" << withdrawn
+        << " restart=" << (restarted ? 1 : 0) << " faults=q"
+        << inj.fired(core::fault::site::queue_push) << "/h"
+        << inj.fired(core::fault::site::server_handle) << "/p"
+        << inj.fired(core::fault::site::persist_save) << "\n";
+  }
+
+  // ---- teardown ----------------------------------------------------------
+  coord->flush();
+  const std::uint64_t pushed = coord->alert_sink().pushed();
+  for (int spin = 0; cursor < pushed && spin < 10000; ++spin) {
+    const std::uint64_t before = cursor;
+    const std::string reply =
+        server->handle(proto::encode(proto::alerts_request{cursor, 256}));
+    if (proto::message_type(reply) != "ALERTS") continue;  // injected fault
+    const proto::alerts_reply drained = proto::decode_alerts_reply(reply);
+    served_total += drained.alerts.size();
+    dropped_total += drained.dropped;
+    cursor = drained.next_seq;
+    if (cursor == before) break;  // no progress: let the checker report it
+  }
+  if (auto d = check_alert_accounting(
+          {served_total, dropped_total, cursor, pushed, true})) {
+    note("alert_accounting", cfg.ticks, *d);
+  }
+
+  // Final ESTB dump over every configured-operator stream, sorted: two runs
+  // ending in the same published state compare byte-equal here.
+  {
+    std::vector<core::estimate_key> keys = coord->keys();
+    std::erase_if(keys, [&](const core::estimate_key& k) {
+      return std::find(names.begin(), names.end(), k.network) == names.end();
+    });
+    std::sort(keys.begin(), keys.end(), key_less{});
+    const double now = static_cast<double>(cfg.ticks) * cfg.tick_s;
+    std::vector<proto::query_request> qs;
+    qs.reserve(keys.size());
+    for (const core::estimate_key& k : keys) {
+      proto::query_request q;
+      q.pos = grid.center(k.zone);
+      q.network = k.network;
+      q.metric = k.metric;
+      q.time_s = now;
+      qs.push_back(std::move(q));
+    }
+    std::ostringstream estb;
+    for (std::size_t off = 0; off < qs.size(); off += 512) {
+      const std::size_t n = std::min<std::size_t>(512, qs.size() - off);
+      estb << server->handle(
+                  proto::encode_query_batch(std::span(qs).subspan(off, n)))
+           << "\n";
+    }
+    out.final_estb = estb.str();
+  }
+
+  out.tick_log = log.str();
+  out.passed = out.violations.empty();
+  return out;
+}
+
+}  // namespace wiscape::scenario

@@ -1,0 +1,112 @@
+// Deterministic fleet-scale scenario engine.
+//
+// A scenario is a tick-driven simulation of a whole WiScape deployment --
+// a two-operator cellular build-out, a fleet of reporting clients, the
+// sharded coordinator behind the wire protocol, an alert consumer, and a
+// set of named stressors (flash crowds, operator outages, client clock
+// skew, hostile clients, coordinator restarts, slow consumers, QoE-driven
+// churn) -- with machine-checked invariants evaluated at every tick and at
+// teardown (scenario/invariants.h).
+//
+// Determinism contract: one driver thread owns all wire traffic and all
+// randomness fans out of the run seed via stats::rng_stream forks keyed by
+// (role, client, tick), so the same (config, seed) produces a byte-identical
+// tick log -- including runs with injected faults (scenario/injector.h keys
+// fault decisions on deterministic invocation ordinals) and runs that kill
+// and restore the coordinator mid-run through core::persist. The tick log
+// records only driver-deterministic quantities; worker-side timing counters
+// (drain batches, queue high-water) are deliberately excluded.
+//
+// The engine ingests through proto::coordinator_server::handle() -- real
+// REPORTB/REPORT/QUERY/ALERTS frames over the v2 wire codec -- so every
+// scenario exercises the same seams production traffic crosses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/injector.h"
+#include "scenario/invariants.h"
+
+namespace wiscape::scenario {
+
+/// The named stress knobs a scenario composes. All default off.
+struct stressors {
+  /// Flash crowd: a stadium-style hotspot_event on every operator over
+  /// [flash_start_s, flash_end_s), with a third of the fleet converging on
+  /// the hotspot for its duration.
+  bool flash_crowd = false;
+  double flash_start_s = 600.0;
+  double flash_end_s = 1500.0;
+  /// Operator outage: a persistent full-outage trouble spot covering
+  /// operator 0's core (probes there fail; the records flow through the
+  /// rejected-report accounting).
+  bool outage = false;
+  /// Client clock skew: per-client N(0, sigma) offset applied to report
+  /// timestamps; 0 disables.
+  double clock_skew_sigma_s = 0.0;
+  /// GPS jitter: per-report N(0, sigma_m) position noise in meters.
+  double gps_jitter_m = 0.0;
+  /// Hostile clients: replayed frames, NaN/absurd coordinates, an
+  /// interner-exhaustion name flood pinned to one zone, malformed frames
+  /// and duplicate REPORTB frames (exercising the PR 4 rejection paths).
+  bool hostile = false;
+  /// QoE churn: clients whose QUERY answers err by more than the threshold
+  /// (relative to the simulated ground truth) withdraw from sampling.
+  bool qoe_churn = false;
+  double qoe_rel_error_threshold = 0.75;
+  /// Alert-consumer pacing: ring capacity, drain cadence (ticks) and batch
+  /// cap. A tiny ring with a slow consumer exercises dropped-accounting.
+  std::size_t alert_ring_capacity = 1024;
+  std::uint64_t alert_drain_every = 1;
+  std::uint32_t alert_drain_max = 256;
+  /// Kill the coordinator at the start of this tick, snapshot through
+  /// core::persist, rebuild, restore, continue. Use with
+  /// checkin_driven=false (shard task-rng state is not persisted).
+  std::optional<std::uint64_t> restart_tick;
+  /// Deliberately corrupt the driver's ack count at this tick -- proves the
+  /// report-accounting invariant catches a real discrepancy.
+  std::optional<std::uint64_t> sabotage_tick;
+  /// Fault-injection schedule installed for the run (scenario/injector.h).
+  std::vector<fault_rule> faults;
+};
+
+struct scenario_config {
+  std::string name = "unnamed";
+  std::uint64_t ticks = 40;
+  double tick_s = 60.0;
+  std::size_t clients = 48;
+  std::size_t shards = 4;
+  bool synchronous = false;  ///< sharded_config::synchronous
+  /// Issue a wire CHECKIN per client per tick (draws shard task rng).
+  bool checkin_driven = true;
+  /// Per-zone epoch duration (epoch_config::default_epoch_s).
+  double epoch_s = 300.0;
+  stressors stress;
+};
+
+struct scenario_result {
+  std::string name;
+  std::uint64_t seed = 0;
+  bool passed = false;
+  std::vector<violation> violations;
+  /// One line per tick, driver-deterministic fields only: byte-identical
+  /// across runs of the same (config, seed). Schema: EXPERIMENTS.md.
+  std::string tick_log;
+  /// Deterministic teardown dump: the final ESTB reply frames over every
+  /// configured-operator stream, sorted by (zone, network, metric). Two
+  /// runs that end in the same published state compare byte-equal here
+  /// (the restart regression compares an interrupted run against an
+  /// uninterrupted one through this field).
+  std::string final_estb;
+};
+
+/// Runs one scenario to completion. The obs:: registry is process-global,
+/// so scenarios must run one at a time per process (the engine reads
+/// counter deltas, which tolerate prior accumulation but not concurrent
+/// runs).
+scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed);
+
+}  // namespace wiscape::scenario

@@ -1,0 +1,35 @@
+#include "scenario/injector.h"
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace wiscape::scenario {
+
+core::fault::action injector::on(core::fault::site s) noexcept {
+  const auto si = static_cast<std::size_t>(s);
+  const std::uint64_t n = seen_[si].fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t ri = 0; ri < rules_.size() && ri < rule_fired_.size();
+       ++ri) {
+    const fault_rule& r = rules_[ri];
+    if (r.site != s || n < r.after) continue;
+    if (rule_fired_[ri].load(std::memory_order_relaxed) >= r.count) continue;
+    if (r.probability < 1.0) {
+      // Pure-hash Bernoulli keyed on (seed, site, ordinal): the decision is
+      // a function of this crossing alone, never of thread interleaving.
+      const std::uint64_t h = stats::splitmix64(
+          seed_ ^ ((si + 1) * 0x9e3779b97f4a7c15ULL) ^
+          (n * 0xd1342543de82ef95ULL));
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (u >= r.probability) continue;
+    }
+    if (rule_fired_[ri].fetch_add(1, std::memory_order_relaxed) >= r.count) {
+      continue;  // another thread spent the last of this rule's budget
+    }
+    fired_[si].fetch_add(1, std::memory_order_relaxed);
+    return r.action;
+  }
+  return core::fault::action::proceed;
+}
+
+}  // namespace wiscape::scenario

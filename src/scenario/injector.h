@@ -1,0 +1,93 @@
+// Seeded fault-injection schedules over the core::fault site registry.
+//
+// The scenario engine does not sprinkle ad-hoc `if (test_mode)` branches
+// through the stack; instead each production seam fires a core::fault site
+// (src/core/fault_injection.h) and this injector decides -- deterministically
+// from (seed, site, invocation ordinal) -- whether that particular crossing
+// fails, stalls, or proceeds. The decision is a pure hash, not an rng
+// stream, so it is independent of which thread asks and of how many other
+// sites fired in between: the same seed produces the same fault schedule at
+// every site on every run, which is what makes fault-injected scenario runs
+// byte-replayable.
+//
+// Thread safety: on() is called from arbitrary threads (drain workers cross
+// the drain_stall site); the per-site counters are atomics and the rule set
+// is immutable once armed. arm_scope installs the injector process-wide for
+// a lexical region and restores the previous hook on exit -- scenarios run
+// one at a time, which the process-wide slot (and the obs registry, and the
+// scenario engine's use of registry deltas) already requires.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fault_injection.h"
+
+namespace wiscape::scenario {
+
+/// One scheduled fault: at site `site`, skip the first `after` invocations,
+/// then fire `action` with `probability` per invocation, at most `count`
+/// times. Rules are evaluated in insertion order; the first one that fires
+/// wins the invocation.
+struct fault_rule {
+  core::fault::site site = core::fault::site::queue_push;
+  std::uint64_t after = 0;
+  std::uint64_t count = std::numeric_limits<std::uint64_t>::max();
+  double probability = 1.0;
+  core::fault::action action = core::fault::action::fail;
+};
+
+class injector final : public core::fault::hook {
+ public:
+  explicit injector(std::uint64_t seed) : seed_(seed) {}
+
+  /// Adds a rule (at most 16 per injector). Must not be called after the
+  /// injector is armed (the rule set is read lock-free from arbitrary
+  /// threads). Throws std::length_error past the rule capacity.
+  void add_rule(const fault_rule& r) {
+    if (rules_.size() >= rule_fired_.size()) {
+      throw std::length_error("scenario::injector rule capacity exceeded");
+    }
+    rules_.push_back(r);
+  }
+
+  /// The fault decision for one site crossing. Deterministic in
+  /// (seed, site, per-site invocation ordinal); lock-free.
+  core::fault::action on(core::fault::site s) noexcept override;
+
+  /// Invocations of `s` observed so far (fired or not).
+  std::uint64_t seen(core::fault::site s) const noexcept {
+    return seen_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+  }
+  /// Invocations of `s` answered with a non-proceed action.
+  std::uint64_t fired(core::fault::site s) const noexcept {
+    return fired_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<fault_rule> rules_;
+  std::array<std::atomic<std::uint64_t>, core::fault::site_count> seen_{};
+  std::array<std::atomic<std::uint64_t>, core::fault::site_count> fired_{};
+  // Per-rule fire budget, parallel to rules_ (atomic: decided cross-thread).
+  mutable std::array<std::atomic<std::uint64_t>, 16> rule_fired_{};
+};
+
+/// RAII arming: installs the injector as the process-wide fault hook and
+/// restores whatever was installed before on destruction.
+class arm_scope {
+ public:
+  explicit arm_scope(injector& inj) : prev_(core::fault::install(&inj)) {}
+  ~arm_scope() { core::fault::install(prev_); }
+  arm_scope(const arm_scope&) = delete;
+  arm_scope& operator=(const arm_scope&) = delete;
+
+ private:
+  core::fault::hook* prev_;
+};
+
+}  // namespace wiscape::scenario

@@ -1,0 +1,107 @@
+#include "scenario/invariants.h"
+
+#include <sstream>
+
+namespace wiscape::scenario {
+
+std::string to_string(const violation& v) {
+  std::ostringstream os;
+  os << "tick=" << v.tick << " seed=" << v.seed << " " << v.invariant << ": "
+     << v.detail;
+  return os.str();
+}
+
+std::optional<std::string> check_report_accounting(const tick_accounting& a) {
+  std::ostringstream os;
+  if (a.submitted != a.acked + a.erred) {
+    os << "submitted=" << a.submitted << " != acked=" << a.acked
+       << " + erred=" << a.erred << " (a record vanished at the wire)";
+    return os.str();
+  }
+  if (a.apply_errors_delta != 0) {
+    os << "apply_errors_delta=" << a.apply_errors_delta
+       << " (the apply path threw on wire-reachable input)";
+    return os.str();
+  }
+  if (a.refused > a.erred) {
+    os << "refused=" << a.refused << " > erred=" << a.erred
+       << " (driver accounting bug: refused is a subset of erred)";
+    return os.str();
+  }
+  const std::uint64_t dispatched = a.acked + (a.erred - a.refused);
+  const std::uint64_t pipeline =
+      a.accepted_delta + a.rejected_delta + a.dropped_delta;
+  if (dispatched != pipeline) {
+    os << "dispatched=" << dispatched << " (acked=" << a.acked << " + erred="
+       << a.erred << " - refused=" << a.refused << ") != accepted_delta="
+       << a.accepted_delta << " + rejected_delta=" << a.rejected_delta
+       << " + dropped_delta=" << a.dropped_delta
+       << " (a dispatched record missed every pipeline counter)";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_alert_accounting(const alert_ledger& l) {
+  std::ostringstream os;
+  if (l.cursor > l.pushed) {
+    os << "cursor=" << l.cursor << " > pushed=" << l.pushed
+       << " (consumer saw sequences the ring never assigned)";
+    return os.str();
+  }
+  if (l.served_total + l.dropped_total != l.cursor) {
+    os << "served=" << l.served_total << " + dropped=" << l.dropped_total
+       << " != cursor=" << l.cursor << " (an alert push is unaccounted)";
+    return os.str();
+  }
+  if (l.fully_drained && l.cursor != l.pushed) {
+    os << "fully drained consumer stopped at cursor=" << l.cursor
+       << " with pushed=" << l.pushed << " (alerts lost without accounting)";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_staleness(const staleness_probe& p) {
+  // A stream's open epoch can span (last_sample - epoch_s, last_sample]; the
+  // frozen epoch behind it starts at most one more epoch earlier. Anything
+  // older means rollovers stopped while samples kept arriving.
+  const double floor_s = p.last_sample_s - 2.0 * p.epoch_s - p.slack_s;
+  if (p.latest_epoch_start_s < floor_s) {
+    std::ostringstream os;
+    os << "latest frozen epoch starts at " << p.latest_epoch_start_s
+       << "s but samples reach " << p.last_sample_s << "s (bound "
+       << floor_s << "s with epoch=" << p.epoch_s << "s)";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_counter_monotone(
+    const std::vector<obs::metric_sample>& prev,
+    const std::vector<obs::metric_sample>& cur) {
+  // Both are name-sorted; walk them as a merge. New names in `cur` are fine
+  // (instruments register lazily); names vanishing from `cur` are not.
+  std::size_t i = 0, j = 0;
+  while (i < prev.size()) {
+    if (!prev[i].monotone) {
+      ++i;
+      continue;
+    }
+    while (j < cur.size() && cur[j].name < prev[i].name) ++j;
+    if (j == cur.size() || cur[j].name != prev[i].name) {
+      return "monotone sample '" + prev[i].name +
+             "' disappeared between snapshots";
+    }
+    if (cur[j].value < prev[i].value) {
+      std::ostringstream os;
+      os << "monotone sample '" << prev[i].name << "' decreased: "
+         << prev[i].value << " -> " << cur[j].value;
+      return os.str();
+    }
+    ++i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wiscape::scenario

@@ -1,0 +1,95 @@
+// Machine-checked scenario invariants.
+//
+// Every scenario the engine runs declares properties that must hold at
+// every tick and at teardown; this header is the vocabulary of those
+// properties, expressed as pure checkers over plain structs so tests can
+// exercise each one against deliberately broken inputs without running a
+// scenario. A checker returns std::nullopt when the invariant holds and a
+// human-readable detail string when it does not; the engine wraps the
+// detail with the tick and seed so a red run is reproducible from its
+// failure message alone.
+//
+// The invariants (DESIGN.md §6):
+//  * report accounting -- every record a client submitted is accounted
+//    exactly once: submitted == acked + erred at the wire, and every record
+//    that reached the pipeline lands in exactly one of the coordinator's
+//    accepted/rejected/dropped counters once the pipeline is flushed, with
+//    zero apply errors.
+//  * alert accounting -- the alert ring's ledger never leaks: what a
+//    consumer was served plus what it was told it dropped equals its
+//    cursor, the cursor never passes the push count, and a fully drained
+//    consumer's cursor equals it.
+//  * estimate staleness -- a stream that keeps receiving samples keeps
+//    publishing: its latest frozen epoch is never more than two epochs (+
+//    slack) behind the newest accepted sample.
+//  * counter monotonicity -- no obs:: sample flagged monotone ever
+//    decreases between consecutive snapshots (obs::metric_sample::monotone).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace wiscape::scenario {
+
+/// One invariant failure, carrying everything needed to reproduce it.
+struct violation {
+  std::string invariant;  ///< stable checker name ("report_accounting", ...)
+  std::uint64_t tick = 0;
+  std::uint64_t seed = 0;
+  std::string detail;
+};
+
+/// Renders "tick=<t> seed=<s> <invariant>: <detail>".
+std::string to_string(const violation& v);
+
+/// Wire + pipeline accounting for one tick (deltas over the tick, except
+/// where noted). Two classes of ERR matter: a frame refused *before*
+/// dispatch ("ERR internal"/"ERR parse" -- its records never reach the
+/// coordinator, counted in `refused`) and a frame that failed *inside* the
+/// pipeline ("ERR stopped" -- a REPORTB routed across shards can partially
+/// apply before one shard's push fails, with the shortfall counted into
+/// core.sharded.reports_dropped). The identity is therefore
+///   acked + (erred - refused) == accepted + rejected + dropped.
+struct tick_accounting {
+  std::uint64_t submitted = 0;  ///< records sent this tick (driver side)
+  std::uint64_t acked = 0;      ///< records covered by ACK replies
+  std::uint64_t erred = 0;      ///< records covered by ERR replies
+  std::uint64_t refused = 0;    ///< erred records refused before dispatch
+  std::uint64_t accepted_delta = 0;  ///< core.coordinator.reports_accepted
+  std::uint64_t rejected_delta = 0;  ///< core.coordinator.reports_rejected
+  std::uint64_t dropped_delta = 0;   ///< core.sharded.reports_dropped
+  std::uint64_t apply_errors_delta = 0;  ///< core.sharded.apply_errors
+};
+std::optional<std::string> check_report_accounting(const tick_accounting& a);
+
+/// One alert consumer's ledger against the ring (cumulative values).
+struct alert_ledger {
+  std::uint64_t served_total = 0;   ///< alerts the consumer drained
+  std::uint64_t dropped_total = 0;  ///< alerts the ring reported dropped
+  std::uint64_t cursor = 0;         ///< the consumer's drain cursor
+  std::uint64_t pushed = 0;         ///< alert_ring::pushed()
+  bool fully_drained = false;       ///< teardown: consumer drained to empty
+};
+std::optional<std::string> check_alert_accounting(const alert_ledger& l);
+
+/// Staleness probe for one stream that is still receiving samples.
+struct staleness_probe {
+  double latest_epoch_start_s = 0.0;  ///< newest frozen epoch's start
+  double last_sample_s = 0.0;         ///< newest accepted sample's timestamp
+  double epoch_s = 0.0;               ///< the stream's epoch duration
+  double slack_s = 0.0;               ///< tick quantisation + clock slack
+};
+std::optional<std::string> check_staleness(const staleness_probe& p);
+
+/// No monotone-flagged sample decreases from `prev` to `cur`, and none
+/// disappears. Both snapshots must be name-sorted (obs::registry::snapshot
+/// returns them that way).
+std::optional<std::string> check_counter_monotone(
+    const std::vector<obs::metric_sample>& prev,
+    const std::vector<obs::metric_sample>& cur);
+
+}  // namespace wiscape::scenario

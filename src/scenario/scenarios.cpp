@@ -1,0 +1,94 @@
+#include "scenario/scenarios.h"
+
+#include <stdexcept>
+
+namespace wiscape::scenario {
+namespace {
+
+scenario_config base(const std::string& name) {
+  scenario_config cfg;
+  cfg.name = name;
+  cfg.ticks = 40;
+  cfg.tick_s = 60.0;
+  cfg.clients = 48;
+  cfg.shards = 4;
+  cfg.epoch_s = 300.0;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  return {"baseline",        "flash_crowd", "operator_outage",
+          "clock_skew",      "hostile_clients", "restart_mid_storm",
+          "qoe_churn",       "slow_consumer",   "fault_storm"};
+}
+
+scenario_config make_scenario(const std::string& name) {
+  scenario_config cfg = base(name);
+  if (name == "baseline") {
+    return cfg;
+  }
+  if (name == "flash_crowd") {
+    cfg.stress.flash_crowd = true;
+    cfg.stress.flash_start_s = 600.0;
+    cfg.stress.flash_end_s = 1500.0;
+    return cfg;
+  }
+  if (name == "operator_outage") {
+    cfg.stress.outage = true;
+    return cfg;
+  }
+  if (name == "clock_skew") {
+    cfg.stress.clock_skew_sigma_s = 90.0;
+    cfg.stress.gps_jitter_m = 30.0;
+    return cfg;
+  }
+  if (name == "hostile_clients") {
+    cfg.stress.hostile = true;
+    return cfg;
+  }
+  if (name == "restart_mid_storm") {
+    cfg.stress.flash_crowd = true;
+    cfg.stress.restart_tick = 20;
+    // Shard task-rng state is not persisted, so a restarted run only
+    // matches an uninterrupted one when check-ins draw no tasks.
+    cfg.checkin_driven = false;
+    return cfg;
+  }
+  if (name == "qoe_churn") {
+    cfg.stress.qoe_churn = true;
+    cfg.stress.qoe_rel_error_threshold = 0.35;
+    return cfg;
+  }
+  if (name == "slow_consumer") {
+    cfg.stress.alert_ring_capacity = 16;
+    cfg.stress.alert_drain_every = 8;
+    cfg.stress.alert_drain_max = 4;
+    return cfg;
+  }
+  if (name == "fault_storm") {
+    cfg.stress.flash_crowd = true;
+    // A sprinkle of queue refusals, five whole-request refusals, and
+    // worker-side stalls: accounting must absorb all of it.
+    cfg.stress.faults.push_back(
+        {core::fault::site::queue_push, 50, 40, 0.05,
+         core::fault::action::fail});
+    cfg.stress.faults.push_back(
+        {core::fault::site::server_handle, 100, 5, 1.0,
+         core::fault::action::fail});
+    cfg.stress.faults.push_back(
+        {core::fault::site::drain_stall, 0, 20, 0.1,
+         core::fault::action::stall});
+    return cfg;
+  }
+  std::string known;
+  for (const std::string& n : scenario_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown scenario '" + name + "' (known: " +
+                              known + ")");
+}
+
+}  // namespace wiscape::scenario

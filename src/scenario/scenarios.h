@@ -1,0 +1,42 @@
+// The named scenario catalogue.
+//
+// Each entry is a fully specified scenario_config: tests, the scenario
+// runner CLI and the bench all resolve scenarios from here by name, so "run
+// flash_crowd at seed 7" means the same run everywhere. The catalogue
+// (ISSUE 6's acceptance list plus two extras):
+//
+//   baseline          -- no stressors; the determinism and accounting floor
+//   flash_crowd       -- stadium hotspot_event + a third of the fleet
+//                        converging on it mid-run
+//   operator_outage   -- a full-outage trouble spot over operator 0's core;
+//                        probes there fail and flow through rejection
+//   clock_skew        -- per-client clock skew (sigma 90 s) + GPS jitter
+//                        (sigma 30 m)
+//   hostile_clients   -- replayed frames, NaN/absurd coordinates, malformed
+//                        frames, duplicate batches, interner-exhaustion
+//                        flood
+//   restart_mid_storm -- flash crowd with a coordinator kill + persist
+//                        restore at tick 20
+//   qoe_churn         -- clients withdraw when served estimates err badly
+//                        against ground truth
+//   slow_consumer     -- a 16-slot alert ring drained every 8 ticks, 4 at a
+//                        time (exercises dropped-alert accounting)
+//   fault_storm       -- injected queue_push / server_handle / drain_stall
+//                        faults riding a flash crowd
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/engine.h"
+
+namespace wiscape::scenario {
+
+/// Names of every catalogued scenario, in a stable order.
+std::vector<std::string> scenario_names();
+
+/// The catalogued config for `name`. Throws std::invalid_argument on an
+/// unknown name (listing the known ones).
+scenario_config make_scenario(const std::string& name);
+
+}  // namespace wiscape::scenario

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
@@ -566,6 +567,43 @@ TEST(ApplyPathCoordinator, MetricsOfMatchesKindFor) {
     }
   }
   EXPECT_EQ(trace::metrics_of(trace::probe_kind::udp_burst).size(), 3u);
+}
+
+TEST(ApplyPath, NonFiniteAndSaturatedTimestampsTerminate) {
+  // Regression (found by the scenario fuzz corpus): a +inf timestamp made
+  // cross_epochs spin forever -- open_start + duration == open_start at fp
+  // saturation, so the rollover walk never advanced. add_sample must
+  // terminate for ANY double, because the coordinator boundary is the only
+  // validation layer and direct zone_table users have none.
+  core::zone_table table(2.0, {"NetB"});
+  const geo::zone_id z{1, 1};
+  const auto nid = table.interner().id_of("NetB");
+  for (const double poison :
+       {std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(), 1.0e308, -1.0e308}) {
+    table.add_sample(z, nid, trace::metric::rtt_s, poison, 0.1, 300.0);
+    // A normal-time sample on the now-poisoned stream must also terminate.
+    table.add_sample(z, nid, trace::metric::rtt_s, 100.0, 0.1, 300.0);
+  }
+  // And the coordinator boundary rejects non-finite timestamps outright.
+  geo::projection proj(cellnet::anchors::madison);
+  geo::zone_grid grid(proj, 250.0);
+  coordinator coord(grid, {"NetB"}, {}, 1);
+  obs::counter& rejected =
+      obs::registry::global().get_counter(obs::names::kCoordReportsRejected);
+  const std::uint64_t rejected0 = rejected.value();
+  trace::measurement_record rec;
+  rec.network = "NetB";
+  rec.pos = proj.to_lat_lon({10.0, 10.0});
+  rec.kind = trace::probe_kind::ping;
+  rec.success = true;
+  rec.rtt_s = 0.1;
+  rec.time_s = std::numeric_limits<double>::infinity();
+  coord.report(rec);
+  rec.time_s = std::numeric_limits<double>::quiet_NaN();
+  coord.report(rec);
+  EXPECT_EQ(rejected.value(), rejected0 + 2);
 }
 
 }  // namespace

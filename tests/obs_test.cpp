@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -194,6 +195,57 @@ TEST(ObsSnapshotWriter, OneShotSnapshotMatchesRegistry) {
   EXPECT_EQ(os.str(),
             "{\"seq\":7,\"uptime_s\":1.250,\"metrics\":"
             "{\"one.count\":5,\"one.level\":-2}}\n");
+}
+
+TEST(ObsRegistry, SnapshotFlagsMonotoneSamples) {
+  registry reg;
+  reg.get_counter("m.count").inc(3);
+  reg.get_gauge("m.level").set(4);
+  reg.get_histogram("m.lat_s").record(0.5);
+  for (const metric_sample& s : reg.snapshot()) {
+    if (s.name == "m.level") {
+      // Gauges move both ways; never monotone.
+      EXPECT_FALSE(s.monotone) << s.name;
+    } else {
+      // Counters and every histogram-derived sample (cumulative buckets,
+      // count, sum) only grow.
+      EXPECT_TRUE(s.monotone) << s.name;
+    }
+  }
+}
+
+TEST(ObsRegistry, NoMonotoneSampleDecreasesBetweenSnapshots) {
+  // Regression for the scenario engine's counter-monotonicity invariant:
+  // under concurrent traffic, consecutive snapshots never show a monotone
+  // sample decreasing (or disappearing).
+  registry reg;
+  counter& c = reg.get_counter("mono.count");
+  histogram& h = reg.get_histogram("mono.lat_s");
+  gauge& g = reg.get_gauge("mono.level");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.inc();
+      h.record(1e-5 * static_cast<double>(i % 2000));
+      g.set(static_cast<std::int64_t>(i % 17) - 8);
+      ++i;
+    }
+  });
+  std::vector<metric_sample> prev = reg.snapshot();
+  for (int round = 0; round < 200; ++round) {
+    std::vector<metric_sample> cur = reg.snapshot();
+    std::size_t pi = 0;
+    for (const metric_sample& s : cur) {
+      while (pi < prev.size() && prev[pi].name < s.name) ++pi;
+      if (pi == prev.size()) break;
+      if (prev[pi].name != s.name || !prev[pi].monotone) continue;
+      EXPECT_GE(s.value, prev[pi].value) << s.name << " round " << round;
+    }
+    prev = std::move(cur);
+  }
+  stop.store(true);
+  writer.join();
 }
 
 }  // namespace

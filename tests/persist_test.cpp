@@ -49,13 +49,75 @@ TEST(Persist, RestoredTableKeepsAccumulating) {
   auto back = load_zone_table(ss);
 
   // New samples after a restart roll into fresh epochs with alerts intact.
+  // The v2 format carries the interrupted open epoch (20 samples at
+  // t = 300..319), so the first post-restart sample first freezes THAT
+  // epoch, then accumulates into a new one: +2 frozen estimates, not +1.
   const estimate_key a{{3, -2}, "NetB", trace::metric::udp_throughput_bps};
   const std::size_t before = back.history(a).size();
   for (int i = 0; i < 10; ++i) {
     back.add_sample(a, 1000.0 + i, 1e6, 100.0);
   }
   back.add_sample(a, 1200.0, 1e6, 100.0);  // rollover
-  EXPECT_EQ(back.history(a).size(), before + 1);
+  const auto hist = back.history(a);
+  ASSERT_EQ(hist.size(), before + 2);
+  // The recovered epoch publishes all 20 pre-restart samples.
+  EXPECT_EQ(hist[before].samples, 20u);
+  EXPECT_NEAR(hist[before].epoch_start_s, 300.0, 1e-9);
+}
+
+TEST(Persist, V2RoundTripIsBitExact) {
+  const auto t = populated_table();
+  std::stringstream ss;
+  save_zone_table(ss, t);
+  const auto back = load_zone_table(ss);
+
+  // %.17g printing makes the text round trip lossless: every double
+  // compares equal bit-for-bit, and re-saving reproduces the same bytes.
+  for (const auto& key : t.keys()) {
+    const auto orig = t.history(key);
+    const auto rest = back.history(key);
+    ASSERT_EQ(rest.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      EXPECT_EQ(rest[i].mean, orig[i].mean);
+      EXPECT_EQ(rest[i].stddev, orig[i].stddev);
+      EXPECT_EQ(rest[i].samples, orig[i].samples);
+      EXPECT_EQ(rest[i].epoch_start_s, orig[i].epoch_start_s);
+    }
+  }
+  std::stringstream again;
+  save_zone_table(again, back);
+  EXPECT_EQ(again.str(), ss.str());
+}
+
+TEST(Persist, OpenEpochStateRoundTrips) {
+  const auto t = populated_table();
+  const estimate_key a{{3, -2}, "NetB", trace::metric::udp_throughput_bps};
+  const auto open = t.open_state(a);
+  ASSERT_TRUE(open.has_value());
+  EXPECT_EQ(open->n, 20u);
+
+  std::stringstream ss;
+  save_zone_table(ss, t);
+  const auto back = load_zone_table(ss);
+  const auto restored = back.open_state(a);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->open_start_s, open->open_start_s);
+  EXPECT_EQ(restored->n, open->n);
+  EXPECT_EQ(restored->mean, open->mean);
+  EXPECT_EQ(restored->m2, open->m2);
+}
+
+TEST(Persist, LoadsLegacyV1Header) {
+  // Pre-v2 snapshots (EST lines only, fixed precision) must keep loading.
+  std::stringstream v1(
+      "WISCAPE-ZONETABLE v1\n"
+      "EST 3:-2 NetB udp_throughput 0.000 1000000.0 50000.0 20\n");
+  const auto back = load_zone_table(v1);
+  const estimate_key a{{3, -2}, "NetB", trace::metric::udp_throughput_bps};
+  const auto hist = back.history(a);
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0].samples, 20u);
+  EXPECT_FALSE(back.open_state(a).has_value());
 }
 
 TEST(Persist, DeterministicFileOrder) {

@@ -5,8 +5,17 @@
 
 #include <cmath>
 
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "core/dominance.h"
 #include "core/sample_planner.h"
+#include "core/sharded_coordinator.h"
+#include "obs/names.h"
+#include "obs/registry.h"
+#include "proto/server.h"
 #include "geo/zone_grid.h"
 #include "probe/engine.h"
 #include "proto/messages.h"
@@ -264,6 +273,121 @@ TEST_P(FuzzSweep, ProtoDecodersNeverAcceptGarbage) {
     (void)proto::message_type(line);
   }
   SUCCEED();
+}
+
+TEST_P(FuzzSweep, HostileRecordsNeverThrowAndAlwaysAccount) {
+  // A hostile-client corpus hammered at a live wire server: NaN/Inf
+  // coordinates, zones far outside the +-2^23 index range, thousands of
+  // distinct operator names (interner exhaustion), and duplicated REPORTB
+  // frames. The coordinator must never throw, and every record must land in
+  // exactly one of the accepted/rejected counters.
+  stats::rng_stream rng(GetParam());
+  geo::projection proj(cellnet::anchors::madison);
+  geo::zone_grid grid(proj, 250.0);
+  core::sharded_config scfg;
+  scfg.num_shards = 1;
+  scfg.synchronous = true;  // counters are exact without a flush
+  core::sharded_coordinator coord(grid, {"NetB", "NetC"}, scfg, GetParam());
+  proto::coordinator_server server(coord);
+
+  obs::registry& reg = obs::registry::global();
+  const std::uint64_t accepted0 =
+      reg.get_counter(obs::names::kCoordReportsAccepted).value();
+  const std::uint64_t rejected0 =
+      reg.get_counter(obs::names::kCoordReportsRejected).value();
+  const std::uint64_t apply_err0 =
+      reg.get_counter(obs::names::kShardedApplyErrors).value();
+
+  std::uint64_t acked = 0, erred_records = 0;
+  auto send = [&](std::span<const trace::measurement_record> recs) {
+    const std::string reply =
+        server.handle(proto::encode_report_batch(recs));
+    if (proto::message_type(reply) == "ACK") {
+      acked += recs.size();
+    } else {
+      erred_records += recs.size();
+    }
+  };
+
+  static constexpr double kPoison[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      1.0e308,
+      -1.0e308,
+      4.0e7,   // ~2^23 zones past the grid origin at 250 m
+      -4.0e7,
+  };
+  std::vector<trace::measurement_record> batch;
+  for (int i = 0; i < 400; ++i) {
+    trace::measurement_record r;
+    r.time_s = rng.uniform(0.0, 86400.0);
+    r.kind = trace::probe_kind::udp_burst;
+    r.success = true;
+    r.throughput_bps = rng.uniform(-1e9, 1e9);
+    const int shape = static_cast<int>(rng.uniform_int(0, 3));
+    if (shape == 0) {
+      // Poisoned coordinates on a configured operator.
+      r.network = rng.chance(0.5) ? "NetB" : "NetC";
+      r.pos = {kPoison[rng.uniform_int(0, 6)], kPoison[rng.uniform_int(0, 6)]};
+    } else if (shape == 1) {
+      // One-off operator names: floods the per-shard interner.
+      r.network = "Hostile" + std::to_string(i) + "_" +
+                  std::to_string(GetParam());
+      r.pos = proj.to_lat_lon({rng.uniform(-500.0, 500.0), 0.0});
+    } else if (shape == 2) {
+      // Valid position, poisoned timestamp.
+      r.network = "NetB";
+      r.pos = proj.to_lat_lon({0.0, rng.uniform(-500.0, 500.0)});
+      r.time_s = kPoison[rng.uniform_int(0, 4)];
+    } else {
+      r.network = "NetC";
+      r.pos = proj.to_lat_lon(
+          {rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0)});
+    }
+    batch.push_back(std::move(r));
+    if (batch.size() == 25) {
+      ASSERT_NO_THROW(send(batch));
+      if (rng.chance(0.3)) {
+        ASSERT_NO_THROW(send(batch));  // duplicate frame
+      }
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    ASSERT_NO_THROW(send(batch));
+  }
+
+  // 4096+ distinct names in one shard: the interner cap must reject the
+  // tail without throwing.
+  std::vector<trace::measurement_record> flood;
+  const geo::lat_lon pinned = proj.to_lat_lon({100.0, 100.0});
+  for (int k = 0; k < 4300; ++k) {
+    trace::measurement_record r;
+    r.time_s = 100.0;
+    r.network = "Flood" + std::to_string(k);
+    r.pos = pinned;
+    r.kind = trace::probe_kind::ping;
+    r.success = true;
+    r.rtt_s = 0.1;
+    flood.push_back(std::move(r));
+    if (flood.size() == 100) {
+      ASSERT_NO_THROW(send(flood));
+      flood.clear();
+    }
+  }
+
+  const std::uint64_t accepted_delta =
+      reg.get_counter(obs::names::kCoordReportsAccepted).value() - accepted0;
+  const std::uint64_t rejected_delta =
+      reg.get_counter(obs::names::kCoordReportsRejected).value() - rejected0;
+  // Every acked record landed in exactly one counter; nothing threw inside
+  // the apply path; erred frames (if any) never reached the counters.
+  EXPECT_EQ(acked, accepted_delta + rejected_delta);
+  EXPECT_GT(rejected_delta, 0u);  // the corpus genuinely exercised rejection
+  EXPECT_EQ(reg.get_counter(obs::names::kShardedApplyErrors).value(),
+            apply_err0);
+  (void)erred_records;
 }
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, FuzzSweep,

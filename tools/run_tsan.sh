@@ -49,4 +49,12 @@ echo "== query path / estimate view under TSan =="
 "$build_dir"/tests/wiscape_tests \
   --gtest_filter='EstimateView.*:EstimateMirror.*:AlertRing.*:ProtoServerV2.*'
 
+# The scenario engine drives the whole stack (wire frames -> sharded
+# drain workers -> alert ring -> query path) under fault injection and
+# restart; rerunning it on its own keeps any race it provokes at the end
+# of the log next to the scenario name that triggered it.
+echo "== scenario engine under TSan =="
+"$build_dir"/tests/wiscape_tests \
+  --gtest_filter='Scenario.*:Invariants.*:Injector.*'
+
 echo "TSan run clean."
