@@ -12,6 +12,12 @@ const char* site_name(site s) noexcept {
       return "server_handle";
     case site::persist_save:
       return "persist_save";
+    case site::accept_fail:
+      return "accept_fail";
+    case site::read_stall:
+      return "read_stall";
+    case site::write_full:
+      return "write_full";
   }
   return "unknown";
 }

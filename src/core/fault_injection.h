@@ -2,9 +2,10 @@
 //
 // Production code consults a process-wide hook at a small, named set of
 // seams -- the report queue's producer edge, the sharded drain loop, the
-// wire server's request dispatch, and the persistence writer -- so a
-// scenario can make *real* code paths fail (a full queue, a stalled
-// consumer, a dying transport) instead of mocking them. With no hook
+// wire server's request dispatch, the persistence writer, and the TCP
+// front end's accept/read/write edges (src/net) -- so a scenario can make
+// *real* code paths fail (a full queue, a stalled consumer, a dying
+// transport) instead of mocking them. With no hook
 // installed (the default, and the only state outside scenario runs) every
 // seam costs one relaxed atomic load and a predicted-not-taken branch;
 // behaviour is bit-for-bit the un-instrumented code.
@@ -44,8 +45,13 @@ enum class site {
   drain_stall,   ///< sharded_coordinator drain worker, before applying a batch
   server_handle, ///< proto::coordinator_server::handle, before dispatch
   persist_save,  ///< core::save_coordinator_state, before writing
+  accept_fail,   ///< net::tcp_server accept edge: fail closes the new socket
+  read_stall,    ///< net session read edge (worker thread: timing-only stall
+                 ///< in scenarios, like drain_stall; fail closes the session)
+  write_full,    ///< net session write flush: fail = socket unwritable this
+                 ///< round (backpressure on the writer); stall sleeps briefly
 };
-inline constexpr int site_count = 4;
+inline constexpr int site_count = 7;
 
 /// Stable lower_snake_case name of a site (tick logs, schedules).
 const char* site_name(site s) noexcept;

@@ -418,6 +418,14 @@ std::size_t sharded_coordinator::queue_depth() const {
   return total;
 }
 
+double sharded_coordinator::ingest_saturation() const noexcept {
+  if (cfg_.synchronous || cfg_.queue_capacity == 0) return 0.0;
+  std::size_t worst = 0;
+  for (const auto& sh : shards_) worst = std::max(worst, sh->queue.size());
+  return std::min(1.0, static_cast<double>(worst) /
+                           static_cast<double>(cfg_.queue_capacity));
+}
+
 shard_stats sharded_coordinator::stats_of(std::size_t shard_index) const {
   const shard& sh = *shards_.at(shard_index);
   shard_stats out;

@@ -32,7 +32,7 @@
 //
 // Observability: the pipeline feeds the `core.sharded.*` metrics plus the
 // per-shard `core.sharded.shard<i>.{routed,drained}` family (src/obs/
-// names.h; reference table in DESIGN.md §5). To keep report() free of
+// names.h; reference table in docs/RUNBOOK.md). To keep report() free of
 // registry work, the routed counters are published as deltas of the
 // internal enqueue counter at drain and flush boundaries -- mid-run
 // snapshots can lag by up to one drain batch, but after flush() they
@@ -206,6 +206,13 @@ class sharded_coordinator {
   /// Reports enqueued but not yet applied, summed over shards.
   std::size_t queue_depth() const;
   shard_stats stats_of(std::size_t shard) const;
+
+  /// How full the ingest queues are, as the *worst* shard's depth /
+  /// capacity in [0, 1]. The max (not the mean) is the backpressure signal:
+  /// one saturated shard stalls every producer that routes to it, so a
+  /// transport shedding on this value sheds before any producer blocks.
+  /// 0.0 in synchronous mode (no queues). Lock-free; safe from any thread.
+  double ingest_saturation() const noexcept;
 
  private:
   struct shard;

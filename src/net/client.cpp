@@ -1,0 +1,148 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace wiscape::net {
+
+line_client::line_client(line_client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rx_(std::move(other.rx_)),
+      rx_pos_(std::exchange(other.rx_pos_, 0)) {}
+
+line_client& line_client::operator=(line_client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    rx_ = std::move(other.rx_);
+    rx_pos_ = std::exchange(other.rx_pos_, 0);
+  }
+  return *this;
+}
+
+void line_client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+  rx_pos_ = 0;
+}
+
+bool line_client::try_connect(const std::string& host, std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  return true;
+}
+
+void line_client::connect(const std::string& host, std::uint16_t port) {
+  if (!try_connect(host, port)) {
+    throw std::system_error(errno, std::generic_category(),
+                            "line_client::connect " + host);
+  }
+}
+
+std::string_view line_client::read_line() {
+  for (;;) {
+    const std::size_t nl = rx_.find('\n', rx_pos_);
+    if (nl != std::string::npos) {
+      std::string_view line(rx_.data() + rx_pos_, nl - rx_pos_);
+      rx_pos_ = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      return line;
+    }
+    // Compact the consumed prefix before growing the buffer further.
+    if (rx_pos_ > 0 && rx_pos_ == rx_.size()) {
+      rx_.clear();
+      rx_pos_ = 0;
+    } else if (rx_pos_ > 65536) {
+      rx_.erase(0, rx_pos_);
+      rx_pos_ = 0;
+    }
+    char buf[16384];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, buf, sizeof buf, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      throw std::runtime_error(n == 0
+                                   ? "line_client: connection closed by peer"
+                                   : "line_client: recv failed: " +
+                                         std::string(std::strerror(errno)));
+    }
+    rx_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string line_client::request(std::string_view req) {
+  if (fd_ < 0) throw std::runtime_error("line_client: not connected");
+  std::string framed;
+  framed.reserve(req.size() + 1);
+  framed.append(req);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n;
+    do {
+      n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                 MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      throw std::runtime_error("line_client: send failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // The reply: its first line announces how many payload lines follow.
+  std::string reply(read_line());
+  const std::size_t extra = proto::reply_extra_lines(reply);
+  for (std::size_t i = 0; i < extra; ++i) {
+    const std::string_view line = read_line();
+    reply.push_back('\n');
+    reply.append(line);
+  }
+  return reply;
+}
+
+proto::hello_reply line_client::hello(std::uint32_t version) {
+  proto::hello_request req;
+  req.version = version;
+  const std::string reply = request(proto::encode(req));
+  if (proto::message_type(reply) != "HELLO") {
+    throw std::runtime_error("line_client: HELLO rejected: " +
+                             proto::error_excerpt(reply));
+  }
+  return proto::decode_hello_reply(reply);
+}
+
+}  // namespace wiscape::net

@@ -1,0 +1,70 @@
+// Blocking line-protocol TCP client for tests, benches and the scenario
+// engine's over-TCP mode.
+//
+// line_client speaks one synchronous request/reply exchange at a time over
+// a persistent connection: send the request (single line or REPORTB/QUERYB
+// frame) plus the terminating newline, then read exactly one reply -- the
+// first line plus however many payload lines its header announces
+// (proto::reply_extra_lines), with the trailing newline stripped so the
+// returned string is byte-identical to what the in-process
+// proto::coordinator_server::handle() would have returned. That equivalence
+// is what lets the scenario engine and benches swap transports without
+// changing any accounting.
+//
+// request() throws std::runtime_error when the connection dies mid-exchange
+// (EOF or a socket error); callers that expect churn (the connection_churn
+// scenario) catch it, reconnect and re-negotiate HELLO. Not thread-safe:
+// one client, one thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "proto/messages.h"
+
+namespace wiscape::net {
+
+class line_client {
+ public:
+  line_client() = default;
+  ~line_client() { close(); }
+
+  line_client(const line_client&) = delete;
+  line_client& operator=(const line_client&) = delete;
+  line_client(line_client&& other) noexcept;
+  line_client& operator=(line_client&& other) noexcept;
+
+  /// Connects to host:port (IPv4 dotted quad). Throws std::system_error
+  /// when the connection fails. Reconnecting an open client closes the old
+  /// connection first.
+  void connect(const std::string& host, std::uint16_t port);
+
+  /// connect() that reports refusal instead of throwing: false when the
+  /// TCP connect fails (server down / kill storm), for callers that count
+  /// refused connects.
+  bool try_connect(const std::string& host, std::uint16_t port);
+
+  void close() noexcept;
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// One synchronous exchange: sends `request` + '\n' and returns the full
+  /// reply (multi-line frames included) without its trailing newline.
+  /// Throws std::runtime_error when the connection dies mid-exchange.
+  std::string request(std::string_view req);
+
+  /// HELLO handshake convenience; throws std::runtime_error when the server
+  /// answers anything but HELLO.
+  proto::hello_reply hello(std::uint32_t version = proto::wire_version);
+
+ private:
+  /// Reads up to (and including) the next '\n'; the returned line excludes
+  /// it. Throws on EOF/error.
+  std::string_view read_line();
+
+  int fd_ = -1;
+  std::string rx_;          ///< bytes received, not yet consumed
+  std::size_t rx_pos_ = 0;  ///< consumed prefix of rx_
+};
+
+}  // namespace wiscape::net

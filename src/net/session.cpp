@@ -1,0 +1,172 @@
+#include "net/session.h"
+
+#include <charconv>
+
+#include "proto/messages.h"
+
+namespace wiscape::net {
+
+namespace {
+
+/// Payload-line count a request's first line announces: "REPORTB <n>" and
+/// "QUERYB <n>" are followed by n lines, everything else by none. Returns
+/// npos for a frame header whose count is malformed or exceeds the
+/// protocol cap -- the session answers ERR and disconnects rather than
+/// misreading the payload lines as requests.
+constexpr std::size_t invalid_frame = byte_ring::npos;
+
+std::size_t payload_lines(std::string_view header) {
+  const std::size_t sp = header.find_first_of(" \t\r");
+  const std::string_view tag =
+      sp == std::string_view::npos ? header : header.substr(0, sp);
+  std::size_t cap = 0;
+  if (tag == "REPORTB") {
+    cap = proto::max_report_batch;
+  } else if (tag == "QUERYB") {
+    cap = proto::max_query_batch;
+  } else {
+    return 0;
+  }
+  if (sp == std::string_view::npos) return invalid_frame;
+  const std::string_view rest = header.substr(sp + 1);
+  const std::size_t b = rest.find_first_not_of(" \t");
+  if (b == std::string_view::npos) return invalid_frame;
+  std::size_t e = b;
+  while (e < rest.size() && rest[e] >= '0' && rest[e] <= '9') ++e;
+  if (e == b) return invalid_frame;
+  std::size_t n = 0;
+  if (std::from_chars(rest.data() + b, rest.data() + e, n).ec != std::errc{}) {
+    return invalid_frame;
+  }
+  // Trailing garbage after the count is the decoder's problem (it answers
+  // ERR parse); only the count itself gates framing.
+  return n > cap ? invalid_frame : n;
+}
+
+/// The first line of the (possibly wrapped) request, copied into `buf` up
+/// to its size -- enough to read a frame header's tag and count without
+/// linearizing the whole ring.
+std::string_view header_prefix(const byte_ring& ring, std::size_t line_len,
+                               std::span<char> buf) {
+  const std::size_t n = std::min(line_len, buf.size());
+  const auto spans = ring.read_spans();
+  const std::size_t first = std::min(n, spans[0].size());
+  std::memcpy(buf.data(), spans[0].data(), first);
+  if (first < n) std::memcpy(buf.data() + first, spans[1].data(), n - first);
+  return {buf.data(), n};
+}
+
+}  // namespace
+
+request_class classify(std::string_view type) noexcept {
+  if (type == "QUERY" || type == "QUERYB" || type == "ALERTS") {
+    return request_class::query;
+  }
+  if (type == "REPORT" || type == "REPORTB") return request_class::report;
+  return request_class::control;
+}
+
+bool session::queue_reply(std::string_view reply) {
+  if (reply.size() + 1 > out_.headroom() || !out_.append(reply) ||
+      !out_.append('\n')) {
+    set_reason(close_reason::slow_reader);
+    return false;
+  }
+  return true;
+}
+
+bool session::dispatch(std::size_t len, const shed_state& shed,
+                       pump_stats& stats) {
+  // The request view: everything up to (not including) the final newline.
+  std::string_view req = in_.linearize().substr(0, len - 1);
+  if (!req.empty() && req.back() == '\r') req.remove_suffix(1);
+  if (req.find('\r') != std::string_view::npos) {
+    // Telnet cold path: a CRLF-framed multi-line frame. Rebuild without the
+    // '\r' that precedes each '\n' so payload decoders see clean lines.
+    scratch_.clear();
+    scratch_.reserve(req.size());
+    for (std::size_t i = 0; i < req.size(); ++i) {
+      if (req[i] == '\r' && i + 1 < req.size() && req[i + 1] == '\n') continue;
+      scratch_.push_back(req[i]);
+    }
+    req = scratch_;
+  }
+
+  const std::string_view type = proto::message_type(req);
+  if (require_hello_ && !saw_hello_ && type != "HELLO") {
+    queue_reply(proto::encode_error(proto::err_code::version,
+                                    "HELLO required before any command"));
+    set_reason(close_reason::hello_violation);
+    return false;
+  }
+
+  const request_class cls = classify(type);
+  bool do_shed = false;
+  if (cls != request_class::control && shed.saturation >= shed.start) {
+    do_shed = shed.saturation >= shed.hard ||
+              (shed.policy == shed_policy::queries_first
+                   ? cls == request_class::query
+                   : cls == request_class::report);
+  }
+  if (do_shed) {
+    if (cls == request_class::query) {
+      ++stats.shed_queries;
+    } else {
+      ++stats.shed_reports;
+    }
+    return queue_reply(proto::encode_error(
+        proto::err_code::overload, "ingest saturated; retry with backoff"));
+  }
+
+  const std::string reply = handler_->handle(req);
+  ++stats.dispatched;
+  if (type == "HELLO" && proto::message_type(reply) == "HELLO") {
+    saw_hello_ = true;
+  }
+  return queue_reply(reply);
+}
+
+bool session::pump(const shed_state& shed, pump_stats& stats) {
+  for (;;) {
+    // Advance the line scan until the current request is complete.
+    std::size_t request_len = 0;
+    while (request_len == 0) {
+      const std::size_t nl = in_.find('\n', scan_);
+      if (nl == byte_ring::npos) {
+        // Incomplete. A read ring at its cap that still holds no complete
+        // request can never complete one: answer ERR and disconnect.
+        if (in_.full()) {
+          queue_reply(proto::encode_error(
+              proto::err_code::parse, "request exceeds the read buffer cap"));
+          set_reason(close_reason::oversize);
+          return false;
+        }
+        return true;
+      }
+      if (frame_lines_total_ == 0) {
+        // First line of a new request: does it announce payload lines?
+        char buf[64];
+        const std::size_t n = payload_lines(header_prefix(in_, nl, buf));
+        if (n == invalid_frame) {
+          queue_reply(proto::encode_error(proto::err_code::parse,
+                                          "malformed batch frame header"));
+          set_reason(close_reason::bad_frame);
+          return false;
+        }
+        frame_lines_total_ = 1 + n;
+        frame_lines_found_ = 0;
+      }
+      ++frame_lines_found_;
+      scan_ = nl + 1;
+      if (frame_lines_found_ == frame_lines_total_) request_len = scan_;
+    }
+
+    if (!dispatch(request_len, shed, stats)) return false;
+    in_.consume(request_len);
+    scan_ = 0;
+    frame_lines_total_ = 0;
+    frame_lines_found_ = 0;
+  }
+}
+
+}  // namespace wiscape::net

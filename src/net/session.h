@@ -1,0 +1,139 @@
+// One TCP session's protocol state machine, decoupled from its socket.
+//
+// A session owns the two byte_rings of one connection and everything the
+// transport must decide *between* the socket and proto::coordinator_server:
+//   * framing -- requests are '\n'-terminated lines, except the REPORTB /
+//     QUERYB frames whose header announces how many payload lines follow;
+//     pump() extracts exactly one complete request at a time, tolerating
+//     partial arrivals (a frame split across any number of reads) and
+//     telnet-style CRLF line endings;
+//   * HELLO gating -- when the server requires negotiation-first, any
+//     command before a successful HELLO answers "ERR version" and closes
+//     the session (docs/WIRE_PROTOCOL.md, transport rules);
+//   * backpressure -- per the shed policy, QUERY-class or REPORT-class
+//     requests are answered "ERR overload" without dispatching while the
+//     ingest pipeline is saturated, so the event loop never blocks behind
+//     a full report queue;
+//   * bounded-buffer policy -- a request that outgrows the read ring, or
+//     replies that outgrow the write ring (a slow reader), close the
+//     session with a typed reason the server counts.
+//
+// The class is deliberately socket-free: the event loop feeds bytes into
+// in() and drains out() to the fd, and tests drive the same state machine
+// byte-for-byte without a kernel in the loop. Not thread-safe -- a session
+// belongs to the one event-loop thread that accepted it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/byte_ring.h"
+#include "proto/server.h"
+
+namespace wiscape::net {
+
+/// Which class of request the backpressure policy sheds first.
+enum class shed_policy {
+  queries_first,  ///< protect ingest: shed QUERY/QUERYB/ALERTS before reports
+  reports_first,  ///< protect serving: shed REPORT/REPORTB before queries
+};
+
+/// Why a session ended (drives the per-reason disconnect counters).
+enum class close_reason {
+  none,             ///< still open
+  peer_eof,         ///< orderly close by the peer
+  io_error,         ///< read/write syscall failed (or injected read fault)
+  oversize,         ///< request exceeded the read-ring cap before completing
+  slow_reader,      ///< replies exceeded the write-ring cap
+  hello_violation,  ///< command before HELLO while negotiation is required
+  bad_frame,        ///< REPORTB/QUERYB header with a malformed/hostile count
+  idle_timeout,     ///< no complete request within the idle window
+  shutdown,         ///< server stopping
+};
+
+/// Shed class of a request type (classify()).
+enum class request_class { query, report, control };
+
+/// Maps a message-type tag to its shed class: QUERY/QUERYB/ALERTS are
+/// query-class, REPORT/REPORTB are report-class, everything else (CHECKIN,
+/// HELLO, STATS, unknown) is control and never shed.
+request_class classify(std::string_view type) noexcept;
+
+/// Per-session buffer caps and protocol gates (server_config embeds one).
+struct session_limits {
+  std::size_t read_buffer_bytes = 1u << 20;   ///< request cap (ring max)
+  std::size_t write_buffer_bytes = 4u << 20;  ///< queued-replies cap
+  bool require_hello = true;  ///< enforce HELLO-before-anything on this port
+};
+
+/// One pump() call's view of the backpressure state. The event loop caches
+/// the saturation value (refreshing it every few dispatches) so sessions
+/// never call into the coordinator on the fast path.
+struct shed_state {
+  shed_policy policy = shed_policy::queries_first;
+  double saturation = 0.0;  ///< core::sharded_coordinator::ingest_saturation
+  double start = 0.75;      ///< >= start: shed the policy's first class
+  double hard = 0.95;       ///< >= hard: shed both classes (control serves)
+};
+
+/// What one pump() call did, for the caller's metric accounting.
+struct pump_stats {
+  std::uint64_t dispatched = 0;    ///< requests handed to the line handler
+  std::uint64_t shed_queries = 0;  ///< query-class answered ERR overload
+  std::uint64_t shed_reports = 0;  ///< report-class answered ERR overload
+};
+
+class session {
+ public:
+  session(const session_limits& limits, proto::coordinator_server& handler)
+      : in_(limits.read_buffer_bytes),
+        out_(limits.write_buffer_bytes),
+        handler_(&handler),
+        require_hello_(limits.require_hello) {}
+
+  /// Receive ring: the socket (or a test) appends raw bytes here.
+  byte_ring& in() noexcept { return in_; }
+  /// Transmit ring: replies accumulate here until flushed to the socket.
+  byte_ring& out() noexcept { return out_; }
+
+  /// Extracts and answers every complete request currently buffered.
+  /// Replies (with a trailing '\n') are appended to out(). Returns false
+  /// when the session must be disconnected -- reason() says why, and any
+  /// final ERR reply is already in out() for a best-effort flush.
+  bool pump(const shed_state& shed, pump_stats& stats);
+
+  close_reason reason() const noexcept { return reason_; }
+  /// Records the close reason if none is set yet (first reason wins).
+  void set_reason(close_reason r) noexcept {
+    if (reason_ == close_reason::none) reason_ = r;
+  }
+  bool saw_hello() const noexcept { return saw_hello_; }
+  /// True when a frame header has been read but its payload is incomplete
+  /// (an idle timeout firing now cuts a request mid-frame).
+  bool mid_frame() const noexcept { return frame_lines_total_ > 1; }
+
+ private:
+  /// Appends `reply` + '\n' to out(); false = write ring overflow.
+  bool queue_reply(std::string_view reply);
+  /// Handles one complete request of `len` bytes (including the final
+  /// newline) sitting at the front of in(). Returns false to disconnect.
+  bool dispatch(std::size_t len, const shed_state& shed, pump_stats& stats);
+
+  byte_ring in_;
+  byte_ring out_;
+  proto::coordinator_server* handler_;
+  bool require_hello_;
+  bool saw_hello_ = false;
+  close_reason reason_ = close_reason::none;
+
+  // Framing cursor: scan_ is the in_-offset where the newline search
+  // resumes; frame_lines_total_/found_ track the multi-line frame in
+  // progress (total == 0 means the next line decides).
+  std::size_t scan_ = 0;
+  std::size_t frame_lines_total_ = 0;
+  std::size_t frame_lines_found_ = 0;
+  std::string scratch_;  ///< CRLF-stripped copy (telnet cold path only)
+};
+
+}  // namespace wiscape::net

@@ -2,7 +2,7 @@
 //
 // Every metric the system registers is named here, in one place, so that
 // (a) call sites cannot drift apart on spelling, and (b) tools/check_docs.sh
-// can mechanically verify that DESIGN.md's "Observability" reference table
+// can mechanically verify that docs/RUNBOOK.md's metric reference table
 // documents every name. Naming convention: `<layer>.<component>.<what>`,
 // lower_snake_case, with the unit as a suffix where one applies (`_s` for
 // seconds). Per-shard counters are the one dynamic family: they are built
@@ -143,5 +143,53 @@ inline constexpr char kServerAlertsLatency[] = "proto.server.alerts_latency_s";
 /// seam). Zero outside scenario runs; each refusal also counts into
 /// proto.server.err_internal (the reply is "ERR internal").
 inline constexpr char kServerFaultsInjected[] = "proto.server.faults_injected";
+/// ERR replies: request shed by the TCP front end's backpressure policy
+/// before dispatch (the line handler itself never sheds).
+inline constexpr char kServerErrOverload[] = "proto.server.err_overload";
+
+// ---- net::tcp_server ------------------------------------------------------
+/// Connections accepted (sessions created). [connections]
+inline constexpr char kNetAccepts[] = "net.server.accepts";
+/// Accepted connections closed immediately by an injected accept_fail fault
+/// (scenario engine). Zero outside scenario runs. [connections]
+inline constexpr char kNetAcceptFaults[] = "net.server.accept_faults";
+/// Currently open sessions, across all event loops. [gauge, sessions]
+inline constexpr char kNetActiveSessions[] = "net.server.active_sessions";
+/// Sessions closed for any reason (peer EOF, error, timeout, policy).
+/// [sessions]
+inline constexpr char kNetCloses[] = "net.server.closes";
+/// Sessions closed because no complete request arrived within the idle
+/// timeout. [sessions]
+inline constexpr char kNetIdleTimeouts[] = "net.server.idle_timeouts";
+/// Sessions disconnected because a request exceeded the read-buffer cap
+/// without completing (oversized line or frame). [sessions]
+inline constexpr char kNetOversizeDisconnects[] =
+    "net.server.oversize_disconnects";
+/// Sessions disconnected because replies overflowed the write-buffer cap
+/// (the peer reads slower than it asks). [sessions]
+inline constexpr char kNetSlowReaderDisconnects[] =
+    "net.server.slow_reader_disconnects";
+/// Sessions disconnected for sending a command before HELLO while the
+/// server requires negotiation-first. [sessions]
+inline constexpr char kNetHelloViolations[] = "net.server.hello_violations";
+/// Connections refused at accept because max_sessions was reached.
+/// [connections]
+inline constexpr char kNetCapacityRejects[] = "net.server.capacity_rejects";
+/// QUERY/QUERYB/ALERTS requests answered "ERR overload" by the shed policy
+/// instead of being dispatched. [requests]
+inline constexpr char kNetShedQueries[] = "net.server.shed_queries";
+/// REPORT/REPORTB requests answered "ERR overload" by the shed policy
+/// instead of being dispatched. [requests]
+inline constexpr char kNetShedReports[] = "net.server.shed_reports";
+/// Bytes read off client sockets. [bytes]
+inline constexpr char kNetBytesIn[] = "net.server.bytes_in";
+/// Bytes written to client sockets. [bytes]
+inline constexpr char kNetBytesOut[] = "net.server.bytes_out";
+/// Wall time from a complete request in the read buffer to its reply being
+/// queued for write (dispatch latency as the session sees it). [seconds]
+inline constexpr char kNetReadLatency[] = "net.server.read_latency_s";
+/// Wall time one flush spends in writev/send for a session (kernel
+/// send-buffer pressure as the session sees it). [seconds]
+inline constexpr char kNetWriteLatency[] = "net.server.write_latency_s";
 
 }  // namespace wiscape::obs::names

@@ -179,8 +179,9 @@ constexpr err_row err_table[] = {
     {err_code::stopped, "stopped"},
     {err_code::version, "version"},
     {err_code::internal, "internal"},
+    {err_code::overload, "overload"},
 };
-static_assert(static_cast<std::size_t>(err_code::internal) + 1 ==
+static_assert(static_cast<std::size_t>(err_code::overload) + 1 ==
                   sizeof err_table / sizeof err_table[0],
               "every err_code needs a row in err_table");
 }  // namespace
@@ -205,6 +206,37 @@ std::string encode_error(err_code code, std::string_view detail) {
   out += ' ';
   out += error_excerpt(detail);
   return out;
+}
+
+std::size_t reply_extra_lines(std::string_view header_line) noexcept {
+  const std::size_t sp = header_line.find_first_of(" \t\r\n");
+  const std::string_view tag =
+      sp == std::string_view::npos ? header_line : header_line.substr(0, sp);
+  std::size_t cap = 0;
+  if (tag == "ESTB") {
+    cap = max_query_batch;
+  } else if (tag == "ALERTS") {
+    cap = max_alert_batch;
+  } else if (tag == "STATS") {
+    // STATS frames enumerate registered metrics; bounded in practice but not
+    // by a protocol constant. Use a generous fixed ceiling.
+    cap = 65536;
+  } else {
+    return 0;  // single-line reply (TASK, IDLE, ACK, EST, NONE, HELLO, ERR)
+  }
+  if (sp == std::string_view::npos) return 0;
+  const std::string_view rest = header_line.substr(sp + 1);
+  const std::size_t start = rest.find_first_not_of(" \t");
+  if (start == std::string_view::npos) return 0;
+  std::size_t end = start;
+  while (end < rest.size() && rest[end] >= '0' && rest[end] <= '9') ++end;
+  if (end == start) return 0;
+  std::size_t n = 0;
+  if (std::from_chars(rest.data() + start, rest.data() + end, n).ec !=
+      std::errc{}) {
+    return 0;
+  }
+  return std::min(n, cap);
 }
 
 std::string_view message_type(std::string_view line) {

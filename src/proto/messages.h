@@ -16,7 +16,7 @@
 // and short names stay in SSO). Error reasons (the cold path) allocate and
 // echo at most a clipped excerpt of the offending input.
 //
-// Protocol v2 (spec: DESIGN.md "Wire protocol v2"). Request types:
+// Protocol v2 (normative spec: docs/WIRE_PROTOCOL.md). Request types:
 //   write side -- CHECKIN (task request), REPORT (completed measurement),
 //   REPORTB (batched reports: "REPORTB <n>" header + n CSV record lines);
 //   read side  -- QUERY (estimate lookup), QUERYB (batched lookups,
@@ -167,6 +167,8 @@ enum class err_code {
   stopped,      ///< ingestion pipeline stopped; report refused
   version,      ///< HELLO version below wire_min_version
   internal,     ///< unexpected exception while handling (defense in depth)
+  overload,     ///< transport shed the request under backpressure; retry
+                ///< with backoff (the request was never dispatched)
 };
 
 /// The code's stable wire token ("parse", "unsupported", ...).
@@ -231,6 +233,16 @@ std::string encode_error(err_code code, std::string_view detail);
 /// Clips `s` for inclusion in an error reason: at most `max_len` bytes plus
 /// an ellipsis, so a multi-megabyte garbage line is never echoed verbatim.
 std::string error_excerpt(std::string_view s, std::size_t max_len = 120);
+
+/// How many payload lines follow a reply's first line on a stream
+/// transport. Single-line replies (TASK, IDLE, ACK, EST, NONE, HELLO, ERR)
+/// answer 0; the self-describing multi-line frames answer their header
+/// count: "ESTB <n>" and "STATS <n>" -> n, "ALERTS <n> next=..." -> n.
+/// A malformed or hostile header answers 0 (the caller's read loop then
+/// resynchronises on the next reply; counts are clamped to the frame caps
+/// above). Pure, zero-allocation: blocking clients use this to know when a
+/// reply is complete without protocol-specific read loops.
+std::size_t reply_extra_lines(std::string_view header_line) noexcept;
 
 /// The message type tag at the start of a line ("CHECKIN", "TASK", "REPORT",
 /// "REPORTB", "IDLE", "ACK", "ERR", "STATS", "QUERY", "QUERYB", "EST",

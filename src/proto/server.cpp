@@ -29,6 +29,7 @@ struct server_metrics {
   obs::counter& err_stopped;
   obs::counter& err_version;
   obs::counter& err_internal;
+  obs::counter& err_overload;
   obs::counter& faults_injected;
   obs::histogram& checkin_latency;
   obs::histogram& report_latency;
@@ -55,6 +56,7 @@ server_metrics& metrics() {
       reg.get_counter(obs::names::kServerErrStopped),
       reg.get_counter(obs::names::kServerErrVersion),
       reg.get_counter(obs::names::kServerErrInternal),
+      reg.get_counter(obs::names::kServerErrOverload),
       reg.get_counter(obs::names::kServerFaultsInjected),
       reg.get_histogram(obs::names::kServerCheckinLatency),
       reg.get_histogram(obs::names::kServerReportLatency),
@@ -138,6 +140,12 @@ std::string coordinator_server::handle(std::string_view line) {
         break;
       case err_code::internal:
         m.err_internal.inc();
+        break;
+      case err_code::overload:
+        // Normally counted by the transport that shed the request (the line
+        // handler itself never sheds); kept here so the per-reason counters
+        // stay total over every ERR source.
+        m.err_overload.inc();
         break;
     }
     errors_.fetch_add(1, std::memory_order_relaxed);

@@ -54,8 +54,8 @@ class coordinator_server {
   explicit coordinator_server(core::sharded_coordinator& coord)
       : sharded_(&coord), view_(coord) {}
 
-  /// Handles one request and returns the response (full spec: DESIGN.md
-  /// "Wire protocol v2"):
+  /// Handles one request and returns the response (normative spec:
+  /// docs/WIRE_PROTOCOL.md):
   ///   CHECKIN   -> TASK ... | IDLE
   ///   REPORT    -> ACK
   ///   REPORTB   -> "ACK <n>" ("REPORTB <n>" header + n CSV record lines,

@@ -7,6 +7,7 @@
 #include <memory>
 #include <span>
 #include <sstream>
+#include <stdexcept>
 #include <string_view>
 #include <utility>
 
@@ -16,6 +17,8 @@
 #include "core/estimate_view.h"
 #include "core/persist.h"
 #include "core/sharded_coordinator.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/names.h"
 #include "obs/registry.h"
 #include "proto/messages.h"
@@ -66,7 +69,8 @@ bool refused_before_dispatch(std::string_view reply) {
   const std::string_view code = reply.substr(
       sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
                                              : sp2 - sp1 - 1);
-  return code == "internal" || code == "parse" || code == "unsupported";
+  return code == "internal" || code == "parse" || code == "unsupported" ||
+         code == "overload";
 }
 
 // Continuity window of one tracked stream, for the staleness invariant.
@@ -133,6 +137,72 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
                                                            seed);
   auto server = std::make_unique<proto::coordinator_server>(*coord);
 
+  // ---- transport ---------------------------------------------------------
+  // With over_tcp every exchange crosses a real loopback socket through the
+  // epoll front end; otherwise it calls the line handler in-process. The
+  // driver stays the single synchronous traffic source either way, and
+  // line_client replies are byte-identical to handle(), so all accounting
+  // below is transport-independent. Declared tcp before wire_client so the
+  // client's socket closes before the server's loops join at scope exit.
+  std::unique_ptr<net::tcp_server> tcp;
+  net::line_client wire_client;
+  std::uint64_t tcp_reconnects = 0;  // successful re-establishes after boot
+  std::uint64_t tcp_refused = 0;     // refused connects + rejected HELLOs
+
+  auto tcp_start = [&] {
+    net::server_config ncfg;
+    ncfg.event_loops = cfg.synchronous ? 1 : 2;
+    ncfg.idle_timeout_s = 3600.0;  // driver ticks never pause that long
+    // No ingest_saturation source: queue depth depends on worker timing, so
+    // shedding would break the byte-identical tick-log contract. Shedding
+    // determinism is covered in tests/net_test.cpp with a fixed source.
+    tcp = std::make_unique<net::tcp_server>(*server, ncfg);
+    tcp->start();
+  };
+  // Connect + HELLO, riding out an injected accept_fail storm: the kernel
+  // completes the handshake from the backlog, the server closes the socket
+  // after accept4(), and the client sees EOF on its first read -- a refused
+  // HELLO. Each such round is one deterministic accept ordinal, so the
+  // fired-fault count in the tick log stays reproducible.
+  auto tcp_connect = [&](bool initial) {
+    for (int attempt = 0;; ++attempt) {
+      if (attempt >= 200) {
+        throw std::runtime_error(
+            "scenario: TCP reconnect never converged (fault schedule kills "
+            "every accept?)");
+      }
+      if (!wire_client.try_connect("127.0.0.1", tcp->port())) {
+        ++tcp_refused;
+        continue;
+      }
+      try {
+        (void)wire_client.hello();
+      } catch (const std::exception&) {
+        ++tcp_refused;
+        wire_client.close();
+        continue;
+      }
+      if (!initial) ++tcp_reconnects;
+      return;
+    }
+  };
+  if (cfg.stress.over_tcp) {
+    tcp_start();
+    tcp_connect(true);
+  }
+  auto wire = [&](std::string_view req) -> std::string {
+    if (!tcp) return server->handle(req);
+    for (int attempt = 0;; ++attempt) {
+      if (!wire_client.connected()) tcp_connect(false);
+      try {
+        return wire_client.request(req);
+      } catch (const std::runtime_error&) {
+        wire_client.close();
+        if (attempt >= 200) throw;
+      }
+    }
+  };
+
   // ---- fleet -------------------------------------------------------------
   std::vector<client_state> fleet;
   {
@@ -158,6 +228,20 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
   injector inj(root.fork("faults").seed());
   for (const fault_rule& r : cfg.stress.faults) inj.add_rule(r);
   arm_scope armed(inj);
+
+  // Declared after `armed`, so it unwinds first on every exit path: the
+  // event-loop threads poll the fault hook and must be joined before the
+  // injector they read is unhooked and destroyed.
+  struct tcp_teardown {
+    std::unique_ptr<net::tcp_server>& tcp;
+    net::line_client& client;
+    ~tcp_teardown() {
+      if (!tcp) return;
+      client.close();
+      tcp->stop();
+      tcp.reset();
+    }
+  } tcp_guard{tcp, wire_client};
 
   obs::registry& reg = obs::registry::global();
   obs::counter& accepted_ctr = reg.get_counter(obs::names::kCoordReportsAccepted);
@@ -185,7 +269,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
     for (std::size_t off = 0; off < recs.size(); off += 32) {
       const std::size_t n = std::min<std::size_t>(32, recs.size() - off);
       const std::string reply =
-          server->handle(proto::encode_report_batch(recs.subspan(off, n)));
+          wire(proto::encode_report_batch(recs.subspan(off, n)));
       if (proto::message_type(reply) == "ACK") {
         acked += n;
       } else {
@@ -214,6 +298,14 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
         saved = false;  // injected persist_save fault: skip the restart
       }
       if (saved) {
+        // The TCP front end holds a pointer into *server: tear it down
+        // first, rebuild it over the restored handler, reconnect.
+        const bool was_tcp = tcp != nullptr;
+        if (was_tcp) {
+          wire_client.close();
+          tcp->stop();
+          tcp.reset();
+        }
         server.reset();
         coord->stop();
         coord.reset();
@@ -221,8 +313,19 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
                                                             seed);
         core::load_coordinator_state(snap_io, *coord);
         server = std::make_unique<proto::coordinator_server>(*coord);
+        if (was_tcp) {
+          tcp_start();
+          tcp_connect(false);
+        }
         restarted = true;
       }
+    }
+
+    // ---- proactive connection churn --------------------------------------
+    if (tcp && cfg.stress.reconnect_every > 0 && t > 0 &&
+        t % cfg.stress.reconnect_every == 0) {
+      wire_client.close();
+      tcp_connect(false);
     }
 
     const std::uint64_t accepted0 = accepted_ctr.value();
@@ -250,7 +353,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
         chk.time_s = T0 + c.skew_s;
         chk.network_index = static_cast<std::uint32_t>(c.op);
         chk.active_in_zone = 4;
-        (void)server->handle(proto::encode(chk));
+        (void)wire(proto::encode(chk));
       }
       for (int r = 0; r < 2; ++r) {
         const double tt = T0 + 7.0 + 23.0 * r;
@@ -318,7 +421,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
     }
     if (!batch.empty()) {
       // First record rides the single-REPORT path; the rest batch.
-      const std::string reply = server->handle(proto::encode(
+      const std::string reply = wire(proto::encode(
           proto::measurement_report{batch.front().client_id, batch.front()}));
       if (proto::message_type(reply) == "ACK") {
         ++acked;
@@ -334,7 +437,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       // Replay of a previously ACKed frame: duplicates flow through the
       // normal accounting (the coordinator has no replay window by design).
       if (!replay_frame.empty()) {
-        const std::string reply = server->handle(replay_frame);
+        const std::string reply = wire(replay_frame);
         submitted += replay_count;
         if (proto::message_type(reply) == "ACK") {
           acked += replay_count;
@@ -371,7 +474,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
            {std::string_view("REPORTB 3\ngarbage"),
             std::string_view("REPORT client=1 csv=notcsv"),
             std::string_view("REPORTB two\nx")}) {
-        const std::string reply = server->handle(junk);
+        const std::string reply = wire(junk);
         if (proto::message_type(reply) != "ERR") {
           note("hostile_reply", t,
                "malformed frame was not refused: " + std::string(junk));
@@ -394,7 +497,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
         }
         const std::string frame = proto::encode_report_batch(dup);
         for (int rep = 0; rep < 2; ++rep) {
-          const std::string reply = server->handle(frame);
+          const std::string reply = wire(frame);
           submitted += dup.size();
           if (proto::message_type(reply) == "ACK") {
             acked += dup.size();
@@ -458,7 +561,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       q.network = names[fleet.front().op];
       q.metric = trace::metric::tcp_throughput_bps;
       q.time_s = now;
-      const std::string reply = server->handle(proto::encode(q));
+      const std::string reply = wire(proto::encode(q));
       const std::string_view type = proto::message_type(reply);
       if (type != "EST" && type != "NONE") {
         note("query_reply", t, "QUERY drew '" + std::string(type) +
@@ -478,7 +581,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
     // ---- alert consumer (after flush: the set of alerts visible at the
     // drain is a function of the tick, not of worker timing) --------------
     if ((t + 1) % cfg.stress.alert_drain_every == 0) {
-      const std::string reply = server->handle(
+      const std::string reply = wire(
           proto::encode(proto::alerts_request{cursor, cfg.stress.alert_drain_max}));
       // An injected server_handle fault answers ERR: the consumer simply
       // makes no progress this tick (the ledger stays consistent).
@@ -566,7 +669,14 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
         << " restart=" << (restarted ? 1 : 0) << " faults=q"
         << inj.fired(core::fault::site::queue_push) << "/h"
         << inj.fired(core::fault::site::server_handle) << "/p"
-        << inj.fired(core::fault::site::persist_save) << "\n";
+        << inj.fired(core::fault::site::persist_save) << "/a"
+        << inj.fired(core::fault::site::accept_fail);
+    if (cfg.stress.over_tcp) {
+      // Driver-side connection ledger: accept_fail ordinals are driven by
+      // the driver's sequential connects, so both counts are deterministic.
+      log << " tcp=" << tcp_reconnects << "/" << tcp_refused;
+    }
+    log << "\n";
   }
 
   // ---- teardown ----------------------------------------------------------
@@ -575,7 +685,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
   for (int spin = 0; cursor < pushed && spin < 10000; ++spin) {
     const std::uint64_t before = cursor;
     const std::string reply =
-        server->handle(proto::encode(proto::alerts_request{cursor, 256}));
+        wire(proto::encode(proto::alerts_request{cursor, 256}));
     if (proto::message_type(reply) != "ALERTS") continue;  // injected fault
     const proto::alerts_reply drained = proto::decode_alerts_reply(reply);
     served_total += drained.alerts.size();
@@ -610,8 +720,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
     std::ostringstream estb;
     for (std::size_t off = 0; off < qs.size(); off += 512) {
       const std::size_t n = std::min<std::size_t>(512, qs.size() - off);
-      estb << server->handle(
-                  proto::encode_query_batch(std::span(qs).subspan(off, n)))
+      estb << wire(proto::encode_query_batch(std::span(qs).subspan(off, n)))
            << "\n";
     }
     out.final_estb = estb.str();

@@ -19,7 +19,11 @@
 //
 // The engine ingests through proto::coordinator_server::handle() -- real
 // REPORTB/REPORT/QUERY/ALERTS frames over the v2 wire codec -- so every
-// scenario exercises the same seams production traffic crosses.
+// scenario exercises the same seams production traffic crosses. With
+// stressors::over_tcp the same frames additionally cross a real loopback
+// socket through net::tcp_server's epoll loops (connection_churn): the
+// driver stays the single synchronous traffic source, so the determinism
+// contract holds transport-independently.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +75,20 @@ struct stressors {
   std::optional<std::uint64_t> sabotage_tick;
   /// Fault-injection schedule installed for the run (scenario/injector.h).
   std::vector<fault_rule> faults;
+  /// Drive every wire exchange over a real loopback TCP connection through
+  /// net::tcp_server (epoll front end) instead of calling the line handler
+  /// in-process. net::line_client replies are byte-identical to handle(),
+  /// so accounting and the tick log are transport-independent; the driver
+  /// reconnects (and re-negotiates HELLO) through injected accept_fail
+  /// storms, counting reconnects/refusals in the tick log's tcp= field.
+  /// Not combined with `hostile` in the catalogue: hostile REPORTB frames
+  /// deliberately lie about their line counts, which desynchronises stream
+  /// framing on a persistent connection.
+  bool over_tcp = false;
+  /// With over_tcp: proactively drop and re-establish the driver's
+  /// connection at the start of every Nth tick (connection churn through
+  /// the full session lifecycle). 0 = never.
+  std::uint64_t reconnect_every = 0;
 };
 
 struct scenario_config {

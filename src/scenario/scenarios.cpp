@@ -21,7 +21,8 @@ scenario_config base(const std::string& name) {
 std::vector<std::string> scenario_names() {
   return {"baseline",        "flash_crowd", "operator_outage",
           "clock_skew",      "hostile_clients", "restart_mid_storm",
-          "qoe_churn",       "slow_consumer",   "fault_storm"};
+          "qoe_churn",       "slow_consumer",   "fault_storm",
+          "connection_churn"};
 }
 
 scenario_config make_scenario(const std::string& name) {
@@ -80,6 +81,29 @@ scenario_config make_scenario(const std::string& name) {
     cfg.stress.faults.push_back(
         {core::fault::site::drain_stall, 0, 20, 0.1,
          core::fault::action::stall});
+    return cfg;
+  }
+  if (name == "connection_churn") {
+    // All traffic over real loopback sockets through the epoll front end.
+    // The driver drops its connection every 4 ticks, an accept_fail storm
+    // kills a third of new connections at the accept edge for a stretch,
+    // and read stalls / simulated unwritable sockets delay the loops --
+    // accounting and the tick log must come out byte-identical per seed.
+    cfg.stress.over_tcp = true;
+    cfg.stress.reconnect_every = 3;
+    // Each refused accept triggers a driver retry -- another accept ordinal
+    // -- so the storm feeds itself until count runs out.
+    cfg.stress.faults.push_back(
+        {core::fault::site::accept_fail, 2, 30, 0.5,
+         core::fault::action::fail});
+    // Timing-only faults: stalls and fake EAGAIN perturb the event loops
+    // without changing any driver-visible count.
+    cfg.stress.faults.push_back(
+        {core::fault::site::read_stall, 0, 25, 0.02,
+         core::fault::action::stall});
+    cfg.stress.faults.push_back(
+        {core::fault::site::write_full, 0, 10, 0.02,
+         core::fault::action::fail});
     return cfg;
   }
   std::string known;

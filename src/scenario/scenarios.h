@@ -23,6 +23,10 @@
 //                        time (exercises dropped-alert accounting)
 //   fault_storm       -- injected queue_push / server_handle / drain_stall
 //                        faults riding a flash crowd
+//   connection_churn  -- all traffic over real loopback TCP through the
+//                        epoll front end, with proactive reconnects every
+//                        4 ticks, an accept_fail storm and read/write
+//                        stalls (net/server.h fault seams)
 #pragma once
 
 #include <string>

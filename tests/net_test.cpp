@@ -1,0 +1,502 @@
+// The TCP front end: byte_ring mechanics, the socket-free session state
+// machine (framing, HELLO gating, shed policy, bounded buffers), and the
+// epoll server end-to-end over real loopback sockets (round trips, idle
+// timeout mid-frame, drain-on-disconnect, concurrent sessions).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "net/byte_ring.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/session.h"
+#include "obs/names.h"
+#include "obs/registry.h"
+#include "proto/messages.h"
+#include "proto/server.h"
+#include "test_util.h"
+
+namespace wiscape::net {
+namespace {
+
+const geo::lat_lon here = cellnet::anchors::madison;
+
+// A sequential coordinator + line handler: sessions only need handle().
+struct handler_fixture {
+  cellnet::deployment dep = testing::tiny_deployment();
+  geo::zone_grid grid{dep.proj(), 250.0};
+  core::coordinator coord{grid, dep.names(), core::coordinator_config{}, 5};
+  proto::coordinator_server server{coord};
+};
+
+std::string report_frame(std::size_t n, double t0 = 100.0) {
+  std::vector<trace::measurement_record> recs;
+  for (std::size_t i = 0; i < n; ++i) {
+    recs.push_back(testing::make_record(t0 + static_cast<double>(i), "NetB",
+                                        here, trace::probe_kind::udp_burst,
+                                        1.0e6));
+    recs.back().client_id = 7;
+  }
+  return proto::encode_report_batch(recs);
+}
+
+std::string ring_text(byte_ring& r) {
+  return std::string(r.linearize());
+}
+
+std::uint64_t counter_value(const char* name) {
+  return static_cast<std::uint64_t>(
+      obs::registry::global().get_counter(name).value());
+}
+
+// ---- byte_ring ----------------------------------------------------------
+
+TEST(ByteRing, AppendConsumeWrapsAndFinds) {
+  byte_ring r(64);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.append("hello\n"));
+  EXPECT_EQ(r.find('\n'), 5u);
+  r.consume(6);
+  // Push the head far enough that the next append wraps the storage.
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_TRUE(r.append("0123456789"));
+    ASSERT_EQ(ring_text(r).back(), '9');
+    r.consume(10);
+  }
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.append("wrapped-line\n"));
+  EXPECT_EQ(ring_text(r), "wrapped-line\n");
+  EXPECT_EQ(r.find('\n'), 12u);
+}
+
+TEST(ByteRing, CapBoundsSizeNotStorage) {
+  byte_ring r(100);  // not a power of two: storage rounds up, cap does not
+  EXPECT_EQ(r.max_bytes(), 100u);
+  std::string fill(100, 'x');
+  EXPECT_TRUE(r.append(fill));
+  EXPECT_TRUE(r.full());
+  EXPECT_EQ(r.headroom(), 0u);
+  EXPECT_FALSE(r.append("y"));  // over cap refuses, ring unchanged
+  EXPECT_EQ(r.size(), 100u);
+  r.consume(40);
+  EXPECT_EQ(r.headroom(), 40u);
+  EXPECT_TRUE(r.append(std::string(40, 'z')));
+  EXPECT_FALSE(r.append("y"));
+}
+
+TEST(ByteRing, WriteSpansCommitRoundTrip) {
+  byte_ring r(256);
+  auto spans = r.write_spans(10);
+  std::size_t got = 0;
+  for (auto s : spans) {
+    for (char& c : s) {
+      if (got >= 10) break;
+      c = static_cast<char>('a' + got++);
+    }
+  }
+  r.commit(10);
+  EXPECT_EQ(ring_text(r), "abcdefghij");
+}
+
+// ---- session framing ----------------------------------------------------
+
+TEST(NetSession, PartialFrameAcrossReads) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  const std::string frame = report_frame(3) + "\n";
+  // Split inside the second payload line: the header and first line alone
+  // must not dispatch anything.
+  const std::size_t first_nl = frame.find('\n');
+  const std::size_t cut = frame.find('\n', first_nl + 1) + 3;
+  ASSERT_LT(cut, frame.size());
+
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(std::string_view(frame).substr(0, cut)));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 0u);
+  EXPECT_TRUE(s.out().empty());
+  EXPECT_TRUE(s.mid_frame());
+
+  ASSERT_TRUE(s.in().append(std::string_view(frame).substr(cut)));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_FALSE(s.mid_frame());
+  EXPECT_EQ(ring_text(s.out()).substr(0, 4), "ACK ");
+  EXPECT_EQ(fx.server.reports_received(), 3u);
+}
+
+TEST(NetSession, CrlfLinesAndFramesDispatch) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append("STATS\r\n"));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_EQ(ring_text(s.out()).substr(0, 6), "STATS ");
+  s.out().consume(s.out().size());
+
+  // A whole CRLF-terminated frame takes the scratch-rebuild cold path.
+  std::string frame = report_frame(2) + "\n";
+  std::string crlf;
+  for (char c : frame) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf += c;
+  }
+  ASSERT_TRUE(s.in().append(crlf));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 2u);
+  EXPECT_EQ(ring_text(s.out()).substr(0, 4), "ACK ");
+}
+
+TEST(NetSession, OversizedLineDisconnects) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  lim.read_buffer_bytes = 256;
+  session s(lim, fx.server);
+
+  ASSERT_TRUE(s.in().append(std::string(256, 'x')));  // no newline, ring full
+  pump_stats stats;
+  EXPECT_FALSE(s.pump({}, stats));
+  EXPECT_EQ(s.reason(), close_reason::oversize);
+  EXPECT_EQ(ring_text(s.out()).substr(0, 9), "ERR parse");
+}
+
+TEST(NetSession, HostileFrameHeaderDisconnects) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  ASSERT_TRUE(s.in().append("REPORTB 99999999999\n"));
+  pump_stats stats;
+  EXPECT_FALSE(s.pump({}, stats));
+  EXPECT_EQ(s.reason(), close_reason::bad_frame);
+  EXPECT_EQ(ring_text(s.out()).substr(0, 9), "ERR parse");
+}
+
+TEST(NetSession, HelloBeforeAnythingEnforced) {
+  handler_fixture fx;
+  session_limits lim;  // require_hello defaults to true
+  session s(lim, fx.server);
+
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append("STATS\n"));
+  EXPECT_FALSE(s.pump({}, stats));
+  EXPECT_EQ(s.reason(), close_reason::hello_violation);
+  EXPECT_EQ(stats.dispatched, 0u);
+  EXPECT_EQ(ring_text(s.out()).substr(0, 11), "ERR version");
+
+  // A fresh session that negotiates first sails through.
+  session ok(lim, fx.server);
+  ASSERT_TRUE(ok.in().append(proto::encode(proto::hello_request{}) + "\n"));
+  EXPECT_TRUE(ok.pump({}, stats));
+  EXPECT_TRUE(ok.saw_hello());
+  ok.out().consume(ok.out().size());
+  ASSERT_TRUE(ok.in().append("STATS\n"));
+  EXPECT_TRUE(ok.pump({}, stats));
+  EXPECT_EQ(ring_text(ok.out()).substr(0, 6), "STATS ");
+}
+
+TEST(NetSession, SlowReaderDisconnects) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  lim.write_buffer_bytes = 64;  // a STATS dump cannot fit
+  session s(lim, fx.server);
+
+  ASSERT_TRUE(s.in().append("STATS\n"));
+  pump_stats stats;
+  EXPECT_FALSE(s.pump({}, stats));
+  EXPECT_EQ(s.reason(), close_reason::slow_reader);
+}
+
+// ---- shed policy --------------------------------------------------------
+
+TEST(NetSession, ClassifyRequestClasses) {
+  EXPECT_EQ(classify("QUERY"), request_class::query);
+  EXPECT_EQ(classify("QUERYB"), request_class::query);
+  EXPECT_EQ(classify("ALERTS"), request_class::query);
+  EXPECT_EQ(classify("REPORT"), request_class::report);
+  EXPECT_EQ(classify("REPORTB"), request_class::report);
+  EXPECT_EQ(classify("HELLO"), request_class::control);
+  EXPECT_EQ(classify("CHECKIN"), request_class::control);
+  EXPECT_EQ(classify("STATS"), request_class::control);
+  EXPECT_EQ(classify("NONSENSE"), request_class::control);
+}
+
+TEST(NetSession, ShedPolicyAccounting) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  shed_state shed;
+  shed.policy = shed_policy::queries_first;
+  shed.saturation = 0.8;  // past start, below hard
+
+  pump_stats stats;
+  // Query-class sheds without dispatching; report-class still lands.
+  ASSERT_TRUE(s.in().append("QUERY lat=43.07 lon=-89.4 net=NetB "
+                            "metric=tcp_throughput t=1\n"));
+  ASSERT_TRUE(s.in().append(report_frame(2) + "\n"));
+  EXPECT_TRUE(s.pump(shed, stats));
+  EXPECT_EQ(stats.shed_queries, 1u);
+  EXPECT_EQ(stats.shed_reports, 0u);
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_EQ(fx.server.reports_received(), 2u);
+  EXPECT_NE(ring_text(s.out()).find("ERR overload"), std::string::npos);
+
+  // reports_first inverts which class is protected.
+  session s2(lim, fx.server);
+  shed.policy = shed_policy::reports_first;
+  pump_stats stats2;
+  ASSERT_TRUE(s2.in().append(report_frame(2) + "\n"));
+  ASSERT_TRUE(s2.in().append("QUERY lat=43.07 lon=-89.4 net=NetB "
+                             "metric=tcp_throughput t=1\n"));
+  EXPECT_TRUE(s2.pump(shed, stats2));
+  EXPECT_EQ(stats2.shed_reports, 1u);  // one REPORTB frame, one decision
+  EXPECT_EQ(stats2.shed_queries, 0u);
+  EXPECT_EQ(stats2.dispatched, 1u);
+
+  // Past the hard threshold both classes shed; control still serves.
+  session s3(lim, fx.server);
+  shed.saturation = 0.99;
+  pump_stats stats3;
+  ASSERT_TRUE(s3.in().append("QUERY lat=43.07 lon=-89.4 net=NetB "
+                             "metric=tcp_throughput t=1\n"));
+  ASSERT_TRUE(s3.in().append(report_frame(1) + "\n"));
+  ASSERT_TRUE(s3.in().append("STATS\n"));
+  EXPECT_TRUE(s3.pump(shed, stats3));
+  EXPECT_EQ(stats3.shed_queries, 1u);
+  EXPECT_EQ(stats3.shed_reports, 1u);
+  EXPECT_EQ(stats3.dispatched, 1u);  // the STATS
+}
+
+// ---- real sockets -------------------------------------------------------
+
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  return fd;
+}
+
+void send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// True when the peer closes the connection within `wait_s` seconds.
+bool eof_within(int fd, double wait_s) {
+  const timeval tv{static_cast<time_t>(wait_s),
+                   static_cast<suseconds_t>((wait_s - static_cast<time_t>(
+                                                          wait_s)) *
+                                            1e6)};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  char buf[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) return true;  // orderly close
+    if (n < 0) {
+      // A close with bytes still queued on the receive side arrives as RST.
+      return errno == ECONNRESET;
+    }
+  }
+}
+
+TEST(TcpServer, RoundTripMatchesInProcessHandler) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;  // sequential handler
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  line_client client;
+  client.connect("127.0.0.1", srv.port());
+  const auto hello = client.hello();
+  EXPECT_EQ(hello.version, proto::wire_version);
+
+  const std::string frame = report_frame(4);
+  const std::string wire_ack = client.request(frame);
+  EXPECT_EQ(proto::message_type(wire_ack), "ACK");
+
+  // The same requests through handle() answer byte-identically.
+  for (const std::string& req :
+       {std::string("QUERY lat=43.07 lon=-89.4 net=NetB "
+                    "metric=udp_throughput t=200"),
+        std::string("ALERTS since=0 max=4")}) {
+    EXPECT_EQ(client.request(req), fx.server.handle(req)) << req;
+  }
+  client.close();
+  srv.stop();
+  EXPECT_EQ(srv.active_sessions(), 0u);
+}
+
+TEST(TcpServer, MultipleLoopsRequireConcurrentHandler) {
+  handler_fixture fx;  // sequential core::coordinator
+  server_config cfg;
+  cfg.event_loops = 2;
+  EXPECT_THROW(tcp_server(fx.server, cfg), std::invalid_argument);
+}
+
+TEST(TcpServer, IdleTimeoutCutsSessionMidFrame) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;
+  cfg.limits.require_hello = false;
+  cfg.idle_timeout_s = 0.3;
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  const std::uint64_t timeouts0 = counter_value(obs::names::kNetIdleTimeouts);
+  const int fd = raw_connect(srv.port());
+  // A frame header plus one of its five payload lines, then silence: the
+  // sweep must cut the session even though a request is in flight.
+  send_all(fd, "REPORTB 5\nR client=7 ");
+  EXPECT_TRUE(eof_within(fd, 5.0));
+  ::close(fd);
+  EXPECT_GE(counter_value(obs::names::kNetIdleTimeouts), timeouts0 + 1);
+  srv.stop();
+}
+
+TEST(TcpServer, DrainOnDisconnectStillDispatches) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;
+  cfg.limits.require_hello = false;
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  const int fd = raw_connect(srv.port());
+  send_all(fd, report_frame(3) + "\n");
+  ::close(fd);  // gone before the reply -- the records must still land
+
+  for (int spin = 0; spin < 200 && fx.server.reports_received() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fx.server.reports_received(), 3u);
+  srv.stop();
+}
+
+TEST(TcpServer, OversizedRequestDisconnectsAndCounts) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;
+  cfg.limits.require_hello = false;
+  cfg.limits.read_buffer_bytes = 512;
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  const std::uint64_t oversize0 =
+      counter_value(obs::names::kNetOversizeDisconnects);
+  const int fd = raw_connect(srv.port());
+  send_all(fd, std::string(2048, 'x'));  // no newline ever
+  EXPECT_TRUE(eof_within(fd, 5.0));
+  ::close(fd);
+  EXPECT_GE(counter_value(obs::names::kNetOversizeDisconnects), oversize0 + 1);
+  srv.stop();
+}
+
+TEST(TcpServer, HelloViolationCountsAndCloses) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;  // require_hello stays on
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  const std::uint64_t violations0 =
+      counter_value(obs::names::kNetHelloViolations);
+  line_client client;
+  client.connect("127.0.0.1", srv.port());
+  const std::string reply = client.request("STATS");
+  EXPECT_EQ(reply.substr(0, 11), "ERR version");
+  EXPECT_THROW((void)client.request("STATS"), std::runtime_error);  // closed
+  EXPECT_GE(counter_value(obs::names::kNetHelloViolations), violations0 + 1);
+  srv.stop();
+}
+
+TEST(TcpServer, ShedsQueriesUnderSaturation) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;
+  cfg.limits.require_hello = false;
+  cfg.ingest_saturation = [] { return 0.9; };
+  cfg.saturation_refresh_every = 1;
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  const std::uint64_t shed0 = counter_value(obs::names::kNetShedQueries);
+  line_client client;
+  client.connect("127.0.0.1", srv.port());
+  EXPECT_EQ(client.request("ALERTS since=0 max=4").substr(0, 12),
+            "ERR overload");
+  // Report-class still lands under queries_first.
+  EXPECT_EQ(proto::message_type(client.request(report_frame(2))), "ACK");
+  EXPECT_GE(counter_value(obs::names::kNetShedQueries), shed0 + 1);
+  client.close();
+  srv.stop();
+}
+
+TEST(TcpServer, ManyConcurrentSessions) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;
+  cfg.limits.require_hello = false;
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  constexpr std::size_t kSessions = 64;
+  std::vector<line_client> clients(kSessions);
+  for (auto& c : clients) c.connect("127.0.0.1", srv.port());
+  for (std::size_t spin = 0; spin < 200 && srv.active_sessions() < kSessions;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(srv.active_sessions(), kSessions);
+
+  // Every session does a full exchange on the same loop, interleaved.
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const std::string reply = clients[i].request(report_frame(1, 1000.0 + i));
+    EXPECT_EQ(proto::message_type(reply), "ACK") << i;
+  }
+  EXPECT_EQ(fx.server.reports_received(), kSessions);
+
+  for (auto& c : clients) c.close();
+  for (std::size_t spin = 0; spin < 500 && srv.active_sessions() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(srv.active_sessions(), 0u);
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace wiscape::net

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
 # Documentation hygiene gate, run as a ctest case (docs.check).
 #
-# Two mechanical checks keep the docs honest:
-#  1. Every public header in src/core, src/proto and src/obs must open with
-#     a file-level doc comment (a '//' line before any code), so a reader
-#     landing on any header learns its contract before its includes.
+# Three mechanical checks keep the docs honest:
+#  1. Every public header in src/core, src/proto, src/obs and src/net must
+#     open with a file-level doc comment (a '//' line before any code), so a
+#     reader landing on any header learns its contract before its includes.
 #  2. Every metric name constant defined in src/obs/names.h must appear in
-#     DESIGN.md -- the §5 "Metric reference" table is required to cover the
+#     docs/RUNBOOK.md -- its metric reference table is required to cover the
 #     full registry namespace, and this is what enforces it.
+#  3. Every err_code enumerator in src/proto/messages.h must have a table
+#     row in docs/WIRE_PROTOCOL.md -- error codes are wire surface, and a
+#     code a client can receive but cannot look up is a spec hole.
 #
 # Usage: tools/check_docs.sh [repo-root]   (default: script's parent dir)
 set -eu
@@ -16,8 +19,8 @@ root="${1:-$(dirname "$0")/..}"
 cd "$root"
 fail=0
 
-echo "== file-level doc comments (src/core, src/proto, src/obs) =="
-for h in src/core/*.h src/proto/*.h src/obs/*.h; do
+echo "== file-level doc comments (src/core, src/proto, src/obs, src/net) =="
+for h in src/core/*.h src/proto/*.h src/obs/*.h src/net/*.h; do
   # The first non-blank line must start a comment; '#pragma once' or an
   # #include first means the header has no file-level documentation.
   first="$(sed -n '/[^[:space:]]/{p;q;}' "$h")"
@@ -30,7 +33,7 @@ for h in src/core/*.h src/proto/*.h src/obs/*.h; do
   esac
 done
 
-echo "== DESIGN.md covers every metric name in src/obs/names.h =="
+echo "== docs/RUNBOOK.md covers every metric name in src/obs/names.h =="
 # Pull the string literal out of every name constant. Suffix constants for
 # the dynamic per-shard family ("routed"/"drained") are matched as part of
 # the documented core.sharded.shard<i>.* pattern rows.
@@ -38,8 +41,21 @@ names="$(sed -n 's/.*constexpr char k[A-Za-z]*\[\] *= *"\([^"]*\)".*/\1/p' \
   src/obs/names.h)"
 [ -n "$names" ] || { echo "FAIL: no metric names found in src/obs/names.h"; exit 1; }
 for n in $names; do
-  if ! grep -qF "$n" DESIGN.md; then
-    echo "FAIL: metric name '$n' (src/obs/names.h) is not documented in DESIGN.md"
+  if ! grep -qF "$n" docs/RUNBOOK.md; then
+    echo "FAIL: metric name '$n' (src/obs/names.h) is not documented in docs/RUNBOOK.md"
+    fail=1
+  fi
+done
+
+echo "== docs/WIRE_PROTOCOL.md documents every err_code enumerator =="
+# Enumerator identifiers double as the wire tokens (pinned by a round-trip
+# static_assert in messages.cpp), so the doc gate checks the identifiers.
+codes="$(sed -n '/enum class err_code {/,/^};/p' src/proto/messages.h |
+  sed -n 's/^ *\([a-z_][a-z_]*\),.*/\1/p')"
+[ -n "$codes" ] || { echo "FAIL: no err_code enumerators found in src/proto/messages.h"; exit 1; }
+for c in $codes; do
+  if ! grep -qF "| \`$c\` |" docs/WIRE_PROTOCOL.md; then
+    echo "FAIL: err_code '$c' (src/proto/messages.h) has no table row in docs/WIRE_PROTOCOL.md"
     fail=1
   fi
 done

@@ -57,4 +57,12 @@ echo "== scenario engine under TSan =="
 "$build_dir"/tests/wiscape_tests \
   --gtest_filter='Scenario.*:Invariants.*:Injector.*'
 
+# The TCP front end: epoll event-loop threads accepting/pumping real
+# sockets while client threads connect, disconnect mid-frame, overflow
+# buffers and trip the shed policy. The loops are shared-nothing by
+# design; any cross-loop sharing that sneaks in races here.
+echo "== net front end under TSan =="
+"$build_dir"/tests/wiscape_tests \
+  --gtest_filter='ByteRing.*:NetSession.*:TcpServer.*'
+
 echo "TSan run clean."
