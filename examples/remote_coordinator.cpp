@@ -14,17 +14,19 @@
 //
 // The run doubles as the observability demo: an obs::snapshot_writer
 // appends periodic JSON-lines metric snapshots to
-// remote_coordinator_obs.jsonl while the morning runs, and the demo closes
-// with an excerpt of the wire-protocol STATS dump any operator could issue
-// against a live coordinator.
+// bench_out/remote_coordinator_obs.jsonl (created if needed) while the
+// morning runs, and the demo closes with an excerpt of the wire-protocol
+// STATS dump any operator could issue against a live coordinator.
 //
 //   ./remote_coordinator [seed]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <span>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "cellnet/presets.h"
@@ -41,7 +43,11 @@ int main(int argc, char** argv) {
 
   // Telemetry: snapshot every process-wide metric to a JSON-lines file
   // twice a second for the duration of the demo (final snapshot on exit).
-  obs::snapshot_writer obs_writer("remote_coordinator_obs.jsonl",
+  // The file lands under bench_out/ with the other generated artifacts,
+  // not in the repo root.
+  std::error_code obs_dir_ec;
+  std::filesystem::create_directories("bench_out", obs_dir_ec);
+  obs::snapshot_writer obs_writer("bench_out/remote_coordinator_obs.jsonl",
                                   std::chrono::milliseconds(500));
 
   auto dep = cellnet::make_deployment(cellnet::region_preset::madison, seed);
@@ -184,7 +190,7 @@ int main(int argc, char** argv) {
   // The operator's view: the same numbers over the wire. Any client can send
   // a bare "STATS" line; here we show the ingest-path excerpt of the dump.
   std::printf("\nwire> STATS   (excerpt; full dump in "
-              "remote_coordinator_obs.jsonl)\n");
+              "bench_out/remote_coordinator_obs.jsonl)\n");
   std::istringstream stats_reply(concurrent_server.handle("STATS"));
   std::string stats_line;
   while (std::getline(stats_reply, stats_line)) {

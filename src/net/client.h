@@ -53,6 +53,19 @@ class line_client {
   /// Throws std::runtime_error when the connection dies mid-exchange.
   std::string request(std::string_view req);
 
+  /// request() without the return-value copy: the view aliases the client's
+  /// receive buffer and stays valid until the next call on this client.
+  /// With a warm buffer one exchange makes zero heap allocations on the
+  /// client side -- the measurement-friendly flavour benches use so client
+  /// allocation cost cannot masquerade as server round-trip cost.
+  std::string_view request_view(std::string_view req);
+
+  /// Pipelined exchange: sends `block` -- `count` complete '\n'-terminated
+  /// requests back to back -- in one burst, then reads all `count` replies.
+  /// Returns the total reply bytes (separators included). This is how a
+  /// batching reporter drives the server's per-wake reply coalescing.
+  std::size_t pipeline(std::string_view block, std::size_t count);
+
   /// HELLO handshake convenience; throws std::runtime_error when the server
   /// answers anything but HELLO.
   proto::hello_reply hello(std::uint32_t version = proto::wire_version);
@@ -61,6 +74,10 @@ class line_client {
   /// Reads up to (and including) the next '\n'; the returned line excludes
   /// it. Throws on EOF/error.
   std::string_view read_line();
+  /// One recv appended to rx_. Throws on EOF/error.
+  void fill_rx();
+  /// Sends `req` + '\n' in one sendmsg (gather I/O -- no framed copy).
+  void send_framed(std::string_view req);
 
   int fd_ = -1;
   std::string rx_;          ///< bytes received, not yet consumed

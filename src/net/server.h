@@ -60,6 +60,13 @@ struct server_config {
   /// Pump calls between saturation refreshes (the value is cached per loop
   /// so sessions never call into the coordinator on the fast path).
   std::uint32_t saturation_refresh_every = 64;
+  /// Most bytes one epoll wake drains from a single socket before replies
+  /// are dispatched and flushed. Reads continue past the first readv only
+  /// while each one completely fills the offered buffers (the kernel queue
+  /// looks deep), so a pipelining client is answered with one writev per
+  /// wake instead of one per 16 KiB, and the cap keeps one firehose session
+  /// from starving its loop's neighbours.
+  std::size_t read_drain_budget_bytes = 256 * 1024;
   double idle_timeout_s = 300.0;  ///< <= 0 disables the idle sweep
   int listen_backlog = 1024;
 };

@@ -56,6 +56,26 @@ std::string_view header_prefix(const byte_ring& ring, std::size_t line_len,
   return {buf.data(), n};
 }
 
+/// True when the buffered line at ring offset `off` opens with "REPORT "
+/// -- the tag plus the separating space, so REPORTB never matches. The
+/// caller guarantees at least 7 readable bytes at `off`.
+bool starts_with_report(const byte_ring& ring, std::size_t off) {
+  constexpr std::string_view tag = "REPORT ";
+  for (std::size_t i = 0; i < tag.size(); ++i) {
+    if (ring.at(off + i) != tag[i]) return false;
+  }
+  return true;
+}
+
+/// Would the shed policy refuse a report-class request right now? Grouping
+/// steps aside under shed so the per-line ERR overload accounting stays
+/// exactly what per-line dispatch produces.
+bool sheds_reports(const shed_state& shed) {
+  return shed.saturation >= shed.start &&
+         (shed.saturation >= shed.hard ||
+          shed.policy == shed_policy::reports_first);
+}
+
 }  // namespace
 
 request_class classify(std::string_view type) noexcept {
@@ -72,30 +92,25 @@ bool session::queue_reply(std::string_view reply) {
     set_reason(close_reason::slow_reader);
     return false;
   }
+  ++replies_queued_;
   return true;
 }
 
 bool session::dispatch(std::size_t len, const shed_state& shed,
                        pump_stats& stats) {
   // The request view: everything up to (not including) the final newline.
+  // Telnet-style CRLF is the protocol layer's business now: the final
+  // line's '\r' is clipped here for the type peek, and frame payload lines
+  // are stripped per line by the decoders -- no rewrite buffer.
   std::string_view req = in_.linearize().substr(0, len - 1);
   if (!req.empty() && req.back() == '\r') req.remove_suffix(1);
-  if (req.find('\r') != std::string_view::npos) {
-    // Telnet cold path: a CRLF-framed multi-line frame. Rebuild without the
-    // '\r' that precedes each '\n' so payload decoders see clean lines.
-    scratch_.clear();
-    scratch_.reserve(req.size());
-    for (std::size_t i = 0; i < req.size(); ++i) {
-      if (req[i] == '\r' && i + 1 < req.size() && req[i + 1] == '\n') continue;
-      scratch_.push_back(req[i]);
-    }
-    req = scratch_;
-  }
 
   const std::string_view type = proto::message_type(req);
   if (require_hello_ && !saw_hello_ && type != "HELLO") {
-    queue_reply(proto::encode_error(proto::err_code::version,
-                                    "HELLO required before any command"));
+    rb_.clear();
+    proto::encode_error_into(proto::err_code::version,
+                             "HELLO required before any command", rb_);
+    queue_reply(rb_.view());
     set_reason(close_reason::hello_violation);
     return false;
   }
@@ -114,16 +129,19 @@ bool session::dispatch(std::size_t len, const shed_state& shed,
     } else {
       ++stats.shed_reports;
     }
-    return queue_reply(proto::encode_error(
-        proto::err_code::overload, "ingest saturated; retry with backoff"));
+    rb_.clear();
+    proto::encode_error_into(proto::err_code::overload,
+                             "ingest saturated; retry with backoff", rb_);
+    return queue_reply(rb_.view());
   }
 
-  const std::string reply = handler_->handle(req);
+  rb_.clear();
+  handler_->handle_into(req, rb_);
   ++stats.dispatched;
-  if (type == "HELLO" && proto::message_type(reply) == "HELLO") {
+  if (type == "HELLO" && proto::message_type(rb_.view()) == "HELLO") {
     saw_hello_ = true;
   }
-  return queue_reply(reply);
+  return queue_reply(rb_.view());
 }
 
 bool session::pump(const shed_state& shed, pump_stats& stats) {
@@ -159,6 +177,49 @@ bool session::pump(const shed_state& shed, pump_stats& stats) {
       ++frame_lines_found_;
       scan_ = nl + 1;
       if (frame_lines_found_ == frame_lines_total_) request_len = scan_;
+    }
+
+    // Adaptive micro-batch: a run of >= 2 consecutive complete single-line
+    // REPORTs buffered right now (a pipelining reporter drained in one
+    // wake) is answered through one handle_report_group() call -- one
+    // ingestion submit and one counter delta for the run, same as REPORTB.
+    // Grouping steps aside whenever per-line dispatch would do anything
+    // other than hand the line to the handler (HELLO gate not yet
+    // satisfied, report class being shed) so replies and accounting stay
+    // byte-for-byte identical.
+    if (coalesce_reports_ && frame_lines_total_ == 1 && request_len >= 8 &&
+        (saw_hello_ || !require_hello_) && !sheds_reports(shed) &&
+        starts_with_report(in_, 0)) {
+      std::size_t group_end = request_len;
+      std::size_t count = 1;
+      while (count < proto::max_report_batch) {
+        const std::size_t nl = in_.find('\n', group_end);
+        if (nl == byte_ring::npos || nl - group_end < 7 ||
+            !starts_with_report(in_, group_end)) {
+          break;
+        }
+        group_end = nl + 1;
+        ++count;
+      }
+      if (count >= 2) {
+        const std::string_view block = in_.linearize().substr(0, group_end);
+        rb_.clear();
+        handler_->handle_report_group(block, count, rb_);
+        // The group's replies arrive '\n'-terminated; land them in one
+        // append.
+        if (rb_.size() > out_.headroom() || !out_.append(rb_.view())) {
+          set_reason(close_reason::slow_reader);
+          return false;
+        }
+        stats.dispatched += count;
+        stats.grouped_reports += count;
+        replies_queued_ += count;
+        in_.consume(group_end);
+        scan_ = 0;
+        frame_lines_total_ = 0;
+        frame_lines_found_ = 0;
+        continue;
+      }
     }
 
     if (!dispatch(request_len, shed, stats)) return false;

@@ -25,8 +25,8 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <string_view>
+#include <utility>
 
 #include "net/byte_ring.h"
 #include "proto/server.h"
@@ -65,6 +65,11 @@ struct session_limits {
   std::size_t read_buffer_bytes = 1u << 20;   ///< request cap (ring max)
   std::size_t write_buffer_bytes = 4u << 20;  ///< queued-replies cap
   bool require_hello = true;  ///< enforce HELLO-before-anything on this port
+  /// Group runs of >= 2 consecutive single-line REPORTs buffered in one
+  /// pump into one handle_report_group() call (one ingestion submit per
+  /// run instead of one per line). Replies stay byte-identical and
+  /// positional; disable to force per-line dispatch.
+  bool coalesce_reports = true;
 };
 
 /// One pump() call's view of the backpressure state. The event loop caches
@@ -82,6 +87,9 @@ struct pump_stats {
   std::uint64_t dispatched = 0;    ///< requests handed to the line handler
   std::uint64_t shed_queries = 0;  ///< query-class answered ERR overload
   std::uint64_t shed_reports = 0;  ///< report-class answered ERR overload
+  /// Of dispatched: REPORT lines answered through a coalesced group
+  /// (handle_report_group) rather than one handler call per line.
+  std::uint64_t grouped_reports = 0;
 };
 
 class session {
@@ -90,7 +98,8 @@ class session {
       : in_(limits.read_buffer_bytes),
         out_(limits.write_buffer_bytes),
         handler_(&handler),
-        require_hello_(limits.require_hello) {}
+        require_hello_(limits.require_hello),
+        coalesce_reports_(limits.coalesce_reports) {}
 
   /// Receive ring: the socket (or a test) appends raw bytes here.
   byte_ring& in() noexcept { return in_; }
@@ -112,6 +121,12 @@ class session {
   /// True when a frame header has been read but its payload is incomplete
   /// (an idle timeout firing now cuts a request mid-frame).
   bool mid_frame() const noexcept { return frame_lines_total_ > 1; }
+  /// Replies queued into out() since the last call, then resets to zero.
+  /// The event loop drains this at flush time to account one writev per
+  /// wake against the replies it carries (net.server.replies_per_flush).
+  std::uint64_t take_queued_replies() noexcept {
+    return std::exchange(replies_queued_, 0);
+  }
 
  private:
   /// Appends `reply` + '\n' to out(); false = write ring overflow.
@@ -124,6 +139,7 @@ class session {
   byte_ring out_;
   proto::coordinator_server* handler_;
   bool require_hello_;
+  bool coalesce_reports_;
   bool saw_hello_ = false;
   close_reason reason_ = close_reason::none;
 
@@ -133,7 +149,11 @@ class session {
   std::size_t scan_ = 0;
   std::size_t frame_lines_total_ = 0;
   std::size_t frame_lines_found_ = 0;
-  std::string scratch_;  ///< CRLF-stripped copy (telnet cold path only)
+  std::uint64_t replies_queued_ = 0;
+  // Per-session reply arena: every reply renders here (zero heap
+  // allocations in steady state once its capacity has warmed up), then
+  // lands in out() with one append.
+  proto::reply_buffer rb_;
 };
 
 }  // namespace wiscape::net

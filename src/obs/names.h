@@ -146,6 +146,9 @@ inline constexpr char kServerFaultsInjected[] = "proto.server.faults_injected";
 /// ERR replies: request shed by the TCP front end's backpressure policy
 /// before dispatch (the line handler itself never sheds).
 inline constexpr char kServerErrOverload[] = "proto.server.err_overload";
+/// Reply payload bytes rendered by the line handler (newline separators in
+/// grouped replies excluded, so transports agree on the total). [bytes]
+inline constexpr char kServerReplyBytes[] = "proto.server.reply_bytes";
 
 // ---- net::tcp_server ------------------------------------------------------
 /// Connections accepted (sessions created). [connections]
@@ -191,5 +194,14 @@ inline constexpr char kNetReadLatency[] = "net.server.read_latency_s";
 /// Wall time one flush spends in writev/send for a session (kernel
 /// send-buffer pressure as the session sees it). [seconds]
 inline constexpr char kNetWriteLatency[] = "net.server.write_latency_s";
+/// writev/sendmsg syscalls issued by session flushes. Compare against
+/// net.server.bytes_out and proto.server.reply_bytes to judge coalescing:
+/// fewer calls per reply means the wake-batched flush is working. [calls]
+inline constexpr char kNetWritevCalls[] = "net.server.writev_calls";
+/// Replies coalesced into one session flush, recorded scaled by 1e-3 so the
+/// shared latency-style histogram edges read as reply counts: the 0.001
+/// bucket is 1 reply/flush, 0.01 is 10, 0.1 is 100, 1.0 is 1000. [replies,
+/// x1e-3]
+inline constexpr char kNetRepliesPerFlush[] = "net.server.replies_per_flush";
 
 }  // namespace wiscape::obs::names

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdarg>
 #include <cstdio>
 #include <stdexcept>
 
@@ -19,25 +20,26 @@ namespace {
 constexpr std::string_view separators = " \t\r";
 
 /// Walks a line as whitespace-separated tokens (views into the input).
+/// Hand-rolled byte loop rather than find_first_[not_]of: the 3-character
+/// set variants scan per candidate character, and this cursor runs twice
+/// per field on the hottest wire paths (QUERY/REPORT decode).
 struct token_cursor {
   std::string_view rest;
 
+  static bool is_sep(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
   std::optional<std::string_view> next() {
-    const std::size_t b = rest.find_first_not_of(separators);
-    if (b == std::string_view::npos) {
+    const char* p = rest.data();
+    const char* const end = p + rest.size();
+    while (p != end && is_sep(*p)) ++p;
+    if (p == end) {
       rest = {};
       return std::nullopt;
     }
-    const std::size_t e = rest.find_first_of(separators, b);
-    std::string_view tok;
-    if (e == std::string_view::npos) {
-      tok = rest.substr(b);
-      rest = {};
-    } else {
-      tok = rest.substr(b, e - b);
-      rest = rest.substr(e);
-    }
-    return tok;
+    const char* b = p;
+    while (p != end && !is_sep(*p)) ++p;
+    rest = std::string_view(p, static_cast<std::size_t>(end - p));
+    return std::string_view(b, static_cast<std::size_t>(p - b));
   }
 };
 
@@ -128,6 +130,66 @@ std::string error_excerpt(std::string_view s, std::size_t max_len) {
   return std::string(s.substr(0, max_len)) + "...";
 }
 
+// ---- reply_buffer ---------------------------------------------------------
+
+void reply_buffer::append_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list retry;
+  va_copy(retry, args);
+  char buf[256];
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(retry);
+    throw std::runtime_error("encode: vsnprintf format error");
+  }
+  if (static_cast<std::size_t>(n) < sizeof buf) {
+    bytes_.append(buf, static_cast<std::size_t>(n));
+  } else {
+    // Rare long line: render straight into the tail of the byte store.
+    const std::size_t old = bytes_.size();
+    bytes_.resize(old + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(bytes_.data() + old, static_cast<std::size_t>(n) + 1, fmt,
+                   retry);
+    bytes_.resize(old + static_cast<std::size_t>(n));
+  }
+  va_end(retry);
+}
+
+void reply_buffer::append_u64(std::uint64_t v) {
+  char buf[20];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  bytes_.append(buf, static_cast<std::size_t>(end - buf));
+}
+
+void reply_buffer::append_i32(std::int32_t v) {
+  char buf[12];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  bytes_.append(buf, static_cast<std::size_t>(end - buf));
+}
+
+void reply_buffer::append_u32(std::uint32_t v) {
+  char buf[10];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  bytes_.append(buf, static_cast<std::size_t>(end - buf));
+}
+
+void reply_buffer::append_double17(double v) {
+  // std::to_chars with an explicit precision is specified to render "as if
+  // by printf" with that precision -- the parity with the historical
+  // snprintf("%.17g") encoders is pinned by a regression test over a value
+  // corpus, not assumed.
+  char buf[40];
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 17);
+  if (ec != std::errc{}) {
+    append_format("%.17g", v);  // unreachable belt-and-braces
+    return;
+  }
+  bytes_.append(buf, static_cast<std::size_t>(end - buf));
+}
+
 std::string encode(const checkin_request& m) {
   return format_line(
       "CHECKIN client=%llu lat=%.6f lon=%.6f t=%.3f net=%u "
@@ -138,7 +200,13 @@ std::string encode(const checkin_request& m) {
 }
 
 std::string encode(const task_assignment& m) {
-  return format_line(
+  reply_buffer out;
+  encode_into(m, out);
+  return std::string(out.view());
+}
+
+void encode_into(const task_assignment& m, reply_buffer& out) {
+  out.append_format(
       "TASK kind=%s net=%u tcp_bytes=%llu udp_packets=%u "
       "ping_count=%u",
       trace::to_string(m.kind).c_str(), m.network_index,
@@ -206,6 +274,20 @@ std::string encode_error(err_code code, std::string_view detail) {
   out += ' ';
   out += error_excerpt(detail);
   return out;
+}
+
+void encode_error_into(err_code code, std::string_view detail,
+                       reply_buffer& out) {
+  constexpr std::size_t max_detail = 120;  // error_excerpt's default clip
+  out.append("ERR ");
+  out.append(to_string(code));
+  out.append(' ');
+  if (detail.size() <= max_detail) {
+    out.append(detail);
+  } else {
+    out.append(detail.substr(0, max_detail));
+    out.append("...");
+  }
 }
 
 std::size_t reply_extra_lines(std::string_view header_line) noexcept {
@@ -375,6 +457,14 @@ measurement_report decode_report(std::string_view line) {
 
 std::vector<trace::measurement_record> decode_report_batch(
     std::string_view frame) {
+  std::vector<trace::measurement_record> out;
+  decode_report_batch_into(frame, out);
+  return out;
+}
+
+void decode_report_batch_into(std::string_view frame,
+                              std::vector<trace::measurement_record>& out) {
+  out.clear();
   const std::size_t nl = frame.find('\n');
   const std::string_view header =
       nl == std::string_view::npos ? frame : frame.substr(0, nl);
@@ -393,7 +483,6 @@ std::vector<trace::measurement_record> decode_report_batch(
                                 " exceeds max " +
                                 std::to_string(max_report_batch));
   }
-  std::vector<trace::measurement_record> out;
   out.reserve(static_cast<std::size_t>(n));
   std::size_t produced = 0;
   std::string_view rest =
@@ -404,8 +493,10 @@ std::vector<trace::measurement_record> decode_report_batch(
                                   std::to_string(n) + ", payload has more");
     }
     const std::size_t e = rest.find('\n');
-    const std::string_view payload =
+    std::string_view payload =
         e == std::string_view::npos ? rest : rest.substr(0, e);
+    // CRLF-framed batches: the '\r' before each '\n' is framing, not CSV.
+    if (!payload.empty() && payload.back() == '\r') payload.remove_suffix(1);
     try {
       out.push_back(trace::from_csv(payload));
     } catch (const std::invalid_argument& ex) {
@@ -421,7 +512,6 @@ std::vector<trace::measurement_record> decode_report_batch(
                                 std::to_string(n) + ", got " +
                                 std::to_string(produced) + " records");
   }
-  return out;
 }
 
 // ---- read-side codec (protocol v2) ----------------------------------------
@@ -522,6 +612,9 @@ struct frame_cursor {
       rest = rest.substr(e + 1);
       done = rest.empty();
     }
+    // CRLF tolerance lives here (not in a transport-side rewrite buffer):
+    // the '\r' before each '\n' is framing, never payload.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     return line;
   }
 };
@@ -551,6 +644,13 @@ std::string encode(const hello_request& m) {
 
 std::string encode(const hello_reply& m) {
   return format_line("HELLO ver=%u min=%u", m.version, m.min_version);
+}
+
+void encode_into(const hello_reply& m, reply_buffer& out) {
+  out.append("HELLO ver=");
+  out.append_u32(m.version);
+  out.append(" min=");
+  out.append_u32(m.min_version);
 }
 
 hello_request decode_hello(std::string_view line) {
@@ -603,16 +703,37 @@ query_request decode_query(std::string_view line) {
 }
 
 std::string encode(const estimate_reply& m) {
-  // %.17g on every double: what the client decodes is bit-for-bit what the
-  // view served (a remote application reproduces in-process decisions).
-  return format_line(
-      "EST zone=%d:%d net=%s metric=%s count=%llu mean=%.17g stddev=%.17g "
-      "epoch=%llu staleness_s=%.17g conf=%.17g",
-      m.zone.ix, m.zone.iy, m.network.c_str(),
-      trace::to_string(m.metric).c_str(),
-      static_cast<unsigned long long>(m.count), m.mean, m.stddev,
-      static_cast<unsigned long long>(m.epoch_index), m.staleness_s,
-      m.confidence);
+  reply_buffer out;
+  encode_into(m, out);
+  return std::string(out.view());
+}
+
+void encode_into(const estimate_reply& m, reply_buffer& out) {
+  // %.17g-equivalent rendering on every double: what the client decodes is
+  // bit-for-bit what the view served (a remote application reproduces
+  // in-process decisions). Field-by-field appends instead of one snprintf:
+  // the EST line is the hottest reply and integer/double to_chars is a
+  // large constant factor cheaper than printf format parsing.
+  out.append("EST zone=");
+  out.append_i32(m.zone.ix);
+  out.append(':');
+  out.append_i32(m.zone.iy);
+  out.append(" net=");
+  out.append(m.network);
+  out.append(" metric=");
+  out.append(trace::to_string(m.metric));
+  out.append(" count=");
+  out.append_u64(m.count);
+  out.append(" mean=");
+  out.append_double17(m.mean);
+  out.append(" stddev=");
+  out.append_double17(m.stddev);
+  out.append(" epoch=");
+  out.append_u64(m.epoch_index);
+  out.append(" staleness_s=");
+  out.append_double17(m.staleness_s);
+  out.append(" conf=");
+  out.append_double17(m.confidence);
 }
 
 std::string encode_none() { return "NONE"; }
@@ -686,6 +807,14 @@ std::string encode_query_batch(std::span<const query_request> qs) {
 }
 
 std::vector<query_request> decode_query_batch(std::string_view frame) {
+  std::vector<query_request> out;
+  decode_query_batch_into(frame, out);
+  return out;
+}
+
+void decode_query_batch_into(std::string_view frame,
+                             std::vector<query_request>& out) {
+  out.clear();
   std::string_view header;
   frame_cursor lines(frame, header);
   token_cursor c{header};
@@ -694,7 +823,6 @@ std::vector<query_request> decode_query_batch(std::string_view frame) {
   if (c.next()) {
     throw std::invalid_argument("QUERYB header has trailing tokens");
   }
-  std::vector<query_request> out;
   out.reserve(static_cast<std::size_t>(n));
   while (const auto line = lines.next()) {
     if (out.size() == n) {
@@ -715,7 +843,6 @@ std::vector<query_request> decode_query_batch(std::string_view frame) {
                                 std::to_string(n) + ", got " +
                                 std::to_string(out.size()) + " queries");
   }
-  return out;
 }
 
 std::string encode_estimate_batch(
@@ -794,20 +921,39 @@ alerts_request decode_alerts_request(std::string_view line) {
 }
 
 std::string encode(const alerts_reply& m) {
-  std::string out = format_line(
-      "ALERTS %zu next=%llu dropped=%llu", m.alerts.size(),
-      static_cast<unsigned long long>(m.next_seq),
-      static_cast<unsigned long long>(m.dropped));
+  reply_buffer out;
+  encode_into(m, out);
+  return std::string(out.view());
+}
+
+void encode_into(const alerts_reply& m, reply_buffer& out) {
+  out.append("ALERTS ");
+  out.append_u64(m.alerts.size());
+  out.append(" next=");
+  out.append_u64(m.next_seq);
+  out.append(" dropped=");
+  out.append_u64(m.dropped);
   for (const alert_event& a : m.alerts) {
-    out += '\n';
-    out += format_line(
-        "ALERT seq=%llu zone=%d:%d net=%s metric=%s epoch_start_s=%.17g "
-        "prev_mean=%.17g new_mean=%.17g prev_stddev=%.17g",
-        static_cast<unsigned long long>(a.seq), a.zone.ix, a.zone.iy,
-        a.network.c_str(), trace::to_string(a.metric).c_str(),
-        a.epoch_start_s, a.previous_mean, a.new_mean, a.previous_stddev);
+    out.append('\n');
+    out.append("ALERT seq=");
+    out.append_u64(a.seq);
+    out.append(" zone=");
+    out.append_i32(a.zone.ix);
+    out.append(':');
+    out.append_i32(a.zone.iy);
+    out.append(" net=");
+    out.append(a.network);
+    out.append(" metric=");
+    out.append(trace::to_string(a.metric));
+    out.append(" epoch_start_s=");
+    out.append_double17(a.epoch_start_s);
+    out.append(" prev_mean=");
+    out.append_double17(a.previous_mean);
+    out.append(" new_mean=");
+    out.append_double17(a.new_mean);
+    out.append(" prev_stddev=");
+    out.append_double17(a.previous_stddev);
   }
-  return out;
 }
 
 alerts_reply decode_alerts_reply(std::string_view frame) {

@@ -177,14 +177,82 @@ std::string_view to_string(err_code code) noexcept;
 /// clients treat unknown codes as a generic error).
 std::optional<err_code> err_code_from_string(std::string_view s) noexcept;
 
+// ---- reply buffer ---------------------------------------------------------
+
+class coordinator_server;
+
+/// A growable reply arena for the zero-allocation encode path.
+///
+/// Every encode_*_into() function appends wire bytes here instead of
+/// returning a std::string, so a caller that reuses one reply_buffer per
+/// connection pays no heap traffic per reply in steady state: the byte
+/// storage and the decode scratch vectors keep their capacity across
+/// clear() calls, and the typed append helpers (std::to_chars under the
+/// hood) never touch the heap once the buffer has warmed up.
+///
+/// The buffer also carries coordinator_server's per-request decode scratch
+/// (REPORTB records, QUERYB queries, REPORT-group bookkeeping), so one
+/// reply_buffer per session is the whole per-connection arena. Not
+/// thread-safe; confine one buffer to one caller at a time.
+class reply_buffer {
+ public:
+  /// The encoded bytes (valid until the next mutating call).
+  std::string_view view() const noexcept { return bytes_; }
+  std::size_t size() const noexcept { return bytes_.size(); }
+  /// Drops the bytes, keeping capacity (and the decode scratch) warm.
+  void clear() noexcept { bytes_.clear(); }
+  /// Truncates back to `n` bytes (n <= size()); encoders use this to
+  /// replace a partially rendered reply with an ERR line.
+  void truncate(std::size_t n) { bytes_.resize(n); }
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
+  void append(std::string_view s) { bytes_.append(s); }
+  void append(char c) { bytes_.push_back(c); }
+  /// Appends printf-rendered text (grows past 256 rendered bytes instead
+  /// of truncating). Byte-identical to format_line-based encoders.
+  void append_format(const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+  void append_u64(std::uint64_t v);
+  void append_i32(std::int32_t v);
+  void append_u32(std::uint32_t v);
+  /// Appends `v` exactly as printf "%.17g" would render it (std::to_chars
+  /// with general format, precision 17 -- specified to match printf), so
+  /// replies stay byte-identical to the historical snprintf encoders.
+  void append_double17(double v);
+
+  /// The underlying byte store, for encoders that interoperate with
+  /// std::string& appenders (obs::append_value). Appending through it is
+  /// equivalent to append().
+  std::string& storage() noexcept { return bytes_; }
+
+ private:
+  friend class coordinator_server;
+
+  std::string bytes_;
+  // coordinator_server's per-request decode scratch, reused across
+  // requests so REPORTB/QUERYB frames and REPORT groups decode without
+  // per-frame vector allocations (element strings stay in SSO).
+  std::vector<trace::measurement_record> records_scratch_;
+  std::vector<query_request> queries_scratch_;
+  std::vector<std::uint8_t> group_status_;
+  std::vector<std::string> group_errors_;
+};
+
 // ---- codec ----------------------------------------------------------------
 // encode() never fails; decode_*() throws std::invalid_argument naming the
 // offending field. All codec functions are pure and thread-safe.
+
+// The encode_into / decode_*_into flavours are the zero-allocation forms:
+// they append to (or fill) caller-owned storage whose capacity survives
+// across calls, and are byte-identical to their std::string counterparts
+// (which are now thin wrappers). The hot server reply path uses only these.
 
 /// Encodes a check-in as one "CHECKIN k=v ..." line.
 std::string encode(const checkin_request& m);
 /// Encodes a task as one "TASK k=v ..." line.
 std::string encode(const task_assignment& m);
+/// Appends the "TASK k=v ..." line to `out` (no trailing newline).
+void encode_into(const task_assignment& m, reply_buffer& out);
 /// Encodes a report as one "REPORT client=<id> csv=<record>" line.
 std::string encode(const measurement_report& m);
 
@@ -198,6 +266,8 @@ std::string encode_report_batch(std::span<const trace::measurement_record> recs)
 std::string encode(const hello_request& m);
 /// Encodes the negotiation answer as one "HELLO ver=<n> min=<n>" line.
 std::string encode(const hello_reply& m);
+/// Appends the "HELLO ver=<n> min=<n>" reply line to `out`.
+void encode_into(const hello_reply& m, reply_buffer& out);
 
 /// Encodes a lookup as one "QUERY k=v ..." line (t omitted when < 0).
 std::string encode(const query_request& m);
@@ -205,6 +275,10 @@ std::string encode(const query_request& m);
 /// rendered with round-trip precision (%.17g): what the client decodes is
 /// bit-for-bit what the view served.
 std::string encode(const estimate_reply& m);
+/// Appends the "EST k=v ..." line to `out`: the zero-allocation form every
+/// QUERY/QUERYB reply is rendered through (doubles via append_double17, so
+/// the %.17g round-trip guarantee holds byte-for-byte).
+void encode_into(const estimate_reply& m, reply_buffer& out);
 /// The QUERY reply when the stream has no published estimate yet.
 std::string encode_none();
 
@@ -222,6 +296,8 @@ std::string encode(const alerts_request& m);
 /// Encodes the drain answer as one "ALERTS <n> next=<seq> dropped=<d>"
 /// frame: header + n "ALERT k=v ..." lines, oldest first.
 std::string encode(const alerts_reply& m);
+/// Appends the ALERTS reply frame to `out`.
+void encode_into(const alerts_reply& m, reply_buffer& out);
 
 /// The coordinator's answer to a check-in when no task is issued.
 std::string encode_idle();
@@ -229,6 +305,10 @@ std::string encode_idle();
 /// The server's reply to a malformed or rejected request:
 /// "ERR <code> <detail>". The detail is clipped to 120 bytes.
 std::string encode_error(err_code code, std::string_view detail);
+/// Appends the "ERR <code> <detail>" line to `out` (detail clipped to 120
+/// bytes, same as encode_error) without heap traffic.
+void encode_error_into(err_code code, std::string_view detail,
+                       reply_buffer& out);
 
 /// Clips `s` for inclusion in an error reason: at most `max_len` bytes plus
 /// an ellipsis, so a multi-megabyte garbage line is never echoed verbatim.
@@ -265,6 +345,12 @@ measurement_report decode_report(std::string_view line);
 /// payload line fails to decode.
 std::vector<trace::measurement_record> decode_report_batch(
     std::string_view frame);
+/// decode_report_batch into caller-owned storage: `out` is cleared and
+/// refilled, reusing its capacity across frames (the zero-allocation
+/// steady-state form; record names stay in SSO). Payload lines tolerate a
+/// trailing '\r' (telnet-framed batches), same as single-line requests.
+void decode_report_batch_into(std::string_view frame,
+                              std::vector<trace::measurement_record>& out);
 
 /// Parses a "HELLO ver=<n>" request. Throws std::invalid_argument on a
 /// missing/duplicate/malformed ver field.
@@ -283,6 +369,10 @@ estimate_reply decode_estimate(std::string_view line);
 /// disagrees with the payload lines or exceeds max_query_batch, or any
 /// payload line fails to decode.
 std::vector<query_request> decode_query_batch(std::string_view frame);
+/// decode_query_batch into caller-owned storage (cleared and refilled,
+/// capacity reused): the zero-allocation steady-state form.
+void decode_query_batch_into(std::string_view frame,
+                             std::vector<query_request>& out);
 /// Parses an ESTB reply frame into per-request results (nullopt for NONE
 /// lines). All-or-nothing, same error discipline as decode_query_batch.
 std::vector<std::optional<estimate_reply>> decode_estimate_batch(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/fault_injection.h"
@@ -31,6 +32,7 @@ struct server_metrics {
   obs::counter& err_internal;
   obs::counter& err_overload;
   obs::counter& faults_injected;
+  obs::counter& reply_bytes;
   obs::histogram& checkin_latency;
   obs::histogram& report_latency;
   obs::histogram& batch_latency;
@@ -58,6 +60,7 @@ server_metrics& metrics() {
       reg.get_counter(obs::names::kServerErrInternal),
       reg.get_counter(obs::names::kServerErrOverload),
       reg.get_counter(obs::names::kServerFaultsInjected),
+      reg.get_counter(obs::names::kServerReplyBytes),
       reg.get_histogram(obs::names::kServerCheckinLatency),
       reg.get_histogram(obs::names::kServerReportLatency),
       reg.get_histogram(obs::names::kServerBatchLatency),
@@ -84,19 +87,23 @@ void append_sanitized_name(std::string& out, std::string_view name) {
 }  // namespace
 
 std::string encode_stats() {
+  reply_buffer out;
+  encode_stats_into(out);
+  return std::string(out.view());
+}
+
+void encode_stats_into(reply_buffer& out) {
   const auto samples = obs::registry::global().snapshot();
-  std::string out;
-  out.reserve(16 + samples.size() * 56);
-  char head[32];
-  const int n = std::snprintf(head, sizeof head, "STATS %zu", samples.size());
-  out.append(head, static_cast<std::size_t>(n));
+  std::string& bytes = out.storage();
+  bytes.reserve(bytes.size() + 16 + samples.size() * 56);
+  out.append("STATS ");
+  out.append_u64(samples.size());
   for (const auto& s : samples) {
-    out.push_back('\n');
-    append_sanitized_name(out, s.name);
-    out.push_back(' ');
-    obs::append_value(out, s);
+    bytes.push_back('\n');
+    append_sanitized_name(bytes, s.name);
+    bytes.push_back(' ');
+    obs::append_value(bytes, s);
   }
-  return out;
 }
 
 std::optional<estimate_reply> coordinator_server::lookup_one(
@@ -119,11 +126,20 @@ std::optional<estimate_reply> coordinator_server::lookup_one(
 }
 
 std::string coordinator_server::handle(std::string_view line) {
+  reply_buffer out;
+  handle_into(line, out);
+  return std::string(out.view());
+}
+
+void coordinator_server::handle_into(std::string_view line, reply_buffer& out) {
+  const std::size_t base = out.size();
   metrics().lines.inc();
   const std::string_view type = message_type(line);
   // Every ERR reply carries a stable machine-readable code; counting happens
-  // here so the per-reason counters cannot drift from the wire.
-  const auto fail = [this](err_code code, std::string_view detail) {
+  // here so the per-reason counters cannot drift from the wire. A partially
+  // rendered reply (a QUERYB frame that ERRs mid-payload) is truncated back
+  // to `base` first -- ERR replaces, never appends.
+  const auto fail = [this, &out, base](err_code code, std::string_view detail) {
     auto& m = metrics();
     switch (code) {
       case err_code::parse:
@@ -149,7 +165,8 @@ std::string coordinator_server::handle(std::string_view line) {
         break;
     }
     errors_.fetch_add(1, std::memory_order_relaxed);
-    return encode_error(code, detail);
+    out.truncate(base);
+    encode_error_into(code, detail, out);
   };
   // Scenario seam: an injected fault refuses the request before dispatch,
   // answering the typed ERR a dying transport/overloaded server would --
@@ -159,7 +176,9 @@ std::string coordinator_server::handle(std::string_view line) {
   if (core::fault::fire(core::fault::site::server_handle) ==
       core::fault::action::fail) {
     metrics().faults_injected.inc();
-    return fail(err_code::internal, "injected fault: request refused");
+    fail(err_code::internal, "injected fault: request refused");
+    metrics().reply_bytes.inc(out.size() - base);
+    return;
   }
   try {
     if (type == "CHECKIN") {
@@ -171,14 +190,16 @@ std::string coordinator_server::handle(std::string_view line) {
                    : coord_->checkin(req.pos, req.time_s, req.network_index,
                                      req.active_in_zone, req.client_id);
       metrics().checkins.inc();
-      if (!task) return encode_idle();
-      tasks_.fetch_add(1, std::memory_order_relaxed);
-      task_assignment out;
-      out.kind = task->kind;
-      out.network_index = static_cast<std::uint32_t>(task->network_index);
-      return encode(out);
-    }
-    if (type == "REPORT") {
+      if (!task) {
+        out.append("IDLE");
+      } else {
+        tasks_.fetch_add(1, std::memory_order_relaxed);
+        task_assignment rep;
+        rep.kind = task->kind;
+        rep.network_index = static_cast<std::uint32_t>(task->network_index);
+        encode_into(rep, out);
+      }
+    } else if (type == "REPORT") {
       obs::span timed(metrics().report_latency);
       auto rep = decode_report(line);
       // Resolve the operator id once at the wire boundary so the apply path
@@ -186,20 +207,18 @@ std::string coordinator_server::handle(std::string_view line) {
       rep.record.network_id =
           sharded_ ? sharded_->network_id_of(rep.record.network)
                    : coord_->network_id_of(rep.record.network);
-      if (sharded_) {
-        if (!sharded_->report(rep.record)) {
-          return fail(err_code::stopped, "ingestion pipeline stopped");
-        }
+      if (sharded_ && !sharded_->report(rep.record)) {
+        fail(err_code::stopped, "ingestion pipeline stopped");
       } else {
-        coord_->report(rep.record);
+        if (!sharded_) coord_->report(rep.record);
+        reports_.fetch_add(1, std::memory_order_relaxed);
+        metrics().reports.inc();
+        out.append("ACK");
       }
-      reports_.fetch_add(1, std::memory_order_relaxed);
-      metrics().reports.inc();
-      return "ACK";
-    }
-    if (type == "REPORTB") {
+    } else if (type == "REPORTB") {
       obs::span timed(metrics().batch_latency);
-      auto recs = decode_report_batch(line);
+      auto& recs = out.records_scratch_;
+      decode_report_batch_into(line, recs);
       // Batches overwhelmingly repeat one operator name; memoise the last
       // resolution so a frame costs ~1 interner lookup, not one per record.
       std::string_view last_name;
@@ -212,36 +231,44 @@ std::string coordinator_server::handle(std::string_view line) {
         }
         r.network_id = last_id;
       }
-      if (sharded_) {
-        if (sharded_->report_batch(recs) != recs.size()) {
-          return fail(err_code::stopped, "ingestion pipeline stopped");
-        }
+      if (sharded_ && sharded_->report_batch(recs) != recs.size()) {
+        fail(err_code::stopped, "ingestion pipeline stopped");
       } else {
-        coord_->report_batch(recs);
+        if (!sharded_) coord_->report_batch(recs);
+        reports_.fetch_add(recs.size(), std::memory_order_relaxed);
+        metrics().reports.inc(recs.size());
+        metrics().report_batches.inc();
+        out.append("ACK ");
+        out.append_u64(recs.size());
       }
-      reports_.fetch_add(recs.size(), std::memory_order_relaxed);
-      metrics().reports.inc(recs.size());
-      metrics().report_batches.inc();
-      return "ACK " + std::to_string(recs.size());
-    }
-    if (type == "QUERY") {
+    } else if (type == "QUERY") {
       obs::span timed(metrics().query_latency);
       const auto q = decode_query(line);
       metrics().queries.inc();
       const auto rep = lookup_one(q);
-      return rep ? encode(*rep) : encode_none();
-    }
-    if (type == "QUERYB") {
+      if (rep) {
+        encode_into(*rep, out);
+      } else {
+        out.append("NONE");
+      }
+    } else if (type == "QUERYB") {
       obs::span timed(metrics().query_batch_latency);
-      const auto queries = decode_query_batch(line);
-      std::vector<std::optional<estimate_reply>> replies;
-      replies.reserve(queries.size());
-      for (const auto& q : queries) replies.push_back(lookup_one(q));
+      auto& queries = out.queries_scratch_;
+      decode_query_batch_into(line, queries);
+      out.append("ESTB ");
+      out.append_u64(queries.size());
+      for (const auto& q : queries) {
+        out.append('\n');
+        const auto rep = lookup_one(q);
+        if (rep) {
+          encode_into(*rep, out);
+        } else {
+          out.append("NONE");
+        }
+      }
       metrics().queries.inc(queries.size());
       metrics().query_batches.inc();
-      return encode_estimate_batch(replies);
-    }
-    if (type == "ALERTS") {
+    } else if (type == "ALERTS") {
       obs::span timed(metrics().alerts_latency);
       const auto req = decode_alerts_request(line);
       const auto drained = view_.alerts_since(
@@ -263,36 +290,163 @@ std::string coordinator_server::handle(std::string_view line) {
       rep.next_seq = drained.next_seq;
       rep.dropped = drained.dropped;
       metrics().alerts_requests.inc();
-      return encode(rep);
-    }
-    if (type == "HELLO") {
+      encode_into(rep, out);
+    } else if (type == "HELLO") {
       const auto req = decode_hello(line);
       if (req.version < wire_min_version) {
-        return fail(err_code::version, "client version below supported minimum");
+        fail(err_code::version, "client version below supported minimum");
+      } else {
+        metrics().hellos.inc();
+        hello_reply rep;
+        rep.version = std::min(req.version, wire_version);
+        rep.min_version = wire_min_version;
+        encode_into(rep, out);
       }
-      metrics().hellos.inc();
-      hello_reply rep;
-      rep.version = std::min(req.version, wire_version);
-      rep.min_version = wire_min_version;
-      return encode(rep);
-    }
-    if (type == "STATS") {
+    } else if (type == "STATS") {
       metrics().stats_requests.inc();
-      return encode_stats();
+      encode_stats_into(out);
+    } else {
+      // Compose "unsupported request: '<clipped line>'" on the stack
+      // (22-byte prefix + a 120-byte excerpt + "..." + quote fits in 160);
+      // encode_error_into applies the final 120-byte detail clip, matching
+      // the historical error_excerpt composition byte-for-byte.
+      char detail[160];
+      std::size_t len = 0;
+      const auto put = [&detail, &len](std::string_view s) {
+        const std::size_t k = std::min(s.size(), sizeof detail - len);
+        std::memcpy(detail + len, s.data(), k);
+        len += k;
+      };
+      put("unsupported request: '");
+      if (line.size() <= 120) {
+        put(line);
+      } else {
+        put(line.substr(0, 120));
+        put("...");
+      }
+      put("'");
+      fail(err_code::unsupported, {detail, len});
     }
-    return fail(err_code::unsupported,
-                "unsupported request: '" + error_excerpt(line) + "'");
   } catch (const std::invalid_argument& e) {
     // The line protocol promises a reply per request; malformed input is a
     // client bug the server reports, not a server crash.
-    return fail(err_code::parse, e.what());
+    fail(err_code::parse, e.what());
   } catch (const std::exception& e) {
     // Defense in depth: nothing below is expected to throw anything else on
     // wire input (the coordinator rejects bad records instead), but if it
     // does, answer ERR rather than letting the throw escape the protocol
     // layer and take down the transport.
-    return fail(err_code::internal, e.what());
+    fail(err_code::internal, e.what());
   }
+  metrics().reply_bytes.inc(out.size() - base);
+}
+
+void coordinator_server::handle_report_group(std::string_view block,
+                                             std::size_t count,
+                                             reply_buffer& out) {
+  auto& m = metrics();
+  // One latency sample for the whole group: report_latency measures handler
+  // occupancy, and the group occupies the handler once.
+  obs::span timed(m.report_latency);
+  auto& recs = out.records_scratch_;
+  auto& status = out.group_status_;
+  auto& errs = out.group_errors_;
+  recs.clear();
+  status.clear();
+  errs.clear();
+  // Per-line status so replies stay positional: 0 = decoded ok, 1 = parse
+  // error, 2 = injected fault, 3 = unexpected exception. Error strings for
+  // 1/3 are queued in line order (cold path; a clean group never touches
+  // them).
+  constexpr std::uint8_t st_ok = 0, st_parse = 1, st_fault = 2,
+                         st_internal = 3;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    m.lines.inc();
+    const std::size_t nl = block.find('\n', pos);
+    std::string_view line =
+        block.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    // The fault seam fires once per line, exactly as per-line dispatch
+    // would: a scenario that injects every-Nth-request failures sees the
+    // same rejection positions whether or not the transport grouped.
+    if (core::fault::fire(core::fault::site::server_handle) ==
+        core::fault::action::fail) {
+      m.faults_injected.inc();
+      status.push_back(st_fault);
+      continue;
+    }
+    try {
+      auto rep = decode_report(line);
+      // Runs overwhelmingly repeat one operator name; reuse the previous
+      // record's resolution instead of re-hashing. Compare against the
+      // stored record (not a cached view) -- push_back may move strings.
+      auto& r = rep.record;
+      if (!recs.empty() && recs.back().network == r.network) {
+        r.network_id = recs.back().network_id;
+      } else {
+        r.network_id = sharded_ ? sharded_->network_id_of(r.network)
+                                : coord_->network_id_of(r.network);
+      }
+      recs.push_back(std::move(r));
+      status.push_back(st_ok);
+    } catch (const std::invalid_argument& e) {
+      errs.emplace_back(e.what());
+      status.push_back(st_parse);
+    } catch (const std::exception& e) {
+      errs.emplace_back(e.what());
+      status.push_back(st_internal);
+    }
+  }
+  // One submission for every record that decoded: one ingestion queue lock
+  // and one counter delta per group. A stopped pipeline refuses the whole
+  // group (ERR stopped on every decoded line), mirroring REPORTB's
+  // all-or-nothing discipline.
+  bool stopped = false;
+  if (!recs.empty()) {
+    if (sharded_) {
+      stopped = sharded_->report_batch(recs) != recs.size();
+    } else {
+      coord_->report_batch(recs);
+    }
+  }
+  std::size_t n_ok = 0;
+  std::size_t err_i = 0;
+  std::size_t reply_bytes = 0;
+  for (const std::uint8_t st : status) {
+    const std::size_t before = out.size();
+    if (st == st_ok && !stopped) {
+      out.append("ACK");
+      ++n_ok;
+    } else if (st == st_ok) {
+      m.err_stopped.inc();
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      encode_error_into(err_code::stopped, "ingestion pipeline stopped", out);
+    } else if (st == st_parse) {
+      m.err_parse.inc();
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      encode_error_into(err_code::parse, errs[err_i++], out);
+    } else if (st == st_fault) {
+      m.err_internal.inc();
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      encode_error_into(err_code::internal, "injected fault: request refused",
+                        out);
+    } else {
+      m.err_internal.inc();
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      encode_error_into(err_code::internal, errs[err_i++], out);
+    }
+    reply_bytes += out.size() - before;
+    out.append('\n');
+  }
+  if (n_ok > 0) {
+    reports_.fetch_add(n_ok, std::memory_order_relaxed);
+    m.reports.inc(n_ok);
+  }
+  // reply_bytes counts reply payloads, not the '\n' separators, so the
+  // counter matches what count handle_into() calls would have recorded.
+  m.reply_bytes.inc(reply_bytes);
 }
 
 std::optional<trace::measurement_record> remote_agent::step(

@@ -32,6 +32,9 @@ namespace wiscape::proto {
 /// usable directly by tools that want the dump without a server.
 /// Thread-safe.
 std::string encode_stats();
+/// encode_stats appended to a caller-owned reply_buffer (the form handle_into
+/// serves STATS through). Thread-safe.
+void encode_stats_into(reply_buffer& out);
 
 /// Serves a coordinator over the line protocol.
 ///
@@ -83,6 +86,35 @@ class coordinator_server {
   /// applied asynchronously: flush the sharded coordinator before expecting
   /// a QUERY to serve it.
   std::string handle(std::string_view line);
+
+  /// handle() without the return-value allocation: the reply is appended to
+  /// `out` (no trailing newline), byte-identical to what handle() returns
+  /// for the same line -- handle() is a thin wrapper over this. A caller
+  /// that reuses one reply_buffer per connection (clear() between requests)
+  /// pays zero heap allocations per request in steady state: replies are
+  /// rendered with to_chars-based appends and REPORTB/QUERYB frames decode
+  /// into the buffer's scratch vectors, whose capacity survives across
+  /// requests. Thread-safety follows the mode (each thread needs its own
+  /// reply_buffer).
+  void handle_into(std::string_view line, reply_buffer& out);
+
+  /// Transport micro-batch: answers `count` consecutive single-line REPORT
+  /// requests -- `block`, their concatenated '\n'-terminated lines -- in one
+  /// call, appending one reply per line to `out` *including* the '\n'
+  /// terminator after each (replies stay positional with the lines).
+  ///
+  /// Semantics are line-for-line identical to count handle_into() calls
+  /// ("ACK", "ERR parse ...", "ERR internal injected fault..." or
+  /// "ERR stopped ..." in the same positions, same counter increments, and
+  /// the server_handle fault seam fires once per line), except that every
+  /// record that decodes is submitted through one report_batch() call --
+  /// one queue lock and one counter delta per group instead of one per
+  /// line. The event loop uses this to coalesce REPORT runs drained in one
+  /// epoll wake; a stopped pipeline answers ERR stopped on every decoded
+  /// line of the group, mirroring REPORTB's all-or-nothing discipline.
+  /// Lines may carry a trailing '\r' (stripped, like single requests).
+  void handle_report_group(std::string_view block, std::size_t count,
+                           reply_buffer& out);
 
   /// True when serving a sharded coordinator (handle() is thread-safe).
   bool concurrent() const noexcept { return sharded_ != nullptr; }

@@ -45,10 +45,22 @@ std::string to_string(metric m) {
 }
 
 metric metric_from_string(std::string_view s) {
-  for (metric m : {metric::tcp_throughput_bps, metric::udp_throughput_bps,
-                   metric::loss_rate, metric::jitter_s, metric::rtt_s,
-                   metric::uplink_throughput_bps}) {
-    if (to_string(m) == s) return m;
+  // Hot on the wire QUERY path (one call per decoded query): compare
+  // against static names instead of materialising to_string() temporaries.
+  struct entry {
+    std::string_view name;
+    metric m;
+  };
+  static constexpr entry kNames[] = {
+      {"tcp_throughput", metric::tcp_throughput_bps},
+      {"udp_throughput", metric::udp_throughput_bps},
+      {"loss_rate", metric::loss_rate},
+      {"jitter", metric::jitter_s},
+      {"rtt", metric::rtt_s},
+      {"uplink_throughput", metric::uplink_throughput_bps},
+  };
+  for (const auto& e : kNames) {
+    if (e.name == s) return e.m;
   }
   throw std::invalid_argument("unknown metric: " + std::string(s));
 }

@@ -10,6 +10,7 @@
 
 #include <arpa/inet.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <string>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "core/coordinator.h"
+#include "core/sharded_coordinator.h"
 #include "net/byte_ring.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -464,6 +466,214 @@ TEST(TcpServer, ShedsQueriesUnderSaturation) {
   EXPECT_GE(counter_value(obs::names::kNetShedQueries), shed0 + 1);
   client.close();
   srv.stop();
+}
+
+std::string report_line(double t) {
+  proto::measurement_report rep;
+  rep.client_id = 7;
+  rep.record = testing::make_record(t, "NetB", here,
+                                    trace::probe_kind::udp_burst, 1.0e6);
+  return proto::encode(rep);
+}
+
+TEST(NetSession, HandleIntoMatchesHandleOnGoldenCorpus) {
+  handler_fixture fx;
+  // One reused buffer across the corpus, like a session's arena: every
+  // reply must still match handle() byte for byte. STATS and CHECKIN are
+  // excluded -- their replies move between two calls by design (counters
+  // tick, the task rotation advances).
+  std::vector<proto::query_request> qs(2);
+  qs[0].pos = here;
+  qs[0].network = "NetB";
+  qs[0].metric = trace::metric::udp_throughput_bps;
+  qs[0].time_s = 200.0;
+  qs[1].pos = here;
+  qs[1].network = "NetB";
+  qs[1].metric = trace::metric::loss_rate;
+  qs[1].time_s = 200.0;
+  const std::vector<std::string> corpus = {
+      "HELLO ver=2",
+      report_line(100.0),
+      report_frame(3),
+      "QUERY lat=43.07 lon=-89.4 net=NetB metric=udp_throughput t=200",
+      proto::encode_query_batch(qs),
+      "ALERTS since=0 max=4",
+      "BOGUS command",
+      "QUERY lat=not-a-number",
+      "REPORT client=1 csv=notcsv",
+      std::string("NOISE ") + std::string(300, 'x'),
+  };
+  proto::reply_buffer out;
+  for (const auto& req : corpus) {
+    out.clear();
+    fx.server.handle_into(req, out);
+    EXPECT_EQ(out.view(), fx.server.handle(req)) << req;
+  }
+}
+
+TEST(NetSession, ConsecutiveReportsCoalesceIntoOneBatch) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  std::string burst;
+  for (int i = 0; i < 5; ++i) burst += report_line(100.0 + i) + "\n";
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(burst));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 5u);
+  EXPECT_EQ(stats.grouped_reports, 5u);
+  EXPECT_EQ(s.take_queued_replies(), 5u);
+  EXPECT_EQ(ring_text(s.out()), "ACK\nACK\nACK\nACK\nACK\n");
+  EXPECT_EQ(fx.server.reports_received(), 5u);
+}
+
+TEST(NetSession, ReportGroupPreservesPerLineErrors) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  const std::string bad = "REPORT client=1 csv=notcsv";
+  const std::string burst = report_line(100.0) + "\n" + bad + "\n" +
+                            report_line(101.0) + "\n";
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(burst));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.grouped_reports, 3u);
+  // The middle reply is exactly what per-line dispatch answers.
+  handler_fixture other;
+  const std::string expect =
+      "ACK\n" + other.server.handle(bad) + "\nACK\n";
+  EXPECT_EQ(ring_text(s.out()), expect);
+  EXPECT_EQ(fx.server.reports_received(), 2u);
+}
+
+TEST(NetSession, ReportRunBrokenByOtherRequestClasses) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  // REPORT REPORT QUERY REPORT: only the leading run of two groups.
+  const std::string query =
+      "QUERY lat=43.07 lon=-89.4 net=NetB metric=udp_throughput t=200";
+  const std::string burst = report_line(100.0) + "\n" + report_line(101.0) +
+                            "\n" + query + "\n" + report_line(102.0) + "\n";
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(burst));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 4u);
+  EXPECT_EQ(stats.grouped_reports, 2u);
+  EXPECT_EQ(fx.server.reports_received(), 3u);
+}
+
+TEST(NetSession, CoalesceDisabledDispatchesPerLine) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  lim.coalesce_reports = false;
+  session s(lim, fx.server);
+
+  const std::string burst = report_line(100.0) + "\n" + report_line(101.0) +
+                            "\n" + report_line(102.0) + "\n";
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(burst));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 3u);
+  EXPECT_EQ(stats.grouped_reports, 0u);
+  EXPECT_EQ(ring_text(s.out()), "ACK\nACK\nACK\n");
+  EXPECT_EQ(fx.server.reports_received(), 3u);
+}
+
+TEST(TcpServer, PipelinedRequestsCoalesceWritev) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;
+  cfg.limits.require_hello = false;
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  line_client client;
+  client.connect("127.0.0.1", srv.port());
+  // Warm the connection so accept-time effects don't blur the delta.
+  ASSERT_EQ(proto::message_type(client.request(report_line(50.0))), "ACK");
+
+  constexpr std::size_t kBurst = 64;
+  std::string block;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    block += report_line(100.0 + static_cast<double>(i)) + "\n";
+  }
+  const std::uint64_t writev0 = counter_value(obs::names::kNetWritevCalls);
+  const std::size_t reply_bytes = client.pipeline(block, kBurst);
+  EXPECT_EQ(reply_bytes, kBurst * 4);  // "ACK\n" each
+  const std::uint64_t writev_delta =
+      counter_value(obs::names::kNetWritevCalls) - writev0;
+  // The whole burst usually lands in one wake; loopback scheduling can
+  // split it, but per-reply writes would need one call per reply.
+  EXPECT_LT(writev_delta, kBurst / 2);
+  EXPECT_EQ(fx.server.reports_received(), kBurst + 1);
+  client.close();
+  srv.stop();
+}
+
+TEST(TcpServer, ConcurrentPipelinedSessionsCoalesce) {
+  // Two event loops over a sharded (concurrent) handler while client
+  // threads pipeline REPORT bursts through 64 sessions at once: the
+  // per-wake writev coalescing must stay correct -- every reply
+  // delivered, every record ingested -- with both loops flushing
+  // concurrently. This is the TSan target for the batched reply path.
+  cellnet::deployment dep = testing::tiny_deployment();
+  geo::zone_grid grid{dep.proj(), 250.0};
+  core::sharded_config scfg;
+  scfg.num_shards = 2;
+  core::sharded_coordinator coord(grid, dep.names(), scfg, 5);
+  proto::coordinator_server server(coord);
+
+  server_config cfg;
+  cfg.event_loops = 2;
+  cfg.limits.require_hello = false;
+  tcp_server srv(server, cfg);
+  srv.start();
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSessionsPerThread = 16;  // 64 sessions total
+  constexpr std::size_t kBurst = 32;
+  const std::uint64_t writev0 = counter_value(obs::names::kNetWritevCalls);
+  std::atomic<std::size_t> reply_bytes{0};
+  std::vector<std::thread> threads;
+  for (std::size_t tix = 0; tix < kThreads; ++tix) {
+    threads.emplace_back([&, tix] {
+      for (std::size_t sess = 0; sess < kSessionsPerThread; ++sess) {
+        line_client c;
+        c.connect("127.0.0.1", srv.port());
+        std::string block;
+        for (std::size_t i = 0; i < kBurst; ++i) {
+          block += report_line(1000.0 +
+                               static_cast<double>((tix * kSessionsPerThread +
+                                                    sess) *
+                                                       kBurst +
+                                                   i)) +
+                   "\n";
+        }
+        reply_bytes += c.pipeline(block, kBurst);
+        c.close();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  constexpr std::size_t kReplies = kThreads * kSessionsPerThread * kBurst;
+  EXPECT_EQ(reply_bytes.load(), kReplies * 4);  // "ACK\n" each
+  coord.flush();
+  EXPECT_EQ(server.reports_received(), kReplies);
+  // Coalescing must survive concurrency: far fewer flushes than replies.
+  const std::uint64_t writev_delta =
+      counter_value(obs::names::kNetWritevCalls) - writev0;
+  EXPECT_LT(writev_delta, kReplies / 2);
+  srv.stop();
+  EXPECT_EQ(srv.active_sessions(), 0u);
 }
 
 TEST(TcpServer, ManyConcurrentSessions) {

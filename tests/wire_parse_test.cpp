@@ -12,8 +12,11 @@
 // REPORTB batch framing.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -497,6 +500,187 @@ TEST(WireParseBatch, EmptyBatchAndTrailingNewlineTolerated) {
       1.0, "NetB", {43.0, -89.4}, trace::probe_kind::udp_burst, 1e6));
   // A transport that delivers the terminal newline still decodes.
   EXPECT_EQ(proto::decode_report_batch("REPORTB 1\n" + csv + "\n").size(), 1u);
+}
+
+// ---- the zero-allocation encode path (handle_into's building blocks) ------
+
+TEST(WireEncodeInto, Double17ParityWithPrintf) {
+  // append_double17 renders via to_chars(general, 17), which the standard
+  // specifies to match printf("%.17g") byte for byte. The whole reply
+  // byte-identity guarantee leans on that parity, so pin it over a corpus
+  // of awkward doubles rather than assume it.
+  std::vector<double> corpus = {0.0,
+                                -0.0,
+                                1.0,
+                                -1.0,
+                                0.1,
+                                1.0 / 3.0,
+                                1e-308,
+                                1e308,
+                                5e-324,  // smallest denormal
+                                std::numeric_limits<double>::min(),
+                                std::numeric_limits<double>::max(),
+                                std::numeric_limits<double>::epsilon(),
+                                std::numeric_limits<double>::infinity(),
+                                -std::numeric_limits<double>::infinity(),
+                                123456789.123456789,
+                                2.5e6,
+                                -1.5e-5};
+  std::mt19937_64 rng(20260809u);
+  while (corpus.size() < 2000) {
+    double v;
+    const std::uint64_t bits = rng();
+    std::memcpy(&v, &bits, sizeof v);
+    if (std::isnan(v)) continue;  // NaN spellings differ (nan vs -nan(...))
+    corpus.push_back(v);
+  }
+  proto::reply_buffer out;
+  for (const double v : corpus) {
+    out.clear();
+    out.append_double17(v);
+    char want[64];
+    std::snprintf(want, sizeof want, "%.17g", v);
+    EXPECT_EQ(out.view(), std::string_view(want)) << v;
+  }
+}
+
+TEST(WireEncodeInto, EncodeIntoMatchesEncode) {
+  proto::task_assignment task;
+  task.kind = trace::probe_kind::tcp_download;
+  task.network_index = 3;
+  task.tcp_bytes = 1u << 20;
+  task.udp_packets = 50;
+  task.ping_count = 10;
+
+  proto::hello_reply hello;
+
+  proto::estimate_reply est;
+  est.zone = {12, -7};
+  est.network = "NetB";
+  est.metric = trace::metric::udp_throughput_bps;
+  est.count = 41;
+  est.mean = 2.5e6 / 3.0;
+  est.stddev = 1.25e5;
+  est.epoch_index = 9;
+  est.staleness_s = 17.25;
+  est.confidence = 0.84;
+
+  proto::alerts_reply alerts;
+  alerts.next_seq = 6;
+  alerts.dropped = 1;
+  proto::alert_event ev;
+  ev.seq = 5;
+  ev.zone = {-2, 4};
+  ev.network = "NetA";
+  ev.metric = trace::metric::loss_rate;
+  ev.epoch_start_s = 300.0;
+  ev.previous_mean = 0.01;
+  ev.new_mean = 0.2;
+  ev.previous_stddev = 0.005;
+  alerts.alerts.push_back(ev);
+  ev.seq = 6;
+  alerts.alerts.push_back(ev);
+
+  // Appended to a non-empty buffer: only the appended tail must match
+  // (the _into forms append, never overwrite).
+  proto::reply_buffer out;
+  const auto appended = [&out](auto&& encode_one) {
+    out.clear();
+    out.append("prefix|");
+    encode_one();
+    return std::string(out.view().substr(7));
+  };
+  EXPECT_EQ(appended([&] { proto::encode_into(task, out); }),
+            proto::encode(task));
+  EXPECT_EQ(appended([&] { proto::encode_into(hello, out); }),
+            proto::encode(hello));
+  EXPECT_EQ(appended([&] { proto::encode_into(est, out); }),
+            proto::encode(est));
+  EXPECT_EQ(appended([&] { proto::encode_into(alerts, out); }),
+            proto::encode(alerts));
+}
+
+TEST(WireEncodeInto, EncodeErrorIntoMatchesEncodeError) {
+  using proto::err_code;
+  const std::string long_detail(300, 'd');
+  proto::reply_buffer out;
+  for (const err_code code :
+       {err_code::parse, err_code::unsupported, err_code::stopped,
+        err_code::version, err_code::internal, err_code::overload}) {
+    for (const std::string_view detail :
+         {std::string_view("short detail"), std::string_view(long_detail),
+          std::string_view("")}) {
+      out.clear();
+      proto::encode_error_into(code, detail, out);
+      EXPECT_EQ(out.view(), proto::encode_error(code, detail));
+    }
+  }
+}
+
+TEST(WireParseBatch, DecodeBatchIntoMatchesAndReusesCapacity) {
+  std::vector<trace::measurement_record> recs;
+  for (int i = 0; i < 8; ++i) {
+    recs.push_back(testing::make_record(10.0 + i, "NetB", {43.0, -89.4},
+                                        trace::probe_kind::udp_burst, 1e6));
+  }
+  const std::string frame = proto::encode_report_batch(recs);
+  const auto via_copy = proto::decode_report_batch(frame);
+
+  std::vector<trace::measurement_record> into;
+  proto::decode_report_batch_into(frame, into);
+  ASSERT_EQ(into.size(), via_copy.size());
+  const std::size_t warm_cap = into.capacity();
+  // Second decode reuses the warmed vector: same contents, no regrowth.
+  proto::decode_report_batch_into(frame, into);
+  EXPECT_EQ(into.capacity(), warm_cap);
+  ASSERT_EQ(into.size(), via_copy.size());
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    expect_same_record(into[i], via_copy[i]);
+  }
+
+  // Same contract for the query flavour.
+  std::vector<proto::query_request> qs(2);
+  qs[0].pos = {43.0, -89.4};
+  qs[0].network = "NetB";
+  qs[0].metric = trace::metric::udp_throughput_bps;
+  qs[0].time_s = 100.0;
+  qs[1].pos = {43.1, -89.5};
+  qs[1].network = "NetA";
+  qs[1].metric = trace::metric::loss_rate;
+  const std::string qframe = proto::encode_query_batch(qs);
+  const auto q_copy = proto::decode_query_batch(qframe);
+  std::vector<proto::query_request> q_into;
+  proto::decode_query_batch_into(qframe, q_into);
+  proto::decode_query_batch_into(qframe, q_into);
+  ASSERT_EQ(q_into.size(), q_copy.size());
+  for (std::size_t i = 0; i < q_into.size(); ++i) {
+    EXPECT_EQ(q_into[i].network, q_copy[i].network);
+    EXPECT_EQ(q_into[i].metric, q_copy[i].metric);
+    EXPECT_EQ(q_into[i].time_s, q_copy[i].time_s);
+  }
+}
+
+TEST(WireParseBatch, CrlfFramesToleratedAtDecoderLevel) {
+  // CRLF tolerance moved from the transport (scratch rebuild) into the
+  // decoders: a frame whose every line ends "\r\n" decodes identically.
+  std::vector<trace::measurement_record> recs;
+  recs.push_back(testing::make_record(10.0, "NetB", {43.0, -89.4},
+                                      trace::probe_kind::udp_burst, 1e6));
+  recs.push_back(testing::make_record(11.0, "NetB", {43.0, -89.4},
+                                      trace::probe_kind::udp_burst, 2e6));
+  const std::string frame = proto::encode_report_batch(recs);
+  std::string crlf;
+  for (const char c : frame) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf += c;
+  }
+  crlf += "\r\n";
+  const auto plain = proto::decode_report_batch(frame);
+  const auto tolerant = proto::decode_report_batch(crlf);
+  ASSERT_EQ(tolerant.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    expect_same_record(tolerant[i], plain[i]);
+  }
 }
 
 TEST(WireParseBatch, MessageTypeTagsAreStable) {

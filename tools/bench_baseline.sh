@@ -1,0 +1,111 @@
+#!/usr/bin/env sh
+# Regression guard for the TCP front end's two headline rates.
+#
+# Builds bench_net_server in a Release tree, runs it several times at a
+# guard size (full report stream, modest session count -- the C10k leg is
+# priced separately by the full bench), takes the per-mode MEDIAN of
+#   * query_wire_single  -- single QUERY round trips/s over TCP
+#   * ingest_wire        -- REPORTB records/s over TCP, streamed x16
+# across the runs, and compares them against the committed BENCH_net.json
+# at the repo root. Either median falling more than 10% below its
+# committed value fails the script (exit 1). Medians, not best-of: a
+# single lucky scheduler run must not mask a real regression, and a
+# single noisy run must not fail a healthy tree.
+#
+# --update rewrites BENCH_net.json with this run's medians (commit the
+# diff alongside the change that justified it). Wired as the ctest
+# "bench" configuration (ctest -C bench) so the default test run never
+# pays for it.
+#
+# Usage: tools/bench_baseline.sh [--update] [build-dir] [out-dir]
+#        (defaults: build, bench_out/baseline)
+set -eu
+
+update=0
+if [ "${1:-}" = "--update" ]; then
+  update=1
+  shift
+fi
+build_dir="${1:-build}"
+out_dir="${2:-bench_out/baseline}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+repo_root="$(pwd)"
+baseline="$repo_root/BENCH_net.json"
+
+runs=3
+reports=200000
+sessions=256
+
+echo "== configure ($build_dir, Release) =="
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+
+echo "== build bench_net_server =="
+cmake --build "$build_dir" -j"$jobs" --target bench_net_server
+
+bench_bin="$(cd "$build_dir"/bench && pwd)"
+mkdir -p "$out_dir"
+cd "$out_dir"
+
+: > runs.jsonl
+i=1
+while [ "$i" -le "$runs" ]; do
+  echo "== bench_net_server run $i/$runs ($reports reports, $sessions sessions) =="
+  # The bench's own acceptance gate can trip under a loaded machine; the
+  # guard's verdict is the median comparison below, so record the exit
+  # code but keep collecting samples.
+  rc=0
+  "$bench_bin"/bench_net_server "$reports" "$sessions" \
+    > "run_$i.txt" 2>&1 || rc=$?
+  [ "$rc" -eq 0 ] || echo "   (run $i exit=$rc -- see $out_dir/run_$i.txt)"
+  cat bench_net_server.jsonl >> runs.jsonl
+  i=$((i + 1))
+done
+
+# Median of "ops_per_s" across runs for one jsonl mode.
+median_of() {
+  grep "\"mode\":\"$1\"" runs.jsonl \
+    | sed 's/.*"ops_per_s"://; s/[,}].*//' \
+    | sort -g \
+    | awk '{a[NR] = $1}
+           END {
+             if (NR == 0) { print 0; exit }
+             if (NR % 2) print a[(NR + 1) / 2];
+             else printf "%.0f\n", (a[NR / 2] + a[NR / 2 + 1]) / 2;
+           }'
+}
+
+query_median="$(median_of query_wire_single)"
+ingest_median="$(median_of ingest_wire)"
+echo "medians over $runs runs: query_wire_single=$query_median/s, ingest_wire=$ingest_median rec/s"
+
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+if [ "$update" -eq 1 ] || [ ! -f "$baseline" ]; then
+  printf '{"bench":"net_baseline","query_wire_single":%s,"ingest_wire":%s,"reports":%s,"sessions":%s,"runs":%s,"utc":"%s"}\n' \
+    "$query_median" "$ingest_median" "$reports" "$sessions" "$runs" "$stamp" \
+    > "$baseline"
+  echo "baseline written: $baseline"
+  exit 0
+fi
+
+base_query="$(sed 's/.*"query_wire_single"://; s/[,}].*//' "$baseline")"
+base_ingest="$(sed 's/.*"ingest_wire"://; s/[,}].*//' "$baseline")"
+
+fail=0
+for pair in "query_wire_single:$query_median:$base_query" \
+            "ingest_wire:$ingest_median:$base_ingest"; do
+  mode="${pair%%:*}"
+  rest="${pair#*:}"
+  got="${rest%%:*}"
+  want="${rest#*:}"
+  verdict="$(awk -v g="$got" -v w="$want" \
+    'BEGIN { printf "%.3f %s", g / w, (g >= 0.9 * w) ? "ok" : "REGRESSION" }')"
+  echo "  $mode: $got vs baseline $want -> $verdict (floor 0.90x)"
+  case "$verdict" in *REGRESSION*) fail=1 ;; esac
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "Bench baseline REGRESSED (>10% below $baseline). If the change is"
+  echo "intentional, rerun with --update and commit the new BENCH_net.json."
+  exit 1
+fi
+echo "Bench baseline OK."

@@ -60,9 +60,19 @@ echo "== scenario engine under TSan =="
 # The TCP front end: epoll event-loop threads accepting/pumping real
 # sockets while client threads connect, disconnect mid-frame, overflow
 # buffers and trip the shed policy. The loops are shared-nothing by
-# design; any cross-loop sharing that sneaks in races here.
+# design; any cross-loop sharing that sneaks in races here. The filter
+# includes the writev-coalescing paths (per-wake reply batching and the
+# REPORT micro-batch) exercised by the pipelined-session tests.
 echo "== net front end under TSan =="
 "$build_dir"/tests/wiscape_tests \
   --gtest_filter='ByteRing.*:NetSession.*:TcpServer.*'
+
+# Rerun the concurrent coalescing stress on its own: 64 sessions across
+# client threads pipelining REPORT bursts into two event loops, so the
+# batched flush path (take_queued_replies -> one writev per wake) gets a
+# dedicated verdict at the end of the log.
+echo "== writev coalescing under concurrency (TSan) =="
+"$build_dir"/tests/wiscape_tests \
+  --gtest_filter='TcpServer.ConcurrentPipelinedSessionsCoalesce:TcpServer.ManyConcurrentSessions'
 
 echo "TSan run clean."
