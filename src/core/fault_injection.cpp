@@ -18,6 +18,8 @@ const char* site_name(site s) noexcept {
       return "read_stall";
     case site::write_full:
       return "write_full";
+    case site::frame_truncate:
+      return "frame_truncate";
   }
   return "unknown";
 }

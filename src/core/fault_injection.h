@@ -50,8 +50,11 @@ enum class site {
                  ///< in scenarios, like drain_stall; fail closes the session)
   write_full,    ///< net session write flush: fail = socket unwritable this
                  ///< round (backpressure on the writer); stall sleeps briefly
+  frame_truncate,///< net::line_client binary send edge (driver thread): fail
+                 ///< sends only a prefix of the v3 frame then throws, so the
+                 ///< server sees a cut frame + EOF; stall sleeps briefly
 };
-inline constexpr int site_count = 7;
+inline constexpr int site_count = 8;
 
 /// Stable lower_snake_case name of a site (tick logs, schedules).
 const char* site_name(site s) noexcept;

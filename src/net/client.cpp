@@ -9,10 +9,15 @@
 #include <arpa/inet.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 #include <utility>
+
+#include "core/fault_injection.h"
+#include "proto/wire_v3.h"
 
 namespace wiscape::net {
 
@@ -147,6 +152,76 @@ void line_client::send_framed(std::string_view req) {
   }
 }
 
+void line_client::send_all(std::string_view bytes) {
+  if (fd_ < 0) throw std::runtime_error("line_client: not connected");
+  iovec iov;
+  iov.iov_base = const_cast<char*>(bytes.data());
+  iov.iov_len = bytes.size();
+  while (iov.iov_len > 0) {
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    ssize_t n;
+    do {
+      n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      throw std::runtime_error("line_client: send failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    iov.iov_base = static_cast<char*>(iov.iov_base) + n;
+    iov.iov_len -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string_view line_client::read_frame() {
+  // Compact the consumed prefix (same policy as read_line) so a long
+  // pipelined burst does not grow rx_ with bytes already handed out.
+  if (rx_pos_ > 0 && rx_pos_ == rx_.size()) {
+    rx_.clear();
+    rx_pos_ = 0;
+  } else if (rx_pos_ > 65536) {
+    rx_.erase(0, rx_pos_);
+    rx_pos_ = 0;
+  }
+  while (rx_.size() - rx_pos_ < proto::v3::frame_header_bytes) fill_rx();
+  const auto hdr = proto::v3::peek_header(
+      std::string_view(rx_.data() + rx_pos_, rx_.size() - rx_pos_));
+  if (!hdr) {
+    throw std::runtime_error("line_client: reply is not a binary frame");
+  }
+  const std::size_t total = proto::v3::frame_header_bytes + hdr->payload_len;
+  while (rx_.size() - rx_pos_ < total) fill_rx();
+  std::string_view frame(rx_.data() + rx_pos_, total);
+  rx_pos_ += total;
+  return frame;
+}
+
+std::string_view line_client::request_frame(std::string_view frame) {
+  if (fd_ < 0) throw std::runtime_error("line_client: not connected");
+  switch (core::fault::fire(core::fault::site::frame_truncate)) {
+    case core::fault::action::fail:
+      // A client dying mid-send: ship a strict prefix of the frame, then
+      // surface the failure. The server is left holding a cut frame that
+      // only EOF resolves (the caller's reconnect path closes the socket).
+      if (frame.size() > 1) send_all(frame.substr(0, frame.size() / 2));
+      throw std::runtime_error("line_client: send failed: injected truncation");
+    case core::fault::action::stall:
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      break;
+    case core::fault::action::proceed:
+      break;
+  }
+  send_all(frame);
+  // Compact so the reply lands contiguously at the front of rx_; with a
+  // warm buffer the erase and recv appends reuse capacity (no allocation).
+  if (rx_pos_ > 0) {
+    rx_.erase(0, rx_pos_);
+    rx_pos_ = 0;
+  }
+  return read_frame();
+}
+
 std::string line_client::request(std::string_view req) {
   return std::string(request_view(req));
 }
@@ -191,29 +266,28 @@ std::string_view line_client::request_view(std::string_view req) {
 }
 
 std::size_t line_client::pipeline(std::string_view block, std::size_t count) {
-  if (fd_ < 0) throw std::runtime_error("line_client: not connected");
-  // One burst of complete '\n'-terminated requests...
-  iovec iov;
-  iov.iov_base = const_cast<char*>(block.data());
-  iov.iov_len = block.size();
-  while (iov.iov_len > 0) {
-    msghdr msg{};
-    msg.msg_iov = &iov;
-    msg.msg_iovlen = 1;
-    ssize_t n;
-    do {
-      n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
-    } while (n < 0 && errno == EINTR);
-    if (n <= 0) {
-      throw std::runtime_error("line_client: send failed: " +
-                               std::string(std::strerror(errno)));
-    }
-    iov.iov_base = static_cast<char*>(iov.iov_base) + n;
-    iov.iov_len -= static_cast<std::size_t>(n);
-  }
-  // ...then all the replies, positional with the requests.
+  // One burst of complete back-to-back requests (text lines and/or binary
+  // frames)...
+  send_all(block);
+  // ...then all the replies, positional with the requests. Each reply's
+  // first byte picks its framing: the v3 magic is not printable ASCII, so
+  // no text reply ever starts with it.
   std::size_t total = 0;
   for (std::size_t i = 0; i < count; ++i) {
+    while (rx_pos_ == rx_.size()) {
+      // Compact before growing, exactly like read_line's empty-buffer
+      // path: without this, the framing peek below keeps appending past
+      // an ever-longer consumed prefix and rx_ balloons across a burst.
+      if (rx_pos_ > 0) {
+        rx_.clear();
+        rx_pos_ = 0;
+      }
+      fill_rx();
+    }
+    if (static_cast<unsigned char>(rx_[rx_pos_]) == proto::v3::frame_magic) {
+      total += read_frame().size();
+      continue;
+    }
     const std::string_view first = read_line();
     total += first.size() + 1;
     const std::size_t extra = proto::reply_extra_lines(first);

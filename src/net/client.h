@@ -60,10 +60,23 @@ class line_client {
   /// allocation cost cannot masquerade as server round-trip cost.
   std::string_view request_view(std::string_view req);
 
-  /// Pipelined exchange: sends `block` -- `count` complete '\n'-terminated
-  /// requests back to back -- in one burst, then reads all `count` replies.
-  /// Returns the total reply bytes (separators included). This is how a
-  /// batching reporter drives the server's per-wake reply coalescing.
+  /// One synchronous binary (wire v3) exchange: sends the self-delimiting
+  /// `frame` as-is -- no newline -- and returns the complete binary reply
+  /// frame, header included, as a view aliasing the receive buffer (valid
+  /// until the next call). The caller negotiates HELLO ver>=3 first on
+  /// gated ports. Throws std::runtime_error when the connection dies or
+  /// the reply is not a well-formed frame. The frame_truncate fault seam
+  /// fires here: on fail only a prefix of the frame leaves before the
+  /// throw, so the server observes a cut frame followed by EOF.
+  std::string_view request_frame(std::string_view frame);
+
+  /// Pipelined exchange: sends `block` -- `count` complete back-to-back
+  /// requests, each either a '\n'-terminated text line (or REPORTB/QUERYB
+  /// frame) or a self-delimiting binary v3 frame -- in one burst, then
+  /// reads all `count` replies, auto-detecting each reply's framing by its
+  /// first byte. Returns the total reply bytes (text separators and binary
+  /// headers included). This is how a batching reporter drives the
+  /// server's per-wake reply coalescing.
   std::size_t pipeline(std::string_view block, std::size_t count);
 
   /// HELLO handshake convenience; throws std::runtime_error when the server
@@ -74,10 +87,16 @@ class line_client {
   /// Reads up to (and including) the next '\n'; the returned line excludes
   /// it. Throws on EOF/error.
   std::string_view read_line();
+  /// Reads exactly one binary v3 frame (header + declared payload); the
+  /// returned view includes the header. Throws on EOF/error or a byte
+  /// stream that is not a frame where one is expected.
+  std::string_view read_frame();
   /// One recv appended to rx_. Throws on EOF/error.
   void fill_rx();
   /// Sends `req` + '\n' in one sendmsg (gather I/O -- no framed copy).
   void send_framed(std::string_view req);
+  /// Sends every byte of `bytes` as-is. Throws on error.
+  void send_all(std::string_view bytes);
 
   int fd_ = -1;
   std::string rx_;          ///< bytes received, not yet consumed

@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "proto/messages.h"
+#include "proto/wire_v3.h"
 
 namespace wiscape::net {
 
@@ -96,6 +97,17 @@ bool session::queue_reply(std::string_view reply) {
   return true;
 }
 
+bool session::queue_reply_frame(std::string_view frame) {
+  // Binary frames are self-delimiting: no '\n' terminator -- an
+  // interstitial byte would desynchronise the client's length-prefix cut.
+  if (frame.size() > out_.headroom() || !out_.append(frame)) {
+    set_reason(close_reason::slow_reader);
+    return false;
+  }
+  ++replies_queued_;
+  return true;
+}
+
 bool session::dispatch(std::size_t len, const shed_state& shed,
                        pump_stats& stats) {
   // The request view: everything up to (not including) the final newline.
@@ -140,12 +152,124 @@ bool session::dispatch(std::size_t len, const shed_state& shed,
   ++stats.dispatched;
   if (type == "HELLO" && proto::message_type(rb_.view()) == "HELLO") {
     saw_hello_ = true;
+    // The negotiated version gates binary framing; re-negotiation (a second
+    // HELLO) re-decides it, matching the server's idempotent answer.
+    hello_version_ = proto::decode_hello_reply(rb_.view()).version;
   }
   return queue_reply(rb_.view());
 }
 
+bool session::pump_binary(const shed_state& shed, pump_stats& stats,
+                          bool* progressed) {
+  *progressed = false;
+  // Gate: a negotiation-first port only accepts binary frames on a session
+  // that negotiated ver >= 3 (permissive ports accept them any time, like
+  // the in-process handler). The peer spoke binary, so the final ERR is a
+  // binary err frame.
+  if (require_hello_ && (!saw_hello_ || hello_version_ < 3)) {
+    rb_.clear();
+    proto::v3::encode_error_frame(
+        proto::err_code::version,
+        saw_hello_ ? "binary frames require a negotiated ver>=3 session"
+                   : "HELLO required before any command",
+        rb_);
+    queue_reply_frame(rb_.view());
+    set_reason(saw_hello_ ? close_reason::bad_frame
+                          : close_reason::hello_violation);
+    return false;
+  }
+  if (in_.size() < proto::v3::frame_header_bytes) {
+    return true;  // header still arriving
+  }
+  char hdr_buf[proto::v3::frame_header_bytes];
+  for (std::size_t i = 0; i < proto::v3::frame_header_bytes; ++i) {
+    hdr_buf[i] = in_.at(i);
+  }
+  const auto hdr = proto::v3::peek_header(
+      std::string_view(hdr_buf, proto::v3::frame_header_bytes));
+  if (!hdr) {
+    // Magic byte with an undefined opcode: a hostile or desynchronised
+    // peer. Same close as a hostile text frame header.
+    rb_.clear();
+    proto::v3::encode_error_frame(proto::err_code::parse,
+                                  "undefined binary frame opcode", rb_);
+    queue_reply_frame(rb_.view());
+    set_reason(close_reason::bad_frame);
+    return false;
+  }
+  const std::size_t total = proto::v3::frame_header_bytes + hdr->payload_len;
+  if (total > in_.max_bytes()) {
+    // The declared length can never fit the read ring: refuse now, without
+    // buffering (let alone allocating) any of it -- the oversize close a
+    // runaway text line gets, decided 6 bytes in.
+    rb_.clear();
+    proto::v3::encode_error_frame(proto::err_code::parse,
+                                  "frame exceeds the read buffer cap", rb_);
+    queue_reply_frame(rb_.view());
+    set_reason(close_reason::oversize);
+    return false;
+  }
+  if (in_.size() < total) {
+    binary_need_ = total;  // complete header, payload pending: mid-frame
+    return true;
+  }
+  binary_need_ = 0;
+  const std::string_view frame = in_.linearize().substr(0, total);
+
+  // Shed classification mirrors the text path: report/reportb are
+  // report-class, query/queryb are query-class, reply opcodes (which the
+  // handler refuses anyway) are control.
+  request_class cls = request_class::control;
+  if (hdr->op == proto::v3::opcode::report ||
+      hdr->op == proto::v3::opcode::reportb) {
+    cls = request_class::report;
+  } else if (hdr->op == proto::v3::opcode::query ||
+             hdr->op == proto::v3::opcode::queryb) {
+    cls = request_class::query;
+  }
+  bool do_shed = false;
+  if (cls != request_class::control && shed.saturation >= shed.start) {
+    do_shed = shed.saturation >= shed.hard ||
+              (shed.policy == shed_policy::queries_first
+                   ? cls == request_class::query
+                   : cls == request_class::report);
+  }
+  bool ok;
+  if (do_shed) {
+    if (cls == request_class::query) {
+      ++stats.shed_queries;
+    } else {
+      ++stats.shed_reports;
+    }
+    rb_.clear();
+    proto::v3::encode_error_frame(proto::err_code::overload,
+                                  "ingest saturated; retry with backoff", rb_);
+    ok = queue_reply_frame(rb_.view());
+  } else {
+    rb_.clear();
+    handler_->handle_into(frame, rb_);
+    ++stats.dispatched;
+    ok = queue_reply_frame(rb_.view());
+  }
+  in_.consume(total);
+  *progressed = true;
+  return ok;
+}
+
 bool session::pump(const shed_state& shed, pump_stats& stats) {
   for (;;) {
+    // A new request whose first byte is the v3 magic is framed by its
+    // length prefix, not by newline scan (0xB3 never starts a text
+    // command). The check only fires between requests: scan_ == 0 and no
+    // text frame in progress means no text bytes are buffered ahead.
+    if (frame_lines_total_ == 0 && scan_ == 0 && !in_.empty() &&
+        static_cast<unsigned char>(in_.at(0)) == proto::v3::frame_magic) {
+      bool progressed = false;
+      if (!pump_binary(shed, stats, &progressed)) return false;
+      if (!progressed) return true;  // frame incomplete: wait for bytes
+      continue;  // whatever follows may be text or binary
+    }
+
     // Advance the line scan until the current request is complete.
     std::size_t request_len = 0;
     while (request_len == 0) {

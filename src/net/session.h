@@ -6,7 +6,12 @@
 //     QUERYB frames whose header announces how many payload lines follow;
 //     pump() extracts exactly one complete request at a time, tolerating
 //     partial arrivals (a frame split across any number of reads) and
-//     telnet-style CRLF line endings;
+//     telnet-style CRLF line endings. On a session negotiated to wire
+//     protocol v3 (or a permissive port), a request whose first byte is the
+//     binary frame magic 0xB3 is cut by its length prefix instead of by
+//     newline scan -- binary and text requests interleave freely, and the
+//     binary reply frames are queued without a line terminator (frames are
+//     self-delimiting);
 //   * HELLO gating -- when the server requires negotiation-first, any
 //     command before a successful HELLO answers "ERR version" and closes
 //     the session (docs/WIRE_PROTOCOL.md, transport rules);
@@ -118,9 +123,16 @@ class session {
     if (reason_ == close_reason::none) reason_ = r;
   }
   bool saw_hello() const noexcept { return saw_hello_; }
+  /// The wire version the session's last successful HELLO negotiated
+  /// (0 = none yet). Binary v3 frames are accepted once this is >= 3, or at
+  /// any time on a permissive (require_hello = false) port.
+  std::uint32_t negotiated_version() const noexcept { return hello_version_; }
   /// True when a frame header has been read but its payload is incomplete
-  /// (an idle timeout firing now cuts a request mid-frame).
-  bool mid_frame() const noexcept { return frame_lines_total_ > 1; }
+  /// (an idle timeout firing now cuts a request mid-frame) -- a multi-line
+  /// text frame or a binary frame whose declared length has not arrived.
+  bool mid_frame() const noexcept {
+    return frame_lines_total_ > 1 || binary_need_ > 0;
+  }
   /// Replies queued into out() since the last call, then resets to zero.
   /// The event loop drains this at flush time to account one writev per
   /// wake against the replies it carries (net.server.replies_per_flush).
@@ -131,9 +143,18 @@ class session {
  private:
   /// Appends `reply` + '\n' to out(); false = write ring overflow.
   bool queue_reply(std::string_view reply);
+  /// Appends a self-delimiting binary reply frame (no '\n') to out();
+  /// false = write ring overflow.
+  bool queue_reply_frame(std::string_view frame);
   /// Handles one complete request of `len` bytes (including the final
   /// newline) sitting at the front of in(). Returns false to disconnect.
   bool dispatch(std::size_t len, const shed_state& shed, pump_stats& stats);
+  /// The binary framing path: cuts/validates/dispatches v3 frames at the
+  /// front of in(). Sets `*progressed` when one complete frame was handled
+  /// (the pump loop re-enters for whatever follows). Returns false to
+  /// disconnect.
+  bool pump_binary(const shed_state& shed, pump_stats& stats,
+                   bool* progressed);
 
   byte_ring in_;
   byte_ring out_;
@@ -142,13 +163,17 @@ class session {
   bool coalesce_reports_;
   bool saw_hello_ = false;
   close_reason reason_ = close_reason::none;
+  std::uint32_t hello_version_ = 0;
 
   // Framing cursor: scan_ is the in_-offset where the newline search
   // resumes; frame_lines_total_/found_ track the multi-line frame in
-  // progress (total == 0 means the next line decides).
+  // progress (total == 0 means the next line decides). binary_need_ is the
+  // total byte length of the binary frame in progress (0 = none): the two
+  // framers never run at once, since a request is wholly one or the other.
   std::size_t scan_ = 0;
   std::size_t frame_lines_total_ = 0;
   std::size_t frame_lines_found_ = 0;
+  std::size_t binary_need_ = 0;
   std::uint64_t replies_queued_ = 0;
   // Per-session reply arena: every reply renders here (zero heap
   // allocations in steady state once its capacity has warmed up), then

@@ -149,6 +149,9 @@ inline constexpr char kServerErrOverload[] = "proto.server.err_overload";
 /// Reply payload bytes rendered by the line handler (newline separators in
 /// grouped replies excluded, so transports agree on the total). [bytes]
 inline constexpr char kServerReplyBytes[] = "proto.server.reply_bytes";
+/// Binary v3 frames handled (any opcode, any outcome; the frame's command
+/// also counts into its per-command counter above). [frames]
+inline constexpr char kServerBinaryFrames[] = "proto.server.binary_frames";
 
 // ---- net::tcp_server ------------------------------------------------------
 /// Connections accepted (sessions created). [connections]

@@ -76,8 +76,9 @@ inline constexpr std::size_t max_report_batch = 65536;
 
 /// The protocol version this build speaks. v1: CHECKIN/REPORT/REPORTB/
 /// STATS. v2 adds the read side (QUERY/QUERYB/ALERTS/HELLO) and typed ERR
-/// codes.
-inline constexpr std::uint32_t wire_version = 2;
+/// codes. v3 adds the length-prefixed binary framing for the hot commands
+/// (proto/wire_v3.h); the text forms remain valid on every version.
+inline constexpr std::uint32_t wire_version = 3;
 /// Oldest client version this build still serves (v1 clients never send
 /// read-side commands, and every v1 reply shape is unchanged).
 inline constexpr std::uint32_t wire_min_version = 1;

@@ -9,6 +9,7 @@
 #include "obs/names.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "proto/wire_v3.h"
 
 namespace wiscape::proto {
 
@@ -33,6 +34,7 @@ struct server_metrics {
   obs::counter& err_overload;
   obs::counter& faults_injected;
   obs::counter& reply_bytes;
+  obs::counter& binary_frames;
   obs::histogram& checkin_latency;
   obs::histogram& report_latency;
   obs::histogram& batch_latency;
@@ -61,6 +63,7 @@ server_metrics& metrics() {
       reg.get_counter(obs::names::kServerErrOverload),
       reg.get_counter(obs::names::kServerFaultsInjected),
       reg.get_counter(obs::names::kServerReplyBytes),
+      reg.get_counter(obs::names::kServerBinaryFrames),
       reg.get_histogram(obs::names::kServerCheckinLatency),
       reg.get_histogram(obs::names::kServerReportLatency),
       reg.get_histogram(obs::names::kServerBatchLatency),
@@ -132,6 +135,12 @@ std::string coordinator_server::handle(std::string_view line) {
 }
 
 void coordinator_server::handle_into(std::string_view line, reply_buffer& out) {
+  // One byte decides the framing: 0xB3 is outside ASCII and every text
+  // command starts with an uppercase letter.
+  if (v3::is_frame_start(line)) {
+    handle_frame_into(line, out);
+    return;
+  }
   const std::size_t base = out.size();
   metrics().lines.inc();
   const std::string_view type = message_type(line);
@@ -298,7 +307,7 @@ void coordinator_server::handle_into(std::string_view line, reply_buffer& out) {
       } else {
         metrics().hellos.inc();
         hello_reply rep;
-        rep.version = std::min(req.version, wire_version);
+        rep.version = std::min(req.version, advertised_version_);
         rep.min_version = wire_min_version;
         encode_into(rep, out);
       }
@@ -339,6 +348,141 @@ void coordinator_server::handle_into(std::string_view line, reply_buffer& out) {
     fail(err_code::internal, e.what());
   }
   metrics().reply_bytes.inc(out.size() - base);
+}
+
+void coordinator_server::handle_frame_into(std::string_view frame,
+                                           reply_buffer& out) {
+  const std::size_t base = out.size();
+  auto& m = metrics();
+  m.lines.inc();
+  m.binary_frames.inc();
+  // The binary twin of handle_into's fail lambda: same per-reason counters,
+  // same replace-never-append discipline, but the reply is an err frame.
+  const auto fail = [this, &out, base, &m](err_code code,
+                                           std::string_view detail) {
+    switch (code) {
+      case err_code::parse:
+        m.err_parse.inc();
+        break;
+      case err_code::unsupported:
+        m.err_unsupported.inc();
+        break;
+      case err_code::stopped:
+        m.err_stopped.inc();
+        break;
+      case err_code::version:
+        m.err_version.inc();
+        break;
+      case err_code::internal:
+        m.err_internal.inc();
+        break;
+      case err_code::overload:
+        m.err_overload.inc();
+        break;
+    }
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    out.truncate(base);
+    v3::encode_error_frame(code, detail, out);
+  };
+  // The same scenario seam as the text path: whole-frame granularity keeps
+  // binary REPORTB all-or-nothing, and fault ordinals stay comparable
+  // across framings.
+  if (core::fault::fire(core::fault::site::server_handle) ==
+      core::fault::action::fail) {
+    m.faults_injected.inc();
+    fail(err_code::internal, "injected fault: request refused");
+    m.reply_bytes.inc(out.size() - base);
+    return;
+  }
+  try {
+    const auto hdr = v3::peek_header(frame);
+    if (!hdr || frame.size() != v3::frame_header_bytes + hdr->payload_len) {
+      fail(err_code::parse, "malformed binary frame envelope");
+    } else {
+      switch (hdr->op) {
+        case v3::opcode::report: {
+          obs::span timed(m.report_latency);
+          auto rep = v3::decode_report_frame(frame);
+          rep.record.network_id =
+              sharded_ ? sharded_->network_id_of(rep.record.network)
+                       : coord_->network_id_of(rep.record.network);
+          if (sharded_ && !sharded_->report(rep.record)) {
+            fail(err_code::stopped, "ingestion pipeline stopped");
+          } else {
+            if (!sharded_) coord_->report(rep.record);
+            reports_.fetch_add(1, std::memory_order_relaxed);
+            m.reports.inc();
+            v3::encode_ack_frame(out);
+          }
+          break;
+        }
+        case v3::opcode::reportb: {
+          obs::span timed(m.batch_latency);
+          auto& recs = out.records_scratch_;
+          v3::decode_report_batch_frame_into(frame, recs);
+          std::string_view last_name;
+          std::uint16_t last_id = trace::no_network_id;
+          for (auto& r : recs) {
+            if (r.network != last_name || last_name.empty()) {
+              last_id = sharded_ ? sharded_->network_id_of(r.network)
+                                 : coord_->network_id_of(r.network);
+              last_name = r.network;
+            }
+            r.network_id = last_id;
+          }
+          if (sharded_ && sharded_->report_batch(recs) != recs.size()) {
+            fail(err_code::stopped, "ingestion pipeline stopped");
+          } else {
+            if (!sharded_) coord_->report_batch(recs);
+            reports_.fetch_add(recs.size(), std::memory_order_relaxed);
+            m.reports.inc(recs.size());
+            m.report_batches.inc();
+            v3::encode_ack_frame(recs.size(), out);
+          }
+          break;
+        }
+        case v3::opcode::query: {
+          obs::span timed(m.query_latency);
+          const auto q = v3::decode_query_frame(frame);
+          m.queries.inc();
+          v3::encode_estimate_frame(lookup_one(q), out);
+          break;
+        }
+        case v3::opcode::queryb: {
+          obs::span timed(m.query_batch_latency);
+          auto& queries = out.queries_scratch_;
+          v3::decode_query_batch_frame_into(frame, queries);
+          v3::estimate_batch_builder estb(
+              static_cast<std::uint32_t>(queries.size()), out);
+          for (const auto& q : queries) estb.add(lookup_one(q));
+          estb.finish();
+          m.queries.inc(queries.size());
+          m.query_batches.inc();
+          break;
+        }
+        case v3::opcode::ack:
+        case v3::opcode::est:
+        case v3::opcode::estb:
+        case v3::opcode::err: {
+          // Reply opcodes arriving as requests: the binary analogue of a
+          // client sending "EST ..." -- syntactically valid, not a request.
+          char detail[64];
+          const int len =
+              std::snprintf(detail, sizeof detail,
+                            "reply opcode '%s' is not a request",
+                            v3::opcode_name(hdr->op));
+          fail(err_code::unsupported,
+               {detail, len > 0 ? static_cast<std::size_t>(len) : 0});
+          break;
+        }
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    fail(err_code::parse, e.what());
+  } catch (const std::exception& e) {
+    fail(err_code::internal, e.what());
+  }
+  m.reply_bytes.inc(out.size() - base);
 }
 
 void coordinator_server::handle_report_group(std::string_view block,

@@ -96,6 +96,15 @@ class coordinator_server {
   /// into the buffer's scratch vectors, whose capacity survives across
   /// requests. Thread-safety follows the mode (each thread needs its own
   /// reply_buffer).
+  ///
+  /// A request whose first byte is the v3 frame magic (0xB3) dispatches on
+  /// its binary opcode instead (proto/wire_v3.h) and is answered with a
+  /// binary reply frame -- ack/est/estb on success, err on failure. Like
+  /// text commands, the in-process handler accepts binary frames
+  /// unconditionally; only the TCP session gates them on the negotiated
+  /// version. Binary REPORTB decode skips number parsing entirely and the
+  /// reply path writes raw IEEE-754 bits, so v3 exchanges keep the same
+  /// zero-allocation steady state with a fraction of the per-record cost.
   void handle_into(std::string_view line, reply_buffer& out);
 
   /// Transport micro-batch: answers `count` consecutive single-line REPORT
@@ -119,6 +128,18 @@ class coordinator_server {
   /// True when serving a sharded coordinator (handle() is thread-safe).
   bool concurrent() const noexcept { return sharded_ != nullptr; }
 
+  /// The highest version HELLO negotiation offers (default: wire_version).
+  /// Lowering it makes this server answer `HELLO ver=<n>` like an older
+  /// build -- the version-interop tests run a v3 client against a v2-max
+  /// server this way. Must be within [wire_min_version, wire_version]; set
+  /// before serving traffic (not synchronized against in-flight handlers).
+  void set_advertised_version(std::uint32_t v) noexcept {
+    advertised_version_ = v;
+  }
+  std::uint32_t advertised_version() const noexcept {
+    return advertised_version_;
+  }
+
   /// REPORT lines accepted (ACKed) since construction.
   std::uint64_t reports_received() const noexcept {
     return reports_.load(std::memory_order_relaxed);
@@ -134,10 +155,14 @@ class coordinator_server {
 
  private:
   std::optional<estimate_reply> lookup_one(const query_request& q) const;
+  /// handle_into's binary path: dispatches one complete v3 frame on its
+  /// opcode and appends the binary reply frame.
+  void handle_frame_into(std::string_view frame, reply_buffer& out);
 
   core::coordinator* coord_ = nullptr;
   core::sharded_coordinator* sharded_ = nullptr;
   core::estimate_view view_;
+  std::uint32_t advertised_version_ = wire_version;
   std::atomic<std::uint64_t> reports_{0};
   std::atomic<std::uint64_t> tasks_{0};
   std::atomic<std::uint64_t> errors_{0};

@@ -23,6 +23,7 @@
 #include "obs/registry.h"
 #include "proto/messages.h"
 #include "proto/server.h"
+#include "proto/wire_v3.h"
 #include "stats/rng.h"
 #include "trace/record.h"
 
@@ -71,6 +72,24 @@ bool refused_before_dispatch(std::string_view reply) {
                                              : sp2 - sp1 - 1);
   return code == "internal" || code == "parse" || code == "unsupported" ||
          code == "overload";
+}
+
+// The binary-framing twins of message_type/refused_before_dispatch: replies
+// classify by opcode, and a refusal by the err frame's code.
+proto::v3::opcode reply_opcode(std::string_view reply) {
+  const auto hdr = proto::v3::peek_header(reply);
+  // A reply the server produced always carries a valid header; treat
+  // anything else as an error frame so accounting stays conservative.
+  return hdr ? hdr->op : proto::v3::opcode::err;
+}
+
+bool frame_refused_before_dispatch(std::string_view reply) {
+  if (reply_opcode(reply) != proto::v3::opcode::err) return false;
+  const proto::v3::error_frame err = proto::v3::decode_error_frame(reply);
+  return err.code == proto::err_code::internal ||
+         err.code == proto::err_code::parse ||
+         err.code == proto::err_code::unsupported ||
+         err.code == proto::err_code::overload;
 }
 
 // Continuity window of one tracked stream, for the staleness invariant.
@@ -202,6 +221,23 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       }
     }
   };
+  // The binary-frame twin of wire(): sends one self-delimiting v3 frame
+  // and returns the binary reply frame. The same reconnect loop rides out
+  // injected frame_truncate faults (the client throws mid-send, the server
+  // discards the cut frame at EOF, the retry resends the whole frame -- so
+  // the acked/erred ledger stays exact).
+  auto wire_frame = [&](std::string_view frame) -> std::string {
+    if (!tcp) return server->handle(frame);
+    for (int attempt = 0;; ++attempt) {
+      if (!wire_client.connected()) tcp_connect(false);
+      try {
+        return std::string(wire_client.request_frame(frame));
+      } catch (const std::runtime_error&) {
+        wire_client.close();
+        if (attempt >= 200) throw;
+      }
+    }
+  };
 
   // ---- fleet -------------------------------------------------------------
   std::vector<client_state> fleet;
@@ -263,18 +299,30 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
   // Sends records over the wire in REPORTB frames of at most 32 and folds
   // the replies into the tick's accounting. The server ACKs a frame
   // all-or-nothing, so a frame's records land wholly in acked or erred.
+  // With wire_v3 the frames (and replies) are binary; the classification
+  // is the same, keyed on opcode instead of the reply's type tag.
   auto submit = [&](std::span<const trace::measurement_record> recs,
                     std::uint64_t& acked, std::uint64_t& erred,
                     std::uint64_t& refused) {
     for (std::size_t off = 0; off < recs.size(); off += 32) {
       const std::size_t n = std::min<std::size_t>(32, recs.size() - off);
-      const std::string reply =
-          wire(proto::encode_report_batch(recs.subspan(off, n)));
-      if (proto::message_type(reply) == "ACK") {
+      const auto chunk = recs.subspan(off, n);
+      bool ok, pre;
+      if (cfg.stress.wire_v3) {
+        const std::string reply =
+            wire_frame(proto::v3::encode_report_batch_frame(chunk));
+        ok = reply_opcode(reply) == proto::v3::opcode::ack;
+        pre = !ok && frame_refused_before_dispatch(reply);
+      } else {
+        const std::string reply = wire(proto::encode_report_batch(chunk));
+        ok = proto::message_type(reply) == "ACK";
+        pre = !ok && refused_before_dispatch(reply);
+      }
+      if (ok) {
         acked += n;
       } else {
         erred += n;
-        if (refused_before_dispatch(reply)) refused += n;
+        if (pre) refused += n;
       }
     }
   };
@@ -421,13 +469,23 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
     }
     if (!batch.empty()) {
       // First record rides the single-REPORT path; the rest batch.
-      const std::string reply = wire(proto::encode(
-          proto::measurement_report{batch.front().client_id, batch.front()}));
-      if (proto::message_type(reply) == "ACK") {
+      const proto::measurement_report first{batch.front().client_id,
+                                            batch.front()};
+      bool ok, pre;
+      if (cfg.stress.wire_v3) {
+        const std::string reply = wire_frame(proto::v3::encode_report_frame(first));
+        ok = reply_opcode(reply) == proto::v3::opcode::ack;
+        pre = !ok && frame_refused_before_dispatch(reply);
+      } else {
+        const std::string reply = wire(proto::encode(first));
+        ok = proto::message_type(reply) == "ACK";
+        pre = !ok && refused_before_dispatch(reply);
+      }
+      if (ok) {
         ++acked;
       } else {
         ++erred;
-        if (refused_before_dispatch(reply)) ++refused;
+        if (pre) ++refused;
       }
       submit(std::span(batch).subspan(1), acked, erred, refused);
     }
@@ -561,11 +619,21 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       q.network = names[fleet.front().op];
       q.metric = trace::metric::tcp_throughput_bps;
       q.time_s = now;
-      const std::string reply = wire(proto::encode(q));
-      const std::string_view type = proto::message_type(reply);
-      if (type != "EST" && type != "NONE") {
-        note("query_reply", t, "QUERY drew '" + std::string(type) +
-                                   "' instead of EST/NONE");
+      if (cfg.stress.wire_v3) {
+        const std::string reply = wire_frame(proto::v3::encode_query_frame(q));
+        if (reply_opcode(reply) != proto::v3::opcode::est) {
+          note("query_reply", t,
+               "binary QUERY drew opcode '" +
+                   std::string(proto::v3::opcode_name(reply_opcode(reply))) +
+                   "' instead of est");
+        }
+      } else {
+        const std::string reply = wire(proto::encode(q));
+        const std::string_view type = proto::message_type(reply);
+        if (type != "EST" && type != "NONE") {
+          note("query_reply", t, "QUERY drew '" + std::string(type) +
+                                     "' instead of EST/NONE");
+        }
       }
     }
     for (const client_state& c : fleet) {

@@ -89,6 +89,13 @@ struct stressors {
   /// connection at the start of every Nth tick (connection churn through
   /// the full session lifecycle). 0 = never.
   std::uint64_t reconnect_every = 0;
+  /// Drive the fleet's hot traffic (the REPORT/REPORTB submits and the QoE
+  /// QUERY) through the binary wire v3 framing instead of the text codec;
+  /// control traffic (HELLO/CHECKIN/ALERTS) stays text, as a v3 production
+  /// client would. Composes with over_tcp, where the frames cross the real
+  /// socket through line_client::request_frame -- the seam the
+  /// frame_truncate fault fires at.
+  bool wire_v3 = false;
 };
 
 struct scenario_config {

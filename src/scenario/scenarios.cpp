@@ -22,7 +22,7 @@ std::vector<std::string> scenario_names() {
   return {"baseline",        "flash_crowd", "operator_outage",
           "clock_skew",      "hostile_clients", "restart_mid_storm",
           "qoe_churn",       "slow_consumer",   "fault_storm",
-          "connection_churn"};
+          "connection_churn", "wire_v3"};
 }
 
 scenario_config make_scenario(const std::string& name) {
@@ -104,6 +104,25 @@ scenario_config make_scenario(const std::string& name) {
     cfg.stress.faults.push_back(
         {core::fault::site::write_full, 0, 10, 0.02,
          core::fault::action::fail});
+    return cfg;
+  }
+  if (name == "wire_v3") {
+    // Hot traffic (REPORT/REPORTB/QUERY) in binary v3 frames over real
+    // loopback sockets, control traffic in text on the same sessions --
+    // the mixed-framing production shape. Periodic reconnects renegotiate
+    // HELLO, and injected frame truncations cut binary frames mid-send:
+    // the driver's retry-after-reconnect keeps the ledger exact, so the
+    // tick log must still come out byte-identical per seed.
+    cfg.stress.over_tcp = true;
+    cfg.stress.wire_v3 = true;
+    cfg.stress.qoe_churn = true;  // keeps the binary QUERY leg under traffic
+    cfg.stress.reconnect_every = 5;
+    cfg.stress.faults.push_back(
+        {core::fault::site::frame_truncate, 3, 12, 0.02,
+         core::fault::action::fail});
+    cfg.stress.faults.push_back(
+        {core::fault::site::read_stall, 0, 25, 0.02,
+         core::fault::action::stall});
     return cfg;
   }
   std::string known;

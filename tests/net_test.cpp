@@ -27,6 +27,7 @@
 #include "obs/registry.h"
 #include "proto/messages.h"
 #include "proto/server.h"
+#include "proto/wire_v3.h"
 #include "test_util.h"
 
 namespace wiscape::net {
@@ -705,6 +706,294 @@ TEST(TcpServer, ManyConcurrentSessions) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_EQ(srv.active_sessions(), 0u);
+  srv.stop();
+}
+
+// ---- binary v3 frames through the session --------------------------------
+
+std::string binary_report_frame(std::size_t n, double t0 = 100.0) {
+  std::vector<trace::measurement_record> recs;
+  for (std::size_t i = 0; i < n; ++i) {
+    recs.push_back(testing::make_record(t0 + static_cast<double>(i), "NetB",
+                                        here, trace::probe_kind::udp_burst,
+                                        1.0e6));
+    recs.back().client_id = 7;
+  }
+  return proto::v3::encode_report_batch_frame(recs);
+}
+
+std::string binary_query_frame() {
+  proto::query_request q;
+  q.pos = here;
+  q.network = "NetB";
+  q.metric = trace::metric::udp_throughput_bps;
+  q.time_s = 200.0;
+  return proto::v3::encode_query_frame(q);
+}
+
+/// Splits a session's reply bytes into whole v3 frames; fails the test on
+/// anything that is not a clean sequence of frames.
+std::vector<std::string> split_frames(std::string_view bytes) {
+  std::vector<std::string> frames;
+  while (!bytes.empty()) {
+    const auto hdr = proto::v3::peek_header(bytes);
+    if (!hdr) {
+      ADD_FAILURE() << "reply bytes are not a v3 frame sequence";
+      return frames;
+    }
+    const std::size_t total = proto::v3::frame_header_bytes + hdr->payload_len;
+    frames.emplace_back(bytes.substr(0, total));
+    bytes.remove_prefix(total);
+  }
+  return frames;
+}
+
+TEST(NetSession, BinaryFrameDispatchesWithUnterminatedBinaryReply) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(binary_report_frame(3)));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_EQ(s.take_queued_replies(), 1u);
+  EXPECT_EQ(fx.server.reports_received(), 3u);
+
+  // Exactly one binary ACK, no trailing '\n' -- frames self-delimit.
+  const auto frames = split_frames(ring_text(s.out()));
+  ASSERT_EQ(frames.size(), 1u);
+  const proto::v3::ack_frame ack = proto::v3::decode_ack_frame(frames[0]);
+  EXPECT_TRUE(ack.batched);
+  EXPECT_EQ(ack.count, 3u);
+}
+
+TEST(NetSession, PartialBinaryFrameWaitsAndCountsAsMidFrame) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  const std::string frame = binary_report_frame(2);
+  pump_stats stats;
+  // Header alone, then half the payload: nothing dispatches, and the idle
+  // sweep must see a request in flight (mid_frame) both times.
+  ASSERT_TRUE(s.in().append(
+      std::string_view(frame).substr(0, proto::v3::frame_header_bytes)));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 0u);
+  EXPECT_TRUE(s.mid_frame());
+
+  ASSERT_TRUE(s.in().append(std::string_view(frame).substr(
+      proto::v3::frame_header_bytes, frame.size() / 2)));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 0u);
+  EXPECT_TRUE(s.mid_frame());
+  EXPECT_TRUE(s.out().empty());
+
+  ASSERT_TRUE(s.in().append(std::string_view(frame).substr(
+      proto::v3::frame_header_bytes + frame.size() / 2)));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_FALSE(s.mid_frame());
+  EXPECT_EQ(fx.server.reports_received(), 2u);
+}
+
+TEST(NetSession, BinaryBeforeHelloViolates) {
+  handler_fixture fx;
+  session_limits lim;  // require_hello defaults to true
+  session s(lim, fx.server);
+
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(binary_report_frame(1)));
+  EXPECT_FALSE(s.pump({}, stats));
+  EXPECT_EQ(s.reason(), close_reason::hello_violation);
+  EXPECT_EQ(stats.dispatched, 0u);
+  // The refusal answers in the client's framing: a binary ERR version.
+  const auto frames = split_frames(ring_text(s.out()));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(proto::v3::decode_error_frame(frames[0]).code,
+            proto::err_code::version);
+}
+
+TEST(NetSession, BinaryOnNegotiatedV2SessionIsBadFrame) {
+  handler_fixture fx;
+  session_limits lim;
+  session s(lim, fx.server);
+
+  pump_stats stats;
+  // The client explicitly negotiated down to 2: binary frames are a
+  // protocol violation on this session even though the server knows v3.
+  ASSERT_TRUE(s.in().append("HELLO ver=2\n"));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_TRUE(s.saw_hello());
+  EXPECT_EQ(s.negotiated_version(), 2u);
+  s.out().consume(s.out().size());
+
+  ASSERT_TRUE(s.in().append(binary_report_frame(1)));
+  EXPECT_FALSE(s.pump({}, stats));
+  EXPECT_EQ(s.reason(), close_reason::bad_frame);
+  const auto frames = split_frames(ring_text(s.out()));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(proto::v3::decode_error_frame(frames[0]).code,
+            proto::err_code::version);
+  EXPECT_EQ(fx.server.reports_received(), 0u);
+}
+
+TEST(NetSession, NegotiatedV3SessionInterleavesTextAndBinary) {
+  handler_fixture fx;
+  session_limits lim;
+  session s(lim, fx.server);
+
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(proto::encode(proto::hello_request{}) + "\n"));
+  EXPECT_TRUE(s.pump({}, stats));
+  EXPECT_EQ(s.negotiated_version(), proto::wire_version);
+  s.out().consume(s.out().size());
+
+  // binary REPORTB, text REPORT, binary QUERY, text STATS -- one buffer,
+  // one pump, replies in order and each in its request's framing.
+  ASSERT_TRUE(s.in().append(binary_report_frame(2)));
+  ASSERT_TRUE(s.in().append(report_line(300.0) + "\n"));
+  ASSERT_TRUE(s.in().append(binary_query_frame()));
+  ASSERT_TRUE(s.in().append("STATS\n"));
+  pump_stats mixed;
+  EXPECT_TRUE(s.pump({}, mixed));
+  EXPECT_EQ(mixed.dispatched, 4u);
+  EXPECT_EQ(fx.server.reports_received(), 3u);
+
+  std::string_view out = s.out().linearize();
+  const auto ack_hdr = proto::v3::peek_header(out);
+  ASSERT_TRUE(ack_hdr.has_value());
+  ASSERT_EQ(ack_hdr->op, proto::v3::opcode::ack);
+  out.remove_prefix(proto::v3::frame_header_bytes + ack_hdr->payload_len);
+  ASSERT_EQ(out.substr(0, 4), "ACK\n");
+  out.remove_prefix(4);
+  const auto est_hdr = proto::v3::peek_header(out);
+  ASSERT_TRUE(est_hdr.has_value());
+  EXPECT_EQ(est_hdr->op, proto::v3::opcode::est);
+  out.remove_prefix(proto::v3::frame_header_bytes + est_hdr->payload_len);
+  EXPECT_EQ(out.substr(0, 6), "STATS ");
+}
+
+TEST(NetSession, OversizedBinaryFrameDisconnects) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  lim.read_buffer_bytes = 256;
+  session s(lim, fx.server);
+
+  // A 6-byte header declaring a 1 MiB payload: refused from the header
+  // alone -- the declared length is never buffered or allocated.
+  std::string hdr("\xB3\x02\x00\x00\x10\x00", 6);
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(hdr));
+  EXPECT_FALSE(s.pump({}, stats));
+  EXPECT_EQ(s.reason(), close_reason::oversize);
+  const auto frames = split_frames(ring_text(s.out()));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(proto::v3::decode_error_frame(frames[0]).code,
+            proto::err_code::parse);
+}
+
+TEST(NetSession, UndefinedBinaryOpcodeDisconnects) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  std::string bad("\xB3\x1f\x00\x00\x00\x00", 6);
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(bad));
+  EXPECT_FALSE(s.pump({}, stats));
+  EXPECT_EQ(s.reason(), close_reason::bad_frame);
+  const auto frames = split_frames(ring_text(s.out()));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(proto::v3::decode_error_frame(frames[0]).code,
+            proto::err_code::parse);
+}
+
+TEST(NetSession, BinaryFramesShedByOpcodeClass) {
+  handler_fixture fx;
+  session_limits lim;
+  lim.require_hello = false;
+  session s(lim, fx.server);
+
+  shed_state shed;
+  shed.policy = shed_policy::queries_first;
+  shed.saturation = 0.8;
+
+  pump_stats stats;
+  ASSERT_TRUE(s.in().append(binary_query_frame()));
+  ASSERT_TRUE(s.in().append(binary_report_frame(2)));
+  EXPECT_TRUE(s.pump(shed, stats));
+  EXPECT_EQ(stats.shed_queries, 1u);
+  EXPECT_EQ(stats.shed_reports, 0u);
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_EQ(fx.server.reports_received(), 2u);
+
+  // The shed refusal is a binary ERR overload, then the binary ACK.
+  const auto frames = split_frames(ring_text(s.out()));
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(proto::v3::decode_error_frame(frames[0]).code,
+            proto::err_code::overload);
+  EXPECT_TRUE(proto::v3::decode_ack_frame(frames[1]).batched);
+}
+
+TEST(TcpServer, MixedTextAndBinaryPipelinedSessionCoalesces) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;  // require_hello stays on: full negotiation path
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  line_client client;
+  client.connect("127.0.0.1", srv.port());
+  ASSERT_EQ(client.hello().version, proto::wire_version);
+
+  // One pipelined block alternating text REPORT lines and binary REPORTB
+  // frames: replies must come back in order, each in its request's
+  // framing, coalesced into far fewer writev calls than replies.
+  constexpr std::size_t kPairs = 32;
+  std::string block;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    block += report_line(100.0 + static_cast<double>(i)) + "\n";
+    block += binary_report_frame(2, 200.0 + static_cast<double>(2 * i));
+  }
+  proto::reply_buffer ack_rb;
+  proto::v3::encode_ack_frame(2, ack_rb);
+  const std::size_t binary_ack_bytes = ack_rb.view().size();
+
+  const std::uint64_t writev0 = counter_value(obs::names::kNetWritevCalls);
+  const std::size_t reply_bytes = client.pipeline(block, 2 * kPairs);
+  EXPECT_EQ(reply_bytes, kPairs * (4 + binary_ack_bytes));
+  const std::uint64_t writev_delta =
+      counter_value(obs::names::kNetWritevCalls) - writev0;
+  EXPECT_LT(writev_delta, kPairs);  // 2*kPairs replies, coalesced
+  EXPECT_EQ(fx.server.reports_received(), 3 * kPairs);
+  client.close();
+  srv.stop();
+}
+
+TEST(TcpServer, BinaryRequestFrameRoundTripOverSocket) {
+  handler_fixture fx;
+  server_config cfg;
+  cfg.event_loops = 1;
+  tcp_server srv(fx.server, cfg);
+  srv.start();
+
+  line_client client;
+  client.connect("127.0.0.1", srv.port());
+  ASSERT_EQ(client.hello().version, proto::wire_version);
+
+  const std::string_view ack = client.request_frame(binary_report_frame(4));
+  EXPECT_EQ(proto::v3::decode_ack_frame(ack).count, 4u);
+  const std::string_view est = client.request_frame(binary_query_frame());
+  ASSERT_TRUE(proto::v3::peek_header(est).has_value());
+  EXPECT_EQ(proto::v3::peek_header(est)->op, proto::v3::opcode::est);
+  EXPECT_EQ(fx.server.reports_received(), 4u);
+  client.close();
   srv.stop();
 }
 

@@ -3,8 +3,9 @@
 // Asserts that coordinator_server::handle_into() performs ZERO heap
 // allocations per request in steady state -- a reused reply_buffer, warmed
 // scratch vectors, short (SSO) operator names -- across the hot request
-// types: QUERY (EST reply), QUERYB, REPORT (ACK), REPORTB (ACK <n>) and
-// the ERR unsupported path. Same counting-operator-new technique as
+// types: QUERY (EST reply), QUERYB, REPORT (ACK), REPORTB (ACK <n>), the
+// ERR unsupported path, and (since wire protocol v3) the binary twins of
+// every hot frame. Same counting-operator-new technique as
 // bench_apply_path, but kept in its own tiny executable: a global
 // operator new override must not ride along inside the gtest binary (it
 // would fight the sanitizer builds' interceptors).
@@ -20,6 +21,7 @@
 #include "geo/zone_grid.h"
 #include "proto/messages.h"
 #include "proto/server.h"
+#include "proto/wire_v3.h"
 #include "test_util.h"
 #include "trace/record.h"
 
@@ -108,6 +110,14 @@ int main() {
 
   const std::string bogus_line = "BOGUS totally unsupported request";
 
+  // The binary v3 twins of every hot frame, plus a malformed binary frame
+  // (undefined opcode) that draws the typed binary ERR reply.
+  const std::string report_frame_v3 = proto::v3::encode_report_frame(rep);
+  const std::string reportb_frame_v3 = proto::v3::encode_report_batch_frame(recs);
+  const std::string query_frame_v3 = proto::v3::encode_query_frame(q);
+  const std::string queryb_frame_v3 = proto::v3::encode_query_batch_frame(qs);
+  const std::string bad_frame_v3("\xB3\x1f\x00\x00\x00\x00", 6);
+
   // Sanity: the query really serves an estimate (a NONE corpus would pass
   // the allocation gate while proving nothing about EST encoding).
   out.clear();
@@ -116,6 +126,13 @@ int main() {
   out.clear();
   server.handle_into(bogus_line, out);
   CHECK(out.view().substr(0, 15) == "ERR unsupported");
+  out.clear();
+  server.handle_into(query_frame_v3, out);
+  CHECK(proto::v3::peek_header(out.view()).has_value());
+  CHECK(proto::v3::peek_header(out.view())->op == proto::v3::opcode::est);
+  out.clear();
+  server.handle_into(bad_frame_v3, out);
+  CHECK(proto::v3::peek_header(out.view())->op == proto::v3::opcode::err);
 
   struct test_case {
     const char* name;
@@ -124,7 +141,11 @@ int main() {
   const test_case cases[] = {
       {"QUERY->EST", &query_line},      {"QUERYB->ESTB", &queryb_frame},
       {"REPORT->ACK", &report_line},    {"REPORTB->ACK n", &reportb_frame},
-      {"unknown->ERR", &bogus_line},
+      {"unknown->ERR", &bogus_line},    {"v3 QUERY->EST", &query_frame_v3},
+      {"v3 QUERYB->ESTB", &queryb_frame_v3},
+      {"v3 REPORT->ACK", &report_frame_v3},
+      {"v3 REPORTB->ACK", &reportb_frame_v3},
+      {"v3 bad op->ERR", &bad_frame_v3},
   };
 
   constexpr int kIters = 200;

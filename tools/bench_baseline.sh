@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
-# Regression guard for the TCP front end's two headline rates.
+# Regression guard for the TCP front end's headline rates.
 #
 # Builds bench_net_server in a Release tree, runs it several times at a
 # guard size (full report stream, modest session count -- the C10k leg is
 # priced separately by the full bench), takes the per-mode MEDIAN of
-#   * query_wire_single  -- single QUERY round trips/s over TCP
-#   * ingest_wire        -- REPORTB records/s over TCP, streamed x16
+#   * query_wire_single     -- single QUERY round trips/s over TCP
+#   * ingest_wire           -- REPORTB records/s over TCP, streamed x16
+#   * query_wire_single_v3  -- the same round trips, binary v3 frames
+#   * ingest_wire_v3        -- the same streamed ingest, binary v3 frames
 # across the runs, and compares them against the committed BENCH_net.json
 # at the repo root. Either median falling more than 10% below its
 # committed value fails the script (exit 1). Medians, not best-of: a
@@ -76,12 +78,16 @@ median_of() {
 
 query_median="$(median_of query_wire_single)"
 ingest_median="$(median_of ingest_wire)"
+query_v3_median="$(median_of query_wire_single_v3)"
+ingest_v3_median="$(median_of ingest_wire_v3)"
 echo "medians over $runs runs: query_wire_single=$query_median/s, ingest_wire=$ingest_median rec/s"
+echo "                         query_wire_single_v3=$query_v3_median/s, ingest_wire_v3=$ingest_v3_median rec/s"
 
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 if [ "$update" -eq 1 ] || [ ! -f "$baseline" ]; then
-  printf '{"bench":"net_baseline","query_wire_single":%s,"ingest_wire":%s,"reports":%s,"sessions":%s,"runs":%s,"utc":"%s"}\n' \
-    "$query_median" "$ingest_median" "$reports" "$sessions" "$runs" "$stamp" \
+  printf '{"bench":"net_baseline","query_wire_single":%s,"ingest_wire":%s,"query_wire_single_v3":%s,"ingest_wire_v3":%s,"reports":%s,"sessions":%s,"runs":%s,"utc":"%s"}\n' \
+    "$query_median" "$ingest_median" "$query_v3_median" "$ingest_v3_median" \
+    "$reports" "$sessions" "$runs" "$stamp" \
     > "$baseline"
   echo "baseline written: $baseline"
   exit 0
@@ -89,10 +95,21 @@ fi
 
 base_query="$(sed 's/.*"query_wire_single"://; s/[,}].*//' "$baseline")"
 base_ingest="$(sed 's/.*"ingest_wire"://; s/[,}].*//' "$baseline")"
+# v3 columns arrived with wire protocol v3; a pre-v3 baseline file guards
+# only the text rates until --update rebaselines it.
+base_query_v3="$(grep -o '"query_wire_single_v3":[0-9]*' "$baseline" | sed 's/.*://')"
+base_ingest_v3="$(grep -o '"ingest_wire_v3":[0-9]*' "$baseline" | sed 's/.*://')"
 
 fail=0
-for pair in "query_wire_single:$query_median:$base_query" \
-            "ingest_wire:$ingest_median:$base_ingest"; do
+pairs="query_wire_single:$query_median:$base_query \
+       ingest_wire:$ingest_median:$base_ingest"
+if [ -n "$base_query_v3" ]; then
+  pairs="$pairs query_wire_single_v3:$query_v3_median:$base_query_v3"
+fi
+if [ -n "$base_ingest_v3" ]; then
+  pairs="$pairs ingest_wire_v3:$ingest_v3_median:$base_ingest_v3"
+fi
+for pair in $pairs; do
   mode="${pair%%:*}"
   rest="${pair#*:}"
   got="${rest%%:*}"

@@ -11,6 +11,9 @@
 #  3. Every err_code enumerator in src/proto/messages.h must have a table
 #     row in docs/WIRE_PROTOCOL.md -- error codes are wire surface, and a
 #     code a client can receive but cannot look up is a spec hole.
+#  4. Every binary v3 opcode enumerator in src/proto/wire_v3.h must have a
+#     table row in docs/WIRE_PROTOCOL.md section 8 -- opcode values are
+#     append-only wire surface with the same lookup obligation.
 #
 # Usage: tools/check_docs.sh [repo-root]   (default: script's parent dir)
 set -eu
@@ -56,6 +59,17 @@ codes="$(sed -n '/enum class err_code {/,/^};/p' src/proto/messages.h |
 for c in $codes; do
   if ! grep -qF "| \`$c\` |" docs/WIRE_PROTOCOL.md; then
     echo "FAIL: err_code '$c' (src/proto/messages.h) has no table row in docs/WIRE_PROTOCOL.md"
+    fail=1
+  fi
+done
+
+echo "== docs/WIRE_PROTOCOL.md documents every v3 opcode enumerator =="
+ops="$(sed -n '/enum class opcode/,/^};/p' src/proto/wire_v3.h |
+  sed -n 's/^ *\([a-z_][a-z_]*\) = [0-9]*,.*/\1/p')"
+[ -n "$ops" ] || { echo "FAIL: no opcode enumerators found in src/proto/wire_v3.h"; exit 1; }
+for o in $ops; do
+  if ! grep -qF "| \`$o\` |" docs/WIRE_PROTOCOL.md; then
+    echo "FAIL: v3 opcode '$o' (src/proto/wire_v3.h) has no table row in docs/WIRE_PROTOCOL.md"
     fail=1
   fi
 done

@@ -19,6 +19,12 @@ ubsan_dir="${2:-build-ubsan}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 parser_filter='WireParse*.*:ProtoCodec*.*:ProtoServer*.*:Fuzz/*.*:Csv.*'
+# The binary v3 codec reads length-prefixed fields straight out of raw
+# byte spans (memcpy'd fixed-width ints, u16-prefixed strings) -- the
+# truncation/patched-length corpus walks every cut point, so any decoder
+# overread surfaces here. The session tests cover the dual-framing pump
+# and the mixed text/binary pipelined reply path.
+wire_v3_filter='WireV3Codec.*:WireV3Server.*:NetSession.Binary*:NetSession.PartialBinary*:NetSession.NegotiatedV*:NetSession.OversizedBinary*:NetSession.UndefinedBinary*:TcpServer.MixedTextAndBinary*:TcpServer.BinaryRequestFrame*'
 # The dense estimate store hands out spans over its own vectors
 # (history_view) and runs an open-addressing probe over raw slots --
 # exactly where an off-by-one would hide in a normal build.
@@ -45,6 +51,9 @@ run_tree() {
 
   echo "== parser/codec suites under $kind sanitizer =="
   "$dir"/tests/wiscape_tests --gtest_filter="$parser_filter"
+
+  echo "== binary v3 framing suites under $kind sanitizer =="
+  "$dir"/tests/wiscape_tests --gtest_filter="$wire_v3_filter"
 
   echo "== apply path / estimate store suites under $kind sanitizer =="
   "$dir"/tests/wiscape_tests --gtest_filter="$store_filter"

@@ -75,4 +75,12 @@ echo "== writev coalescing under concurrency (TSan) =="
 "$build_dir"/tests/wiscape_tests \
   --gtest_filter='TcpServer.ConcurrentPipelinedSessionsCoalesce:TcpServer.ManyConcurrentSessions'
 
+# Binary v3 framing (WIRE_PROTOCOL.md section 8): the codec and server
+# dispatch, the session's dual text/binary pump, and the mixed-framing
+# pipelined session whose replies coalesce binary frames and text lines
+# into the same writev batches.
+echo "== binary v3 framing under TSan =="
+"$build_dir"/tests/wiscape_tests \
+  --gtest_filter='WireV3Codec.*:WireV3Server.*:NetSession.Binary*:NetSession.PartialBinary*:NetSession.NegotiatedV*:TcpServer.MixedTextAndBinary*:TcpServer.BinaryRequestFrame*'
+
 echo "TSan run clean."
