@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "core/alert_ring.h"
+#include "core/durable_state.h"
 #include "core/epoch_estimator.h"
 #include "core/estimate_mirror.h"
 #include "core/sample_planner.h"
@@ -75,7 +76,7 @@ struct zone_status {
   std::size_t open_epoch_samples = 0;
 };
 
-class coordinator {
+class coordinator : public durable_state {
  public:
   coordinator(geo::zone_grid grid, std::vector<std::string> networks,
               coordinator_config cfg, std::uint64_t seed);
@@ -111,7 +112,12 @@ class coordinator {
   }
 
   /// All estimate-stream keys seen so far (stream-creation order).
-  std::vector<estimate_key> keys() const { return table_.keys(); }
+  std::vector<estimate_key> keys() const override { return table_.keys(); }
+
+  /// Full frozen history of one stream, oldest first (copied).
+  std::vector<epoch_estimate> history(const estimate_key& key) const override {
+    return table_.history(key);
+  }
 
   /// Client check-in: "I am at `pos` at time `t`, able to probe network
   /// `network_index`; about `active_clients_in_zone` peers are here too."
@@ -162,22 +168,42 @@ class coordinator {
     return table_.interner().try_id(network);
   }
 
-  // ---- persistence surface (core::persist) -------------------------------
+  // ---- persistence surface (core::durable_state) --------------------------
   // Restore replays saved state, it does not observe new measurements: no
   // alerts are raised, no reports_accepted counters move.
 
   /// Appends a frozen estimate to a stream's history (publishing it to the
   /// serving mirror so reads resume immediately).
-  void restore_estimate(const estimate_key& key, const epoch_estimate& e) {
+  void restore_estimate(const estimate_key& key,
+                        const epoch_estimate& e) override {
     table_.restore(key, e);
   }
   /// Restores a stream's open-epoch accumulator (see zone_table).
-  void restore_open(const estimate_key& key, const open_epoch_state& st) {
+  void restore_open(const estimate_key& key,
+                    const open_epoch_state& st) override {
     table_.restore_open(key, st);
   }
   /// Open-epoch accumulator of a stream (nullopt when absent or empty).
-  std::optional<open_epoch_state> open_state(const estimate_key& key) const {
+  std::optional<open_epoch_state> open_state(
+      const estimate_key& key) const override {
     return table_.open_state(key);
+  }
+  /// High-water alert sequence number of the current alert sink.
+  std::uint64_t alert_seq() const override { return alert_sink_->pushed(); }
+  /// Resumes alert numbering after a restart (untouched ring only).
+  void resume_alert_seq(std::uint64_t last_seq) override {
+    alert_sink_->resume_from(last_seq);
+  }
+
+  // ---- replication surface (src/repl, ISSUE 10) ---------------------------
+
+  /// Attaches the epoch-rollover tap (see zone_table::set_epoch_tap).
+  /// Install before ingesting; the tap must outlive the coordinator.
+  void set_epoch_tap(epoch_tap* tap) noexcept { table_.set_epoch_tap(tap); }
+  /// Folds a replicated frozen estimate into a stream (commutative
+  /// per-(zone, network, epoch) merge; see zone_table::merge_estimate).
+  bool merge_estimate(const estimate_key& key, const epoch_estimate& e) {
+    return table_.merge_estimate(key, e);
   }
 
  private:

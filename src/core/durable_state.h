@@ -1,0 +1,63 @@
+// The narrow persistence surface of a coordinator (ISSUE 10).
+//
+// core::persist used to reach into coordinator internals (the raw zone
+// table via table_for_test(), plus a per-flavour overload set of free
+// functions). durable_state is the replacement boundary: everything a
+// snapshot writer, WAL replayer or replication catch-up needs to read or
+// rebuild coordinator estimate state, and nothing else. Both the
+// sequential core::coordinator and the sharded core::sharded_coordinator
+// implement it, so standalone and replicated modes persist through the
+// same four verbs:
+//
+//   * enumerate      -- keys() / history() / open_state()
+//   * replay frozen  -- restore_estimate() (appends + republishes, no alert)
+//   * replay open    -- restore_open() (Welford accumulator, verbatim)
+//   * resume alerts  -- alert_seq() / resume_alert_seq() (sequence
+//                       numbering survives a restart; cursors never rewind)
+//
+// Restore calls replay saved state: they must not raise alerts or move
+// ingestion counters, and resume_alert_seq is only legal before any report
+// is ingested (alert_ring::resume_from refuses otherwise).
+//
+// Thread safety follows the implementing class: sharded_coordinator takes
+// each shard's lock per call; the sequential coordinator is single-threaded
+// by contract. Callers wanting a consistent snapshot quiesce producers (or
+// flush()) first, as before.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/zone_table.h"
+
+namespace wiscape::core {
+
+class durable_state {
+ public:
+  virtual ~durable_state() = default;
+
+  /// All estimate-stream keys seen so far (order unspecified; persistence
+  /// sorts deterministically before writing).
+  virtual std::vector<estimate_key> keys() const = 0;
+  /// Full frozen history of one stream, oldest first.
+  virtual std::vector<epoch_estimate> history(const estimate_key& key) const = 0;
+  /// Open-epoch Welford accumulator (nullopt when absent or empty).
+  virtual std::optional<open_epoch_state> open_state(
+      const estimate_key& key) const = 0;
+
+  /// Appends a frozen estimate to a stream's history, publishing it to the
+  /// serving mirror. No alert is raised.
+  virtual void restore_estimate(const estimate_key& key,
+                                const epoch_estimate& e) = 0;
+  /// Restores a stream's open-epoch accumulator verbatim.
+  virtual void restore_open(const estimate_key& key,
+                            const open_epoch_state& st) = 0;
+
+  /// High-water alert sequence number pushed so far.
+  virtual std::uint64_t alert_seq() const = 0;
+  /// Resumes alert numbering after `last_seq` (call before any ingest).
+  virtual void resume_alert_seq(std::uint64_t last_seq) = 0;
+};
+
+}  // namespace wiscape::core

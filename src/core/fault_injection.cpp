@@ -20,6 +20,12 @@ const char* site_name(site s) noexcept {
       return "write_full";
     case site::frame_truncate:
       return "frame_truncate";
+    case site::wal_append:
+      return "wal_append";
+    case site::replica_lag:
+      return "replica_lag";
+    case site::snapshot_torn:
+      return "snapshot_torn";
   }
   return "unknown";
 }

@@ -2,8 +2,10 @@
 //
 // Production code consults a process-wide hook at a small, named set of
 // seams -- the report queue's producer edge, the sharded drain loop, the
-// wire server's request dispatch, the persistence writer, and the TCP
-// front end's accept/read/write edges (src/net) -- so a scenario can make
+// wire server's request dispatch, the persistence writer, the TCP
+// front end's accept/read/write edges (src/net), and the replication
+// stream's WAL/snapshot/pull edges (src/repl, ISSUE 10) -- so a scenario
+// can make
 // *real* code paths fail (a full queue, a stalled consumer, a dying
 // transport) instead of mocking them. With no hook
 // installed (the default, and the only state outside scenario runs) every
@@ -53,8 +55,18 @@ enum class site {
   frame_truncate,///< net::line_client binary send edge (driver thread): fail
                  ///< sends only a prefix of the v3 frame then throws, so the
                  ///< server sees a cut frame + EOF; stall sleeps briefly
+  wal_append,    ///< core::durable_log WAL append edge: fail throws before
+                 ///< the record is written (a full disk / dying volume), so
+                 ///< the tail of the log stays exactly the last fsync'd
+                 ///< record; stall sleeps briefly
+  replica_lag,   ///< repl::follower pull edge (driver thread): fail skips
+                 ///< this replication round entirely, so the follower falls
+                 ///< one pull interval further behind; stall sleeps briefly
+  snapshot_torn, ///< core::durable_log snapshot checkpoint: fail writes a
+                 ///< truncated temp file and throws before the rename, so
+                 ///< the previous snapshot survives intact (crash mid-write)
 };
-inline constexpr int site_count = 8;
+inline constexpr int site_count = 11;
 
 /// Stable lower_snake_case name of a site (tick logs, schedules).
 const char* site_name(site s) noexcept;

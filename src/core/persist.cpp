@@ -145,26 +145,25 @@ zone_table load_zone_table_file(const std::string& path,
   return load_zone_table(is, change_sigma_factor);
 }
 
-void save_coordinator_state(std::ostream& os,
-                            const sharded_coordinator& coord) {
+void save_state(std::ostream& os, const durable_state& state) {
   if (fault::fire(fault::site::persist_save) == fault::action::fail) {
     throw std::runtime_error("injected fault: coordinator snapshot refused");
   }
   os << "WISCAPE-COORD v2\n";
-  auto keys = coord.keys();
+  auto keys = state.keys();
   sort_keys(keys);
   for (const auto& key : keys) {
-    for (const auto& est : coord.history(key)) {
+    for (const auto& est : state.history(key)) {
       write_est(os, key, est);
     }
-    if (const auto open = coord.open_state(key)) {
+    if (const auto open = state.open_state(key)) {
       write_open(os, key, *open);
     }
   }
-  os << "ALERTSEQ " << coord.alert_sink().pushed() << "\n";
+  os << "ALERTSEQ " << state.alert_seq() << "\n";
 }
 
-void load_coordinator_state(std::istream& is, sharded_coordinator& coord) {
+void load_state(std::istream& is, durable_state& state) {
   std::string line;
   if (!std::getline(is, line) || line != "WISCAPE-COORD v2") {
     throw std::invalid_argument("not a coordinator-state file (bad header)");
@@ -174,10 +173,10 @@ void load_coordinator_state(std::istream& is, sharded_coordinator& coord) {
     if (parse_body_line(
             line,
             [&](const estimate_key& k, const epoch_estimate& e) {
-              coord.restore_estimate(k, e);
+              state.restore_estimate(k, e);
             },
             [&](const estimate_key& k, const open_epoch_state& s) {
-              coord.restore_open(k, s);
+              state.restore_open(k, s);
             })) {
       continue;
     }
@@ -185,12 +184,21 @@ void load_coordinator_state(std::istream& is, sharded_coordinator& coord) {
     std::string tag;
     std::uint64_t seq = 0;
     if ((ls >> tag >> seq) && tag == "ALERTSEQ") {
-      if (seq > 0) coord.resume_alert_seq(seq);
+      if (seq > 0) state.resume_alert_seq(seq);
       continue;
     }
     throw std::invalid_argument("malformed coordinator-state line: '" + line +
                                 "'");
   }
+}
+
+void save_coordinator_state(std::ostream& os,
+                            const sharded_coordinator& coord) {
+  save_state(os, coord);
+}
+
+void load_coordinator_state(std::istream& is, sharded_coordinator& coord) {
+  load_state(is, coord);
 }
 
 }  // namespace wiscape::core

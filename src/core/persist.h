@@ -22,11 +22,19 @@
 //    `ALERTSEQ <pushed>` line recording the alert ring's high sequence
 //    number, so a restarted coordinator resumes alert numbering instead of
 //    restarting at 1 (which would silently rewind client cursors).
+//
+// Since ISSUE 10 the coordinator-state flavour is written and read through
+// the narrow core::durable_state interface (src/core/durable_state.h)
+// instead of per-coordinator overloads, so the same snapshot code serves
+// the sequential coordinator, the sharded coordinator and the replication
+// catch-up path. The crash-consistent WAL/snapshot *pair* built on top of
+// these snapshots lives in core/durable_log.h.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "core/durable_state.h"
 #include "core/zone_table.h"
 
 namespace wiscape::core {
@@ -46,19 +54,25 @@ zone_table load_zone_table(std::istream& is, double change_sigma_factor = 2.0);
 zone_table load_zone_table_file(const std::string& path,
                                 double change_sigma_factor = 2.0);
 
-/// Writes a sharded coordinator's full estimate state (frozen + open epochs
-/// across every shard, deterministically sorted) plus the alert ring's
-/// sequence high-water mark. Call flush() first so in-flight reports are
-/// applied. Honours the `persist_save` fault-injection site: an injected
-/// fault throws std::runtime_error before anything is written, modelling a
-/// failed snapshot (callers must treat a throw as "no snapshot taken").
-void save_coordinator_state(std::ostream& os, const sharded_coordinator& coord);
+/// Writes a coordinator's full estimate state (frozen + open epochs,
+/// deterministically sorted) plus the alert sequence high-water mark,
+/// through the durable_state interface. Quiesce producers (sharded mode:
+/// flush()) first so in-flight reports are applied. Honours the
+/// `persist_save` fault-injection site: an injected fault throws
+/// std::runtime_error before anything is written, modelling a failed
+/// snapshot (callers must treat a throw as "no snapshot taken").
+void save_state(std::ostream& os, const durable_state& state);
 
-/// Restores estimate state saved by save_coordinator_state into a freshly
-/// constructed coordinator (same grid / networks / config). Must be called
-/// before any report is ingested: the ALERTSEQ line resumes the alert
-/// ring's numbering, which alert_ring::resume_from only permits on an
-/// untouched ring. Throws std::invalid_argument on malformed input.
+/// Restores state saved by save_state into a freshly constructed
+/// coordinator (same grid / networks / config). Must be called before any
+/// report is ingested: the ALERTSEQ line resumes the alert ring's
+/// numbering, which alert_ring::resume_from only permits on an untouched
+/// ring. Throws std::invalid_argument on malformed input.
+void load_state(std::istream& is, durable_state& state);
+
+/// Deprecated spellings of save_state/load_state from before the
+/// durable_state boundary existed; thin wrappers, kept for callers.
+void save_coordinator_state(std::ostream& os, const sharded_coordinator& coord);
 void load_coordinator_state(std::istream& is, sharded_coordinator& coord);
 
 }  // namespace wiscape::core

@@ -399,6 +399,20 @@ std::optional<open_epoch_state> sharded_coordinator::open_state(
   return sh.coord.open_state(key);
 }
 
+void sharded_coordinator::set_epoch_tap(epoch_tap* tap) {
+  for (auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    sh->coord.set_epoch_tap(tap);
+  }
+}
+
+bool sharded_coordinator::apply_epoch(const estimate_key& key,
+                                      const epoch_estimate& e) {
+  shard& sh = owner_of(key.zone);
+  std::lock_guard lock(sh.mu);
+  return sh.coord.merge_estimate(key, e);
+}
+
 const estimate_mirror& sharded_coordinator::published_of(
     std::size_t shard_index) const noexcept {
   return shards_[shard_index]->coord.published();

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "core/coordinator.h"
+#include "core/durable_state.h"
 #include "core/network_interner.h"
 #include "core/report_queue.h"
 
@@ -74,7 +75,7 @@ struct shard_stats {
   std::size_t queue_depth = 0;         ///< reports enqueued, not yet applied
 };
 
-class sharded_coordinator {
+class sharded_coordinator : public durable_state {
  public:
   /// Shard 0 seeds its rng with `seed` itself (so num_shards = 1 matches a
   /// sequential coordinator(seed) draw-for-draw); shard i > 0 uses an
@@ -166,28 +167,49 @@ class sharded_coordinator {
   /// sequence numbers across the whole coordinator.
   const alert_ring& alert_sink() const noexcept { return ring_; }
 
-  // ---- persistence surface (core::persist coordinator-state format) ------
+  // ---- persistence surface (core::durable_state) --------------------------
 
   /// Restores a frozen estimate into the owning shard (under its lock).
-  void restore_estimate(const estimate_key& key, const epoch_estimate& e);
+  void restore_estimate(const estimate_key& key,
+                        const epoch_estimate& e) override;
   /// Restores an open-epoch accumulator into the owning shard.
-  void restore_open(const estimate_key& key, const open_epoch_state& st);
+  void restore_open(const estimate_key& key,
+                    const open_epoch_state& st) override;
   /// Open-epoch accumulator of a stream, from its owning shard.
-  std::optional<open_epoch_state> open_state(const estimate_key& key) const;
+  std::optional<open_epoch_state> open_state(
+      const estimate_key& key) const override;
+  /// The shared alert ring's high-water sequence number.
+  std::uint64_t alert_seq() const override { return ring_.pushed(); }
   /// Resumes the shared alert ring's sequence numbering after a restart
   /// (alert_ring::resume_from semantics: pre-restart sequences account as
   /// dropped to lagging cursors, never silently vanish). Call before any
   /// report is ingested.
-  void resume_alert_seq(std::uint64_t last_seq) { ring_.resume_from(last_seq); }
+  void resume_alert_seq(std::uint64_t last_seq) override {
+    ring_.resume_from(last_seq);
+  }
+
+  // ---- replication surface (src/repl, ISSUE 10) ---------------------------
+
+  /// Attaches one epoch-rollover tap to every shard's table. Rollovers fire
+  /// it from drain-worker threads under the owning shard's lock, so the tap
+  /// must be thread-safe (repl::epoch_log is). Install before ingesting;
+  /// pass nullptr only while the pipeline is quiescent.
+  void set_epoch_tap(epoch_tap* tap);
+  /// Folds a replicated frozen estimate into the owning shard (under its
+  /// lock): a follower applying the leader's epoch stream, or two
+  /// coordinators merging feeds from disjoint client populations. Returns
+  /// true when an existing (zone, network, epoch) entry was merged, false
+  /// when the estimate was appended fresh (the fast-forward path).
+  bool apply_epoch(const estimate_key& key, const epoch_estimate& e);
 
   // ---- read-side aggregation (flush() first for a consistent view) -------
 
   /// Latest frozen estimate / history for a key, from its owning shard.
   std::optional<epoch_estimate> latest(const estimate_key& key) const;
-  std::vector<epoch_estimate> history(const estimate_key& key) const;
+  std::vector<epoch_estimate> history(const estimate_key& key) const override;
 
   /// All keys across shards (unspecified order).
-  std::vector<estimate_key> keys() const;
+  std::vector<estimate_key> keys() const override;
 
   /// All change alerts across shards, sorted by (epoch_start_s, key) so two
   /// runs that raised the same alerts compare equal regardless of shard

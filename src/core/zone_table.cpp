@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/alert_ring.h"
 #include "core/estimate_mirror.h"
@@ -174,6 +175,7 @@ void zone_table::rollover(std::size_t index) {
   if (mirror_ != nullptr) {
     mirror_->publish(c.skey, e, c.frozen.size() - 1);
   }
+  if (epoch_tap_ != nullptr) epoch_tap_->on_epoch(c.key, e);
   s.open.reset();
   metrics().rollovers.inc();
 }
@@ -232,6 +234,84 @@ void zone_table::restore(const estimate_key& key,
   if (mirror_ != nullptr) {
     mirror_->publish(cold_[idx].skey, estimate, cold_[idx].frozen.size() - 1);
   }
+}
+
+namespace {
+
+// Chan et al. pairwise Welford combine for two frozen summaries of the
+// same epoch. The operands are put in a canonical order first -- by
+// (mean, stddev, samples) -- so combine(a, b) and combine(b, a) execute
+// the identical fp instruction sequence: the commutativity the
+// replication merge advertises is bitwise, not merely mathematical.
+epoch_estimate combine_estimates(const epoch_estimate& x,
+                                 const epoch_estimate& y) {
+  const epoch_estimate* a = &x;
+  const epoch_estimate* b = &y;
+  const auto before = [](const epoch_estimate& p, const epoch_estimate& q) {
+    if (p.mean != q.mean) return p.mean < q.mean;
+    if (p.stddev != q.stddev) return p.stddev < q.stddev;
+    return p.samples < q.samples;
+  };
+  if (before(*b, *a)) std::swap(a, b);
+  const double n1 = static_cast<double>(a->samples);
+  const double n2 = static_cast<double>(b->samples);
+  const double n = n1 + n2;
+  // Recover each side's M2 from the published stddev (variance uses the
+  // n-1 denominator; a single-sample epoch carries M2 = 0).
+  const double m2a =
+      a->samples > 1 ? a->stddev * a->stddev * (n1 - 1.0) : 0.0;
+  const double m2b =
+      b->samples > 1 ? b->stddev * b->stddev * (n2 - 1.0) : 0.0;
+  const double delta = b->mean - a->mean;
+  epoch_estimate out;
+  out.epoch_start_s = a->epoch_start_s;
+  out.samples = a->samples + b->samples;
+  out.mean = a->mean + delta * (n2 / n);
+  const double m2 = m2a + m2b + delta * delta * (n1 * n2 / n);
+  out.stddev = out.samples > 1 ? std::sqrt(m2 / (n - 1.0)) : 0.0;
+  return out;
+}
+
+}  // namespace
+
+bool zone_table::merge_estimate(const estimate_key& key,
+                                const epoch_estimate& estimate) {
+  const std::uint16_t nid = interner_.id_of(key.network);
+  const std::uint64_t gkey = pack_group(key.zone, nid);
+  std::size_t slot = find_group(gkey);
+  if (slot == npos_index) slot = create_group(gkey);
+  const std::uint32_t val =
+      slots_[slot].streams[static_cast<std::size_t>(key.metric)];
+  const std::size_t idx =
+      val != 0 ? val - 1 : materialize_stream(slot, key.zone, nid, key.metric);
+  auto& frozen = cold_[idx].frozen;
+  // Scan for the slot from the tail: replicated feeds arrive in epoch
+  // order, so the match (or the append point) is almost always last.
+  std::size_t pos = frozen.size();
+  while (pos > 0 && frozen[pos - 1].epoch_start_s > estimate.epoch_start_s) {
+    --pos;
+  }
+  bool merged = false;
+  if (pos > 0 && frozen[pos - 1].epoch_start_s == estimate.epoch_start_s) {
+    epoch_estimate& cur = frozen[pos - 1];
+    // Bitwise-identical re-apply is a no-op, so the operation is
+    // idempotent: a record delivered both inside a snapshot and by the
+    // pull that follows it (they may overlap under live ingest) cannot
+    // double-count. Genuinely disjoint populations differ in value and
+    // still combine below.
+    if (cur.mean == estimate.mean && cur.stddev == estimate.stddev &&
+        cur.samples == estimate.samples) {
+      return true;
+    }
+    cur = combine_estimates(cur, estimate);
+    merged = true;
+  } else {
+    frozen.insert(frozen.begin() + static_cast<std::ptrdiff_t>(pos), estimate);
+  }
+  if (mirror_ != nullptr) {
+    mirror_->publish(cold_[idx].skey, frozen.back(), frozen.size() - 1);
+  }
+  return merged;
 }
 
 std::optional<open_epoch_state> zone_table::open_state(

@@ -84,6 +84,20 @@ struct open_epoch_state {
   double m2 = 0.0;
 };
 
+/// Observer of epoch rollovers (the replication tap, ISSUE 10). Fired once
+/// per frozen estimate, right after it is appended to the stream's history
+/// and published to the mirror -- the exact replication unit the epoch
+/// stream ships to followers. restore()/merge_estimate() do NOT fire it:
+/// replayed or replicated state is not a new rollover (a follower must not
+/// re-log epochs it merely applied). Invoked inside the table's own
+/// mutations -- drain-worker threads in sharded mode -- so an
+/// implementation shared across shards must be thread-safe.
+class epoch_tap {
+ public:
+  virtual ~epoch_tap() = default;
+  virtual void on_epoch(const estimate_key& key, const epoch_estimate& est) = 0;
+};
+
 /// Raised when an epoch's estimate moved substantially vs the previous one.
 struct change_alert {
   estimate_key key;
@@ -145,6 +159,10 @@ class zone_table {
   /// across shards so alert sequence numbers are totally ordered).
   void set_alert_sink(alert_ring* alerts) noexcept { alert_sink_ = alerts; }
 
+  /// Attaches the epoch-rollover tap (nullptr = none). Same lifetime and
+  /// serialisation rules as set_sinks; install before ingesting.
+  void set_epoch_tap(epoch_tap* tap) noexcept { epoch_tap_ = tap; }
+
   /// Adds one sample to the current epoch of `key`. `epoch_duration_s` is
   /// the zone's current epoch length (rollover happens when a sample lands
   /// past the epoch end). Throws std::invalid_argument if
@@ -194,6 +212,17 @@ class zone_table {
   /// Appends a frozen estimate to a key's history without touching the open
   /// epoch or raising alerts (used when restoring persisted state).
   void restore(const estimate_key& key, const epoch_estimate& estimate);
+
+  /// Folds a replicated frozen estimate into a key's history (ISSUE 10).
+  /// When an epoch with the same epoch_start_s already exists -- two feeds
+  /// covering disjoint client populations froze the same (zone, network,
+  /// epoch) -- the two Welford summaries are combined with canonically
+  /// ordered operands, so the merge is bitwise commutative across feed
+  /// arrival orders; otherwise the estimate is inserted in epoch order
+  /// (the common case appends at the tail). Like restore(): no alert, no
+  /// open-epoch touch, mirror republished so reads serve the merged tail.
+  /// Returns true when an existing epoch was merged, false on fresh insert.
+  bool merge_estimate(const estimate_key& key, const epoch_estimate& estimate);
 
   /// Open-epoch accumulator of a key, or nullopt when the stream is absent
   /// or its open epoch is empty (an empty open epoch carries no state worth
@@ -317,6 +346,7 @@ class zone_table {
   std::vector<change_alert> alerts_;
   estimate_mirror* mirror_ = nullptr;  // serving-layer estimate sink
   alert_ring* alert_sink_ = nullptr;   // serving-layer alert sink
+  epoch_tap* epoch_tap_ = nullptr;     // replication tap (rollovers only)
 
 };
 

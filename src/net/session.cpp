@@ -148,7 +148,9 @@ bool session::dispatch(std::size_t len, const shed_state& shed,
   }
 
   rb_.clear();
-  handler_->handle_into(req, rb_);
+  // The line framer classified the request; tag it so the handler's
+  // unified entry point skips re-detection.
+  handler_->handle(proto::request_view::text(req), rb_);
   ++stats.dispatched;
   if (type == "HELLO" && proto::message_type(rb_.view()) == "HELLO") {
     saw_hello_ = true;
@@ -247,7 +249,7 @@ bool session::pump_binary(const shed_state& shed, pump_stats& stats,
     ok = queue_reply_frame(rb_.view());
   } else {
     rb_.clear();
-    handler_->handle_into(frame, rb_);
+    handler_->handle(proto::request_view::binary(frame), rb_);
     ++stats.dispatched;
     ok = queue_reply_frame(rb_.view());
   }

@@ -207,4 +207,52 @@ inline constexpr char kNetWritevCalls[] = "net.server.writev_calls";
 /// x1e-3]
 inline constexpr char kNetRepliesPerFlush[] = "net.server.replies_per_flush";
 
+// ---- core::durable_log (WAL/snapshot pair, ISSUE 10) ----------------------
+/// Epoch records appended to the write-ahead log. [records]
+inline constexpr char kPersistWalAppends[] = "core.persist.wal_appends";
+/// WAL appends refused by an injected wal_append fault (full disk model);
+/// the record is not written. Zero outside scenario runs. [records]
+inline constexpr char kPersistWalAppendFailures[] =
+    "core.persist.wal_append_failures";
+/// Torn or corrupt WAL tails detected during replay: recovery stopped at
+/// the last complete, checksum-valid record. [tails]
+inline constexpr char kPersistWalTruncated[] = "core.persist.wal_truncated";
+/// Epoch records replayed from the WAL into a coordinator. [records]
+inline constexpr char kPersistWalReplayed[] = "core.persist.wal_replayed";
+/// Snapshot checkpoints completed (written to the temp file and renamed
+/// into place; the WAL is reset afterwards). [snapshots]
+inline constexpr char kPersistSnapshots[] = "core.persist.snapshots";
+/// Snapshot checkpoints that failed before the rename (injected
+/// snapshot_torn fault or I/O error); the previous snapshot survives.
+/// [snapshots]
+inline constexpr char kPersistSnapshotFailures[] =
+    "core.persist.snapshot_failures";
+
+// ---- repl (epoch-stream replication, ISSUE 10) ----------------------------
+/// Epoch rollovers captured into the leader's replication log. [records]
+inline constexpr char kReplEpochsLogged[] = "repl.epochs_logged";
+/// Log entries evicted by the bounded replication ring before any follower
+/// pulled them; a joiner below the log base needs a snapshot. [records]
+inline constexpr char kReplLogEvicted[] = "repl.log_evicted";
+/// EPOCH pull requests served by this node. [requests]
+inline constexpr char kReplPulls[] = "repl.pulls";
+/// Epoch records shipped in EPOCHB replies to pulls. [records]
+inline constexpr char kReplPullRecords[] = "repl.pull_records";
+/// SNAPSHOT_CHUNK replies served to catching-up joiners. [chunks]
+inline constexpr char kReplSnapshotChunks[] = "repl.snapshot_chunks";
+/// PROMOTE requests honoured: this node became the leader. [promotions]
+inline constexpr char kReplPromotions[] = "repl.promotions";
+/// Epoch records applied by a follower (fresh appends via the zone_table
+/// fast-forward path). [records]
+inline constexpr char kReplEpochsApplied[] = "repl.epochs_applied";
+/// Epoch records merged into an existing (zone, network, epoch) entry --
+/// feeds from disjoint client populations converging. [records]
+inline constexpr char kReplEpochsMerged[] = "repl.epochs_merged";
+/// Replicated records skipped as already applied (sequence number at or
+/// below the follower's high-water mark). [records]
+inline constexpr char kReplDuplicates[] = "repl.duplicates";
+/// Replication rounds skipped by an injected replica_lag fault. Zero
+/// outside scenario runs. [rounds]
+inline constexpr char kReplLagSkips[] = "repl.lag_skips";
+
 }  // namespace wiscape::obs::names

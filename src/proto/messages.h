@@ -121,6 +121,23 @@ struct estimate_reply {
   double confidence = 0.0;
 };
 
+/// One replicated frozen epoch (ISSUE 10): the leader log's sequence
+/// number (the follower's dedup key) plus the (zone, network, metric)
+/// stream key and the published estimate. Travels in v3 EPOCHB frames with
+/// doubles as raw IEEE bits, so a follower's applied state is bit-equal to
+/// the leader's. Lives here (not wire_v3.h) because reply_buffer stages
+/// decode scratch of it.
+struct epoch_update {
+  std::uint64_t seq = 0;
+  geo::zone_id zone;
+  std::string network;
+  trace::metric metric = trace::metric::tcp_throughput_bps;
+  double epoch_start_s = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint64_t samples = 0;
+};
+
 /// Client -> coordinator: incremental alert drain ("ALERTS since=<seq>
 /// [max=<n>]").
 struct alerts_request {
@@ -237,6 +254,7 @@ class reply_buffer {
   std::vector<query_request> queries_scratch_;
   std::vector<std::uint8_t> group_status_;
   std::vector<std::string> group_errors_;
+  std::vector<epoch_update> epochs_scratch_;
 };
 
 // ---- codec ----------------------------------------------------------------

@@ -128,19 +128,30 @@ std::optional<estimate_reply> coordinator_server::lookup_one(
   return rep;
 }
 
+request_view request_view::detect(std::string_view data) noexcept {
+  return v3::is_frame_start(data) ? binary(data) : text(data);
+}
+
+void coordinator_server::handle(request_view req, reply_buffer& out) {
+  if (req.framing() == request_view::kind::binary) {
+    handle_frame_into(req.bytes(), out);
+  } else {
+    handle_text_into(req.bytes(), out);
+  }
+}
+
 std::string coordinator_server::handle(std::string_view line) {
   reply_buffer out;
-  handle_into(line, out);
+  handle(request_view::detect(line), out);
   return std::string(out.view());
 }
 
 void coordinator_server::handle_into(std::string_view line, reply_buffer& out) {
-  // One byte decides the framing: 0xB3 is outside ASCII and every text
-  // command starts with an uppercase letter.
-  if (v3::is_frame_start(line)) {
-    handle_frame_into(line, out);
-    return;
-  }
+  handle(request_view::detect(line), out);
+}
+
+void coordinator_server::handle_text_into(std::string_view line,
+                                          reply_buffer& out) {
   const std::size_t base = out.size();
   metrics().lines.inc();
   const std::string_view type = message_type(line);
@@ -307,7 +318,7 @@ void coordinator_server::handle_into(std::string_view line, reply_buffer& out) {
       } else {
         metrics().hellos.inc();
         hello_reply rep;
-        rep.version = std::min(req.version, advertised_version_);
+        rep.version = std::min(req.version, opts_.advertised_version);
         rep.min_version = wire_min_version;
         encode_into(rep, out);
       }
@@ -460,10 +471,73 @@ void coordinator_server::handle_frame_into(std::string_view frame,
           m.query_batches.inc();
           break;
         }
+        case v3::opcode::epoch: {
+          // Replication pull: serve log records after the follower's
+          // sequence cursor. Decode-before-dispatch keeps the error
+          // classes honest (a malformed pull is parse, not unsupported).
+          const auto pull = v3::decode_epoch_pull_frame(frame);
+          if (repl_ == nullptr) {
+            fail(err_code::unsupported, "replication not attached");
+            break;
+          }
+          auto& updates = out.epochs_scratch_;
+          updates.clear();
+          const auto max = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(pull.max_records, v3::max_epoch_batch));
+          if (!repl_->pull(pull.since_seq, max, updates)) {
+            fail(err_code::stopped,
+                 "log truncated below requested seq; snapshot required");
+          } else {
+            v3::encode_epoch_batch_frame(updates, out);
+          }
+          break;
+        }
+        case v3::opcode::epochb: {
+          // An EPOCHB arriving as a request is a follower-apply: the
+          // leader->follower stream pushes the same bytes a pull returns.
+          auto& updates = out.epochs_scratch_;
+          v3::decode_epoch_batch_frame_into(frame, updates);
+          if (repl_ == nullptr) {
+            fail(err_code::unsupported, "replication not attached");
+          } else {
+            v3::encode_ack_frame(repl_->apply(updates), out);
+          }
+          break;
+        }
+        case v3::opcode::snapshot_req: {
+          const std::uint64_t offset = v3::decode_snapshot_req_frame(frame);
+          if (repl_ == nullptr) {
+            fail(err_code::unsupported, "replication not attached");
+            break;
+          }
+          // Chunk staging allocates (snapshot bytes are cold-path by
+          // definition: catch-up happens once per join, not per request).
+          std::string data;
+          std::uint64_t total = 0;
+          bool last = false;
+          if (!repl_->snapshot(offset, data, total, last)) {
+            fail(err_code::parse, "snapshot offset beyond end");
+          } else {
+            v3::encode_snapshot_chunk_frame(offset, total, last, data, out);
+          }
+          break;
+        }
+        case v3::opcode::promote: {
+          v3::decode_promote_frame(frame);
+          if (repl_ == nullptr) {
+            fail(err_code::unsupported, "replication not attached");
+          } else if (!repl_->promote()) {
+            fail(err_code::unsupported, "promotion refused");
+          } else {
+            v3::encode_ack_frame(out);
+          }
+          break;
+        }
         case v3::opcode::ack:
         case v3::opcode::est:
         case v3::opcode::estb:
-        case v3::opcode::err: {
+        case v3::opcode::err:
+        case v3::opcode::snapshot_chunk: {
           // Reply opcodes arriving as requests: the binary analogue of a
           // client sending "EST ..." -- syntactically valid, not a request.
           char detail[64];

@@ -1,12 +1,14 @@
 // A transport-agnostic coordinator server and its client-side counterparts.
 //
 // coordinator_server turns the in-process core::coordinator into a
-// line-protocol service: hand it any protocol v2 line (from a socket, a
-// message queue, a file of replayed traffic -- the transport is the
-// caller's business) and it answers: CHECKIN/REPORT/REPORTB on the write
-// side, QUERY/QUERYB/ALERTS/HELLO on the read side (served through
+// protocol service: hand it any request -- a protocol v2 text line or a
+// v3 binary frame, wrapped in a request_view (from a socket, a message
+// queue, a file of replayed traffic -- the transport is the caller's
+// business) -- and it answers: CHECKIN/REPORT/REPORTB on the write side,
+// QUERY/QUERYB/ALERTS/HELLO on the read side (served through
 // core::estimate_view, so queries never take a shard lock in concurrent
-// mode). remote_agent is the write-side client shim (check-in / execute /
+// mode), and the v3 replication opcodes when a replication_endpoint is
+// attached (ISSUE 10). remote_agent is the write-side client shim (check-in / execute /
 // report cycle); remote_query_client is the read-side one (negotiate,
 // look up estimates, drain alerts) -- both against any `send` function.
 #pragma once
@@ -32,9 +34,98 @@ namespace wiscape::proto {
 /// usable directly by tools that want the dump without a server.
 /// Thread-safe.
 std::string encode_stats();
-/// encode_stats appended to a caller-owned reply_buffer (the form handle_into
-/// serves STATS through). Thread-safe.
+/// encode_stats appended to a caller-owned reply_buffer (the form the
+/// server serves STATS through). Thread-safe.
 void encode_stats_into(reply_buffer& out);
+
+/// A borrowed request plus its framing tag: the one argument shape every
+/// request enters coordinator_server::handle() with, whether it arrived as
+/// a protocol v2 text line or a v3 binary frame (ISSUE 10's unified entry
+/// point). Construct with text()/binary() when the transport already knows
+/// the framing (the TCP session's dual framer does), or detect() to apply
+/// the one-byte classification rule: 0xB3 (the v3 frame magic) is outside
+/// ASCII and every text command starts with an uppercase letter, so the
+/// first byte decides unambiguously. Borrows the bytes; nothing is
+/// retained after handle() returns.
+class request_view {
+ public:
+  enum class kind : std::uint8_t {
+    text,    ///< one protocol v2 line (no trailing newline)
+    binary,  ///< one complete v3 frame, header included
+  };
+
+  /// Wraps a text line the transport has already classified.
+  static constexpr request_view text(std::string_view line) noexcept {
+    return {kind::text, line};
+  }
+  /// Wraps a complete binary frame the transport has already classified.
+  static constexpr request_view binary(std::string_view frame) noexcept {
+    return {kind::binary, frame};
+  }
+  /// Classifies by the first byte (the rule handle_into applied inline):
+  /// frame magic -> binary, anything else (including empty) -> text.
+  static request_view detect(std::string_view data) noexcept;
+
+  kind framing() const noexcept { return kind_; }
+  std::string_view bytes() const noexcept { return bytes_; }
+
+ private:
+  constexpr request_view(kind k, std::string_view b) noexcept
+      : kind_(k), bytes_(b) {}
+
+  kind kind_;
+  std::string_view bytes_;
+};
+
+/// The replication surface a coordinator_server dispatches the v3
+/// replication opcodes against (ISSUE 10). Implemented by src/repl's
+/// leader/follower roles; declared here because the server owns all wire
+/// encode/decode -- implementations exchange typed records only and never
+/// see frame bytes, so proto does not depend on repl. All methods must be
+/// as thread-safe as the server mode demands (concurrent mode dispatches
+/// from many transport threads).
+class replication_endpoint {
+ public:
+  virtual ~replication_endpoint() = default;
+
+  /// Serves an EPOCH pull: appends up to `max_records` log records with
+  /// sequence > `since_seq`, in sequence order, to `out` (not cleared).
+  /// Returns false when since_seq has fallen below the log's retained base
+  /// -- the puller is too far behind and must snapshot-catch-up instead
+  /// (the server answers ERR stopped naming that).
+  virtual bool pull(std::uint64_t since_seq, std::uint32_t max_records,
+                    std::vector<epoch_update>& out) = 0;
+
+  /// Serves one snapshot slice for SNAPSHOT_REQ: fills `data` with at most
+  /// v3::max_snapshot_chunk bytes starting at `offset`, sets `total` to
+  /// the full snapshot size and `last` when this slice ends it. Offset 0
+  /// captures a fresh snapshot; later offsets read the captured bytes, so
+  /// a chunk sequence is self-consistent. Returns false when `offset` is
+  /// beyond the snapshot (answered as ERR parse).
+  virtual bool snapshot(std::uint64_t offset, std::string& data,
+                        std::uint64_t& total, bool& last) = 0;
+
+  /// Applies a replicated batch (an EPOCHB frame arriving as a request on
+  /// a follower). Returns the number of records applied -- duplicates the
+  /// follower has already seen are skipped and not counted.
+  virtual std::uint64_t apply(std::span<const epoch_update> updates) = 0;
+
+  /// PROMOTE: assume leadership. Returns false when refused (already the
+  /// leader, or this endpoint cannot lead).
+  virtual bool promote() = 0;
+};
+
+/// Construction-time server tuning. Immutable after construction by
+/// design: a torn mid-serving change to any of these can never be
+/// observed by a concurrent session (the mutable set_advertised_version()
+/// knob this replaces was exactly that hazard).
+struct server_options {
+  /// The highest version HELLO negotiation offers. Lowering it below
+  /// wire_version makes the server answer `HELLO ver=<n>` like an older
+  /// build -- the version-interop tests run a v3 client against a v2-max
+  /// server this way. Must be within [wire_min_version, wire_version].
+  std::uint32_t advertised_version = wire_version;
+};
 
 /// Serves a coordinator over the line protocol.
 ///
@@ -49,16 +140,33 @@ void encode_stats_into(reply_buffer& out);
 class coordinator_server {
  public:
   /// Borrows the coordinator; it must outlive the server.
-  explicit coordinator_server(core::coordinator& coord)
-      : coord_(&coord), view_(coord) {}
+  explicit coordinator_server(core::coordinator& coord,
+                              const server_options& opts = {})
+      : coord_(&coord), view_(coord), opts_(opts) {}
 
   /// Concurrent mode over a sharded coordinator (it must outlive the
   /// server).
-  explicit coordinator_server(core::sharded_coordinator& coord)
-      : sharded_(&coord), view_(coord) {}
+  explicit coordinator_server(core::sharded_coordinator& coord,
+                              const server_options& opts = {})
+      : sharded_(&coord), view_(coord), opts_(opts) {}
 
-  /// Handles one request and returns the response (normative spec:
-  /// docs/WIRE_PROTOCOL.md):
+  /// THE request entry point: handles one request -- text line or binary
+  /// frame, per the view's framing tag -- and appends the reply to `out`
+  /// (text replies carry no trailing newline; binary requests are answered
+  /// with one complete binary frame). Every transport and the replication
+  /// stream dispatch through this one method; handle(line) and
+  /// handle_into() below are thin wrappers over it.
+  ///
+  /// A caller that reuses one reply_buffer per connection (clear() between
+  /// requests) pays zero heap allocations per request in steady state:
+  /// replies are rendered with to_chars-based appends, and batch frames
+  /// (REPORTB/QUERYB/EPOCHB in either framing) decode into the buffer's
+  /// scratch vectors, whose capacity survives across requests.
+  /// Thread-safety follows the mode -- any number of threads in concurrent
+  /// mode (each with its own reply_buffer), one at a time in sequential
+  /// mode.
+  ///
+  /// Text commands (normative spec: docs/WIRE_PROTOCOL.md):
   ///   CHECKIN   -> TASK ... | IDLE
   ///   REPORT    -> ACK
   ///   REPORTB   -> "ACK <n>" ("REPORTB <n>" header + n CSV record lines,
@@ -78,33 +186,33 @@ class coordinator_server {
   ///                hostile registration cannot corrupt line framing)
   ///   malformed -> "ERR <code> <detail>" (stable code token -- see
   ///                err_code; long inputs echoed clipped, never verbatim)
+  ///
+  /// Binary requests dispatch on their v3 opcode (proto/wire_v3.h) and are
+  /// answered with a binary reply frame -- ack/est/estb on success, err on
+  /// failure. Like text commands, the in-process handler accepts binary
+  /// frames unconditionally; only the TCP session gates them on the
+  /// negotiated version. Binary REPORTB decode skips number parsing
+  /// entirely and the reply path writes raw IEEE-754 bits, so v3 exchanges
+  /// keep the same zero-allocation steady state with a fraction of the
+  /// per-record cost. The replication opcodes (EPOCH pull, EPOCHB apply,
+  /// SNAPSHOT_REQ, PROMOTE) require an attached replication endpoint and
+  /// answer ERR unsupported ("replication not attached") without one.
+  ///
   /// The request is read as a borrowed view; nothing is retained after
-  /// return. Thread-safety follows the mode: any number of threads in
-  /// concurrent mode, one at a time in sequential mode. Every request is
-  /// counted into the obs:: metrics registry (proto.server.*), including
-  /// per-command latency histograms. In concurrent mode an ACKed report is
-  /// applied asynchronously: flush the sharded coordinator before expecting
-  /// a QUERY to serve it.
+  /// return. Every request is counted into the obs:: metrics registry
+  /// (proto.server.*), including per-command latency histograms. In
+  /// concurrent mode an ACKed report is applied asynchronously: flush the
+  /// sharded coordinator before expecting a QUERY to serve it.
+  void handle(request_view req, reply_buffer& out);
+
+  /// Deprecated spelling: handle() with the framing auto-detected and the
+  /// reply returned as a freshly allocated string. Byte-identical to the
+  /// unified entry point; kept for callers and tests that predate it.
   std::string handle(std::string_view line);
 
-  /// handle() without the return-value allocation: the reply is appended to
-  /// `out` (no trailing newline), byte-identical to what handle() returns
-  /// for the same line -- handle() is a thin wrapper over this. A caller
-  /// that reuses one reply_buffer per connection (clear() between requests)
-  /// pays zero heap allocations per request in steady state: replies are
-  /// rendered with to_chars-based appends and REPORTB/QUERYB frames decode
-  /// into the buffer's scratch vectors, whose capacity survives across
-  /// requests. Thread-safety follows the mode (each thread needs its own
-  /// reply_buffer).
-  ///
-  /// A request whose first byte is the v3 frame magic (0xB3) dispatches on
-  /// its binary opcode instead (proto/wire_v3.h) and is answered with a
-  /// binary reply frame -- ack/est/estb on success, err on failure. Like
-  /// text commands, the in-process handler accepts binary frames
-  /// unconditionally; only the TCP session gates them on the negotiated
-  /// version. Binary REPORTB decode skips number parsing entirely and the
-  /// reply path writes raw IEEE-754 bits, so v3 exchanges keep the same
-  /// zero-allocation steady state with a fraction of the per-record cost.
+  /// Deprecated spelling: handle(request_view::detect(line), out). Kept
+  /// for callers that predate the unified entry point; new code should
+  /// tag the framing at the transport and call handle() directly.
   void handle_into(std::string_view line, reply_buffer& out);
 
   /// Transport micro-batch: answers `count` consecutive single-line REPORT
@@ -128,16 +236,19 @@ class coordinator_server {
   /// True when serving a sharded coordinator (handle() is thread-safe).
   bool concurrent() const noexcept { return sharded_ != nullptr; }
 
-  /// The highest version HELLO negotiation offers (default: wire_version).
-  /// Lowering it makes this server answer `HELLO ver=<n>` like an older
-  /// build -- the version-interop tests run a v3 client against a v2-max
-  /// server this way. Must be within [wire_min_version, wire_version]; set
-  /// before serving traffic (not synchronized against in-flight handlers).
-  void set_advertised_version(std::uint32_t v) noexcept {
-    advertised_version_ = v;
+  /// Attaches the replication surface the v3 replication opcodes dispatch
+  /// against (nullptr detaches; the default). Borrowed -- the endpoint
+  /// must outlive the server. Attach before serving traffic: like
+  /// construction, this is not synchronized against in-flight handlers.
+  void attach_replication(replication_endpoint* repl) noexcept {
+    repl_ = repl;
   }
+  replication_endpoint* replication() const noexcept { return repl_; }
+
+  /// The highest version HELLO negotiation offers (a construction-time
+  /// option -- see server_options::advertised_version).
   std::uint32_t advertised_version() const noexcept {
-    return advertised_version_;
+    return opts_.advertised_version;
   }
 
   /// REPORT lines accepted (ACKed) since construction.
@@ -155,14 +266,17 @@ class coordinator_server {
 
  private:
   std::optional<estimate_reply> lookup_one(const query_request& q) const;
-  /// handle_into's binary path: dispatches one complete v3 frame on its
+  /// handle()'s text half: dispatches one protocol v2 line.
+  void handle_text_into(std::string_view line, reply_buffer& out);
+  /// handle()'s binary half: dispatches one complete v3 frame on its
   /// opcode and appends the binary reply frame.
   void handle_frame_into(std::string_view frame, reply_buffer& out);
 
   core::coordinator* coord_ = nullptr;
   core::sharded_coordinator* sharded_ = nullptr;
   core::estimate_view view_;
-  std::uint32_t advertised_version_ = wire_version;
+  server_options opts_;
+  replication_endpoint* repl_ = nullptr;
   std::atomic<std::uint64_t> reports_{0};
   std::atomic<std::uint64_t> tasks_{0};
   std::atomic<std::uint64_t> errors_{0};

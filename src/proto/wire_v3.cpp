@@ -312,6 +312,40 @@ std::optional<estimate_reply> get_estimate(reader& r) {
   return rep;
 }
 
+// One epoch_update's fixed-width prefix (seq + zone + metric + estimate);
+// the trailing str16 network adds at least its 2-byte length prefix.
+constexpr std::size_t epoch_fixed_bytes = 49;
+constexpr std::size_t min_epoch_bytes = epoch_fixed_bytes + 2;
+
+void put_epoch(reply_buffer& out, const epoch_update& u) {
+  put_u64(out, u.seq);
+  put_i32(out, u.zone.ix);
+  put_i32(out, u.zone.iy);
+  put_u8(out, static_cast<std::uint8_t>(u.metric));
+  put_f64(out, u.epoch_start_s);
+  put_f64(out, u.mean);
+  put_f64(out, u.stddev);
+  put_u64(out, u.samples);
+  put_str16(out, u.network);
+}
+
+void get_epoch(reader& r, epoch_update& u) {
+  r.need(epoch_fixed_bytes, "epoch fixed fields");
+  u.seq = r.u64_raw();
+  u.zone.ix = r.i32_raw();
+  u.zone.iy = r.i32_raw();
+  const std::uint8_t metric = r.u8_raw();
+  if (metric > static_cast<std::uint8_t>(trace::metric::uplink_throughput_bps)) {
+    throw std::invalid_argument("bad metric byte " + std::to_string(metric));
+  }
+  u.metric = static_cast<trace::metric>(metric);
+  u.epoch_start_s = r.f64_raw();
+  u.mean = r.f64_raw();
+  u.stddev = r.f64_raw();
+  u.samples = r.u64_raw();
+  u.network = r.str16("epoch.network");
+}
+
 /// Rejects a batch count before any allocation: over the protocol cap, or
 /// impossibly large for the bytes actually present (every element costs at
 /// least `min_bytes` on the wire).
@@ -349,6 +383,16 @@ const char* opcode_name(opcode op) noexcept {
       return "estb";
     case opcode::err:
       return "err";
+    case opcode::epoch:
+      return "epoch";
+    case opcode::epochb:
+      return "epochb";
+    case opcode::snapshot_req:
+      return "snapshot_req";
+    case opcode::snapshot_chunk:
+      return "snapshot_chunk";
+    case opcode::promote:
+      return "promote";
   }
   return "unknown";
 }
@@ -455,6 +499,44 @@ void encode_error_frame(err_code code, std::string_view detail,
   end_frame(out, at);
 }
 
+void encode_epoch_pull_frame(const epoch_pull& p, reply_buffer& out) {
+  const std::size_t at = begin_frame(out, opcode::epoch);
+  put_u64(out, p.since_seq);
+  put_u32(out, p.max_records);
+  end_frame(out, at);
+}
+
+void encode_epoch_batch_frame(std::span<const epoch_update> updates,
+                              reply_buffer& out) {
+  const std::size_t at = begin_frame(out, opcode::epochb);
+  put_u32(out, static_cast<std::uint32_t>(updates.size()));
+  for (const auto& u : updates) put_epoch(out, u);
+  end_frame(out, at);
+}
+
+void encode_snapshot_req_frame(std::uint64_t offset, reply_buffer& out) {
+  const std::size_t at = begin_frame(out, opcode::snapshot_req);
+  put_u64(out, offset);
+  end_frame(out, at);
+}
+
+void encode_snapshot_chunk_frame(std::uint64_t offset, std::uint64_t total,
+                                 bool last, std::string_view data,
+                                 reply_buffer& out) {
+  const std::size_t at = begin_frame(out, opcode::snapshot_chunk);
+  put_u64(out, offset);
+  put_u64(out, total);
+  put_u8(out, last ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(data.size()));
+  out.append(data);
+  end_frame(out, at);
+}
+
+void encode_promote_frame(reply_buffer& out) {
+  const std::size_t at = begin_frame(out, opcode::promote);
+  end_frame(out, at);
+}
+
 std::string encode_report_frame(const measurement_report& m) {
   reply_buffer out;
   encode_report_frame(m, out);
@@ -477,6 +559,30 @@ std::string encode_query_frame(const query_request& q) {
 std::string encode_query_batch_frame(std::span<const query_request> qs) {
   reply_buffer out;
   encode_query_batch_frame(qs, out);
+  return std::string(out.view());
+}
+
+std::string encode_epoch_pull_frame(const epoch_pull& p) {
+  reply_buffer out;
+  encode_epoch_pull_frame(p, out);
+  return std::string(out.view());
+}
+
+std::string encode_epoch_batch_frame(std::span<const epoch_update> updates) {
+  reply_buffer out;
+  encode_epoch_batch_frame(updates, out);
+  return std::string(out.view());
+}
+
+std::string encode_snapshot_req_frame(std::uint64_t offset) {
+  reply_buffer out;
+  encode_snapshot_req_frame(offset, out);
+  return std::string(out.view());
+}
+
+std::string encode_promote_frame() {
+  reply_buffer out;
+  encode_promote_frame(out);
   return std::string(out.view());
 }
 
@@ -570,6 +676,71 @@ std::vector<std::optional<estimate_reply>> decode_estimate_batch_frame(
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_estimate(r));
   require_done(r);
   return out;
+}
+
+epoch_pull decode_epoch_pull_frame(std::string_view frame) {
+  reader r{payload_of(frame, opcode::epoch)};
+  epoch_pull p;
+  p.since_seq = r.u64("epoch.since_seq");
+  p.max_records = r.u32("epoch.max_records");
+  require_done(r);
+  return p;
+}
+
+void decode_epoch_batch_frame_into(std::string_view frame,
+                                   std::vector<epoch_update>& out) {
+  reader r{payload_of(frame, opcode::epochb)};
+  const std::uint32_t n = r.u32("epochb.count");
+  check_count(n, max_epoch_batch, min_epoch_bytes, r.left(), "epochb");
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.emplace_back();
+    get_epoch(r, out.back());
+  }
+  require_done(r);
+}
+
+std::vector<epoch_update> decode_epoch_batch_frame(std::string_view frame) {
+  std::vector<epoch_update> out;
+  decode_epoch_batch_frame_into(frame, out);
+  return out;
+}
+
+std::uint64_t decode_snapshot_req_frame(std::string_view frame) {
+  reader r{payload_of(frame, opcode::snapshot_req)};
+  const std::uint64_t offset = r.u64("snapshot_req.offset");
+  require_done(r);
+  return offset;
+}
+
+snapshot_chunk decode_snapshot_chunk_frame(std::string_view frame) {
+  reader r{payload_of(frame, opcode::snapshot_chunk)};
+  snapshot_chunk c;
+  c.offset = r.u64("snapshot_chunk.offset");
+  c.total = r.u64("snapshot_chunk.total");
+  const std::uint8_t last = r.u8("snapshot_chunk.last");
+  if (last > 1) {
+    throw std::invalid_argument("bad snapshot_chunk last flag " +
+                                std::to_string(last));
+  }
+  c.last = last == 1;
+  const std::uint32_t len = r.u32("snapshot_chunk.len");
+  if (len > max_snapshot_chunk) {
+    throw std::invalid_argument("snapshot chunk length " +
+                                std::to_string(len) + " exceeds cap " +
+                                std::to_string(max_snapshot_chunk));
+  }
+  r.need(len, "snapshot_chunk.data");
+  c.data = r.buf.substr(r.pos, len);
+  r.pos += len;
+  require_done(r);
+  return c;
+}
+
+void decode_promote_frame(std::string_view frame) {
+  reader r{payload_of(frame, opcode::promote)};
+  require_done(r);
 }
 
 error_frame decode_error_frame(std::string_view frame) {

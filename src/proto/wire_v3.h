@@ -67,12 +67,21 @@ enum class opcode : std::uint8_t {
   est = 6,      ///< reply: one estimate, or none (presence flag 0)
   estb = 7,     ///< reply: batched estimates, positional with the queryb
   err = 8,      ///< reply: typed error (err_code byte + clipped detail)
+  // Replication opcodes (ISSUE 10). Negotiation is unchanged: they are v3
+  // frames, gated by the same HELLO ver >= 3 rule as every other frame.
+  epoch = 9,    ///< request: pull epoch records after a sequence -> epochb
+  epochb = 10,  ///< reply to epoch; ALSO a request on a follower (apply
+                ///< the batch -> ack) -- the leader->follower stream and
+                ///< the follower's catch-up pull share one encoding
+  snapshot_req = 11,   ///< request: snapshot bytes from an offset -> chunk
+  snapshot_chunk = 12, ///< reply: one bounded slice of the snapshot
+  promote = 13, ///< request: assume leadership (follower -> leader) -> ack
 };
 
 /// True when `op` is a defined opcode byte.
 constexpr bool opcode_valid(std::uint8_t op) noexcept {
   return op >= static_cast<std::uint8_t>(opcode::report) &&
-         op <= static_cast<std::uint8_t>(opcode::err);
+         op <= static_cast<std::uint8_t>(opcode::promote);
 }
 
 /// Stable lower_snake_case opcode name ("report", "estb", ...), for logs
@@ -109,6 +118,35 @@ struct ack_frame {
 struct error_frame {
   err_code code = err_code::internal;
   std::string detail;
+};
+
+// ---- replication frames (ISSUE 10) ----------------------------------------
+
+/// Most epoch records a single EPOCHB frame may carry (mirrors
+/// max_report_batch's role: bounds the decode-side reserve).
+inline constexpr std::size_t max_epoch_batch = 4096;
+
+/// Largest snapshot slice a SNAPSHOT_CHUNK ships; small enough to stay
+/// well under any session read-buffer cap while catch-up streams it.
+inline constexpr std::size_t max_snapshot_chunk = 16 * 1024;
+
+// The epoch_update element an EPOCHB frame carries is a shared proto type
+// (proto/messages.h, next to estimate_reply): reply_buffer stages decode
+// scratch of it, so it must be complete where reply_buffer is.
+
+/// Decoded EPOCH pull request: "send records with seq > since_seq, at most
+/// max_records of them".
+struct epoch_pull {
+  std::uint64_t since_seq = 0;
+  std::uint32_t max_records = 0;  ///< clipped to max_epoch_batch by servers
+};
+
+/// Decoded SNAPSHOT_CHUNK reply. `data` views into the decoded frame.
+struct snapshot_chunk {
+  std::uint64_t offset = 0;  ///< byte offset of this slice in the snapshot
+  std::uint64_t total = 0;   ///< full snapshot size, for progress/validation
+  bool last = false;         ///< true on the final slice
+  std::string_view data;
 };
 
 // ---- encoders -------------------------------------------------------------
@@ -155,6 +193,22 @@ class estimate_batch_builder {
 void encode_error_frame(err_code code, std::string_view detail,
                         reply_buffer& out);
 
+/// EPOCH pull request.
+void encode_epoch_pull_frame(const epoch_pull& p, reply_buffer& out);
+/// EPOCHB batch of epoch records (reply to a pull, or a follower-apply
+/// request; same bytes either way).
+void encode_epoch_batch_frame(std::span<const epoch_update> updates,
+                              reply_buffer& out);
+/// SNAPSHOT_REQ for the slice starting at `offset`.
+void encode_snapshot_req_frame(std::uint64_t offset, reply_buffer& out);
+/// SNAPSHOT_CHUNK reply (data.size() <= max_snapshot_chunk enforced by the
+/// server; the codec clips nothing).
+void encode_snapshot_chunk_frame(std::uint64_t offset, std::uint64_t total,
+                                 bool last, std::string_view data,
+                                 reply_buffer& out);
+/// PROMOTE request (empty payload).
+void encode_promote_frame(reply_buffer& out);
+
 /// std::string-returning conveniences for clients and tests (thin wrappers
 /// over the _into forms, like the text codec's encode() family).
 std::string encode_report_frame(const measurement_report& m);
@@ -162,6 +216,10 @@ std::string encode_report_batch_frame(
     std::span<const trace::measurement_record> recs);
 std::string encode_query_frame(const query_request& q);
 std::string encode_query_batch_frame(std::span<const query_request> qs);
+std::string encode_epoch_pull_frame(const epoch_pull& p);
+std::string encode_epoch_batch_frame(std::span<const epoch_update> updates);
+std::string encode_snapshot_req_frame(std::uint64_t offset);
+std::string encode_promote_frame();
 
 // ---- decoders -------------------------------------------------------------
 // `frame` is one complete frame, header included; the header's declared
@@ -185,5 +243,15 @@ std::optional<estimate_reply> decode_estimate_frame(std::string_view frame);
 std::vector<std::optional<estimate_reply>> decode_estimate_batch_frame(
     std::string_view frame);
 error_frame decode_error_frame(std::string_view frame);
+epoch_pull decode_epoch_pull_frame(std::string_view frame);
+void decode_epoch_batch_frame_into(std::string_view frame,
+                                   std::vector<epoch_update>& out);
+std::vector<epoch_update> decode_epoch_batch_frame(std::string_view frame);
+std::uint64_t decode_snapshot_req_frame(std::string_view frame);
+/// The returned chunk's `data` views into `frame`; copy before the frame's
+/// backing bytes are reused.
+snapshot_chunk decode_snapshot_chunk_frame(std::string_view frame);
+/// Validates the empty-payload PROMOTE request.
+void decode_promote_frame(std::string_view frame);
 
 }  // namespace wiscape::proto::v3

@@ -24,6 +24,7 @@
 #include "proto/messages.h"
 #include "proto/server.h"
 #include "proto/wire_v3.h"
+#include "repl/replica.h"
 #include "stats/rng.h"
 #include "trace/record.h"
 
@@ -156,6 +157,38 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
                                                            seed);
   auto server = std::make_unique<proto::coordinator_server>(*coord);
 
+  // ---- replicated mode (ISSUE 10) ---------------------------------------
+  // A follower coordinator rides along: the leader's server gains the
+  // replication endpoint, the follower catches up by snapshot at boot and
+  // pulls the epoch stream after every tick's flush. Declared after
+  // coord/server so the roles are destroyed first (the epoch tap detaches
+  // while its coordinator is still alive).
+  std::unique_ptr<core::sharded_coordinator> fcoord;
+  std::unique_ptr<proto::coordinator_server> fserver;
+  std::unique_ptr<repl::leader> repl_leader;
+  std::unique_ptr<repl::follower> repl_follower;
+  // Client-assisted replay buffer: every record the leader ACKed, in ACK
+  // order, kept until the kill so the promoted follower can rebuild the
+  // open-epoch accumulators the dead leader never streamed.
+  std::vector<trace::measurement_record> acked_log;
+  bool keep_acked = false;
+  if (cfg.stress.replicate) {
+    if (cfg.stress.restart_tick) {
+      // The restart stressor rebuilds `coord` under the leader's attached
+      // epoch tap; failover already covers the kill-and-continue story.
+      throw std::invalid_argument(
+          "scenario: replicate and restart_tick cannot combine");
+    }
+    keep_acked = cfg.stress.kill_leader_tick.has_value();
+    repl_leader = std::make_unique<repl::leader>(*coord);
+    server->attach_replication(repl_leader.get());
+    fcoord = std::make_unique<core::sharded_coordinator>(grid, names, scfg,
+                                                         seed);
+    fserver = std::make_unique<proto::coordinator_server>(*fcoord);
+    repl_follower = std::make_unique<repl::follower>(*fcoord);
+    fserver->attach_replication(repl_follower.get());
+  }
+
   // ---- transport ---------------------------------------------------------
   // With over_tcp every exchange crosses a real loopback socket through the
   // epoll front end; otherwise it calls the line handler in-process. The
@@ -239,6 +272,15 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
     }
   };
 
+  // Replication traffic rides the same transport as client traffic: the
+  // follower's EPOCH/SNAPSHOT_REQ frames cross the leader's server (and
+  // the real socket with over_tcp). Boot-time catch-up mirrors a joiner:
+  // snapshot transfer, then the log suffix the snapshot fenced.
+  const repl::transport repl_transport = [&](std::string_view frame) {
+    return wire_frame(frame);
+  };
+  if (repl_follower) repl_follower->catch_up(repl_transport);
+
   // ---- fleet -------------------------------------------------------------
   std::vector<client_state> fleet;
   {
@@ -320,6 +362,9 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       }
       if (ok) {
         acked += n;
+        if (keep_acked) {
+          acked_log.insert(acked_log.end(), chunk.begin(), chunk.end());
+        }
       } else {
         erred += n;
         if (pre) refused += n;
@@ -369,6 +414,47 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       }
     }
 
+    // ---- leader kill + follower promotion --------------------------------
+    // kill -9 semantics: no flush, no snapshot -- the leader dies with its
+    // ingest queues and open-epoch accumulators. Every epoch frozen through
+    // the previous tick already reached the follower via that tick's
+    // post-flush poll, so only open state is lost; client-assisted replay
+    // below rebuilds it bit-identically from the driver's ACK log.
+    bool killed = false;
+    if (repl_follower && cfg.stress.kill_leader_tick &&
+        *cfg.stress.kill_leader_tick == t && !repl_follower->promoted()) {
+      const bool was_tcp = tcp != nullptr;
+      if (was_tcp) {
+        wire_client.close();
+        tcp->stop();
+        tcp.reset();
+      }
+      server.reset();
+      repl_leader.reset();  // detach the tap while the old leader is alive
+      coord->stop();
+      coord.reset();
+      // Promote through the unified wire path -- the same PROMOTE frame an
+      // operator's failover tooling would send.
+      const std::string reply =
+          fserver->handle(proto::v3::encode_promote_frame());
+      if (reply_opcode(reply) != proto::v3::opcode::ack) {
+        note("leader_failover", t, "wire PROMOTE was refused");
+      }
+      coord = std::move(fcoord);
+      server = std::move(fserver);
+      // The promoted coordinator's alert ring starts fresh: replicated
+      // epochs never fire alerts (the fast-forward path has no tap), so
+      // the consumer ledger resets with it.
+      served_total = 0;
+      dropped_total = 0;
+      cursor = 0;
+      if (was_tcp) {
+        tcp_start();
+        tcp_connect(false);
+      }
+      killed = true;
+    }
+
     // ---- proactive connection churn --------------------------------------
     if (tcp && cfg.stress.reconnect_every > 0 && t > 0 &&
         t % cfg.stress.reconnect_every == 0) {
@@ -381,6 +467,39 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
     const std::uint64_t apply_err0 = apply_err_ctr.value();
     const std::uint64_t dropped0 = dropped_ctr.value();
     std::uint64_t submitted = 0, acked = 0, erred = 0, refused = 0;
+
+    // ---- client-assisted replay (paper's core mechanism, post-failover) --
+    // Clients hold their ACKed reports until the epoch containing them is
+    // published; after a failover each re-submits the suffix the promoted
+    // coordinator has not frozen. The driver plays all clients here: a
+    // record is replayed iff its aligned epoch is at or past the stream's
+    // frozen high-water mark. Metric sets are disjoint per probe kind, so
+    // every metric of a record shares one stream history and the first
+    // metric decides for all. Replay preserves ACK order, which is
+    // per-stream ingest order, so the rebuilt open accumulators (and
+    // every later rollover) are bit-equal to an uninterrupted run's.
+    if (killed) {
+      keep_acked = false;
+      std::vector<trace::measurement_record> replay;
+      for (const trace::measurement_record& rec : acked_log) {
+        if (!rec.success) continue;  // never fed a stream; nothing to rebuild
+        const auto ms = trace::metrics_of(rec.kind);
+        if (ms.empty()) continue;
+        const geo::zone_id z = grid.zone_of(rec.pos);
+        const std::optional<core::epoch_estimate> latest =
+            coord->latest(core::estimate_key{z, rec.network, ms.front()});
+        const double hw = latest
+                              ? latest->epoch_start_s + cfg.epoch_s
+                              : -std::numeric_limits<double>::infinity();
+        if (std::floor(rec.time_s / cfg.epoch_s) * cfg.epoch_s >= hw) {
+          replay.push_back(rec);
+        }
+      }
+      submitted += replay.size();
+      submit(replay, acked, erred, refused);
+      acked_log.clear();
+      acked_log.shrink_to_fit();
+    }
 
     // ---- fleet traffic ---------------------------------------------------
     stats::rng_stream tick_rng = root.fork("traffic").fork(t);
@@ -483,6 +602,7 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       }
       if (ok) {
         ++acked;
+        if (keep_acked) acked_log.push_back(batch.front());
       } else {
         ++erred;
         if (pre) ++refused;
@@ -661,6 +781,59 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       }
     }
 
+    // ---- replication: post-flush pull + bounded-staleness probe ----------
+    // The poll runs after flush, so the epochs it pulls are a function of
+    // the tick, not of worker timing -- the repl= tick-log field stays
+    // byte-identical across runs. An injected replica_lag fault skips the
+    // round (a stalled replica link); the staleness bound below tolerates
+    // a few consecutive skips.
+    std::uint64_t repl_applied = 0;
+    if (repl_follower && !repl_follower->promoted()) {
+      const std::optional<std::uint64_t> applied =
+          repl_follower->poll(repl_transport);
+      if (!applied) {
+        note("replication", t, "leader log truncated below follower cursor");
+      } else {
+        repl_applied = *applied;
+      }
+      const double stale_tol = 2.0 * cfg.epoch_s + 3.0 * cfg.tick_s;
+      for (const auto& [key, fs] : tracked) {
+        if (fs.last_tick != t) continue;  // not fed this tick
+        const std::optional<core::epoch_estimate> lead = coord->latest(key);
+        if (!lead) continue;
+        const std::optional<core::epoch_estimate> fol = fcoord->latest(key);
+        if (!fol) {
+          if (lead->epoch_start_s + stale_tol < T0) {
+            note("replica_staleness", t,
+                 "follower missing stream " + key.network +
+                     " published on the leader since " +
+                     std::to_string(lead->epoch_start_s));
+          }
+        } else if (lead->epoch_start_s - fol->epoch_start_s > stale_tol) {
+          note("replica_staleness", t,
+               "follower behind by " +
+                   std::to_string(lead->epoch_start_s - fol->epoch_start_s) +
+                   "s on stream " + key.network);
+        } else {
+          // One QUERY through the follower's own server keeps the replica
+          // read path under traffic -- a standby must answer while syncing.
+          proto::query_request q;
+          q.pos = grid.center(key.zone);
+          q.network = key.network;
+          q.metric = key.metric;
+          q.time_s = T0 + cfg.tick_s;
+          const std::string reply = fserver->handle(proto::encode(q));
+          if (proto::message_type(reply) != "EST") {
+            note("replica_query", t,
+                 "follower QUERY drew '" +
+                     std::string(proto::message_type(reply)) +
+                     "' instead of EST");
+          }
+        }
+        break;  // one probe per tick keeps the log schema fixed-width
+      }
+    }
+
     tick_accounting acct;
     acct.submitted = submitted;
     acct.acked = acked;
@@ -743,6 +916,13 @@ scenario_result run_scenario(const scenario_config& cfg, std::uint64_t seed) {
       // Driver-side connection ledger: accept_fail ordinals are driven by
       // the driver's sequential connects, so both counts are deterministic.
       log << " tcp=" << tcp_reconnects << "/" << tcp_refused;
+    }
+    if (cfg.stress.replicate) {
+      // applied-this-tick / replica_lag faults fired / promoted flag --
+      // all driver-deterministic (the poll runs post-flush).
+      log << " repl=" << repl_applied << "/"
+          << inj.fired(core::fault::site::replica_lag) << "/"
+          << (repl_follower->promoted() ? 1 : 0);
     }
     log << "\n";
   }

@@ -70,6 +70,22 @@ struct stressors {
   /// core::persist, rebuild, restore, continue. Use with
   /// checkin_driven=false (shard task-rng state is not persisted).
   std::optional<std::uint64_t> restart_tick;
+  /// Replicated mode (ISSUE 10): run a follower coordinator alongside the
+  /// leader, snapshot-catch-up at start, pull the epoch stream (EPOCH ->
+  /// EPOCHB frames through the leader's server) after every tick's flush,
+  /// and assert the follower serves QUERYs at bounded staleness. The
+  /// replica_lag fault site skips poll rounds. Use with
+  /// checkin_driven=false when combined with kill_leader_tick (shard
+  /// task-rng state is not replicated).
+  bool replicate = false;
+  /// With replicate: kill -9 the leader at the start of this tick -- no
+  /// flush, no snapshot -- promote the follower through a wire PROMOTE
+  /// frame, client-assisted-replay the ACKed records whose epochs the
+  /// follower has not frozen, and serve the rest of the run from the
+  /// promoted coordinator. The run's final published state must be
+  /// bit-equal to an uninterrupted run's (the leader_kill regression
+  /// compares through final_estb).
+  std::optional<std::uint64_t> kill_leader_tick;
   /// Deliberately corrupt the driver's ack count at this tick -- proves the
   /// report-accounting invariant catches a real discrepancy.
   std::optional<std::uint64_t> sabotage_tick;

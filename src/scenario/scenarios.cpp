@@ -22,7 +22,7 @@ std::vector<std::string> scenario_names() {
   return {"baseline",        "flash_crowd", "operator_outage",
           "clock_skew",      "hostile_clients", "restart_mid_storm",
           "qoe_churn",       "slow_consumer",   "fault_storm",
-          "connection_churn", "wire_v3"};
+          "connection_churn", "wire_v3",        "leader_kill"};
 }
 
 scenario_config make_scenario(const std::string& name) {
@@ -123,6 +123,27 @@ scenario_config make_scenario(const std::string& name) {
     cfg.stress.faults.push_back(
         {core::fault::site::read_stall, 0, 25, 0.02,
          core::fault::action::stall});
+    return cfg;
+  }
+  if (name == "leader_kill") {
+    // Replicated coordinator under a flash-crowd ingest storm: the
+    // follower snapshot-catches-up at boot, pulls the epoch stream every
+    // tick, and answers staleness-probed QUERYs while syncing. At tick 20
+    // the leader dies kill -9 style (no flush, no snapshot), the follower
+    // is promoted through a wire PROMOTE frame, and client-assisted
+    // replay rebuilds the lost open epochs -- the run's final published
+    // state must be bit-equal to an uninterrupted run's (the regression
+    // compares final_estb). A few injected replica_lag skips stall the
+    // pull within the staleness bound.
+    cfg.stress.flash_crowd = true;
+    cfg.stress.replicate = true;
+    cfg.stress.kill_leader_tick = 20;
+    // Shard task-rng state is not replicated, so a failed-over run only
+    // matches an uninterrupted one when check-ins draw no tasks.
+    cfg.checkin_driven = false;
+    cfg.stress.faults.push_back(
+        {core::fault::site::replica_lag, 3, 4, 0.25,
+         core::fault::action::fail});
     return cfg;
   }
   std::string known;

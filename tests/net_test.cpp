@@ -28,6 +28,7 @@
 #include "proto/messages.h"
 #include "proto/server.h"
 #include "proto/wire_v3.h"
+#include "repl/replica.h"
 #include "test_util.h"
 
 namespace wiscape::net {
@@ -993,6 +994,78 @@ TEST(TcpServer, BinaryRequestFrameRoundTripOverSocket) {
   ASSERT_TRUE(proto::v3::peek_header(est).has_value());
   EXPECT_EQ(proto::v3::peek_header(est)->op, proto::v3::opcode::est);
   EXPECT_EQ(fx.server.reports_received(), 4u);
+  client.close();
+  srv.stop();
+}
+
+TEST(TcpServer, FollowerCatchUpAndPollOverRealSockets) {
+  // The replication stream over the real front end (ISSUE 10): a follower
+  // whose transport is line_client::request_frame after a negotiated
+  // HELLO. Snapshot catch-up covers the epochs frozen before it joined;
+  // poll() streams the ones frozen after. End state: frozen histories
+  // bit-equal to the leader's.
+  cellnet::deployment dep = testing::tiny_deployment();
+  geo::zone_grid grid{dep.proj(), 250.0};
+  core::sharded_config scfg;
+  scfg.num_shards = 1;
+  scfg.synchronous = true;
+  scfg.coordinator.epochs.default_epoch_s = 100.0;
+  core::sharded_coordinator lcoord(grid, dep.names(), scfg, 5);
+  proto::coordinator_server lserver(lcoord);
+  repl::leader lead(lcoord);
+  lserver.attach_replication(&lead);
+
+  server_config cfg;
+  cfg.event_loops = 1;
+  tcp_server srv(lserver, cfg);
+  srv.start();
+
+  auto ingest = [&](double t0, int n) {
+    std::vector<trace::measurement_record> recs;
+    for (int i = 0; i < n; ++i) {
+      recs.push_back(testing::make_record(t0 + 10.0 * i, "NetB", here,
+                                          trace::probe_kind::udp_burst,
+                                          1.0e6 + 1000.0 * i));
+      recs.back().client_id = 7;
+    }
+    lcoord.report_batch(recs);
+    lcoord.flush();
+  };
+  ingest(0.0, 60);  // epochs frozen before the follower exists
+
+  core::sharded_coordinator fcoord(grid, dep.names(), scfg, 5);
+  repl::follower fol(fcoord);
+
+  line_client client;
+  client.connect("127.0.0.1", srv.port());
+  ASSERT_GE(client.hello().version, 3u);  // frames are gated on HELLO
+  const repl::transport over_tcp = [&](std::string_view frame) {
+    return std::string(client.request_frame(frame));
+  };
+
+  fol.catch_up(over_tcp);
+  const std::uint64_t after_snapshot = fol.applied_seq();
+  EXPECT_GT(after_snapshot, 0u);
+
+  ingest(600.0, 60);  // epochs frozen after catch-up ride the pull stream
+  const std::optional<std::uint64_t> applied = fol.poll(over_tcp);
+  ASSERT_TRUE(applied.has_value());
+  EXPECT_GT(*applied, 0u);
+  EXPECT_GT(fol.applied_seq(), after_snapshot);
+
+  const std::vector<core::estimate_key> keys = lcoord.keys();
+  ASSERT_FALSE(keys.empty());
+  for (const core::estimate_key& k : keys) {
+    const auto lh = lcoord.history(k);
+    const auto fh = fcoord.history(k);
+    ASSERT_EQ(lh.size(), fh.size());
+    for (std::size_t i = 0; i < lh.size(); ++i) {
+      EXPECT_EQ(lh[i].epoch_start_s, fh[i].epoch_start_s);
+      EXPECT_EQ(lh[i].mean, fh[i].mean);
+      EXPECT_EQ(lh[i].stddev, fh[i].stddev);
+      EXPECT_EQ(lh[i].samples, fh[i].samples);
+    }
+  }
   client.close();
   srv.stop();
 }

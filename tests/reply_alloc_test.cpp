@@ -18,10 +18,12 @@
 #include <vector>
 
 #include "core/coordinator.h"
+#include "core/sharded_coordinator.h"
 #include "geo/zone_grid.h"
 #include "proto/messages.h"
 #include "proto/server.h"
 #include "proto/wire_v3.h"
+#include "repl/replica.h"
 #include "test_util.h"
 #include "trace/record.h"
 
@@ -110,6 +112,41 @@ int main() {
 
   const std::string bogus_line = "BOGUS totally unsupported request";
 
+  // Replication opcodes (ISSUE 10): a leader serving EPOCH pulls and a
+  // follower absorbing EPOCHB applies must hold the same steady state --
+  // pull serves out of the reply_buffer's warmed epoch scratch, and a
+  // re-applied batch is all cursor duplicates (skip path, no table
+  // mutation). Short network names ride SSO, like everywhere else.
+  core::sharded_config repl_cfg;
+  repl_cfg.num_shards = 1;
+  repl_cfg.synchronous = true;  // no worker threads to muddy the counts
+  repl_cfg.coordinator.epochs.default_epoch_s = 100.0;
+  core::sharded_coordinator lcoord(grid, dep.names(), repl_cfg, 6);
+  proto::coordinator_server lserver(lcoord);
+  repl::leader lead(lcoord);
+  lserver.attach_replication(&lead);
+  core::sharded_coordinator fcoord(grid, dep.names(), repl_cfg, 6);
+  proto::coordinator_server fserver(fcoord);
+  repl::follower fol(fcoord);
+  fserver.attach_replication(&fol);
+  for (int i = 0; i < 2000; ++i) {  // ~19 rollovers into the leader's log
+    proto::measurement_report rrep;
+    rrep.client_id = 9;
+    rrep.record = testing::make_record(static_cast<double>(i), "NetB", here,
+                                       trace::probe_kind::udp_burst, 1.0e6);
+    out.clear();
+    lserver.handle_into(proto::encode(rrep), out);
+    CHECK(out.view() == "ACK");
+  }
+  const std::string epoch_pull_v3 = proto::v3::encode_epoch_pull_frame({0, 16});
+  out.clear();
+  lserver.handle_into(epoch_pull_v3, out);
+  CHECK(proto::v3::peek_header(out.view())->op == proto::v3::opcode::epochb);
+  const std::string epochb_apply_v3(out.view());
+  out.clear();
+  fserver.handle_into(epochb_apply_v3, out);  // first apply: real inserts
+  CHECK(proto::v3::peek_header(out.view())->op == proto::v3::opcode::ack);
+
   // The binary v3 twins of every hot frame, plus a malformed binary frame
   // (undefined opcode) that draws the typed binary ERR reply.
   const std::string report_frame_v3 = proto::v3::encode_report_frame(rep);
@@ -137,15 +174,21 @@ int main() {
   struct test_case {
     const char* name;
     const std::string* line;
+    proto::coordinator_server* srv;
   };
   const test_case cases[] = {
-      {"QUERY->EST", &query_line},      {"QUERYB->ESTB", &queryb_frame},
-      {"REPORT->ACK", &report_line},    {"REPORTB->ACK n", &reportb_frame},
-      {"unknown->ERR", &bogus_line},    {"v3 QUERY->EST", &query_frame_v3},
-      {"v3 QUERYB->ESTB", &queryb_frame_v3},
-      {"v3 REPORT->ACK", &report_frame_v3},
-      {"v3 REPORTB->ACK", &reportb_frame_v3},
-      {"v3 bad op->ERR", &bad_frame_v3},
+      {"QUERY->EST", &query_line, &server},
+      {"QUERYB->ESTB", &queryb_frame, &server},
+      {"REPORT->ACK", &report_line, &server},
+      {"REPORTB->ACK n", &reportb_frame, &server},
+      {"unknown->ERR", &bogus_line, &server},
+      {"v3 QUERY->EST", &query_frame_v3, &server},
+      {"v3 QUERYB->ESTB", &queryb_frame_v3, &server},
+      {"v3 REPORT->ACK", &report_frame_v3, &server},
+      {"v3 REPORTB->ACK", &reportb_frame_v3, &server},
+      {"v3 bad op->ERR", &bad_frame_v3, &server},
+      {"v3 EPOCH->EPOCHB", &epoch_pull_v3, &lserver},
+      {"v3 EPOCHB->ACK", &epochb_apply_v3, &fserver},
   };
 
   constexpr int kIters = 200;
@@ -154,13 +197,13 @@ int main() {
     // Warm: reply_buffer capacity, scratch vectors, interner entries.
     for (int i = 0; i < 3; ++i) {
       out.clear();
-      server.handle_into(*tc.line, out);
+      tc.srv->handle_into(*tc.line, out);
     }
     g_allocs.store(0);
     g_count_allocs.store(true);
     for (int i = 0; i < kIters; ++i) {
       out.clear();
-      server.handle_into(*tc.line, out);
+      tc.srv->handle_into(*tc.line, out);
     }
     g_count_allocs.store(false);
     const std::uint64_t allocs = g_allocs.load();

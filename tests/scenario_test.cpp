@@ -96,6 +96,48 @@ TEST(Scenario, RestartMidStormServesBitEqualEstimates) {
   EXPECT_EQ(a.final_estb, b.final_estb);
 }
 
+// ---- leader-failover regression -------------------------------------------
+// A replicated run that loses its leader kill -9 style at tick 20 (no
+// flush, no snapshot) must fail over to the follower and still end in the
+// same published state as the identical run with no replication at all:
+// epoch-stream replication plus client-assisted replay rebuilds the dead
+// leader's state bit-for-bit.
+
+TEST(Scenario, LeaderKillFailsOverToBitEqualEstimates) {
+  const scenario::scenario_config interrupted =
+      scenario::make_scenario("leader_kill");
+  scenario::scenario_config uninterrupted = interrupted;
+  uninterrupted.stress.replicate = false;
+  uninterrupted.stress.kill_leader_tick.reset();
+  uninterrupted.stress.faults.clear();
+
+  const scenario::scenario_result a =
+      scenario::run_scenario(interrupted, 2024);
+  const scenario::scenario_result b =
+      scenario::run_scenario(uninterrupted, 2024);
+  ASSERT_TRUE(a.passed) << scenario::to_string(a.violations.front());
+  ASSERT_TRUE(b.passed);
+  EXPECT_FALSE(a.final_estb.empty());
+  EXPECT_EQ(a.final_estb, b.final_estb);
+}
+
+TEST(Scenario, LeaderKillTickLogIsDeterministicAndRecordsPromotion) {
+  const scenario::scenario_config cfg = scenario::make_scenario("leader_kill");
+  const scenario::scenario_result a = scenario::run_scenario(cfg, 7);
+  const scenario::scenario_result b = scenario::run_scenario(cfg, 7);
+  ASSERT_TRUE(a.passed) << scenario::to_string(a.violations.front());
+  EXPECT_EQ(a.tick_log, b.tick_log);
+  // The repl= field flips its promoted flag at the kill tick.
+  EXPECT_NE(a.tick_log.find(" repl="), std::string::npos);
+  EXPECT_NE(a.tick_log.find("/1\n"), std::string::npos);
+}
+
+TEST(Scenario, ReplicateRefusesRestartCombination) {
+  scenario::scenario_config cfg = scenario::make_scenario("leader_kill");
+  cfg.stress.restart_tick = 10;
+  EXPECT_THROW(scenario::run_scenario(cfg, 1), std::invalid_argument);
+}
+
 // ---- a deliberately broken run is caught, with tick and seed --------------
 
 TEST(Scenario, SabotagedAccountingIsCaughtWithTickAndSeed) {

@@ -1,0 +1,158 @@
+// Unified server request API (ISSUE 10): handle(request_view, reply_buffer&)
+// is the single dispatch seam; the old handle()/handle_into() spellings are
+// thin wrappers over it. The golden corpus here pins byte-equality across
+// all three spellings for both framings -- the api_redesign must not move a
+// single reply byte.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/sharded_coordinator.h"
+#include "geo/projection.h"
+#include "geo/zone_grid.h"
+#include "proto/messages.h"
+#include "proto/server.h"
+#include "proto/wire_v3.h"
+#include "trace/record.h"
+
+namespace wiscape {
+namespace {
+
+namespace v3 = proto::v3;
+
+struct corpus_fixture {
+  geo::projection proj{geo::lat_lon{43.0, -89.4}};
+  geo::zone_grid grid{proj, 250.0};
+  core::sharded_coordinator coord;
+  proto::coordinator_server server;
+
+  static core::sharded_config cfg() {
+    core::sharded_config c;
+    c.coordinator.epochs.default_epoch_s = 100.0;
+    c.num_shards = 1;
+    c.synchronous = true;
+    return c;
+  }
+
+  corpus_fixture() : coord(grid, {"NetB"}, cfg(), 1), server(coord) {
+    // Publish one frozen epoch so QUERY draws an EST with real payload.
+    std::vector<trace::measurement_record> recs;
+    for (int i = 0; i < 12; ++i) {
+      trace::measurement_record r;
+      r.time_s = 10.0 * i;
+      r.network = "NetB";
+      r.pos = proj.to_lat_lon(geo::xy{120.0, 80.0});
+      r.client_id = 3;
+      r.kind = trace::probe_kind::tcp_download;
+      r.success = true;
+      r.throughput_bps = 2.0e6 + 1.0e4 * i;
+      recs.push_back(r);
+    }
+    coord.report_batch(recs);
+    coord.flush();
+  }
+
+  /// The golden corpus: every command family in both framings, plus
+  /// malformed inputs (replies must match byte-for-byte too).
+  std::vector<std::string> corpus() const {
+    trace::measurement_record rec;
+    rec.time_s = 205.0;
+    rec.network = "NetB";
+    rec.pos = proj.to_lat_lon(geo::xy{120.0, 80.0});
+    rec.client_id = 4;
+    rec.kind = trace::probe_kind::ping;
+    rec.success = true;
+    rec.rtt_s = 0.031;
+    rec.ping_sent = 10;
+    const proto::measurement_report report{rec.client_id, rec};
+
+    proto::query_request q;
+    q.pos = rec.pos;
+    q.network = "NetB";
+    q.metric = trace::metric::tcp_throughput_bps;
+    q.time_s = 210.0;
+
+    std::vector<std::string> reqs;
+    reqs.push_back(proto::encode(report));
+    reqs.push_back(proto::encode(q));
+    reqs.push_back(proto::encode(proto::hello_request{2}));
+    reqs.push_back(proto::encode(proto::alerts_request{0, 16}));
+    // (STATS is deliberately absent: its reply embeds live counter values,
+    // so repeated calls can never be byte-stable.)
+    reqs.push_back("REPORTB 2\ngarbage");        // malformed text
+    reqs.push_back("NOSUCH arg=1");              // unknown command
+    reqs.push_back(v3::encode_report_frame(report));
+    reqs.push_back(v3::encode_query_frame(q));
+    reqs.push_back(v3::encode_query_batch_frame({&q, 1}));
+    reqs.push_back(v3::encode_epoch_pull_frame({0, 8}));  // unattached: ERR
+    reqs.push_back(v3::encode_promote_frame());           // unattached: ERR
+    std::string bad = v3::encode_query_frame(q);
+    bad[1] = '\x7f';  // invalid opcode byte
+    reqs.push_back(bad);
+    return reqs;
+  }
+};
+
+TEST(UnifiedHandle, AllThreeSpellingsAnswerByteIdentically) {
+  corpus_fixture fx;
+  for (const std::string& req : fx.corpus()) {
+    // Reports mutate state; run the three spellings against the same
+    // coordinator back-to-back so they see identical published state
+    // (report re-submission is idempotent for the reply bytes: ACK).
+    const std::string a = fx.server.handle(req);
+
+    proto::reply_buffer rb;
+    fx.server.handle_into(req, rb);
+    const std::string b(rb.view());
+
+    rb.clear();
+    const proto::request_view view =
+        v3::is_frame_start(req) ? proto::request_view::binary(req)
+                                : proto::request_view::text(req);
+    fx.server.handle(view, rb);
+    const std::string c(rb.view());
+
+    EXPECT_EQ(a, b) << "request: " << req.substr(0, 40);
+    EXPECT_EQ(a, c) << "request: " << req.substr(0, 40);
+    EXPECT_FALSE(a.empty());
+  }
+}
+
+TEST(UnifiedHandle, DetectClassifiesByLeadingByte) {
+  const proto::request_view text = proto::request_view::detect("QUERY x=1");
+  EXPECT_EQ(text.framing(), proto::request_view::kind::text);
+  EXPECT_EQ(text.bytes(), "QUERY x=1");
+
+  const std::string frame = v3::encode_promote_frame();
+  const proto::request_view bin = proto::request_view::detect(frame);
+  EXPECT_EQ(bin.framing(), proto::request_view::kind::binary);
+  EXPECT_EQ(bin.bytes(), frame);
+
+  // An explicitly-classified view overrides detection: a session that
+  // negotiated text framing can force a magic-leading line through the
+  // text path.
+  const std::string odd = "\xB3 looks binary but is text";
+  EXPECT_EQ(proto::request_view::text(odd).framing(),
+            proto::request_view::kind::text);
+  EXPECT_EQ(proto::request_view::detect(odd).framing(),
+            proto::request_view::kind::binary);
+}
+
+TEST(UnifiedHandle, AdvertisedVersionIsFixedAtConstruction) {
+  corpus_fixture fx;
+  // server_options replaced the set_advertised_version() mutable knob:
+  // the advertised version is a construction-time property.
+  proto::coordinator_server v2(fx.coord, {.advertised_version = 2});
+  EXPECT_EQ(v2.advertised_version(), 2u);
+  EXPECT_EQ(fx.server.advertised_version(), proto::wire_version);
+
+  const std::string hello2 = v2.handle(proto::encode(proto::hello_request{3}));
+  EXPECT_NE(hello2.find("ver=2"), std::string::npos);
+  const std::string hello3 =
+      fx.server.handle(proto::encode(proto::hello_request{3}));
+  EXPECT_NE(hello3.find("ver=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wiscape

@@ -1,0 +1,239 @@
+// Crash-consistency tests for the WAL/snapshot pair (ISSUE 10).
+//
+// The torn-write corpus is the core: a WAL stream cut at EVERY byte
+// offset -- mid-header, mid-record, mid-checksum, and at each record
+// boundary -- must recover to exactly the last complete record, count
+// core.persist.wal_truncated once per damaged tail, and never crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/durable_log.h"
+#include "core/fault_injection.h"
+#include "core/sharded_coordinator.h"
+#include "geo/projection.h"
+#include "geo/zone_grid.h"
+#include "obs/names.h"
+#include "obs/registry.h"
+#include "scenario/injector.h"
+
+namespace wiscape {
+namespace {
+
+struct wal_record {
+  std::uint64_t seq;
+  core::estimate_key key;
+  core::epoch_estimate est;
+};
+
+std::vector<wal_record> corpus_records() {
+  std::vector<wal_record> recs;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    wal_record r;
+    r.seq = i;
+    r.key = {{static_cast<int>(i % 3), -1}, "NetB",
+             trace::metric::udp_throughput_bps};
+    // Deliberately awkward doubles: %.17g must round-trip them bit-exactly.
+    r.est.epoch_start_s = 300.0 * static_cast<double>(i) + 0.125;
+    r.est.mean = 1.0e6 / 3.0 + static_cast<double>(i);
+    r.est.stddev = 7.0 / 9.0;
+    r.est.samples = 11 * i;
+    recs.push_back(std::move(r));
+  }
+  return recs;
+}
+
+// Renders the corpus and the byte offset at which each record completes.
+std::string render_corpus(const std::vector<wal_record>& recs,
+                          std::vector<std::size_t>& ends) {
+  std::ostringstream os;
+  core::wal_write_header(os);
+  const std::size_t header_end = os.str().size();
+  ends.clear();
+  ends.push_back(header_end);  // "zero records complete" boundary
+  for (const wal_record& r : recs) {
+    core::wal_append_record(os, r.seq, r.key, r.est);
+    ends.push_back(os.str().size());
+  }
+  return os.str();
+}
+
+obs::counter& truncated_counter() {
+  return obs::registry::global().get_counter(obs::names::kPersistWalTruncated);
+}
+
+TEST(Wal, TornTailCorpusRecoversToLastCompleteRecord) {
+  const std::vector<wal_record> recs = corpus_records();
+  std::vector<std::size_t> ends;
+  const std::string full = render_corpus(recs, ends);
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    // Number of complete records wholly inside the prefix.
+    std::size_t complete = 0;
+    while (complete + 1 < ends.size() && ends[complete + 1] <= cut) {
+      ++complete;
+    }
+    // A clean cut lands exactly on a boundary (including the empty file
+    // and the header line); anything else is a torn tail.
+    const bool clean =
+        cut == 0 || (cut >= ends.front() &&
+                     std::find(ends.begin(), ends.end(), cut) != ends.end());
+
+    std::istringstream is(full.substr(0, cut));
+    std::vector<wal_record> applied;
+    const std::uint64_t before = truncated_counter().value();
+    const std::uint64_t last = core::wal_replay(
+        is, [&](std::uint64_t seq, const core::estimate_key& key,
+                const core::epoch_estimate& est) {
+          applied.push_back({seq, key, est});
+        });
+    const std::uint64_t torn_delta = truncated_counter().value() - before;
+
+    ASSERT_EQ(applied.size(), complete) << "cut at byte " << cut;
+    EXPECT_EQ(last, complete == 0 ? 0u : recs[complete - 1].seq)
+        << "cut at byte " << cut;
+    EXPECT_EQ(torn_delta, clean ? 0u : 1u) << "cut at byte " << cut;
+    // Replayed records are bit-exact, never partially parsed.
+    for (std::size_t i = 0; i < applied.size(); ++i) {
+      EXPECT_EQ(applied[i].seq, recs[i].seq);
+      EXPECT_EQ(applied[i].key.network, recs[i].key.network);
+      EXPECT_EQ(applied[i].est.epoch_start_s, recs[i].est.epoch_start_s);
+      EXPECT_EQ(applied[i].est.mean, recs[i].est.mean);
+      EXPECT_EQ(applied[i].est.stddev, recs[i].est.stddev);
+      EXPECT_EQ(applied[i].est.samples, recs[i].est.samples);
+    }
+  }
+}
+
+TEST(Wal, BitRotInsideAValidLengthRecordIsCaughtByTheChecksum) {
+  const std::vector<wal_record> recs = corpus_records();
+  std::vector<std::size_t> ends;
+  std::string full = render_corpus(recs, ends);
+  // Flip one digit inside the THIRD record's body: same length, bad sum.
+  full[ends[2] + 3] = full[ends[2] + 3] == '1' ? '2' : '1';
+
+  std::istringstream is(full);
+  std::size_t applied = 0;
+  const std::uint64_t before = truncated_counter().value();
+  const std::uint64_t last = core::wal_replay(
+      is, [&](std::uint64_t, const core::estimate_key&,
+              const core::epoch_estimate&) { ++applied; });
+  EXPECT_EQ(applied, 2u);  // stops before the rotten record
+  EXPECT_EQ(last, 2u);
+  EXPECT_EQ(truncated_counter().value() - before, 1u);
+}
+
+// ---- the on-disk pair ------------------------------------------------------
+
+struct pair_fixture {
+  std::string dir;
+  geo::projection proj{geo::lat_lon{43.0, -89.4}};
+  geo::zone_grid grid{proj, 250.0};
+
+  pair_fixture() {
+    dir = testing::TempDir() + "wal_pair_" +
+          std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+  }
+  ~pair_fixture() { std::filesystem::remove_all(dir); }
+
+  core::sharded_coordinator make_coord() {
+    return core::sharded_coordinator(grid, {"NetB"}, {}, 1);
+  }
+};
+
+TEST(DurableLog, AppendCheckpointRecoverRoundTrip) {
+  pair_fixture fx;
+  core::durable_log dl(fx.dir);
+  core::sharded_coordinator a = fx.make_coord();
+
+  const std::vector<wal_record> recs = corpus_records();
+  // First three epochs land in the coordinator AND the WAL...
+  for (std::size_t i = 0; i < 3; ++i) {
+    a.restore_estimate(recs[i].key, recs[i].est);
+    dl.append(recs[i].seq, recs[i].key, recs[i].est);
+  }
+  // ...then a checkpoint folds them into the snapshot and resets the WAL...
+  dl.checkpoint(a);
+  // ...and two more ride the fresh WAL only.
+  for (std::size_t i = 3; i < recs.size(); ++i) {
+    a.restore_estimate(recs[i].key, recs[i].est);
+    dl.append(recs[i].seq, recs[i].key, recs[i].est);
+  }
+
+  core::sharded_coordinator b = fx.make_coord();
+  const std::uint64_t last = dl.recover(b);
+  EXPECT_EQ(last, recs.back().seq);
+  ASSERT_EQ(b.keys().size(), a.keys().size());
+  for (const core::estimate_key& k : a.keys()) {
+    const auto ah = a.history(k);
+    const auto bh = b.history(k);
+    ASSERT_EQ(ah.size(), bh.size());
+    for (std::size_t i = 0; i < ah.size(); ++i) {
+      EXPECT_EQ(ah[i].epoch_start_s, bh[i].epoch_start_s);
+      EXPECT_EQ(ah[i].mean, bh[i].mean);
+      EXPECT_EQ(ah[i].stddev, bh[i].stddev);
+      EXPECT_EQ(ah[i].samples, bh[i].samples);
+    }
+  }
+}
+
+TEST(DurableLog, InjectedAppendFaultLeavesTheTailIntact) {
+  pair_fixture fx;
+  core::durable_log dl(fx.dir);
+  const std::vector<wal_record> recs = corpus_records();
+  dl.append(recs[0].seq, recs[0].key, recs[0].est);
+  const auto size_before = std::filesystem::file_size(dl.wal_path());
+
+  scenario::injector inj(1);
+  inj.add_rule({core::fault::site::wal_append, 0, 1, 1.0,
+                core::fault::action::fail});
+  scenario::arm_scope armed(inj);
+  EXPECT_THROW(dl.append(recs[1].seq, recs[1].key, recs[1].est),
+               std::runtime_error);
+  // Full-disk model: nothing was written, the tail is the previous record.
+  EXPECT_EQ(std::filesystem::file_size(dl.wal_path()), size_before);
+  // The rule's budget is spent: the retry lands.
+  dl.append(recs[1].seq, recs[1].key, recs[1].est);
+
+  core::sharded_coordinator back = fx.make_coord();
+  EXPECT_EQ(dl.recover(back), recs[1].seq);
+}
+
+TEST(DurableLog, TornCheckpointPreservesSnapshotAndWal) {
+  pair_fixture fx;
+  core::durable_log dl(fx.dir);
+  core::sharded_coordinator a = fx.make_coord();
+  const std::vector<wal_record> recs = corpus_records();
+  for (std::size_t i = 0; i < 2; ++i) {
+    a.restore_estimate(recs[i].key, recs[i].est);
+    dl.append(recs[i].seq, recs[i].key, recs[i].est);
+  }
+  dl.checkpoint(a);  // a good snapshot to protect
+  a.restore_estimate(recs[2].key, recs[2].est);
+  dl.append(recs[2].seq, recs[2].key, recs[2].est);
+
+  scenario::injector inj(1);
+  inj.add_rule({core::fault::site::snapshot_torn, 0, 1, 1.0,
+                core::fault::action::fail});
+  scenario::arm_scope armed(inj);
+  EXPECT_THROW(dl.checkpoint(a), std::runtime_error);
+  // The crash left a truncated temp file, never the real snapshot.
+  EXPECT_TRUE(std::filesystem::exists(dl.snapshot_path() + ".tmp"));
+
+  // Recovery = intact previous snapshot + the intact WAL suffix.
+  core::sharded_coordinator b = fx.make_coord();
+  EXPECT_EQ(dl.recover(b), recs[2].seq);
+  const core::estimate_key& k = recs[0].key;
+  EXPECT_EQ(b.history(k).size(), a.history(k).size());
+}
+
+}  // namespace
+}  // namespace wiscape

@@ -15,7 +15,7 @@
 //     accounting as their text twins, reply opcodes sent as requests draw
 //     ERR unsupported, non-finite timestamps are rejected at the same
 //     coordinator seam as text non-finite timestamps, and a v2-capped
-//     server (set_advertised_version) still answers text identically --
+//     server (server_options::advertised_version) answers text identically --
 //     the v1/v2 interop guarantee.
 #include <gtest/gtest.h>
 
@@ -86,7 +86,13 @@ struct server_fixture {
   cellnet::deployment dep = testing::tiny_deployment();
   geo::zone_grid grid{dep.proj(), 250.0};
   core::coordinator coord{grid, dep.names(), fast_epochs(), 5};
-  coordinator_server server{coord};
+  coordinator_server server;
+
+  /// `advertised` caps HELLO negotiation (a construction-time option now:
+  /// the interop fixtures build a v2-capped server instead of mutating a
+  /// live one).
+  explicit server_fixture(std::uint32_t advertised = wire_version)
+      : server{coord, {.advertised_version = advertised}} {}
 
   /// Ingests enough reports over several epochs that estimates freeze and
   /// publish (same recipe as ProtoServerV2.QueryServesWhatTheViewServes).
@@ -283,11 +289,14 @@ TEST(WireV3Codec, PeekHeaderRejectsShortMagicAndOpcode) {
   EXPECT_FALSE(v3::peek_header("ACK\n??").has_value());   // wrong magic
   std::string bad_op("\xB3\x00\x00\x00\x00\x00", 6);      // opcode 0
   EXPECT_FALSE(v3::peek_header(bad_op).has_value());
-  bad_op[1] = '\x09';  // one past err
+  bad_op[1] = '\x0e';  // one past promote (the replication opcodes' end)
   EXPECT_FALSE(v3::peek_header(bad_op).has_value());
   bad_op[1] = '\x08';
   ASSERT_TRUE(v3::peek_header(bad_op).has_value());
   EXPECT_EQ(v3::peek_header(bad_op)->op, v3::opcode::err);
+  bad_op[1] = '\x0d';
+  ASSERT_TRUE(v3::peek_header(bad_op).has_value());
+  EXPECT_EQ(v3::peek_header(bad_op)->op, v3::opcode::promote);
 }
 
 TEST(WireV3Codec, TruncationAtEveryBoundaryThrowsNeverCrashes) {
@@ -538,16 +547,17 @@ TEST(WireV3Server, HelloNegotiationCapsAtAdvertisedVersion) {
   // A v2-capped server (interop harness): v3 clients negotiate down to 2
   // and must fall back to text; the in-process handler still accepts
   // binary unconditionally (the TCP session is where the gate lives).
-  fx.server.set_advertised_version(2);
-  EXPECT_EQ(decode_hello_reply(fx.server.handle(encode(hello_request{})))
+  server_fixture v2fx(2);
+  EXPECT_EQ(decode_hello_reply(v2fx.server.handle(encode(hello_request{})))
                 .version,
             2u);
   measurement_report m;
   m.client_id = 7;
   m.record = testing::make_record(100.0, "NetB", here,
                                   trace::probe_kind::udp_burst, 1e6);
-  EXPECT_EQ(v3::peek_header(fx.server.handle(v3::encode_report_frame(m)))->op,
-            v3::opcode::ack);
+  EXPECT_EQ(
+      v3::peek_header(v2fx.server.handle(v3::encode_report_frame(m)))->op,
+      v3::opcode::ack);
 }
 
 TEST(WireV3Server, TextRepliesByteIdenticalAcrossAdvertisedVersions) {
@@ -555,8 +565,7 @@ TEST(WireV3Server, TextRepliesByteIdenticalAcrossAdvertisedVersions) {
   // from a v2-capped one on any reply except HELLO's ver field. Identical
   // coordinators, identical text corpus, byte-compared replies.
   server_fixture v3srv;
-  server_fixture v2srv;
-  v2srv.server.set_advertised_version(2);
+  server_fixture v2srv(2);
 
   std::vector<std::string> corpus;
   checkin_request chk;

@@ -83,4 +83,14 @@ echo "== binary v3 framing under TSan =="
 "$build_dir"/tests/wiscape_tests \
   --gtest_filter='WireV3Codec.*:WireV3Server.*:NetSession.Binary*:NetSession.PartialBinary*:NetSession.NegotiatedV*:TcpServer.MixedTextAndBinary*:TcpServer.BinaryRequestFrame*'
 
+# Replication (DESIGN.md section 7): leader + two followers, puller
+# threads pulling/catching up against the 4-shard ingest storm, and a
+# wire PROMOTE mid-storm while the second puller is still in flight --
+# the epoch tap, the sequenced log, and the apply/promote mutex are the
+# cross-thread seams this vets. The leader_kill scenario rerun drives
+# the same failover through the scenario engine's full stack.
+echo "== replication under TSan =="
+"$build_dir"/tests/wiscape_tests \
+  --gtest_filter='ReplStress.PromotionMidStorm:Replication.*:EpochLog.*:ZoneTableMerge.*:TcpServer.FollowerCatchUp*:Scenario.LeaderKill*'
+
 echo "TSan run clean."
